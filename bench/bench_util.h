@@ -1,0 +1,61 @@
+#ifndef CHRONOQUEL_BENCH_BENCH_UTIL_H_
+#define CHRONOQUEL_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the paper-figure benchmark binaries.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "benchlib/workload.h"
+#include "util/stringx.h"
+
+namespace tdb {
+namespace bench {
+
+/// Aborts with a message when a Status is not OK (bench binaries have no
+/// recovery path).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckOk(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+/// Runs queries `qs` at every update count 0..max_uc, returning
+/// measurements[uc][qnum].
+inline std::vector<std::map<int, Measure>> Sweep(
+    BenchmarkDb* bench, int max_uc, const std::vector<int>& qs) {
+  std::vector<std::map<int, Measure>> out;
+  for (int uc = 0; uc <= max_uc; ++uc) {
+    std::map<int, Measure> row;
+    for (int q : qs) {
+      if (bench->QueryText(q).empty()) continue;
+      row[q] = CheckOk(bench->RunQuery(q), "query");
+    }
+    out.push_back(std::move(row));
+    if (uc < max_uc) CheckOk(bench->UniformUpdateRound(), "update round");
+  }
+  return out;
+}
+
+inline const char* LoadingName(int fillfactor) {
+  return fillfactor == 100 ? "100%" : "50%";
+}
+
+inline std::vector<int> AllQueries() {
+  return {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+}
+
+}  // namespace bench
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,53 @@
+// Reproduces Figure 8: "Graphs for Input Pages" as plottable CSV series.
+//   (a) the temporal database with 100% loading — straight lines of
+//       different slope per query;
+//   (b) the rollback database with 50% loading — the jagged lines caused
+//       by odd-numbered updates filling the slack left at 50% fill before
+//       new overflow pages are added.
+//
+// Output: CSV to stdout (uc, then one column per query), two blocks.
+
+#include "bench_util.h"
+
+using namespace tdb;
+using namespace tdb::bench;
+
+namespace {
+
+void EmitSeries(const char* title, DbType type, int fillfactor, int max_uc) {
+  WorkloadConfig config;
+  config.type = type;
+  config.fillfactor = fillfactor;
+  auto bench = CheckOk(BenchmarkDb::Create(config), "create");
+  auto sweep = Sweep(bench.get(), max_uc, AllQueries());
+
+  std::printf("# %s\n", title);
+  std::printf("uc");
+  std::vector<int> qs;
+  for (int q = 1; q <= 12; ++q) {
+    if (!bench->QueryText(q).empty()) {
+      qs.push_back(q);
+      std::printf(",Q%02d", q);
+    }
+  }
+  std::printf("\n");
+  for (int uc = 0; uc <= max_uc; ++uc) {
+    std::printf("%d", uc);
+    for (int q : qs) {
+      std::printf(",%llu",
+                  (unsigned long long)sweep[uc].at(q).input_pages);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  EmitSeries("Figure 8(a): temporal database, 100% loading",
+             DbType::kTemporal, 100, 15);
+  EmitSeries("Figure 8(b): rollback database, 50% loading (jagged lines)",
+             DbType::kRollback, 50, 15);
+  return 0;
+}

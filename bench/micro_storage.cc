@@ -1,0 +1,139 @@
+// Access-method microbenchmarks (google-benchmark): raw insert / lookup /
+// scan throughput of the heap, hash, and ISAM files over the in-memory
+// environment.  These back the Figure 6-9 analysis with wall-clock numbers
+// for the underlying operations.
+
+#include <benchmark/benchmark.h>
+
+#include "env/env.h"
+#include "storage/hash_file.h"
+#include "storage/heap_file.h"
+#include "storage/isam_file.h"
+#include "util/random.h"
+
+namespace tdb {
+namespace {
+
+constexpr uint16_t kRecordSize = 116;  // the benchmark's rollback tuple
+
+RecordLayout Layout() {
+  RecordLayout layout;
+  layout.record_size = kRecordSize;
+  layout.key_offset = 0;
+  layout.key_type = TypeId::kInt4;
+  layout.key_width = 4;
+  return layout;
+}
+
+std::vector<uint8_t> RecordFor(int32_t key) {
+  std::vector<uint8_t> rec(kRecordSize, 0xAB);
+  std::memcpy(rec.data(), &key, 4);
+  return rec;
+}
+
+void BM_HeapInsert(benchmark::State& state) {
+  MemEnv env;
+  auto pager = Pager::Open(&env, "/bench.dat", nullptr);
+  auto heap = HeapFile::Open(std::move(*pager), Layout());
+  int32_t key = 0;
+  for (auto _ : state) {
+    auto rec = RecordFor(key++);
+    benchmark::DoNotOptimize((*heap)->Insert(rec.data(), rec.size(), nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapInsert);
+
+void BM_HashInsert(benchmark::State& state) {
+  MemEnv env;
+  auto pager = Pager::Open(&env, "/bench.dat", nullptr);
+  auto hash = HashFile::Create(std::move(*pager), Layout(),
+                               /*nbuckets=*/1024);
+  int32_t key = 0;
+  for (auto _ : state) {
+    auto rec = RecordFor(key++ % 8192);
+    benchmark::DoNotOptimize((*hash)->Insert(rec.data(), rec.size(), nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashInsert);
+
+void BM_HashLookup(benchmark::State& state) {
+  MemEnv env;
+  auto pager = Pager::Open(&env, "/bench.dat", nullptr);
+  auto hash = HashFile::Create(std::move(*pager), Layout(),
+                               /*nbuckets=*/256);
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    auto rec = RecordFor(i);
+    (void)(*hash)->Insert(rec.data(), rec.size(), nullptr);
+  }
+  Random rng(7);
+  for (auto _ : state) {
+    Value key = Value::Int4(static_cast<int64_t>(rng.Uniform(n)));
+    auto cur = (*hash)->ScanKey(key);
+    int found = 0;
+    while (true) {
+      auto have = (*cur)->Next();
+      if (!have.ok() || !*have) break;
+      ++found;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashLookup)->Arg(1024)->Arg(8192);
+
+void BM_IsamLookup(benchmark::State& state) {
+  MemEnv env;
+  auto pager = Pager::Open(&env, "/bench.dat", nullptr);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::vector<uint8_t>> records;
+  records.reserve(n);
+  for (int i = 0; i < n; ++i) records.push_back(RecordFor(i));
+  IsamMeta meta;
+  auto isam = IsamFile::BulkLoad(std::move(*pager), Layout(),
+                                 std::move(records), 100, &meta);
+  Random rng(7);
+  for (auto _ : state) {
+    Value key = Value::Int4(static_cast<int64_t>(rng.Uniform(n)));
+    auto cur = (*isam)->ScanKey(key);
+    int found = 0;
+    while (true) {
+      auto have = (*cur)->Next();
+      if (!have.ok() || !*have) break;
+      ++found;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IsamLookup)->Arg(1024)->Arg(8192);
+
+void BM_SequentialScan(benchmark::State& state) {
+  MemEnv env;
+  auto pager = Pager::Open(&env, "/bench.dat", nullptr);
+  auto heap = HeapFile::Open(std::move(*pager), Layout());
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    auto rec = RecordFor(i);
+    (void)(*heap)->Insert(rec.data(), rec.size(), nullptr);
+  }
+  for (auto _ : state) {
+    auto cur = (*heap)->Scan();
+    int count = 0;
+    while (true) {
+      auto have = (*cur)->Next();
+      if (!have.ok() || !*have) break;
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SequentialScan)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace tdb
+
+BENCHMARK_MAIN();

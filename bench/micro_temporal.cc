@@ -1,0 +1,64 @@
+// Temporal-primitive microbenchmarks: interval algebra and time parsing /
+// formatting, the operators behind every when / valid / as-of clause.
+
+#include <benchmark/benchmark.h>
+
+#include "temporal/interval.h"
+#include "types/timepoint.h"
+#include "util/random.h"
+
+namespace tdb {
+namespace {
+
+void BM_IntervalOverlap(benchmark::State& state) {
+  Random rng(1);
+  std::vector<Interval> intervals;
+  for (int i = 0; i < 1024; ++i) {
+    int32_t a = static_cast<int32_t>(rng.Uniform(1u << 30));
+    int32_t b = a + static_cast<int32_t>(rng.Uniform(1u << 20));
+    intervals.emplace_back(TimePoint(a), TimePoint(b));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const Interval& a = intervals[i % intervals.size()];
+    const Interval& b = intervals[(i + 7) % intervals.size()];
+    benchmark::DoNotOptimize(a.Overlaps(b));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntervalOverlap);
+
+void BM_IntervalIntersectSpan(benchmark::State& state) {
+  Interval a(TimePoint(1000), TimePoint(2000));
+  Interval b(TimePoint(1500), TimePoint(2500));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Interval::Intersect(a, b));
+    benchmark::DoNotOptimize(Interval::Span(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_IntervalIntersectSpan);
+
+void BM_TimeParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tp = TimePoint::Parse("08:30:15 2/15/1980");
+    benchmark::DoNotOptimize(tp.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimeParse);
+
+void BM_TimeFormat(benchmark::State& state) {
+  TimePoint tp(320000000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tp.ToString(TimeResolution::kSecond));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimeFormat);
+
+}  // namespace
+}  // namespace tdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Response-time model: the paper measures page accesses because the metric
+// "is highly correlated with both CPU time and response time".  This bench
+// quantifies the correlation: every benchmark query's page trace is
+// replayed against a model of a mid-1980s disk (RA81-class: ~28 ms average
+// seek, 3600 rpm, ~0.6 ms/KiB transfer; sequential next-page accesses skip
+// the seek).  The modeled times also expose what raw page counts hide —
+// that a sequential scan's pages are far cheaper than a probe's.
+
+#include "bench_util.h"
+
+using namespace tdb;
+using namespace tdb::bench;
+
+int main() {
+  constexpr int kUc = 8;
+  WorkloadConfig config;
+  config.type = DbType::kTemporal;
+  config.fillfactor = 100;
+  auto bench = CheckOk(BenchmarkDb::Create(config), "create");
+  for (int round = 0; round < kUc; ++round) {
+    CheckOk(bench->UniformUpdateRound(), "update");
+  }
+
+  TablePrinter table({"query", "pages", "random", "sequential",
+                      "modeled time (s)", "ms/page"});
+  for (int q = 1; q <= 12; ++q) {
+    auto m = CheckOk(bench->RunQuery(q), "query");
+    uint64_t accesses = m.random_accesses + m.sequential_accesses;
+    double ms_per_page = accesses > 0 ? m.modeled_ms / double(accesses) : 0;
+    table.AddRow({StrPrintf("Q%02d", q), Cell(m.input_pages + m.output_pages),
+                  Cell(m.random_accesses), Cell(m.sequential_accesses),
+                  Cell(m.modeled_ms / 1000.0, 2), Cell(ms_per_page, 1)});
+  }
+  std::printf(
+      "Modeled device time per benchmark query (temporal, 100%%, uc=%d; "
+      "RA81-class disk)\n\n%s\n",
+      kUc, table.ToString().c_str());
+  std::printf(
+      "Sequential scans (Q03/Q07) run near the transfer rate while probe-\n"
+      "heavy plans (Q09/Q10) pay a seek per page — the asymmetry behind the\n"
+      "paper's note that its 20 CPU-hours of benchmarking were I/O bound.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Audit-trail example: the paper's motivation that conventional DBMSs
+// "cannot represent retroactive or postactive changes, while support for
+// error correction or audit trail necessitates costly maintenance of
+// backups, checkpoints, journals or transaction logs".
+//
+// A temporal relation gives all of that for free: this example records
+// account balances, makes a RETROACTIVE correction (we learn in March that
+// a February deposit was mis-entered), and then answers:
+//   1. what is the balance history as we know it today?
+//   2. what did the bank believe on any past day?  (regulatory audit)
+//   3. when did the bank learn of the correction?
+
+#include <cstdio>
+#include <string>
+
+#include "core/database.h"
+
+using tdb::Database;
+using tdb::DatabaseOptions;
+using tdb::TimePoint;
+using tdb::TimeResolution;
+
+namespace {
+
+void Show(Database* db, const std::string& title, const std::string& text) {
+  std::printf("--- %s ---\ntquel> %s\n", title.c_str(), text.c_str());
+  auto result = db->Execute(text);
+  if (!result.ok()) {
+    std::printf("  error: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n", result->result.ToString(TimeResolution::kDay).c_str());
+}
+
+void Must(Database* db, const std::string& text) {
+  auto result = db->Execute(text);
+  if (!result.ok()) {
+    std::fprintf(stderr, "'%s' failed: %s\n", text.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+}
+
+TimePoint Day(int year, int month, int day) {
+  return *TimePoint::FromCivil(year, month, day);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "/tmp/chronoquel_audit";
+  DatabaseOptions options;
+  options.start_time = Day(1984, 1, 2);
+  auto db = Database::Open(dir, options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  Database* d = db->get();
+
+  Must(d, "create persistent interval balance (acct = c8, cents = i4)");
+  Must(d, "range of b is balance");
+
+  // Jan 2: the account opens with $100.
+  Must(d, "append to balance (acct = \"A-17\", cents = 10000)");
+
+  // Feb 1: a deposit is recorded — but a typo makes it $250 not $2500.
+  d->SetNow(Day(1984, 2, 1));
+  Must(d, "replace b (cents = 10000 + 250) where b.acct = \"A-17\"");
+
+  // Mar 10: the error is found.  The correction is RETROACTIVE: the real
+  // balance has been $12500 since Feb 1.  The valid clause backdates the
+  // new version; transaction time records that we learned this on Mar 10.
+  d->SetNow(Day(1984, 3, 10));
+  Must(d,
+       "replace b (cents = 10000 + 2500) where b.acct = \"A-17\" "
+       "valid from \"2/1/84\" to \"forever\"");
+
+  d->SetNow(Day(1984, 4, 1));
+
+  Show(d, "balance history as known today (April 1)",
+       "retrieve (b.cents) where b.acct = \"A-17\"");
+
+  Show(d, "audit: what did the bank believe on Feb 15?",
+       "retrieve (b.cents) where b.acct = \"A-17\" "
+       "when b overlap \"2/15/84\" as of \"2/15/84\"");
+
+  Show(d, "audit: what does the bank NOW believe was true on Feb 15?",
+       "retrieve (b.cents) where b.acct = \"A-17\" "
+       "when b overlap \"2/15/84\"");
+
+  Show(d, "every version ever stored (the physical audit trail)",
+       "retrieve (b.cents, b.transaction_start, b.transaction_stop) "
+       "where b.acct = \"A-17\" as of \"beginning\" through \"forever\"");
+
+  std::printf(
+      "The Feb-15 answers differ (10250 then, 12500 now): the database\n"
+      "distinguishes what was *recorded* from what was *true* — no\n"
+      "journals, checkpoints, or log replay needed.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: open a database, create a temporal relation, record some
+// facts, and ask historical / rollback questions in TQuel.
+//
+//   ./quickstart [database-directory]   (defaults to a temp directory)
+
+#include <cstdio>
+#include <string>
+
+#include "core/database.h"
+
+using tdb::Database;
+using tdb::DatabaseOptions;
+using tdb::ExecResult;
+using tdb::TimeResolution;
+
+namespace {
+
+void Run(Database* db, const std::string& text) {
+  std::printf("tquel> %s\n", text.c_str());
+  auto result = db->Execute(text);
+  if (!result.ok()) {
+    std::printf("  error: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  if (!result->result.columns.empty()) {
+    std::printf("%s", result->result.ToString(TimeResolution::kDay).c_str());
+  } else if (!result->message.empty()) {
+    std::printf("  %s\n", result->message.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "/tmp/chronoquel_quickstart";
+
+  DatabaseOptions options;
+  options.start_time = *tdb::TimePoint::FromCivil(1980, 1, 1);
+  auto db = Database::Open(dir, options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  // `persistent` adds transaction time (rollback support); `interval` adds
+  // valid time (historical support).  Together: a temporal relation.
+  Run(db->get(), "create persistent interval emp (name = c12, sal = i4)");
+  Run(db->get(), "range of e is emp");
+
+  Run(db->get(), "append to emp (name = \"merrie\", sal = 25000)");
+  (*db)->AdvanceSeconds(86400 * 90);  // three months pass
+  Run(db->get(), "append to emp (name = \"tom\", sal = 23000)");
+  (*db)->AdvanceSeconds(86400 * 90);
+
+  tdb::TimePoint before_raise = (*db)->now();
+  Run(db->get(), "replace e (sal = 27000) where e.name = \"merrie\"");
+  (*db)->AdvanceSeconds(86400 * 30);
+
+  std::printf("--- current state (valid now, known now) ---\n");
+  Run(db->get(), "retrieve (e.name, e.sal) when e overlap \"now\"");
+
+  std::printf("--- full salary history of merrie (as known now) ---\n");
+  Run(db->get(), "retrieve (e.sal) where e.name = \"merrie\"");
+
+  std::printf("--- rollback: what did the database say before the raise? ---\n");
+  Run(db->get(), "retrieve (e.name, e.sal) when e overlap \"" +
+                     before_raise.ToString() + "\" as of \"" +
+                     before_raise.ToString() + "\"");
+
+  std::printf("--- aggregates over the current state ---\n");
+  Run(db->get(), "retrieve (headcount = count(e.name), payroll = sum(e.sal))");
+
+  std::printf("--- reorganize for keyed access, then probe ---\n");
+  Run(db->get(), "modify emp to hash on name where fillfactor = 100");
+  Run(db->get(),
+      "retrieve (e.sal) where e.name = \"tom\" when e overlap \"now\"");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds everything, runs the test suite, regenerates every paper figure,
+# and runs the examples.  Mirrors what CI does.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "=== paper figures and ablations ==="
+for b in build/bench/fig* build/bench/nonuniform_updates \
+         build/bench/ablation_* build/bench/response_time_model; do
+  echo "----- $(basename "$b") -----"
+  "$b"
+done
+
+echo "=== microbenchmarks (short) ==="
+for b in build/bench/micro_*; do
+  "$b" --benchmark_min_time=0.05s || "$b" --benchmark_min_time=0.05
+done
+
+echo "=== examples ==="
+for e in quickstart audit_trail trend_analysis version_mgmt; do
+  rm -rf "/tmp/chronoquel_ci_$e"
+  "build/examples/$e" "/tmp/chronoquel_ci_$e" > /dev/null
+  echo "$e OK"
+done
+echo "all green"

@@ -1,0 +1,154 @@
+#include "core/database.h"
+
+#include "exec/ddl_executor.h"
+#include "exec/dml_executor.h"
+#include "exec/exec_env.h"
+#include "exec/query_executor.h"
+#include "tquel/binder.h"
+#include "tquel/parser.h"
+#include "util/stringx.h"
+
+namespace tdb {
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
+                                                 DatabaseOptions options) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  TDB_RETURN_NOT_OK(env->CreateDirIfMissing(dir));
+  std::unique_ptr<Database> db(new Database(env, dir, options));
+  TDB_RETURN_NOT_OK(db->catalog_.Load());
+  db->RestoreClock();
+  return db;
+}
+
+void Database::PersistClock() const {
+  (void)env_->WriteStringToFile(ClockPath(),
+                                StrPrintf("%d", now_.seconds()));
+}
+
+void Database::RestoreClock() {
+  if (!env_->FileExists(ClockPath())) return;
+  auto text = env_->ReadFileToString(ClockPath());
+  if (!text.ok()) return;
+  int64_t secs = 0;
+  if (ParseInt64(Trim(*text), &secs)) {
+    TimePoint persisted(static_cast<int32_t>(secs));
+    // Resume strictly after the last recorded transaction instant.
+    if (persisted >= now_) now_ = persisted.AddSeconds(1);
+  }
+}
+
+Result<Relation*> Database::GetRelation(const std::string& name) {
+  ExecEnv exec{env_, dir_, &catalog_, &registry_, &relations_, now_,
+               options_.buffer_frames};
+  return exec.GetRelation(name);
+}
+
+Result<ExecResult> Database::Execute(const std::string& text) {
+  TDB_ASSIGN_OR_RETURN(auto stmts, Parser::ParseScript(text));
+  if (stmts.empty()) return Status::ParseError("empty statement");
+
+  ExecResult last;
+  for (auto& stmt : stmts) {
+    ExecEnv exec{env_, dir_, &catalog_, &registry_, &relations_, now_,
+               options_.buffer_frames};
+    Binder binder(&catalog_, &ranges_);
+    bool mutating = false;
+    switch (stmt->kind) {
+      case Statement::Kind::kRange: {
+        auto* range = static_cast<RangeStmt*>(stmt.get());
+        if (catalog_.Find(range->relation) == nullptr) {
+          return Status::BindError("relation '" + range->relation +
+                                   "' does not exist");
+        }
+        ranges_[ToLower(range->var)] = range->relation;
+        last = ExecResult{};
+        last.message = "range of " + range->var + " is " + range->relation;
+        break;
+      }
+      case Statement::Kind::kRetrieve: {
+        auto* retrieve = static_cast<RetrieveStmt*>(stmt.get());
+        TDB_ASSIGN_OR_RETURN(BoundStatement bound,
+                             binder.BindRetrieve(retrieve));
+        QueryExecutor qexec(exec);
+        TDB_ASSIGN_OR_RETURN(last, qexec.Retrieve(retrieve, bound));
+        break;
+      }
+      case Statement::Kind::kAppend: {
+        auto* append = static_cast<AppendStmt*>(stmt.get());
+        TDB_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindAppend(append));
+        DmlExecutor dml(exec);
+        TDB_ASSIGN_OR_RETURN(last, dml.Append(append, bound));
+        mutating = true;
+        break;
+      }
+      case Statement::Kind::kDelete: {
+        auto* del = static_cast<DeleteStmt*>(stmt.get());
+        TDB_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindDelete(del));
+        DmlExecutor dml(exec);
+        TDB_ASSIGN_OR_RETURN(last, dml.Delete(del, bound));
+        mutating = true;
+        break;
+      }
+      case Statement::Kind::kReplace: {
+        auto* replace = static_cast<ReplaceStmt*>(stmt.get());
+        TDB_ASSIGN_OR_RETURN(BoundStatement bound,
+                             binder.BindReplace(replace));
+        DmlExecutor dml(exec);
+        TDB_ASSIGN_OR_RETURN(last, dml.Replace(replace, bound));
+        mutating = true;
+        break;
+      }
+      case Statement::Kind::kCreate: {
+        DdlExecutor ddl(exec);
+        TDB_ASSIGN_OR_RETURN(last,
+                             ddl.Create(*static_cast<CreateStmt*>(stmt.get())));
+        break;
+      }
+      case Statement::Kind::kDestroy: {
+        DdlExecutor ddl(exec);
+        TDB_ASSIGN_OR_RETURN(
+            last, ddl.Destroy(*static_cast<DestroyStmt*>(stmt.get())));
+        break;
+      }
+      case Statement::Kind::kModify: {
+        DdlExecutor ddl(exec);
+        TDB_ASSIGN_OR_RETURN(last,
+                             ddl.Modify(*static_cast<ModifyStmt*>(stmt.get())));
+        break;
+      }
+      case Statement::Kind::kIndex: {
+        DdlExecutor ddl(exec);
+        TDB_ASSIGN_OR_RETURN(last,
+                             ddl.Index(*static_cast<IndexStmt*>(stmt.get())));
+        break;
+      }
+      case Statement::Kind::kHelp: {
+        DdlExecutor ddl(exec);
+        TDB_ASSIGN_OR_RETURN(last,
+                             ddl.Help(*static_cast<HelpStmt*>(stmt.get())));
+        break;
+      }
+      case Statement::Kind::kCopy: {
+        auto* copy = static_cast<CopyStmt*>(stmt.get());
+        DdlExecutor ddl(exec);
+        TDB_ASSIGN_OR_RETURN(last, ddl.Copy(*copy));
+        mutating = copy->from;
+        break;
+      }
+    }
+    if (mutating) {
+      PersistClock();
+      if (options_.auto_advance_seconds > 0) {
+        AdvanceSeconds(options_.auto_advance_seconds);
+      }
+    }
+  }
+  return last;
+}
+
+Result<ResultSet> Database::Query(const std::string& text) {
+  TDB_ASSIGN_OR_RETURN(ExecResult r, Execute(text));
+  return r.result;
+}
+
+}  // namespace tdb

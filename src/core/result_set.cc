@@ -1,0 +1,40 @@
+#include "core/result_set.h"
+
+#include <algorithm>
+
+namespace tdb {
+
+std::string ResultSet::ToString(TimeResolution res) const {
+  std::vector<std::vector<std::string>> cells;
+  cells.emplace_back(columns);
+  for (const Row& row : rows) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (const Value& v : row) line.push_back(v.ToString(res));
+    cells.push_back(std::move(line));
+  }
+  std::vector<size_t> widths(columns.size(), 0);
+  for (const auto& line : cells) {
+    for (size_t i = 0; i < line.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], line[i].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < cells.size(); ++r) {
+    std::string line = "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      std::string cell = i < cells[r].size() ? cells[r][i] : "";
+      cell.resize(widths[i], ' ');
+      line += cell + "|";
+    }
+    out += line + "\n";
+    if (r == 0) {
+      std::string rule = "|";
+      for (size_t w : widths) rule += std::string(w, '-') + "|";
+      out += rule + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace tdb

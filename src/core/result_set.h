@@ -1,0 +1,33 @@
+#ifndef CHRONOQUEL_CORE_RESULT_SET_H_
+#define CHRONOQUEL_CORE_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+
+namespace tdb {
+
+/// Rows returned by a retrieve statement.  Historical / temporal results
+/// carry the computed valid interval as trailing valid_from / valid_to
+/// columns.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  size_t num_rows() const { return rows.size(); }
+
+  /// Renders an aligned table; times formatted at `res`.
+  std::string ToString(TimeResolution res = TimeResolution::kSecond) const;
+};
+
+/// Outcome of executing one statement.
+struct ExecResult {
+  ResultSet result;      // retrieve only
+  int64_t affected = 0;  // rows appended / deleted / replaced / copied
+  std::string message;   // human-oriented note ("created relation r", ...)
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_CORE_RESULT_SET_H_

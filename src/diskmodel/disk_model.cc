@@ -1,0 +1,27 @@
+#include "diskmodel/disk_model.h"
+
+namespace tdb {
+
+DiskEstimate DiskModel::Estimate(const std::vector<IoEvent>& events) const {
+  DiskEstimate estimate;
+  bool have_prev = false;
+  IoEvent prev;
+  for (const IoEvent& e : events) {
+    bool sequential = have_prev && e.file_id == prev.file_id &&
+                      e.page == prev.page + 1;
+    if (sequential) {
+      ++estimate.sequential_accesses;
+      estimate.total_ms += params_.sequential_ms_per_page;
+    } else {
+      ++estimate.random_accesses;
+      estimate.total_ms += params_.average_seek_ms +
+                           params_.rotation_ms / 2 +
+                           params_.transfer_ms_per_page;
+    }
+    prev = e;
+    have_prev = true;
+  }
+  return estimate;
+}
+
+}  // namespace tdb

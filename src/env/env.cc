@@ -1,0 +1,263 @@
+#include "env/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/stringx.h"
+
+namespace tdb {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " '" + path + "': " + std::strerror(errno));
+}
+
+/// Positioned-I/O file over a POSIX descriptor.
+class PosixFile : public RandomRWFile {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, uint8_t* buf) const override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pread(fd_, buf + done, n - done,
+                          static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pread", path_);
+      }
+      if (r == 0) {
+        return Status::IOError("short read past EOF in '" + path_ + "'");
+      }
+      done += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const uint8_t* data, size_t n) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pwrite(fd_, data + done, n - done,
+                           static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pwrite", path_);
+      }
+      done += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return ErrnoStatus("fstat", path_);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("ftruncate", path_);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<RandomRWFile>> OpenOrCreate(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) return ErrnoStatus("open", path);
+    return std::unique_ptr<RandomRWFile>(new PosixFile(fd, path));
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", path);
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* d = ::opendir(path.c_str());
+    if (d == nullptr) return ErrnoStatus("opendir", path);
+    std::vector<std::string> names;
+    while (struct dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name != "." && name != "..") names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    TDB_ASSIGN_OR_RETURN(auto file, OpenOrCreate(path));
+    TDB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+    std::string out(size, '\0');
+    if (size > 0) {
+      TDB_RETURN_NOT_OK(
+          file->Read(0, size, reinterpret_cast<uint8_t*>(out.data())));
+    }
+    return out;
+  }
+
+  Status WriteStringToFile(const std::string& path,
+                           const std::string& data) override {
+    TDB_ASSIGN_OR_RETURN(auto file, OpenOrCreate(path));
+    TDB_RETURN_NOT_OK(file->Truncate(0));
+    TDB_RETURN_NOT_OK(file->Write(
+        0, reinterpret_cast<const uint8_t*>(data.data()), data.size()));
+    return file->Sync();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+/// In-memory file: a shared byte vector guarded by the owning env's mutex.
+class MemFile : public RandomRWFile {
+ public:
+  MemFile(MemEnv* env, std::shared_ptr<std::vector<uint8_t>> data)
+      : env_(env), data_(std::move(data)) {}
+
+  Status Read(uint64_t offset, size_t n, uint8_t* buf) const override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (offset + n > data_->size()) {
+      return Status::IOError("read past EOF in memory file");
+    }
+    std::memcpy(buf, data_->data() + offset, n);
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const uint8_t* data, size_t n) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (offset + n > data_->size()) data_->resize(offset + n, 0);
+    std::memcpy(data_->data() + offset, data, n);
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    return static_cast<uint64_t>(data_->size());
+  }
+
+  Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    data_->resize(size, 0);
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  MemEnv* env_;
+  std::shared_ptr<std::vector<uint8_t>> data_;
+};
+
+Result<std::unique_ptr<RandomRWFile>> MemEnv::OpenOrCreate(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    it = files_.emplace(path, std::make_shared<std::vector<uint8_t>>()).first;
+  }
+  return std::unique_ptr<RandomRWFile>(new MemFile(this, it->second));
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Status MemEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("no memory file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status::NotFound("no memory file '" + from + "'");
+  }
+  files_[to] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemEnv::CreateDirIfMissing(const std::string&) { return Status::OK(); }
+
+Result<std::vector<std::string>> MemEnv::ListDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string prefix = path;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<std::string> names;
+  for (const auto& [name, _] : files_) {
+    if (StartsWith(name, prefix)) {
+      std::string rest = name.substr(prefix.size());
+      if (rest.find('/') == std::string::npos) names.push_back(rest);
+    }
+  }
+  return names;
+}
+
+Result<std::string> MemEnv::ReadFileToString(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no memory file '" + path + "'");
+  }
+  return std::string(it->second->begin(), it->second->end());
+}
+
+Status MemEnv::WriteStringToFile(const std::string& path,
+                                 const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] = std::make_shared<std::vector<uint8_t>>(data.begin(),
+                                                        data.end());
+  return Status::OK();
+}
+
+}  // namespace tdb

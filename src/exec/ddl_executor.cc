@@ -1,0 +1,530 @@
+#include "exec/ddl_executor.h"
+
+#include <algorithm>
+
+#include "exec/version.h"
+#include "storage/btree_file.h"
+#include "storage/page.h"
+#include "exec/version_source.h"
+#include "util/stringx.h"
+
+namespace tdb {
+
+Result<Attribute> ParseAttrType(const std::string& name,
+                                const std::string& type_name) {
+  Attribute a;
+  a.name = name;
+  std::string t = ToLower(type_name);
+  if (t == "i1") {
+    a.type = TypeId::kInt1;
+  } else if (t == "i2") {
+    a.type = TypeId::kInt2;
+  } else if (t == "i4") {
+    a.type = TypeId::kInt4;
+  } else if (t == "f8" || t == "f4") {
+    a.type = TypeId::kFloat8;  // f4 stored at double precision
+  } else if (t.size() > 1 && t[0] == 'c') {
+    int64_t w = 0;
+    if (!ParseInt64(t.substr(1), &w) || w < 1 || w > 255) {
+      return Status::Invalid("bad char width in type '" + type_name + "'");
+    }
+    a.type = TypeId::kChar;
+    a.width = static_cast<uint16_t>(w);
+    return a;
+  } else {
+    return Status::Invalid("unknown type '" + type_name +
+                           "' (use i1, i2, i4, f8, or c<N>)");
+  }
+  a.width = TypeWidth(a.type);
+  return a;
+}
+
+Result<ExecResult> DdlExecutor::Create(const CreateStmt& stmt) {
+  DbType type;
+  if (stmt.persistent && stmt.has_valid_time) {
+    type = DbType::kTemporal;
+  } else if (stmt.persistent) {
+    type = DbType::kRollback;
+  } else if (stmt.has_valid_time) {
+    type = DbType::kHistorical;
+  } else {
+    type = DbType::kStatic;
+  }
+  std::vector<Attribute> attrs;
+  for (const CreateStmt::AttrDef& def : stmt.attrs) {
+    TDB_ASSIGN_OR_RETURN(Attribute a, ParseAttrType(def.name, def.type_name));
+    attrs.push_back(std::move(a));
+  }
+  TDB_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Create(std::move(attrs), type,
+                     stmt.event ? EntityKind::kEvent : EntityKind::kInterval));
+  // Records must fit a page under every organization, with headroom for
+  // the largest page header (B-tree leaf, 16 bytes) and the two-level
+  // history store's 8-byte back pointer.
+  constexpr uint32_t kMaxRecordSize = kPageSize - 16 - 8;
+  if (schema.record_size() > kMaxRecordSize) {
+    return Status::Invalid(StrPrintf(
+        "record size %u exceeds the maximum of %u bytes",
+        schema.record_size(), kMaxRecordSize));
+  }
+  RelationMeta meta;
+  meta.name = stmt.relation;
+  meta.schema = std::move(schema);
+  meta.org = Organization::kHeap;
+  TDB_RETURN_NOT_OK(env_.catalog->Create(meta));
+  ExecResult out;
+  out.message = StrPrintf("created %s relation %s", DbTypeName(type),
+                          stmt.relation.c_str());
+  return out;
+}
+
+void DdlExecutor::DeleteFiles(const RelationMeta& meta, bool indexes_too) {
+  (void)env_.env->DeleteFile(env_.dir + "/" + meta.DataFileName());
+  (void)env_.env->DeleteFile(env_.dir + "/" + meta.HistoryFileName());
+  (void)env_.env->DeleteFile(env_.dir + "/" + meta.name + ".anc");
+  if (indexes_too) {
+    for (const IndexMeta& idx : meta.indexes) {
+      (void)env_.env->DeleteFile(env_.dir + "/" + idx.CurrentFileName());
+      (void)env_.env->DeleteFile(env_.dir + "/" + idx.HistoryFileName());
+    }
+  }
+}
+
+Result<ExecResult> DdlExecutor::Destroy(const DestroyStmt& stmt) {
+  const RelationMeta* meta = env_.catalog->Find(stmt.relation);
+  if (meta == nullptr) {
+    return Status::NotFound("relation '" + stmt.relation + "' does not exist");
+  }
+  env_.CloseRelation(stmt.relation);
+  DeleteFiles(*meta, /*indexes_too=*/true);
+  TDB_RETURN_NOT_OK(env_.catalog->Drop(stmt.relation));
+  ExecResult out;
+  out.message = "destroyed relation " + stmt.relation;
+  return out;
+}
+
+namespace {
+
+struct StoredVersion {
+  std::vector<uint8_t> rec;
+  bool is_current = false;
+};
+
+/// Dumps every version of a relation (history first, so chain rebuilds see
+/// the oldest versions first).
+Result<std::vector<StoredVersion>> CollectAll(Relation* rel) {
+  const Schema& schema = rel->schema();
+  std::vector<StoredVersion> history;
+  std::vector<StoredVersion> primary;
+  AccessSpec spec;
+  spec.kind = AccessSpec::Kind::kScan;
+  TDB_ASSIGN_OR_RETURN(auto src, VersionSource::Create(rel, spec));
+  while (true) {
+    TDB_ASSIGN_OR_RETURN(bool have, src->Next());
+    if (!have) break;
+    StoredVersion v;
+    TDB_ASSIGN_OR_RETURN(v.rec, EncodeRecord(schema, src->ref().row));
+    v.is_current = src->ref().IsCurrent(schema);
+    (src->ref().in_history ? history : primary).push_back(std::move(v));
+  }
+  history.insert(history.end(), std::make_move_iterator(primary.begin()),
+                 std::make_move_iterator(primary.end()));
+  return history;
+}
+
+}  // namespace
+
+Status DdlExecutor::RebuildIndexes(const std::string& name) {
+  TDB_ASSIGN_OR_RETURN(Relation * rel, env_.GetRelation(name));
+  if (rel->indexes().empty()) return Status::OK();
+  const Schema& schema = rel->schema();
+  AccessSpec spec;
+  spec.kind = AccessSpec::Kind::kScan;
+  TDB_ASSIGN_OR_RETURN(auto src, VersionSource::Create(rel, spec));
+  while (true) {
+    TDB_ASSIGN_OR_RETURN(bool have, src->Next());
+    if (!have) break;
+    TDB_ASSIGN_OR_RETURN(auto rec, EncodeRecord(schema, src->ref().row));
+    if (src->ref().IsCurrent(schema)) {
+      TDB_RETURN_NOT_OK(rel->IndexInsertCurrent(rec, src->ref().tid,
+                                                src->ref().in_history));
+    } else {
+      TDB_RETURN_NOT_OK(rel->IndexInsertHistory(rec, src->ref().tid,
+                                                src->ref().in_history));
+    }
+  }
+  return Status::OK();
+}
+
+Result<ExecResult> DdlExecutor::Modify(const ModifyStmt& stmt) {
+  RelationMeta* existing = env_.catalog->Find(stmt.relation);
+  if (existing == nullptr) {
+    return Status::NotFound("relation '" + stmt.relation + "' does not exist");
+  }
+  RelationMeta meta = *existing;  // copy to mutate
+  const Schema& schema = meta.schema;
+
+  Organization org;
+  if (stmt.organization == "heap") {
+    org = Organization::kHeap;
+  } else if (stmt.organization == "hash") {
+    org = Organization::kHash;
+  } else if (stmt.organization == "btree") {
+    org = Organization::kBtree;
+  } else {
+    org = Organization::kIsam;
+  }
+  if (stmt.two_level && org == Organization::kHeap) {
+    return Status::Invalid("a two-level store needs a keyed (hash, isam, "
+                           "or btree) primary organization");
+  }
+  std::string key_attr = stmt.key_attr.empty() ? meta.key_attr : stmt.key_attr;
+  if (org != Organization::kHeap) {
+    if (key_attr.empty()) {
+      return Status::Invalid(
+          "modify to hash/isam/btree needs `on <attribute>`");
+    }
+    if (schema.FindAttr(key_attr) < 0) {
+      return Status::Invalid("relation has no attribute '" + key_attr + "'");
+    }
+  }
+  if (stmt.two_level && !HasTransactionTime(schema.db_type()) &&
+      !HasValidTime(schema.db_type())) {
+    return Status::Invalid("a static relation has no history to two-level");
+  }
+  if (org == Organization::kBtree && !meta.indexes.empty()) {
+    return Status::NotSupported(
+        "secondary indexes cannot be kept consistent across B-tree leaf "
+        "splits; drop the indexes before `modify ... to btree`");
+  }
+
+  // 1. Collect every stored version.
+  TDB_ASSIGN_OR_RETURN(Relation * old_rel, env_.GetRelation(stmt.relation));
+  TDB_ASSIGN_OR_RETURN(auto versions, CollectAll(old_rel));
+  size_t current_count = 0;
+  for (const StoredVersion& v : versions) {
+    if (v.is_current) ++current_count;
+  }
+
+  // 2. Drop the old physical files (indexes are rebuilt below).
+  env_.CloseRelation(stmt.relation);
+  DeleteFiles(meta, /*indexes_too=*/true);
+
+  // 3. New metadata.
+  meta.org = org;
+  meta.key_attr = org == Organization::kHeap ? meta.key_attr : key_attr;
+  meta.fillfactor = stmt.fillfactor;
+  meta.two_level = stmt.two_level;
+  meta.clustered_history = stmt.clustered_history;
+  TDB_ASSIGN_OR_RETURN(RecordLayout layout, LayoutFor(schema, key_attr));
+
+  size_t primary_count = stmt.two_level ? current_count : versions.size();
+  if (org == Organization::kHash) {
+    meta.hash_buckets = HashFile::BucketsFor(
+        std::max<uint64_t>(primary_count, 1), schema.record_size(),
+        stmt.fillfactor);
+  }
+  if (stmt.two_level) {
+    // Anchor file: one (key, head-tid) entry per tuple.
+    uint16_t anchor_rec = static_cast<uint16_t>(layout.key_width + 8);
+    meta.history_buckets = HashFile::BucketsFor(
+        std::max<uint64_t>(current_count, 1), anchor_rec, 100);
+  }
+
+  // 4. Build the new primary file.
+  std::string data_path = env_.dir + "/" + meta.DataFileName();
+  auto primary_records = [&]() {
+    std::vector<std::vector<uint8_t>> recs;
+    for (const StoredVersion& v : versions) {
+      if (!stmt.two_level || v.is_current) recs.push_back(v.rec);
+    }
+    return recs;
+  };
+  switch (org) {
+    case Organization::kHeap: {
+      TDB_ASSIGN_OR_RETURN(
+          auto pager,
+          Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name)));
+      TDB_RETURN_NOT_OK(pager->Reset());
+      TDB_ASSIGN_OR_RETURN(auto heap, HeapFile::Open(std::move(pager), layout));
+      for (const auto& rec : primary_records()) {
+        TDB_RETURN_NOT_OK(heap->Insert(rec.data(), rec.size(), nullptr));
+      }
+      TDB_RETURN_NOT_OK(heap->pager()->Flush());
+      break;
+    }
+    case Organization::kHash: {
+      TDB_ASSIGN_OR_RETURN(
+          auto pager,
+          Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name)));
+      TDB_ASSIGN_OR_RETURN(
+          auto hash,
+          HashFile::Create(std::move(pager), layout, meta.hash_buckets));
+      for (const auto& rec : primary_records()) {
+        TDB_RETURN_NOT_OK(hash->Insert(rec.data(), rec.size(), nullptr));
+      }
+      TDB_RETURN_NOT_OK(hash->pager()->Flush());
+      break;
+    }
+    case Organization::kIsam: {
+      TDB_ASSIGN_OR_RETURN(
+          auto pager,
+          Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name)));
+      TDB_ASSIGN_OR_RETURN(
+          auto isam,
+          IsamFile::BulkLoad(std::move(pager), layout, primary_records(),
+                             stmt.fillfactor, &meta.isam));
+      TDB_RETURN_NOT_OK(isam->pager()->Flush());
+      break;
+    }
+    case Organization::kBtree: {
+      // B-trees build incrementally; the fill factor does not apply.
+      TDB_ASSIGN_OR_RETURN(
+          auto pager,
+          Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name)));
+      TDB_ASSIGN_OR_RETURN(auto btree,
+                           BtreeFile::Create(std::move(pager), layout));
+      for (const auto& rec : primary_records()) {
+        TDB_RETURN_NOT_OK(btree->Insert(rec.data(), rec.size(), nullptr));
+      }
+      TDB_RETURN_NOT_OK(btree->pager()->Flush());
+      break;
+    }
+  }
+
+  TDB_RETURN_NOT_OK(env_.catalog->Update(meta));
+
+  // 5. Two-level: feed history versions through the relation so chains and
+  // anchors are built (oldest first, as CollectAll returns them).
+  TDB_ASSIGN_OR_RETURN(Relation * rel, env_.GetRelation(stmt.relation));
+  if (stmt.two_level) {
+    for (const StoredVersion& v : versions) {
+      if (v.is_current) continue;
+      TDB_RETURN_NOT_OK(rel->AppendHistory(v.rec, nullptr));
+    }
+    TDB_RETURN_NOT_OK(rel->history()->pager()->Flush());
+    TDB_RETURN_NOT_OK(rel->anchors()->pager()->Flush());
+  }
+
+  // 6. Rebuild secondary indexes over the new locations.
+  TDB_RETURN_NOT_OK(RebuildIndexes(stmt.relation));
+
+  ExecResult out;
+  out.message = StrPrintf(
+      "modified %s to %s%s (fillfactor %d, %zu versions)",
+      stmt.relation.c_str(), stmt.two_level ? "twolevel " : "",
+      stmt.organization.c_str(), stmt.fillfactor, versions.size());
+  return out;
+}
+
+Result<ExecResult> DdlExecutor::Index(const IndexStmt& stmt) {
+  RelationMeta* existing = env_.catalog->Find(stmt.relation);
+  if (existing == nullptr) {
+    return Status::NotFound("relation '" + stmt.relation + "' does not exist");
+  }
+  RelationMeta meta = *existing;
+  int attr_idx = meta.schema.FindAttr(stmt.attr);
+  if (attr_idx < 0 ||
+      static_cast<size_t>(attr_idx) >= meta.schema.num_user_attrs()) {
+    return Status::Invalid("relation has no user attribute '" + stmt.attr +
+                           "'");
+  }
+  if (meta.FindIndex(stmt.attr) != nullptr) {
+    return Status::AlreadyExists("attribute '" + stmt.attr +
+                                 "' is already indexed");
+  }
+  if (meta.org == Organization::kBtree) {
+    return Status::NotSupported(
+        "secondary indexes are not supported on btree relations (leaf "
+        "splits move records, which would stale index entries)");
+  }
+
+  // Size hash buckets at roughly one bucket per distinct value, assuming
+  // the indexed attribute is near-unique (the paper's amount attribute).
+  TDB_ASSIGN_OR_RETURN(Relation * rel, env_.GetRelation(stmt.relation));
+  size_t current_count = 0;
+  {
+    AccessSpec spec;
+    spec.kind = AccessSpec::Kind::kScan;
+    spec.current_only = true;
+    TDB_ASSIGN_OR_RETURN(auto src, VersionSource::Create(rel, spec));
+    while (true) {
+      TDB_ASSIGN_OR_RETURN(bool have, src->Next());
+      if (!have) break;
+      if (src->ref().IsCurrent(rel->schema())) ++current_count;
+    }
+  }
+
+  IndexMeta idx;
+  idx.name = stmt.index_name;
+  idx.attr = meta.schema.attr(static_cast<size_t>(attr_idx)).name;
+  idx.org = stmt.structure == "hash" ? Organization::kHash
+                                     : Organization::kHeap;
+  idx.levels = stmt.levels;
+  if (idx.org == Organization::kHash) {
+    idx.nbuckets = static_cast<uint32_t>(std::max<size_t>(current_count, 16));
+    idx.history_nbuckets = idx.nbuckets;
+  }
+  meta.indexes.push_back(idx);
+  TDB_RETURN_NOT_OK(env_.catalog->Update(meta));
+  env_.CloseRelation(stmt.relation);
+  TDB_RETURN_NOT_OK(RebuildIndexes(stmt.relation));
+
+  ExecResult out;
+  out.message = StrPrintf("indexed %s.%s as %s (%s, %d-level)",
+                          stmt.relation.c_str(), stmt.attr.c_str(),
+                          stmt.index_name.c_str(), stmt.structure.c_str(),
+                          stmt.levels);
+  return out;
+}
+
+Result<ExecResult> DdlExecutor::Help(const HelpStmt& stmt) {
+  ExecResult out;
+  if (stmt.relation.empty()) {
+    out.result.columns = {"relation", "type", "kind", "organization",
+                          "attributes"};
+    for (const std::string& name : env_.catalog->RelationNames()) {
+      const RelationMeta* meta = env_.catalog->Find(name);
+      std::string org = OrganizationName(meta->org);
+      if (meta->two_level) org = "twolevel " + org;
+      out.result.rows.push_back(
+          {Value::Char(meta->name), Value::Char(DbTypeName(meta->schema.db_type())),
+           Value::Char(EntityKindName(meta->schema.entity_kind())),
+           Value::Char(org),
+           Value::Int4(static_cast<int64_t>(meta->schema.num_user_attrs()))});
+    }
+    out.affected = static_cast<int64_t>(out.result.rows.size());
+    return out;
+  }
+  const RelationMeta* meta = env_.catalog->Find(stmt.relation);
+  if (meta == nullptr) {
+    return Status::NotFound("relation '" + stmt.relation + "' does not exist");
+  }
+  out.result.columns = {"attribute", "type", "width", "implicit", "notes"};
+  for (size_t i = 0; i < meta->schema.num_attrs(); ++i) {
+    const Attribute& a = meta->schema.attr(i);
+    std::string type = TypeIdName(a.type);
+    if (a.type == TypeId::kChar) type = StrPrintf("c%u", a.width);
+    std::string notes;
+    if (EqualsIgnoreCase(a.name, meta->key_attr)) {
+      notes = std::string(OrganizationName(meta->org)) + " key";
+    } else if (meta->FindIndex(a.name) != nullptr) {
+      notes = "indexed";
+    }
+    out.result.rows.push_back({Value::Char(a.name), Value::Char(type),
+                               Value::Int4(a.width),
+                               Value::Char(a.implicit ? "yes" : ""),
+                               Value::Char(notes)});
+  }
+  out.affected = static_cast<int64_t>(out.result.rows.size());
+  return out;
+}
+
+Result<ExecResult> DdlExecutor::Copy(const CopyStmt& stmt) {
+  TDB_ASSIGN_OR_RETURN(Relation * rel, env_.GetRelation(stmt.relation));
+  const Schema& schema = rel->schema();
+  ExecResult out;
+
+  if (!stmt.from) {
+    // Dump every version, tab separated, times human readable.
+    std::string text;
+    AccessSpec spec;
+    spec.kind = AccessSpec::Kind::kScan;
+    TDB_ASSIGN_OR_RETURN(auto src, VersionSource::Create(rel, spec));
+    while (true) {
+      TDB_ASSIGN_OR_RETURN(bool have, src->Next());
+      if (!have) break;
+      std::string line;
+      for (size_t i = 0; i < schema.num_attrs(); ++i) {
+        if (i > 0) line += '\t';
+        line += src->ref().row[i].ToString(TimeResolution::kSecond);
+      }
+      text += line + "\n";
+      ++out.affected;
+    }
+    TDB_RETURN_NOT_OK(env_.env->WriteStringToFile(stmt.path, text));
+    out.message = StrPrintf("copied %lld tuples to %s",
+                            static_cast<long long>(out.affected),
+                            stmt.path.c_str());
+    return out;
+  }
+
+  // Batch load.  Each line supplies either the user attributes (implicit
+  // times defaulted) or every attribute including the temporal ones.
+  TDB_ASSIGN_OR_RETURN(std::string text, env_.env->ReadFileToString(stmt.path));
+  for (const std::string& raw : Split(text, '\n')) {
+    if (Trim(raw).empty()) continue;
+    std::vector<std::string> fields = Split(raw, '\t');
+    if (fields.size() != schema.num_user_attrs() &&
+        fields.size() != schema.num_attrs()) {
+      return Status::Invalid(StrPrintf(
+          "copy line has %zu fields; expected %zu (user) or %zu (all)",
+          fields.size(), schema.num_user_attrs(), schema.num_attrs()));
+    }
+    Row row(schema.num_attrs());
+    for (size_t i = 0; i < schema.num_attrs(); ++i) {
+      const Attribute& a = schema.attr(i);
+      if (i >= fields.size()) {
+        // Default implicit attributes: valid/transaction from now to forever.
+        bool is_stop = static_cast<int>(i) == schema.tx_stop_index() ||
+                       (static_cast<int>(i) == schema.valid_to_index() &&
+                        schema.entity_kind() == EntityKind::kInterval);
+        row[i] = Value::Time(is_stop ? TimePoint::Forever() : env_.now);
+        continue;
+      }
+      const std::string& f = fields[i];
+      switch (a.type) {
+        case TypeId::kInt1:
+        case TypeId::kInt2:
+        case TypeId::kInt4: {
+          int64_t v = 0;
+          if (!ParseInt64(f, &v)) {
+            return Status::Invalid("bad integer '" + f + "' in copy input");
+          }
+          row[i] = Value::Int4(v);
+          break;
+        }
+        case TypeId::kFloat8: {
+          double v = 0;
+          if (!ParseDouble(f, &v)) {
+            return Status::Invalid("bad float '" + f + "' in copy input");
+          }
+          row[i] = Value::Float8(v);
+          break;
+        }
+        case TypeId::kChar:
+          row[i] = Value::Char(f);
+          break;
+        case TypeId::kTime: {
+          if (EqualsIgnoreCase(Trim(f), "now")) {
+            row[i] = Value::Time(env_.now);
+          } else {
+            TDB_ASSIGN_OR_RETURN(TimePoint tp, TimePoint::Parse(f));
+            row[i] = Value::Time(tp);
+          }
+          break;
+        }
+      }
+    }
+    TDB_ASSIGN_OR_RETURN(auto rec, EncodeRecord(schema, row));
+    Tid tid;
+    TDB_RETURN_NOT_OK(rel->InsertPrimary(rec, &tid));
+    VersionRef ref;
+    ref.row = row;
+    RefreshIntervals(schema, &ref);
+    if (ref.IsCurrent(schema)) {
+      TDB_RETURN_NOT_OK(rel->IndexInsertCurrent(rec, tid, false));
+    } else {
+      TDB_RETURN_NOT_OK(rel->IndexInsertHistory(rec, tid, false));
+    }
+    ++out.affected;
+  }
+  TDB_RETURN_NOT_OK(rel->primary()->pager()->Flush());
+  out.message = StrPrintf("copied %lld tuples from %s",
+                          static_cast<long long>(out.affected),
+                          stmt.path.c_str());
+  return out;
+}
+
+}  // namespace tdb

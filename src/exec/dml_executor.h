@@ -1,0 +1,75 @@
+#ifndef CHRONOQUEL_EXEC_DML_EXECUTOR_H_
+#define CHRONOQUEL_EXEC_DML_EXECUTOR_H_
+
+#include <vector>
+
+#include "core/result_set.h"
+#include "exec/eval.h"
+#include "exec/exec_env.h"
+#include "exec/planner.h"
+#include "tquel/ast.h"
+#include "tquel/binder.h"
+
+namespace tdb {
+
+/// Executes append / delete / replace with the per-type semantics of
+/// Section 4 of the paper:
+///
+///   static      append inserts; delete erases; replace overwrites.
+///   rollback    append inserts [Ts=now, Te=forever); delete stamps Te=now
+///               in place; replace = delete + insert.
+///   historical  like rollback with valid_from / valid_to (the `valid`
+///               clause can override the timestamps).
+///   temporal    delete stamps Te=now AND inserts a corrected version with
+///               Vt=now; replace additionally inserts the new version — two
+///               new versions per replace, the paper's 2x growth rate.
+///
+/// For two-level relations the same logical operations keep only current
+/// versions in the primary store: retired versions are appended to the
+/// history store and the new version overwrites the old one in place.
+class DmlExecutor {
+ public:
+  explicit DmlExecutor(const ExecEnv& env) : env_(env), eval_(env.now) {}
+
+  Result<ExecResult> Append(AppendStmt* stmt, const BoundStatement& bound);
+  Result<ExecResult> Delete(DeleteStmt* stmt, const BoundStatement& bound);
+  Result<ExecResult> Replace(ReplaceStmt* stmt, const BoundStatement& bound);
+
+ private:
+  /// A version qualified for mutation.
+  struct Victim {
+    Tid tid;
+    std::vector<uint8_t> rec;
+  };
+
+  /// Collects the current versions of `var` (index 0 in `bound`) matching
+  /// the statement's where / when clauses.
+  Result<std::vector<Victim>> CollectVictims(
+      Relation* rel, const Expr* where, const TemporalPred* when,
+      const std::vector<BoundVar>& vars);
+
+  /// The effective valid-from/to for new or stamped versions.
+  Result<Interval> EffectiveValid(const std::optional<ValidClause>& valid,
+                                  const Binding& binding);
+
+  /// Applies `targets` over `base` (user attrs only).
+  Result<Row> ApplyTargets(const Schema& schema, const Row& base,
+                           const std::vector<TargetItem>& targets,
+                           const Binding& binding);
+
+  /// delete semantics for one version; `erase_only` distinguishes delete
+  /// from the delete-phase of replace (identical behaviour, kept for
+  /// clarity).
+  Status RetireVersion(Relation* rel, const Victim& victim,
+                       const Interval& valid_override, bool has_valid);
+
+  /// Re-finds a victim whose Tid may be stale (B-tree splits move records).
+  Result<Victim> Relocate(Relation* rel, const Victim& victim);
+
+  ExecEnv env_;
+  Evaluator eval_;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_EXEC_DML_EXECUTOR_H_

@@ -1,0 +1,246 @@
+#include "exec/eval.h"
+
+#include "util/stringx.h"
+
+namespace tdb {
+
+namespace {
+
+bool Truthy(const Value& v) {
+  if (v.is_integer()) return v.AsInt() != 0;
+  if (v.type() == TypeId::kFloat8) return v.AsDouble() != 0;
+  return false;
+}
+
+Result<Value> Arith(ExprOp op, const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Status::Invalid("arithmetic requires numeric operands");
+  }
+  bool flt = a.type() == TypeId::kFloat8 || b.type() == TypeId::kFloat8;
+  if (flt) {
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    switch (op) {
+      case ExprOp::kAdd:
+        return Value::Float8(x + y);
+      case ExprOp::kSub:
+        return Value::Float8(x - y);
+      case ExprOp::kMul:
+        return Value::Float8(x * y);
+      case ExprOp::kDiv:
+        if (y == 0) return Status::Invalid("division by zero");
+        return Value::Float8(x / y);
+      case ExprOp::kMod:
+        return Status::Invalid("modulo requires integer operands");
+      default:
+        break;
+    }
+  } else {
+    int64_t x = a.AsInt();
+    int64_t y = b.AsInt();
+    switch (op) {
+      case ExprOp::kAdd:
+        return Value::Int4(x + y);
+      case ExprOp::kSub:
+        return Value::Int4(x - y);
+      case ExprOp::kMul:
+        return Value::Int4(x * y);
+      case ExprOp::kDiv:
+        if (y == 0) return Status::Invalid("division by zero");
+        return Value::Int4(x / y);
+      case ExprOp::kMod:
+        if (y == 0) return Status::Invalid("modulo by zero");
+        return Value::Int4(x % y);
+      default:
+        break;
+    }
+  }
+  return Status::Internal("non-arithmetic operator in Arith");
+}
+
+}  // namespace
+
+Result<Value> Evaluator::Eval(const Expr& expr, const Binding& binding) const {
+  switch (expr.kind) {
+    case Expr::Kind::kConstInt:
+      return Value::Int4(expr.int_val);
+    case Expr::Kind::kConstFloat:
+      return Value::Float8(expr.float_val);
+    case Expr::Kind::kConstString:
+      return Value::Char(expr.str_val);
+    case Expr::Kind::kColumn: {
+      if (expr.var_index < 0 ||
+          static_cast<size_t>(expr.var_index) >= binding.size() ||
+          binding[static_cast<size_t>(expr.var_index)] == nullptr) {
+        return Status::Internal("column '" + expr.var + "." + expr.attr +
+                                "' evaluated without a bound tuple");
+      }
+      const VersionRef* ref = binding[static_cast<size_t>(expr.var_index)];
+      return ref->row[static_cast<size_t>(expr.attr_index)];
+    }
+    case Expr::Kind::kUnary: {
+      TDB_ASSIGN_OR_RETURN(Value v, Eval(*expr.left, binding));
+      if (expr.op == ExprOp::kNot) return Value::Int4(Truthy(v) ? 0 : 1);
+      // unary minus
+      if (v.is_integer()) return Value::Int4(-v.AsInt());
+      if (v.type() == TypeId::kFloat8) return Value::Float8(-v.AsDouble());
+      return Status::Invalid("unary minus requires a numeric operand");
+    }
+    case Expr::Kind::kBinary: {
+      if (expr.op == ExprOp::kAnd || expr.op == ExprOp::kOr) {
+        TDB_ASSIGN_OR_RETURN(Value l, Eval(*expr.left, binding));
+        bool lv = Truthy(l);
+        if (expr.op == ExprOp::kAnd && !lv) return Value::Int4(0);
+        if (expr.op == ExprOp::kOr && lv) return Value::Int4(1);
+        TDB_ASSIGN_OR_RETURN(Value r, Eval(*expr.right, binding));
+        return Value::Int4(Truthy(r) ? 1 : 0);
+      }
+      TDB_ASSIGN_OR_RETURN(Value l, Eval(*expr.left, binding));
+      TDB_ASSIGN_OR_RETURN(Value r, Eval(*expr.right, binding));
+      switch (expr.op) {
+        case ExprOp::kEq:
+        case ExprOp::kNe:
+        case ExprOp::kLt:
+        case ExprOp::kLe:
+        case ExprOp::kGt:
+        case ExprOp::kGe: {
+          TDB_ASSIGN_OR_RETURN(int c, Value::Compare(l, r));
+          bool out = false;
+          switch (expr.op) {
+            case ExprOp::kEq:
+              out = c == 0;
+              break;
+            case ExprOp::kNe:
+              out = c != 0;
+              break;
+            case ExprOp::kLt:
+              out = c < 0;
+              break;
+            case ExprOp::kLe:
+              out = c <= 0;
+              break;
+            case ExprOp::kGt:
+              out = c > 0;
+              break;
+            default:
+              out = c >= 0;
+              break;
+          }
+          return Value::Int4(out ? 1 : 0);
+        }
+        default:
+          return Arith(expr.op, l, r);
+      }
+    }
+    case Expr::Kind::kAggregate: {
+      // `by` aggregates are pre-computed into a group map by the executor;
+      // evaluation keys it with the current row's group value.  (Plain
+      // aggregates are folded into constants and never reach here.)
+      if (expr.agg_groups != nullptr && expr.agg_by != nullptr) {
+        TDB_ASSIGN_OR_RETURN(Value by, Eval(*expr.agg_by, binding));
+        auto it = expr.agg_groups->find(by.ToString());
+        if (it != expr.agg_groups->end()) return it->second;
+        // Empty group: count/any are 0; others default to zero too.
+        return expr.agg == AggFunc::kAvg ? Value::Float8(0) : Value::Int4(0);
+      }
+      return Status::Internal(
+          "aggregate reached the evaluator (should be pre-computed)");
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<bool> Evaluator::EvalBool(const Expr& expr,
+                                 const Binding& binding) const {
+  TDB_ASSIGN_OR_RETURN(Value v, Eval(expr, binding));
+  return Truthy(v);
+}
+
+Result<Interval> Evaluator::EvalTemporal(const TemporalExpr& expr,
+                                         const Binding& binding) const {
+  switch (expr.kind) {
+    case TemporalExpr::Kind::kVar: {
+      if (expr.var_index < 0 ||
+          static_cast<size_t>(expr.var_index) >= binding.size() ||
+          binding[static_cast<size_t>(expr.var_index)] == nullptr) {
+        return Status::Internal("temporal variable '" + expr.var +
+                                "' evaluated without a bound tuple");
+      }
+      return binding[static_cast<size_t>(expr.var_index)]->valid;
+    }
+    case TemporalExpr::Kind::kConst:
+      return Interval::Event(expr.const_time);
+    case TemporalExpr::Kind::kNow:
+      return Interval::Event(now_);
+    case TemporalExpr::Kind::kStartOf: {
+      TDB_ASSIGN_OR_RETURN(Interval i, EvalTemporal(*expr.left, binding));
+      return Interval::Event(i.from);
+    }
+    case TemporalExpr::Kind::kEndOf: {
+      TDB_ASSIGN_OR_RETURN(Interval i, EvalTemporal(*expr.left, binding));
+      return Interval::Event(i.to);
+    }
+    case TemporalExpr::Kind::kOverlap: {
+      TDB_ASSIGN_OR_RETURN(Interval a, EvalTemporal(*expr.left, binding));
+      TDB_ASSIGN_OR_RETURN(Interval b, EvalTemporal(*expr.right, binding));
+      return Interval::Intersect(a, b);
+    }
+    case TemporalExpr::Kind::kExtend: {
+      TDB_ASSIGN_OR_RETURN(Interval a, EvalTemporal(*expr.left, binding));
+      TDB_ASSIGN_OR_RETURN(Interval b, EvalTemporal(*expr.right, binding));
+      return Interval::Span(a, b);
+    }
+  }
+  return Status::Internal("unreachable temporal expression kind");
+}
+
+Result<bool> Evaluator::EvalPred(const TemporalPred& pred,
+                                 const Binding& binding) const {
+  switch (pred.kind) {
+    case TemporalPred::Kind::kPrecede: {
+      TDB_ASSIGN_OR_RETURN(Interval a, EvalTemporal(*pred.lexpr, binding));
+      TDB_ASSIGN_OR_RETURN(Interval b, EvalTemporal(*pred.rexpr, binding));
+      return a.Precedes(b);
+    }
+    case TemporalPred::Kind::kOverlap: {
+      TDB_ASSIGN_OR_RETURN(Interval a, EvalTemporal(*pred.lexpr, binding));
+      TDB_ASSIGN_OR_RETURN(Interval b, EvalTemporal(*pred.rexpr, binding));
+      return a.Overlaps(b);
+    }
+    case TemporalPred::Kind::kEqual: {
+      TDB_ASSIGN_OR_RETURN(Interval a, EvalTemporal(*pred.lexpr, binding));
+      TDB_ASSIGN_OR_RETURN(Interval b, EvalTemporal(*pred.rexpr, binding));
+      return a == b;
+    }
+    case TemporalPred::Kind::kNonEmpty: {
+      // A bare `a overlap b` predicate uses the precise overlap test (the
+      // intersection of two half-open intervals that merely touch is not an
+      // overlap); any other bare interval expression tests non-emptiness.
+      const TemporalExpr& e = *pred.lexpr;
+      if (e.kind == TemporalExpr::Kind::kOverlap) {
+        TDB_ASSIGN_OR_RETURN(Interval a, EvalTemporal(*e.left, binding));
+        TDB_ASSIGN_OR_RETURN(Interval b, EvalTemporal(*e.right, binding));
+        return a.Overlaps(b);
+      }
+      TDB_ASSIGN_OR_RETURN(Interval i, EvalTemporal(e, binding));
+      return !i.empty();
+    }
+    case TemporalPred::Kind::kAnd: {
+      TDB_ASSIGN_OR_RETURN(bool l, EvalPred(*pred.left, binding));
+      if (!l) return false;
+      return EvalPred(*pred.right, binding);
+    }
+    case TemporalPred::Kind::kOr: {
+      TDB_ASSIGN_OR_RETURN(bool l, EvalPred(*pred.left, binding));
+      if (l) return true;
+      return EvalPred(*pred.right, binding);
+    }
+    case TemporalPred::Kind::kNot: {
+      TDB_ASSIGN_OR_RETURN(bool l, EvalPred(*pred.left, binding));
+      return !l;
+    }
+  }
+  return Status::Internal("unreachable temporal predicate kind");
+}
+
+}  // namespace tdb

@@ -1,0 +1,44 @@
+#ifndef CHRONOQUEL_EXEC_EVAL_H_
+#define CHRONOQUEL_EXEC_EVAL_H_
+
+#include <vector>
+
+#include "exec/version.h"
+#include "tquel/ast.h"
+
+namespace tdb {
+
+/// A (possibly partial) binding of the statement's tuple variables:
+/// binding[var_index] is the version currently bound, or null.  Evaluating
+/// an expression that touches an unbound variable is an error — planners
+/// only apply predicates whose variables are all bound.
+using Binding = std::vector<const VersionRef*>;
+
+/// Evaluates scalar expressions, temporal expressions, and temporal
+/// predicates against a binding.  `now` resolves the "now" literal — the
+/// Database's logical clock at statement start.
+class Evaluator {
+ public:
+  explicit Evaluator(TimePoint now) : now_(now) {}
+
+  Result<Value> Eval(const Expr& expr, const Binding& binding) const;
+
+  /// Truthiness of a scalar expression (non-zero numeric).
+  Result<bool> EvalBool(const Expr& expr, const Binding& binding) const;
+
+  /// Evaluates a temporal expression to an interval (events are degenerate
+  /// [t, t] intervals).
+  Result<Interval> EvalTemporal(const TemporalExpr& expr,
+                                const Binding& binding) const;
+
+  Result<bool> EvalPred(const TemporalPred& pred, const Binding& binding) const;
+
+  TimePoint now() const { return now_; }
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_EXEC_EVAL_H_

@@ -1,0 +1,26 @@
+#include "exec/exec_env.h"
+
+#include "util/stringx.h"
+
+namespace tdb {
+
+Result<Relation*> ExecEnv::GetRelation(const std::string& name) const {
+  std::string key = ToLower(name);
+  auto it = relations->find(key);
+  if (it != relations->end()) return it->second.get();
+  const RelationMeta* meta = catalog->Find(name);
+  if (meta == nullptr) {
+    return Status::NotFound("relation '" + name + "' does not exist");
+  }
+  TDB_ASSIGN_OR_RETURN(auto rel,
+                       Relation::Open(env, dir, *meta, registry, buffer_frames));
+  Relation* ptr = rel.get();
+  (*relations)[key] = std::move(rel);
+  return ptr;
+}
+
+void ExecEnv::CloseRelation(const std::string& name) const {
+  relations->erase(ToLower(name));
+}
+
+}  // namespace tdb

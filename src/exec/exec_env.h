@@ -1,0 +1,40 @@
+#ifndef CHRONOQUEL_EXEC_EXEC_ENV_H_
+#define CHRONOQUEL_EXEC_EXEC_ENV_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "core/relation.h"
+#include "env/env.h"
+#include "storage/io_stats.h"
+#include "types/timepoint.h"
+
+namespace tdb {
+
+/// Everything an executor needs from the owning Database: the environment,
+/// the catalog, the open-relation cache, the I/O registry, and the current
+/// logical time.  A plain struct so executors stay decoupled from the
+/// Database facade.
+struct ExecEnv {
+  Env* env = nullptr;
+  std::string dir;
+  Catalog* catalog = nullptr;
+  IoRegistry* registry = nullptr;
+  std::map<std::string, std::unique_ptr<Relation>>* relations = nullptr;
+  TimePoint now;
+  /// Buffer frames per relation file (1 = the paper's discipline).
+  int buffer_frames = 1;
+
+  /// Returns the open handle for `name`, opening it from the catalog on
+  /// first use.
+  Result<Relation*> GetRelation(const std::string& name) const;
+
+  /// Drops the open handle (the files stay); used before destroy / modify.
+  void CloseRelation(const std::string& name) const;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_EXEC_EXEC_ENV_H_

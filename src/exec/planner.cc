@@ -1,0 +1,254 @@
+#include "exec/planner.h"
+
+#include "util/stringx.h"
+
+namespace tdb {
+
+void CollectExprVars(const Expr* expr, std::set<int>* out) {
+  if (expr == nullptr) return;
+  switch (expr->kind) {
+    case Expr::Kind::kColumn:
+      out->insert(expr->var_index);
+      return;
+    case Expr::Kind::kBinary:
+      CollectExprVars(expr->left.get(), out);
+      CollectExprVars(expr->right.get(), out);
+      return;
+    case Expr::Kind::kUnary:
+      CollectExprVars(expr->left.get(), out);
+      return;
+    case Expr::Kind::kAggregate:
+      CollectExprVars(expr->agg_arg.get(), out);
+      CollectExprVars(expr->agg_by.get(), out);
+      CollectExprVars(expr->agg_where.get(), out);
+      return;
+    default:
+      return;
+  }
+}
+
+void CollectTemporalExprVars(const TemporalExpr* expr, std::set<int>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == TemporalExpr::Kind::kVar) {
+    out->insert(expr->var_index);
+    return;
+  }
+  CollectTemporalExprVars(expr->left.get(), out);
+  CollectTemporalExprVars(expr->right.get(), out);
+}
+
+void CollectTemporalPredVars(const TemporalPred* pred, std::set<int>* out) {
+  if (pred == nullptr) return;
+  CollectTemporalExprVars(pred->lexpr.get(), out);
+  CollectTemporalExprVars(pred->rexpr.get(), out);
+  CollectTemporalPredVars(pred->left.get(), out);
+  CollectTemporalPredVars(pred->right.get(), out);
+}
+
+void SplitWhere(const Expr* where, std::vector<Conjunct>* out) {
+  if (where == nullptr) return;
+  if (where->kind == Expr::Kind::kBinary && where->op == ExprOp::kAnd) {
+    SplitWhere(where->left.get(), out);
+    SplitWhere(where->right.get(), out);
+    return;
+  }
+  Conjunct c;
+  c.expr = where;
+  CollectExprVars(where, &c.vars);
+  out->push_back(std::move(c));
+}
+
+void SplitWhen(const TemporalPred* when, std::vector<TemporalConjunct>* out) {
+  if (when == nullptr) return;
+  if (when->kind == TemporalPred::Kind::kAnd) {
+    SplitWhen(when->left.get(), out);
+    SplitWhen(when->right.get(), out);
+    return;
+  }
+  TemporalConjunct c;
+  c.pred = when;
+  CollectTemporalPredVars(when, &c.vars);
+  out->push_back(std::move(c));
+}
+
+namespace {
+
+bool IsSubset(const std::set<int>& sub, const std::set<int>& super) {
+  for (int v : sub) {
+    if (super.count(v) == 0) return false;
+  }
+  return true;
+}
+
+/// If `conj` is `var.attr OP e` (either side, OP from `ops`) where e's
+/// variables are all in `available`, returns the probe expression, the
+/// attribute index, and the operator as seen with the column on the left.
+const Expr* MatchCmpOnAttr(const Conjunct& conj, int var,
+                           const std::set<int>& available,
+                           std::initializer_list<ExprOp> ops, int* attr_index,
+                           ExprOp* op_out) {
+  const Expr* e = conj.expr;
+  if (e->kind != Expr::Kind::kBinary) return nullptr;
+  bool wanted = false;
+  for (ExprOp op : ops) wanted = wanted || e->op == op;
+  if (!wanted) return nullptr;
+  for (int side = 0; side < 2; ++side) {
+    const Expr* col = side == 0 ? e->left.get() : e->right.get();
+    const Expr* other = side == 0 ? e->right.get() : e->left.get();
+    if (col->kind != Expr::Kind::kColumn || col->var_index != var) continue;
+    std::set<int> other_vars;
+    CollectExprVars(other, &other_vars);
+    if (other_vars.count(var) > 0) continue;
+    if (!IsSubset(other_vars, available)) continue;
+    *attr_index = col->attr_index;
+    ExprOp op = e->op;
+    if (side == 1) {  // mirror: `c < var.attr` is `var.attr > c`
+      switch (e->op) {
+        case ExprOp::kLt:
+          op = ExprOp::kGt;
+          break;
+        case ExprOp::kLe:
+          op = ExprOp::kGe;
+          break;
+        case ExprOp::kGt:
+          op = ExprOp::kLt;
+          break;
+        case ExprOp::kGe:
+          op = ExprOp::kLe;
+          break;
+        default:
+          break;
+      }
+    }
+    *op_out = op;
+    return other;
+  }
+  return nullptr;
+}
+
+const Expr* MatchEqOnAttr(const Conjunct& conj, int var,
+                          const std::set<int>& available, int* attr_index) {
+  ExprOp op;
+  return MatchCmpOnAttr(conj, var, available, {ExprOp::kEq}, attr_index, &op);
+}
+
+}  // namespace
+
+AccessChoice ChooseAccess(int var, Relation* rel,
+                          const std::vector<Conjunct>& conjuncts,
+                          const std::set<int>& available) {
+  AccessChoice choice;
+  const Schema& schema = rel->schema();
+  int key_idx = rel->meta().key_attr.empty()
+                    ? -1
+                    : schema.FindAttr(rel->meta().key_attr);
+  const Expr* index_probe = nullptr;
+  SecondaryIndex* index = nullptr;
+
+  for (const Conjunct& conj : conjuncts) {
+    if (conj.vars.count(var) == 0) continue;
+    int attr_index = -1;
+    const Expr* probe = MatchEqOnAttr(conj, var, available, &attr_index);
+    if (probe == nullptr) continue;
+    // The organization key wins outright.
+    if (attr_index == key_idx && rel->primary()->org() != Organization::kHeap) {
+      choice.kind = AccessChoice::Kind::kKeyed;
+      choice.key_expr = probe;
+      return choice;
+    }
+    if (index == nullptr) {
+      SecondaryIndex* idx =
+          rel->FindIndex(schema.attr(static_cast<size_t>(attr_index)).name);
+      if (idx != nullptr) {
+        index = idx;
+        index_probe = probe;
+      }
+    }
+  }
+  if (index != nullptr) {
+    choice.kind = AccessChoice::Kind::kIndexEq;
+    choice.key_expr = index_probe;
+    choice.index = index;
+    return choice;
+  }
+  // Order-preserving organizations (ISAM, B-tree) also support key-range
+  // access for inequality predicates on the key.
+  if (key_idx >= 0 && (rel->primary()->org() == Organization::kIsam ||
+                       rel->primary()->org() == Organization::kBtree)) {
+    for (const Conjunct& conj : conjuncts) {
+      if (conj.vars.count(var) == 0) continue;
+      int attr_index = -1;
+      ExprOp op;
+      const Expr* bound = MatchCmpOnAttr(
+          conj, var, available,
+          {ExprOp::kLt, ExprOp::kLe, ExprOp::kGt, ExprOp::kGe}, &attr_index,
+          &op);
+      if (bound == nullptr || attr_index != key_idx) continue;
+      if (op == ExprOp::kGt || op == ExprOp::kGe) {
+        if (choice.lo_expr == nullptr) {
+          choice.lo_expr = bound;
+          choice.lo_inclusive = op == ExprOp::kGe;
+        }
+      } else {
+        if (choice.hi_expr == nullptr) {
+          choice.hi_expr = bound;
+          choice.hi_inclusive = op == ExprOp::kLe;
+        }
+      }
+    }
+    if (choice.lo_expr != nullptr || choice.hi_expr != nullptr) {
+      choice.kind = AccessChoice::Kind::kRange;
+    }
+  }
+  return choice;
+}
+
+namespace {
+
+bool IsNowExpr(const TemporalExpr* e) {
+  return e != nullptr && e->kind == TemporalExpr::Kind::kNow;
+}
+
+bool IsVarExpr(const TemporalExpr* e, int var) {
+  return e != nullptr && e->kind == TemporalExpr::Kind::kVar &&
+         e->var_index == var;
+}
+
+/// Matches `var overlap "now"` in either operand order, in both the bare
+/// (kNonEmpty over an overlap expression) and explicit kOverlap forms.
+bool IsVarOverlapNow(const TemporalPred* pred, int var) {
+  const TemporalExpr* a = nullptr;
+  const TemporalExpr* b = nullptr;
+  if (pred->kind == TemporalPred::Kind::kOverlap) {
+    a = pred->lexpr.get();
+    b = pred->rexpr.get();
+  } else if (pred->kind == TemporalPred::Kind::kNonEmpty &&
+             pred->lexpr->kind == TemporalExpr::Kind::kOverlap) {
+    a = pred->lexpr->left.get();
+    b = pred->lexpr->right.get();
+  } else {
+    return false;
+  }
+  return (IsVarExpr(a, var) && IsNowExpr(b)) ||
+         (IsVarExpr(b, var) && IsNowExpr(a));
+}
+
+}  // namespace
+
+bool WantsCurrentOnly(int var, const Relation* rel,
+                      const std::vector<TemporalConjunct>& when_conjuncts,
+                      bool as_of_is_now) {
+  const Schema& schema = rel->schema();
+  DbType type = schema.db_type();
+  if (HasValidTime(type) && schema.entity_kind() == EntityKind::kInterval) {
+    for (const TemporalConjunct& c : when_conjuncts) {
+      if (IsVarOverlapNow(c.pred, var)) return true;
+    }
+    return false;
+  }
+  // Rollback relations (transaction time only): rolling back to "now"
+  // selects the versions whose transaction interval is still open.
+  return HasTransactionTime(type) && as_of_is_now;
+}
+
+}  // namespace tdb

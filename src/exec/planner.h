@@ -1,0 +1,74 @@
+#ifndef CHRONOQUEL_EXEC_PLANNER_H_
+#define CHRONOQUEL_EXEC_PLANNER_H_
+
+#include <set>
+#include <vector>
+
+#include "core/relation.h"
+#include "tquel/ast.h"
+
+namespace tdb {
+
+/// One top-level AND factor of the where clause, with the set of tuple
+/// variables it references.
+struct Conjunct {
+  const Expr* expr;
+  std::set<int> vars;
+};
+
+/// One top-level AND factor of the when clause.
+struct TemporalConjunct {
+  const TemporalPred* pred;
+  std::set<int> vars;
+};
+
+/// Splits a where expression on top-level ANDs.
+void SplitWhere(const Expr* where, std::vector<Conjunct>* out);
+
+/// Splits a when predicate on top-level ANDs.
+void SplitWhen(const TemporalPred* when, std::vector<TemporalConjunct>* out);
+
+void CollectExprVars(const Expr* expr, std::set<int>* out);
+void CollectTemporalExprVars(const TemporalExpr* expr, std::set<int>* out);
+void CollectTemporalPredVars(const TemporalPred* pred, std::set<int>* out);
+
+/// The access path chosen for one variable at one nesting level.
+struct AccessChoice {
+  enum class Kind {
+    kScan,     // sequential scan (data + overflow pages)
+    kKeyed,    // hashed / ISAM access on the organization key
+    kIndexEq,  // secondary index equality probe
+    kRange,    // ISAM key-range scan
+  };
+  Kind kind = Kind::kScan;
+  /// For kKeyed / kIndexEq: the expression producing the probe value; it
+  /// references only variables in the `available` set given to ChooseAccess.
+  const Expr* key_expr = nullptr;
+  SecondaryIndex* index = nullptr;  // kIndexEq
+  // kRange bounds (either may be null).
+  const Expr* lo_expr = nullptr;
+  const Expr* hi_expr = nullptr;
+  bool lo_inclusive = true;
+  bool hi_inclusive = true;
+};
+
+/// Picks the cheapest access path for variable `var` of relation `rel`
+/// given the where conjuncts and the set of variables already bound by
+/// outer loops.  Preference: organization key > secondary index > scan —
+/// the same choices Ingres's one-variable query processor makes.
+AccessChoice ChooseAccess(int var, Relation* rel,
+                          const std::vector<Conjunct>& conjuncts,
+                          const std::set<int>& available);
+
+/// True when the statement's clauses restrict `var` to *current* versions:
+/// a `when` conjunct of the shape `var overlap "now"` (interval relations),
+/// or — for relations with transaction time but no valid time — an
+/// effective rollback point of "now" (`as_of_is_now`).  Lets the two-level
+/// store and 2-level indexes skip history data.
+bool WantsCurrentOnly(int var, const Relation* rel,
+                      const std::vector<TemporalConjunct>& when_conjuncts,
+                      bool as_of_is_now);
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_EXEC_PLANNER_H_

@@ -1,0 +1,707 @@
+#include "exec/query_executor.h"
+
+#include <algorithm>
+
+#include "storage/heap_file.h"
+#include "util/stringx.h"
+
+namespace tdb {
+
+namespace {
+
+/// Infers the output attribute for a target expression (used by
+/// `retrieve into` and temp-relation schemas).
+Attribute InferAttribute(const std::string& name, const Expr& expr,
+                         const std::vector<BoundVar>& vars) {
+  Attribute a;
+  a.name = name;
+  switch (expr.kind) {
+    case Expr::Kind::kColumn: {
+      const Schema& schema = vars[static_cast<size_t>(expr.var_index)]
+                                 .rel->schema;
+      a.type = schema.attr(static_cast<size_t>(expr.attr_index)).type;
+      a.width = schema.attr(static_cast<size_t>(expr.attr_index)).width;
+      return a;
+    }
+    case Expr::Kind::kConstString:
+      a.type = TypeId::kChar;
+      a.width = static_cast<uint16_t>(std::max<size_t>(1, expr.str_val.size()));
+      return a;
+    case Expr::Kind::kConstFloat:
+      a.type = TypeId::kFloat8;
+      a.width = 8;
+      return a;
+    case Expr::Kind::kAggregate:
+      a.type = (expr.agg == AggFunc::kAvg) ? TypeId::kFloat8 : TypeId::kInt4;
+      a.width = TypeWidth(a.type);
+      return a;
+    default:
+      a.type = TypeId::kInt4;
+      a.width = 4;
+      return a;
+  }
+}
+
+/// Collects the attribute indexes of `var` referenced by `expr`.
+void CollectAttrRefs(const Expr* expr, int var, std::set<int>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == Expr::Kind::kColumn) {
+    if (expr->var_index == var) out->insert(expr->attr_index);
+    return;
+  }
+  CollectAttrRefs(expr->left.get(), var, out);
+  CollectAttrRefs(expr->right.get(), var, out);
+  CollectAttrRefs(expr->agg_arg.get(), var, out);
+  CollectAttrRefs(expr->agg_where.get(), var, out);
+}
+
+}  // namespace
+
+bool QueryExecutor::QualifiesAsOf(const Interval& tx) const {
+  if (!has_as_of_) return true;
+  if (!has_through_) return tx.Contains(as_of_at_);
+  // `as of t1 through t2`: current at any moment of the closed range.
+  return tx.Overlaps(Interval(as_of_at_, as_of_through_)) ||
+         tx.Contains(as_of_through_);
+}
+
+Result<bool> QueryExecutor::ApplyFilters(const Binding& binding,
+                                         const std::set<int>& bound_vars,
+                                         const std::set<int>& outer_vars) {
+  auto covered_now = [&](const std::set<int>& vs) {
+    // All variables bound, and at least one NOT bound before this level
+    // (otherwise an outer level already applied the filter).
+    for (int v : vs) {
+      if (bound_vars.count(v) == 0) return false;
+    }
+    for (int v : vs) {
+      if (outer_vars.count(v) == 0) return true;
+    }
+    return vs.empty();  // constant predicates apply at the innermost level 0
+  };
+  for (const Conjunct& c : where_conjuncts_) {
+    if (!covered_now(c.vars)) continue;
+    TDB_ASSIGN_OR_RETURN(bool ok, eval_.EvalBool(*c.expr, binding));
+    if (!ok) return false;
+  }
+  for (const TemporalConjunct& c : when_conjuncts_) {
+    if (!covered_now(c.vars)) continue;
+    TDB_ASSIGN_OR_RETURN(bool ok, eval_.EvalPred(*c.pred, binding));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<AccessSpec> QueryExecutor::SpecFor(int var, const AccessChoice& choice,
+                                          const Binding& binding) const {
+  AccessSpec spec;
+  spec.current_only = vars_[static_cast<size_t>(var)].current_only;
+  switch (choice.kind) {
+    case AccessChoice::Kind::kScan:
+      spec.kind = AccessSpec::Kind::kScan;
+      return spec;
+    case AccessChoice::Kind::kRange: {
+      spec.kind = AccessSpec::Kind::kRange;
+      spec.lo_inclusive = choice.lo_inclusive;
+      spec.hi_inclusive = choice.hi_inclusive;
+      if (choice.lo_expr != nullptr) {
+        TDB_ASSIGN_OR_RETURN(Value lo, eval_.Eval(*choice.lo_expr, binding));
+        spec.lo = std::move(lo);
+      }
+      if (choice.hi_expr != nullptr) {
+        TDB_ASSIGN_OR_RETURN(Value hi, eval_.Eval(*choice.hi_expr, binding));
+        spec.hi = std::move(hi);
+      }
+      return spec;
+    }
+    case AccessChoice::Kind::kKeyed:
+      spec.kind = AccessSpec::Kind::kKeyed;
+      break;
+    case AccessChoice::Kind::kIndexEq:
+      spec.kind = AccessSpec::Kind::kIndexEq;
+      spec.index = choice.index;
+      break;
+  }
+  TDB_ASSIGN_OR_RETURN(spec.key, eval_.Eval(*choice.key_expr, binding));
+  return spec;
+}
+
+std::string QueryExecutor::DescribeChoice(int var,
+                                          const AccessChoice& choice) const {
+  const char* kind = "scan";
+  switch (choice.kind) {
+    case AccessChoice::Kind::kScan:
+      kind = "scan";
+      break;
+    case AccessChoice::Kind::kKeyed:
+      kind = "keyed";
+      break;
+    case AccessChoice::Kind::kIndexEq:
+      kind = "index";
+      break;
+    case AccessChoice::Kind::kRange:
+      kind = "range";
+      break;
+  }
+  std::string note = StrPrintf(
+      "%s:%s", vars_[static_cast<size_t>(var)].rel->meta().name.c_str(), kind);
+  if (vars_[static_cast<size_t>(var)].current_only) note += "(current)";
+  return note;
+}
+
+Status QueryExecutor::IterateVar(int var, const std::set<int>& outer_vars,
+                                 Binding* binding, const EmitFn& body) {
+  Relation* rel = vars_[static_cast<size_t>(var)].rel;
+  AccessChoice choice = ChooseAccess(var, rel, where_conjuncts_, outer_vars);
+  plan_notes_.push_back(DescribeChoice(var, choice));
+  TDB_ASSIGN_OR_RETURN(AccessSpec spec, SpecFor(var, choice, *binding));
+  TDB_ASSIGN_OR_RETURN(auto src, VersionSource::Create(rel, std::move(spec)));
+
+  std::set<int> bound_vars = outer_vars;
+  bound_vars.insert(var);
+
+  while (true) {
+    TDB_ASSIGN_OR_RETURN(bool have, src->Next());
+    if (!have) break;
+    (*binding)[static_cast<size_t>(var)] = &src->ref();
+    bool pass = true;
+    if (HasTransactionTime(rel->schema().db_type()) &&
+        !QualifiesAsOf(src->ref().tx)) {
+      pass = false;
+    }
+    if (pass) {
+      TDB_ASSIGN_OR_RETURN(pass, ApplyFilters(*binding, bound_vars,
+                                              outer_vars));
+    }
+    if (pass) {
+      TDB_RETURN_NOT_OK(body(*binding));
+    }
+  }
+  (*binding)[static_cast<size_t>(var)] = nullptr;
+  return Status::OK();
+}
+
+Status QueryExecutor::Nested(size_t level, std::set<int> bound_vars,
+                             Binding* binding, const EmitFn& emit) {
+  if (level == vars_.size()) return emit(*binding);
+  int var = static_cast<int>(level);
+  return IterateVar(var, bound_vars, binding, [&](const Binding&) -> Status {
+    std::set<int> next = bound_vars;
+    next.insert(var);
+    return Nested(level + 1, std::move(next), binding, emit);
+  });
+}
+
+Status QueryExecutor::Substitution(int outer, int inner,
+                                   const AccessChoice& inner_choice,
+                                   Binding* binding, const EmitFn& emit) {
+  Relation* outer_rel = vars_[static_cast<size_t>(outer)].rel;
+  const Schema& oschema = outer_rel->schema();
+  plan_notes_.push_back(
+      "substitution(" + DescribeChoice(inner, inner_choice) + ")");
+
+  // ---- one-variable detachment: project the outer variable's qualifying
+  // versions into a temporary relation ----
+  std::set<int> proj;
+  for (const TargetItem& t : stmt_->targets) {
+    CollectAttrRefs(t.expr.get(), outer, &proj);
+  }
+  for (const Conjunct& c : where_conjuncts_) {
+    CollectAttrRefs(c.expr, outer, &proj);
+  }
+  // The implicit time attributes travel along for when / as-of / valid
+  // evaluation against the temp rows.
+  for (size_t i = oschema.num_user_attrs(); i < oschema.num_attrs(); ++i) {
+    proj.insert(static_cast<int>(i));
+  }
+  std::vector<int> proj_attrs(proj.begin(), proj.end());
+
+  std::vector<Attribute> temp_attrs;
+  for (size_t i = 0; i < proj_attrs.size(); ++i) {
+    Attribute a = oschema.attr(static_cast<size_t>(proj_attrs[i]));
+    a.name = StrPrintf("a%zu", i);  // positional names avoid reserved ones
+    a.implicit = false;
+    temp_attrs.push_back(std::move(a));
+  }
+  TDB_ASSIGN_OR_RETURN(Schema temp_schema,
+                       Schema::CreateStatic(std::move(temp_attrs)));
+
+  std::string temp_name = StrPrintf("__temp%d", temp_counter_++);
+  std::string temp_path = env_.dir + "/" + temp_name + ".dat";
+  RecordLayout temp_layout;
+  temp_layout.record_size = temp_schema.record_size();
+  TDB_ASSIGN_OR_RETURN(
+      auto temp_pager,
+      Pager::Open(env_.env, temp_path, env_.registry->ForFile(temp_name),
+                  env_.buffer_frames));
+  TDB_RETURN_NOT_OK(temp_pager->Reset());
+  TDB_ASSIGN_OR_RETURN(auto temp, HeapFile::Open(std::move(temp_pager),
+                                                 temp_layout,
+                                                 IoCategory::kTemp));
+
+  std::set<int> none;
+  TDB_RETURN_NOT_OK(IterateVar(outer, none, binding,
+                               [&](const Binding& b) -> Status {
+    const VersionRef* ref = b[static_cast<size_t>(outer)];
+    Row trow;
+    trow.reserve(proj_attrs.size());
+    for (int ai : proj_attrs) {
+      trow.push_back(ref->row[static_cast<size_t>(ai)]);
+    }
+    TDB_ASSIGN_OR_RETURN(auto rec, EncodeRecord(temp_schema, trow));
+    return temp->Insert(rec.data(), rec.size(), nullptr);
+  }));
+
+  // ---- tuple substitution: probe the inner variable per temp row ----
+  std::set<int> outer_set = {outer};
+  VersionRef outer_ref;  // reconstructed full-schema version
+  Status status = Status::OK();
+  // Consecutive temp rows often probe the same key (all versions of one
+  // tuple share it); the matching inner versions are cached so the chain is
+  // read once per distinct key, as Ingres achieves by sorting.
+  bool have_cached_key = false;
+  Value cached_key;
+  std::vector<VersionRef> cached_matches;
+  {
+    TDB_ASSIGN_OR_RETURN(auto cur, temp->Scan());
+    while (status.ok()) {
+      TDB_ASSIGN_OR_RETURN(bool have, cur->Next());
+      if (!have) break;
+      TDB_ASSIGN_OR_RETURN(Row trow, DecodeRecord(temp_schema,
+                                                  cur->record().data(),
+                                                  cur->record().size()));
+      // Expand into a full-schema row (unprojected attributes default).
+      Row full(oschema.num_attrs());
+      for (size_t i = 0; i < oschema.num_attrs(); ++i) {
+        const Attribute& a = oschema.attr(i);
+        switch (a.type) {
+          case TypeId::kChar:
+            full[i] = Value::Char("");
+            break;
+          case TypeId::kFloat8:
+            full[i] = Value::Float8(0);
+            break;
+          case TypeId::kTime:
+            full[i] = Value::Time(TimePoint(0));
+            break;
+          default:
+            full[i] = Value::Int4(0);
+        }
+      }
+      for (size_t i = 0; i < proj_attrs.size(); ++i) {
+        full[static_cast<size_t>(proj_attrs[i])] = trow[i];
+      }
+      outer_ref.row = std::move(full);
+      RefreshIntervals(oschema, &outer_ref);
+      (*binding)[static_cast<size_t>(outer)] = &outer_ref;
+
+      TDB_ASSIGN_OR_RETURN(AccessSpec spec,
+                           SpecFor(inner, inner_choice, *binding));
+      Relation* inner_rel = vars_[static_cast<size_t>(inner)].rel;
+      if (!have_cached_key || !cached_key.Equals(spec.key)) {
+        cached_key = spec.key;
+        have_cached_key = true;
+        cached_matches.clear();
+        TDB_ASSIGN_OR_RETURN(auto src, VersionSource::Create(inner_rel,
+                                                             std::move(spec)));
+        while (true) {
+          TDB_ASSIGN_OR_RETURN(bool have_inner, src->Next());
+          if (!have_inner) break;
+          cached_matches.push_back(src->ref());
+        }
+      }
+      std::set<int> both = {outer, inner};
+      for (const VersionRef& iref : cached_matches) {
+        (*binding)[static_cast<size_t>(inner)] = &iref;
+        bool pass = true;
+        if (HasTransactionTime(inner_rel->schema().db_type()) &&
+            !QualifiesAsOf(iref.tx)) {
+          pass = false;
+        }
+        if (pass) {
+          TDB_ASSIGN_OR_RETURN(pass, ApplyFilters(*binding, both, outer_set));
+        }
+        if (pass) {
+          status = emit(*binding);
+          if (!status.ok()) break;
+        }
+      }
+      (*binding)[static_cast<size_t>(inner)] = nullptr;
+    }
+  }
+  (*binding)[static_cast<size_t>(outer)] = nullptr;
+  temp.reset();  // flush before deleting
+  (void)env_.env->DeleteFile(temp_path);
+  return status;
+}
+
+namespace {
+
+/// Accumulator for one aggregate group.
+struct AggAccumulator {
+  int64_t count = 0;
+  double sum = 0;
+  bool sum_is_float = false;
+  bool have_minmax = false;
+  Value minv;
+  Value maxv;
+
+  Status Add(const Value& v) {
+    ++count;
+    if (v.is_numeric()) {
+      sum += v.AsDouble();
+      if (v.type() == TypeId::kFloat8) sum_is_float = true;
+    }
+    if (!have_minmax) {
+      minv = maxv = v;
+      have_minmax = true;
+    } else {
+      TDB_ASSIGN_OR_RETURN(int cmin, Value::Compare(v, minv));
+      if (cmin < 0) minv = v;
+      TDB_ASSIGN_OR_RETURN(int cmax, Value::Compare(v, maxv));
+      if (cmax > 0) maxv = v;
+    }
+    return Status::OK();
+  }
+
+  Value Finish(AggFunc func) const {
+    switch (func) {
+      case AggFunc::kCount:
+        return Value::Int4(count);
+      case AggFunc::kAny:
+        return Value::Int4(count > 0 ? 1 : 0);
+      case AggFunc::kSum:
+        return sum_is_float ? Value::Float8(sum)
+                            : Value::Int4(static_cast<int64_t>(sum));
+      case AggFunc::kAvg:
+        return Value::Float8(count > 0 ? sum / static_cast<double>(count)
+                                       : 0);
+      case AggFunc::kMin:
+        return have_minmax ? minv : Value::Int4(0);
+      case AggFunc::kMax:
+        return have_minmax ? maxv : Value::Int4(0);
+    }
+    return Value::Int4(0);
+  }
+};
+
+}  // namespace
+
+Status QueryExecutor::FoldAggregate(Expr* expr, const BoundStatement& bound) {
+  if (expr == nullptr) return Status::OK();
+  if (expr->kind != Expr::Kind::kAggregate) {
+    TDB_RETURN_NOT_OK(FoldAggregate(expr->left.get(), bound));
+    TDB_RETURN_NOT_OK(FoldAggregate(expr->right.get(), bound));
+    return Status::OK();
+  }
+  std::set<int> agg_vars;
+  CollectExprVars(expr->agg_arg.get(), &agg_vars);
+  CollectExprVars(expr->agg_by.get(), &agg_vars);
+  CollectExprVars(expr->agg_where.get(), &agg_vars);
+  if (agg_vars.size() != 1) {
+    return Status::NotSupported(
+        "aggregates must reference exactly one tuple variable");
+  }
+  int var = *agg_vars.begin();
+  Relation* rel = vars_[static_cast<size_t>(var)].rel;
+  const Schema& schema = rel->schema();
+
+  // Aggregates are independent one-variable subqueries over the state of
+  // the relation at the statement's rollback point (`as of`, defaulting to
+  // now): versions whose transaction interval covers the rollback point and
+  // — for interval relations — that are valid at it.  `by` aggregates
+  // accumulate per group.
+  AccessSpec spec;
+  spec.kind = AccessSpec::Kind::kScan;
+  TDB_ASSIGN_OR_RETURN(auto src, VersionSource::Create(rel, spec));
+  Binding binding(vars_.size(), nullptr);
+
+  std::map<std::string, AggAccumulator> groups;
+  while (true) {
+    TDB_ASSIGN_OR_RETURN(bool have, src->Next());
+    if (!have) break;
+    const VersionRef& ref = src->ref();
+    if (HasTransactionTime(schema.db_type()) && !QualifiesAsOf(ref.tx)) {
+      continue;
+    }
+    if (HasValidTime(schema.db_type()) &&
+        schema.entity_kind() == EntityKind::kInterval &&
+        !ref.valid.Contains(as_of_at_)) {
+      continue;
+    }
+    binding[static_cast<size_t>(var)] = &src->ref();
+    if (expr->agg_where != nullptr) {
+      TDB_ASSIGN_OR_RETURN(bool ok, eval_.EvalBool(*expr->agg_where, binding));
+      if (!ok) continue;
+    }
+    std::string group;
+    if (expr->agg_by != nullptr) {
+      TDB_ASSIGN_OR_RETURN(Value by, eval_.Eval(*expr->agg_by, binding));
+      group = by.ToString();
+    }
+    TDB_ASSIGN_OR_RETURN(Value v, eval_.Eval(*expr->agg_arg, binding));
+    TDB_RETURN_NOT_OK(groups[group].Add(v));
+  }
+
+  AggFunc func = expr->agg;
+  if (expr->agg_by != nullptr) {
+    // Keep the node; evaluation looks the group up per output row.
+    auto result = std::make_shared<std::map<std::string, Value>>();
+    for (const auto& [key, acc] : groups) {
+      (*result)[key] = acc.Finish(func);
+    }
+    expr->agg_groups = std::move(result);
+    return Status::OK();
+  }
+
+  // Plain aggregate: replace the node with a constant.
+  Value v = groups[""].Finish(func);
+  expr->agg_arg.reset();
+  expr->agg_where.reset();
+  if (v.type() == TypeId::kChar) {
+    expr->kind = Expr::Kind::kConstString;
+    expr->str_val = v.ToString();
+  } else if (v.type() == TypeId::kFloat8) {
+    expr->kind = Expr::Kind::kConstFloat;
+    expr->float_val = v.AsDouble();
+  } else {
+    expr->kind = Expr::Kind::kConstInt;
+    expr->int_val = v.AsInt();
+  }
+  return Status::OK();
+}
+
+Status QueryExecutor::FoldAggregates(RetrieveStmt* stmt,
+                                     const BoundStatement& bound) {
+  for (TargetItem& item : stmt->targets) {
+    TDB_RETURN_NOT_OK(FoldAggregate(item.expr.get(), bound));
+  }
+  return Status::OK();
+}
+
+Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
+                                           const BoundStatement& bound) {
+  stmt_ = stmt;
+  vars_.clear();
+  where_conjuncts_.clear();
+  when_conjuncts_.clear();
+  plan_notes_.clear();
+
+  for (const BoundVar& bv : bound.vars) {
+    VarInfo info;
+    TDB_ASSIGN_OR_RETURN(info.rel, env_.GetRelation(bv.rel->name));
+    vars_.push_back(info);
+  }
+  SplitWhere(stmt->where.get(), &where_conjuncts_);
+  SplitWhen(stmt->when.get(), &when_conjuncts_);
+
+  // TQuel semantics: a query without an explicit `as of` views relations
+  // with transaction time as of *now*, so superseded versions never leak
+  // into results.  (Relations without transaction time are unaffected —
+  // QualifiesAsOf is only consulted for them.)
+  has_as_of_ = true;
+  has_through_ = false;
+  as_of_at_ = env_.now;
+  if (stmt->as_of.has_value()) {
+    Binding empty;
+    TDB_ASSIGN_OR_RETURN(Interval at,
+                         eval_.EvalTemporal(*stmt->as_of->at, empty));
+    as_of_at_ = at.from;
+    if (stmt->as_of->through != nullptr) {
+      has_through_ = true;
+      TDB_ASSIGN_OR_RETURN(Interval th,
+                           eval_.EvalTemporal(*stmt->as_of->through, empty));
+      as_of_through_ = th.from;
+    }
+  }
+  bool as_of_is_now = !has_through_ && as_of_at_ == env_.now;
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    vars_[i].current_only = WantsCurrentOnly(static_cast<int>(i),
+                                             vars_[i].rel, when_conjuncts_,
+                                             as_of_is_now);
+  }
+
+  TDB_RETURN_NOT_OK(FoldAggregates(stmt, bound));
+
+  // Folding aggregates may leave the statement with no live variable
+  // references at all (e.g. `retrieve (n = count(p.id))`) — such a query
+  // emits exactly one row.
+  std::set<int> live_vars;
+  for (const TargetItem& t : stmt->targets) {
+    CollectExprVars(t.expr.get(), &live_vars);
+  }
+  CollectExprVars(stmt->where.get(), &live_vars);
+  CollectTemporalPredVars(stmt->when.get(), &live_vars);
+  if (stmt->valid.has_value()) {
+    CollectTemporalExprVars(stmt->valid->from.get(), &live_vars);
+    CollectTemporalExprVars(stmt->valid->to.get(), &live_vars);
+  }
+  bool no_live_vars = live_vars.empty();
+
+  // Does the result carry a valid interval?
+  bool valid_output = stmt->valid.has_value();
+  if (!valid_output && !vars_.empty()) {
+    valid_output = true;
+    for (const VarInfo& v : vars_) {
+      if (!HasValidTime(v.rel->schema().db_type())) valid_output = false;
+    }
+  }
+
+  ResultSet result;
+  for (const TargetItem& t : stmt->targets) result.columns.push_back(t.name);
+  if (valid_output) {
+    result.columns.push_back(kAttrValidFrom);
+    result.columns.push_back(kAttrValidTo);
+  }
+
+  std::set<std::string> seen;  // for `unique`
+  Status emit_error = Status::OK();
+  EmitFn emit = [&](const Binding& binding) -> Status {
+    Row row;
+    row.reserve(stmt->targets.size() + 2);
+    for (const TargetItem& t : stmt->targets) {
+      TDB_ASSIGN_OR_RETURN(Value v, eval_.Eval(*t.expr, binding));
+      row.push_back(std::move(v));
+    }
+    if (valid_output) {
+      Interval iv(TimePoint::Beginning(), TimePoint::Forever());
+      if (stmt->valid.has_value()) {
+        TDB_ASSIGN_OR_RETURN(Interval from,
+                             eval_.EvalTemporal(*stmt->valid->from, binding));
+        if (stmt->valid->at) {
+          iv = Interval::Event(from.from);
+        } else {
+          TDB_ASSIGN_OR_RETURN(Interval to,
+                               eval_.EvalTemporal(*stmt->valid->to, binding));
+          iv = Interval(from.from, to.from);
+        }
+      } else {
+        // Default: the overlap of every participating tuple's lifespan;
+        // vacuous rows (no shared instant) are dropped.
+        bool first = true;
+        for (const VersionRef* ref : binding) {
+          if (ref == nullptr) continue;
+          iv = first ? ref->valid : Interval::Intersect(iv, ref->valid);
+          first = false;
+        }
+        if (iv.empty()) return Status::OK();
+      }
+      row.push_back(Value::Time(iv.from));
+      row.push_back(Value::Time(iv.to));
+    }
+    if (stmt->unique) {
+      std::string key;
+      for (const Value& v : row) {
+        key += v.ToString();
+        key += '\x1f';
+      }
+      if (!seen.insert(std::move(key)).second) return Status::OK();
+    }
+    result.rows.push_back(std::move(row));
+    return Status::OK();
+  };
+
+  Binding binding(vars_.size(), nullptr);
+  if (vars_.empty() || no_live_vars) {
+    TDB_RETURN_NOT_OK(emit(binding));
+  } else if (vars_.size() == 1) {
+    std::set<int> none;
+    TDB_RETURN_NOT_OK(IterateVar(0, none, &binding, emit));
+  } else if (vars_.size() == 2) {
+    // Prefer tuple substitution into a keyed inner variable.
+    int inner = -1;
+    AccessChoice inner_choice;
+    for (int cand = 0; cand < 2; ++cand) {
+      std::set<int> avail = {1 - cand};
+      AccessChoice c = ChooseAccess(cand, vars_[static_cast<size_t>(cand)].rel,
+                                    where_conjuncts_, avail);
+      if (c.kind == AccessChoice::Kind::kKeyed ||
+          (c.kind == AccessChoice::Kind::kIndexEq && inner < 0)) {
+        inner = cand;
+        inner_choice = c;
+        if (c.kind == AccessChoice::Kind::kKeyed) break;
+      }
+    }
+    if (inner >= 0) {
+      TDB_RETURN_NOT_OK(
+          Substitution(1 - inner, inner, inner_choice, &binding, emit));
+    } else {
+      TDB_RETURN_NOT_OK(Nested(0, {}, &binding, emit));
+    }
+  } else {
+    TDB_RETURN_NOT_OK(Nested(0, {}, &binding, emit));
+  }
+  TDB_RETURN_NOT_OK(emit_error);
+
+  // `sort by` orders the result by named output columns (stable, so
+  // secondary keys listed later act as tie breakers of earlier ones).
+  if (!stmt->sort_by.empty()) {
+    for (SortKey& key : stmt->sort_by) {
+      key.target_index = -1;
+      for (size_t i = 0; i < result.columns.size(); ++i) {
+        if (EqualsIgnoreCase(result.columns[i], key.target)) {
+          key.target_index = static_cast<int>(i);
+          break;
+        }
+      }
+      if (key.target_index < 0) {
+        return Status::BindError("sort by: no output column named '" +
+                                 key.target + "'");
+      }
+    }
+    Status sort_error = Status::OK();
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (const SortKey& key : stmt->sort_by) {
+                         size_t i = static_cast<size_t>(key.target_index);
+                         auto c = Value::Compare(a[i], b[i]);
+                         if (!c.ok()) {
+                           sort_error = c.status();
+                           return false;
+                         }
+                         if (*c != 0) return key.descending ? *c > 0 : *c < 0;
+                       }
+                       return false;
+                     });
+    TDB_RETURN_NOT_OK(sort_error);
+  }
+
+  ExecResult out;
+  if (!stmt->into.empty()) {
+    // Materialize into a new relation: historical when a valid interval was
+    // computed, plain static otherwise.
+    std::vector<Attribute> attrs;
+    for (const TargetItem& t : stmt->targets) {
+      attrs.push_back(InferAttribute(t.name, *t.expr, bound.vars));
+    }
+    DbType type = valid_output ? DbType::kHistorical : DbType::kStatic;
+    TDB_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attrs), type));
+    RelationMeta meta;
+    meta.name = stmt->into;
+    meta.schema = schema;
+    meta.org = Organization::kHeap;
+    TDB_RETURN_NOT_OK(env_.catalog->Create(meta));
+    TDB_ASSIGN_OR_RETURN(Relation * rel, env_.GetRelation(stmt->into));
+    for (const Row& row : result.rows) {
+      TDB_ASSIGN_OR_RETURN(auto rec, EncodeRecord(schema, row));
+      Tid tid;
+      TDB_RETURN_NOT_OK(rel->InsertPrimary(rec, &tid));
+    }
+    TDB_RETURN_NOT_OK(rel->primary()->pager()->Flush());
+    out.affected = static_cast<int64_t>(result.rows.size());
+    out.message = StrPrintf("retrieved %lld tuples into %s",
+                            static_cast<long long>(out.affected),
+                            stmt->into.c_str());
+  } else {
+    out.affected = static_cast<int64_t>(result.rows.size());
+    out.result = std::move(result);
+  }
+  if (out.message.empty()) {
+    out.message = "plan: " + (plan_notes_.empty()
+                                  ? std::string("constant")
+                                  : Join(plan_notes_, "; "));
+  }
+  return out;
+}
+
+}  // namespace tdb

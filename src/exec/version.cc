@@ -1,0 +1,34 @@
+#include "exec/version.h"
+
+namespace tdb {
+
+void RefreshIntervals(const Schema& schema, VersionRef* ref) {
+  ref->valid = Interval(TimePoint::Beginning(), TimePoint::Forever());
+  ref->tx = Interval(TimePoint::Beginning(), TimePoint::Forever());
+  if (schema.valid_from_index() >= 0) {
+    TimePoint from =
+        ref->row[static_cast<size_t>(schema.valid_from_index())].AsTime();
+    TimePoint to =
+        ref->row[static_cast<size_t>(schema.valid_to_index())].AsTime();
+    ref->valid = Interval(from, to);  // events: from == to
+  }
+  if (schema.tx_start_index() >= 0) {
+    TimePoint from =
+        ref->row[static_cast<size_t>(schema.tx_start_index())].AsTime();
+    TimePoint to =
+        ref->row[static_cast<size_t>(schema.tx_stop_index())].AsTime();
+    ref->tx = Interval(from, to);
+  }
+}
+
+Result<VersionRef> DecodeVersion(const Schema& schema, const uint8_t* rec,
+                                 size_t size, Tid tid, bool in_history) {
+  VersionRef ref;
+  TDB_ASSIGN_OR_RETURN(ref.row, DecodeRecord(schema, rec, size));
+  ref.tid = tid;
+  ref.in_history = in_history;
+  RefreshIntervals(schema, &ref);
+  return ref;
+}
+
+}  // namespace tdb

@@ -1,0 +1,47 @@
+#ifndef CHRONOQUEL_EXEC_VERSION_H_
+#define CHRONOQUEL_EXEC_VERSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/storage_file.h"
+#include "temporal/interval.h"
+#include "types/schema.h"
+
+namespace tdb {
+
+/// One tuple version bound to a range variable during evaluation: the
+/// decoded row plus its two lifespans.  Relations without valid
+/// (transaction) time get the universal interval for valid (tx), so the
+/// same evaluation code covers all four database types.
+struct VersionRef {
+  Row row;
+  Interval valid{TimePoint::Beginning(), TimePoint::Forever()};
+  Interval tx{TimePoint::Beginning(), TimePoint::Forever()};
+  Tid tid;
+  bool in_history = false;  // lives in a two-level relation's history store
+
+  /// "Current" in the sense the DML layer qualifies versions: still open in
+  /// transaction time, and (for interval relations) still open in valid
+  /// time.
+  bool IsCurrent(const Schema& schema) const {
+    if (schema.tx_stop_index() >= 0 && !tx.to.is_forever()) return false;
+    if (HasValidTime(schema.db_type()) &&
+        schema.entity_kind() == EntityKind::kInterval &&
+        !valid.to.is_forever()) {
+      return false;
+    }
+    return true;
+  }
+};
+
+/// Decodes a stored record into a VersionRef (row + lifespans).
+Result<VersionRef> DecodeVersion(const Schema& schema, const uint8_t* rec,
+                                 size_t size, Tid tid, bool in_history);
+
+/// Re-derives the lifespans of a VersionRef whose row was modified.
+void RefreshIntervals(const Schema& schema, VersionRef* ref);
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_EXEC_VERSION_H_

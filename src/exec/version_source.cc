@@ -1,0 +1,138 @@
+#include "exec/version_source.h"
+
+namespace tdb {
+
+Result<std::unique_ptr<VersionSource>> VersionSource::Create(Relation* rel,
+                                                             AccessSpec spec) {
+  if (spec.kind == AccessSpec::Kind::kKeyed &&
+      rel->primary()->org() == Organization::kHeap) {
+    return Status::Invalid("keyed access on a heap relation");
+  }
+  if (spec.kind == AccessSpec::Kind::kIndexEq && spec.index == nullptr) {
+    return Status::Internal("index access without an index");
+  }
+  return std::unique_ptr<VersionSource>(
+      new VersionSource(rel, std::move(spec)));
+}
+
+Result<bool> VersionSource::Next() {
+  switch (spec_.kind) {
+    case AccessSpec::Kind::kScan:
+    case AccessSpec::Kind::kRange:
+      return NextScan();
+    case AccessSpec::Kind::kKeyed:
+      return NextKeyed();
+    case AccessSpec::Kind::kIndexEq:
+      return NextIndex();
+  }
+  return Status::Internal("unreachable access kind");
+}
+
+Result<bool> VersionSource::NextScan() {
+  const Schema& schema = rel_->schema();
+  while (true) {
+    if (stage_ == Stage::kDone) return false;
+    if (cursor_ == nullptr) {
+      if (stage_ == Stage::kPrimary) {
+        if (spec_.kind == AccessSpec::Kind::kRange) {
+          TDB_ASSIGN_OR_RETURN(
+              cursor_, rel_->primary()->ScanRange(spec_.lo, spec_.lo_inclusive,
+                                                  spec_.hi,
+                                                  spec_.hi_inclusive));
+        } else {
+          TDB_ASSIGN_OR_RETURN(cursor_, rel_->primary()->Scan());
+        }
+      } else {
+        // The history store is a heap: range bounds cannot be used here;
+        // the executor re-applies every predicate, so a full scan is
+        // correct (just not accelerated).
+        TDB_ASSIGN_OR_RETURN(cursor_, rel_->history()->Scan());
+      }
+    }
+    TDB_ASSIGN_OR_RETURN(bool have, cursor_->Next());
+    if (!have) {
+      cursor_.reset();
+      if (stage_ == Stage::kPrimary && rel_->two_level() &&
+          !spec_.current_only) {
+        stage_ = Stage::kHistoryScan;
+        continue;
+      }
+      stage_ = Stage::kDone;
+      return false;
+    }
+    bool in_history = stage_ == Stage::kHistoryScan;
+    // History records carry an 8-byte back pointer past the schema record.
+    TDB_ASSIGN_OR_RETURN(
+        ref_, DecodeVersion(schema, cursor_->record().data(),
+                            schema.record_size(), cursor_->tid(), in_history));
+    return true;
+  }
+}
+
+Result<bool> VersionSource::NextKeyed() {
+  const Schema& schema = rel_->schema();
+  while (true) {
+    switch (stage_) {
+      case Stage::kPrimary: {
+        if (cursor_ == nullptr) {
+          TDB_ASSIGN_OR_RETURN(cursor_, rel_->primary()->ScanKey(spec_.key));
+        }
+        TDB_ASSIGN_OR_RETURN(bool have, cursor_->Next());
+        if (have) {
+          TDB_ASSIGN_OR_RETURN(
+              ref_, DecodeVersion(schema, cursor_->record().data(),
+                                  schema.record_size(), cursor_->tid(),
+                                  /*in_history=*/false));
+          return true;
+        }
+        cursor_.reset();
+        if (rel_->two_level() && !spec_.current_only) {
+          TDB_ASSIGN_OR_RETURN(chain_next_, rel_->AnchorLookup(spec_.key));
+          stage_ = Stage::kHistoryChain;
+          continue;
+        }
+        stage_ = Stage::kDone;
+        return false;
+      }
+      case Stage::kHistoryChain: {
+        if (!chain_next_.has_value()) {
+          stage_ = Stage::kDone;
+          return false;
+        }
+        Tid tid = *chain_next_;
+        TDB_ASSIGN_OR_RETURN(auto rec, rel_->FetchHistory(tid));
+        TDB_ASSIGN_OR_RETURN(chain_next_, rel_->HistoryBackPtr(tid));
+        TDB_ASSIGN_OR_RETURN(
+            ref_, DecodeVersion(schema, rec.data(), rec.size(), tid,
+                                /*in_history=*/true));
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+}
+
+Result<bool> VersionSource::NextIndex() {
+  const Schema& schema = rel_->schema();
+  if (!entries_loaded_) {
+    TDB_ASSIGN_OR_RETURN(entries_,
+                         spec_.index->Lookup(spec_.key, spec_.current_only));
+    entries_loaded_ = true;
+    entry_pos_ = 0;
+  }
+  while (entry_pos_ < entries_.size()) {
+    const IndexEntryRef& entry = entries_[entry_pos_++];
+    Result<std::vector<uint8_t>> rec =
+        entry.in_history ? rel_->FetchHistory(entry.tid)
+                         : rel_->FetchPrimary(entry.tid);
+    if (!rec.ok()) return rec.status();
+    TDB_ASSIGN_OR_RETURN(
+        ref_, DecodeVersion(schema, rec->data(), schema.record_size(),
+                            entry.tid, entry.in_history));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tdb

@@ -1,0 +1,75 @@
+#ifndef CHRONOQUEL_EXEC_VERSION_SOURCE_H_
+#define CHRONOQUEL_EXEC_VERSION_SOURCE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/relation.h"
+#include "exec/version.h"
+#include "index/secondary_index.h"
+
+namespace tdb {
+
+/// Concrete access-path arguments for one variable.
+struct AccessSpec {
+  enum class Kind { kScan, kKeyed, kIndexEq, kRange };
+  Kind kind = Kind::kScan;
+  Value key;                        // kKeyed / kIndexEq probe value
+  SecondaryIndex* index = nullptr;  // kIndexEq
+  // kRange bounds (ISAM primary organizations only).
+  std::optional<Value> lo;
+  std::optional<Value> hi;
+  bool lo_inclusive = true;
+  bool hi_inclusive = true;
+  /// Skip history data (two-level store / 2-level index) — valid only when
+  /// the statement's clauses restrict the variable to current versions.
+  bool current_only = false;
+};
+
+/// Streams the VersionRefs of one relation reachable through an access
+/// path.  For conventional relations everything comes from the primary
+/// file.  For a two-level relation:
+///   * kScan visits the primary file and then (unless current_only) the
+///     entire history store;
+///   * kKeyed visits the primary chain for the key and then (unless
+///     current_only) walks the key's history chain from its anchor;
+///   * kIndexEq resolves entries through the secondary index and fetches
+///     each referenced version from the proper store.
+class VersionSource {
+ public:
+  static Result<std::unique_ptr<VersionSource>> Create(Relation* rel,
+                                                       AccessSpec spec);
+
+  /// Advances; false at end.  The current version is `ref()`.
+  Result<bool> Next();
+  const VersionRef& ref() const { return ref_; }
+
+ private:
+  VersionSource(Relation* rel, AccessSpec spec)
+      : rel_(rel), spec_(std::move(spec)) {}
+
+  Result<bool> NextScan();
+  Result<bool> NextKeyed();
+  Result<bool> NextIndex();
+
+  Relation* rel_;
+  AccessSpec spec_;
+  VersionRef ref_;
+
+  // scan / keyed state
+  enum class Stage { kPrimary, kHistoryScan, kHistoryChain, kDone };
+  Stage stage_ = Stage::kPrimary;
+  std::unique_ptr<Cursor> cursor_;
+  std::optional<Tid> chain_next_;
+  bool started_ = false;
+
+  // index state
+  std::vector<IndexEntryRef> entries_;
+  size_t entry_pos_ = 0;
+  bool entries_loaded_ = false;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_EXEC_VERSION_SOURCE_H_

@@ -1,0 +1,194 @@
+#include "index/secondary_index.h"
+
+#include <cstring>
+
+#include "util/stringx.h"
+
+namespace tdb {
+
+namespace {
+
+/// Default bucket count for a hash-structured index: sized for one entry
+/// per tuple of a benchmark-scale relation; chains grow beyond that.
+constexpr uint32_t kDefaultIndexBuckets = 16;
+
+Result<std::unique_ptr<StorageFile>> OpenIndexFile(
+    Env* env, const std::string& path, const RecordLayout& layout,
+    Organization org, uint32_t nbuckets, IoCounters* counters, int frames) {
+  bool fresh = !env->FileExists(path);
+  TDB_ASSIGN_OR_RETURN(auto pager, Pager::Open(env, path, counters, frames));
+  if (org == Organization::kHash) {
+    if (fresh || pager->page_count() == 0) {
+      TDB_ASSIGN_OR_RETURN(auto file,
+                           HashFile::Create(std::move(pager), layout, nbuckets));
+      return std::unique_ptr<StorageFile>(std::move(file));
+    }
+    TDB_ASSIGN_OR_RETURN(auto file,
+                         HashFile::Open(std::move(pager), layout, nbuckets));
+    return std::unique_ptr<StorageFile>(std::move(file));
+  }
+  TDB_ASSIGN_OR_RETURN(auto file, HeapFile::Open(std::move(pager), layout,
+                                                 IoCategory::kIndex));
+  return std::unique_ptr<StorageFile>(std::move(file));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Open(
+    Env* env, const std::string& dir, const IndexMeta& meta,
+    const Attribute& attr, IoCounters* current_counters,
+    IoCounters* history_counters, int buffer_frames) {
+  if (meta.org != Organization::kHeap && meta.org != Organization::kHash) {
+    return Status::Invalid("index structure must be heap or hash");
+  }
+  RecordLayout layout;
+  layout.key_offset = 0;
+  layout.key_type = attr.type;
+  layout.key_width = attr.width;
+  layout.record_size = static_cast<uint16_t>(attr.width + 8);
+
+  uint32_t nbuckets = meta.nbuckets > 0 ? meta.nbuckets : kDefaultIndexBuckets;
+  TDB_ASSIGN_OR_RETURN(
+      auto current,
+      OpenIndexFile(env, dir + "/" + meta.CurrentFileName(), layout, meta.org,
+                    nbuckets, current_counters, buffer_frames));
+  std::unique_ptr<StorageFile> history;
+  if (meta.levels == 2) {
+    uint32_t hbuckets =
+        meta.history_nbuckets > 0 ? meta.history_nbuckets : kDefaultIndexBuckets;
+    TDB_ASSIGN_OR_RETURN(
+        history,
+        OpenIndexFile(env, dir + "/" + meta.HistoryFileName(), layout,
+                      meta.org, hbuckets, history_counters, buffer_frames));
+  }
+  return std::unique_ptr<SecondaryIndex>(new SecondaryIndex(
+      meta, layout, std::move(current), std::move(history)));
+}
+
+std::vector<uint8_t> SecondaryIndex::EncodeEntry(const Value& key, Tid tid,
+                                                 bool in_history_store) const {
+  std::vector<uint8_t> rec(layout_.record_size, 0);
+  // Key bytes.
+  switch (layout_.key_type) {
+    case TypeId::kInt1:
+    case TypeId::kInt2:
+    case TypeId::kInt4: {
+      int64_t v = key.AsInt();
+      std::memcpy(rec.data(), &v, layout_.key_width);
+      break;
+    }
+    case TypeId::kFloat8: {
+      double v = key.AsDouble();
+      std::memcpy(rec.data(), &v, 8);
+      break;
+    }
+    case TypeId::kChar: {
+      const std::string& s = key.AsString();
+      size_t n = std::min<size_t>(s.size(), layout_.key_width);
+      std::memcpy(rec.data(), s.data(), n);
+      std::memset(rec.data() + n, ' ', layout_.key_width - n);
+      break;
+    }
+    case TypeId::kTime: {
+      int32_t v = key.AsTime().seconds();
+      std::memcpy(rec.data(), &v, 4);
+      break;
+    }
+  }
+  uint8_t* p = rec.data() + layout_.key_width;
+  std::memcpy(p, &tid.page, 4);
+  std::memcpy(p + 4, &tid.slot, 2);
+  uint16_t flags = in_history_store ? 1 : 0;
+  std::memcpy(p + 6, &flags, 2);
+  return rec;
+}
+
+IndexEntryRef SecondaryIndex::DecodeEntry(const RecordLayout& layout,
+                                          const uint8_t* rec) {
+  const uint8_t* p = rec + layout.key_width;
+  IndexEntryRef ref;
+  std::memcpy(&ref.tid.page, p, 4);
+  std::memcpy(&ref.tid.slot, p + 4, 2);
+  uint16_t flags = 0;
+  std::memcpy(&flags, p + 6, 2);
+  ref.in_history = (flags & 1) != 0;
+  return ref;
+}
+
+Status SecondaryIndex::InsertCurrent(const Value& key, Tid tid,
+                                     bool in_history_store) {
+  std::vector<uint8_t> rec = EncodeEntry(key, tid, in_history_store);
+  return current_->Insert(rec.data(), rec.size(), nullptr);
+}
+
+Status SecondaryIndex::InsertHistory(const Value& key, Tid tid,
+                                     bool in_history_store) {
+  StorageFile* file = meta_.levels == 2 ? history_.get() : current_.get();
+  std::vector<uint8_t> rec = EncodeEntry(key, tid, in_history_store);
+  return file->Insert(rec.data(), rec.size(), nullptr);
+}
+
+Result<Tid> SecondaryIndex::FindEntry(StorageFile* file, const Value& key,
+                                      Tid tid) {
+  std::unique_ptr<Cursor> cur;
+  if (file->org() == Organization::kHash) {
+    TDB_ASSIGN_OR_RETURN(cur, file->ScanKey(key));
+  } else {
+    TDB_ASSIGN_OR_RETURN(cur, file->Scan());
+  }
+  while (true) {
+    TDB_ASSIGN_OR_RETURN(bool have, cur->Next());
+    if (!have) break;
+    if (!layout_.KeyOf(cur->record().data()).Equals(key)) continue;
+    IndexEntryRef ref = DecodeEntry(layout_, cur->record().data());
+    if (ref.tid == tid) return cur->tid();
+  }
+  return Status::NotFound("index entry not found");
+}
+
+Status SecondaryIndex::RemoveCurrent(const Value& key, Tid tid) {
+  TDB_ASSIGN_OR_RETURN(Tid slot, FindEntry(current_.get(), key, tid));
+  return current_->Erase(slot);
+}
+
+Status SecondaryIndex::MoveToHistory(const Value& key, Tid old_tid,
+                                     Tid new_tid, bool new_in_history_store) {
+  if (meta_.levels == 2) {
+    TDB_RETURN_NOT_OK(RemoveCurrent(key, old_tid));
+    return InsertHistory(key, new_tid, new_in_history_store);
+  }
+  // 1-level: rewrite the entry in place if the version moved.
+  if (old_tid == new_tid) return Status::OK();
+  TDB_ASSIGN_OR_RETURN(Tid slot, FindEntry(current_.get(), key, old_tid));
+  std::vector<uint8_t> rec = EncodeEntry(key, new_tid, new_in_history_store);
+  return current_->UpdateInPlace(slot, rec.data(), rec.size());
+}
+
+Status SecondaryIndex::CollectMatches(StorageFile* file, const Value& key,
+                                      std::vector<IndexEntryRef>* out) {
+  std::unique_ptr<Cursor> cur;
+  if (file->org() == Organization::kHash) {
+    TDB_ASSIGN_OR_RETURN(cur, file->ScanKey(key));
+  } else {
+    TDB_ASSIGN_OR_RETURN(cur, file->Scan());
+  }
+  while (true) {
+    TDB_ASSIGN_OR_RETURN(bool have, cur->Next());
+    if (!have) break;
+    if (!layout_.KeyOf(cur->record().data()).Equals(key)) continue;
+    out->push_back(DecodeEntry(layout_, cur->record().data()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<IndexEntryRef>> SecondaryIndex::Lookup(const Value& key,
+                                                          bool current_only) {
+  std::vector<IndexEntryRef> out;
+  TDB_RETURN_NOT_OK(CollectMatches(current_.get(), key, &out));
+  if (!current_only && history_ != nullptr) {
+    TDB_RETURN_NOT_OK(CollectMatches(history_.get(), key, &out));
+  }
+  return out;
+}
+
+}  // namespace tdb

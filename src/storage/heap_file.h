@@ -1,0 +1,57 @@
+#ifndef CHRONOQUEL_STORAGE_HEAP_FILE_H_
+#define CHRONOQUEL_STORAGE_HEAP_FILE_H_
+
+#include <memory>
+
+#include "storage/storage_file.h"
+
+namespace tdb {
+
+/// Unordered file of fixed-width records; inserts append to the tail page.
+/// Used for freshly-created relations (before `modify`), temporary
+/// relations, and the simple (non-clustered) history store.
+class HeapFile : public StorageFile {
+ public:
+  /// Opens an existing (possibly empty) heap file.
+  static Result<std::unique_ptr<HeapFile>> Open(std::unique_ptr<Pager> pager,
+                                                const RecordLayout& layout,
+                                                IoCategory category = IoCategory::kData);
+
+  Organization org() const override { return Organization::kHeap; }
+
+  Status Insert(const uint8_t* rec, size_t size, Tid* tid) override;
+
+  /// Inserts into `page_hint` if it has a free slot, otherwise into a brand
+  /// new page.  Used by the *clustered* history store to keep all versions
+  /// of one tuple on a minimal number of (per-tuple) pages.
+  Status InsertAtPage(uint32_t page_hint, const uint8_t* rec, size_t size,
+                      Tid* tid);
+
+  /// Inserts into a freshly allocated page (starting a per-tuple cluster).
+  Status InsertFreshPage(const uint8_t* rec, size_t size, Tid* tid);
+  Status UpdateInPlace(const Tid& tid, const uint8_t* rec,
+                       size_t size) override;
+  Status Erase(const Tid& tid) override;
+  Result<std::unique_ptr<Cursor>> Scan() override;
+  Result<std::unique_ptr<Cursor>> ScanKey(const Value& key) override;
+  Result<std::vector<uint8_t>> Fetch(const Tid& tid) override;
+  Pager* pager() override { return pager_.get(); }
+
+ private:
+  HeapFile(std::unique_ptr<Pager> pager, const RecordLayout& layout,
+           IoCategory category)
+      : StorageFile(layout), pager_(std::move(pager)), category_(category) {}
+
+  std::unique_ptr<Pager> pager_;
+  /// Temp relations tag their I/O kTemp so the harness can separate the
+  /// fixed cost; ordinary heaps use kData.
+  IoCategory category_;
+  /// Slots freed by Erase, reused by Insert so a heap with a stable live
+  /// set (e.g. the current file of a 2-level index) does not grow without
+  /// bound.  A session-local hint: slots freed before reopen stay as holes.
+  std::vector<Tid> free_hints_;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_STORAGE_HEAP_FILE_H_

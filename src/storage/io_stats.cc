@@ -1,0 +1,41 @@
+#include "storage/io_stats.h"
+
+namespace tdb {
+
+const char* IoCategoryName(IoCategory c) {
+  switch (c) {
+    case IoCategory::kData:
+      return "data";
+    case IoCategory::kOverflow:
+      return "overflow";
+    case IoCategory::kDirectory:
+      return "directory";
+    case IoCategory::kIndex:
+      return "index";
+    case IoCategory::kTemp:
+      return "temp";
+  }
+  return "?";
+}
+
+IoCounters* IoRegistry::ForFile(const std::string& file_name) {
+  auto it = by_file_.find(file_name);
+  if (it == by_file_.end()) {
+    it = by_file_.emplace(file_name, std::make_unique<IoCounters>()).first;
+    it->second->trace = &trace_;
+    it->second->trace_file_id = static_cast<uint32_t>(by_file_.size() - 1);
+  }
+  return it->second.get();
+}
+
+void IoRegistry::ResetAll() {
+  for (auto& [_, counters] : by_file_) counters->Reset();
+}
+
+IoCounters IoRegistry::Total() const {
+  IoCounters total;
+  for (const auto& [_, counters] : by_file_) total += *counters;
+  return total;
+}
+
+}  // namespace tdb

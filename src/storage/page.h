@@ -1,0 +1,106 @@
+#ifndef CHRONOQUEL_STORAGE_PAGE_H_
+#define CHRONOQUEL_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace tdb {
+
+/// The prototype's page size (Section 5.1: "The page size in our prototype
+/// is 1024 bytes").  With the benchmark's 108-byte user payload this yields
+/// 9 tuples per page for static relations and 8 per page for rollback /
+/// historical / temporal relations, matching the paper.
+inline constexpr uint32_t kPageSize = 1024;
+
+/// Bytes of page header: overflow link (4) + slot bitmap (8).
+inline constexpr uint32_t kPageHeaderSize = 12;
+
+/// Sentinel "no overflow page" link.
+inline constexpr uint32_t kNoPage = 0xFFFFFFFFu;
+
+/// A fixed-width-record slotted page.  Page is a *view* over a 1024-byte
+/// frame owned by the Pager; it never allocates.
+///
+/// Layout:
+///   [0..3]   next overflow page number (kNoPage if none)
+///   [4..11]  bitmap of used slots (at most 64 slots per page; benchmark
+///            relations use 8-9, index/anchor entries up to 64)
+///   [12.. ]  record slots, record_size bytes each
+class Page {
+ public:
+  Page(uint8_t* frame, uint16_t record_size)
+      : frame_(frame), record_size_(record_size) {}
+
+  /// Number of record slots a page holds for this record size.
+  static uint16_t Capacity(uint16_t record_size) {
+    uint16_t cap = static_cast<uint16_t>((kPageSize - kPageHeaderSize) /
+                                         record_size);
+    return cap > 64 ? 64 : cap;  // bitmap is 64 bits wide
+  }
+
+  uint16_t capacity() const { return Capacity(record_size_); }
+
+  uint32_t next_overflow() const {
+    uint32_t v;
+    std::memcpy(&v, frame_, 4);
+    return v;
+  }
+  void set_next_overflow(uint32_t pno) { std::memcpy(frame_, &pno, 4); }
+
+  uint64_t used_bitmap() const {
+    uint64_t v;
+    std::memcpy(&v, frame_ + 4, 8);
+    return v;
+  }
+  void set_used_bitmap(uint64_t v) { std::memcpy(frame_ + 4, &v, 8); }
+
+  bool SlotUsed(uint16_t slot) const {
+    return (used_bitmap() >> slot) & 1u;
+  }
+  void SetSlotUsed(uint16_t slot, bool used) {
+    uint64_t bm = used_bitmap();
+    if (used) {
+      bm |= uint64_t{1} << slot;
+    } else {
+      bm &= ~(uint64_t{1} << slot);
+    }
+    set_used_bitmap(bm);
+  }
+
+  /// Number of used slots.
+  uint16_t SlotCount() const {
+    return static_cast<uint16_t>(__builtin_popcountll(used_bitmap()));
+  }
+
+  bool Full() const { return SlotCount() >= capacity(); }
+
+  /// First free slot index, or -1 if the page is full.
+  int FirstFreeSlot() const {
+    uint64_t bm = used_bitmap();
+    for (uint16_t i = 0; i < capacity(); ++i) {
+      if (!((bm >> i) & 1u)) return i;
+    }
+    return -1;
+  }
+
+  uint8_t* RecordAt(uint16_t slot) {
+    return frame_ + kPageHeaderSize + slot * record_size_;
+  }
+  const uint8_t* RecordAt(uint16_t slot) const {
+    return frame_ + kPageHeaderSize + slot * record_size_;
+  }
+
+  /// Zeroes the header (fresh page, no overflow, no slots).
+  void Format() {
+    set_next_overflow(kNoPage);
+    set_used_bitmap(0);
+  }
+
+ private:
+  uint8_t* frame_;
+  uint16_t record_size_;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_STORAGE_PAGE_H_

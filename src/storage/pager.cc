@@ -1,0 +1,121 @@
+#include "storage/pager.h"
+
+#include <cstring>
+
+#include "util/stringx.h"
+
+namespace tdb {
+
+Result<std::unique_ptr<Pager>> Pager::Open(Env* env, const std::string& path,
+                                           IoCounters* counters, int frames) {
+  if (frames < 1 || frames > 1024) {
+    return Status::Invalid("pager frame count must be in [1, 1024]");
+  }
+  TDB_ASSIGN_OR_RETURN(auto file, env->OpenOrCreate(path));
+  TDB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (size % kPageSize != 0) {
+    return Status::Corruption(
+        StrPrintf("file '%s' size %llu is not page aligned", path.c_str(),
+                  static_cast<unsigned long long>(size)));
+  }
+  return std::unique_ptr<Pager>(
+      new Pager(std::move(file), path, counters,
+                static_cast<uint32_t>(size / kPageSize), frames));
+}
+
+Pager::Frame* Pager::FindFrame(uint32_t pno) {
+  for (Frame& frame : frames_) {
+    if (frame.pno == pno) return &frame;
+  }
+  return nullptr;
+}
+
+Status Pager::FlushFrame(Frame* frame) {
+  if (!frame->dirty || frame->pno == kNoPage) return Status::OK();
+  TDB_RETURN_NOT_OK(file_->Write(
+      static_cast<uint64_t>(frame->pno) * kPageSize, frame->data, kPageSize));
+  Count(/*write=*/true, frame->category, frame->pno);
+  frame->dirty = false;
+  return Status::OK();
+}
+
+Result<Pager::Frame*> Pager::EvictableFrame() {
+  Frame* victim = &frames_[0];
+  for (Frame& frame : frames_) {
+    if (frame.pno == kNoPage) {
+      victim = &frame;
+      break;
+    }
+    if (frame.last_use < victim->last_use) victim = &frame;
+  }
+  TDB_RETURN_NOT_OK(FlushFrame(victim));
+  return victim;
+}
+
+Result<uint8_t*> Pager::ReadPage(uint32_t pno, IoCategory cat) {
+  if (pno >= page_count_) {
+    return Status::OutOfRange(StrPrintf("page %u >= page count %u in '%s'",
+                                        pno, page_count_, path_.c_str()));
+  }
+  Frame* frame = FindFrame(pno);
+  if (frame == nullptr) {
+    TDB_ASSIGN_OR_RETURN(frame, EvictableFrame());
+    TDB_RETURN_NOT_OK(file_->Read(static_cast<uint64_t>(pno) * kPageSize,
+                                  kPageSize, frame->data));
+    Count(/*write=*/false, cat, pno);
+    frame->pno = pno;
+    frame->category = cat;
+    frame->dirty = false;
+  }
+  frame->last_use = ++tick_;
+  last_touched_ = frame;
+  return frame->data;
+}
+
+void Pager::MarkDirty() {
+  if (last_touched_ != nullptr) last_touched_->dirty = true;
+}
+
+Result<uint32_t> Pager::AllocatePage(IoCategory cat) {
+  TDB_ASSIGN_OR_RETURN(Frame * frame, EvictableFrame());
+  uint32_t pno = page_count_;
+  std::memset(frame->data, 0, kPageSize);
+  // Format a valid empty page header (no overflow link).
+  uint32_t none = kNoPage;
+  std::memcpy(frame->data, &none, 4);
+  frame->pno = pno;
+  frame->category = cat;
+  frame->dirty = true;
+  frame->last_use = ++tick_;
+  last_touched_ = frame;
+  ++page_count_;
+  // Extend the file now so page_count derived from size stays consistent
+  // even if the frame is evicted later.
+  TDB_RETURN_NOT_OK(file_->Truncate(static_cast<uint64_t>(page_count_) *
+                                    kPageSize));
+  return pno;
+}
+
+Status Pager::Flush() {
+  for (Frame& frame : frames_) TDB_RETURN_NOT_OK(FlushFrame(&frame));
+  return Status::OK();
+}
+
+Status Pager::FlushAndDrop() {
+  TDB_RETURN_NOT_OK(Flush());
+  for (Frame& frame : frames_) frame.pno = kNoPage;
+  last_touched_ = nullptr;
+  return Status::OK();
+}
+
+Status Pager::Reset() {
+  for (Frame& frame : frames_) {
+    frame.pno = kNoPage;
+    frame.dirty = false;
+  }
+  last_touched_ = nullptr;
+  page_count_ = 0;
+  return file_->Truncate(0);
+}
+
+}  // namespace tdb

@@ -1,0 +1,116 @@
+#ifndef CHRONOQUEL_STORAGE_PAGER_H_
+#define CHRONOQUEL_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace tdb {
+
+/// Page-granularity access to one relation file through a small pool of
+/// buffer frames (LRU).  The default — and the paper's measurement
+/// discipline — is a SINGLE frame: "allocated only 1 buffer for each user
+/// relation so that a page resides in main memory only until another page
+/// from the same relation is brought in."  `bench/ablation_buffers` sweeps
+/// the pool size to show why the paper controlled for it.
+///
+/// Accounting rules:
+///  * ReadPage(p) of a resident page is free; a miss costs one read
+///    (tagged with the caller-supplied category).
+///  * Writes are buffered in the frame and cost one write when the dirty
+///    frame is evicted or flushed.
+class Pager {
+ public:
+  /// Opens (or creates empty) the file at `path` within `env`.  `counters`
+  /// may be null (I/O not accounted, e.g. catalog internals).
+  static Result<std::unique_ptr<Pager>> Open(Env* env, const std::string& path,
+                                             IoCounters* counters,
+                                             int frames = 1);
+
+  ~Pager() { (void)Flush(); }
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Brings page `pno` into a frame (evicting the LRU frame as needed) and
+  /// returns the frame pointer.  The pointer is invalidated by the next
+  /// ReadPage/AllocatePage call.
+  Result<uint8_t*> ReadPage(uint32_t pno, IoCategory cat);
+
+  /// Marks the most recently returned frame dirty (its write will be
+  /// counted on eviction).
+  void MarkDirty();
+
+  /// Appends a fresh zeroed page, loads it into a frame, and returns its
+  /// page number.  The new page is dirty.
+  Result<uint32_t> AllocatePage(IoCategory cat);
+
+  /// Writes back every dirty frame.
+  Status Flush();
+
+  /// Flushes and empties every frame, so the next ReadPage of any page is
+  /// counted.  Measurement harnesses call this between queries so one
+  /// query's resident pages cannot subsidize the next.
+  Status FlushAndDrop();
+
+  uint32_t page_count() const { return page_count_; }
+  const std::string& path() const { return path_; }
+  IoCounters* counters() const { return counters_; }
+  int num_frames() const { return static_cast<int>(frames_.size()); }
+
+  /// Truncates to zero pages (used by `modify`, which rebuilds the file).
+  Status Reset();
+
+ private:
+  struct Frame {
+    uint8_t data[kPageSize];
+    uint32_t pno = kNoPage;
+    bool dirty = false;
+    IoCategory category = IoCategory::kData;
+    uint64_t last_use = 0;
+  };
+
+  Pager(std::unique_ptr<RandomRWFile> file, std::string path,
+        IoCounters* counters, uint32_t page_count, int frames)
+      : file_(std::move(file)),
+        path_(std::move(path)),
+        counters_(counters),
+        page_count_(page_count),
+        frames_(static_cast<size_t>(frames)) {}
+
+  void Count(bool write, IoCategory cat, uint32_t pno) {
+    if (counters_ == nullptr) return;
+    if (write) {
+      ++counters_->writes[static_cast<int>(cat)];
+    } else {
+      ++counters_->reads[static_cast<int>(cat)];
+    }
+    if (counters_->trace != nullptr) {
+      counters_->trace->Record(counters_->trace_file_id, pno, write);
+    }
+  }
+
+  /// Frame holding `pno`, or null.
+  Frame* FindFrame(uint32_t pno);
+  /// The least recently used frame (flushing it if dirty).
+  Result<Frame*> EvictableFrame();
+  Status FlushFrame(Frame* frame);
+
+  std::unique_ptr<RandomRWFile> file_;
+  std::string path_;
+  IoCounters* counters_;
+  uint32_t page_count_;
+  std::vector<Frame> frames_;
+  Frame* last_touched_ = nullptr;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_STORAGE_PAGER_H_

@@ -1,0 +1,55 @@
+#include "storage/storage_file.h"
+
+#include <cstring>
+
+namespace tdb {
+
+const char* OrganizationName(Organization o) {
+  switch (o) {
+    case Organization::kHeap:
+      return "heap";
+    case Organization::kHash:
+      return "hash";
+    case Organization::kIsam:
+      return "isam";
+    case Organization::kBtree:
+      return "btree";
+  }
+  return "?";
+}
+
+Value RecordLayout::KeyFromBytes(const uint8_t* p) const {
+  switch (key_type) {
+    case TypeId::kInt1: {
+      int8_t v;
+      std::memcpy(&v, p, 1);
+      return Value::Int1(v);
+    }
+    case TypeId::kInt2: {
+      int16_t v;
+      std::memcpy(&v, p, 2);
+      return Value::Int2(v);
+    }
+    case TypeId::kInt4: {
+      int32_t v;
+      std::memcpy(&v, p, 4);
+      return Value::Int4(v);
+    }
+    case TypeId::kFloat8: {
+      double v;
+      std::memcpy(&v, p, 8);
+      return Value::Float8(v);
+    }
+    case TypeId::kChar:
+      return Value::Char(
+          std::string(reinterpret_cast<const char*>(p), key_width));
+    case TypeId::kTime: {
+      int32_t v;
+      std::memcpy(&v, p, 4);
+      return Value::Time(TimePoint(v));
+    }
+  }
+  return Value();
+}
+
+}  // namespace tdb

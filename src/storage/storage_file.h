@@ -1,0 +1,137 @@
+#ifndef CHRONOQUEL_STORAGE_STORAGE_FILE_H_
+#define CHRONOQUEL_STORAGE_STORAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/pager.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace tdb {
+
+/// Storage organizations available through `modify` — the access methods the
+/// paper benchmarks (heap for temps/bulk load, static hashing, ISAM) plus
+/// the B+-tree its Section 6 contemplates as a dynamic alternative.
+enum class Organization : uint8_t {
+  kHeap,
+  kHash,
+  kIsam,
+  kBtree,
+};
+
+const char* OrganizationName(Organization o);
+
+/// Physical tuple identifier: page number + slot within the page.
+struct Tid {
+  uint32_t page = 0;
+  uint16_t slot = 0;
+
+  friend bool operator==(const Tid& a, const Tid& b) {
+    return a.page == b.page && a.slot == b.slot;
+  }
+};
+
+/// How records of a file are laid out, plus where its key lives (for hash /
+/// ISAM organizations).  Derived from the relation's Schema by the catalog.
+struct RecordLayout {
+  uint16_t record_size = 0;
+  int key_offset = -1;  // -1 when the organization is keyless (heap)
+  TypeId key_type = TypeId::kInt4;
+  uint16_t key_width = 4;
+
+  bool has_key() const { return key_offset >= 0; }
+
+  /// Decodes the key attribute out of an encoded record.
+  Value KeyOf(const uint8_t* rec) const { return KeyFromBytes(rec + key_offset); }
+
+  /// Decodes a bare key (as stored in ISAM directory entries).
+  Value KeyFromBytes(const uint8_t* p) const;
+};
+
+/// Iterator over the records of a file (or of one key's chain).  Usage:
+///   auto cur = file->Scan();
+///   while (true) {
+///     TDB_ASSIGN_OR_RETURN(bool have, cur->Next());
+///     if (!have) break;
+///     use(cur->record(), cur->tid());
+///   }
+class Cursor {
+ public:
+  virtual ~Cursor() = default;
+
+  /// Advances to the next record; returns false at end of stream.
+  virtual Result<bool> Next() = 0;
+
+  /// Valid after Next() returned true, until the next call to Next().
+  const std::vector<uint8_t>& record() const { return record_; }
+  const Tid& tid() const { return tid_; }
+
+ protected:
+  std::vector<uint8_t> record_;
+  Tid tid_;
+};
+
+/// A record file in one of the three organizations.  All mutations go
+/// through the owning relation's single-frame Pager, so every page touched
+/// is accounted exactly as the paper counts it.
+class StorageFile {
+ public:
+  virtual ~StorageFile() = default;
+
+  virtual Organization org() const = 0;
+
+  /// Inserts a record (respecting the organization's placement rule) and
+  /// reports where it landed.
+  virtual Status Insert(const uint8_t* rec, size_t size, Tid* tid) = 0;
+
+  /// Overwrites the record at `tid` in place (used for stamping transaction
+  /// stop / valid to on the current version; never moves the record).
+  virtual Status UpdateInPlace(const Tid& tid, const uint8_t* rec,
+                               size_t size) = 0;
+
+  /// Removes the record at `tid` (static relations only — versioned types
+  /// never physically delete).
+  virtual Status Erase(const Tid& tid) = 0;
+
+  /// Full scan: data pages and overflow chains; ISAM directory pages are
+  /// skipped, exactly as a Quel sequential scan reads them.
+  virtual Result<std::unique_ptr<Cursor>> Scan() = 0;
+
+  /// Keyed access: all records in the chain(s) a key hashes/maps to whose
+  /// key attribute equals `key`.  Reads the entire chain (the paper's
+  /// "version scan" behaviour).  Heap files return NotSupported.
+  virtual Result<std::unique_ptr<Cursor>> ScanKey(const Value& key) = 0;
+
+  /// Key-range access: records with lo (<|<=) key (<|<=) hi; either bound
+  /// may be absent.  Only order-preserving organizations (ISAM) support
+  /// this; others return NotSupported.
+  virtual Result<std::unique_ptr<Cursor>> ScanRange(
+      const std::optional<Value>& lo, bool lo_inclusive,
+      const std::optional<Value>& hi, bool hi_inclusive) {
+    (void)lo;
+    (void)lo_inclusive;
+    (void)hi;
+    (void)hi_inclusive;
+    return Status::NotSupported("this organization has no range access path");
+  }
+
+  /// Reads the single record at `tid`.
+  virtual Result<std::vector<uint8_t>> Fetch(const Tid& tid) = 0;
+
+  virtual Pager* pager() = 0;
+  uint32_t page_count() { return pager()->page_count(); }
+
+  const RecordLayout& layout() const { return layout_; }
+
+ protected:
+  explicit StorageFile(RecordLayout layout) : layout_(layout) {}
+  RecordLayout layout_;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_STORAGE_STORAGE_FILE_H_

@@ -1,0 +1,29 @@
+#include "temporal/db_type.h"
+
+namespace tdb {
+
+const char* DbTypeName(DbType t) {
+  switch (t) {
+    case DbType::kStatic:
+      return "static";
+    case DbType::kRollback:
+      return "rollback";
+    case DbType::kHistorical:
+      return "historical";
+    case DbType::kTemporal:
+      return "temporal";
+  }
+  return "?";
+}
+
+const char* EntityKindName(EntityKind k) {
+  switch (k) {
+    case EntityKind::kInterval:
+      return "interval";
+    case EntityKind::kEvent:
+      return "event";
+  }
+  return "?";
+}
+
+}  // namespace tdb

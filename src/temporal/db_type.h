@@ -1,0 +1,43 @@
+#ifndef CHRONOQUEL_TEMPORAL_DB_TYPE_H_
+#define CHRONOQUEL_TEMPORAL_DB_TYPE_H_
+
+namespace tdb {
+
+/// The four database (relation) types of the taxonomy in Section 2 /
+/// Figure 1 of the paper.  The type decides which implicit time attributes
+/// a relation carries and which TQuel clauses apply to it:
+///
+///   static      -- no implicit attributes; no `when` / `as of`
+///   rollback    -- transaction_start / transaction_stop; `as of`
+///   historical  -- valid_from / valid_to (or valid_at); `when`, `valid`
+///   temporal    -- all four; `when`, `valid`, `as of`
+enum class DbType {
+  kStatic,
+  kRollback,
+  kHistorical,
+  kTemporal,
+};
+
+/// Historical and temporal relations model either intervals (valid_from /
+/// valid_to) or instantaneous events (a single valid_at attribute).
+enum class EntityKind {
+  kInterval,
+  kEvent,
+};
+
+const char* DbTypeName(DbType t);
+const char* EntityKindName(EntityKind k);
+
+/// True if relations of this type carry transaction time.
+inline bool HasTransactionTime(DbType t) {
+  return t == DbType::kRollback || t == DbType::kTemporal;
+}
+
+/// True if relations of this type carry valid time.
+inline bool HasValidTime(DbType t) {
+  return t == DbType::kHistorical || t == DbType::kTemporal;
+}
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_TEMPORAL_DB_TYPE_H_

@@ -1,0 +1,82 @@
+#ifndef CHRONOQUEL_TEMPORAL_INTERVAL_H_
+#define CHRONOQUEL_TEMPORAL_INTERVAL_H_
+
+#include <algorithm>
+#include <string>
+
+#include "types/timepoint.h"
+
+namespace tdb {
+
+/// A half-open time interval [from, to).  Tuple lifespans (both valid time
+/// and transaction time) are intervals; an event is the degenerate interval
+/// [at, at] which we treat as containing exactly its instant.
+///
+/// TQuel's temporal operators (Section 3 of the paper) are defined here:
+///   start of e   -> from
+///   end of e     -> to
+///   e1 overlap e2 -> the intersection (as an interval), or empty
+///   e1 extend  e2 -> the span from the earliest start to the latest end
+///   e1 precede e2 -> end of e1 <= start of e2
+struct Interval {
+  TimePoint from;
+  TimePoint to;
+
+  constexpr Interval() : from(TimePoint(0)), to(TimePoint(0)) {}
+  constexpr Interval(TimePoint f, TimePoint t) : from(f), to(t) {}
+
+  /// The degenerate interval for an event at `at`.
+  static constexpr Interval Event(TimePoint at) { return Interval(at, at); }
+
+  /// True when the interval contains no instant.  [t, t] (an event) is NOT
+  /// empty; emptiness only arises from to < from (e.g. a vacuous overlap).
+  bool empty() const { return to < from; }
+
+  /// True if `t` lies within the interval.  For a proper interval the upper
+  /// bound is exclusive; for an event interval [t, t] the instant itself is
+  /// contained.
+  bool Contains(TimePoint t) const {
+    if (from == to) return t == from;
+    return from <= t && t < to;
+  }
+
+  /// True for the degenerate event interval [t, t].
+  bool IsEvent() const { return from == to; }
+
+  /// Do the two intervals share at least one instant?  Handles the mixed
+  /// event/interval cases: an event at `t` overlaps [f, to) iff f <= t < to;
+  /// two proper half-open intervals overlap iff each starts before the
+  /// other ends (sharing only an endpoint is not overlap).
+  bool Overlaps(const Interval& other) const {
+    if (empty() || other.empty()) return false;
+    if (IsEvent() && other.IsEvent()) return from == other.from;
+    if (IsEvent()) return other.Contains(from);
+    if (other.IsEvent()) return Contains(other.from);
+    return from < other.to && other.from < to;
+  }
+
+  /// `this` entirely before `other` (end <= other's start).
+  bool Precedes(const Interval& other) const { return to <= other.from; }
+
+  /// Intersection; empty() when disjoint.
+  static Interval Intersect(const Interval& a, const Interval& b) {
+    return Interval(std::max(a.from, b.from), std::min(a.to, b.to));
+  }
+
+  /// Smallest interval covering both ("extend").
+  static Interval Span(const Interval& a, const Interval& b) {
+    return Interval(std::min(a.from, b.from), std::max(a.to, b.to));
+  }
+
+  std::string ToString(TimeResolution res = TimeResolution::kSecond) const {
+    return "[" + from.ToString(res) + ", " + to.ToString(res) + ")";
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.from == b.from && a.to == b.to;
+  }
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_TEMPORAL_INTERVAL_H_

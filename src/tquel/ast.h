@@ -1,0 +1,320 @@
+#ifndef CHRONOQUEL_TQUEL_AST_H_
+#define CHRONOQUEL_TQUEL_AST_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/timepoint.h"
+#include "types/value.h"
+
+namespace tdb {
+
+// ---------------------------------------------------------------------------
+// Value expressions (where clause, target lists)
+// ---------------------------------------------------------------------------
+
+/// Binary / unary operators of Quel expressions.
+enum class ExprOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kNeg,  // unary minus
+};
+
+/// Quel aggregate functions (supported in one-variable queries).
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax, kAny };
+
+/// A scalar expression tree.  Column references are annotated by the binder
+/// (var_index / attr_index / type) before execution.
+struct Expr {
+  enum class Kind {
+    kConstInt,
+    kConstFloat,
+    kConstString,
+    kColumn,
+    kBinary,
+    kUnary,
+    kAggregate,
+  };
+
+  Kind kind;
+
+  // kConst*
+  int64_t int_val = 0;
+  double float_val = 0;
+  std::string str_val;
+
+  // kColumn: var.attr
+  std::string var;
+  std::string attr;
+  int var_index = -1;   // index into the statement's bound variables
+  int attr_index = -1;  // index into the relation's stored schema
+  TypeId column_type = TypeId::kInt4;
+
+  // kBinary / kUnary
+  ExprOp op = ExprOp::kAdd;
+  std::unique_ptr<Expr> left;
+  std::unique_ptr<Expr> right;
+
+  // kAggregate: func(arg [by group-expr] [where agg_where])
+  AggFunc agg = AggFunc::kCount;
+  std::unique_ptr<Expr> agg_arg;
+  std::unique_ptr<Expr> agg_by;     // Quel aggregate function: per-group
+  std::unique_ptr<Expr> agg_where;
+  /// Filled by the executor for `by` aggregates: group key (rendered) ->
+  /// aggregate value; plain aggregates are folded to constants instead.
+  std::shared_ptr<std::map<std::string, Value>> agg_groups;
+
+  static std::unique_ptr<Expr> Int(int64_t v);
+  static std::unique_ptr<Expr> Float(double v);
+  static std::unique_ptr<Expr> Str(std::string v);
+  static std::unique_ptr<Expr> Column(std::string var, std::string attr);
+  static std::unique_ptr<Expr> Binary(ExprOp op, std::unique_ptr<Expr> l,
+                                      std::unique_ptr<Expr> r);
+  static std::unique_ptr<Expr> Unary(ExprOp op, std::unique_ptr<Expr> e);
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Temporal expressions (valid / when / as-of clauses)
+// ---------------------------------------------------------------------------
+
+/// A temporal expression denoting an interval or an event:
+///   tuple variable | time constant | now |
+///   start of e | end of e | e1 overlap e2 | e1 extend e2
+struct TemporalExpr {
+  enum class Kind {
+    kVar,      // a tuple variable's valid interval
+    kConst,    // a time constant (event)
+    kNow,      // the current logical time (event)
+    kStartOf,  // event: start of operand
+    kEndOf,    // event: end of operand
+    kOverlap,  // interval: intersection
+    kExtend,   // interval: span
+  };
+
+  Kind kind;
+  std::string var;
+  int var_index = -1;
+  TimePoint const_time;
+  std::unique_ptr<TemporalExpr> left;
+  std::unique_ptr<TemporalExpr> right;
+
+  static std::unique_ptr<TemporalExpr> Var(std::string name);
+  static std::unique_ptr<TemporalExpr> Const(TimePoint tp);
+  static std::unique_ptr<TemporalExpr> Now();
+  static std::unique_ptr<TemporalExpr> Make(Kind k,
+                                            std::unique_ptr<TemporalExpr> l,
+                                            std::unique_ptr<TemporalExpr> r);
+
+  std::string ToString() const;
+};
+
+/// A temporal predicate (when clause):
+///   e1 precede e2 | e1 overlap e2 | e1 equal e2 |
+///   p and p | p or p | not p
+/// A bare interval expression used as a predicate tests non-emptiness
+/// (so `when h overlap i` means the intervals share an instant).
+struct TemporalPred {
+  enum class Kind {
+    kPrecede,
+    kOverlap,
+    kEqual,
+    kAnd,
+    kOr,
+    kNot,
+    kNonEmpty,  // bare interval expression
+  };
+
+  Kind kind;
+  std::unique_ptr<TemporalExpr> lexpr;  // comparisons / kNonEmpty
+  std::unique_ptr<TemporalExpr> rexpr;
+  std::unique_ptr<TemporalPred> left;   // boolean combinations; kNot: left
+  std::unique_ptr<TemporalPred> right;
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Clauses
+// ---------------------------------------------------------------------------
+
+/// `valid from e1 to e2` or `valid at e`.
+struct ValidClause {
+  bool at = false;  // event form
+  std::unique_ptr<TemporalExpr> from;  // also carries the `at` expression
+  std::unique_ptr<TemporalExpr> to;    // null in the `at` form
+};
+
+/// `as of e [through e2]` — the rollback operation.
+struct AsOfClause {
+  std::unique_ptr<TemporalExpr> at;
+  std::unique_ptr<TemporalExpr> through;  // optional
+};
+
+/// One element of a target list: `[name =] expr`.
+struct TargetItem {
+  std::string name;  // may be empty for a bare column reference
+  std::unique_ptr<Expr> expr;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Statement {
+  enum class Kind {
+    kRange,
+    kRetrieve,
+    kAppend,
+    kDelete,
+    kReplace,
+    kCreate,
+    kDestroy,
+    kModify,
+    kIndex,
+    kCopy,
+    kHelp,
+  };
+  explicit Statement(Kind k) : kind(k) {}
+  virtual ~Statement() = default;
+  Kind kind;
+};
+
+/// `range of t is R`
+struct RangeStmt : Statement {
+  RangeStmt() : Statement(Kind::kRange) {}
+  std::string var;
+  std::string relation;
+};
+
+/// One `sort by` key: a target name, optionally descending.
+struct SortKey {
+  std::string target;
+  bool descending = false;
+  int target_index = -1;  // resolved by the binder
+};
+
+/// `retrieve [into R] [unique] (targets) [valid ...] [where ...]
+///  [when ...] [as of ...] [sort by name [desc] {, ...}]`
+struct RetrieveStmt : Statement {
+  RetrieveStmt() : Statement(Kind::kRetrieve) {}
+  std::string into;  // empty: return rows to the caller
+  bool unique = false;
+  std::vector<TargetItem> targets;
+  std::optional<ValidClause> valid;
+  std::unique_ptr<Expr> where;
+  std::unique_ptr<TemporalPred> when;
+  std::optional<AsOfClause> as_of;
+  std::vector<SortKey> sort_by;
+};
+
+/// `append to R (a = e, ...) [valid ...] [where ...] [when ...]`
+struct AppendStmt : Statement {
+  AppendStmt() : Statement(Kind::kAppend) {}
+  std::string relation;
+  std::vector<TargetItem> targets;
+  std::optional<ValidClause> valid;
+  std::unique_ptr<Expr> where;
+  std::unique_ptr<TemporalPred> when;
+};
+
+/// `delete t [valid ...] [where ...] [when ...]` — the valid clause gives
+/// the instant the fact stopped holding (defaults to now).
+struct DeleteStmt : Statement {
+  DeleteStmt() : Statement(Kind::kDelete) {}
+  std::string var;
+  std::optional<ValidClause> valid;
+  std::unique_ptr<Expr> where;
+  std::unique_ptr<TemporalPred> when;
+};
+
+/// `replace t (a = e, ...) [valid ...] [where ...] [when ...]`
+struct ReplaceStmt : Statement {
+  ReplaceStmt() : Statement(Kind::kReplace) {}
+  std::string var;
+  std::vector<TargetItem> targets;
+  std::optional<ValidClause> valid;
+  std::unique_ptr<Expr> where;
+  std::unique_ptr<TemporalPred> when;
+};
+
+/// `create [persistent] [interval|event] R (a = i4, ...)`
+/// `persistent` adds transaction time; `interval`/`event` adds valid time —
+/// their combination selects one of the four database types (Figure 1).
+struct CreateStmt : Statement {
+  CreateStmt() : Statement(Kind::kCreate) {}
+  std::string relation;
+  bool persistent = false;          // transaction time
+  bool has_valid_time = false;      // interval/event given
+  bool event = false;               // event (vs interval)
+  struct AttrDef {
+    std::string name;
+    std::string type_name;  // "i1" "i2" "i4" "f8" "c<N>"
+  };
+  std::vector<AttrDef> attrs;
+};
+
+/// `destroy R`
+struct DestroyStmt : Statement {
+  DestroyStmt() : Statement(Kind::kDestroy) {}
+  std::string relation;
+};
+
+/// `modify R to heap | hash on k | isam on k [where fillfactor = n
+///  {, history = clustered|simple}]`
+/// The extension `modify R to twolevel hash|isam on k ...` rebuilds R as a
+/// two-level store (Section 6).
+struct ModifyStmt : Statement {
+  ModifyStmt() : Statement(Kind::kModify) {}
+  std::string relation;
+  std::string organization;  // "heap" | "hash" | "isam"
+  bool two_level = false;
+  bool clustered_history = false;
+  std::string key_attr;  // for hash / isam
+  int fillfactor = 100;
+};
+
+/// `index on R is I (attr) [with structure = heap|hash, levels = 1|2]`
+struct IndexStmt : Statement {
+  IndexStmt() : Statement(Kind::kIndex) {}
+  std::string relation;
+  std::string index_name;
+  std::string attr;
+  std::string structure = "heap";
+  int levels = 1;
+};
+
+/// `help` (list relations) or `help R` (describe one relation).
+struct HelpStmt : Statement {
+  HelpStmt() : Statement(Kind::kHelp) {}
+  std::string relation;  // empty: list all
+};
+
+/// `copy R from "path"` / `copy R to "path"` — batch input/output with
+/// temporal attributes converted to/from human-readable form.
+struct CopyStmt : Statement {
+  CopyStmt() : Statement(Kind::kCopy) {}
+  std::string relation;
+  bool from = false;  // true: load, false: dump
+  std::string path;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_TQUEL_AST_H_

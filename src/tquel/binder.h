@@ -1,0 +1,66 @@
+#ifndef CHRONOQUEL_TQUEL_BINDER_H_
+#define CHRONOQUEL_TQUEL_BINDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "tquel/ast.h"
+#include "util/status.h"
+
+namespace tdb {
+
+/// One tuple variable participating in a bound statement.
+struct BoundVar {
+  std::string name;          // the range variable
+  const RelationMeta* rel;   // its relation
+};
+
+/// Output of binding: the distinct variables the statement touches, in
+/// first-reference order.  Column references and temporal variable
+/// references inside the AST are annotated with var_index / attr_index.
+struct BoundStatement {
+  std::vector<BoundVar> vars;
+};
+
+/// Semantic analysis: resolves range variables against the catalog, resolves
+/// attribute names, and enforces the clause/database-type applicability
+/// rules of Figure 1:
+///   * `when` and `valid` require valid time (historical / temporal),
+///   * `as of` requires transaction time (rollback / temporal),
+///   * static relations accept neither.
+class Binder {
+ public:
+  /// `ranges` maps range-variable name (lower case) -> relation name, as
+  /// declared by prior `range of` statements.
+  Binder(const Catalog* catalog,
+         const std::map<std::string, std::string>* ranges)
+      : catalog_(catalog), ranges_(ranges) {}
+
+  Result<BoundStatement> BindRetrieve(RetrieveStmt* stmt);
+  Result<BoundStatement> BindAppend(AppendStmt* stmt);
+  Result<BoundStatement> BindDelete(DeleteStmt* stmt);
+  Result<BoundStatement> BindReplace(ReplaceStmt* stmt);
+
+ private:
+  /// Resolves `var` to a BoundVar (appending to `bound` on first use).
+  Result<int> BindVar(const std::string& var, BoundStatement* bound);
+
+  Status BindExpr(Expr* expr, BoundStatement* bound, bool allow_aggregates);
+  Status BindTemporalExpr(TemporalExpr* expr, BoundStatement* bound);
+  Status BindTemporalPred(TemporalPred* pred, BoundStatement* bound);
+  Status BindValid(ValidClause* valid, BoundStatement* bound);
+  Status BindAsOf(AsOfClause* as_of, BoundStatement* bound);
+
+  /// Applicability checks after all vars are known.
+  Status CheckWhenApplicable(const BoundStatement& bound);
+  Status CheckAsOfApplicable(const BoundStatement& bound);
+
+  const Catalog* catalog_;
+  const std::map<std::string, std::string>* ranges_;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_TQUEL_BINDER_H_

@@ -1,0 +1,207 @@
+#include "tquel/lexer.h"
+
+#include <cctype>
+
+#include "util/stringx.h"
+
+namespace tdb {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kIdent && EqualsIgnoreCase(text, kw);
+}
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kEnd:
+      return "end of input";
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kInt:
+      return "integer";
+    case TokenType::kFloat:
+      return "float";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kSemi:
+      return "';'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNe:
+      return "'!='";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kSlash:
+      return "'/'";
+    case TokenType::kPercent:
+      return "'%'";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Lexer::Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto push = [&](TokenType type, size_t pos, std::string spelling = "") {
+    Token t;
+    t.type = type;
+    t.pos = pos;
+    t.text = std::move(spelling);
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: /* ... */
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) {
+        return Status::ParseError("unterminated comment");
+      }
+      i = end + 2;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '_')) {
+        ++i;
+      }
+      push(TokenType::kIdent, start, text.substr(start, i - start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      bool is_float = false;
+      if (i < n && text[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      }
+      std::string lit = text.substr(start, i - start);
+      Token t;
+      t.pos = start;
+      t.text = lit;
+      if (is_float) {
+        t.type = TokenType::kFloat;
+        if (!ParseDouble(lit, &t.float_val)) {
+          return Status::ParseError("bad float literal '" + lit + "'");
+        }
+      } else {
+        t.type = TokenType::kInt;
+        if (!ParseInt64(lit, &t.int_val)) {
+          return Status::ParseError("bad integer literal '" + lit + "'");
+        }
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string val;
+      while (i < n && text[i] != '"') {
+        val += text[i];
+        ++i;
+      }
+      if (i >= n) return Status::ParseError("unterminated string literal");
+      ++i;  // closing quote
+      push(TokenType::kString, start, std::move(val));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenType::kLParen, i++);
+        break;
+      case ')':
+        push(TokenType::kRParen, i++);
+        break;
+      case ',':
+        push(TokenType::kComma, i++);
+        break;
+      case '.':
+        push(TokenType::kDot, i++);
+        break;
+      case ';':
+        push(TokenType::kSemi, i++);
+        break;
+      case '=':
+        push(TokenType::kEq, i++);
+        break;
+      case '+':
+        push(TokenType::kPlus, i++);
+        break;
+      case '-':
+        push(TokenType::kMinus, i++);
+        break;
+      case '*':
+        push(TokenType::kStar, i++);
+        break;
+      case '/':
+        push(TokenType::kSlash, i++);
+        break;
+      case '%':
+        push(TokenType::kPercent, i++);
+        break;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenType::kNe, i);
+          i += 2;
+        } else {
+          return Status::ParseError("stray '!' (did you mean '!=') ");
+        }
+        break;
+      case '<':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenType::kLe, i);
+          i += 2;
+        } else if (i + 1 < n && text[i + 1] == '>') {
+          push(TokenType::kNe, i);
+          i += 2;
+        } else {
+          push(TokenType::kLt, i++);
+        }
+        break;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenType::kGe, i);
+          i += 2;
+        } else {
+          push(TokenType::kGt, i++);
+        }
+        break;
+      default:
+        return Status::ParseError(
+            StrPrintf("unexpected character '%c' at offset %zu", c, i));
+    }
+  }
+  push(TokenType::kEnd, n);
+  return tokens;
+}
+
+}  // namespace tdb

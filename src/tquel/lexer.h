@@ -1,0 +1,23 @@
+#ifndef CHRONOQUEL_TQUEL_LEXER_H_
+#define CHRONOQUEL_TQUEL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "tquel/token.h"
+#include "util/status.h"
+
+namespace tdb {
+
+/// Tokenizes one TQuel statement (or a ';'-separated script; ';' ends a
+/// statement and is consumed by the parser driver).  Comments run from
+/// "/*" to "*/" as in Quel.
+class Lexer {
+ public:
+  /// Tokenizes all of `text`; the resulting vector always ends with kEnd.
+  static Result<std::vector<Token>> Tokenize(const std::string& text);
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_TQUEL_LEXER_H_

@@ -1,0 +1,705 @@
+#include "tquel/parser.h"
+
+#include "tquel/lexer.h"
+#include "util/stringx.h"
+
+namespace tdb {
+
+namespace {
+
+/// Stateful parse over a token stream.
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<std::unique_ptr<Statement>>> ParseScript() {
+    std::vector<std::unique_ptr<Statement>> stmts;
+    while (true) {
+      while (Peek().Is(TokenType::kSemi)) Advance();
+      if (Peek().Is(TokenType::kEnd)) break;
+      TDB_ASSIGN_OR_RETURN(auto stmt, ParseStatement());
+      stmts.push_back(std::move(stmt));
+    }
+    return stmts;
+  }
+
+  Result<std::unique_ptr<Statement>> ParseStatement() {
+    const Token& t = Peek();
+    if (!t.Is(TokenType::kIdent)) {
+      return Err("expected a statement keyword");
+    }
+    if (t.IsKeyword("range")) return ParseRange();
+    if (t.IsKeyword("retrieve")) return ParseRetrieve();
+    if (t.IsKeyword("append")) return ParseAppend();
+    if (t.IsKeyword("delete")) return ParseDelete();
+    if (t.IsKeyword("replace")) return ParseReplace();
+    if (t.IsKeyword("create")) return ParseCreate();
+    if (t.IsKeyword("destroy")) return ParseDestroy();
+    if (t.IsKeyword("modify")) return ParseModify();
+    if (t.IsKeyword("index")) return ParseIndex();
+    if (t.IsKeyword("copy")) return ParseCopy();
+    if (t.IsKeyword("help")) return ParseHelp();
+    return Err("unknown statement '" + t.text + "'");
+  }
+
+  bool AtEnd() const { return Peek().Is(TokenType::kEnd); }
+
+ private:
+  // --- token plumbing -----------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(
+        StrPrintf("%s (near offset %zu, at %s '%s')", msg.c_str(), Peek().pos,
+                  TokenTypeName(Peek().type), Peek().text.c_str()));
+  }
+
+  Status Expect(TokenType t, const char* what) {
+    if (!Peek().Is(t)) return Err(std::string("expected ") + what);
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (!Peek().Is(TokenType::kIdent)) {
+      return Err(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) {
+      return Err(std::string("expected keyword '") + kw + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  bool ConsumeKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  /// True when the next token ends a statement (another statement keyword,
+  /// ';', or end of input).  Used to decide when optional clauses stop.
+  bool AtClauseBoundary() const {
+    const Token& t = Peek();
+    if (t.Is(TokenType::kEnd) || t.Is(TokenType::kSemi)) return true;
+    static const char* kStarters[] = {"range",  "retrieve", "append",
+                                      "delete", "replace",  "create",
+                                      "destroy", "modify",  "index", "copy",
+                                      "help"};
+    for (const char* kw : kStarters) {
+      if (t.IsKeyword(kw)) return true;
+    }
+    return false;
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  Result<std::unique_ptr<Statement>> ParseRange() {
+    Advance();  // range
+    TDB_RETURN_NOT_OK(ExpectKeyword("of"));
+    auto stmt = std::make_unique<RangeStmt>();
+    TDB_ASSIGN_OR_RETURN(stmt->var, ExpectIdent("a tuple variable"));
+    TDB_RETURN_NOT_OK(ExpectKeyword("is"));
+    TDB_ASSIGN_OR_RETURN(stmt->relation, ExpectIdent("a relation name"));
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  Result<std::unique_ptr<Statement>> ParseRetrieve() {
+    Advance();  // retrieve
+    auto stmt = std::make_unique<RetrieveStmt>();
+    if (ConsumeKeyword("into")) {
+      TDB_ASSIGN_OR_RETURN(stmt->into, ExpectIdent("a relation name"));
+    }
+    if (ConsumeKeyword("unique")) stmt->unique = true;
+    TDB_ASSIGN_OR_RETURN(stmt->targets, ParseTargetList());
+    TDB_RETURN_NOT_OK(ParseTailClauses(&stmt->valid, &stmt->where, &stmt->when,
+                                       &stmt->as_of, &stmt->sort_by));
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  Result<std::unique_ptr<Statement>> ParseAppend() {
+    Advance();  // append
+    ConsumeKeyword("to");
+    auto stmt = std::make_unique<AppendStmt>();
+    TDB_ASSIGN_OR_RETURN(stmt->relation, ExpectIdent("a relation name"));
+    TDB_ASSIGN_OR_RETURN(stmt->targets, ParseTargetList());
+    TDB_RETURN_NOT_OK(
+        ParseTailClauses(&stmt->valid, &stmt->where, &stmt->when, nullptr));
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  Result<std::unique_ptr<Statement>> ParseDelete() {
+    Advance();  // delete
+    auto stmt = std::make_unique<DeleteStmt>();
+    TDB_ASSIGN_OR_RETURN(stmt->var, ExpectIdent("a tuple variable"));
+    TDB_RETURN_NOT_OK(
+        ParseTailClauses(&stmt->valid, &stmt->where, &stmt->when, nullptr));
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  Result<std::unique_ptr<Statement>> ParseReplace() {
+    Advance();  // replace
+    auto stmt = std::make_unique<ReplaceStmt>();
+    TDB_ASSIGN_OR_RETURN(stmt->var, ExpectIdent("a tuple variable"));
+    TDB_ASSIGN_OR_RETURN(stmt->targets, ParseTargetList());
+    TDB_RETURN_NOT_OK(
+        ParseTailClauses(&stmt->valid, &stmt->where, &stmt->when, nullptr));
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  Result<std::unique_ptr<Statement>> ParseCreate() {
+    Advance();  // create
+    auto stmt = std::make_unique<CreateStmt>();
+    if (ConsumeKeyword("persistent")) stmt->persistent = true;
+    if (ConsumeKeyword("interval")) {
+      stmt->has_valid_time = true;
+    } else if (ConsumeKeyword("event")) {
+      stmt->has_valid_time = true;
+      stmt->event = true;
+    }
+    TDB_ASSIGN_OR_RETURN(stmt->relation, ExpectIdent("a relation name"));
+    TDB_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    while (true) {
+      CreateStmt::AttrDef def;
+      TDB_ASSIGN_OR_RETURN(def.name, ExpectIdent("an attribute name"));
+      TDB_RETURN_NOT_OK(Expect(TokenType::kEq, "'='"));
+      TDB_ASSIGN_OR_RETURN(def.type_name, ExpectIdent("a type (i4, c96, ...)"));
+      stmt->attrs.push_back(std::move(def));
+      if (Peek().Is(TokenType::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    TDB_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  Result<std::unique_ptr<Statement>> ParseDestroy() {
+    Advance();  // destroy
+    auto stmt = std::make_unique<DestroyStmt>();
+    TDB_ASSIGN_OR_RETURN(stmt->relation, ExpectIdent("a relation name"));
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  Result<std::unique_ptr<Statement>> ParseModify() {
+    Advance();  // modify
+    auto stmt = std::make_unique<ModifyStmt>();
+    TDB_ASSIGN_OR_RETURN(stmt->relation, ExpectIdent("a relation name"));
+    TDB_RETURN_NOT_OK(ExpectKeyword("to"));
+    if (ConsumeKeyword("twolevel")) stmt->two_level = true;
+    TDB_ASSIGN_OR_RETURN(stmt->organization,
+                         ExpectIdent("heap, hash, isam, or btree"));
+    stmt->organization = ToLower(stmt->organization);
+    if (stmt->organization != "heap" && stmt->organization != "hash" &&
+        stmt->organization != "isam" && stmt->organization != "btree") {
+      return Err("unknown storage organization '" + stmt->organization + "'");
+    }
+    if (ConsumeKeyword("on")) {
+      TDB_ASSIGN_OR_RETURN(stmt->key_attr, ExpectIdent("a key attribute"));
+    }
+    if (ConsumeKeyword("where")) {
+      while (true) {
+        TDB_ASSIGN_OR_RETURN(std::string param, ExpectIdent("a parameter"));
+        TDB_RETURN_NOT_OK(Expect(TokenType::kEq, "'='"));
+        if (EqualsIgnoreCase(param, "fillfactor")) {
+          if (!Peek().Is(TokenType::kInt)) return Err("expected an integer");
+          stmt->fillfactor = static_cast<int>(Advance().int_val);
+        } else if (EqualsIgnoreCase(param, "history")) {
+          TDB_ASSIGN_OR_RETURN(std::string v,
+                               ExpectIdent("clustered or simple"));
+          if (EqualsIgnoreCase(v, "clustered")) {
+            stmt->clustered_history = true;
+          } else if (EqualsIgnoreCase(v, "simple")) {
+            stmt->clustered_history = false;
+          } else {
+            return Err("history must be clustered or simple");
+          }
+        } else {
+          return Err("unknown modify parameter '" + param + "'");
+        }
+        if (Peek().Is(TokenType::kComma) || Peek().IsKeyword("and")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  Result<std::unique_ptr<Statement>> ParseIndex() {
+    Advance();  // index
+    TDB_RETURN_NOT_OK(ExpectKeyword("on"));
+    auto stmt = std::make_unique<IndexStmt>();
+    TDB_ASSIGN_OR_RETURN(stmt->relation, ExpectIdent("a relation name"));
+    TDB_RETURN_NOT_OK(ExpectKeyword("is"));
+    TDB_ASSIGN_OR_RETURN(stmt->index_name, ExpectIdent("an index name"));
+    TDB_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    TDB_ASSIGN_OR_RETURN(stmt->attr, ExpectIdent("an attribute"));
+    TDB_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    if (ConsumeKeyword("with")) {
+      while (true) {
+        TDB_ASSIGN_OR_RETURN(std::string param, ExpectIdent("a parameter"));
+        TDB_RETURN_NOT_OK(Expect(TokenType::kEq, "'='"));
+        if (EqualsIgnoreCase(param, "structure")) {
+          TDB_ASSIGN_OR_RETURN(std::string v, ExpectIdent("heap or hash"));
+          stmt->structure = ToLower(v);
+          if (stmt->structure != "heap" && stmt->structure != "hash") {
+            return Err("index structure must be heap or hash");
+          }
+        } else if (EqualsIgnoreCase(param, "levels")) {
+          if (!Peek().Is(TokenType::kInt)) return Err("expected an integer");
+          stmt->levels = static_cast<int>(Advance().int_val);
+          if (stmt->levels != 1 && stmt->levels != 2) {
+            return Err("index levels must be 1 or 2");
+          }
+        } else {
+          return Err("unknown index parameter '" + param + "'");
+        }
+        if (Peek().Is(TokenType::kComma) || Peek().IsKeyword("and")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  Result<std::unique_ptr<Statement>> ParseHelp() {
+    Advance();  // help
+    auto stmt = std::make_unique<HelpStmt>();
+    if (Peek().Is(TokenType::kIdent) && !AtClauseBoundary()) {
+      stmt->relation = Advance().text;
+    }
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  Result<std::unique_ptr<Statement>> ParseCopy() {
+    Advance();  // copy
+    auto stmt = std::make_unique<CopyStmt>();
+    TDB_ASSIGN_OR_RETURN(stmt->relation, ExpectIdent("a relation name"));
+    if (ConsumeKeyword("from")) {
+      stmt->from = true;
+    } else if (ConsumeKeyword("to")) {
+      stmt->from = false;
+    } else {
+      return Err("expected 'from' or 'to'");
+    }
+    if (!Peek().Is(TokenType::kString)) return Err("expected a file name");
+    stmt->path = Advance().text;
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  // --- clauses -------------------------------------------------------------
+
+  /// Parses the optional clause tail in any order (each at most once).
+  Status ParseTailClauses(std::optional<ValidClause>* valid,
+                          std::unique_ptr<Expr>* where,
+                          std::unique_ptr<TemporalPred>* when,
+                          std::optional<AsOfClause>* as_of,
+                          std::vector<SortKey>* sort_by = nullptr) {
+    while (!AtClauseBoundary()) {
+      if (sort_by != nullptr && Peek().IsKeyword("sort") && sort_by->empty()) {
+        Advance();
+        TDB_RETURN_NOT_OK(ExpectKeyword("by"));
+        while (true) {
+          SortKey key;
+          TDB_ASSIGN_OR_RETURN(key.target, ExpectIdent("a target name"));
+          if (ConsumeKeyword("desc")) {
+            key.descending = true;
+          } else {
+            ConsumeKeyword("asc");
+          }
+          sort_by->push_back(std::move(key));
+          if (Peek().Is(TokenType::kComma)) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+        continue;
+      }
+      if (valid != nullptr && Peek().IsKeyword("valid") &&
+          !valid->has_value()) {
+        Advance();
+        ValidClause clause;
+        if (ConsumeKeyword("at")) {
+          clause.at = true;
+          TDB_ASSIGN_OR_RETURN(clause.from, ParseTemporalExpr());
+        } else {
+          TDB_RETURN_NOT_OK(ExpectKeyword("from"));
+          TDB_ASSIGN_OR_RETURN(clause.from, ParseTemporalExpr());
+          TDB_RETURN_NOT_OK(ExpectKeyword("to"));
+          TDB_ASSIGN_OR_RETURN(clause.to, ParseTemporalExpr());
+        }
+        *valid = std::move(clause);
+        continue;
+      }
+      if (where != nullptr && Peek().IsKeyword("where") && *where == nullptr) {
+        Advance();
+        TDB_ASSIGN_OR_RETURN(*where, ParseExpr());
+        continue;
+      }
+      if (when != nullptr && Peek().IsKeyword("when") && *when == nullptr) {
+        Advance();
+        TDB_ASSIGN_OR_RETURN(*when, ParseTemporalPred());
+        continue;
+      }
+      if (as_of != nullptr && Peek().IsKeyword("as") && !as_of->has_value()) {
+        Advance();
+        TDB_RETURN_NOT_OK(ExpectKeyword("of"));
+        AsOfClause clause;
+        TDB_ASSIGN_OR_RETURN(clause.at, ParseTemporalExpr());
+        if (ConsumeKeyword("through")) {
+          TDB_ASSIGN_OR_RETURN(clause.through, ParseTemporalExpr());
+        }
+        *as_of = std::move(clause);
+        continue;
+      }
+      return Err("unexpected input after statement");
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<TargetItem>> ParseTargetList() {
+    TDB_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    std::vector<TargetItem> items;
+    while (true) {
+      TargetItem item;
+      // `name = expr` vs a bare expression (e.g. `h.id`).
+      if (Peek().Is(TokenType::kIdent) && Peek(1).Is(TokenType::kEq)) {
+        item.name = Advance().text;
+        Advance();  // '='
+      }
+      TDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      items.push_back(std::move(item));
+      if (Peek().Is(TokenType::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    TDB_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return items;
+  }
+
+  // --- value expressions ---------------------------------------------------
+
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    TDB_ASSIGN_OR_RETURN(auto lhs, ParseAnd());
+    while (Peek().IsKeyword("or")) {
+      Advance();
+      TDB_ASSIGN_OR_RETURN(auto rhs, ParseAnd());
+      lhs = Expr::Binary(ExprOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    TDB_ASSIGN_OR_RETURN(auto lhs, ParseNot());
+    while (Peek().IsKeyword("and")) {
+      Advance();
+      TDB_ASSIGN_OR_RETURN(auto rhs, ParseNot());
+      lhs = Expr::Binary(ExprOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (Peek().IsKeyword("not")) {
+      Advance();
+      TDB_ASSIGN_OR_RETURN(auto operand, ParseNot());
+      return Expr::Unary(ExprOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    TDB_ASSIGN_OR_RETURN(auto lhs, ParseAdditive());
+    ExprOp op;
+    switch (Peek().type) {
+      case TokenType::kEq:
+        op = ExprOp::kEq;
+        break;
+      case TokenType::kNe:
+        op = ExprOp::kNe;
+        break;
+      case TokenType::kLt:
+        op = ExprOp::kLt;
+        break;
+      case TokenType::kLe:
+        op = ExprOp::kLe;
+        break;
+      case TokenType::kGt:
+        op = ExprOp::kGt;
+        break;
+      case TokenType::kGe:
+        op = ExprOp::kGe;
+        break;
+      default:
+        return lhs;
+    }
+    Advance();
+    TDB_ASSIGN_OR_RETURN(auto rhs, ParseAdditive());
+    return Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    TDB_ASSIGN_OR_RETURN(auto lhs, ParseMultiplicative());
+    while (Peek().Is(TokenType::kPlus) || Peek().Is(TokenType::kMinus)) {
+      ExprOp op = Peek().Is(TokenType::kPlus) ? ExprOp::kAdd : ExprOp::kSub;
+      Advance();
+      TDB_ASSIGN_OR_RETURN(auto rhs, ParseMultiplicative());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    TDB_ASSIGN_OR_RETURN(auto lhs, ParseUnary());
+    while (Peek().Is(TokenType::kStar) || Peek().Is(TokenType::kSlash) ||
+           Peek().Is(TokenType::kPercent)) {
+      ExprOp op = Peek().Is(TokenType::kStar)
+                      ? ExprOp::kMul
+                      : (Peek().Is(TokenType::kSlash) ? ExprOp::kDiv
+                                                      : ExprOp::kMod);
+      Advance();
+      TDB_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (Peek().Is(TokenType::kMinus)) {
+      Advance();
+      TDB_ASSIGN_OR_RETURN(auto operand, ParseUnary());
+      return Expr::Unary(ExprOp::kNeg, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  static bool AggFromName(const std::string& name, AggFunc* out) {
+    struct {
+      const char* name;
+      AggFunc f;
+    } static const kAggs[] = {
+        {"count", AggFunc::kCount}, {"sum", AggFunc::kSum},
+        {"avg", AggFunc::kAvg},     {"min", AggFunc::kMin},
+        {"max", AggFunc::kMax},     {"any", AggFunc::kAny},
+    };
+    for (const auto& a : kAggs) {
+      if (EqualsIgnoreCase(name, a.name)) {
+        *out = a.f;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInt: {
+        auto e = Expr::Int(t.int_val);
+        Advance();
+        return e;
+      }
+      case TokenType::kFloat: {
+        auto e = Expr::Float(t.float_val);
+        Advance();
+        return e;
+      }
+      case TokenType::kString: {
+        auto e = Expr::Str(t.text);
+        Advance();
+        return e;
+      }
+      case TokenType::kLParen: {
+        Advance();
+        TDB_ASSIGN_OR_RETURN(auto e, ParseExpr());
+        TDB_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+        return e;
+      }
+      case TokenType::kIdent: {
+        AggFunc agg;
+        if (Peek(1).Is(TokenType::kLParen) && AggFromName(t.text, &agg)) {
+          Advance();  // name
+          Advance();  // '('
+          auto e = std::make_unique<Expr>();
+          e->kind = Expr::Kind::kAggregate;
+          e->agg = agg;
+          TDB_ASSIGN_OR_RETURN(e->agg_arg, ParseExpr());
+          if (ConsumeKeyword("by")) {
+            TDB_ASSIGN_OR_RETURN(e->agg_by, ParseExpr());
+          }
+          if (ConsumeKeyword("where")) {
+            TDB_ASSIGN_OR_RETURN(e->agg_where, ParseExpr());
+          }
+          TDB_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+          return std::unique_ptr<Expr>(std::move(e));
+        }
+        if (Peek(1).Is(TokenType::kDot)) {
+          std::string var = Advance().text;
+          Advance();  // '.'
+          TDB_ASSIGN_OR_RETURN(std::string attr,
+                               ExpectIdent("an attribute name"));
+          return Expr::Column(std::move(var), std::move(attr));
+        }
+        return Err("unexpected identifier '" + t.text +
+                   "' (column references are written var.attr)");
+      }
+      default:
+        return Err("expected an expression");
+    }
+  }
+
+  // --- temporal expressions --------------------------------------------------
+
+  Result<std::unique_ptr<TemporalPred>> ParseTemporalPred() {
+    return ParseTemporalOr();
+  }
+
+  Result<std::unique_ptr<TemporalPred>> ParseTemporalOr() {
+    TDB_ASSIGN_OR_RETURN(auto lhs, ParseTemporalAnd());
+    while (Peek().IsKeyword("or")) {
+      Advance();
+      TDB_ASSIGN_OR_RETURN(auto rhs, ParseTemporalAnd());
+      auto p = std::make_unique<TemporalPred>();
+      p->kind = TemporalPred::Kind::kOr;
+      p->left = std::move(lhs);
+      p->right = std::move(rhs);
+      lhs = std::move(p);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<TemporalPred>> ParseTemporalAnd() {
+    TDB_ASSIGN_OR_RETURN(auto lhs, ParseTemporalNot());
+    while (Peek().IsKeyword("and")) {
+      Advance();
+      TDB_ASSIGN_OR_RETURN(auto rhs, ParseTemporalNot());
+      auto p = std::make_unique<TemporalPred>();
+      p->kind = TemporalPred::Kind::kAnd;
+      p->left = std::move(lhs);
+      p->right = std::move(rhs);
+      lhs = std::move(p);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<TemporalPred>> ParseTemporalNot() {
+    if (Peek().IsKeyword("not")) {
+      Advance();
+      TDB_ASSIGN_OR_RETURN(auto operand, ParseTemporalNot());
+      auto p = std::make_unique<TemporalPred>();
+      p->kind = TemporalPred::Kind::kNot;
+      p->left = std::move(operand);
+      return p;
+    }
+    return ParseTemporalBase();
+  }
+
+  Result<std::unique_ptr<TemporalPred>> ParseTemporalBase() {
+    TDB_ASSIGN_OR_RETURN(auto lhs, ParseTemporalExpr());
+    auto p = std::make_unique<TemporalPred>();
+    if (ConsumeKeyword("precede")) {
+      p->kind = TemporalPred::Kind::kPrecede;
+    } else if (ConsumeKeyword("equal")) {
+      p->kind = TemporalPred::Kind::kEqual;
+    } else {
+      // Bare interval expression: tests non-emptiness, e.g.
+      // `when h overlap i` or `when h overlap "now"`.
+      p->kind = TemporalPred::Kind::kNonEmpty;
+      p->lexpr = std::move(lhs);
+      return p;
+    }
+    p->lexpr = std::move(lhs);
+    TDB_ASSIGN_OR_RETURN(p->rexpr, ParseTemporalExpr());
+    return p;
+  }
+
+  Result<std::unique_ptr<TemporalExpr>> ParseTemporalExpr() {
+    TDB_ASSIGN_OR_RETURN(auto lhs, ParseTemporalPrimary());
+    while (Peek().IsKeyword("overlap") || Peek().IsKeyword("extend")) {
+      TemporalExpr::Kind k = Peek().IsKeyword("overlap")
+                                 ? TemporalExpr::Kind::kOverlap
+                                 : TemporalExpr::Kind::kExtend;
+      Advance();
+      TDB_ASSIGN_OR_RETURN(auto rhs, ParseTemporalPrimary());
+      lhs = TemporalExpr::Make(k, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<TemporalExpr>> ParseTemporalPrimary() {
+    const Token& t = Peek();
+    if (t.IsKeyword("start") || t.IsKeyword("end")) {
+      TemporalExpr::Kind k = t.IsKeyword("start") ? TemporalExpr::Kind::kStartOf
+                                                  : TemporalExpr::Kind::kEndOf;
+      Advance();
+      TDB_RETURN_NOT_OK(ExpectKeyword("of"));
+      TDB_ASSIGN_OR_RETURN(auto operand, ParseTemporalPrimary());
+      return TemporalExpr::Make(k, std::move(operand), nullptr);
+    }
+    if (t.Is(TokenType::kLParen)) {
+      Advance();
+      TDB_ASSIGN_OR_RETURN(auto e, ParseTemporalExpr());
+      TDB_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      return e;
+    }
+    if (t.Is(TokenType::kString)) {
+      std::string text = Advance().text;
+      if (EqualsIgnoreCase(Trim(text), "now")) return TemporalExpr::Now();
+      TDB_ASSIGN_OR_RETURN(TimePoint tp, TimePoint::Parse(text));
+      return TemporalExpr::Const(tp);
+    }
+    if (t.Is(TokenType::kIdent)) {
+      if (t.IsKeyword("now")) {
+        Advance();
+        return TemporalExpr::Now();
+      }
+      return TemporalExpr::Var(Advance().text);
+    }
+    return Err("expected a temporal expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<std::unique_ptr<Statement>>> Parser::ParseScript(
+    const std::string& text) {
+  TDB_ASSIGN_OR_RETURN(auto tokens, Lexer::Tokenize(text));
+  ParserImpl impl(std::move(tokens));
+  return impl.ParseScript();
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseStatement(
+    const std::string& text) {
+  TDB_ASSIGN_OR_RETURN(auto stmts, ParseScript(text));
+  if (stmts.size() != 1) {
+    return Status::ParseError(
+        StrPrintf("expected exactly one statement, got %zu", stmts.size()));
+  }
+  return std::move(stmts[0]);
+}
+
+}  // namespace tdb

@@ -1,0 +1,42 @@
+#ifndef CHRONOQUEL_TQUEL_PARSER_H_
+#define CHRONOQUEL_TQUEL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tquel/ast.h"
+#include "tquel/token.h"
+#include "util/status.h"
+
+namespace tdb {
+
+/// Recursive-descent parser for TQuel.  Statements may be separated by
+/// optional ';'.  The grammar follows the paper's examples (Figures 2-4):
+///
+///   range of t is R
+///   retrieve [into R] [unique] (targets) [valid ...] [where E]
+///       [when TP] [as of TE [through TE]]
+///   append [to] R (targets) [valid ...] [where E] [when TP]
+///   delete t [where E] [when TP]
+///   replace t (targets) [valid ...] [where E] [when TP]
+///   create [persistent] [interval|event] R (a = i4, b = c96, ...)
+///   destroy R
+///   modify R to [twolevel] heap|hash|isam [on a]
+///       [where fillfactor = n {, history = clustered|simple}]
+///   index on R is I (a) [with structure = heap|hash {, levels = 1|2}]
+///   copy R from|to "file"
+class Parser {
+ public:
+  /// Parses a whole script (one or more statements).
+  static Result<std::vector<std::unique_ptr<Statement>>> ParseScript(
+      const std::string& text);
+
+  /// Parses exactly one statement; trailing input is an error.
+  static Result<std::unique_ptr<Statement>> ParseStatement(
+      const std::string& text);
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_TQUEL_PARSER_H_

@@ -1,0 +1,155 @@
+#include "tquel/printer.h"
+
+#include "util/stringx.h"
+
+namespace tdb {
+
+namespace {
+
+/// Predicate printing is precedence aware (not > and > or) instead of
+/// parenthesized: TQuel's when-grammar has no predicate parentheses, so
+/// this is what keeps the output re-parseable.  Trees produced by the
+/// parser never place an `or` under an `and`, so no precedence is lost.
+std::string PrintPred(const TemporalPred& pred) {
+  switch (pred.kind) {
+    case TemporalPred::Kind::kPrecede:
+      return pred.lexpr->ToString() + " precede " + pred.rexpr->ToString();
+    case TemporalPred::Kind::kOverlap:
+      return pred.lexpr->ToString() + " overlap " + pred.rexpr->ToString();
+    case TemporalPred::Kind::kEqual:
+      return pred.lexpr->ToString() + " equal " + pred.rexpr->ToString();
+    case TemporalPred::Kind::kNonEmpty:
+      return pred.lexpr->ToString();
+    case TemporalPred::Kind::kAnd:
+      return PrintPred(*pred.left) + " and " + PrintPred(*pred.right);
+    case TemporalPred::Kind::kOr:
+      return PrintPred(*pred.left) + " or " + PrintPred(*pred.right);
+    case TemporalPred::Kind::kNot:
+      return "not " + PrintPred(*pred.left);
+  }
+  return "?";
+}
+
+std::string PrintTail(const std::optional<ValidClause>& valid,
+                      const Expr* where, const TemporalPred* when,
+                      const std::optional<AsOfClause>& as_of) {
+  std::string out;
+  if (valid.has_value()) out += " " + PrintValid(*valid);
+  if (where != nullptr) out += " where " + where->ToString();
+  if (when != nullptr) out += " when " + PrintPred(*when);
+  if (as_of.has_value()) out += " " + PrintAsOf(*as_of);
+  return out;
+}
+
+}  // namespace
+
+std::string PrintValid(const ValidClause& valid) {
+  if (valid.at) return "valid at " + valid.from->ToString();
+  return "valid from " + valid.from->ToString() + " to " +
+         valid.to->ToString();
+}
+
+std::string PrintAsOf(const AsOfClause& as_of) {
+  std::string out = "as of " + as_of.at->ToString();
+  if (as_of.through != nullptr) out += " through " + as_of.through->ToString();
+  return out;
+}
+
+std::string PrintTargets(const std::vector<TargetItem>& targets) {
+  std::string out = "(";
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (!targets[i].name.empty()) out += targets[i].name + " = ";
+    out += targets[i].expr->ToString();
+  }
+  return out + ")";
+}
+
+std::string PrintStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kRange: {
+      const auto& s = static_cast<const RangeStmt&>(stmt);
+      return "range of " + s.var + " is " + s.relation;
+    }
+    case Statement::Kind::kRetrieve: {
+      const auto& s = static_cast<const RetrieveStmt&>(stmt);
+      std::string out = "retrieve";
+      if (!s.into.empty()) out += " into " + s.into;
+      if (s.unique) out += " unique";
+      out += " " + PrintTargets(s.targets);
+      out += PrintTail(s.valid, s.where.get(), s.when.get(), s.as_of);
+      if (!s.sort_by.empty()) {
+        out += " sort by ";
+        for (size_t i = 0; i < s.sort_by.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += s.sort_by[i].target;
+          if (s.sort_by[i].descending) out += " desc";
+        }
+      }
+      return out;
+    }
+    case Statement::Kind::kAppend: {
+      const auto& s = static_cast<const AppendStmt&>(stmt);
+      return "append to " + s.relation + " " + PrintTargets(s.targets) +
+             PrintTail(s.valid, s.where.get(), s.when.get(), std::nullopt);
+    }
+    case Statement::Kind::kDelete: {
+      const auto& s = static_cast<const DeleteStmt&>(stmt);
+      return "delete " + s.var +
+             PrintTail(s.valid, s.where.get(), s.when.get(), std::nullopt);
+    }
+    case Statement::Kind::kReplace: {
+      const auto& s = static_cast<const ReplaceStmt&>(stmt);
+      return "replace " + s.var + " " + PrintTargets(s.targets) +
+             PrintTail(s.valid, s.where.get(), s.when.get(), std::nullopt);
+    }
+    case Statement::Kind::kCreate: {
+      const auto& s = static_cast<const CreateStmt&>(stmt);
+      std::string out = "create ";
+      if (s.persistent) out += "persistent ";
+      if (s.has_valid_time) out += s.event ? "event " : "interval ";
+      out += s.relation + " (";
+      for (size_t i = 0; i < s.attrs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += s.attrs[i].name + " = " + s.attrs[i].type_name;
+      }
+      return out + ")";
+    }
+    case Statement::Kind::kDestroy: {
+      const auto& s = static_cast<const DestroyStmt&>(stmt);
+      return "destroy " + s.relation;
+    }
+    case Statement::Kind::kModify: {
+      const auto& s = static_cast<const ModifyStmt&>(stmt);
+      std::string out = "modify " + s.relation + " to ";
+      if (s.two_level) out += "twolevel ";
+      out += s.organization;
+      if (!s.key_attr.empty()) out += " on " + s.key_attr;
+      out += StrPrintf(" where fillfactor = %d", s.fillfactor);
+      if (s.two_level) {
+        out += std::string(", history = ") +
+               (s.clustered_history ? "clustered" : "simple");
+      }
+      return out;
+    }
+    case Statement::Kind::kIndex: {
+      const auto& s = static_cast<const IndexStmt&>(stmt);
+      return StrPrintf("index on %s is %s (%s) with structure = %s, "
+                       "levels = %d",
+                       s.relation.c_str(), s.index_name.c_str(),
+                       s.attr.c_str(), s.structure.c_str(), s.levels);
+    }
+    case Statement::Kind::kHelp: {
+      const auto& s = static_cast<const HelpStmt&>(stmt);
+      return s.relation.empty() ? "help" : "help " + s.relation;
+    }
+    case Statement::Kind::kCopy: {
+      const auto& s = static_cast<const CopyStmt&>(stmt);
+      return "copy " + s.relation + (s.from ? " from \"" : " to \"") +
+             s.path + "\"";
+    }
+  }
+  return "?";
+}
+
+}  // namespace tdb

@@ -1,0 +1,23 @@
+#ifndef CHRONOQUEL_TQUEL_PRINTER_H_
+#define CHRONOQUEL_TQUEL_PRINTER_H_
+
+#include <string>
+
+#include "tquel/ast.h"
+
+namespace tdb {
+
+/// Renders a statement back into canonical TQuel text.  The output always
+/// re-parses to an equivalent statement (the printer/parser round-trip is
+/// property-tested), which makes it safe for logging, the shell's history,
+/// and catalog-level replay.
+std::string PrintStatement(const Statement& stmt);
+
+/// Clause-level helpers (used by PrintStatement and tests).
+std::string PrintValid(const ValidClause& valid);
+std::string PrintAsOf(const AsOfClause& as_of);
+std::string PrintTargets(const std::vector<TargetItem>& targets);
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_TQUEL_PRINTER_H_

@@ -1,0 +1,51 @@
+#ifndef CHRONOQUEL_TQUEL_TOKEN_H_
+#define CHRONOQUEL_TQUEL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tdb {
+
+enum class TokenType {
+  kEnd,
+  kIdent,
+  kInt,
+  kFloat,
+  kString,  // double-quoted literal
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemi,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+};
+
+/// One lexical token with its source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier / literal spelling (unquoted for strings)
+  int64_t int_val = 0;
+  double float_val = 0;
+  size_t pos = 0;     // byte offset in the statement
+
+  bool Is(TokenType t) const { return type == t; }
+  /// Case-insensitive keyword test (keywords are ordinary identifiers).
+  bool IsKeyword(const char* kw) const;
+};
+
+const char* TokenTypeName(TokenType t);
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_TQUEL_TOKEN_H_

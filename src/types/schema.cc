@@ -1,0 +1,315 @@
+#include "types/schema.h"
+
+#include <cstring>
+
+#include "util/stringx.h"
+
+namespace tdb {
+
+uint16_t TypeWidth(TypeId t) {
+  switch (t) {
+    case TypeId::kInt1:
+      return 1;
+    case TypeId::kInt2:
+      return 2;
+    case TypeId::kInt4:
+      return 4;
+    case TypeId::kFloat8:
+      return 8;
+    case TypeId::kTime:
+      return 4;
+    case TypeId::kChar:
+      return 0;  // width is per-attribute
+  }
+  return 0;
+}
+
+namespace {
+
+Attribute TimeAttr(const char* name) {
+  Attribute a;
+  a.name = name;
+  a.type = TypeId::kTime;
+  a.width = 4;
+  a.implicit = true;
+  return a;
+}
+
+bool IsReservedName(std::string_view name) {
+  return EqualsIgnoreCase(name, kAttrTxStart) ||
+         EqualsIgnoreCase(name, kAttrTxStop) ||
+         EqualsIgnoreCase(name, kAttrValidFrom) ||
+         EqualsIgnoreCase(name, kAttrValidTo) ||
+         EqualsIgnoreCase(name, kAttrValidAt);
+}
+
+}  // namespace
+
+Result<Schema> Schema::Create(std::vector<Attribute> user_attrs, DbType type,
+                              EntityKind kind) {
+  Schema s;
+  for (const Attribute& a : user_attrs) {
+    if (IsReservedName(a.name)) {
+      return Status::Invalid("attribute name '" + a.name + "' is reserved");
+    }
+  }
+  s.attrs_ = std::move(user_attrs);
+  s.num_user_attrs_ = s.attrs_.size();
+  s.db_type_ = type;
+  s.entity_kind_ = kind;
+
+  if (HasValidTime(type)) {
+    if (kind == EntityKind::kInterval) {
+      s.attrs_.push_back(TimeAttr(kAttrValidFrom));
+      s.attrs_.push_back(TimeAttr(kAttrValidTo));
+    } else {
+      s.attrs_.push_back(TimeAttr(kAttrValidAt));
+    }
+  }
+  if (HasTransactionTime(type)) {
+    s.attrs_.push_back(TimeAttr(kAttrTxStart));
+    s.attrs_.push_back(TimeAttr(kAttrTxStop));
+  }
+  TDB_RETURN_NOT_OK(s.Finish());
+  return s;
+}
+
+Result<Schema> Schema::CreateStatic(std::vector<Attribute> attrs) {
+  Schema s;
+  s.attrs_ = std::move(attrs);
+  s.num_user_attrs_ = s.attrs_.size();
+  s.db_type_ = DbType::kStatic;
+  TDB_RETURN_NOT_OK(s.Finish());
+  return s;
+}
+
+Status Schema::Finish() {
+  offsets_.clear();
+  uint16_t off = 0;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    Attribute& a = attrs_[i];
+    if (a.name.empty()) return Status::Invalid("empty attribute name");
+    for (size_t j = 0; j < i; ++j) {
+      if (EqualsIgnoreCase(attrs_[j].name, a.name)) {
+        return Status::Invalid("duplicate attribute '" + a.name + "'");
+      }
+    }
+    if (a.type != TypeId::kChar) {
+      a.width = TypeWidth(a.type);
+    } else if (a.width == 0) {
+      return Status::Invalid("char attribute '" + a.name + "' needs a width");
+    }
+    offsets_.push_back(off);
+    off = static_cast<uint16_t>(off + a.width);
+  }
+  record_size_ = off;
+  if (record_size_ == 0) return Status::Invalid("schema has no attributes");
+
+  tx_start_ = FindAttr(kAttrTxStart);
+  tx_stop_ = FindAttr(kAttrTxStop);
+  if (entity_kind_ == EntityKind::kInterval) {
+    valid_from_ = FindAttr(kAttrValidFrom);
+    valid_to_ = FindAttr(kAttrValidTo);
+  } else {
+    valid_from_ = FindAttr(kAttrValidAt);
+    valid_to_ = valid_from_;  // events: from == to == the instant
+  }
+  return Status::OK();
+}
+
+int Schema::FindAttr(std::string_view name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (EqualsIgnoreCase(attrs_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::Serialize() const {
+  // "dbtype|kind|nuser|name:type:width,name:type:width,..."
+  std::string out = StrPrintf("%d|%d|%zu|", static_cast<int>(db_type_),
+                              static_cast<int>(entity_kind_),
+                              num_user_attrs_);
+  for (size_t i = 0; i < num_user_attrs_; ++i) {
+    const Attribute& a = attrs_[i];
+    if (i > 0) out += ",";
+    out += StrPrintf("%s:%d:%u", a.name.c_str(), static_cast<int>(a.type),
+                     a.width);
+  }
+  return out;
+}
+
+Result<Schema> Schema::Deserialize(std::string_view text) {
+  std::vector<std::string> head = Split(text, '|');
+  if (head.size() != 4) return Status::Corruption("bad schema record");
+  int64_t dbt = 0;
+  int64_t kind = 0;
+  int64_t nuser = 0;
+  if (!ParseInt64(head[0], &dbt) || !ParseInt64(head[1], &kind) ||
+      !ParseInt64(head[2], &nuser)) {
+    return Status::Corruption("bad schema header");
+  }
+  std::vector<Attribute> attrs;
+  if (!head[3].empty()) {
+    for (const std::string& piece : Split(head[3], ',')) {
+      std::vector<std::string> f = Split(piece, ':');
+      if (f.size() != 3) return Status::Corruption("bad attribute record");
+      int64_t t = 0;
+      int64_t w = 0;
+      if (!ParseInt64(f[1], &t) || !ParseInt64(f[2], &w)) {
+        return Status::Corruption("bad attribute fields");
+      }
+      Attribute a;
+      a.name = f[0];
+      a.type = static_cast<TypeId>(t);
+      a.width = static_cast<uint16_t>(w);
+      attrs.push_back(std::move(a));
+    }
+  }
+  if (static_cast<int64_t>(attrs.size()) != nuser) {
+    return Status::Corruption("schema attribute count mismatch");
+  }
+  return Create(std::move(attrs), static_cast<DbType>(dbt),
+                static_cast<EntityKind>(kind));
+}
+
+namespace {
+
+void PutIntLE(uint8_t* p, uint64_t v, size_t width) {
+  for (size_t i = 0; i < width; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint64_t GetIntLE(const uint8_t* p, size_t width) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < width; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+int64_t SignExtend(uint64_t v, size_t width) {
+  if (width >= 8) return static_cast<int64_t>(v);
+  uint64_t sign = 1ULL << (8 * width - 1);
+  if (v & sign) v |= ~((sign << 1) - 1);
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> EncodeRecord(const Schema& schema,
+                                          const Row& row) {
+  if (row.size() != schema.num_attrs()) {
+    return Status::Invalid(
+        StrPrintf("row has %zu values, schema has %zu attributes", row.size(),
+                  schema.num_attrs()));
+  }
+  std::vector<uint8_t> rec(schema.record_size(), 0);
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Attribute& a = schema.attr(i);
+    const Value& v = row[i];
+    uint8_t* p = rec.data() + schema.offset(i);
+    switch (a.type) {
+      case TypeId::kInt1:
+      case TypeId::kInt2:
+      case TypeId::kInt4: {
+        if (!v.is_integer()) {
+          return Status::Invalid("attribute '" + a.name + "' expects integer");
+        }
+        PutIntLE(p, static_cast<uint64_t>(v.AsInt()), a.width);
+        break;
+      }
+      case TypeId::kFloat8: {
+        if (!v.is_numeric()) {
+          return Status::Invalid("attribute '" + a.name + "' expects numeric");
+        }
+        double d = v.AsDouble();
+        std::memcpy(p, &d, 8);
+        break;
+      }
+      case TypeId::kChar: {
+        if (v.type() != TypeId::kChar) {
+          return Status::Invalid("attribute '" + a.name + "' expects char");
+        }
+        const std::string& s = v.AsString();
+        size_t n = std::min<size_t>(s.size(), a.width);
+        std::memcpy(p, s.data(), n);
+        std::memset(p + n, ' ', a.width - n);
+        break;
+      }
+      case TypeId::kTime: {
+        if (v.type() != TypeId::kTime) {
+          return Status::Invalid("attribute '" + a.name + "' expects time");
+        }
+        PutIntLE(p, static_cast<uint32_t>(v.AsTime().seconds()), 4);
+        break;
+      }
+    }
+  }
+  return rec;
+}
+
+Value DecodeAttr(const Schema& schema, size_t idx, const uint8_t* data) {
+  const Attribute& a = schema.attr(idx);
+  const uint8_t* p = data + schema.offset(idx);
+  switch (a.type) {
+    case TypeId::kInt1:
+      return Value::Int1(SignExtend(GetIntLE(p, 1), 1));
+    case TypeId::kInt2:
+      return Value::Int2(SignExtend(GetIntLE(p, 2), 2));
+    case TypeId::kInt4:
+      return Value::Int4(SignExtend(GetIntLE(p, 4), 4));
+    case TypeId::kFloat8: {
+      double d = 0;
+      std::memcpy(&d, p, 8);
+      return Value::Float8(d);
+    }
+    case TypeId::kChar:
+      return Value::Char(std::string(reinterpret_cast<const char*>(p),
+                                     a.width));
+    case TypeId::kTime:
+      return Value::Time(
+          TimePoint(static_cast<int32_t>(GetIntLE(p, 4))));
+  }
+  return Value();
+}
+
+Result<Row> DecodeRecord(const Schema& schema, const uint8_t* data,
+                         size_t size) {
+  if (size < schema.record_size()) {
+    return Status::Corruption(StrPrintf("record too short: %zu < %u", size,
+                                        schema.record_size()));
+  }
+  Row row;
+  row.reserve(schema.num_attrs());
+  for (size_t i = 0; i < schema.num_attrs(); ++i) {
+    row.push_back(DecodeAttr(schema, i, data));
+  }
+  return row;
+}
+
+void EncodeAttrInPlace(const Schema& schema, size_t idx, const Value& v,
+                       uint8_t* data) {
+  const Attribute& a = schema.attr(idx);
+  uint8_t* p = data + schema.offset(idx);
+  switch (a.type) {
+    case TypeId::kInt1:
+    case TypeId::kInt2:
+    case TypeId::kInt4:
+      PutIntLE(p, static_cast<uint64_t>(v.AsInt()), a.width);
+      break;
+    case TypeId::kFloat8: {
+      double d = v.AsDouble();
+      std::memcpy(p, &d, 8);
+      break;
+    }
+    case TypeId::kChar: {
+      const std::string& s = v.AsString();
+      size_t n = std::min<size_t>(s.size(), a.width);
+      std::memcpy(p, s.data(), n);
+      std::memset(p + n, ' ', a.width - n);
+      break;
+    }
+    case TypeId::kTime:
+      PutIntLE(p, static_cast<uint32_t>(v.AsTime().seconds()), 4);
+      break;
+  }
+}
+
+}  // namespace tdb

@@ -1,0 +1,196 @@
+#include "types/timepoint.h"
+
+#include <cstdlib>
+
+#include "util/stringx.h"
+
+namespace tdb {
+
+namespace {
+
+constexpr int kDaysInMonth[12] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysInMonth(int year, int month) {
+  if (month == 2 && IsLeap(year)) return 29;
+  return kDaysInMonth[month - 1];
+}
+
+// Parses "h:m" or "h:m:s" into seconds-of-day; returns false on bad input.
+bool ParseTimeOfDay(std::string_view text, int64_t* out) {
+  std::vector<std::string> parts = Split(text, ':');
+  if (parts.size() != 2 && parts.size() != 3) return false;
+  int64_t h = 0;
+  int64_t m = 0;
+  int64_t s = 0;
+  if (!ParseInt64(parts[0], &h) || !ParseInt64(parts[1], &m)) return false;
+  if (parts.size() == 3 && !ParseInt64(parts[2], &s)) return false;
+  if (h < 0 || h > 23 || m < 0 || m > 59 || s < 0 || s > 59) return false;
+  *out = h * 3600 + m * 60 + s;
+  return true;
+}
+
+// Parses "m/d/yy" or "m/d/yyyy"; two-digit years map to 19xx.
+bool ParseDate(std::string_view text, int* year, int* month, int* day) {
+  std::vector<std::string> parts = Split(text, '/');
+  if (parts.size() != 3) return false;
+  int64_t m = 0;
+  int64_t d = 0;
+  int64_t y = 0;
+  if (!ParseInt64(parts[0], &m) || !ParseInt64(parts[1], &d) ||
+      !ParseInt64(parts[2], &y)) {
+    return false;
+  }
+  if (y >= 0 && y < 100) y += 1900;
+  if (m < 1 || m > 12) return false;
+  if (y < 1902 || y > 2037) return false;  // representable range for 32 bits
+  if (d < 1 || d > DaysInMonth(static_cast<int>(y), static_cast<int>(m))) {
+    return false;
+  }
+  *year = static_cast<int>(y);
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+  return true;
+}
+
+}  // namespace
+
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+namespace {
+
+void CivilFromDays(int64_t z, int* y_out, int* m_out, int* d_out) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  *y_out = static_cast<int>(y + (m <= 2));
+  *m_out = static_cast<int>(m);
+  *d_out = static_cast<int>(d);
+}
+
+}  // namespace
+
+Result<TimePoint> TimePoint::FromCivil(int year, int month, int day, int hour,
+                                       int minute, int second) {
+  if (month < 1 || month > 12 || day < 1 ||
+      day > DaysInMonth(year, month) || hour < 0 || hour > 23 || minute < 0 ||
+      minute > 59 || second < 0 || second > 59) {
+    return Status::Invalid(StrPrintf("bad civil time %d-%d-%d %d:%d:%d", year,
+                                     month, day, hour, minute, second));
+  }
+  int64_t days = DaysFromCivil(year, month, day);
+  int64_t secs = days * 86400 + hour * 3600 + minute * 60 + second;
+  if (secs < INT32_MIN || secs >= INT32_MAX) {
+    return Status::OutOfRange(
+        StrPrintf("time %d-%d-%d not representable in 32 bits", year, month,
+                  day));
+  }
+  return TimePoint(static_cast<int32_t>(secs));
+}
+
+Result<TimePoint> TimePoint::Parse(std::string_view raw) {
+  std::string_view text = TrimView(raw);
+  if (text.empty()) return Status::ParseError("empty time literal");
+  if (EqualsIgnoreCase(text, "forever")) return Forever();
+  if (EqualsIgnoreCase(text, "beginning")) return Beginning();
+
+  // Split an optional leading time-of-day from the date part.
+  std::string_view time_part;
+  std::string_view date_part = text;
+  size_t space = text.find(' ');
+  if (space != std::string_view::npos) {
+    time_part = TrimView(text.substr(0, space));
+    date_part = TrimView(text.substr(space + 1));
+  }
+
+  int64_t tod = 0;
+  if (!time_part.empty() && !ParseTimeOfDay(time_part, &tod)) {
+    return Status::ParseError("bad time of day in '" + std::string(raw) + "'");
+  }
+
+  // "1981" — a bare year denotes Jan 1 of that year.
+  if (date_part.find('/') == std::string_view::npos) {
+    int64_t y = 0;
+    if (!ParseInt64(date_part, &y) || y < 1902 || y > 2037) {
+      return Status::ParseError("bad time literal '" + std::string(raw) + "'");
+    }
+    auto tp = FromCivil(static_cast<int>(y), 1, 1);
+    if (!tp.ok()) return tp.status();
+    return tp->AddSeconds(tod);
+  }
+
+  int year = 0;
+  int month = 0;
+  int day = 0;
+  if (!ParseDate(date_part, &year, &month, &day)) {
+    return Status::ParseError("bad date in '" + std::string(raw) + "'");
+  }
+  auto tp = FromCivil(year, month, day);
+  if (!tp.ok()) return tp.status();
+  return tp->AddSeconds(tod);
+}
+
+CivilTime ToCivil(TimePoint tp) {
+  int64_t secs = tp.seconds();
+  int64_t days = secs / 86400;
+  int64_t sod = secs % 86400;
+  if (sod < 0) {
+    sod += 86400;
+    days -= 1;
+  }
+  CivilTime c;
+  CivilFromDays(days, &c.year, &c.month, &c.day);
+  c.hour = static_cast<int>(sod / 3600);
+  c.minute = static_cast<int>((sod % 3600) / 60);
+  c.second = static_cast<int>(sod % 60);
+  return c;
+}
+
+std::string TimePoint::ToString(TimeResolution res) const {
+  if (secs_ == INT32_MAX) return "forever";
+  if (secs_ == INT32_MIN) return "beginning";
+  CivilTime c = ToCivil(*this);
+  switch (res) {
+    case TimeResolution::kSecond:
+      return StrPrintf("%02d:%02d:%02d %d/%d/%d", c.hour, c.minute, c.second,
+                       c.month, c.day, c.year);
+    case TimeResolution::kMinute:
+      return StrPrintf("%02d:%02d %d/%d/%d", c.hour, c.minute, c.month, c.day,
+                       c.year);
+    case TimeResolution::kHour:
+      return StrPrintf("%02d:00 %d/%d/%d", c.hour, c.month, c.day, c.year);
+    case TimeResolution::kDay:
+      return StrPrintf("%d/%d/%d", c.month, c.day, c.year);
+    case TimeResolution::kMonth:
+      return StrPrintf("%d/%d", c.month, c.year);
+    case TimeResolution::kYear:
+      return StrPrintf("%d", c.year);
+  }
+  return "";
+}
+
+TimePoint TimePoint::AddSeconds(int64_t n) const {
+  if (secs_ == INT32_MAX || secs_ == INT32_MIN) return *this;
+  int64_t v = static_cast<int64_t>(secs_) + n;
+  if (v >= INT32_MAX) return Forever();
+  if (v <= INT32_MIN) return Beginning();
+  return TimePoint(static_cast<int32_t>(v));
+}
+
+}  // namespace tdb

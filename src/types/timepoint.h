@@ -1,0 +1,94 @@
+#ifndef CHRONOQUEL_TYPES_TIMEPOINT_H_
+#define CHRONOQUEL_TYPES_TIMEPOINT_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace tdb {
+
+/// Output granularity for formatting a TimePoint (paper Section 4:
+/// "resolutions ranging from a second to a year are selectable for output").
+enum class TimeResolution {
+  kSecond,
+  kMinute,
+  kHour,
+  kDay,
+  kMonth,
+  kYear,
+};
+
+/// A point in time with one-second resolution, stored as a signed 32-bit
+/// count of seconds since 1970-01-01 00:00:00 UTC.  This mirrors the
+/// prototype's representation ("a 32 bit integer with a resolution of one
+/// second") and is a distinct type from Int4 in the value system.
+class TimePoint {
+ public:
+  constexpr TimePoint() : secs_(0) {}
+  constexpr explicit TimePoint(int32_t secs) : secs_(secs) {}
+
+  /// The distinguished value "forever", used as the open upper bound of the
+  /// transaction-stop / valid-to attributes of current versions.
+  static constexpr TimePoint Forever() { return TimePoint(INT32_MAX); }
+  /// The earliest representable instant ("beginning of time").
+  static constexpr TimePoint Beginning() { return TimePoint(INT32_MIN); }
+
+  /// Builds a TimePoint from a civil (proleptic Gregorian, UTC) date-time.
+  /// Returns an error if the fields are out of range or unrepresentable.
+  static Result<TimePoint> FromCivil(int year, int month, int day,
+                                     int hour = 0, int minute = 0,
+                                     int second = 0);
+
+  /// Parses the input formats accepted by the prototype:
+  ///   "forever"                 | "now" is NOT accepted here (it is resolved
+  ///   "1981"                    |  by the query evaluator, which knows the
+  ///   "1/1/80"                  |  current logical time)
+  ///   "08:00 1/1/80"
+  ///   "08:00:30 1/1/1980"
+  /// Two-digit years are interpreted as 19xx.
+  static Result<TimePoint> Parse(std::string_view text);
+
+  constexpr int32_t seconds() const { return secs_; }
+  constexpr bool is_forever() const { return secs_ == INT32_MAX; }
+
+  /// Formats at the requested resolution, e.g. kSecond ->
+  /// "08:00:30 1/1/1980", kDay -> "1/1/1980", kYear -> "1980".
+  /// Forever / Beginning format as "forever" / "beginning".
+  std::string ToString(TimeResolution res = TimeResolution::kSecond) const;
+
+  /// This + n seconds (saturating at Forever / Beginning).
+  TimePoint AddSeconds(int64_t n) const;
+
+  friend constexpr auto operator<=>(TimePoint a, TimePoint b) {
+    return a.secs_ <=> b.secs_;
+  }
+  friend constexpr bool operator==(TimePoint a, TimePoint b) {
+    return a.secs_ == b.secs_;
+  }
+
+ private:
+  int32_t secs_;
+};
+
+/// Breaks a TimePoint into civil fields (UTC).
+struct CivilTime {
+  int year;
+  int month;   // 1..12
+  int day;     // 1..31
+  int hour;    // 0..23
+  int minute;  // 0..59
+  int second;  // 0..59
+};
+
+/// Converts seconds-since-epoch into civil fields.
+CivilTime ToCivil(TimePoint tp);
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+int64_t DaysFromCivil(int year, int month, int day);
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_TYPES_TIMEPOINT_H_

@@ -1,0 +1,104 @@
+#include "types/value.h"
+
+#include "util/stringx.h"
+
+namespace tdb {
+
+const char* TypeIdName(TypeId t) {
+  switch (t) {
+    case TypeId::kInt1:
+      return "i1";
+    case TypeId::kInt2:
+      return "i2";
+    case TypeId::kInt4:
+      return "i4";
+    case TypeId::kFloat8:
+      return "f8";
+    case TypeId::kChar:
+      return "c";
+    case TypeId::kTime:
+      return "time";
+  }
+  return "?";
+}
+
+Result<int> Value::Compare(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.type() == TypeId::kFloat8 || b.type() == TypeId::kFloat8) {
+      double x = a.AsDouble();
+      double y = b.AsDouble();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    int64_t x = a.AsInt();
+    int64_t y = b.AsInt();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.type() == TypeId::kChar && b.type() == TypeId::kChar) {
+    // Fixed-width char attributes are blank padded on disk; comparisons
+    // ignore trailing blanks so "abc" == "abc   ".
+    std::string_view x = TrimView(a.AsString());
+    std::string_view y = TrimView(b.AsString());
+    int c = x.compare(y);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a.type() == TypeId::kTime && b.type() == TypeId::kTime) {
+    TimePoint x = a.AsTime();
+    TimePoint y = b.AsTime();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  return Status::Invalid(StrPrintf("cannot compare %s with %s",
+                                   TypeIdName(a.type()), TypeIdName(b.type())));
+}
+
+bool Value::Equals(const Value& other) const {
+  auto c = Compare(*this, other);
+  return c.ok() && *c == 0;
+}
+
+std::string Value::ToString(TimeResolution res) const {
+  switch (type_) {
+    case TypeId::kInt1:
+    case TypeId::kInt2:
+    case TypeId::kInt4:
+      return StrPrintf("%lld", static_cast<long long>(AsInt()));
+    case TypeId::kFloat8:
+      return StrPrintf("%g", AsDouble());
+    case TypeId::kChar:
+      return std::string(TrimView(AsString()));
+    case TypeId::kTime:
+      return AsTime().ToString(res);
+  }
+  return "";
+}
+
+uint64_t Value::Hash() const {
+  auto mix = [](uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  switch (type_) {
+    case TypeId::kInt1:
+    case TypeId::kInt2:
+    case TypeId::kInt4:
+      return mix(static_cast<uint64_t>(AsInt()));
+    case TypeId::kFloat8:
+      return mix(static_cast<uint64_t>(AsDouble() * 1e6));
+    case TypeId::kTime:
+      return mix(static_cast<uint64_t>(
+          static_cast<uint32_t>(AsTime().seconds())));
+    case TypeId::kChar: {
+      // FNV-1a over the trimmed payload, then mixed.
+      std::string_view s = TrimView(AsString());
+      uint64_t h = 1469598103934665603ULL;
+      for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+      }
+      return mix(h);
+    }
+  }
+  return 0;
+}
+
+}  // namespace tdb

@@ -1,0 +1,85 @@
+#ifndef CHRONOQUEL_TYPES_VALUE_H_
+#define CHRONOQUEL_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "types/timepoint.h"
+#include "util/status.h"
+
+namespace tdb {
+
+/// Attribute types supported by the engine; the Quel surface names are
+/// i1, i2, i4, f8, c<N>, and (new in TQuel) the distinct temporal type.
+enum class TypeId : uint8_t {
+  kInt1,
+  kInt2,
+  kInt4,
+  kFloat8,
+  kChar,  // fixed width, blank padded, width carried by the Attribute
+  kTime,  // 32-bit seconds, the paper's temporal attribute representation
+};
+
+/// "i4", "c96", ... (for kChar the width must be appended by the caller).
+const char* TypeIdName(TypeId t);
+
+/// A runtime value of one of the supported attribute types.  Values are
+/// small and freely copyable; Char payloads are stored un-padded.
+class Value {
+ public:
+  /// Default-constructed value is Int4 zero.
+  Value() : type_(TypeId::kInt4), rep_(int64_t{0}) {}
+
+  static Value Int1(int64_t v) { return Value(TypeId::kInt1, v); }
+  static Value Int2(int64_t v) { return Value(TypeId::kInt2, v); }
+  static Value Int4(int64_t v) { return Value(TypeId::kInt4, v); }
+  static Value Float8(double v) { return Value(TypeId::kFloat8, v); }
+  static Value Char(std::string v) {
+    return Value(TypeId::kChar, std::move(v));
+  }
+  static Value Time(TimePoint tp) { return Value(TypeId::kTime, tp); }
+
+  TypeId type() const { return type_; }
+  bool is_integer() const {
+    return type_ == TypeId::kInt1 || type_ == TypeId::kInt2 ||
+           type_ == TypeId::kInt4;
+  }
+  bool is_numeric() const { return is_integer() || type_ == TypeId::kFloat8; }
+
+  /// Accessors require the matching type.
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const {
+    return type_ == TypeId::kFloat8 ? std::get<double>(rep_)
+                                    : static_cast<double>(AsInt());
+  }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  TimePoint AsTime() const { return std::get<TimePoint>(rep_); }
+
+  /// Three-way comparison of two values of compatible types (numeric with
+  /// numeric, char with char, time with time).  Returns an error otherwise.
+  static Result<int> Compare(const Value& a, const Value& b);
+
+  /// Equality via Compare; values of incompatible types are never equal.
+  bool Equals(const Value& other) const;
+
+  /// Human-readable rendering; times use the given resolution.
+  std::string ToString(TimeResolution res = TimeResolution::kSecond) const;
+
+  /// Stable 64-bit hash used by the hash access method and hash indexes.
+  uint64_t Hash() const;
+
+ private:
+  Value(TypeId t, int64_t v) : type_(t), rep_(v) {}
+  Value(TypeId t, double v) : type_(t), rep_(v) {}
+  Value(TypeId t, std::string v) : type_(t), rep_(std::move(v)) {}
+  Value(TypeId t, TimePoint v) : type_(t), rep_(v) {}
+
+  TypeId type_;
+  std::variant<int64_t, double, std::string, TimePoint> rep_;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_TYPES_VALUE_H_

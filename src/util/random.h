@@ -1,0 +1,50 @@
+#ifndef CHRONOQUEL_UTIL_RANDOM_H_
+#define CHRONOQUEL_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tdb {
+
+/// Deterministic pseudo-random generator (splitmix64 core).  Used by the
+/// benchmark workload generator so every run of a paper experiment sees the
+/// same data, independent of platform and standard library.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, n).  Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return Next64() % n; }
+
+  /// Uniform value in [lo, hi] inclusive.  Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random lower-case alphabetic string of exactly `len` characters.
+  std::string NextString(size_t len) {
+    std::string s(len, 'a');
+    for (char& c : s) c = static_cast<char>('a' + Uniform(26));
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_UTIL_RANDOM_H_

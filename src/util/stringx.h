@@ -1,0 +1,45 @@
+#ifndef CHRONOQUEL_UTIL_STRINGX_H_
+#define CHRONOQUEL_UTIL_STRINGX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdb {
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// ASCII lower/upper-casing (locale independent).
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+/// Splits `s` on `sep`; empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// True if `s` begins / ends with the given prefix / suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII string equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parses a signed decimal integer; returns false on any non-numeric input
+/// or overflow.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Parses a decimal floating point number; returns false on bad input.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_UTIL_STRINGX_H_

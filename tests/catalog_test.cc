@@ -1,0 +1,142 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace tdb {
+namespace {
+
+RelationMeta MakeMeta(const std::string& name, DbType type) {
+  RelationMeta meta;
+  meta.name = name;
+  auto schema = Schema::Create({{"id", TypeId::kInt4, 4, false},
+                                {"s", TypeId::kChar, 16, false}},
+                               type);
+  meta.schema = std::move(schema).value();
+  return meta;
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  MemEnv env_;
+};
+
+TEST_F(CatalogTest, CreateFindDrop) {
+  Catalog catalog(&env_, "/db");
+  ASSERT_TRUE(catalog.Create(MakeMeta("emp", DbType::kTemporal)).ok());
+  ASSERT_NE(catalog.Find("emp"), nullptr);
+  EXPECT_NE(catalog.Find("EMP"), nullptr);  // case-insensitive
+  EXPECT_EQ(catalog.Find("none"), nullptr);
+  EXPECT_TRUE(catalog.Drop("emp").ok());
+  EXPECT_EQ(catalog.Find("emp"), nullptr);
+  EXPECT_FALSE(catalog.Drop("emp").ok());
+}
+
+TEST_F(CatalogTest, DuplicateCreateFails) {
+  Catalog catalog(&env_, "/db");
+  ASSERT_TRUE(catalog.Create(MakeMeta("emp", DbType::kStatic)).ok());
+  EXPECT_EQ(catalog.Create(MakeMeta("EMP", DbType::kStatic)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, PersistsAcrossLoad) {
+  {
+    Catalog catalog(&env_, "/db");
+    RelationMeta meta = MakeMeta("emp", DbType::kTemporal);
+    meta.org = Organization::kHash;
+    meta.key_attr = "id";
+    meta.fillfactor = 50;
+    meta.hash_buckets = 77;
+    meta.two_level = true;
+    meta.clustered_history = true;
+    meta.history_buckets = 9;
+    IndexMeta idx;
+    idx.name = "amount_idx";
+    idx.attr = "s";
+    idx.org = Organization::kHash;
+    idx.levels = 2;
+    idx.nbuckets = 5;
+    idx.history_nbuckets = 6;
+    meta.indexes.push_back(idx);
+    ASSERT_TRUE(catalog.Create(std::move(meta)).ok());
+  }
+  Catalog reloaded(&env_, "/db");
+  ASSERT_TRUE(reloaded.Load().ok());
+  const RelationMeta* meta = reloaded.Find("emp");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->org, Organization::kHash);
+  EXPECT_EQ(meta->key_attr, "id");
+  EXPECT_EQ(meta->fillfactor, 50);
+  EXPECT_EQ(meta->hash_buckets, 77u);
+  EXPECT_TRUE(meta->two_level);
+  EXPECT_TRUE(meta->clustered_history);
+  EXPECT_EQ(meta->history_buckets, 9u);
+  ASSERT_EQ(meta->indexes.size(), 1u);
+  EXPECT_EQ(meta->indexes[0].name, "amount_idx");
+  EXPECT_EQ(meta->indexes[0].levels, 2);
+  EXPECT_EQ(meta->schema.db_type(), DbType::kTemporal);
+}
+
+TEST_F(CatalogTest, IsamMetaPersisted) {
+  {
+    Catalog catalog(&env_, "/db");
+    RelationMeta meta = MakeMeta("emp", DbType::kRollback);
+    meta.org = Organization::kIsam;
+    meta.key_attr = "id";
+    meta.isam.data_pages = 128;
+    meta.isam.level_counts = {2, 1};
+    ASSERT_TRUE(catalog.Create(std::move(meta)).ok());
+  }
+  Catalog reloaded(&env_, "/db");
+  ASSERT_TRUE(reloaded.Load().ok());
+  const RelationMeta* meta = reloaded.Find("emp");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->isam.data_pages, 128u);
+  EXPECT_EQ(meta->isam.level_counts, (std::vector<uint32_t>{2, 1}));
+}
+
+TEST_F(CatalogTest, UpdateReplacesMetadata) {
+  Catalog catalog(&env_, "/db");
+  ASSERT_TRUE(catalog.Create(MakeMeta("emp", DbType::kStatic)).ok());
+  RelationMeta meta = *catalog.Find("emp");
+  meta.fillfactor = 25;
+  ASSERT_TRUE(catalog.Update(meta).ok());
+  EXPECT_EQ(catalog.Find("emp")->fillfactor, 25);
+  meta.name = "ghost";
+  EXPECT_FALSE(catalog.Update(meta).ok());
+}
+
+TEST_F(CatalogTest, RelationNamesListsAll) {
+  Catalog catalog(&env_, "/db");
+  ASSERT_TRUE(catalog.Create(MakeMeta("a", DbType::kStatic)).ok());
+  ASSERT_TRUE(catalog.Create(MakeMeta("b", DbType::kTemporal)).ok());
+  auto names = catalog.RelationNames();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST_F(CatalogTest, LoadEmptyIsOk) {
+  Catalog catalog(&env_, "/none");
+  EXPECT_TRUE(catalog.Load().ok());
+  EXPECT_TRUE(catalog.RelationNames().empty());
+}
+
+TEST_F(CatalogTest, ParseRejectsCorruptBlocks) {
+  EXPECT_FALSE(ParseRelationMeta("schema 0|0|0|\nend\n").ok());  // no name
+  EXPECT_FALSE(ParseRelationMeta("relation r\norg x\nend\n").ok());
+  EXPECT_FALSE(ParseRelationMeta("relation r\nbogus tag\nend\n").ok());
+  EXPECT_FALSE(
+      ParseRelationMeta("relation r\nindex a b c\nend\n").ok());
+}
+
+TEST_F(CatalogTest, SerializeRoundTripViaBlock) {
+  RelationMeta meta = MakeMeta("roundtrip", DbType::kHistorical);
+  meta.org = Organization::kIsam;
+  meta.isam.data_pages = 3;
+  meta.isam.level_counts = {1};
+  auto parsed = ParseRelationMeta(SerializeRelationMeta(meta));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->name, "roundtrip");
+  EXPECT_EQ(parsed->schema.num_attrs(), meta.schema.num_attrs());
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,207 @@
+// Verifies the paper's quantitative claims as testable invariants on a
+// scaled-down benchmark database (256 tuples instead of 1024; the growth
+// law is size independent).
+
+#include <gtest/gtest.h>
+
+#include "benchlib/workload.h"
+#include "storage/hash_file.h"
+#include "util/stringx.h"
+
+namespace tdb {
+namespace bench {
+namespace {
+
+struct CostCase {
+  DbType type;
+  int fillfactor;
+  double expected_rate;  // the paper's law: loading x (2 if temporal else 1)
+};
+
+class GrowthRate : public ::testing::TestWithParam<CostCase> {};
+
+TEST_P(GrowthRate, MatchesPaperLaw) {
+  const CostCase& c = GetParam();
+  WorkloadConfig config;
+  config.type = c.type;
+  config.fillfactor = c.fillfactor;
+  config.ntuples = 256;
+  auto bench = BenchmarkDb::Create(config);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+
+  constexpr int kRounds = 8;
+  // Q01 (hashed access) and Q07 (sequential scan): different access
+  // methods, same growth rate — the paper's central observation.
+  auto q1_0 = (*bench)->RunQuery(1);
+  auto q7_0 = (*bench)->RunQuery(7);
+  ASSERT_TRUE(q1_0.ok());
+  ASSERT_TRUE(q7_0.ok());
+  for (int round = 0; round < kRounds; ++round) {
+    ASSERT_TRUE((*bench)->UniformUpdateRound().ok());
+  }
+  auto q1_n = (*bench)->RunQuery(1);
+  auto q7_n = (*bench)->RunQuery(7);
+  ASSERT_TRUE(q1_n.ok());
+  ASSERT_TRUE(q7_n.ok());
+
+  double q1_var = static_cast<double>(q1_0->input_pages - q1_0->fixed_pages);
+  double q7_var = static_cast<double>(q7_0->input_pages - q7_0->fixed_pages);
+  double q1_rate =
+      (double(q1_n->input_pages) - double(q1_0->input_pages)) /
+      (q1_var * kRounds);
+  double q7_rate =
+      (double(q7_n->input_pages) - double(q7_0->input_pages)) /
+      (q7_var * kRounds);
+
+  EXPECT_NEAR(q1_rate, c.expected_rate, 0.15) << "hashed access";
+  EXPECT_NEAR(q7_rate, c.expected_rate, 0.15) << "sequential scan";
+  // ...and they agree with each other (rate independent of access method).
+  EXPECT_NEAR(q1_rate, q7_rate, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Law, GrowthRate,
+    ::testing::Values(CostCase{DbType::kRollback, 100, 1.0},
+                      CostCase{DbType::kRollback, 50, 0.5},
+                      CostCase{DbType::kHistorical, 100, 1.0},
+                      CostCase{DbType::kTemporal, 100, 2.0},
+                      CostCase{DbType::kTemporal, 50, 1.0}),
+    [](const auto& info) {
+      return std::string(DbTypeName(info.param.type)) + "_" +
+             std::to_string(info.param.fillfactor);
+    });
+
+TEST(CostFormula, PredictsIntermediateCounts) {
+  // Section 5.3: cost(n) = fixed + variable * (1 + rate * n).
+  WorkloadConfig config;
+  config.type = DbType::kTemporal;
+  config.fillfactor = 100;
+  config.ntuples = 256;
+  auto bench = BenchmarkDb::Create(config);
+  ASSERT_TRUE(bench.ok());
+
+  auto m0 = (*bench)->RunQuery(3);  // rollback scan
+  ASSERT_TRUE(m0.ok());
+  double fixed = static_cast<double>(m0->fixed_pages);
+  double variable = static_cast<double>(m0->input_pages) - fixed;
+  for (int n = 1; n <= 6; ++n) {
+    ASSERT_TRUE((*bench)->UniformUpdateRound().ok());
+    auto mn = (*bench)->RunQuery(3);
+    ASSERT_TRUE(mn.ok());
+    double predicted = fixed + variable * (1 + 2.0 * n);
+    EXPECT_NEAR(static_cast<double>(mn->input_pages), predicted,
+                predicted * 0.05)
+        << "uc=" << n;
+  }
+}
+
+TEST(SpaceGrowth, TemporalDoublesRollback) {
+  // Fig. 5: temporal grows ~2x the pages per update of rollback.
+  auto make = [](DbType type) {
+    WorkloadConfig config;
+    config.type = type;
+    config.fillfactor = 100;
+    config.ntuples = 256;
+    return BenchmarkDb::Create(config);
+  };
+  auto rollback = make(DbType::kRollback);
+  auto temporal = make(DbType::kTemporal);
+  ASSERT_TRUE(rollback.ok());
+  ASSERT_TRUE(temporal.ok());
+  auto grow = [](BenchmarkDb* bench) -> uint64_t {
+    uint64_t before = bench->PagesOf("h").value_or(0);
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(bench->UniformUpdateRound().ok());
+    return bench->PagesOf("h").value_or(0) - before;
+  };
+  uint64_t rollback_growth = grow(rollback->get());
+  uint64_t temporal_growth = grow(temporal->get());
+  EXPECT_NEAR(static_cast<double>(temporal_growth),
+              2.0 * static_cast<double>(rollback_growth),
+              0.1 * static_cast<double>(temporal_growth));
+}
+
+TEST(NonUniformDistribution, WeightedAverageEqualsUniform) {
+  // Section 5.4 as an invariant: updating a single tuple repeatedly gives
+  // the same tuple-weighted average access cost as uniform updates.
+  constexpr int kTuples = 128;
+  WorkloadConfig config;
+  config.type = DbType::kTemporal;
+  config.fillfactor = 100;
+  config.ntuples = kTuples;
+
+  auto uniform = BenchmarkDb::Create(config);
+  auto hot = BenchmarkDb::Create(config);
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(hot.ok());
+
+  ASSERT_TRUE((*uniform)->UniformUpdateRound().ok());
+  const int hot_id = 17;
+  ASSERT_TRUE((*hot)->UpdateSingleTuple(hot_id, kTuples).ok());
+
+  auto uniform_probe = (*uniform)->RunQuery(1);
+  ASSERT_TRUE(uniform_probe.ok());
+
+  // Weighted average over all tuples in the hot database: tuples sharing
+  // the hot bucket pay the chain, the rest pay one page.
+  auto rel = (*hot)->db()->GetRelation("bench_h");
+  ASSERT_TRUE(rel.ok());
+  uint32_t buckets = static_cast<HashFile*>((*rel)->primary())->nbuckets();
+  auto hot_probe = (*hot)->RunText(
+      StrPrintf("retrieve (h.id, h.seq) where h.id = %d", hot_id));
+  auto cold_probe = (*hot)->RunText(
+      StrPrintf("retrieve (h.id, h.seq) where h.id = %d", hot_id + 1));
+  ASSERT_TRUE(hot_probe.ok());
+  ASSERT_TRUE(cold_probe.ok());
+  double per_bucket = double(kTuples) / buckets;
+  double weighted =
+      (per_bucket * double(hot_probe->input_pages) +
+       double(kTuples - per_bucket) * double(cold_probe->input_pages)) /
+      double(kTuples);
+  EXPECT_NEAR(weighted, double(uniform_probe->input_pages), 0.01);
+}
+
+TEST(OutputCost, TemporaryRelationsOnly) {
+  WorkloadConfig config;
+  config.type = DbType::kTemporal;
+  config.ntuples = 256;
+  auto bench = BenchmarkDb::Create(config);
+  ASSERT_TRUE(bench.ok());
+  // Point and scan queries write nothing; the join queries write temps.
+  for (int q : {1, 2, 3, 5, 7, 11}) {
+    auto m = (*bench)->RunQuery(q);
+    ASSERT_TRUE(m.ok());
+    EXPECT_EQ(m->output_pages, 0u) << "Q" << q;
+  }
+  for (int q : {9, 10, 12}) {
+    auto m = (*bench)->RunQuery(q);
+    ASSERT_TRUE(m.ok());
+    EXPECT_GT(m->output_pages, 0u) << "Q" << q;
+  }
+}
+
+TEST(OutputRows, ConstantExceptVersionScans) {
+  // Section 5.1: "The number of output tuples were kept constant regardless
+  // of update count, except for queries Q01, Q02 and Q12."
+  WorkloadConfig config;
+  config.type = DbType::kTemporal;
+  config.ntuples = 256;
+  auto bench = BenchmarkDb::Create(config);
+  ASSERT_TRUE(bench.ok());
+  std::map<int, uint64_t> rows0;
+  for (int q = 1; q <= 12; ++q) {
+    rows0[q] = (*bench)->RunQuery(q)->rows;
+  }
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE((*bench)->UniformUpdateRound().ok());
+  for (int q = 1; q <= 12; ++q) {
+    uint64_t rows = (*bench)->RunQuery(q)->rows;
+    if (q == 1 || q == 2 || q == 12) {
+      EXPECT_GT(rows, rows0[q]) << "Q" << q;
+    } else {
+      EXPECT_EQ(rows, rows0[q]) << "Q" << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tdb

@@ -1,0 +1,286 @@
+// End-to-end tests of the Database facade: the full TQuel surface over an
+// in-memory environment, covering all four database types.
+
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+#include "env/env.h"
+
+namespace tdb {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.env = &env_;
+    auto db = Database::Open("/db", options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+  }
+
+  ExecResult Exec(const std::string& text) {
+    auto r = db_->Execute(text);
+    EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : ExecResult{};
+  }
+
+  Status ExecErr(const std::string& text) {
+    auto r = db_->Execute(text);
+    EXPECT_FALSE(r.ok()) << "expected failure: " << text;
+    return r.status();
+  }
+
+  MemEnv env_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DatabaseTest, CreateAndAppendStatic) {
+  Exec("create parts (id = i4, name = c12, qty = i4)");
+  Exec("append to parts (id = 1, name = \"bolt\", qty = 40)");
+  Exec("append to parts (id = 2, name = \"nut\", qty = 7)");
+  Exec("range of p is parts");
+  ExecResult r = Exec("retrieve (p.id, p.name, p.qty) where p.qty > 10");
+  ASSERT_EQ(r.result.num_rows(), 1u);
+  EXPECT_EQ(r.result.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.result.rows[0][1].ToString(), "bolt");
+}
+
+TEST_F(DatabaseTest, StaticDeleteAndReplace) {
+  Exec("create parts (id = i4, qty = i4)");
+  Exec("append to parts (id = 1, qty = 10)");
+  Exec("append to parts (id = 2, qty = 20)");
+  Exec("range of p is parts");
+  ExecResult del = Exec("delete p where p.id = 1");
+  EXPECT_EQ(del.affected, 1);
+  ExecResult rep = Exec("replace p (qty = p.qty + 5)");
+  EXPECT_EQ(rep.affected, 1);
+  ExecResult r = Exec("retrieve (p.id, p.qty)");
+  ASSERT_EQ(r.result.num_rows(), 1u);
+  EXPECT_EQ(r.result.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.result.rows[0][1].AsInt(), 25);
+}
+
+TEST_F(DatabaseTest, RollbackAsOf) {
+  Exec("create persistent emp (name = c10, sal = i4)");
+  Exec("append to emp (name = \"ann\", sal = 100)");
+  TimePoint after_insert = db_->now();
+  db_->AdvanceSeconds(100);
+  Exec("range of e is emp");
+  Exec("replace e (sal = 200) where e.name = \"ann\"");
+
+  // Current state.
+  ExecResult cur = Exec("retrieve (e.sal) as of \"now\"");
+  ASSERT_EQ(cur.result.num_rows(), 1u);
+  EXPECT_EQ(cur.result.rows[0][0].AsInt(), 200);
+
+  // Rolled-back state: reconstructs the pre-replace salary.
+  ExecResult old = Exec("retrieve (e.sal) as of \"" +
+                        after_insert.ToString() + "\"");
+  ASSERT_EQ(old.result.num_rows(), 1u);
+  EXPECT_EQ(old.result.rows[0][0].AsInt(), 100);
+}
+
+TEST_F(DatabaseTest, HistoricalWhenOverlap) {
+  Exec("create interval emp (name = c10, sal = i4)");
+  Exec("append to emp (name = \"bob\", sal = 50) "
+       "valid from \"1/1/80\" to \"6/1/80\"");
+  Exec("append to emp (name = \"bob\", sal = 75) "
+       "valid from \"6/1/80\" to \"forever\"");
+  Exec("range of e is emp");
+
+  ExecResult spring = Exec(
+      "retrieve (e.sal) where e.name = \"bob\" when e overlap \"3/1/80\"");
+  ASSERT_EQ(spring.result.num_rows(), 1u);
+  EXPECT_EQ(spring.result.rows[0][0].AsInt(), 50);
+
+  ExecResult later = Exec(
+      "retrieve (e.sal) where e.name = \"bob\" when e overlap \"7/1/80\"");
+  ASSERT_EQ(later.result.num_rows(), 1u);
+  EXPECT_EQ(later.result.rows[0][0].AsInt(), 75);
+
+  // Result rows carry the valid interval.
+  ASSERT_EQ(later.result.columns.size(), 3u);
+  EXPECT_EQ(later.result.columns[1], "valid_from");
+  EXPECT_EQ(later.result.columns[2], "valid_to");
+}
+
+TEST_F(DatabaseTest, TemporalReplaceKeepsFullHistory) {
+  Exec("create persistent interval acct (id = i4, bal = i4)");
+  Exec("append to acct (id = 7, bal = 10)");
+  Exec("range of a is acct");
+  db_->AdvanceSeconds(50);
+  Exec("replace a (bal = 20) where a.id = 7");
+  db_->AdvanceSeconds(50);
+  Exec("replace a (bal = 30) where a.id = 7");
+
+  // As of now (the TQuel default) the validity history has three entries:
+  // bal 10 until the first replace, 20 until the second, 30 since.
+  ExecResult history = Exec("retrieve (a.bal)");
+  EXPECT_EQ(history.result.num_rows(), 3u);
+
+  // Every stored version — including the two superseded ones — is reachable
+  // by rolling back across all of transaction time: 1 + 2 + 2 = 5.
+  ExecResult all =
+      Exec("retrieve (a.bal) as of \"beginning\" through \"forever\"");
+  EXPECT_EQ(all.result.num_rows(), 5u);
+
+  // Static-style query sees only the latest balance.
+  ExecResult cur = Exec(
+      "retrieve (a.bal) where a.id = 7 when a overlap \"now\" as of \"now\"");
+  ASSERT_EQ(cur.result.num_rows(), 1u);
+  EXPECT_EQ(cur.result.rows[0][0].AsInt(), 30);
+}
+
+TEST_F(DatabaseTest, TemporalJoinQ12Shape) {
+  Exec("create persistent interval t_h (id = i4, amount = i4)");
+  Exec("create persistent interval t_i (id = i4, amount = i4)");
+  Exec("append to t_h (id = 500, amount = 1)");
+  Exec("append to t_i (id = 9, amount = 73700)");
+  Exec("range of h is t_h");
+  Exec("range of i is t_i");
+  ExecResult r = Exec(
+      "retrieve (h.id, i.id, i.amount) "
+      "valid from start of (h overlap i) to end of (h extend i) "
+      "where h.id = 500 and i.amount = 73700 "
+      "when h overlap i as of \"now\"");
+  ASSERT_EQ(r.result.num_rows(), 1u);
+  EXPECT_EQ(r.result.rows[0][0].AsInt(), 500);
+  EXPECT_EQ(r.result.rows[0][2].AsInt(), 73700);
+}
+
+TEST_F(DatabaseTest, ClauseApplicabilityErrors) {
+  Exec("create s (id = i4)");
+  Exec("create persistent r (id = i4)");
+  Exec("create interval h (id = i4)");
+  Exec("range of s is s");
+  Exec("range of r is r");
+  Exec("range of h is h");
+  // Static relations accept neither when nor as-of.
+  ExecErr("retrieve (s.id) when s overlap \"now\"");
+  ExecErr("retrieve (s.id) as of \"now\"");
+  // Rollback relations have no valid time -> no when.
+  ExecErr("retrieve (r.id) when r overlap \"now\"");
+  // Historical relations have no transaction time -> no as-of.
+  ExecErr("retrieve (h.id) as of \"now\"");
+  // But the applicable clauses work.
+  Exec("retrieve (r.id) as of \"now\"");
+  Exec("retrieve (h.id) when h overlap \"now\"");
+}
+
+TEST_F(DatabaseTest, ModifyToHashAndIsamPreservesData) {
+  Exec("create parts (id = i4, qty = i4)");
+  for (int i = 0; i < 50; ++i) {
+    Exec("append to parts (id = " + std::to_string(i) + ", qty = " +
+         std::to_string(i * 10) + ")");
+  }
+  Exec("modify parts to hash on id where fillfactor = 100");
+  Exec("range of p is parts");
+  ExecResult r1 = Exec("retrieve (p.qty) where p.id = 33");
+  ASSERT_EQ(r1.result.num_rows(), 1u);
+  EXPECT_EQ(r1.result.rows[0][0].AsInt(), 330);
+
+  Exec("modify parts to isam on id where fillfactor = 50");
+  ExecResult r2 = Exec("retrieve (p.qty) where p.id = 33");
+  ASSERT_EQ(r2.result.num_rows(), 1u);
+  EXPECT_EQ(r2.result.rows[0][0].AsInt(), 330);
+  ExecResult all = Exec("retrieve (p.id)");
+  EXPECT_EQ(all.result.num_rows(), 50u);
+}
+
+TEST_F(DatabaseTest, RetrieveIntoAndAggregates) {
+  Exec("create parts (id = i4, qty = i4)");
+  Exec("append to parts (id = 1, qty = 10)");
+  Exec("append to parts (id = 2, qty = 30)");
+  Exec("range of p is parts");
+  ExecResult agg = Exec(
+      "retrieve (n = count(p.id), total = sum(p.qty), top = max(p.qty))");
+  ASSERT_EQ(agg.result.num_rows(), 1u);
+  EXPECT_EQ(agg.result.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(agg.result.rows[0][1].AsInt(), 40);
+  EXPECT_EQ(agg.result.rows[0][2].AsInt(), 30);
+
+  Exec("retrieve into big (p.id, p.qty) where p.qty > 15");
+  Exec("range of b is big");
+  ExecResult r = Exec("retrieve (b.id)");
+  ASSERT_EQ(r.result.num_rows(), 1u);
+  EXPECT_EQ(r.result.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(DatabaseTest, CopyRoundTrip) {
+  Exec("create parts (id = i4, name = c8)");
+  Exec("append to parts (id = 1, name = \"ab\")");
+  Exec("append to parts (id = 2, name = \"cd\")");
+  Exec("copy parts to \"/dump.tsv\"");
+  Exec("create parts2 (id = i4, name = c8)");
+  ExecResult r = Exec("copy parts2 from \"/dump.tsv\"");
+  EXPECT_EQ(r.affected, 2);
+  Exec("range of q is parts2");
+  ExecResult rows = Exec("retrieve (q.id, q.name) where q.id = 2");
+  ASSERT_EQ(rows.result.num_rows(), 1u);
+  EXPECT_EQ(rows.result.rows[0][1].ToString(), "cd");
+}
+
+TEST_F(DatabaseTest, PersistenceAcrossReopen) {
+  Exec("create persistent interval acct (id = i4, bal = i4)");
+  Exec("append to acct (id = 1, bal = 10)");
+  Exec("modify acct to hash on id where fillfactor = 100");
+  db_.reset();
+
+  DatabaseOptions options;
+  options.env = &env_;
+  auto reopened = Database::Open("/db", options);
+  ASSERT_TRUE(reopened.ok());
+  db_ = std::move(reopened).value();
+  Exec("range of a is acct");
+  ExecResult r = Exec("retrieve (a.bal) where a.id = 1");
+  ASSERT_EQ(r.result.num_rows(), 1u);
+  EXPECT_EQ(r.result.rows[0][0].AsInt(), 10);
+}
+
+TEST_F(DatabaseTest, DeleteOnTemporalKeepsRollbackView) {
+  Exec("create persistent interval acct (id = i4, bal = i4)");
+  Exec("append to acct (id = 1, bal = 10)");
+  TimePoint before_delete = db_->now();
+  db_->AdvanceSeconds(100);
+  Exec("range of a is acct");
+  Exec("delete a where a.id = 1");
+
+  // Gone from the current state...
+  ExecResult cur = Exec(
+      "retrieve (a.bal) when a overlap \"now\" as of \"now\"");
+  EXPECT_EQ(cur.result.num_rows(), 0u);
+  // ...but the rollback view still reconstructs it.
+  ExecResult old = Exec("retrieve (a.bal) when a overlap \"" +
+                        before_delete.ToString() + "\" as of \"" +
+                        before_delete.ToString() + "\"");
+  ASSERT_EQ(old.result.num_rows(), 1u);
+  EXPECT_EQ(old.result.rows[0][0].AsInt(), 10);
+}
+
+TEST_F(DatabaseTest, EventRelation) {
+  Exec("create event ping (host = c8, ms = i4)");
+  Exec("append to ping (host = \"a\", ms = 12) valid at \"08:00 1/1/80\"");
+  Exec("append to ping (host = \"a\", ms = 20) valid at \"09:00 1/1/80\"");
+  Exec("range of p is ping");
+  ExecResult r = Exec(
+      "retrieve (p.ms) when p overlap \"08:00 1/1/80\"");
+  ASSERT_EQ(r.result.num_rows(), 1u);
+  EXPECT_EQ(r.result.rows[0][0].AsInt(), 12);
+}
+
+TEST_F(DatabaseTest, UniqueAndExpressionTargets) {
+  Exec("create parts (id = i4, qty = i4)");
+  Exec("append to parts (id = 1, qty = 5)");
+  Exec("append to parts (id = 2, qty = 5)");
+  Exec("range of p is parts");
+  ExecResult r = Exec("retrieve unique (p.qty)");
+  EXPECT_EQ(r.result.num_rows(), 1u);
+  ExecResult e = Exec("retrieve (twice = p.qty * 2) where p.id = 1");
+  ASSERT_EQ(e.result.num_rows(), 1u);
+  EXPECT_EQ(e.result.rows[0][0].AsInt(), 10);
+}
+
+}  // namespace
+}  // namespace tdb

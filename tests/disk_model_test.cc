@@ -1,0 +1,112 @@
+#include "diskmodel/disk_model.h"
+
+#include <gtest/gtest.h>
+
+#include "benchlib/workload.h"
+
+namespace tdb {
+namespace {
+
+TEST(IoTraceTest, DisabledByDefault) {
+  IoTrace trace;
+  trace.Record(0, 1, false);
+  EXPECT_TRUE(trace.events().empty());
+  trace.set_enabled(true);
+  trace.Record(0, 1, false);
+  trace.Record(1, 2, true);
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].page, 1u);
+  EXPECT_TRUE(trace.events()[1].write);
+  trace.Clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(DiskModelTest, EmptyTraceCostsNothing) {
+  DiskModel model;
+  DiskEstimate estimate = model.Estimate({});
+  EXPECT_EQ(estimate.total_ms, 0);
+  EXPECT_EQ(estimate.random_accesses, 0u);
+}
+
+TEST(DiskModelTest, SequentialRunIsCheap) {
+  DiskModel model;
+  std::vector<IoEvent> events;
+  for (uint32_t p = 0; p < 100; ++p) events.push_back({0, p, false});
+  DiskEstimate estimate = model.Estimate(events);
+  EXPECT_EQ(estimate.random_accesses, 1u);  // only the first access seeks
+  EXPECT_EQ(estimate.sequential_accesses, 99u);
+  const DiskParameters& params = model.params();
+  double expected = params.average_seek_ms + params.rotation_ms / 2 +
+                    params.transfer_ms_per_page +
+                    99 * params.sequential_ms_per_page;
+  EXPECT_NEAR(estimate.total_ms, expected, 1e-9);
+}
+
+TEST(DiskModelTest, RandomAccessesPaySeeks) {
+  DiskModel model;
+  std::vector<IoEvent> events;
+  for (uint32_t p = 0; p < 50; ++p) events.push_back({0, p * 7 % 50, false});
+  DiskEstimate estimate = model.Estimate(events);
+  EXPECT_EQ(estimate.sequential_accesses, 0u);
+  EXPECT_EQ(estimate.random_accesses, 50u);
+}
+
+TEST(DiskModelTest, FileSwitchBreaksSequentiality) {
+  DiskModel model;
+  std::vector<IoEvent> events = {
+      {0, 0, false}, {0, 1, false}, {1, 2, false}, {0, 2, false}};
+  DiskEstimate estimate = model.Estimate(events);
+  // 0->1 is sequential within file 0; the file switches are random.
+  EXPECT_EQ(estimate.sequential_accesses, 1u);
+  EXPECT_EQ(estimate.random_accesses, 3u);
+}
+
+TEST(DiskModelTest, CustomParameters) {
+  DiskParameters params;
+  params.average_seek_ms = 10;
+  params.rotation_ms = 4;
+  params.transfer_ms_per_page = 1;
+  params.sequential_ms_per_page = 1;
+  DiskModel model(params);
+  DiskEstimate estimate = model.Estimate({{0, 5, false}, {0, 6, false}});
+  EXPECT_NEAR(estimate.total_ms, (10 + 2 + 1) + 1, 1e-9);
+}
+
+TEST(DiskModelBenchTest, ScansAreMostlySequentialProbesAreNot) {
+  bench::WorkloadConfig config;
+  config.type = DbType::kTemporal;
+  config.ntuples = 256;
+  auto bench_db = bench::BenchmarkDb::Create(config);
+  ASSERT_TRUE(bench_db.ok());
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE((*bench_db)->UniformUpdateRound().ok());
+  }
+  // Q03: hash-file sequential scan — nearly all accesses sequential.
+  auto scan = (*bench_db)->RunQuery(3);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_GT(scan->sequential_accesses, scan->random_accesses * 10);
+  // Q09: probe-heavy join — mostly random.
+  auto join = (*bench_db)->RunQuery(9);
+  ASSERT_TRUE(join.ok());
+  EXPECT_GT(join->random_accesses, join->sequential_accesses / 4);
+  EXPECT_GT(join->modeled_ms, scan->modeled_ms);
+}
+
+TEST(DiskModelBenchTest, ModeledTimeGrowsWithUpdateCount) {
+  bench::WorkloadConfig config;
+  config.type = DbType::kTemporal;
+  config.ntuples = 256;
+  auto bench_db = bench::BenchmarkDb::Create(config);
+  ASSERT_TRUE(bench_db.ok());
+  auto before = (*bench_db)->RunQuery(1);
+  ASSERT_TRUE(before.ok());
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE((*bench_db)->UniformUpdateRound().ok());
+  }
+  auto after = (*bench_db)->RunQuery(1);
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->modeled_ms, before->modeled_ms);
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,259 @@
+// Verifies the Section 4 update semantics version-by-version: what each
+// append / delete / replace physically does for every database type.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "env/env.h"
+
+namespace tdb {
+namespace {
+
+class DmlSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.env = &env_;
+    options.start_time = TimePoint(1000);
+    options.auto_advance_seconds = 0;  // we control the clock explicitly
+    auto db = Database::Open("/db", options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+
+  void Exec(const std::string& text) {
+    auto r = db_->Execute(text);
+    ASSERT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+  }
+
+  /// All stored versions of relation r (via a full rollback+valid sweep).
+  std::vector<Row> AllVersions(const std::string& rel) {
+    auto relation = db_->GetRelation(rel);
+    EXPECT_TRUE(relation.ok());
+    std::vector<Row> rows;
+    auto cur = (*relation)->primary()->Scan();
+    EXPECT_TRUE(cur.ok());
+    while (true) {
+      auto have = (*cur)->Next();
+      EXPECT_TRUE(have.ok());
+      if (!*have) break;
+      auto row = DecodeRecord((*relation)->schema(), (*cur)->record().data(),
+                              (*cur)->record().size());
+      EXPECT_TRUE(row.ok());
+      rows.push_back(std::move(*row));
+    }
+    return rows;
+  }
+
+  TimePoint T(int32_t s) { return TimePoint(s); }
+
+  MemEnv env_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DmlSemanticsTest, StaticDeleteIsPhysical) {
+  Exec("create r (id = i4)");
+  Exec("append to r (id = 1)");
+  Exec("range of x is r");
+  Exec("delete x");
+  EXPECT_TRUE(AllVersions("r").empty());
+}
+
+TEST_F(DmlSemanticsTest, RollbackAppendStampsTransactionTime) {
+  Exec("create persistent r (id = i4)");
+  db_->SetNow(T(5000));
+  Exec("append to r (id = 1)");
+  auto versions = AllVersions("r");
+  ASSERT_EQ(versions.size(), 1u);
+  const Schema& schema = (*db_->GetRelation("r"))->schema();
+  EXPECT_EQ(versions[0][schema.tx_start_index()].AsTime(), T(5000));
+  EXPECT_EQ(versions[0][schema.tx_stop_index()].AsTime(),
+            TimePoint::Forever());
+}
+
+TEST_F(DmlSemanticsTest, RollbackDeleteStampsInPlace) {
+  Exec("create persistent r (id = i4)");
+  db_->SetNow(T(5000));
+  Exec("append to r (id = 1)");
+  Exec("range of x is r");
+  db_->SetNow(T(6000));
+  Exec("delete x");
+  auto versions = AllVersions("r");
+  ASSERT_EQ(versions.size(), 1u);  // nothing physically removed
+  const Schema& schema = (*db_->GetRelation("r"))->schema();
+  EXPECT_EQ(versions[0][schema.tx_stop_index()].AsTime(), T(6000));
+}
+
+TEST_F(DmlSemanticsTest, RollbackReplaceIsDeletePlusInsert) {
+  Exec("create persistent r (id = i4, v = i4)");
+  db_->SetNow(T(5000));
+  Exec("append to r (id = 1, v = 10)");
+  Exec("range of x is r");
+  db_->SetNow(T(6000));
+  Exec("replace x (v = 20)");
+  auto versions = AllVersions("r");
+  ASSERT_EQ(versions.size(), 2u);  // one new version per replace
+  const Schema& schema = (*db_->GetRelation("r"))->schema();
+  // Old version closed at 6000, new version open from 6000.
+  EXPECT_EQ(versions[0][schema.tx_stop_index()].AsTime(), T(6000));
+  EXPECT_EQ(versions[0][1].AsInt(), 10);
+  EXPECT_EQ(versions[1][schema.tx_start_index()].AsTime(), T(6000));
+  EXPECT_EQ(versions[1][schema.tx_stop_index()].AsTime(),
+            TimePoint::Forever());
+  EXPECT_EQ(versions[1][1].AsInt(), 20);
+}
+
+TEST_F(DmlSemanticsTest, HistoricalReplaceStampsValidTime) {
+  Exec("create interval r (id = i4, v = i4)");
+  db_->SetNow(T(5000));
+  Exec("append to r (id = 1, v = 10)");
+  Exec("range of x is r");
+  db_->SetNow(T(6000));
+  Exec("replace x (v = 20)");
+  auto versions = AllVersions("r");
+  ASSERT_EQ(versions.size(), 2u);
+  const Schema& schema = (*db_->GetRelation("r"))->schema();
+  EXPECT_EQ(versions[0][schema.valid_to_index()].AsTime(), T(6000));
+  EXPECT_EQ(versions[1][schema.valid_from_index()].AsTime(), T(6000));
+  EXPECT_EQ(versions[1][schema.valid_to_index()].AsTime(),
+            TimePoint::Forever());
+}
+
+TEST_F(DmlSemanticsTest, TemporalReplaceInsertsTwoVersions) {
+  Exec("create persistent interval r (id = i4, v = i4)");
+  db_->SetNow(T(5000));
+  Exec("append to r (id = 1, v = 10)");
+  Exec("range of x is r");
+  db_->SetNow(T(6000));
+  Exec("replace x (v = 20)");
+
+  auto versions = AllVersions("r");
+  ASSERT_EQ(versions.size(), 3u);  // paper: each replace inserts TWO versions
+  const Schema& schema = (*db_->GetRelation("r"))->schema();
+  int vf = schema.valid_from_index();
+  int vt = schema.valid_to_index();
+  int ts = schema.tx_start_index();
+  int te = schema.tx_stop_index();
+
+  // v0: the original, closed in transaction time at the replace.
+  EXPECT_EQ(versions[0][1].AsInt(), 10);
+  EXPECT_EQ(versions[0][vf].AsTime(), T(5000));
+  EXPECT_EQ(versions[0][vt].AsTime(), TimePoint::Forever());
+  EXPECT_EQ(versions[0][te].AsTime(), T(6000));
+  // v1: the correction — same data, valid interval closed at 6000, current
+  // in transaction time.
+  EXPECT_EQ(versions[1][1].AsInt(), 10);
+  EXPECT_EQ(versions[1][vt].AsTime(), T(6000));
+  EXPECT_EQ(versions[1][ts].AsTime(), T(6000));
+  EXPECT_EQ(versions[1][te].AsTime(), TimePoint::Forever());
+  // v2: the new version.
+  EXPECT_EQ(versions[2][1].AsInt(), 20);
+  EXPECT_EQ(versions[2][vf].AsTime(), T(6000));
+  EXPECT_EQ(versions[2][vt].AsTime(), TimePoint::Forever());
+  EXPECT_EQ(versions[2][te].AsTime(), TimePoint::Forever());
+}
+
+TEST_F(DmlSemanticsTest, TemporalDeleteInsertsCorrection) {
+  Exec("create persistent interval r (id = i4)");
+  db_->SetNow(T(5000));
+  Exec("append to r (id = 1)");
+  Exec("range of x is r");
+  db_->SetNow(T(6000));
+  Exec("delete x");
+  auto versions = AllVersions("r");
+  ASSERT_EQ(versions.size(), 2u);  // stamped original + correction
+  const Schema& schema = (*db_->GetRelation("r"))->schema();
+  EXPECT_EQ(versions[0][schema.tx_stop_index()].AsTime(), T(6000));
+  EXPECT_EQ(versions[1][schema.valid_to_index()].AsTime(), T(6000));
+  EXPECT_EQ(versions[1][schema.tx_stop_index()].AsTime(),
+            TimePoint::Forever());
+}
+
+TEST_F(DmlSemanticsTest, ValidClauseOverridesTimestamps) {
+  Exec("create interval r (id = i4)");
+  Exec("append to r (id = 1) valid from \"1/1/80\" to \"6/1/80\"");
+  auto versions = AllVersions("r");
+  const Schema& schema = (*db_->GetRelation("r"))->schema();
+  EXPECT_EQ(versions[0][schema.valid_from_index()].AsTime(),
+            *TimePoint::Parse("1/1/80"));
+  EXPECT_EQ(versions[0][schema.valid_to_index()].AsTime(),
+            *TimePoint::Parse("6/1/80"));
+}
+
+TEST_F(DmlSemanticsTest, RetroactiveDeleteWithValidClause) {
+  Exec("create interval r (id = i4)");
+  db_->SetNow(T(5000));
+  Exec("append to r (id = 1)");
+  Exec("range of x is r");
+  db_->SetNow(T(9000));
+  // Record that the fact actually stopped holding at 7000 (retroactive).
+  Exec("delete x valid at \"" + T(7000).ToString() + "\"");
+  auto versions = AllVersions("r");
+  const Schema& schema = (*db_->GetRelation("r"))->schema();
+  EXPECT_EQ(versions[0][schema.valid_to_index()].AsTime(), T(7000));
+}
+
+TEST_F(DmlSemanticsTest, DeleteOnlyAffectsMatchingTuples) {
+  Exec("create persistent interval r (id = i4)");
+  Exec("append to r (id = 1)");
+  Exec("append to r (id = 2)");
+  Exec("range of x is r");
+  db_->SetNow(T(6000));
+  auto result = db_->Execute("delete x where x.id = 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->affected, 1);
+  auto rows = db_->Execute("retrieve (x.id) when x overlap \"now\"");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->result.num_rows(), 1u);
+  EXPECT_EQ(rows->result.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(DmlSemanticsTest, ReplaceOnlyTouchesCurrentVersions) {
+  Exec("create persistent interval r (id = i4, v = i4)");
+  Exec("append to r (id = 1, v = 0)");
+  Exec("range of x is r");
+  for (int round = 1; round <= 3; ++round) {
+    db_->SetNow(T(5000 + round * 100));
+    auto result = db_->Execute("replace x (v = x.v + 1)");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->affected, 1) << "round " << round;
+  }
+  // 1 original + 2 per replace.
+  EXPECT_EQ(AllVersions("r").size(), 7u);
+}
+
+TEST_F(DmlSemanticsTest, EventAppendUsesValidAt) {
+  Exec("create event r (id = i4)");
+  Exec("append to r (id = 1) valid at \"" + T(4000).ToString() + "\"");
+  auto versions = AllVersions("r");
+  const Schema& schema = (*db_->GetRelation("r"))->schema();
+  EXPECT_EQ(versions[0][schema.valid_from_index()].AsTime(), T(4000));
+}
+
+TEST_F(DmlSemanticsTest, AppendFromAnotherRelation) {
+  Exec("create src (id = i4, v = i4)");
+  Exec("create dst (id = i4, v = i4)");
+  Exec("append to src (id = 1, v = 10)");
+  Exec("append to src (id = 2, v = 20)");
+  Exec("range of s is src");
+  auto result =
+      db_->Execute("append to dst (id = s.id, v = s.v * 2) where s.v > 15");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->affected, 1);
+  Exec("range of d is dst");
+  auto rows = db_->Execute("retrieve (d.v)");
+  ASSERT_EQ(rows->result.num_rows(), 1u);
+  EXPECT_EQ(rows->result.rows[0][0].AsInt(), 40);
+}
+
+TEST_F(DmlSemanticsTest, UnspecifiedAttributesDefaultToZeroBlank) {
+  Exec("create r (a = i4, b = c4, c = f8)");
+  Exec("append to r (a = 5)");
+  auto versions = AllVersions("r");
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_EQ(versions[0][1].ToString(), "");
+  EXPECT_DOUBLE_EQ(versions[0][2].AsDouble(), 0);
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,203 @@
+// Tests of scalar and temporal expression evaluation.
+
+#include "exec/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "tquel/parser.h"
+
+namespace tdb {
+namespace {
+
+constexpr int32_t kNow = 1000;
+
+/// Parses `retrieve (x = <expr>)` and returns the target expression.
+std::unique_ptr<Statement> g_stmt;
+
+Expr* ParseExpr(const std::string& text) {
+  auto stmt = Parser::ParseStatement("retrieve (x = " + text + ")");
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  g_stmt = std::move(stmt).value();
+  return static_cast<RetrieveStmt*>(g_stmt.get())->targets[0].expr.get();
+}
+
+/// Parses a when clause and returns the predicate.
+TemporalPred* ParsePred(const std::string& text) {
+  auto stmt = Parser::ParseStatement("retrieve (h.a) when " + text);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  g_stmt = std::move(stmt).value();
+  return static_cast<RetrieveStmt*>(g_stmt.get())->when.get();
+}
+
+Value EvalConst(const std::string& text) {
+  Evaluator eval{TimePoint(kNow)};
+  Binding binding;
+  auto v = eval.Eval(*ParseExpr(text), binding);
+  EXPECT_TRUE(v.ok()) << text << ": " << v.status().ToString();
+  return v.ok() ? *v : Value();
+}
+
+TEST(EvalTest, Arithmetic) {
+  EXPECT_EQ(EvalConst("1 + 2 * 3").AsInt(), 7);
+  EXPECT_EQ(EvalConst("10 / 3").AsInt(), 3);
+  EXPECT_EQ(EvalConst("10 % 3").AsInt(), 1);
+  EXPECT_EQ(EvalConst("-5 + 2").AsInt(), -3);
+  EXPECT_DOUBLE_EQ(EvalConst("1.5 * 2").AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(EvalConst("7 / 2.0").AsDouble(), 3.5);
+}
+
+TEST(EvalTest, DivisionByZeroFails) {
+  Evaluator eval{TimePoint(kNow)};
+  Binding binding;
+  EXPECT_FALSE(eval.Eval(*ParseExpr("1 / 0"), binding).ok());
+  EXPECT_FALSE(eval.Eval(*ParseExpr("1 % 0"), binding).ok());
+}
+
+TEST(EvalTest, Comparisons) {
+  EXPECT_EQ(EvalConst("1 < 2").AsInt(), 1);
+  EXPECT_EQ(EvalConst("2 <= 2").AsInt(), 1);
+  EXPECT_EQ(EvalConst("3 > 4").AsInt(), 0);
+  EXPECT_EQ(EvalConst("3 != 3").AsInt(), 0);
+  EXPECT_EQ(EvalConst("\"abc\" = \"abc\"").AsInt(), 1);
+  EXPECT_EQ(EvalConst("\"abc\" < \"abd\"").AsInt(), 1);
+}
+
+TEST(EvalTest, BooleanLogicWithShortCircuit) {
+  EXPECT_EQ(EvalConst("1 = 1 and 2 = 2").AsInt(), 1);
+  EXPECT_EQ(EvalConst("1 = 2 or 2 = 2").AsInt(), 1);
+  EXPECT_EQ(EvalConst("not 1 = 2").AsInt(), 1);
+  // Short circuit: the division by zero on the right is never evaluated.
+  EXPECT_EQ(EvalConst("1 = 2 and 1 / 0 = 1").AsInt(), 0);
+  EXPECT_EQ(EvalConst("1 = 1 or 1 / 0 = 1").AsInt(), 1);
+}
+
+TEST(EvalTest, ColumnAccessThroughBinding) {
+  auto schema = Schema::Create({{"a", TypeId::kInt4, 4, false},
+                                {"b", TypeId::kChar, 4, false}},
+                               DbType::kStatic);
+  VersionRef ref;
+  ref.row = {Value::Int4(42), Value::Char("zz")};
+
+  Expr* e = ParseExpr("h.a * 2");
+  e->left->var_index = 0;
+  e->left->attr_index = 0;
+  Binding binding = {&ref};
+  Evaluator eval{TimePoint(kNow)};
+  auto v = eval.Eval(*e, binding);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 84);
+}
+
+TEST(EvalTest, UnboundColumnIsInternalError) {
+  Expr* e = ParseExpr("h.a");
+  e->var_index = 0;
+  e->attr_index = 0;
+  Binding binding = {nullptr};
+  Evaluator eval{TimePoint(kNow)};
+  EXPECT_FALSE(eval.Eval(*e, binding).ok());
+}
+
+class TemporalEvalTest : public ::testing::Test {
+ protected:
+  TemporalEvalTest() : eval_(TimePoint(kNow)) {
+    h_.valid = Interval(TimePoint(100), TimePoint(200));
+    i_.valid = Interval(TimePoint(150), TimePoint(300));
+    binding_ = {&h_, &i_};
+  }
+
+  /// Binds var names h->0, i->1 in a parsed predicate.
+  void BindVars(TemporalExpr* e) {
+    if (e == nullptr) return;
+    if (e->kind == TemporalExpr::Kind::kVar) {
+      e->var_index = e->var == "h" ? 0 : 1;
+    }
+    BindVars(e->left.get());
+    BindVars(e->right.get());
+  }
+  void BindVars(TemporalPred* p) {
+    if (p == nullptr) return;
+    BindVars(p->lexpr.get());
+    BindVars(p->rexpr.get());
+    BindVars(p->left.get());
+    BindVars(p->right.get());
+  }
+
+  bool EvalWhen(const std::string& text) {
+    TemporalPred* pred = ParsePred(text);
+    BindVars(pred);
+    auto r = eval_.EvalPred(*pred, binding_);
+    EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+    return r.ok() && *r;
+  }
+
+  Interval EvalExpr(const std::string& text) {
+    auto stmt = Parser::ParseStatement("retrieve (h.a) valid at " + text);
+    EXPECT_TRUE(stmt.ok());
+    g_stmt = std::move(stmt).value();
+    auto* r = static_cast<RetrieveStmt*>(g_stmt.get());
+    BindVars(r->valid->from.get());
+    auto iv = eval_.EvalTemporal(*r->valid->from, binding_);
+    EXPECT_TRUE(iv.ok()) << text;
+    return iv.ok() ? *iv : Interval();
+  }
+
+  Evaluator eval_;
+  VersionRef h_;
+  VersionRef i_;
+  Binding binding_;
+};
+
+TEST_F(TemporalEvalTest, VarYieldsValidInterval) {
+  Interval iv = EvalExpr("h");
+  EXPECT_EQ(iv, Interval(TimePoint(100), TimePoint(200)));
+}
+
+TEST_F(TemporalEvalTest, NowAndConstants) {
+  EXPECT_EQ(EvalExpr("\"now\""), Interval::Event(TimePoint(kNow)));
+  auto tp = TimePoint::Parse("1981");
+  EXPECT_EQ(EvalExpr("\"1981\""), Interval::Event(*tp));
+}
+
+TEST_F(TemporalEvalTest, StartEndOverlapExtend) {
+  EXPECT_EQ(EvalExpr("start of h"), Interval::Event(TimePoint(100)));
+  EXPECT_EQ(EvalExpr("end of h"), Interval::Event(TimePoint(200)));
+  EXPECT_EQ(EvalExpr("h overlap i"),
+            Interval(TimePoint(150), TimePoint(200)));
+  EXPECT_EQ(EvalExpr("h extend i"), Interval(TimePoint(100), TimePoint(300)));
+  EXPECT_EQ(EvalExpr("start of (h extend i)"),
+            Interval::Event(TimePoint(100)));
+}
+
+TEST_F(TemporalEvalTest, Predicates) {
+  EXPECT_TRUE(EvalWhen("h overlap i"));
+  EXPECT_TRUE(EvalWhen("start of h precede i"));
+  EXPECT_FALSE(EvalWhen("i precede h"));
+  EXPECT_TRUE(EvalWhen("h equal h"));
+  EXPECT_FALSE(EvalWhen("h equal i"));
+  EXPECT_TRUE(EvalWhen("not i precede h"));
+  EXPECT_TRUE(EvalWhen("h overlap i and h overlap i"));
+  EXPECT_TRUE(EvalWhen("i precede h or h overlap i"));
+}
+
+TEST_F(TemporalEvalTest, OverlapNowSemantics) {
+  // h = [100, 200) does not contain now=1000.
+  EXPECT_FALSE(EvalWhen("h overlap \"now\""));
+  h_.valid = Interval(TimePoint(100), TimePoint::Forever());
+  EXPECT_TRUE(EvalWhen("h overlap \"now\""));
+}
+
+TEST_F(TemporalEvalTest, TouchingIntervalsDoNotOverlap) {
+  i_.valid = Interval(TimePoint(200), TimePoint(300));  // h ends at 200
+  EXPECT_FALSE(EvalWhen("h overlap i"));
+  EXPECT_TRUE(EvalWhen("h precede i"));
+}
+
+TEST_F(TemporalEvalTest, EventIntervalPredicates) {
+  h_.valid = Interval::Event(TimePoint(150));  // event within i
+  EXPECT_TRUE(EvalWhen("h overlap i"));
+  h_.valid = Interval::Event(TimePoint(300));  // exactly i's (open) end
+  EXPECT_FALSE(EvalWhen("h overlap i"));
+}
+
+}  // namespace
+}  // namespace tdb

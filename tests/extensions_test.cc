@@ -1,0 +1,406 @@
+// Tests of the Quel-completeness extensions: `sort by`, group aggregates
+// (`agg(x by g)`), ISAM key-range scans, and the multi-frame buffer pool.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "env/env.h"
+#include "storage/isam_file.h"
+#include "tquel/parser.h"
+
+namespace tdb {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.env = &env_;
+    options.start_time = TimePoint(100000);
+    auto db = Database::Open("/db", options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    Exec("create emp (name = c8, dept = c8, sal = i4)");
+    Exec("append to emp (name = \"ann\", dept = \"toy\", sal = 12)");
+    Exec("append to emp (name = \"bob\", dept = \"toy\", sal = 10)");
+    Exec("append to emp (name = \"cal\", dept = \"ops\", sal = 30)");
+    Exec("append to emp (name = \"dee\", dept = \"ops\", sal = 20)");
+    Exec("range of e is emp");
+  }
+
+  void Exec(const std::string& text) {
+    auto r = db_->Execute(text);
+    ASSERT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+  }
+
+  ResultSet Query(const std::string& text) {
+    auto r = db_->Execute(text);
+    EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r->result) : ResultSet{};
+  }
+
+  MemEnv env_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExtensionsTest, SortByAscending) {
+  ResultSet r = Query("retrieve (e.name, e.sal) sort by sal");
+  ASSERT_EQ(r.num_rows(), 4u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 10);
+  EXPECT_EQ(r.rows[3][1].AsInt(), 30);
+}
+
+TEST_F(ExtensionsTest, SortByDescending) {
+  ResultSet r = Query("retrieve (e.name, e.sal) sort by sal desc");
+  ASSERT_EQ(r.num_rows(), 4u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 30);
+  EXPECT_EQ(r.rows[3][1].AsInt(), 10);
+}
+
+TEST_F(ExtensionsTest, SortByMultipleKeys) {
+  ResultSet r = Query("retrieve (e.dept, e.sal) sort by dept, sal desc");
+  ASSERT_EQ(r.num_rows(), 4u);
+  // ops 30, ops 20, toy 12, toy 10.
+  EXPECT_EQ(r.rows[0][0].ToString(), "ops");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 30);
+  EXPECT_EQ(r.rows[1][1].AsInt(), 20);
+  EXPECT_EQ(r.rows[2][0].ToString(), "toy");
+  EXPECT_EQ(r.rows[2][1].AsInt(), 12);
+}
+
+TEST_F(ExtensionsTest, SortByStringColumn) {
+  ResultSet r = Query("retrieve (e.name) sort by name desc");
+  EXPECT_EQ(r.rows[0][0].ToString(), "dee");
+  EXPECT_EQ(r.rows[3][0].ToString(), "ann");
+}
+
+TEST_F(ExtensionsTest, SortByUnknownColumnFails) {
+  auto r = db_->Execute("retrieve (e.name) sort by nope");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ExtensionsTest, GroupAggregateByDept) {
+  // Quel aggregate functions: one value per group, attached per row.
+  ResultSet r = Query(
+      "retrieve unique (e.dept, total = sum(e.sal by e.dept), "
+      "n = count(e.sal by e.dept)) sort by dept");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.rows[0][0].ToString(), "ops");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 50);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 2);
+  EXPECT_EQ(r.rows[1][0].ToString(), "toy");
+  EXPECT_EQ(r.rows[1][1].AsInt(), 22);
+  EXPECT_EQ(r.rows[1][2].AsInt(), 2);
+}
+
+TEST_F(ExtensionsTest, GroupAggregateInExpression) {
+  // Each employee's share of their department's payroll (x100).
+  ResultSet r = Query(
+      "retrieve (e.name, share = e.sal * 100 / sum(e.sal by e.dept)) "
+      "sort by name");
+  ASSERT_EQ(r.num_rows(), 4u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 54);  // ann: 12*100/22
+  EXPECT_EQ(r.rows[2][1].AsInt(), 60);  // cal: 30*100/50
+}
+
+TEST_F(ExtensionsTest, GroupAggregateWithWhere) {
+  ResultSet r = Query(
+      "retrieve unique (e.dept, rich = count(e.sal by e.dept "
+      "where e.sal >= 20)) sort by dept");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);  // ops: 30 and 20
+  EXPECT_EQ(r.rows[1][1].AsInt(), 0);  // toy: none
+}
+
+TEST_F(ExtensionsTest, GroupAggregateMinMaxAvg) {
+  ResultSet r = Query(
+      "retrieve unique (e.dept, lo = min(e.sal by e.dept), "
+      "hi = max(e.sal by e.dept), mid = avg(e.sal by e.dept)) sort by dept");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 20);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 30);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsDouble(), 25.0);
+}
+
+class RangeScanTest : public ExtensionsTest {
+ protected:
+  void SetUp() override {
+    ExtensionsTest::SetUp();
+    Exec("create persistent interval t (id = i4, v = i4, pad = c100)");
+    for (int i = 0; i < 64; ++i) {
+      Exec("append to t (id = " + std::to_string(i * 2) + ", v = " +
+           std::to_string(i) + ")");
+    }
+    Exec("modify t to isam on id where fillfactor = 100");
+    Exec("range of x is t");
+  }
+
+  uint64_t MeasureReads(const std::string& text, uint64_t* rows) {
+    EXPECT_TRUE(db_->DropAllBuffers().ok());
+    db_->io()->ResetAll();
+    auto r = db_->Execute(text);
+    EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+    *rows = r.ok() ? static_cast<uint64_t>(r->affected) : 0;
+    return db_->io()->Total().TotalReads();
+  }
+};
+
+TEST_F(RangeScanTest, BoundedRangeReadsFewPages) {
+  uint64_t rows = 0;
+  uint64_t reads = MeasureReads(
+      "retrieve (x.id) where x.id >= 40 and x.id < 56 "
+      "when x overlap \"now\"",
+      &rows);
+  EXPECT_EQ(rows, 8u);  // ids 40,42,...,54
+  // Directory + the 1-2 covering data pages, not the whole 8-page file.
+  EXPECT_LE(reads, 4u);
+}
+
+TEST_F(RangeScanTest, LowerBoundOnly) {
+  uint64_t rows = 0;
+  uint64_t reads = MeasureReads(
+      "retrieve (x.id) where x.id > 100 when x overlap \"now\"", &rows);
+  EXPECT_EQ(rows, 13u);  // 102..126
+  auto rel = db_->GetRelation("t");
+  EXPECT_LT(reads, (*rel)->primary()->page_count());
+}
+
+TEST_F(RangeScanTest, UpperBoundOnlyScansPrefix) {
+  uint64_t rows = 0;
+  uint64_t reads = MeasureReads(
+      "retrieve (x.id) where x.id <= 10 when x overlap \"now\"", &rows);
+  EXPECT_EQ(rows, 6u);  // 0,2,...,10
+  EXPECT_LE(reads, 3u);
+}
+
+TEST_F(RangeScanTest, InclusiveExclusiveBoundaries) {
+  uint64_t rows = 0;
+  MeasureReads("retrieve (x.id) where x.id > 40 and x.id <= 44 "
+               "when x overlap \"now\"",
+               &rows);
+  EXPECT_EQ(rows, 2u);  // 42, 44
+  MeasureReads("retrieve (x.id) where x.id >= 40 and x.id < 44 "
+               "when x overlap \"now\"",
+               &rows);
+  EXPECT_EQ(rows, 2u);  // 40, 42
+}
+
+TEST_F(RangeScanTest, EmptyRange) {
+  uint64_t rows = 0;
+  MeasureReads("retrieve (x.id) where x.id > 37 and x.id < 38", &rows);
+  EXPECT_EQ(rows, 0u);
+}
+
+TEST_F(RangeScanTest, RangeSeesOverflowVersions) {
+  Exec("replace x (v = 999) where x.id = 42");
+  uint64_t rows = 0;
+  MeasureReads(
+      "retrieve (x.id, x.v) where x.id >= 42 and x.id <= 42 "
+      "when x overlap \"now\"",
+      &rows);
+  EXPECT_EQ(rows, 1u);
+  auto r = db_->Execute(
+      "retrieve (x.v) where x.id >= 42 and x.id <= 42 "
+      "as of \"beginning\" through \"forever\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result.num_rows(), 3u);  // original + correction + new
+}
+
+TEST_F(RangeScanTest, HashRelationIgnoresRangePath) {
+  Exec("modify t to hash on id where fillfactor = 100");
+  uint64_t rows = 0;
+  uint64_t reads = MeasureReads(
+      "retrieve (x.id) where x.id >= 40 and x.id < 56 "
+      "when x overlap \"now\"",
+      &rows);
+  EXPECT_EQ(rows, 8u);
+  auto rel = db_->GetRelation("t");
+  EXPECT_EQ(reads, (*rel)->primary()->page_count());  // full scan
+}
+
+TEST_F(ExtensionsTest, HelpListsRelations) {
+  ResultSet all = Query("help");
+  ASSERT_EQ(all.num_rows(), 1u);
+  EXPECT_EQ(all.rows[0][0].ToString(), "emp");
+  EXPECT_EQ(all.rows[0][1].ToString(), "static");
+
+  Exec("create persistent interval t (id = i4)");
+  Exec("modify t to hash on id where fillfactor = 100");
+  ResultSet both = Query("help");
+  EXPECT_EQ(both.num_rows(), 2u);
+
+  ResultSet described = Query("help t");
+  ASSERT_EQ(described.num_rows(), 5u);  // id + 4 implicit time attributes
+  EXPECT_EQ(described.rows[0][0].ToString(), "id");
+  EXPECT_EQ(described.rows[0][4].ToString(), "hash key");
+  EXPECT_EQ(described.rows[1][3].ToString(), "yes");  // implicit
+
+  auto missing = db_->Execute("help nope");
+  EXPECT_FALSE(missing.ok());
+}
+
+class BtreeDbTest : public ExtensionsTest {};
+
+TEST_F(BtreeDbTest, ModifyToBtreeAndQuery) {
+  Exec("create persistent interval t (id = i4, v = i4, pad = c100)");
+  for (int i = 0; i < 64; ++i) {
+    Exec("append to t (id = " + std::to_string(i) + ", v = " +
+         std::to_string(i) + ")");
+  }
+  Exec("modify t to btree on id");
+  Exec("range of x is t");
+  ResultSet point = Query(
+      "retrieve (x.v) where x.id = 33 when x overlap \"now\"");
+  ASSERT_EQ(point.num_rows(), 1u);
+  EXPECT_EQ(point.rows[0][0].AsInt(), 33);
+  ResultSet range = Query(
+      "retrieve (x.id) where x.id >= 10 and x.id < 15 "
+      "when x overlap \"now\"");
+  EXPECT_EQ(range.num_rows(), 5u);
+}
+
+TEST_F(BtreeDbTest, VersionsSurviveUpdatesAndReopen) {
+  Exec("create persistent interval t (id = i4, v = i4, pad = c100)");
+  for (int i = 0; i < 32; ++i) {
+    Exec("append to t (id = " + std::to_string(i) + ", v = 0)");
+  }
+  Exec("modify t to btree on id");
+  Exec("range of x is t");
+  for (int round = 0; round < 4; ++round) {
+    db_->AdvanceSeconds(1000);
+    Exec("replace x (v = x.v + 1)");
+  }
+  ResultSet versions = Query(
+      "retrieve (x.v) where x.id = 17 "
+      "as of \"beginning\" through \"forever\"");
+  EXPECT_EQ(versions.num_rows(), 9u);  // 1 + 4 rounds x 2
+
+  db_.reset();
+  DatabaseOptions options;
+  options.env = &env_;
+  auto db = Database::Open("/db", options);
+  ASSERT_TRUE(db.ok());
+  db_ = std::move(db).value();
+  Exec("range of x is t");
+  ResultSet current = Query(
+      "retrieve (x.v) where x.id = 17 when x overlap \"now\"");
+  ASSERT_EQ(current.num_rows(), 1u);
+  EXPECT_EQ(current.rows[0][0].AsInt(), 4);
+}
+
+TEST_F(BtreeDbTest, SecondaryIndexesAreRejected) {
+  Exec("create persistent interval t (id = i4, v = i4)");
+  Exec("append to t (id = 1, v = 2)");
+  Exec("modify t to btree on id");
+  // Indexing a btree relation is refused (leaf splits would stale entries).
+  auto idx = db_->Execute("index on t is vi (v)");
+  EXPECT_EQ(idx.status().code(), StatusCode::kNotSupported);
+  // ...as is converting an indexed relation to btree.
+  Exec("create persistent interval u (id = i4, v = i4)");
+  Exec("index on u is vi2 (v)");
+  auto conv = db_->Execute("modify u to btree on id");
+  EXPECT_EQ(conv.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(BtreeDbTest, TwoLevelBtreePrimary) {
+  Exec("create persistent interval t (id = i4, v = i4, pad = c100)");
+  for (int i = 0; i < 32; ++i) {
+    Exec("append to t (id = " + std::to_string(i) + ", v = 0)");
+  }
+  Exec("modify t to twolevel btree on id where history = clustered");
+  Exec("range of x is t");
+  for (int round = 0; round < 3; ++round) {
+    db_->AdvanceSeconds(1000);
+    Exec("replace x (v = x.v + 1)");
+  }
+  ResultSet current = Query(
+      "retrieve (x.v) where x.id = 5 when x overlap \"now\"");
+  ASSERT_EQ(current.num_rows(), 1u);
+  EXPECT_EQ(current.rows[0][0].AsInt(), 3);
+  ResultSet all = Query(
+      "retrieve (x.v) where x.id = 5 "
+      "as of \"beginning\" through \"forever\"");
+  EXPECT_EQ(all.num_rows(), 7u);
+}
+
+TEST(BufferPoolTest, MultiFrameCachesHotPages) {
+  MemEnv env;
+  IoCounters counters;
+  auto pager = Pager::Open(&env, "/p", &counters, /*frames=*/3);
+  ASSERT_TRUE(pager.ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*pager)->AllocatePage(IoCategory::kData).ok());
+  }
+  ASSERT_TRUE((*pager)->FlushAndDrop().ok());
+  counters.Reset();
+  // Three pages ping-ponged in a 3-frame pool: only cold misses count.
+  for (int round = 0; round < 5; ++round) {
+    for (uint32_t p = 0; p < 3; ++p) {
+      ASSERT_TRUE((*pager)->ReadPage(p, IoCategory::kData).ok());
+    }
+  }
+  EXPECT_EQ(counters.TotalReads(), 3u);
+  // A fourth page evicts the LRU (page 0 after the last loop touched 0,1,2
+  // in order -> LRU is 0).
+  ASSERT_TRUE((*pager)->ReadPage(3, IoCategory::kData).ok());
+  EXPECT_EQ(counters.TotalReads(), 4u);
+  ASSERT_TRUE((*pager)->ReadPage(1, IoCategory::kData).ok());  // still hot
+  EXPECT_EQ(counters.TotalReads(), 4u);
+  ASSERT_TRUE((*pager)->ReadPage(0, IoCategory::kData).ok());  // was evicted
+  EXPECT_EQ(counters.TotalReads(), 5u);
+}
+
+TEST(BufferPoolTest, DirtyEvictionWritesOnce) {
+  MemEnv env;
+  IoCounters counters;
+  auto pager = Pager::Open(&env, "/p", &counters, /*frames=*/2);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*pager)->AllocatePage(IoCategory::kData).ok());
+  }
+  ASSERT_TRUE((*pager)->FlushAndDrop().ok());
+  counters.Reset();
+  ASSERT_TRUE((*pager)->ReadPage(0, IoCategory::kData).ok());
+  (*pager)->MarkDirty();
+  ASSERT_TRUE((*pager)->ReadPage(1, IoCategory::kData).ok());
+  EXPECT_EQ(counters.TotalWrites(), 0u);  // page 0 still pooled
+  ASSERT_TRUE((*pager)->ReadPage(2, IoCategory::kData).ok());  // evicts 0
+  EXPECT_EQ(counters.TotalWrites(), 1u);
+}
+
+TEST(BufferPoolTest, FrameCountValidation) {
+  MemEnv env;
+  EXPECT_FALSE(Pager::Open(&env, "/p", nullptr, 0).ok());
+  EXPECT_FALSE(Pager::Open(&env, "/p", nullptr, -3).ok());
+  EXPECT_TRUE(Pager::Open(&env, "/p", nullptr, 1024).ok());
+}
+
+TEST(BufferPoolTest, DatabaseOptionPlumbsThrough) {
+  MemEnv env;
+  DatabaseOptions options;
+  options.env = &env;
+  options.buffer_frames = 4;
+  auto db = Database::Open("/db", options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Execute("create t (id = i4)").ok());
+  ASSERT_TRUE((*db)->Execute("append to t (id = 1)").ok());
+  auto rel = (*db)->GetRelation("t");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->primary()->pager()->num_frames(), 4);
+}
+
+TEST(ExtensionsParserTest, SortByAndAggBySyntax) {
+  auto stmt = Parser::ParseStatement(
+      "retrieve (e.dept, s = sum(e.sal by e.dept where e.sal > 0)) "
+      "where e.sal > 1 sort by dept desc, s");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto* r = static_cast<RetrieveStmt*>(stmt->get());
+  ASSERT_EQ(r->sort_by.size(), 2u);
+  EXPECT_EQ(r->sort_by[0].target, "dept");
+  EXPECT_TRUE(r->sort_by[0].descending);
+  EXPECT_FALSE(r->sort_by[1].descending);
+  EXPECT_NE(r->targets[1].expr->agg_by, nullptr);
+  EXPECT_NE(r->targets[1].expr->agg_where, nullptr);
+}
+
+}  // namespace
+}  // namespace tdb

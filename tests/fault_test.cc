@@ -1,0 +1,183 @@
+// Fault-injection and error-path tests: corrupted files, malformed input,
+// and misuse must surface as clean Status errors, never crashes or silent
+// wrong answers.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "env/env.h"
+
+namespace tdb {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Database> Open() {
+    DatabaseOptions options;
+    options.env = &env_;
+    auto db = Database::Open("/db", options);
+    EXPECT_TRUE(db.ok());
+    return std::move(db).value();
+  }
+
+  MemEnv env_;
+};
+
+TEST_F(FaultTest, CorruptedCatalogFailsToLoad) {
+  {
+    auto db = Open();
+    ASSERT_TRUE((*db).Execute("create r (id = i4)").ok());
+  }
+  ASSERT_TRUE(env_.WriteStringToFile("/db/catalog.meta",
+                                     "relation r\ngarbage line here\nend\n")
+                  .ok());
+  DatabaseOptions options;
+  options.env = &env_;
+  auto reopened = Database::Open("/db", options);
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FaultTest, TruncatedDataFileIsDetected) {
+  {
+    auto db = Open();
+    ASSERT_TRUE((*db).Execute("create r (id = i4)").ok());
+    ASSERT_TRUE((*db).Execute("append to r (id = 1)").ok());
+  }
+  // Misalign the data file: not a whole number of pages.
+  ASSERT_TRUE(env_.WriteStringToFile("/db/r.dat", "short").ok());
+  auto db = Open();
+  ASSERT_TRUE(db->Execute("range of x is r").ok());
+  auto r = db->Execute("retrieve (x.id)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FaultTest, MissingDataFileBehavesAsEmpty) {
+  {
+    auto db = Open();
+    ASSERT_TRUE((*db).Execute("create r (id = i4)").ok());
+    ASSERT_TRUE((*db).Execute("append to r (id = 1)").ok());
+  }
+  ASSERT_TRUE(env_.DeleteFile("/db/r.dat").ok());
+  auto db = Open();
+  ASSERT_TRUE(db->Execute("range of x is r").ok());
+  // A heap relation whose file vanished opens empty (fresh file) rather
+  // than failing — the catalog is the source of truth for existence.
+  auto r = db->Execute("retrieve (x.id)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->result.num_rows(), 0u);
+}
+
+TEST_F(FaultTest, HashFileShorterThanBucketsIsCorruption) {
+  {
+    auto db = Open();
+    ASSERT_TRUE((*db).Execute("create r (id = i4, pad = c100)").ok());
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(
+          (*db).Execute("append to r (id = " + std::to_string(i) + ")").ok());
+    }
+    ASSERT_TRUE(
+        (*db).Execute("modify r to hash on id where fillfactor = 100").ok());
+  }
+  // Truncate below the bucket region (keep page alignment).
+  auto file = env_.OpenOrCreate("/db/r.dat");
+  ASSERT_TRUE((*file)->Truncate(kPageSize).ok());
+  auto db = Open();
+  ASSERT_TRUE(db->Execute("range of x is r").ok());
+  auto r = db->Execute("retrieve (x.id)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(FaultTest, CopyRejectsMalformedLines) {
+  auto db = Open();
+  ASSERT_TRUE(db->Execute("create r (id = i4, v = i4)").ok());
+  ASSERT_TRUE(env_.WriteStringToFile("/load1", "1\t2\t3\t4\n").ok());
+  EXPECT_FALSE(db->Execute("copy r from \"/load1\"").ok());  // arity
+  ASSERT_TRUE(env_.WriteStringToFile("/load2", "abc\t2\n").ok());
+  EXPECT_FALSE(db->Execute("copy r from \"/load2\"").ok());  // bad int
+  ASSERT_TRUE(env_.WriteStringToFile("/load3", "").ok());
+  auto empty = db->Execute("copy r from \"/load3\"");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->affected, 0);
+}
+
+TEST_F(FaultTest, CopyRejectsBadTimeLiterals) {
+  auto db = Open();
+  ASSERT_TRUE(db->Execute("create interval r (id = i4)").ok());
+  ASSERT_TRUE(
+      env_.WriteStringToFile("/load", "1\tnot a time\tforever\n").ok());
+  EXPECT_FALSE(db->Execute("copy r from \"/load\"").ok());
+}
+
+TEST_F(FaultTest, CopyFromMissingFileFails) {
+  auto db = Open();
+  ASSERT_TRUE(db->Execute("create r (id = i4)").ok());
+  EXPECT_FALSE(db->Execute("copy r from \"/nope\"").ok());
+}
+
+TEST_F(FaultTest, DivisionByZeroInQueryIsError) {
+  auto db = Open();
+  ASSERT_TRUE(db->Execute("create r (id = i4)").ok());
+  ASSERT_TRUE(db->Execute("append to r (id = 0)").ok());
+  ASSERT_TRUE(db->Execute("range of x is r").ok());
+  EXPECT_FALSE(db->Execute("retrieve (y = 1 / x.id)").ok());
+}
+
+TEST_F(FaultTest, IncompatibleComparisonIsError) {
+  auto db = Open();
+  ASSERT_TRUE(db->Execute("create r (id = i4, s = c8)").ok());
+  ASSERT_TRUE(db->Execute("append to r (id = 1, s = \"x\")").ok());
+  ASSERT_TRUE(db->Execute("range of x is r").ok());
+  EXPECT_FALSE(db->Execute("retrieve (x.id) where x.id = x.s").ok());
+}
+
+TEST_F(FaultTest, ModifyMissingKeyAttr) {
+  auto db = Open();
+  ASSERT_TRUE(db->Execute("create r (id = i4)").ok());
+  EXPECT_FALSE(
+      db->Execute("modify r to hash on nope where fillfactor = 100").ok());
+  EXPECT_FALSE(db->Execute("modify r to hash where fillfactor = 100").ok());
+}
+
+TEST_F(FaultTest, CreateRejectsBadTypes) {
+  auto db = Open();
+  EXPECT_FALSE(db->Execute("create r (a = i3)").ok());
+  EXPECT_FALSE(db->Execute("create r (a = c0)").ok());
+  EXPECT_FALSE(db->Execute("create r (a = c999)").ok());
+  EXPECT_FALSE(db->Execute("create r (a = blob)").ok());
+  EXPECT_FALSE(
+      db->Execute("create r (transaction_start = i4)").ok());  // reserved
+}
+
+TEST_F(FaultTest, OversizedRecordRejected) {
+  auto db = Open();
+  // Five c255 attributes exceed a page.
+  EXPECT_FALSE(db->Execute("create r (a = c255, b = c255, c = c255, "
+                           "d = c255, e = c255)")
+                   .ok());
+}
+
+TEST_F(FaultTest, StatementAfterFailureStillWorks) {
+  auto db = Open();
+  ASSERT_TRUE(db->Execute("create r (id = i4)").ok());
+  EXPECT_FALSE(db->Execute("append to r (id = 1 / 0)").ok());
+  ASSERT_TRUE(db->Execute("append to r (id = 2)").ok());
+  ASSERT_TRUE(db->Execute("range of x is r").ok());
+  auto result = db->Execute("retrieve (x.id)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result.num_rows(), 1u);
+}
+
+TEST_F(FaultTest, ScriptAbortsAtFirstError) {
+  auto db = Open();
+  auto r = db->Execute(
+      "create r (id = i4); bogus statement; create s (id = i4)");
+  EXPECT_FALSE(r.ok());
+  // Scripts parse as a unit: nothing executed.
+  EXPECT_EQ(db->catalog()->Find("r"), nullptr);
+  EXPECT_EQ(db->catalog()->Find("s"), nullptr);
+}
+
+}  // namespace
+}  // namespace tdb

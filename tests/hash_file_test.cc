@@ -1,0 +1,201 @@
+#include "storage/hash_file.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "storage_test_util.h"
+#include "util/random.h"
+
+namespace tdb {
+namespace {
+
+using testutil::DrainKeys;
+using testutil::KeyedRecord;
+using testutil::SmallLayout;
+
+class HashFileTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<HashFile> Create(uint32_t buckets,
+                                   uint16_t record_size = 32) {
+    auto pager = Pager::Open(&env_, "/hash", &counters_);
+    EXPECT_TRUE(pager.ok());
+    auto file =
+        HashFile::Create(std::move(*pager), SmallLayout(record_size), buckets);
+    EXPECT_TRUE(file.ok()) << file.status().ToString();
+    return std::move(file).value();
+  }
+
+  MemEnv env_;
+  IoCounters counters_;
+};
+
+TEST_F(HashFileTest, CreateFormatsPrimaryBuckets) {
+  auto file = Create(8);
+  EXPECT_EQ(file->page_count(), 8u);
+  EXPECT_EQ(file->nbuckets(), 8u);
+}
+
+TEST_F(HashFileTest, BucketsForMatchesPaperSizing) {
+  // 1024 temporal tuples (124 bytes, 8/page): 128 buckets at 100%, 256 at
+  // 50% — the paper's primary page counts.
+  EXPECT_EQ(HashFile::BucketsFor(1024, 124, 100), 128u);
+  EXPECT_EQ(HashFile::BucketsFor(1024, 124, 50), 256u);
+  // 1024 static tuples (108 bytes, 9/page) at 100%: 114 pages.
+  EXPECT_EQ(HashFile::BucketsFor(1024, 108, 100), 114u);
+  EXPECT_GE(HashFile::BucketsFor(0, 124, 100), 1u);
+}
+
+TEST_F(HashFileTest, DivisionHashingSpreadsSequentialKeys) {
+  auto file = Create(16);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(file->BucketOf(Value::Int4(i)), static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(file->BucketOf(Value::Int4(16)), 0u);
+}
+
+TEST_F(HashFileTest, InsertAndScanKey) {
+  auto file = Create(4);
+  for (int i = 0; i < 40; ++i) {
+    auto rec = KeyedRecord(i);
+    ASSERT_TRUE(file->Insert(rec.data(), rec.size(), nullptr).ok());
+  }
+  auto cur = file->ScanKey(Value::Int4(13));
+  ASSERT_TRUE(cur.ok());
+  EXPECT_EQ(DrainKeys(cur->get()), (std::vector<int32_t>{13}));
+}
+
+TEST_F(HashFileTest, ScanKeyReturnsAllVersionsInChainOrder) {
+  auto file = Create(4);
+  // "Versions": same key inserted repeatedly.
+  for (int v = 0; v < 10; ++v) {
+    auto rec = KeyedRecord(5, 32, static_cast<uint8_t>(v + 1));
+    ASSERT_TRUE(file->Insert(rec.data(), rec.size(), nullptr).ok());
+  }
+  auto cur = file->ScanKey(Value::Int4(5));
+  int count = 0;
+  uint8_t last = 0;
+  while (true) {
+    auto have = (*cur)->Next();
+    ASSERT_TRUE(have.ok());
+    if (!*have) break;
+    uint8_t marker = (*cur)->record()[8];
+    EXPECT_GT(marker, last);  // oldest first along the chain
+    last = marker;
+    ++count;
+  }
+  EXPECT_EQ(count, 10);
+}
+
+TEST_F(HashFileTest, OverflowChainGrowth) {
+  auto file = Create(1, 32);  // single bucket: everything chains
+  uint16_t cap = Page::Capacity(32);
+  for (int i = 0; i < cap * 4; ++i) {
+    auto rec = KeyedRecord(0, 32, static_cast<uint8_t>(1 + i % 250));
+    ASSERT_TRUE(file->Insert(rec.data(), rec.size(), nullptr).ok());
+  }
+  EXPECT_EQ(file->page_count(), 4u);  // 1 primary + 3 overflow
+  EXPECT_EQ(file->CategoryOf(0), IoCategory::kData);
+  EXPECT_EQ(file->CategoryOf(3), IoCategory::kOverflow);
+}
+
+TEST_F(HashFileTest, KeyedAccessReadsWholeChain) {
+  auto file = Create(1, 32);
+  uint16_t cap = Page::Capacity(32);
+  for (int i = 0; i < cap * 3; ++i) {
+    auto rec = KeyedRecord(0);
+    ASSERT_TRUE(file->Insert(rec.data(), rec.size(), nullptr).ok());
+  }
+  ASSERT_TRUE(file->pager()->FlushAndDrop().ok());
+  counters_.Reset();
+  auto cur = file->ScanKey(Value::Int4(0));
+  (void)DrainKeys(cur->get());
+  // The paper's central effect: a hashed access reads the entire chain.
+  EXPECT_EQ(counters_.TotalReads(), 3u);
+}
+
+TEST_F(HashFileTest, FillSlackBeforeNewOverflow) {
+  // At 50% loading the first update round fills the slack (the jagged
+  // Figure 8(b) effect): inserts go to existing free slots first.
+  auto file = Create(2, 100);  // capacity 10 per page
+  for (int i = 0; i < 10; ++i) {
+    auto rec = KeyedRecord(i % 2, 100);
+    ASSERT_TRUE(file->Insert(rec.data(), rec.size(), nullptr).ok());
+  }
+  EXPECT_EQ(file->page_count(), 2u);  // still primary only
+}
+
+TEST_F(HashFileTest, ScanVisitsPrimaryAndOverflow) {
+  auto file = Create(2, 32);
+  for (int i = 0; i < 100; ++i) {
+    auto rec = KeyedRecord(i);
+    ASSERT_TRUE(file->Insert(rec.data(), rec.size(), nullptr).ok());
+  }
+  auto cur = file->Scan();
+  EXPECT_EQ(DrainKeys(cur->get()).size(), 100u);
+}
+
+TEST_F(HashFileTest, UpdateInPlaceAndErase) {
+  auto file = Create(4);
+  Tid tid;
+  auto rec = KeyedRecord(9);
+  ASSERT_TRUE(file->Insert(rec.data(), rec.size(), &tid).ok());
+  auto updated = KeyedRecord(9, 32, 0x44);
+  ASSERT_TRUE(file->UpdateInPlace(tid, updated.data(), updated.size()).ok());
+  EXPECT_EQ(*file->Fetch(tid), updated);
+  ASSERT_TRUE(file->Erase(tid).ok());
+  EXPECT_FALSE(file->Fetch(tid).ok());
+  auto cur = file->ScanKey(Value::Int4(9));
+  EXPECT_TRUE(DrainKeys(cur->get()).empty());
+}
+
+TEST_F(HashFileTest, OpenValidatesBucketRegion) {
+  {
+    auto file = Create(8);
+    ASSERT_TRUE(file->pager()->Flush().ok());
+  }
+  auto pager = Pager::Open(&env_, "/hash", &counters_);
+  EXPECT_FALSE(HashFile::Open(std::move(*pager), SmallLayout(), 16).ok());
+}
+
+TEST_F(HashFileTest, CreateRequiresKeyAndBuckets) {
+  auto pager = Pager::Open(&env_, "/x", &counters_);
+  RecordLayout keyless;
+  keyless.record_size = 32;
+  EXPECT_FALSE(HashFile::Create(std::move(*pager), keyless, 4).ok());
+  auto pager2 = Pager::Open(&env_, "/y", &counters_);
+  EXPECT_FALSE(HashFile::Create(std::move(*pager2), SmallLayout(), 0).ok());
+}
+
+// Property: after N inserts across random keys, every record is findable
+// via its key and the total scan count matches.
+class HashProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(HashProperty, AllRecordsFindable) {
+  MemEnv env;
+  IoCounters counters;
+  auto pager = Pager::Open(&env, "/h", &counters);
+  auto file = HashFile::Create(std::move(*pager), SmallLayout(), GetParam());
+  ASSERT_TRUE(file.ok());
+  std::map<int32_t, int> expected;
+  Random rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    int32_t key = static_cast<int32_t>(rng.Uniform(60));
+    auto rec = KeyedRecord(key);
+    ASSERT_TRUE((*file)->Insert(rec.data(), rec.size(), nullptr).ok());
+    ++expected[key];
+  }
+  for (const auto& [key, count] : expected) {
+    auto cur = (*file)->ScanKey(Value::Int4(key));
+    ASSERT_TRUE(cur.ok());
+    EXPECT_EQ(DrainKeys(cur->get()).size(), static_cast<size_t>(count));
+  }
+  auto cur = (*file)->Scan();
+  EXPECT_EQ(DrainKeys(cur->get()).size(), 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketCounts, HashProperty,
+                         ::testing::Values(1, 2, 7, 16, 64));
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,166 @@
+#include "storage/heap_file.h"
+
+#include <gtest/gtest.h>
+
+#include "storage_test_util.h"
+
+namespace tdb {
+namespace {
+
+using testutil::DrainKeys;
+using testutil::KeyedRecord;
+using testutil::SmallLayout;
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<HeapFile> Open(uint16_t record_size = 32) {
+    auto pager = Pager::Open(&env_, "/heap", &counters_);
+    EXPECT_TRUE(pager.ok());
+    auto heap = HeapFile::Open(std::move(*pager), SmallLayout(record_size));
+    EXPECT_TRUE(heap.ok());
+    return std::move(heap).value();
+  }
+
+  MemEnv env_;
+  IoCounters counters_;
+};
+
+TEST_F(HeapFileTest, InsertAndFetch) {
+  auto heap = Open();
+  auto rec = KeyedRecord(7);
+  Tid tid;
+  ASSERT_TRUE(heap->Insert(rec.data(), rec.size(), &tid).ok());
+  auto back = heap->Fetch(tid);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, rec);
+}
+
+TEST_F(HeapFileTest, InsertsAppendToTailPages) {
+  auto heap = Open();
+  uint16_t cap = Page::Capacity(32);
+  for (int i = 0; i < cap * 3; ++i) {
+    auto rec = KeyedRecord(i);
+    ASSERT_TRUE(heap->Insert(rec.data(), rec.size(), nullptr).ok());
+  }
+  EXPECT_EQ(heap->page_count(), 3u);
+}
+
+TEST_F(HeapFileTest, ScanVisitsAllInInsertionOrder) {
+  auto heap = Open();
+  for (int i = 0; i < 100; ++i) {
+    auto rec = KeyedRecord(i);
+    ASSERT_TRUE(heap->Insert(rec.data(), rec.size(), nullptr).ok());
+  }
+  auto cur = heap->Scan();
+  ASSERT_TRUE(cur.ok());
+  auto keys = DrainKeys(cur->get());
+  ASSERT_EQ(keys.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(keys[static_cast<size_t>(i)], i);
+}
+
+TEST_F(HeapFileTest, EraseHidesRecordAndScanSkipsIt) {
+  auto heap = Open();
+  Tid t1, t2;
+  auto r1 = KeyedRecord(1);
+  auto r2 = KeyedRecord(2);
+  ASSERT_TRUE(heap->Insert(r1.data(), r1.size(), &t1).ok());
+  ASSERT_TRUE(heap->Insert(r2.data(), r2.size(), &t2).ok());
+  ASSERT_TRUE(heap->Erase(t1).ok());
+  EXPECT_FALSE(heap->Fetch(t1).ok());
+  auto cur = heap->Scan();
+  EXPECT_EQ(DrainKeys(cur->get()), (std::vector<int32_t>{2}));
+  EXPECT_FALSE(heap->Erase(t1).ok());  // double erase
+}
+
+TEST_F(HeapFileTest, EraseSlotIsReusedByInsert) {
+  auto heap = Open();
+  Tid first;
+  auto r = KeyedRecord(1);
+  ASSERT_TRUE(heap->Insert(r.data(), r.size(), &first).ok());
+  for (int i = 2; i <= 50; ++i) {
+    auto rec = KeyedRecord(i);
+    ASSERT_TRUE(heap->Insert(rec.data(), rec.size(), nullptr).ok());
+  }
+  uint32_t pages = heap->page_count();
+  ASSERT_TRUE(heap->Erase(first).ok());
+  auto fresh = KeyedRecord(99);
+  Tid reused;
+  ASSERT_TRUE(heap->Insert(fresh.data(), fresh.size(), &reused).ok());
+  EXPECT_EQ(reused, first);
+  EXPECT_EQ(heap->page_count(), pages);
+}
+
+TEST_F(HeapFileTest, UpdateInPlaceKeepsTid) {
+  auto heap = Open();
+  Tid tid;
+  auto rec = KeyedRecord(5);
+  ASSERT_TRUE(heap->Insert(rec.data(), rec.size(), &tid).ok());
+  auto updated = KeyedRecord(5, 32, 0x77);
+  ASSERT_TRUE(heap->UpdateInPlace(tid, updated.data(), updated.size()).ok());
+  auto back = heap->Fetch(tid);
+  EXPECT_EQ(*back, updated);
+  EXPECT_FALSE(heap->UpdateInPlace(Tid{99, 0}, rec.data(), rec.size()).ok());
+}
+
+TEST_F(HeapFileTest, ScanKeyNotSupported) {
+  auto heap = Open();
+  EXPECT_FALSE(heap->ScanKey(Value::Int4(1)).ok());
+}
+
+TEST_F(HeapFileTest, RejectsWrongRecordSize) {
+  auto heap = Open();
+  auto rec = KeyedRecord(1, 16);
+  EXPECT_FALSE(heap->Insert(rec.data(), rec.size(), nullptr).ok());
+}
+
+TEST_F(HeapFileTest, InsertFreshPageAlwaysAllocates) {
+  auto heap = Open();
+  auto r1 = KeyedRecord(1);
+  Tid t1, t2;
+  ASSERT_TRUE(heap->InsertFreshPage(r1.data(), r1.size(), &t1).ok());
+  ASSERT_TRUE(heap->InsertFreshPage(r1.data(), r1.size(), &t2).ok());
+  EXPECT_NE(t1.page, t2.page);
+  EXPECT_EQ(heap->page_count(), 2u);
+}
+
+TEST_F(HeapFileTest, InsertAtPageClusters) {
+  auto heap = Open();
+  auto r = KeyedRecord(1);
+  Tid first;
+  ASSERT_TRUE(heap->InsertFreshPage(r.data(), r.size(), &first).ok());
+  // Subsequent hinted inserts share the page until it is full.
+  uint16_t cap = Page::Capacity(32);
+  for (uint16_t i = 1; i < cap; ++i) {
+    Tid tid;
+    ASSERT_TRUE(heap->InsertAtPage(first.page, r.data(), r.size(), &tid).ok());
+    EXPECT_EQ(tid.page, first.page);
+  }
+  // Full hint page: spills to a fresh page.
+  Tid spill;
+  ASSERT_TRUE(heap->InsertAtPage(first.page, r.data(), r.size(), &spill).ok());
+  EXPECT_NE(spill.page, first.page);
+}
+
+TEST_F(HeapFileTest, PersistsAcrossReopen) {
+  {
+    auto heap = Open();
+    for (int i = 0; i < 20; ++i) {
+      auto rec = KeyedRecord(i);
+      ASSERT_TRUE(heap->Insert(rec.data(), rec.size(), nullptr).ok());
+    }
+    ASSERT_TRUE(heap->pager()->Flush().ok());
+  }
+  auto heap = Open();
+  auto cur = heap->Scan();
+  EXPECT_EQ(DrainKeys(cur->get()).size(), 20u);
+}
+
+TEST_F(HeapFileTest, RejectsOversizedRecordLayout) {
+  auto pager = Pager::Open(&env_, "/big", &counters_);
+  RecordLayout layout;
+  layout.record_size = kPageSize;  // cannot fit with the header
+  EXPECT_FALSE(HeapFile::Open(std::move(*pager), layout).ok());
+}
+
+}  // namespace
+}  // namespace tdb

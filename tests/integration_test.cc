@@ -1,0 +1,211 @@
+// End-to-end scenario tests: multi-statement workloads exercising the whole
+// stack together, including durability on a real (Posix) filesystem.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "env/env.h"
+
+namespace tdb {
+namespace {
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.env = &env_;
+    options.start_time = *TimePoint::FromCivil(1984, 1, 1);
+    auto db = Database::Open("/db", options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+
+  ExecResult Exec(const std::string& text) {
+    auto r = db_->Execute(text);
+    EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : ExecResult{};
+  }
+
+  MemEnv env_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ScenarioTest, SalaryHistoryScenario) {
+  // The classic TQuel motivating example: employee salary history with a
+  // retroactive correction, audited through transaction time.
+  Exec("create persistent interval emp (name = c12, sal = i4)");
+  Exec("range of e is emp");
+
+  Exec("append to emp (name = \"merrie\", sal = 25000)");
+  db_->AdvanceSeconds(86400 * 30);
+  TimePoint after_hire = db_->now();
+  db_->AdvanceSeconds(86400 * 30);  // the raise comes well after the audit point
+
+  // A raise...
+  Exec("replace e (sal = 27000) where e.name = \"merrie\"");
+  db_->AdvanceSeconds(86400 * 30);
+
+  // ...later discovered to have been recorded wrong and corrected
+  // retroactively (the raise was actually 28000).
+  Exec("replace e (sal = 28000) where e.name = \"merrie\"");
+
+  // Current knowledge, current validity.
+  ExecResult now = Exec(
+      "retrieve (e.sal) where e.name = \"merrie\" when e overlap \"now\"");
+  ASSERT_EQ(now.result.num_rows(), 1u);
+  EXPECT_EQ(now.result.rows[0][0].AsInt(), 28000);
+
+  // What did the database believe just after the hire?  (rollback)
+  ExecResult audit = Exec("retrieve (e.sal) where e.name = \"merrie\" as of \"" +
+                          after_hire.ToString() + "\"");
+  ASSERT_EQ(audit.result.num_rows(), 1u);
+  EXPECT_EQ(audit.result.rows[0][0].AsInt(), 25000);
+
+  // The full validity history as known now: 3 salary periods.
+  ExecResult history = Exec("retrieve (e.sal) where e.name = \"merrie\"");
+  EXPECT_EQ(history.result.num_rows(), 3u);
+}
+
+TEST_F(ScenarioTest, InventoryTrendScenario) {
+  Exec("create interval stock (part = c8, qty = i4)");
+  Exec("range of s is stock");
+  // Build a month of history.
+  const int kLevels[] = {100, 80, 120, 60};
+  for (int week = 0; week < 4; ++week) {
+    if (week == 0) {
+      Exec("append to stock (part = \"bolt\", qty = 100)");
+    } else {
+      Exec("replace s (qty = " + std::to_string(kLevels[week]) +
+           ") where s.part = \"bolt\"");
+    }
+    db_->AdvanceSeconds(86400 * 7);
+  }
+  // Ask for the level during week 2.
+  TimePoint week2 = TimePoint(
+      TimePoint::FromCivil(1984, 1, 1)->seconds() + 86400 * 10);
+  ExecResult r = Exec("retrieve (s.qty) where s.part = \"bolt\" "
+                      "when s overlap \"" + week2.ToString() + "\"");
+  ASSERT_EQ(r.result.num_rows(), 1u);
+  EXPECT_EQ(r.result.rows[0][0].AsInt(), 80);
+  // Average across all recorded levels.
+  ExecResult avg = Exec("retrieve (m = max(s.qty))");
+  EXPECT_EQ(avg.result.rows[0][0].AsInt(), 60);  // current version only
+}
+
+TEST_F(ScenarioTest, FullLifecycleWithReorganizations) {
+  Exec("create persistent interval t (id = i4, v = i4, pad = c96)");
+  for (int i = 0; i < 40; ++i) {
+    Exec("append to t (id = " + std::to_string(i) + ", v = 0)");
+  }
+  Exec("range of x is t");
+  Exec("modify t to hash on id where fillfactor = 100");
+  Exec("replace x (v = 1)");
+  Exec("modify t to isam on id where fillfactor = 50");
+  Exec("replace x (v = 2)");
+  Exec("modify t to twolevel hash on id where fillfactor = 100, "
+       "history = clustered");
+  Exec("replace x (v = 3)");
+  Exec("index on t is vi (v) with structure = hash, levels = 2");
+
+  ExecResult r = Exec(
+      "retrieve (n = count(x.id where x.v = 3))");
+  EXPECT_EQ(r.result.rows[0][0].AsInt(), 40);
+  // Every tuple has 1 + 3*2 = 7 versions after three replaces.
+  ExecResult versions = Exec(
+      "retrieve (x.v) where x.id = 17 "
+      "as of \"beginning\" through \"forever\"");
+  EXPECT_EQ(versions.result.num_rows(), 7u);
+  // The index answers the probe.
+  ExecResult probe = Exec(
+      "retrieve (x.id) where x.v = 3 and x.id = 17 when x overlap \"now\"");
+  EXPECT_EQ(probe.result.num_rows(), 1u);
+}
+
+TEST_F(ScenarioTest, DestroyRemovesEverything) {
+  Exec("create persistent interval t (id = i4)");
+  Exec("append to t (id = 1)");
+  Exec("index on t is i1 (id)");
+  Exec("destroy t");
+  EXPECT_FALSE(db_->Execute("range of x is t").ok());
+  // Name can be reused.
+  Exec("create t (id = i4)");
+  Exec("range of x is t");
+  ExecResult r = Exec("retrieve (x.id)");
+  EXPECT_EQ(r.result.num_rows(), 0u);
+}
+
+TEST_F(ScenarioTest, ErrorsLeaveDatabaseUsable) {
+  Exec("create t (id = i4)");
+  EXPECT_FALSE(db_->Execute("retrieve (z.id)").ok());
+  EXPECT_FALSE(db_->Execute("create t (id = i4)").ok());
+  EXPECT_FALSE(db_->Execute("garbage statement").ok());
+  Exec("append to t (id = 5)");
+  Exec("range of x is t");
+  ExecResult r = Exec("retrieve (x.id)");
+  EXPECT_EQ(r.result.num_rows(), 1u);
+}
+
+TEST_F(ScenarioTest, ScriptExecution) {
+  ExecResult r = Exec(
+      "create t (id = i4); append to t (id = 1); append to t (id = 2); "
+      "range of x is t; retrieve (x.id) where x.id = 2");
+  EXPECT_EQ(r.result.num_rows(), 1u);
+}
+
+TEST(PosixIntegrationTest, DurableAcrossProcessLikeReopen) {
+  char tmpl[] = "/tmp/tdb_integ_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  std::string dir = tmpl;
+  {
+    DatabaseOptions options;  // default Posix env
+    auto db = Database::Open(dir, options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(
+        (*db)->Execute("create persistent interval acct (id = i4, bal = i4)")
+            .ok());
+    ASSERT_TRUE((*db)->Execute("append to acct (id = 1, bal = 10)").ok());
+    ASSERT_TRUE(
+        (*db)->Execute("modify acct to hash on id where fillfactor = 100")
+            .ok());
+    ASSERT_TRUE((*db)->Execute("range of a is acct").ok());
+    ASSERT_TRUE((*db)->Execute("replace a (bal = 20)").ok());
+  }
+  {
+    DatabaseOptions options;
+    auto db = Database::Open(dir, options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Execute("range of a is acct").ok());
+    auto r = (*db)->Execute(
+        "retrieve (a.bal) where a.id = 1 when a overlap \"now\"");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->result.num_rows(), 1u);
+    EXPECT_EQ(r->result.rows[0][0].AsInt(), 20);
+  }
+}
+
+TEST(PosixIntegrationTest, CopyDumpLoadableElsewhere) {
+  char tmpl[] = "/tmp/tdb_copy_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  std::string dir = tmpl;
+  DatabaseOptions options;
+  auto db = Database::Open(dir, options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Execute("create interval t (id = i4, s = c8)").ok());
+  ASSERT_TRUE((*db)->Execute(
+                  "append to t (id = 1, s = \"a\") "
+                  "valid from \"1/1/80\" to \"6/1/80\"")
+                  .ok());
+  ASSERT_TRUE(
+      (*db)->Execute("copy t to \"" + dir + "/dump.tsv\"").ok());
+  ASSERT_TRUE((*db)->Execute("create interval u (id = i4, s = c8)").ok());
+  ASSERT_TRUE(
+      (*db)->Execute("copy u from \"" + dir + "/dump.tsv\"").ok());
+  ASSERT_TRUE((*db)->Execute("range of u is u").ok());
+  auto r = (*db)->Execute("retrieve (u.s) when u overlap \"3/1/80\"");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->result.num_rows(), 1u);
+  EXPECT_EQ(r->result.rows[0][0].ToString(), "a");
+}
+
+}  // namespace
+}  // namespace tdb

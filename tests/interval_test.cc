@@ -1,0 +1,166 @@
+#include "temporal/interval.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace tdb {
+namespace {
+
+Interval I(int32_t a, int32_t b) { return Interval(TimePoint(a), TimePoint(b)); }
+Interval E(int32_t t) { return Interval::Event(TimePoint(t)); }
+
+TEST(IntervalTest, EmptyAndEvent) {
+  EXPECT_FALSE(I(1, 2).empty());
+  EXPECT_FALSE(E(1).empty());  // an event contains its instant
+  EXPECT_TRUE(I(2, 1).empty());
+  EXPECT_TRUE(E(1).IsEvent());
+  EXPECT_FALSE(I(1, 2).IsEvent());
+}
+
+TEST(IntervalTest, ContainsHalfOpen) {
+  EXPECT_TRUE(I(1, 3).Contains(TimePoint(1)));
+  EXPECT_TRUE(I(1, 3).Contains(TimePoint(2)));
+  EXPECT_FALSE(I(1, 3).Contains(TimePoint(3)));  // exclusive upper bound
+  EXPECT_FALSE(I(1, 3).Contains(TimePoint(0)));
+}
+
+TEST(IntervalTest, EventContainsOnlyItsInstant) {
+  EXPECT_TRUE(E(5).Contains(TimePoint(5)));
+  EXPECT_FALSE(E(5).Contains(TimePoint(4)));
+  EXPECT_FALSE(E(5).Contains(TimePoint(6)));
+}
+
+TEST(IntervalTest, OverlapsProperIntervals) {
+  EXPECT_TRUE(I(1, 5).Overlaps(I(3, 8)));
+  EXPECT_TRUE(I(3, 8).Overlaps(I(1, 5)));
+  EXPECT_TRUE(I(1, 5).Overlaps(I(2, 3)));  // containment
+  EXPECT_FALSE(I(1, 3).Overlaps(I(3, 5)));  // touching is not overlap
+  EXPECT_FALSE(I(1, 2).Overlaps(I(4, 5)));
+}
+
+TEST(IntervalTest, OverlapsWithEvents) {
+  EXPECT_TRUE(I(1, 5).Overlaps(E(3)));
+  EXPECT_TRUE(I(1, 5).Overlaps(E(1)));   // inclusive start
+  EXPECT_FALSE(I(1, 5).Overlaps(E(5)));  // exclusive end
+  EXPECT_TRUE(E(3).Overlaps(I(1, 5)));
+  EXPECT_TRUE(E(3).Overlaps(E(3)));
+  EXPECT_FALSE(E(3).Overlaps(E(4)));
+}
+
+TEST(IntervalTest, EmptyNeverOverlaps) {
+  EXPECT_FALSE(I(5, 1).Overlaps(I(0, 10)));
+  EXPECT_FALSE(I(0, 10).Overlaps(I(5, 1)));
+}
+
+TEST(IntervalTest, Precedes) {
+  EXPECT_TRUE(I(1, 3).Precedes(I(3, 5)));  // touching counts as precede
+  EXPECT_TRUE(I(1, 2).Precedes(I(4, 5)));
+  EXPECT_FALSE(I(1, 4).Precedes(I(3, 5)));
+  EXPECT_TRUE(E(2).Precedes(I(3, 5)));
+  EXPECT_TRUE(E(2).Precedes(E(2)));  // end(2) <= start(2)
+}
+
+TEST(IntervalTest, IntersectAndSpan) {
+  EXPECT_EQ(Interval::Intersect(I(1, 5), I(3, 8)), I(3, 5));
+  EXPECT_TRUE(Interval::Intersect(I(1, 2), I(4, 5)).empty());
+  EXPECT_EQ(Interval::Span(I(1, 5), I(3, 8)), I(1, 8));
+  EXPECT_EQ(Interval::Span(I(1, 2), I(4, 5)), I(1, 5));  // covers the gap
+}
+
+TEST(IntervalTest, ForeverBounds) {
+  Interval current(TimePoint(100), TimePoint::Forever());
+  EXPECT_TRUE(current.Contains(TimePoint(1 << 30)));
+  EXPECT_TRUE(current.Overlaps(E(200)));
+  EXPECT_FALSE(current.Overlaps(E(50)));
+}
+
+TEST(IntervalTest, ToStringFormats) {
+  EXPECT_EQ(I(0, 0).IsEvent(), true);
+  std::string s = Interval(TimePoint(0), TimePoint::Forever()).ToString();
+  EXPECT_NE(s.find("forever"), std::string::npos);
+}
+
+// ---- Algebraic property sweeps ----
+
+class IntervalProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Interval RandomInterval(Random* rng) {
+    int32_t a = static_cast<int32_t>(rng->UniformRange(0, 1000));
+    int32_t len = static_cast<int32_t>(rng->UniformRange(0, 50));
+    return I(a, a + len);
+  }
+};
+
+TEST_P(IntervalProperty, OverlapIsSymmetric) {
+  Random rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    Interval a = RandomInterval(&rng);
+    Interval b = RandomInterval(&rng);
+    EXPECT_EQ(a.Overlaps(b), b.Overlaps(a)) << a.ToString() << b.ToString();
+  }
+}
+
+TEST_P(IntervalProperty, OverlapMatchesSharedInstantSemantics) {
+  // a.Overlaps(b) iff there exists an integer instant contained in both.
+  Random rng(GetParam() + 1);
+  for (int i = 0; i < 300; ++i) {
+    Interval a = RandomInterval(&rng);
+    Interval b = RandomInterval(&rng);
+    bool shared = false;
+    for (int32_t t = 0; t <= 1100 && !shared; ++t) {
+      shared = a.Contains(TimePoint(t)) && b.Contains(TimePoint(t));
+    }
+    EXPECT_EQ(a.Overlaps(b), shared) << a.ToString() << " " << b.ToString();
+  }
+}
+
+TEST_P(IntervalProperty, IntersectIsTightestCommon) {
+  Random rng(GetParam() + 2);
+  for (int i = 0; i < 300; ++i) {
+    Interval a = RandomInterval(&rng);
+    Interval b = RandomInterval(&rng);
+    Interval x = Interval::Intersect(a, b);
+    if (!x.empty() && !x.IsEvent()) {
+      for (int32_t t = x.from.seconds(); t < x.to.seconds(); ++t) {
+        EXPECT_TRUE(a.Contains(TimePoint(t)));
+        EXPECT_TRUE(b.Contains(TimePoint(t)));
+      }
+    }
+  }
+}
+
+TEST_P(IntervalProperty, SpanContainsBoth) {
+  Random rng(GetParam() + 3);
+  for (int i = 0; i < 300; ++i) {
+    Interval a = RandomInterval(&rng);
+    Interval b = RandomInterval(&rng);
+    Interval s = Interval::Span(a, b);
+    EXPECT_LE(s.from, a.from);
+    EXPECT_LE(s.from, b.from);
+    EXPECT_GE(s.to, a.to);
+    EXPECT_GE(s.to, b.to);
+  }
+}
+
+TEST_P(IntervalProperty, PrecedeAndOverlapAreMutuallyExclusiveForIntervals) {
+  // For *proper* intervals the two relations exclude each other.  An event
+  // [t, t] at the start of an interval both precedes it (end <= start, the
+  // TQuel definition) and overlaps it (it occurs within it), so events are
+  // excluded from this property.
+  Random rng(GetParam() + 4);
+  for (int i = 0; i < 500; ++i) {
+    Interval a = RandomInterval(&rng);
+    Interval b = RandomInterval(&rng);
+    if (a.IsEvent() || b.IsEvent()) continue;
+    if (a.Precedes(b)) {
+      EXPECT_FALSE(a.Overlaps(b)) << a.ToString() << " " << b.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace tdb

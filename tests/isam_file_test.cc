@@ -1,0 +1,277 @@
+#include "storage/isam_file.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "storage_test_util.h"
+#include "util/random.h"
+
+namespace tdb {
+namespace {
+
+using testutil::DrainKeys;
+using testutil::KeyedRecord;
+using testutil::SmallLayout;
+
+class IsamFileTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<IsamFile> BulkLoad(int n, int fillfactor,
+                                     uint16_t record_size = 32,
+                                     bool shuffled = false) {
+    std::vector<std::vector<uint8_t>> records;
+    records.reserve(n);
+    for (int i = 0; i < n; ++i) records.push_back(KeyedRecord(i, record_size));
+    if (shuffled) {
+      Random rng(9);
+      for (size_t i = records.size(); i > 1; --i) {
+        std::swap(records[i - 1], records[rng.Uniform(i)]);
+      }
+    }
+    auto pager = Pager::Open(&env_, "/isam", &counters_);
+    EXPECT_TRUE(pager.ok());
+    auto file = IsamFile::BulkLoad(std::move(*pager), SmallLayout(record_size),
+                                   std::move(records), fillfactor, &meta_);
+    EXPECT_TRUE(file.ok()) << file.status().ToString();
+    return std::move(file).value();
+  }
+
+  MemEnv env_;
+  IoCounters counters_;
+  IsamMeta meta_;
+};
+
+TEST_F(IsamFileTest, BulkLoadBuildsDataAndDirectory) {
+  uint16_t cap = Page::Capacity(32);
+  auto file = BulkLoad(cap * 10, 100);
+  EXPECT_EQ(meta_.data_pages, 10u);
+  EXPECT_EQ(meta_.level_counts.size(), 1u);  // 10 entries fit in one root
+  EXPECT_EQ(file->page_count(), 11u);
+}
+
+TEST_F(IsamFileTest, FillFactorControlsDataPages) {
+  uint16_t cap = Page::Capacity(32);
+  uint16_t per_page = static_cast<uint16_t>(cap * 50 / 100);
+  uint32_t n = static_cast<uint32_t>(cap) * 10;
+  BulkLoad(static_cast<int>(n), 50);
+  EXPECT_EQ(meta_.data_pages, (n + per_page - 1) / per_page);
+}
+
+TEST_F(IsamFileTest, PaperDirectorySizes) {
+  // 1024 temporal tuples at 50% loading: 256 data pages, i4 keys give a
+  // fanout of 128, so the directory is 2 leaf pages + 1 root = total 259
+  // pages, exactly Figure 5's ISAM size.
+  std::vector<std::vector<uint8_t>> records;
+  for (int i = 0; i < 1024; ++i) records.push_back(KeyedRecord(i, 124));
+  auto pager = Pager::Open(&env_, "/paper", &counters_);
+  IsamMeta meta;
+  auto file = IsamFile::BulkLoad(std::move(*pager), SmallLayout(124),
+                                 std::move(records), 50, &meta);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(meta.data_pages, 256u);
+  ASSERT_EQ(meta.level_counts.size(), 2u);
+  EXPECT_EQ(meta.level_counts[0], 2u);
+  EXPECT_EQ(meta.level_counts[1], 1u);
+  EXPECT_EQ((*file)->page_count(), 259u);
+}
+
+TEST_F(IsamFileTest, ScanKeyFindsEveryKey) {
+  auto file = BulkLoad(200, 100, 32, /*shuffled=*/true);
+  for (int key : {0, 1, 57, 99, 123, 199}) {
+    auto cur = file->ScanKey(Value::Int4(key));
+    ASSERT_TRUE(cur.ok());
+    EXPECT_EQ(DrainKeys(cur->get()), std::vector<int32_t>{key}) << key;
+  }
+}
+
+TEST_F(IsamFileTest, ScanKeyMissingKeyFindsNothing) {
+  auto file = BulkLoad(100, 100);
+  auto cur = file->ScanKey(Value::Int4(5000));
+  EXPECT_TRUE(DrainKeys(cur->get()).empty());
+  auto cur2 = file->ScanKey(Value::Int4(-3));
+  EXPECT_TRUE(DrainKeys(cur2->get()).empty());
+}
+
+TEST_F(IsamFileTest, ScanIsKeyOrderedAndSkipsDirectory) {
+  auto file = BulkLoad(300, 100, 32, /*shuffled=*/true);
+  ASSERT_TRUE(file->pager()->FlushAndDrop().ok());
+  counters_.Reset();
+  auto cur = file->Scan();
+  auto keys = DrainKeys(cur->get());
+  ASSERT_EQ(keys.size(), 300u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  // Sequential scans never touch the directory.
+  EXPECT_EQ(counters_.reads[static_cast<int>(IoCategory::kDirectory)], 0u);
+  EXPECT_EQ(counters_.TotalReads(), meta_.data_pages);
+}
+
+TEST_F(IsamFileTest, LookupCostIsDirectoryPlusChain) {
+  uint16_t cap = Page::Capacity(32);
+  auto file = BulkLoad(cap * 10, 100);
+  ASSERT_TRUE(file->pager()->FlushAndDrop().ok());
+  counters_.Reset();
+  auto cur = file->ScanKey(Value::Int4(5));
+  (void)DrainKeys(cur->get());
+  EXPECT_EQ(counters_.reads[static_cast<int>(IoCategory::kDirectory)], 1u);
+  EXPECT_EQ(counters_.reads[static_cast<int>(IoCategory::kData)], 1u);
+}
+
+TEST_F(IsamFileTest, InsertsOverflowTheTargetPage) {
+  uint16_t cap = Page::Capacity(32);
+  auto file = BulkLoad(cap * 4, 100);
+  uint32_t before = file->page_count();
+  // New versions of key 1 overflow its data page.
+  for (int v = 0; v < cap + 1; ++v) {
+    auto rec = KeyedRecord(1);
+    ASSERT_TRUE(file->Insert(rec.data(), rec.size(), nullptr).ok());
+  }
+  EXPECT_EQ(file->page_count(), before + 2);
+  auto cur = file->ScanKey(Value::Int4(1));
+  EXPECT_EQ(DrainKeys(cur->get()).size(), static_cast<size_t>(cap + 2));
+  // Other keys in other pages are untouched.
+  auto cur2 = file->ScanKey(Value::Int4(cap * 2));
+  EXPECT_EQ(DrainKeys(cur2->get()).size(), 1u);
+}
+
+TEST_F(IsamFileTest, ScanIncludesOverflowRecords) {
+  uint16_t cap = Page::Capacity(32);
+  auto file = BulkLoad(cap * 2, 100);
+  for (int v = 0; v < 5; ++v) {
+    auto rec = KeyedRecord(0);
+    ASSERT_TRUE(file->Insert(rec.data(), rec.size(), nullptr).ok());
+  }
+  auto cur = file->Scan();
+  EXPECT_EQ(DrainKeys(cur->get()).size(), static_cast<size_t>(cap * 2 + 5));
+}
+
+TEST_F(IsamFileTest, EmptyRelationStillLoadable) {
+  auto file = BulkLoad(0, 100);
+  EXPECT_GE(file->page_count(), 2u);  // one data page + root
+  auto cur = file->Scan();
+  EXPECT_TRUE(DrainKeys(cur->get()).empty());
+  // Inserts after an empty load still work.
+  auto rec = KeyedRecord(3);
+  ASSERT_TRUE(file->Insert(rec.data(), rec.size(), nullptr).ok());
+  auto cur2 = file->ScanKey(Value::Int4(3));
+  EXPECT_EQ(DrainKeys(cur2->get()).size(), 1u);
+}
+
+TEST_F(IsamFileTest, BulkLoadDivertsKeyRunsIntoOverflow) {
+  // Regression: bulk loading many versions per key must not let a key run
+  // span primary pages, or keyed access (which starts at the one page the
+  // directory names) would miss versions.  Runs are diverted into the
+  // page's overflow chain instead.
+  uint16_t cap = Page::Capacity(32);
+  std::vector<std::vector<uint8_t>> records;
+  const int versions = cap;  // each key has a full page worth of versions
+  for (int key = 0; key < 6; ++key) {
+    for (int v = 0; v < versions; ++v) {
+      records.push_back(KeyedRecord(key, 32, static_cast<uint8_t>(v + 1)));
+    }
+  }
+  auto pager = Pager::Open(&env_, "/span", &counters_);
+  IsamMeta meta;
+  auto file = IsamFile::BulkLoad(std::move(*pager), SmallLayout(),
+                                 std::move(records), 70, &meta);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  // Every key's full version set is reachable through keyed access.
+  for (int key = 0; key < 6; ++key) {
+    auto cur = (*file)->ScanKey(Value::Int4(key));
+    ASSERT_TRUE(cur.ok());
+    EXPECT_EQ(DrainKeys(cur->get()).size(), static_cast<size_t>(versions))
+        << "key " << key;
+  }
+  // ...and the full scan sees everything exactly once.
+  auto all = (*file)->Scan();
+  EXPECT_EQ(DrainKeys(all->get()).size(), static_cast<size_t>(6 * versions));
+  // No primary page starts in the middle of a run: each page's first key
+  // differs from the previous page's first key.
+  EXPECT_GT(meta.data_pages, 1u);
+}
+
+TEST_F(IsamFileTest, KeyedProbeCostUnchangedBySpanningLogic) {
+  // The single-version case (the paper's benchmark at modify time) still
+  // costs one directory traversal + one data page group.
+  auto file = BulkLoad(static_cast<int>(Page::Capacity(32)) * 8, 100);
+  // Probe a key that is the LAST slot of its page (the boundary case).
+  int32_t page_max = Page::Capacity(32) - 1;
+  ASSERT_TRUE(file->pager()->FlushAndDrop().ok());
+  counters_.Reset();
+  auto cur = file->ScanKey(Value::Int4(page_max));
+  EXPECT_EQ(DrainKeys(cur->get()), std::vector<int32_t>{page_max});
+  EXPECT_EQ(counters_.reads[static_cast<int>(IoCategory::kDirectory)], 1u);
+  EXPECT_EQ(counters_.reads[static_cast<int>(IoCategory::kData)], 1u);
+}
+
+TEST_F(IsamFileTest, MetaSerializeRoundTrip) {
+  BulkLoad(500, 50);
+  auto parsed = IsamMeta::Parse(meta_.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->data_pages, meta_.data_pages);
+  EXPECT_EQ(parsed->level_counts, meta_.level_counts);
+  EXPECT_FALSE(IsamMeta::Parse("").ok());
+  EXPECT_FALSE(IsamMeta::Parse("5").ok());      // no root level
+  EXPECT_FALSE(IsamMeta::Parse("5:2").ok());    // top level != 1
+  EXPECT_TRUE(IsamMeta::Parse("5:2:1").ok());
+}
+
+TEST_F(IsamFileTest, ReopenWithMeta) {
+  {
+    auto file = BulkLoad(200, 100);
+    ASSERT_TRUE(file->pager()->Flush().ok());
+  }
+  auto pager = Pager::Open(&env_, "/isam", &counters_);
+  auto file = IsamFile::Open(std::move(*pager), SmallLayout(), meta_);
+  ASSERT_TRUE(file.ok());
+  auto cur = (*file)->ScanKey(Value::Int4(123));
+  EXPECT_EQ(DrainKeys(cur->get()), std::vector<int32_t>{123});
+}
+
+TEST_F(IsamFileTest, UpdateInPlaceAndErase) {
+  auto file = BulkLoad(50, 100);
+  auto cur = file->ScanKey(Value::Int4(7));
+  ASSERT_TRUE((*cur->get()).Next().value());
+  Tid tid = cur->get()->tid();
+  auto updated = KeyedRecord(7, 32, 0x66);
+  ASSERT_TRUE(file->UpdateInPlace(tid, updated.data(), updated.size()).ok());
+  EXPECT_EQ(*file->Fetch(tid), updated);
+  ASSERT_TRUE(file->Erase(tid).ok());
+  auto cur2 = file->ScanKey(Value::Int4(7));
+  EXPECT_TRUE(DrainKeys(cur2->get()).empty());
+}
+
+// Property: every key is findable at several fill factors and sizes, and
+// directory depth grows as expected.
+class IsamSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IsamSweep, LookupsWork) {
+  auto [n, fillfactor] = GetParam();
+  MemEnv env;
+  IoCounters counters;
+  std::vector<std::vector<uint8_t>> records;
+  for (int i = 0; i < n; ++i) records.push_back(KeyedRecord(i * 3));
+  auto pager = Pager::Open(&env, "/i", &counters);
+  IsamMeta meta;
+  auto file = IsamFile::BulkLoad(std::move(*pager), SmallLayout(),
+                                 std::move(records), fillfactor, &meta);
+  ASSERT_TRUE(file.ok());
+  Random rng(static_cast<uint64_t>(n + fillfactor));
+  for (int probe = 0; probe < 50; ++probe) {
+    int32_t key = static_cast<int32_t>(rng.Uniform(n)) * 3;
+    auto cur = (*file)->ScanKey(Value::Int4(key));
+    ASSERT_TRUE(cur.ok());
+    EXPECT_EQ(DrainKeys(cur->get()), std::vector<int32_t>{key});
+    // Keys between stored keys are not found.
+    auto miss = (*file)->ScanKey(Value::Int4(key + 1));
+    EXPECT_TRUE(DrainKeys(miss->get()).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndFill, IsamSweep,
+    ::testing::Combine(::testing::Values(10, 100, 1000, 5000),
+                       ::testing::Values(100, 50, 25)));
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,124 @@
+#include "tquel/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace tdb {
+namespace {
+
+std::vector<Token> Lex(const std::string& text) {
+  auto tokens = Lexer::Tokenize(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? std::move(tokens).value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].Is(TokenType::kEnd));
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto tokens = Lex("retrieve Foo_1 _bar");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[0].IsKeyword("retrieve"));
+  EXPECT_TRUE(tokens[0].IsKeyword("RETRIEVE"));  // case-insensitive
+  EXPECT_EQ(tokens[1].text, "Foo_1");
+  EXPECT_EQ(tokens[2].text, "_bar");
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  auto tokens = Lex("42 3.25 0");
+  EXPECT_EQ(tokens[0].type, TokenType::kInt);
+  EXPECT_EQ(tokens[0].int_val, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].float_val, 3.25);
+  EXPECT_EQ(tokens[2].int_val, 0);
+}
+
+TEST(LexerTest, IntFollowedByDotIsNotFloat) {
+  // "1.x" lexes as int, dot, ident (needed for nothing, but must not crash).
+  auto tokens = Lex("1 . x");
+  EXPECT_EQ(tokens[0].type, TokenType::kInt);
+  EXPECT_EQ(tokens[1].type, TokenType::kDot);
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto tokens = Lex("\"08:00 1/1/80\" \"\"");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "08:00 1/1/80");
+  EXPECT_EQ(tokens[1].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lexer::Tokenize("\"abc").ok());
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto tokens = Lex("( ) , . ; = != < <= > >= + - * / % <>");
+  TokenType expected[] = {
+      TokenType::kLParen, TokenType::kRParen, TokenType::kComma,
+      TokenType::kDot,    TokenType::kSemi,   TokenType::kEq,
+      TokenType::kNe,     TokenType::kLt,     TokenType::kLe,
+      TokenType::kGt,     TokenType::kGe,     TokenType::kPlus,
+      TokenType::kMinus,  TokenType::kStar,   TokenType::kSlash,
+      TokenType::kPercent, TokenType::kNe,    TokenType::kEnd};
+  ASSERT_EQ(tokens.size(), std::size(expected));
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, NoSpacesNeeded) {
+  auto tokens = Lex("h.id=500");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].text, "h");
+  EXPECT_EQ(tokens[1].type, TokenType::kDot);
+  EXPECT_EQ(tokens[2].text, "id");
+  EXPECT_EQ(tokens[3].type, TokenType::kEq);
+  EXPECT_EQ(tokens[4].int_val, 500);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = Lex("a /* comment * with stuff */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, UnterminatedCommentFails) {
+  EXPECT_FALSE(Lexer::Tokenize("a /* b").ok());
+}
+
+TEST(LexerTest, StrayBangFails) {
+  EXPECT_FALSE(Lexer::Tokenize("a ! b").ok());
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  EXPECT_FALSE(Lexer::Tokenize("a @ b").ok());
+  EXPECT_FALSE(Lexer::Tokenize("a # b").ok());
+}
+
+TEST(LexerTest, PositionsAreByteOffsets) {
+  auto tokens = Lex("ab  cd");
+  EXPECT_EQ(tokens[0].pos, 0u);
+  EXPECT_EQ(tokens[1].pos, 4u);
+}
+
+TEST(LexerTest, SlashDivisionVsComment) {
+  auto tokens = Lex("a / b");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].type, TokenType::kSlash);
+}
+
+TEST(LexerTest, WholeBenchmarkQueryLexes) {
+  auto tokens = Lex(
+      "retrieve (h.id, h.seq, i.id, i.seq, i.amount) "
+      "valid from start of (h overlap i) to end of (h extend i) "
+      "where h.id = 500 and i.amount = 73700 "
+      "when h overlap i as of \"now\"");
+  EXPECT_GT(tokens.size(), 40u);
+  EXPECT_TRUE(tokens.back().Is(TokenType::kEnd));
+}
+
+}  // namespace
+}  // namespace tdb

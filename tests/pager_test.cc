@@ -1,0 +1,165 @@
+// Tests of the single-frame pager: the paper's "1 buffer per relation"
+// accounting discipline.
+
+#include "storage/pager.h"
+
+#include <gtest/gtest.h>
+
+#include "env/env.h"
+
+namespace tdb {
+namespace {
+
+class PagerTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Pager> Open(const std::string& name) {
+    auto pager = Pager::Open(&env_, "/" + name, &counters_);
+    EXPECT_TRUE(pager.ok());
+    return std::move(pager).value();
+  }
+
+  MemEnv env_;
+  IoCounters counters_;
+};
+
+TEST_F(PagerTest, StartsEmpty) {
+  auto pager = Open("a");
+  EXPECT_EQ(pager->page_count(), 0u);
+  EXPECT_FALSE(pager->ReadPage(0, IoCategory::kData).ok());
+}
+
+TEST_F(PagerTest, AllocateExtendsAndLoadsFrame) {
+  auto pager = Open("a");
+  auto p0 = pager->AllocatePage(IoCategory::kData);
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(*p0, 0u);
+  EXPECT_EQ(pager->page_count(), 1u);
+  auto p1 = pager->AllocatePage(IoCategory::kData);
+  EXPECT_EQ(*p1, 1u);
+  EXPECT_EQ(pager->page_count(), 2u);
+}
+
+TEST_F(PagerTest, ReadOfResidentPageIsFree) {
+  auto pager = Open("a");
+  (void)pager->AllocatePage(IoCategory::kData);
+  (void)pager->AllocatePage(IoCategory::kData);
+  ASSERT_TRUE(pager->Flush().ok());
+  counters_.Reset();
+
+  ASSERT_TRUE(pager->ReadPage(0, IoCategory::kData).ok());
+  EXPECT_EQ(counters_.TotalReads(), 1u);
+  // Re-reading the resident page costs nothing.
+  ASSERT_TRUE(pager->ReadPage(0, IoCategory::kData).ok());
+  ASSERT_TRUE(pager->ReadPage(0, IoCategory::kData).ok());
+  EXPECT_EQ(counters_.TotalReads(), 1u);
+  // Another page evicts and costs one more read.
+  ASSERT_TRUE(pager->ReadPage(1, IoCategory::kData).ok());
+  EXPECT_EQ(counters_.TotalReads(), 2u);
+  // Ping-pong: every switch is a miss (exactly the paper's discipline).
+  ASSERT_TRUE(pager->ReadPage(0, IoCategory::kData).ok());
+  ASSERT_TRUE(pager->ReadPage(1, IoCategory::kData).ok());
+  EXPECT_EQ(counters_.TotalReads(), 4u);
+}
+
+TEST_F(PagerTest, DirtyFrameWriteCountedOnEviction) {
+  auto pager = Open("a");
+  (void)pager->AllocatePage(IoCategory::kData);
+  (void)pager->AllocatePage(IoCategory::kData);
+  ASSERT_TRUE(pager->Flush().ok());
+  counters_.Reset();
+
+  ASSERT_TRUE(pager->ReadPage(0, IoCategory::kData).ok());
+  pager->MarkDirty();
+  EXPECT_EQ(counters_.TotalWrites(), 0u);  // buffered
+  ASSERT_TRUE(pager->ReadPage(1, IoCategory::kData).ok());  // evicts
+  EXPECT_EQ(counters_.TotalWrites(), 1u);
+}
+
+TEST_F(PagerTest, FlushIsIdempotent) {
+  auto pager = Open("a");
+  (void)pager->AllocatePage(IoCategory::kData);
+  pager->MarkDirty();
+  ASSERT_TRUE(pager->Flush().ok());
+  uint64_t writes = counters_.TotalWrites();
+  ASSERT_TRUE(pager->Flush().ok());
+  EXPECT_EQ(counters_.TotalWrites(), writes);
+}
+
+TEST_F(PagerTest, WritesPersistAcrossReopen) {
+  {
+    auto pager = Open("a");
+    auto frame = pager->ReadPage(*pager->AllocatePage(IoCategory::kData),
+                                 IoCategory::kData);
+    (*frame)[100] = 0xAB;
+    pager->MarkDirty();
+    ASSERT_TRUE(pager->Flush().ok());
+  }
+  auto pager = Open("a");
+  EXPECT_EQ(pager->page_count(), 1u);
+  auto frame = pager->ReadPage(0, IoCategory::kData);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ((*frame)[100], 0xAB);
+}
+
+TEST_F(PagerTest, CategoriesAreTracked) {
+  auto pager = Open("a");
+  (void)pager->AllocatePage(IoCategory::kData);
+  (void)pager->AllocatePage(IoCategory::kDirectory);
+  ASSERT_TRUE(pager->Flush().ok());
+  counters_.Reset();
+  ASSERT_TRUE(pager->ReadPage(0, IoCategory::kData).ok());
+  ASSERT_TRUE(pager->ReadPage(1, IoCategory::kDirectory).ok());
+  EXPECT_EQ(counters_.reads[static_cast<int>(IoCategory::kData)], 1u);
+  EXPECT_EQ(counters_.reads[static_cast<int>(IoCategory::kDirectory)], 1u);
+  EXPECT_EQ(counters_.reads[static_cast<int>(IoCategory::kTemp)], 0u);
+}
+
+TEST_F(PagerTest, FlushAndDropMakesNextReadCount) {
+  auto pager = Open("a");
+  (void)pager->AllocatePage(IoCategory::kData);
+  ASSERT_TRUE(pager->FlushAndDrop().ok());  // start with an empty frame
+  counters_.Reset();
+  ASSERT_TRUE(pager->ReadPage(0, IoCategory::kData).ok());
+  ASSERT_TRUE(pager->FlushAndDrop().ok());
+  ASSERT_TRUE(pager->ReadPage(0, IoCategory::kData).ok());
+  EXPECT_EQ(counters_.TotalReads(), 2u);
+}
+
+TEST_F(PagerTest, NullCountersAllowed) {
+  auto pager = Pager::Open(&env_, "/n", nullptr);
+  ASSERT_TRUE(pager.ok());
+  ASSERT_TRUE((*pager)->AllocatePage(IoCategory::kData).ok());
+  EXPECT_TRUE((*pager)->Flush().ok());
+}
+
+TEST_F(PagerTest, RejectsUnalignedFile) {
+  ASSERT_TRUE(env_.WriteStringToFile("/bad", "not a page").ok());
+  EXPECT_FALSE(Pager::Open(&env_, "/bad", &counters_).ok());
+}
+
+TEST_F(PagerTest, ResetTruncates) {
+  auto pager = Open("a");
+  (void)pager->AllocatePage(IoCategory::kData);
+  (void)pager->AllocatePage(IoCategory::kData);
+  ASSERT_TRUE(pager->Reset().ok());
+  EXPECT_EQ(pager->page_count(), 0u);
+}
+
+TEST(IoRegistryTest, ForFileAndTotals) {
+  IoRegistry registry;
+  IoCounters* a = registry.ForFile("a");
+  IoCounters* b = registry.ForFile("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.ForFile("a"), a);  // stable
+  a->reads[0] = 3;
+  b->reads[1] = 4;
+  b->writes[4] = 2;
+  IoCounters total = registry.Total();
+  EXPECT_EQ(total.TotalReads(), 7u);
+  EXPECT_EQ(total.TotalWrites(), 2u);
+  registry.ResetAll();
+  EXPECT_EQ(registry.Total().TotalReads(), 0u);
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,333 @@
+#include "tquel/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace tdb {
+namespace {
+
+std::unique_ptr<Statement> Parse(const std::string& text) {
+  auto stmt = Parser::ParseStatement(text);
+  EXPECT_TRUE(stmt.ok()) << text << " -> " << stmt.status().ToString();
+  return stmt.ok() ? std::move(stmt).value() : nullptr;
+}
+
+template <typename T>
+T* As(const std::unique_ptr<Statement>& stmt, Statement::Kind kind) {
+  EXPECT_NE(stmt, nullptr);
+  if (stmt == nullptr) return nullptr;
+  EXPECT_EQ(stmt->kind, kind);
+  return static_cast<T*>(stmt.get());
+}
+
+TEST(ParserTest, Range) {
+  auto stmt = Parse("range of h is temporal_h");
+  auto* range = As<RangeStmt>(stmt, Statement::Kind::kRange);
+  EXPECT_EQ(range->var, "h");
+  EXPECT_EQ(range->relation, "temporal_h");
+}
+
+TEST(ParserTest, SimpleRetrieve) {
+  auto stmt = Parse("retrieve (h.id, h.seq) where h.id = 500");
+  auto* r = As<RetrieveStmt>(stmt, Statement::Kind::kRetrieve);
+  ASSERT_EQ(r->targets.size(), 2u);
+  EXPECT_EQ(r->targets[0].expr->kind, Expr::Kind::kColumn);
+  EXPECT_EQ(r->targets[0].expr->var, "h");
+  EXPECT_EQ(r->targets[0].expr->attr, "id");
+  ASSERT_NE(r->where, nullptr);
+  EXPECT_EQ(r->where->op, ExprOp::kEq);
+  EXPECT_FALSE(r->when);
+  EXPECT_FALSE(r->as_of.has_value());
+  EXPECT_FALSE(r->valid.has_value());
+}
+
+TEST(ParserTest, NamedAndExpressionTargets) {
+  auto stmt = Parse("retrieve (total = h.a + 1, h.b, n = count(h.a))");
+  auto* r = As<RetrieveStmt>(stmt, Statement::Kind::kRetrieve);
+  ASSERT_EQ(r->targets.size(), 3u);
+  EXPECT_EQ(r->targets[0].name, "total");
+  EXPECT_EQ(r->targets[0].expr->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(r->targets[1].name, "");  // derived later by the binder
+  EXPECT_EQ(r->targets[2].expr->kind, Expr::Kind::kAggregate);
+  EXPECT_EQ(r->targets[2].expr->agg, AggFunc::kCount);
+}
+
+TEST(ParserTest, RetrieveIntoUnique) {
+  auto stmt = Parse("retrieve into out unique (h.id)");
+  auto* r = As<RetrieveStmt>(stmt, Statement::Kind::kRetrieve);
+  EXPECT_EQ(r->into, "out");
+  EXPECT_TRUE(r->unique);
+}
+
+TEST(ParserTest, FullTemporalRetrieve) {
+  auto stmt = Parse(
+      "retrieve (h.id) valid from start of (h overlap i) to end of "
+      "(h extend i) where h.id = 500 when h overlap i as of \"now\"");
+  auto* r = As<RetrieveStmt>(stmt, Statement::Kind::kRetrieve);
+  ASSERT_TRUE(r->valid.has_value());
+  EXPECT_FALSE(r->valid->at);
+  EXPECT_EQ(r->valid->from->kind, TemporalExpr::Kind::kStartOf);
+  EXPECT_EQ(r->valid->to->kind, TemporalExpr::Kind::kEndOf);
+  ASSERT_NE(r->when, nullptr);
+  EXPECT_EQ(r->when->kind, TemporalPred::Kind::kNonEmpty);
+  ASSERT_TRUE(r->as_of.has_value());
+  EXPECT_EQ(r->as_of->at->kind, TemporalExpr::Kind::kNow);
+}
+
+TEST(ParserTest, ClausesInAnyOrder) {
+  auto stmt = Parse(
+      "retrieve (h.id) as of \"1981\" where h.id = 1 when h overlap \"now\" "
+      "valid at \"now\"");
+  auto* r = As<RetrieveStmt>(stmt, Statement::Kind::kRetrieve);
+  EXPECT_TRUE(r->as_of.has_value());
+  EXPECT_NE(r->where, nullptr);
+  EXPECT_NE(r->when, nullptr);
+  ASSERT_TRUE(r->valid.has_value());
+  EXPECT_TRUE(r->valid->at);
+}
+
+TEST(ParserTest, AsOfThrough) {
+  auto stmt = Parse("retrieve (h.id) as of \"1980\" through \"1981\"");
+  auto* r = As<RetrieveStmt>(stmt, Statement::Kind::kRetrieve);
+  ASSERT_TRUE(r->as_of.has_value());
+  EXPECT_NE(r->as_of->through, nullptr);
+}
+
+TEST(ParserTest, WhenPrecedence) {
+  auto stmt = Parse(
+      "retrieve (h.id) when start of h precede i and not h overlap i or "
+      "h equal i");
+  auto* r = As<RetrieveStmt>(stmt, Statement::Kind::kRetrieve);
+  // or at top, and below it, not below that.
+  EXPECT_EQ(r->when->kind, TemporalPred::Kind::kOr);
+  EXPECT_EQ(r->when->left->kind, TemporalPred::Kind::kAnd);
+  EXPECT_EQ(r->when->left->left->kind, TemporalPred::Kind::kPrecede);
+  EXPECT_EQ(r->when->left->right->kind, TemporalPred::Kind::kNot);
+  EXPECT_EQ(r->when->right->kind, TemporalPred::Kind::kEqual);
+}
+
+TEST(ParserTest, TemporalParenGrouping) {
+  auto stmt = Parse("retrieve (h.id) when (h overlap i) precede \"1981\"");
+  auto* r = As<RetrieveStmt>(stmt, Statement::Kind::kRetrieve);
+  EXPECT_EQ(r->when->kind, TemporalPred::Kind::kPrecede);
+  EXPECT_EQ(r->when->lexpr->kind, TemporalExpr::Kind::kOverlap);
+  EXPECT_EQ(r->when->rexpr->kind, TemporalExpr::Kind::kConst);
+}
+
+TEST(ParserTest, BareNowKeywordAccepted) {
+  auto stmt = Parse("retrieve (h.id) when h overlap now");
+  auto* r = As<RetrieveStmt>(stmt, Statement::Kind::kRetrieve);
+  EXPECT_EQ(r->when->lexpr->right->kind, TemporalExpr::Kind::kNow);
+}
+
+TEST(ParserTest, Append) {
+  auto stmt = Parse(
+      "append to emp (name = \"ann\", sal = 100) valid from \"1980\" to "
+      "\"forever\"");
+  auto* a = As<AppendStmt>(stmt, Statement::Kind::kAppend);
+  EXPECT_EQ(a->relation, "emp");
+  ASSERT_EQ(a->targets.size(), 2u);
+  EXPECT_EQ(a->targets[0].name, "name");
+  EXPECT_TRUE(a->valid.has_value());
+}
+
+TEST(ParserTest, AppendWithoutTo) {
+  auto stmt = Parse("append emp (sal = 1)");
+  auto* a = As<AppendStmt>(stmt, Statement::Kind::kAppend);
+  EXPECT_EQ(a->relation, "emp");
+}
+
+TEST(ParserTest, DeleteWithClauses) {
+  auto stmt = Parse("delete e where e.sal < 0 valid at \"1981\"");
+  auto* d = As<DeleteStmt>(stmt, Statement::Kind::kDelete);
+  EXPECT_EQ(d->var, "e");
+  EXPECT_NE(d->where, nullptr);
+  EXPECT_TRUE(d->valid.has_value());
+}
+
+TEST(ParserTest, Replace) {
+  auto stmt = Parse("replace e (sal = e.sal * 2) where e.name = \"x\"");
+  auto* r = As<ReplaceStmt>(stmt, Statement::Kind::kReplace);
+  EXPECT_EQ(r->var, "e");
+  ASSERT_EQ(r->targets.size(), 1u);
+  EXPECT_EQ(r->targets[0].name, "sal");
+}
+
+TEST(ParserTest, CreateAllFourTypes) {
+  struct Case {
+    const char* text;
+    bool persistent;
+    bool valid_time;
+    bool event;
+  } cases[] = {
+      {"create r (a = i4)", false, false, false},
+      {"create persistent r (a = i4)", true, false, false},
+      {"create interval r (a = i4)", false, true, false},
+      {"create event r (a = i4)", false, true, true},
+      {"create persistent interval r (a = i4)", true, true, false},
+      {"create persistent event r (a = i4)", true, true, true},
+  };
+  for (const Case& c : cases) {
+    auto stmt = Parse(c.text);
+    auto* create = As<CreateStmt>(stmt, Statement::Kind::kCreate);
+    EXPECT_EQ(create->persistent, c.persistent) << c.text;
+    EXPECT_EQ(create->has_valid_time, c.valid_time) << c.text;
+    EXPECT_EQ(create->event, c.event) << c.text;
+  }
+}
+
+TEST(ParserTest, CreatePaperSchema) {
+  auto stmt = Parse(
+      "create persistent interval Temporal_h "
+      "(id = i4, amount = i4, seq = i4, string = c96)");
+  auto* c = As<CreateStmt>(stmt, Statement::Kind::kCreate);
+  EXPECT_EQ(c->relation, "Temporal_h");
+  ASSERT_EQ(c->attrs.size(), 4u);
+  EXPECT_EQ(c->attrs[3].name, "string");
+  EXPECT_EQ(c->attrs[3].type_name, "c96");
+}
+
+TEST(ParserTest, ModifyVariants) {
+  auto stmt = Parse("modify r to hash on id where fillfactor = 50");
+  auto* m = As<ModifyStmt>(stmt, Statement::Kind::kModify);
+  EXPECT_EQ(m->organization, "hash");
+  EXPECT_EQ(m->key_attr, "id");
+  EXPECT_EQ(m->fillfactor, 50);
+  EXPECT_FALSE(m->two_level);
+
+  auto stmt2 = Parse(
+      "modify r to twolevel isam on id where fillfactor = 100, "
+      "history = clustered");
+  auto* m2 = As<ModifyStmt>(stmt2, Statement::Kind::kModify);
+  EXPECT_TRUE(m2->two_level);
+  EXPECT_TRUE(m2->clustered_history);
+  EXPECT_EQ(m2->organization, "isam");
+
+  auto stmt3 = Parse("modify r to heap");
+  auto* m3 = As<ModifyStmt>(stmt3, Statement::Kind::kModify);
+  EXPECT_EQ(m3->organization, "heap");
+}
+
+TEST(ParserTest, IndexStatement) {
+  auto stmt = Parse(
+      "index on r is amount_idx (amount) with structure = hash, levels = 2");
+  auto* i = As<IndexStmt>(stmt, Statement::Kind::kIndex);
+  EXPECT_EQ(i->relation, "r");
+  EXPECT_EQ(i->index_name, "amount_idx");
+  EXPECT_EQ(i->attr, "amount");
+  EXPECT_EQ(i->structure, "hash");
+  EXPECT_EQ(i->levels, 2);
+}
+
+TEST(ParserTest, CopyStatement) {
+  auto stmt = Parse("copy r from \"/data/load.tsv\"");
+  auto* c = As<CopyStmt>(stmt, Statement::Kind::kCopy);
+  EXPECT_TRUE(c->from);
+  EXPECT_EQ(c->path, "/data/load.tsv");
+  auto stmt2 = Parse("copy r to \"/data/dump.tsv\"");
+  EXPECT_FALSE(As<CopyStmt>(stmt2, Statement::Kind::kCopy)->from);
+}
+
+TEST(ParserTest, Destroy) {
+  auto stmt = Parse("destroy r");
+  EXPECT_EQ(As<DestroyStmt>(stmt, Statement::Kind::kDestroy)->relation, "r");
+}
+
+TEST(ParserTest, ScriptWithSemicolons) {
+  auto stmts = Parser::ParseScript(
+      "range of h is r; retrieve (h.id); destroy r");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts->size(), 3u);
+}
+
+TEST(ParserTest, ScriptWithoutSemicolons) {
+  auto stmts = Parser::ParseScript("range of h is r retrieve (h.id)");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts->size(), 2u);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto stmt = Parse("retrieve (x = 1 + 2 * 3 - -4)");
+  auto* r = As<RetrieveStmt>(stmt, Statement::Kind::kRetrieve);
+  // ((1 + (2*3)) - (-4))
+  const Expr* e = r->targets[0].expr.get();
+  EXPECT_EQ(e->op, ExprOp::kSub);
+  EXPECT_EQ(e->left->op, ExprOp::kAdd);
+  EXPECT_EQ(e->left->right->op, ExprOp::kMul);
+  EXPECT_EQ(e->right->op, ExprOp::kNeg);
+}
+
+TEST(ParserTest, BooleanPrecedence) {
+  auto stmt = Parse("retrieve (h.a) where h.a = 1 or h.b = 2 and h.c = 3");
+  auto* r = As<RetrieveStmt>(stmt, Statement::Kind::kRetrieve);
+  EXPECT_EQ(r->where->op, ExprOp::kOr);
+  EXPECT_EQ(r->where->right->op, ExprOp::kAnd);
+}
+
+TEST(ParserTest, ErrorCases) {
+  const char* bad[] = {
+      "",
+      "frobnicate x",
+      "range of h",                           // missing is
+      "retrieve",                             // missing targets
+      "retrieve ()",                          // empty targets
+      "retrieve (h.id) where",                // missing expression
+      "retrieve (h.id) when",                 // missing predicate
+      "retrieve (h.id) as \"now\"",           // as without of
+      "retrieve (h.id) valid from \"1980\"",  // missing to
+      "append to r",                          // missing targets
+      "create r ()",                          // empty attrs
+      "create r (a)",                         // missing type
+      "modify r to grid on id",               // unknown organization
+      "modify r to hash on id where fillfactor = x",
+      "index on r is i (a) with levels = 3",
+      "copy r sideways \"f\"",
+      "retrieve (h.id) where h.id = 1 extra garbage",
+      "retrieve (bare_ident)",                // bare identifier target
+      "retrieve (h.id) valid at \"not a time\"",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(Parser::ParseStatement(text).ok()) << text;
+  }
+}
+
+TEST(ParserTest, AggregateWithWhere) {
+  auto stmt = Parse("retrieve (n = count(e.sal where e.dept = \"toy\"))");
+  auto* r = As<RetrieveStmt>(stmt, Statement::Kind::kRetrieve);
+  const Expr* agg = r->targets[0].expr.get();
+  EXPECT_EQ(agg->kind, Expr::Kind::kAggregate);
+  EXPECT_NE(agg->agg_where, nullptr);
+}
+
+TEST(ParserTest, AllAggregateNames) {
+  auto stmt = Parse(
+      "retrieve (a = count(e.x), b = sum(e.x), c = avg(e.x), d = min(e.x), "
+      "f = max(e.x), g = any(e.x))");
+  auto* r = As<RetrieveStmt>(stmt, Statement::Kind::kRetrieve);
+  AggFunc expected[] = {AggFunc::kCount, AggFunc::kSum, AggFunc::kAvg,
+                        AggFunc::kMin,   AggFunc::kMax, AggFunc::kAny};
+  ASSERT_EQ(r->targets.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(r->targets[i].expr->agg, expected[i]);
+  }
+}
+
+TEST(ParserTest, TimeLiteralValidatedAtParse) {
+  EXPECT_FALSE(Parser::ParseStatement(
+                   "retrieve (h.id) as of \"13/45/80\"")
+                   .ok());
+  EXPECT_TRUE(Parser::ParseStatement(
+                  "retrieve (h.id) as of \"08:00 1/1/80\"")
+                  .ok());
+}
+
+TEST(ParserTest, RoundTripToString) {
+  auto stmt = Parse(
+      "retrieve (h.id) when start of h precede i and h overlap \"now\"");
+  auto* r = As<RetrieveStmt>(stmt, Statement::Kind::kRetrieve);
+  std::string printed = r->when->ToString();
+  EXPECT_NE(printed.find("precede"), std::string::npos);
+  EXPECT_NE(printed.find("start of"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,191 @@
+// Unit tests of the access-path planner: conjunct splitting, variable
+// collection, access choice, and current-only detection.
+
+#include "exec/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "env/env.h"
+#include "tquel/binder.h"
+#include "tquel/parser.h"
+
+namespace tdb {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.env = &env_;
+    auto db = Database::Open("/db", options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    Exec("create persistent interval hrel (id = i4, amount = i4, pad = c96)");
+    Exec("create persistent interval irel (id = i4, amount = i4, pad = c96)");
+    for (int i = 0; i < 20; ++i) {
+      Exec("append to hrel (id = " + std::to_string(i) + ", amount = " +
+           std::to_string(i * 7) + ")");
+      Exec("append to irel (id = " + std::to_string(i) + ", amount = " +
+           std::to_string(i * 7) + ")");
+    }
+    Exec("modify hrel to hash on id where fillfactor = 100");
+    Exec("modify irel to isam on id where fillfactor = 100");
+    Exec("index on hrel is am_h (amount) with structure = hash");
+    Exec("range of h is hrel");
+    Exec("range of i is irel");
+  }
+
+  void Exec(const std::string& text) {
+    auto r = db_->Execute(text);
+    ASSERT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+  }
+
+  /// Parses & binds a retrieve; returns the where conjuncts and keeps the
+  /// statement alive.
+  std::vector<Conjunct> Conjuncts(const std::string& text) {
+    auto stmt = Parser::ParseStatement(text);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    stmt_ = std::move(stmt).value();
+    auto* retrieve = static_cast<RetrieveStmt*>(stmt_.get());
+    std::map<std::string, std::string> ranges = {{"h", "hrel"}, {"i", "irel"}};
+    Binder binder(db_->catalog(), &ranges);
+    auto bound = binder.BindRetrieve(retrieve);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    bound_ = std::move(bound).value();
+    std::vector<Conjunct> out;
+    SplitWhere(retrieve->where.get(), &out);
+    return out;
+  }
+
+  Relation* Rel(const std::string& name) {
+    auto rel = db_->GetRelation(name);
+    EXPECT_TRUE(rel.ok());
+    return *rel;
+  }
+
+  MemEnv env_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Statement> stmt_;
+  BoundStatement bound_;
+};
+
+TEST_F(PlannerTest, SplitWhereFlattensTopLevelAnds) {
+  auto conjuncts = Conjuncts(
+      "retrieve (h.id) where h.id = 1 and h.amount > 2 and "
+      "(h.id = 3 or h.amount = 4)");
+  ASSERT_EQ(conjuncts.size(), 3u);
+  // The OR stays as one conjunct.
+  EXPECT_EQ(conjuncts[2].expr->op, ExprOp::kOr);
+  for (const Conjunct& c : conjuncts) {
+    EXPECT_EQ(c.vars, std::set<int>{0});
+  }
+}
+
+TEST_F(PlannerTest, KeyEqualityPicksKeyedAccess) {
+  auto conjuncts = Conjuncts("retrieve (h.id) where h.id = 5");
+  AccessChoice choice = ChooseAccess(0, Rel("hrel"), conjuncts, {});
+  EXPECT_EQ(choice.kind, AccessChoice::Kind::kKeyed);
+}
+
+TEST_F(PlannerTest, ReversedOperandsStillMatch) {
+  auto conjuncts = Conjuncts("retrieve (h.id) where 5 = h.id");
+  AccessChoice choice = ChooseAccess(0, Rel("hrel"), conjuncts, {});
+  EXPECT_EQ(choice.kind, AccessChoice::Kind::kKeyed);
+}
+
+TEST_F(PlannerTest, IndexedAttributePicksIndex) {
+  auto conjuncts = Conjuncts("retrieve (h.id) where h.amount = 35");
+  AccessChoice choice = ChooseAccess(0, Rel("hrel"), conjuncts, {});
+  EXPECT_EQ(choice.kind, AccessChoice::Kind::kIndexEq);
+  EXPECT_NE(choice.index, nullptr);
+}
+
+TEST_F(PlannerTest, KeyBeatsIndex) {
+  auto conjuncts =
+      Conjuncts("retrieve (h.id) where h.amount = 35 and h.id = 5");
+  AccessChoice choice = ChooseAccess(0, Rel("hrel"), conjuncts, {});
+  EXPECT_EQ(choice.kind, AccessChoice::Kind::kKeyed);
+}
+
+TEST_F(PlannerTest, NonKeyedFallsBackToScan) {
+  auto conjuncts = Conjuncts("retrieve (i.id) where i.amount = 35");
+  AccessChoice choice = ChooseAccess(0, Rel("irel"), conjuncts, {});
+  EXPECT_EQ(choice.kind, AccessChoice::Kind::kScan);
+}
+
+TEST_F(PlannerTest, JoinKeyNeedsAvailability) {
+  auto conjuncts = Conjuncts("retrieve (h.id, i.id) where h.id = i.amount");
+  // Without i bound, h cannot be probed...
+  AccessChoice scan = ChooseAccess(0, Rel("hrel"), conjuncts, {});
+  EXPECT_EQ(scan.kind, AccessChoice::Kind::kScan);
+  // ...with i available it can.
+  AccessChoice keyed = ChooseAccess(0, Rel("hrel"), conjuncts, {1});
+  EXPECT_EQ(keyed.kind, AccessChoice::Kind::kKeyed);
+}
+
+TEST_F(PlannerTest, IsamRangeFromInequalities) {
+  auto conjuncts =
+      Conjuncts("retrieve (i.id) where i.id >= 4 and i.id < 9");
+  AccessChoice choice = ChooseAccess(0, Rel("irel"), conjuncts, {});
+  ASSERT_EQ(choice.kind, AccessChoice::Kind::kRange);
+  EXPECT_NE(choice.lo_expr, nullptr);
+  EXPECT_TRUE(choice.lo_inclusive);
+  EXPECT_NE(choice.hi_expr, nullptr);
+  EXPECT_FALSE(choice.hi_inclusive);
+}
+
+TEST_F(PlannerTest, MirroredInequalityIsNormalized) {
+  // `9 > i.id` means i.id < 9: an upper bound.
+  auto conjuncts = Conjuncts("retrieve (i.id) where 9 > i.id");
+  AccessChoice choice = ChooseAccess(0, Rel("irel"), conjuncts, {});
+  ASSERT_EQ(choice.kind, AccessChoice::Kind::kRange);
+  EXPECT_EQ(choice.lo_expr, nullptr);
+  EXPECT_NE(choice.hi_expr, nullptr);
+}
+
+TEST_F(PlannerTest, HashRelationGetsNoRange) {
+  auto conjuncts = Conjuncts("retrieve (h.id) where h.id >= 4");
+  AccessChoice choice = ChooseAccess(0, Rel("hrel"), conjuncts, {});
+  EXPECT_EQ(choice.kind, AccessChoice::Kind::kScan);
+}
+
+TEST_F(PlannerTest, EqualityBeatsRange) {
+  auto conjuncts =
+      Conjuncts("retrieve (i.id) where i.id >= 4 and i.id = 6");
+  AccessChoice choice = ChooseAccess(0, Rel("irel"), conjuncts, {});
+  EXPECT_EQ(choice.kind, AccessChoice::Kind::kKeyed);
+}
+
+TEST_F(PlannerTest, CurrentOnlyDetection) {
+  auto stmt = Parser::ParseStatement(
+      "retrieve (h.id) when h overlap \"now\" and h overlap i");
+  ASSERT_TRUE(stmt.ok());
+  stmt_ = std::move(stmt).value();
+  auto* retrieve = static_cast<RetrieveStmt*>(stmt_.get());
+  std::map<std::string, std::string> ranges = {{"h", "hrel"}, {"i", "irel"}};
+  Binder binder(db_->catalog(), &ranges);
+  ASSERT_TRUE(binder.BindRetrieve(retrieve).ok());
+  std::vector<TemporalConjunct> when;
+  SplitWhen(retrieve->when.get(), &when);
+  ASSERT_EQ(when.size(), 2u);
+  EXPECT_TRUE(WantsCurrentOnly(0, Rel("hrel"), when, /*as_of_is_now=*/true));
+  EXPECT_FALSE(WantsCurrentOnly(1, Rel("irel"), when, true));
+}
+
+TEST_F(PlannerTest, CollectTemporalVars) {
+  auto stmt = Parser::ParseStatement(
+      "retrieve (h.id) when start of (h overlap i) precede \"1981\"");
+  ASSERT_TRUE(stmt.ok());
+  stmt_ = std::move(stmt).value();
+  auto* retrieve = static_cast<RetrieveStmt*>(stmt_.get());
+  std::map<std::string, std::string> ranges = {{"h", "hrel"}, {"i", "irel"}};
+  Binder binder(db_->catalog(), &ranges);
+  ASSERT_TRUE(binder.BindRetrieve(retrieve).ok());
+  std::set<int> vars;
+  CollectTemporalPredVars(retrieve->when.get(), &vars);
+  EXPECT_EQ(vars, (std::set<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,82 @@
+// Tests of the TQuel pretty printer, including the print -> reparse ->
+// print fixed-point property over a corpus of statements.
+
+#include "tquel/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "tquel/parser.h"
+
+namespace tdb {
+namespace {
+
+std::string Print(const std::string& text) {
+  auto stmt = Parser::ParseStatement(text);
+  EXPECT_TRUE(stmt.ok()) << text << " -> " << stmt.status().ToString();
+  if (!stmt.ok()) return "";
+  return PrintStatement(**stmt);
+}
+
+TEST(PrinterTest, CanonicalForms) {
+  EXPECT_EQ(Print("range of h is temporal_h"), "range of h is temporal_h");
+  EXPECT_EQ(Print("retrieve (h.id)"), "retrieve (h.id)");
+  EXPECT_EQ(Print("append emp (sal = 1)"), "append to emp (sal = 1)");
+  EXPECT_EQ(Print("destroy r"), "destroy r");
+  EXPECT_EQ(Print("copy r from \"/f\""), "copy r from \"/f\"");
+  EXPECT_EQ(Print("create persistent interval r (a = i4, s = c96)"),
+            "create persistent interval r (a = i4, s = c96)");
+}
+
+// Property: printing is a fixed point — parse(print(parse(text))) prints
+// identically.  Run over a corpus covering every statement and clause.
+class PrintRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrintRoundTrip, PrintParsePrintIsStable) {
+  auto first = Parser::ParseStatement(GetParam());
+  ASSERT_TRUE(first.ok()) << GetParam() << " -> "
+                          << first.status().ToString();
+  std::string printed = PrintStatement(**first);
+  auto second = Parser::ParseStatement(printed);
+  ASSERT_TRUE(second.ok()) << "reparse failed: " << printed << " -> "
+                           << second.status().ToString();
+  EXPECT_EQ(PrintStatement(**second), printed) << "original: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, PrintRoundTrip,
+    ::testing::Values(
+        "range of h is temporal_h",
+        "retrieve (h.id, h.seq) where h.id = 500",
+        "retrieve into out unique (h.id) sort by id desc, seq",
+        "retrieve (h.id) when h overlap \"now\"",
+        "retrieve (h.id, h.seq) as of \"08:00 1/1/80\"",
+        "retrieve (h.id) as of \"1980\" through \"1981\"",
+        "retrieve (h.id, h.seq, i.id, i.seq, i.amount) "
+        "valid from start of (h overlap i) to end of (h extend i) "
+        "where h.id = 500 and i.amount = 73700 "
+        "when h overlap i as of \"now\"",
+        "retrieve (h.id) valid from start of h to end of i "
+        "when start of h precede i as of \"4:00 1/1/80\"",
+        "retrieve (h.id) when not h overlap i and h equal i or "
+        "i precede h",
+        "retrieve (x = h.a + 2 * h.b - -3, y = h.a / h.b % 4)",
+        "retrieve (n = count(e.sal by e.dept where e.sal > 0), "
+        "m = avg(e.sal))",
+        "retrieve (h.id) where h.a = \"text\" or not h.b != 1.5",
+        "retrieve (h.id) valid at \"now\"",
+        "append to emp (name = \"ann\", sal = 100) "
+        "valid from \"1/1/80\" to \"forever\" where e.x = 1",
+        "delete e where e.sal < 0 valid at \"1981\"",
+        "replace e (sal = e.sal * 2) when e overlap \"now\"",
+        "create r (a = i4)",
+        "create persistent event log (msg = c64)",
+        "modify r to hash on id where fillfactor = 50",
+        "modify r to twolevel isam on id where fillfactor = 100, "
+        "history = clustered",
+        "modify r to btree on id",
+        "modify r to heap",
+        "index on r is am (amount) with structure = hash, levels = 2",
+        "copy r to \"/dump.tsv\""));
+
+}  // namespace
+}  // namespace tdb

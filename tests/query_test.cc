@@ -1,0 +1,371 @@
+// Query-processing tests: access-path selection (verified through the I/O
+// accounting), decomposition plans, default as-of semantics, valid-clause
+// computation, and result shapes.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "env/env.h"
+
+namespace tdb {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.env = &env_;
+    options.start_time = TimePoint(100000);
+    auto db = Database::Open("/db", options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+
+  void Exec(const std::string& text) {
+    auto r = db_->Execute(text);
+    ASSERT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+  }
+
+  /// Executes under measurement; returns (rows, pages read).
+  std::pair<uint64_t, uint64_t> Measure(const std::string& text) {
+    EXPECT_TRUE(db_->DropAllBuffers().ok());
+    db_->io()->ResetAll();
+    auto r = db_->Execute(text);
+    EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+    return {r.ok() ? static_cast<uint64_t>(r->affected) : 0,
+            db_->io()->Total().TotalReads()};
+  }
+
+  /// Builds a 64-tuple keyed relation of the given type/organization.  The
+  /// c96 pad reproduces the paper's 108-byte tuples (8-9 per page), so the
+  /// page-count assertions below are structural, not incidental.
+  void BuildRelation(const std::string& name, const std::string& create_kind,
+                     const std::string& org) {
+    Exec("create " + create_kind + " " + name +
+         " (id = i4, amount = i4, pad = c100)");
+    for (int i = 0; i < 64; ++i) {
+      Exec("append to " + name + " (id = " + std::to_string(i) +
+           ", amount = " + std::to_string(i * 100) + ")");
+    }
+    if (org != "heap") {
+      Exec("modify " + name + " to " + org + " on id where fillfactor = 100");
+    }
+  }
+
+  MemEnv env_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(QueryTest, HashedAccessReadsOneBucket) {
+  BuildRelation("r", "persistent interval", "hash");
+  Exec("range of x is r");
+  auto [rows, reads] = Measure("retrieve (x.amount) where x.id = 7");
+  EXPECT_EQ(rows, 1u);
+  EXPECT_EQ(reads, 1u);  // exactly the bucket page
+}
+
+TEST_F(QueryTest, IsamAccessReadsDirectoryPlusPage) {
+  BuildRelation("r", "persistent interval", "isam");
+  Exec("range of x is r");
+  auto [rows, reads] = Measure("retrieve (x.amount) where x.id = 7");
+  EXPECT_EQ(rows, 1u);
+  EXPECT_EQ(reads, 2u);  // 1 directory + 1 data page
+}
+
+TEST_F(QueryTest, NonKeyPredicateForcesSequentialScan) {
+  BuildRelation("r", "persistent interval", "hash");
+  Exec("range of x is r");
+  auto [rows, reads] = Measure("retrieve (x.id) where x.amount = 700");
+  EXPECT_EQ(rows, 1u);
+  auto rel = db_->GetRelation("r");
+  EXPECT_EQ(reads, (*rel)->primary()->page_count());  // whole file
+}
+
+TEST_F(QueryTest, HeapRelationAlwaysScans) {
+  BuildRelation("r", "persistent interval", "heap");
+  Exec("range of x is r");
+  auto [rows, reads] = Measure("retrieve (x.id) where x.id = 7");
+  EXPECT_EQ(rows, 1u);
+  auto rel = db_->GetRelation("r");
+  EXPECT_EQ(reads, (*rel)->primary()->page_count());
+}
+
+TEST_F(QueryTest, KeyedAccessFindsAllVersions) {
+  BuildRelation("r", "persistent interval", "hash");
+  Exec("range of x is r");
+  Exec("replace x (amount = x.amount + 1) where x.id = 7");
+  Exec("replace x (amount = x.amount + 1) where x.id = 7");
+  // Version scan: 1 original + 2 per replace.
+  auto r = db_->Execute(
+      "retrieve (x.amount) where x.id = 7 "
+      "as of \"beginning\" through \"forever\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result.num_rows(), 5u);
+}
+
+TEST_F(QueryTest, DefaultAsOfNowHidesSupersededVersions) {
+  BuildRelation("r", "persistent interval", "hash");
+  Exec("range of x is r");
+  Exec("replace x (amount = 1) where x.id = 7");
+  auto r = db_->Execute("retrieve (x.amount) where x.id = 7");
+  ASSERT_TRUE(r.ok());
+  // As of now: the correction (old value, closed validity) and the new
+  // version; the superseded original is invisible.
+  EXPECT_EQ(r->result.num_rows(), 2u);
+}
+
+TEST_F(QueryTest, SubstitutionJoinUsesKeyedInner) {
+  BuildRelation("a", "persistent interval", "hash");
+  BuildRelation("b", "persistent interval", "isam");
+  Exec("range of x is a");
+  Exec("range of y is b");
+  // Join y.amount (0,100,...) to x.id (0..63): 1 match (id=0... id=100/100?)
+  // amounts 0..6300 step 100; ids 0..63: matches where amount==id: only 0.
+  auto [rows, reads] = Measure(
+      "retrieve (x.id, y.id) where x.id = y.amount "
+      "when x overlap y and y overlap \"now\"");
+  EXPECT_EQ(rows, 1u);
+  // Plan: scan b (ISAM data pages) + temp I/O + 64 hashed probes into a.
+  auto a = db_->GetRelation("a");
+  auto b = db_->GetRelation("b");
+  uint64_t b_data = (*b)->primary()->page_count() - 1;  // minus directory
+  EXPECT_GE(reads, b_data + 64);
+  EXPECT_LE(reads, b_data + 64 + 20);  // + temp and probe chains
+}
+
+TEST_F(QueryTest, NestedLoopWhenNoKeyedPath) {
+  BuildRelation("a", "persistent interval", "hash");
+  BuildRelation("b", "persistent interval", "hash");
+  Exec("range of x is a");
+  Exec("range of y is b");
+  // No equality on any key: nested sequential scans.
+  auto r = db_->Execute(
+      "retrieve (x.id, y.id) where x.amount = y.amount and x.id < 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result.num_rows(), 3u);
+}
+
+TEST_F(QueryTest, ConstantKeyJoinQ12Shape) {
+  BuildRelation("a", "persistent interval", "hash");
+  BuildRelation("b", "persistent interval", "isam");
+  Exec("range of x is a");
+  Exec("range of y is b");
+  auto [rows, reads] = Measure(
+      "retrieve (x.id, y.id) where x.id = 5 and y.amount = 700 "
+      "when x overlap y");
+  EXPECT_EQ(rows, 1u);
+  // Plan: sequential scan of b + ONE hashed access into a + temp.
+  auto b = db_->GetRelation("b");
+  uint64_t b_data = (*b)->primary()->page_count() - 1;
+  EXPECT_GE(reads, b_data + 1);
+  EXPECT_LE(reads, b_data + 5);
+}
+
+TEST_F(QueryTest, DefaultValidIsIntersection) {
+  Exec("create interval r (id = i4)");
+  Exec("create interval s (id = i4)");
+  Exec("append to r (id = 1) valid from \"1/1/80\" to \"6/1/80\"");
+  Exec("append to s (id = 1) valid from \"3/1/80\" to \"9/1/80\"");
+  Exec("range of x is r");
+  Exec("range of y is s");
+  auto result =
+      db_->Execute("retrieve (x.id) where x.id = y.id when x overlap y");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->result.num_rows(), 1u);
+  // Columns: id, valid_from, valid_to.
+  const Row& row = result->result.rows[0];
+  EXPECT_EQ(row[1].AsTime(), *TimePoint::Parse("3/1/80"));
+  EXPECT_EQ(row[2].AsTime(), *TimePoint::Parse("6/1/80"));
+}
+
+TEST_F(QueryTest, ExplicitValidClauseComputesInterval) {
+  Exec("create interval r (id = i4)");
+  Exec("append to r (id = 1) valid from \"1/1/80\" to \"6/1/80\"");
+  Exec("range of x is r");
+  auto result = db_->Execute(
+      "retrieve (x.id) valid from end of x to \"forever\"");
+  ASSERT_TRUE(result.ok());
+  const Row& row = result->result.rows[0];
+  EXPECT_EQ(row[1].AsTime(), *TimePoint::Parse("6/1/80"));
+  EXPECT_TRUE(row[2].AsTime().is_forever());
+}
+
+TEST_F(QueryTest, NonOverlappingDefaultValidDropsRow) {
+  Exec("create interval r (id = i4)");
+  Exec("create interval s (id = i4)");
+  Exec("append to r (id = 1) valid from \"1/1/80\" to \"2/1/80\"");
+  Exec("append to s (id = 1) valid from \"5/1/80\" to \"6/1/80\"");
+  Exec("range of x is r");
+  Exec("range of y is s");
+  // No when clause: the pair qualifies on where alone, but the default
+  // valid interval (the overlap) is empty, so the row vanishes.
+  auto result = db_->Execute("retrieve (x.id) where x.id = y.id");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result.num_rows(), 0u);
+}
+
+TEST_F(QueryTest, StaticResultsCarryNoValidColumns) {
+  Exec("create r (id = i4)");
+  Exec("append to r (id = 1)");
+  Exec("range of x is r");
+  auto result = db_->Execute("retrieve (x.id)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result.columns,
+            (std::vector<std::string>{"id"}));
+}
+
+TEST_F(QueryTest, AggregatesIgnoreStatementFilters) {
+  Exec("create r (id = i4, v = i4)");
+  Exec("append to r (id = 1, v = 10)");
+  Exec("append to r (id = 2, v = 20)");
+  Exec("range of x is r");
+  // The aggregate is an independent subquery over the whole relation.
+  auto result = db_->Execute(
+      "retrieve (x.id, frac = x.v * 100 / sum(x.v)) where x.id = 2");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->result.num_rows(), 1u);
+  EXPECT_EQ(result->result.rows[0][1].AsInt(), 66);  // 20 * 100 / 30
+}
+
+TEST_F(QueryTest, AggregateWithWhereClause) {
+  Exec("create r (id = i4, v = i4)");
+  for (int i = 1; i <= 6; ++i) {
+    Exec("append to r (id = " + std::to_string(i) + ", v = " +
+         std::to_string(i) + ")");
+  }
+  Exec("range of x is r");
+  auto result =
+      db_->Execute("retrieve (n = count(x.id where x.v > 3), "
+                   "m = min(x.v where x.v > 3), a = avg(x.v))");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(result->result.rows[0][1].AsInt(), 4);
+  EXPECT_DOUBLE_EQ(result->result.rows[0][2].AsDouble(), 3.5);
+}
+
+TEST_F(QueryTest, AggregateOverCurrentVersionsOnly) {
+  Exec("create persistent interval r (id = i4, v = i4)");
+  Exec("append to r (id = 1, v = 10)");
+  Exec("range of x is r");
+  Exec("replace x (v = 30)");
+  auto result = db_->Execute("retrieve (s = sum(x.v), n = count(x.v))");
+  ASSERT_TRUE(result.ok());
+  // Only the current version (v=30) counts, not the 3 stored versions.
+  EXPECT_EQ(result->result.rows[0][0].AsInt(), 30);
+  EXPECT_EQ(result->result.rows[0][1].AsInt(), 1);
+}
+
+TEST_F(QueryTest, PlanSummariesDescribeAccessChoices) {
+  BuildRelation("a", "persistent interval", "hash");
+  BuildRelation("b", "persistent interval", "isam");
+  Exec("range of x is a");
+  Exec("range of y is b");
+
+  auto keyed = db_->Execute("retrieve (x.amount) where x.id = 7");
+  ASSERT_TRUE(keyed.ok());
+  EXPECT_EQ(keyed->message, "plan: a:keyed");
+
+  auto current = db_->Execute(
+      "retrieve (x.amount) where x.id = 7 when x overlap \"now\"");
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->message, "plan: a:keyed(current)");
+
+  auto range = db_->Execute("retrieve (y.id) where y.id > 5 and y.id < 9");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->message, "plan: b:range");
+
+  auto join = db_->Execute(
+      "retrieve (x.id, y.id) where x.id = y.amount "
+      "when x overlap y and y overlap \"now\"");
+  ASSERT_TRUE(join.ok());
+  // Substitution into the keyed inner; the outer was detached first.
+  EXPECT_NE(join->message.find("substitution(a:keyed)"), std::string::npos)
+      << join->message;
+  EXPECT_NE(join->message.find("b:scan"), std::string::npos) << join->message;
+
+  auto agg = db_->Execute("retrieve (n = count(x.id))");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->message, "plan: constant");
+}
+
+TEST_F(QueryTest, AggregatesHonorTheRollbackPoint) {
+  Exec("create persistent r (id = i4, v = i4)");
+  db_->SetNow(TimePoint(1000));
+  Exec("append to r (id = 1, v = 10)");
+  Exec("append to r (id = 2, v = 20)");
+  Exec("range of x is r");
+  db_->SetNow(TimePoint(2000));
+  Exec("replace x (v = 100) where x.id = 1");
+  Exec("delete x where x.id = 2");
+
+  auto now_total = db_->Execute("retrieve (s = sum(x.v))");
+  ASSERT_TRUE(now_total.ok());
+  EXPECT_EQ(now_total->result.rows[0][0].AsInt(), 100);
+
+  // As of 1500 the state was {10, 20}: the aggregate reflects it.
+  auto then_total = db_->Execute("retrieve (s = sum(x.v)) as of \"" +
+                                 TimePoint(1500).ToString() + "\"");
+  ASSERT_TRUE(then_total.ok());
+  EXPECT_EQ(then_total->result.rows[0][0].AsInt(), 30);
+}
+
+TEST_F(QueryTest, AsOfThroughSelectsTransactionRange) {
+  Exec("create persistent r (id = i4, v = i4)");
+  db_->SetNow(TimePoint(1000));
+  Exec("append to r (id = 1, v = 1)");
+  Exec("range of x is r");
+  db_->SetNow(TimePoint(2000));
+  Exec("replace x (v = 2)");
+  db_->SetNow(TimePoint(3000));
+  Exec("replace x (v = 3)");
+
+  auto at1500 = db_->Execute("retrieve (x.v) as of \"" +
+                             TimePoint(1500).ToString() + "\"");
+  ASSERT_TRUE(at1500.ok());
+  ASSERT_EQ(at1500->result.num_rows(), 1u);
+  EXPECT_EQ(at1500->result.rows[0][0].AsInt(), 1);
+
+  auto range = db_->Execute(
+      "retrieve (x.v) as of \"" + TimePoint(1500).ToString() +
+      "\" through \"" + TimePoint(2500).ToString() + "\"");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->result.num_rows(), 2u);  // v=1 and v=2 were current
+}
+
+TEST_F(QueryTest, EmptyRelationYieldsNoRows) {
+  Exec("create persistent interval r (id = i4)");
+  Exec("range of x is r");
+  auto result = db_->Execute("retrieve (x.id)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result.num_rows(), 0u);
+}
+
+TEST_F(QueryTest, ThreeWayJoin) {
+  for (const char* name : {"a", "b", "c"}) {
+    Exec(std::string("create ") + name + " (id = i4)");
+    Exec(std::string("append to ") + name + " (id = 1)");
+    Exec(std::string("append to ") + name + " (id = 2)");
+    Exec(std::string("range of ") + name + " is " + name);
+  }
+  auto result = db_->Execute(
+      "retrieve (a.id, b.id, c.id) where a.id = b.id and b.id = c.id");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result.num_rows(), 2u);
+}
+
+TEST_F(QueryTest, RetrieveIntoHistoricalCarriesValidTime) {
+  Exec("create interval r (id = i4)");
+  Exec("append to r (id = 1) valid from \"1/1/80\" to \"6/1/80\"");
+  Exec("range of x is r");
+  Exec("retrieve into snap (x.id)");
+  Exec("range of s is snap");
+  auto result = db_->Execute("retrieve (s.id) when s overlap \"3/1/80\"");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result.num_rows(), 1u);
+  auto miss = db_->Execute("retrieve (s.id) when s overlap \"7/1/80\"");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(miss->result.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace tdb

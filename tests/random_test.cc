@@ -1,0 +1,74 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tdb {
+namespace {
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Random a(1);
+  Random b(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(10), 10u);
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values appear in 1000 draws
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, NextStringShapeAndSpread) {
+  Random rng(5);
+  std::string s = rng.NextString(96);
+  EXPECT_EQ(s.size(), 96u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+  EXPECT_NE(rng.NextString(8), rng.NextString(8));
+}
+
+TEST(RandomTest, RoughUniformity) {
+  Random rng(11);
+  int buckets[8] = {0};
+  for (int i = 0; i < 8000; ++i) ++buckets[rng.Uniform(8)];
+  for (int b : buckets) {
+    EXPECT_GT(b, 800);
+    EXPECT_LT(b, 1200);
+  }
+}
+
+}  // namespace
+}  // namespace tdb

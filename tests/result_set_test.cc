@@ -1,0 +1,114 @@
+#include "core/result_set.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/version.h"
+#include "temporal/db_type.h"
+
+namespace tdb {
+namespace {
+
+TEST(ResultSetTest, ToStringAlignsColumns) {
+  ResultSet rs;
+  rs.columns = {"name", "qty"};
+  rs.rows.push_back({Value::Char("bolt"), Value::Int4(7)});
+  rs.rows.push_back({Value::Char("x"), Value::Int4(123456)});
+  std::string out = rs.ToString();
+  EXPECT_NE(out.find("|name|qty   |"), std::string::npos);
+  EXPECT_NE(out.find("|bolt|7     |"), std::string::npos);
+  EXPECT_NE(out.find("|x   |123456|"), std::string::npos);
+}
+
+TEST(ResultSetTest, EmptyAndResolution) {
+  ResultSet rs;
+  rs.columns = {"t"};
+  EXPECT_EQ(rs.num_rows(), 0u);
+  rs.rows.push_back({Value::Time(*TimePoint::FromCivil(1980, 6, 1))});
+  EXPECT_NE(rs.ToString(TimeResolution::kYear).find("1980"),
+            std::string::npos);
+  EXPECT_EQ(rs.ToString(TimeResolution::kYear).find("6/1/"),
+            std::string::npos);
+}
+
+TEST(DbTypeTest, TaxonomyPredicates) {
+  EXPECT_FALSE(HasTransactionTime(DbType::kStatic));
+  EXPECT_FALSE(HasValidTime(DbType::kStatic));
+  EXPECT_TRUE(HasTransactionTime(DbType::kRollback));
+  EXPECT_FALSE(HasValidTime(DbType::kRollback));
+  EXPECT_FALSE(HasTransactionTime(DbType::kHistorical));
+  EXPECT_TRUE(HasValidTime(DbType::kHistorical));
+  EXPECT_TRUE(HasTransactionTime(DbType::kTemporal));
+  EXPECT_TRUE(HasValidTime(DbType::kTemporal));
+}
+
+TEST(DbTypeTest, Names) {
+  EXPECT_STREQ(DbTypeName(DbType::kStatic), "static");
+  EXPECT_STREQ(DbTypeName(DbType::kTemporal), "temporal");
+  EXPECT_STREQ(EntityKindName(EntityKind::kInterval), "interval");
+  EXPECT_STREQ(EntityKindName(EntityKind::kEvent), "event");
+}
+
+TEST(VersionRefTest, DecodeDerivesIntervals) {
+  auto schema = Schema::Create({{"id", TypeId::kInt4, 4, false}},
+                               DbType::kTemporal);
+  ASSERT_TRUE(schema.ok());
+  Row row = {Value::Int4(9), Value::Time(TimePoint(100)),
+             Value::Time(TimePoint(200)), Value::Time(TimePoint(50)),
+             Value::Time(TimePoint::Forever())};
+  auto rec = EncodeRecord(*schema, row);
+  ASSERT_TRUE(rec.ok());
+  auto ref = DecodeVersion(*schema, rec->data(), rec->size(), Tid{3, 1},
+                           /*in_history=*/true);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->valid, Interval(TimePoint(100), TimePoint(200)));
+  EXPECT_EQ(ref->tx, Interval(TimePoint(50), TimePoint::Forever()));
+  EXPECT_TRUE(ref->in_history);
+  EXPECT_EQ(ref->tid.page, 3u);
+}
+
+TEST(VersionRefTest, IsCurrentRules) {
+  auto temporal = Schema::Create({{"id", TypeId::kInt4, 4, false}},
+                                 DbType::kTemporal);
+  VersionRef ref;
+  ref.row = {Value::Int4(1), Value::Time(TimePoint(1)),
+             Value::Time(TimePoint::Forever()), Value::Time(TimePoint(1)),
+             Value::Time(TimePoint::Forever())};
+  RefreshIntervals(*temporal, &ref);
+  EXPECT_TRUE(ref.IsCurrent(*temporal));
+
+  // Closed in valid time: a correction, not current.
+  ref.row[2] = Value::Time(TimePoint(10));
+  RefreshIntervals(*temporal, &ref);
+  EXPECT_FALSE(ref.IsCurrent(*temporal));
+
+  // Closed in transaction time: superseded.
+  ref.row[2] = Value::Time(TimePoint::Forever());
+  ref.row[4] = Value::Time(TimePoint(10));
+  RefreshIntervals(*temporal, &ref);
+  EXPECT_FALSE(ref.IsCurrent(*temporal));
+}
+
+TEST(VersionRefTest, StaticAlwaysCurrent) {
+  auto schema = Schema::Create({{"id", TypeId::kInt4, 4, false}},
+                               DbType::kStatic);
+  VersionRef ref;
+  ref.row = {Value::Int4(1)};
+  RefreshIntervals(*schema, &ref);
+  EXPECT_TRUE(ref.IsCurrent(*schema));
+  EXPECT_EQ(ref.valid, Interval(TimePoint::Beginning(), TimePoint::Forever()));
+}
+
+TEST(VersionRefTest, EventRelationsUseInstant) {
+  auto schema = Schema::Create({{"id", TypeId::kInt4, 4, false}},
+                               DbType::kHistorical, EntityKind::kEvent);
+  Row row = {Value::Int4(1), Value::Time(TimePoint(77))};
+  auto rec = EncodeRecord(*schema, row);
+  auto ref = DecodeVersion(*schema, rec->data(), rec->size(), Tid{}, false);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_TRUE(ref->valid.IsEvent());
+  EXPECT_EQ(ref->valid.from, TimePoint(77));
+  EXPECT_TRUE(ref->IsCurrent(*schema));  // events never "expire"
+}
+
+}  // namespace
+}  // namespace tdb

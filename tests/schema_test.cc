@@ -1,0 +1,237 @@
+#include "types/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace tdb {
+namespace {
+
+std::vector<Attribute> PaperAttrs() {
+  return {{"id", TypeId::kInt4, 4, false},
+          {"amount", TypeId::kInt4, 4, false},
+          {"seq", TypeId::kInt4, 4, false},
+          {"string", TypeId::kChar, 96, false}};
+}
+
+TEST(SchemaTest, StaticHasNoImplicitAttrs) {
+  auto s = Schema::Create(PaperAttrs(), DbType::kStatic);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_attrs(), 4u);
+  EXPECT_EQ(s->num_user_attrs(), 4u);
+  EXPECT_EQ(s->record_size(), 108u);  // the paper's 108-byte tuple
+  EXPECT_EQ(s->tx_start_index(), -1);
+  EXPECT_EQ(s->valid_from_index(), -1);
+}
+
+TEST(SchemaTest, RollbackAddsTransactionTime) {
+  auto s = Schema::Create(PaperAttrs(), DbType::kRollback);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_attrs(), 6u);
+  EXPECT_EQ(s->record_size(), 116u);
+  EXPECT_GE(s->tx_start_index(), 0);
+  EXPECT_GE(s->tx_stop_index(), 0);
+  EXPECT_EQ(s->valid_from_index(), -1);
+}
+
+TEST(SchemaTest, HistoricalIntervalAddsValidTime) {
+  auto s = Schema::Create(PaperAttrs(), DbType::kHistorical);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_attrs(), 6u);
+  EXPECT_EQ(s->record_size(), 116u);
+  EXPECT_GE(s->valid_from_index(), 0);
+  EXPECT_GE(s->valid_to_index(), 0);
+  EXPECT_EQ(s->tx_start_index(), -1);
+}
+
+TEST(SchemaTest, HistoricalEventAddsSingleInstant) {
+  auto s = Schema::Create(PaperAttrs(), DbType::kHistorical,
+                          EntityKind::kEvent);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_attrs(), 5u);
+  EXPECT_EQ(s->record_size(), 112u);
+  // Events use a single attribute; from == to index.
+  EXPECT_EQ(s->valid_from_index(), s->valid_to_index());
+}
+
+TEST(SchemaTest, TemporalAddsBoth) {
+  auto s = Schema::Create(PaperAttrs(), DbType::kTemporal);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_attrs(), 8u);
+  EXPECT_EQ(s->record_size(), 124u);
+  EXPECT_GE(s->valid_from_index(), 0);
+  EXPECT_GE(s->tx_start_index(), 0);
+}
+
+TEST(SchemaTest, PaperTuplesPerPage) {
+  // Section 5.1: 9 static tuples per 1024-byte page, 8 for the others.
+  auto stat = Schema::Create(PaperAttrs(), DbType::kStatic);
+  auto roll = Schema::Create(PaperAttrs(), DbType::kRollback);
+  auto temp = Schema::Create(PaperAttrs(), DbType::kTemporal);
+  EXPECT_EQ((1024 - 12) / stat->record_size(), 9u);
+  EXPECT_EQ((1024 - 12) / roll->record_size(), 8u);
+  EXPECT_EQ((1024 - 12) / temp->record_size(), 8u);
+}
+
+TEST(SchemaTest, RejectsReservedNames) {
+  auto s = Schema::Create({{"transaction_start", TypeId::kInt4, 4, false}},
+                          DbType::kStatic);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  auto s = Schema::Create(
+      {{"a", TypeId::kInt4, 4, false}, {"A", TypeId::kInt2, 2, false}},
+      DbType::kStatic);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(SchemaTest, RejectsEmpty) {
+  EXPECT_FALSE(Schema::Create({}, DbType::kStatic).ok());
+  EXPECT_FALSE(
+      Schema::Create({{"", TypeId::kInt4, 4, false}}, DbType::kStatic).ok());
+}
+
+TEST(SchemaTest, RejectsZeroWidthChar) {
+  EXPECT_FALSE(
+      Schema::Create({{"c", TypeId::kChar, 0, false}}, DbType::kStatic).ok());
+}
+
+TEST(SchemaTest, FindAttrIsCaseInsensitive) {
+  auto s = Schema::Create(PaperAttrs(), DbType::kTemporal);
+  EXPECT_EQ(s->FindAttr("ID"), 0);
+  EXPECT_EQ(s->FindAttr("Amount"), 1);
+  EXPECT_GE(s->FindAttr("valid_from"), 0);
+  EXPECT_EQ(s->FindAttr("nope"), -1);
+}
+
+TEST(SchemaTest, OffsetsArePacked) {
+  auto s = Schema::Create(PaperAttrs(), DbType::kStatic);
+  EXPECT_EQ(s->offset(0), 0u);
+  EXPECT_EQ(s->offset(1), 4u);
+  EXPECT_EQ(s->offset(2), 8u);
+  EXPECT_EQ(s->offset(3), 12u);
+}
+
+TEST(SchemaTest, SerializeRoundTrip) {
+  for (DbType type : {DbType::kStatic, DbType::kRollback, DbType::kHistorical,
+                      DbType::kTemporal}) {
+    for (EntityKind kind : {EntityKind::kInterval, EntityKind::kEvent}) {
+      auto s = Schema::Create(PaperAttrs(), type, kind);
+      ASSERT_TRUE(s.ok());
+      auto back = Schema::Deserialize(s->Serialize());
+      ASSERT_TRUE(back.ok()) << s->Serialize();
+      EXPECT_EQ(back->num_attrs(), s->num_attrs());
+      EXPECT_EQ(back->record_size(), s->record_size());
+      EXPECT_EQ(back->db_type(), s->db_type());
+      EXPECT_EQ(back->entity_kind(), s->entity_kind());
+    }
+  }
+}
+
+TEST(SchemaTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Schema::Deserialize("").ok());
+  EXPECT_FALSE(Schema::Deserialize("x|y|z").ok());
+  EXPECT_FALSE(Schema::Deserialize("0|0|2|a:3:4").ok());  // count mismatch
+}
+
+TEST(RecordCodecTest, EncodeDecodeAllTypes) {
+  auto s = Schema::CreateStatic({{"i1", TypeId::kInt1, 1, false},
+                                 {"i2", TypeId::kInt2, 2, false},
+                                 {"i4", TypeId::kInt4, 4, false},
+                                 {"f", TypeId::kFloat8, 8, false},
+                                 {"c", TypeId::kChar, 6, false},
+                                 {"t", TypeId::kTime, 4, false}});
+  ASSERT_TRUE(s.ok());
+  Row row = {Value::Int1(-3),      Value::Int2(-300), Value::Int4(1 << 20),
+             Value::Float8(2.75),  Value::Char("ab"),
+             Value::Time(TimePoint(12345))};
+  auto rec = EncodeRecord(*s, row);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), s->record_size());
+  auto back = DecodeRecord(*s, rec->data(), rec->size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[0].AsInt(), -3);
+  EXPECT_EQ((*back)[1].AsInt(), -300);
+  EXPECT_EQ((*back)[2].AsInt(), 1 << 20);
+  EXPECT_DOUBLE_EQ((*back)[3].AsDouble(), 2.75);
+  EXPECT_EQ((*back)[4].AsString(), "ab    ");  // blank padded
+  EXPECT_EQ((*back)[5].AsTime(), TimePoint(12345));
+}
+
+TEST(RecordCodecTest, CharTruncatesToWidth) {
+  auto s = Schema::CreateStatic({{"c", TypeId::kChar, 3, false}});
+  auto rec = EncodeRecord(*s, {Value::Char("abcdef")});
+  ASSERT_TRUE(rec.ok());
+  auto back = DecodeRecord(*s, rec->data(), rec->size());
+  EXPECT_EQ((*back)[0].AsString(), "abc");
+}
+
+TEST(RecordCodecTest, RejectsWrongArity) {
+  auto s = Schema::CreateStatic({{"a", TypeId::kInt4, 4, false}});
+  EXPECT_FALSE(EncodeRecord(*s, {}).ok());
+  EXPECT_FALSE(EncodeRecord(*s, {Value::Int4(1), Value::Int4(2)}).ok());
+}
+
+TEST(RecordCodecTest, RejectsTypeMismatch) {
+  auto s = Schema::CreateStatic({{"a", TypeId::kInt4, 4, false}});
+  EXPECT_FALSE(EncodeRecord(*s, {Value::Char("x")}).ok());
+  auto t = Schema::CreateStatic({{"t", TypeId::kTime, 4, false}});
+  EXPECT_FALSE(EncodeRecord(*t, {Value::Int4(1)}).ok());
+}
+
+TEST(RecordCodecTest, DecodeRejectsShortBuffer) {
+  auto s = Schema::CreateStatic({{"a", TypeId::kInt4, 4, false}});
+  uint8_t buf[2] = {0, 0};
+  EXPECT_FALSE(DecodeRecord(*s, buf, 2).ok());
+}
+
+TEST(RecordCodecTest, DecodeAttrPointAccess) {
+  auto s = Schema::CreateStatic(
+      {{"a", TypeId::kInt4, 4, false}, {"b", TypeId::kChar, 4, false}});
+  auto rec = EncodeRecord(*s, {Value::Int4(77), Value::Char("zz")});
+  EXPECT_EQ(DecodeAttr(*s, 0, rec->data()).AsInt(), 77);
+  EXPECT_EQ(DecodeAttr(*s, 1, rec->data()).ToString(), "zz");
+}
+
+TEST(RecordCodecTest, EncodeAttrInPlaceOverwrites) {
+  auto s = Schema::CreateStatic(
+      {{"a", TypeId::kInt4, 4, false}, {"t", TypeId::kTime, 4, false}});
+  auto rec = EncodeRecord(*s, {Value::Int4(1), Value::Time(TimePoint(5))});
+  EncodeAttrInPlace(*s, 1, Value::Time(TimePoint::Forever()), rec->data());
+  EXPECT_EQ(DecodeAttr(*s, 1, rec->data()).AsTime(), TimePoint::Forever());
+  EXPECT_EQ(DecodeAttr(*s, 0, rec->data()).AsInt(), 1);  // untouched
+}
+
+// Property: encode/decode round-trips random rows for the paper's temporal
+// schema.
+class CodecRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecRoundTrip, RandomRows) {
+  auto s = Schema::Create(PaperAttrs(), DbType::kTemporal);
+  ASSERT_TRUE(s.ok());
+  Random rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    Row row;
+    row.push_back(Value::Int4(rng.UniformRange(-1000000, 1000000)));
+    row.push_back(Value::Int4(rng.UniformRange(0, 99999)));
+    row.push_back(Value::Int4(rng.UniformRange(0, 15)));
+    row.push_back(Value::Char(rng.NextString(96)));
+    for (int t = 0; t < 4; ++t) {
+      row.push_back(Value::Time(
+          TimePoint(static_cast<int32_t>(rng.UniformRange(0, INT32_MAX)))));
+    }
+    auto rec = EncodeRecord(*s, row);
+    ASSERT_TRUE(rec.ok());
+    auto back = DecodeRecord(*s, rec->data(), rec->size());
+    ASSERT_TRUE(back.ok());
+    for (size_t a = 0; a < row.size(); ++a) {
+      EXPECT_TRUE(row[a].Equals((*back)[a])) << "attr " << a;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,121 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace tdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  } cases[] = {
+      {Status::Invalid("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists},
+      {Status::IOError("d"), StatusCode::kIOError},
+      {Status::Corruption("e"), StatusCode::kCorruption},
+      {Status::NotSupported("f"), StatusCode::kNotSupported},
+      {Status::OutOfRange("g"), StatusCode::kOutOfRange},
+      {Status::ParseError("h"), StatusCode::kParseError},
+      {Status::BindError("i"), StatusCode::kBindError},
+      {Status::Internal("j"), StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_EQ(s.ToString(), "Not found: missing thing");
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  EXPECT_STRNE(StatusCodeName(StatusCode::kInvalidArgument),
+               StatusCodeName(StatusCode::kParseError));
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Invalid("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> bad = Status::Invalid("x");
+  EXPECT_EQ(bad.value_or(7), 7);
+  Result<int> good = 3;
+  EXPECT_EQ(good.value_or(7), 3);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("abc");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "abc");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+namespace helpers {
+
+Status FailIf(bool fail) {
+  if (fail) return Status::Invalid("asked to fail");
+  return Status::OK();
+}
+
+Status Chained(bool fail) {
+  TDB_RETURN_NOT_OK(FailIf(fail));
+  return Status::OK();
+}
+
+Result<int> MakeInt(bool fail) {
+  if (fail) return Status::NotFound("no int");
+  return 5;
+}
+
+Result<int> UseAssign(bool fail) {
+  TDB_ASSIGN_OR_RETURN(int v, MakeInt(fail));
+  return v * 2;
+}
+
+}  // namespace helpers
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(helpers::Chained(false).ok());
+  Status s = helpers::Chained(true);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MacroTest, AssignOrReturnPropagates) {
+  auto good = helpers::UseAssign(false);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 10);
+  auto bad = helpers::UseAssign(true);
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tdb

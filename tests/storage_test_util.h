@@ -1,0 +1,58 @@
+#ifndef CHRONOQUEL_TESTS_STORAGE_TEST_UTIL_H_
+#define CHRONOQUEL_TESTS_STORAGE_TEST_UTIL_H_
+
+// Shared fixtures for the storage-file tests.
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "env/env.h"
+#include "storage/storage_file.h"
+
+namespace tdb {
+namespace testutil {
+
+/// Layout of a small keyed test record: i4 key + payload.
+inline RecordLayout SmallLayout(uint16_t record_size = 32) {
+  RecordLayout layout;
+  layout.record_size = record_size;
+  layout.key_offset = 0;
+  layout.key_type = TypeId::kInt4;
+  layout.key_width = 4;
+  return layout;
+}
+
+/// Builds a record with the key and a deterministic payload byte.
+inline std::vector<uint8_t> KeyedRecord(int32_t key, uint16_t record_size = 32,
+                                        uint8_t fill = 0) {
+  std::vector<uint8_t> rec(record_size,
+                           fill != 0 ? fill
+                                     : static_cast<uint8_t>(key & 0xFF));
+  std::memcpy(rec.data(), &key, 4);
+  return rec;
+}
+
+inline int32_t KeyOf(const std::vector<uint8_t>& rec) {
+  int32_t k;
+  std::memcpy(&k, rec.data(), 4);
+  return k;
+}
+
+/// Drains a cursor, returning the keys in visit order.
+inline std::vector<int32_t> DrainKeys(Cursor* cursor) {
+  std::vector<int32_t> keys;
+  while (true) {
+    auto have = cursor->Next();
+    if (!have.ok() || !*have) break;
+    int32_t k;
+    std::memcpy(&k, cursor->record().data(), 4);
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+}  // namespace testutil
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_TESTS_STORAGE_TEST_UTIL_H_

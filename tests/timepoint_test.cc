@@ -1,0 +1,163 @@
+#include "types/timepoint.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace tdb {
+namespace {
+
+TEST(TimePointTest, EpochIsUnix) {
+  CivilTime c = ToCivil(TimePoint(0));
+  EXPECT_EQ(c.year, 1970);
+  EXPECT_EQ(c.month, 1);
+  EXPECT_EQ(c.day, 1);
+  EXPECT_EQ(c.hour, 0);
+}
+
+TEST(TimePointTest, FromCivilKnownValue) {
+  // Jan 1 1980 00:00:00 UTC = 315532800.
+  auto tp = TimePoint::FromCivil(1980, 1, 1);
+  ASSERT_TRUE(tp.ok());
+  EXPECT_EQ(tp->seconds(), 315532800);
+}
+
+TEST(TimePointTest, FromCivilRejectsBadFields) {
+  EXPECT_FALSE(TimePoint::FromCivil(1980, 13, 1).ok());
+  EXPECT_FALSE(TimePoint::FromCivil(1980, 0, 1).ok());
+  EXPECT_FALSE(TimePoint::FromCivil(1980, 2, 30).ok());
+  EXPECT_FALSE(TimePoint::FromCivil(1981, 2, 29).ok());  // not a leap year
+  EXPECT_TRUE(TimePoint::FromCivil(1980, 2, 29).ok());   // leap year
+  EXPECT_FALSE(TimePoint::FromCivil(1980, 1, 1, 24, 0, 0).ok());
+  EXPECT_FALSE(TimePoint::FromCivil(1980, 1, 1, 0, 60, 0).ok());
+  EXPECT_FALSE(TimePoint::FromCivil(1980, 1, 1, 0, 0, 60).ok());
+}
+
+TEST(TimePointTest, FromCivilRejectsOutOf32BitRange) {
+  EXPECT_FALSE(TimePoint::FromCivil(2200, 1, 1).ok());
+  EXPECT_FALSE(TimePoint::FromCivil(1800, 1, 1).ok());
+}
+
+TEST(TimePointTest, ParsePaperFormats) {
+  struct Case {
+    const char* text;
+    int year, month, day, hour, minute, second;
+  } cases[] = {
+      {"1/1/80", 1980, 1, 1, 0, 0, 0},
+      {"08:00 1/1/80", 1980, 1, 1, 8, 0, 0},
+      {"4:00 1/1/80", 1980, 1, 1, 4, 0, 0},
+      {"2/15/1980", 1980, 2, 15, 0, 0, 0},
+      {"12:30:45 2/15/1980", 1980, 2, 15, 12, 30, 45},
+      {"1981", 1981, 1, 1, 0, 0, 0},
+      {"  08:00 1/1/80  ", 1980, 1, 1, 8, 0, 0},
+  };
+  for (const Case& c : cases) {
+    auto tp = TimePoint::Parse(c.text);
+    ASSERT_TRUE(tp.ok()) << c.text << ": " << tp.status().ToString();
+    CivilTime got = ToCivil(*tp);
+    EXPECT_EQ(got.year, c.year) << c.text;
+    EXPECT_EQ(got.month, c.month) << c.text;
+    EXPECT_EQ(got.day, c.day) << c.text;
+    EXPECT_EQ(got.hour, c.hour) << c.text;
+    EXPECT_EQ(got.minute, c.minute) << c.text;
+    EXPECT_EQ(got.second, c.second) << c.text;
+  }
+}
+
+TEST(TimePointTest, ParseForeverAndBeginning) {
+  auto f = TimePoint::Parse("forever");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->is_forever());
+  auto b = TimePoint::Parse("beginning");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, TimePoint::Beginning());
+  EXPECT_TRUE(TimePoint::Parse("FOREVER").ok());  // case-insensitive
+}
+
+TEST(TimePointTest, ParseRejectsGarbage) {
+  for (const char* bad :
+       {"", "abc", "13/1/80", "1/32/80", "25:00 1/1/80", "1/1", "1/1/80/2",
+        "08:61 1/1/80", "2/30/80", "99"}) {
+    EXPECT_FALSE(TimePoint::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(TimePointTest, TwoDigitYearMeans19xx) {
+  auto tp = TimePoint::Parse("1/1/85");
+  ASSERT_TRUE(tp.ok());
+  EXPECT_EQ(ToCivil(*tp).year, 1985);
+}
+
+TEST(TimePointTest, FormatResolutions) {
+  auto tp = TimePoint::FromCivil(1980, 2, 15, 8, 30, 45);
+  ASSERT_TRUE(tp.ok());
+  EXPECT_EQ(tp->ToString(TimeResolution::kSecond), "08:30:45 2/15/1980");
+  EXPECT_EQ(tp->ToString(TimeResolution::kMinute), "08:30 2/15/1980");
+  EXPECT_EQ(tp->ToString(TimeResolution::kHour), "08:00 2/15/1980");
+  EXPECT_EQ(tp->ToString(TimeResolution::kDay), "2/15/1980");
+  EXPECT_EQ(tp->ToString(TimeResolution::kMonth), "2/1980");
+  EXPECT_EQ(tp->ToString(TimeResolution::kYear), "1980");
+}
+
+TEST(TimePointTest, FormatSpecials) {
+  EXPECT_EQ(TimePoint::Forever().ToString(), "forever");
+  EXPECT_EQ(TimePoint::Beginning().ToString(), "beginning");
+}
+
+TEST(TimePointTest, AddSecondsSaturates) {
+  EXPECT_EQ(TimePoint::Forever().AddSeconds(100), TimePoint::Forever());
+  EXPECT_EQ(TimePoint::Beginning().AddSeconds(-5), TimePoint::Beginning());
+  EXPECT_EQ(TimePoint(INT32_MAX - 1).AddSeconds(100), TimePoint::Forever());
+  EXPECT_EQ(TimePoint(10).AddSeconds(-3), TimePoint(7));
+}
+
+TEST(TimePointTest, Ordering) {
+  EXPECT_LT(TimePoint(1), TimePoint(2));
+  EXPECT_LT(TimePoint::Beginning(), TimePoint(0));
+  EXPECT_LT(TimePoint(0), TimePoint::Forever());
+  EXPECT_EQ(TimePoint(5), TimePoint(5));
+}
+
+TEST(TimePointTest, DaysFromCivilKnownDates) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(DaysFromCivil(1980, 1, 1), 3652);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+}
+
+// Property: format at second resolution, parse, and get the value back.
+class TimeRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TimeRoundTrip, FormatParseRoundTrips) {
+  Random rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    // Restrict to the representable civil window.
+    TimePoint tp(static_cast<int32_t>(rng.UniformRange(-2000000000,
+                                                       2000000000)));
+    std::string text = tp.ToString(TimeResolution::kSecond);
+    auto parsed = TimePoint::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(*parsed, tp) << text;
+  }
+}
+
+// Property: civil conversion round trips through FromCivil.
+TEST_P(TimeRoundTrip, CivilRoundTrips) {
+  Random rng(GetParam() + 100);
+  for (int i = 0; i < 200; ++i) {
+    TimePoint tp(static_cast<int32_t>(rng.UniformRange(-2000000000,
+                                                       2000000000)));
+    CivilTime c = ToCivil(tp);
+    auto back = TimePoint::FromCivil(c.year, c.month, c.day, c.hour, c.minute,
+                                     c.second);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, tp);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimeRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace tdb

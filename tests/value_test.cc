@@ -1,0 +1,118 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+namespace tdb {
+namespace {
+
+TEST(ValueTest, DefaultIsInt4Zero) {
+  Value v;
+  EXPECT_EQ(v.type(), TypeId::kInt4);
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, FactoriesAndAccessors) {
+  EXPECT_EQ(Value::Int1(-5).AsInt(), -5);
+  EXPECT_EQ(Value::Int2(300).AsInt(), 300);
+  EXPECT_EQ(Value::Int4(70000).AsInt(), 70000);
+  EXPECT_DOUBLE_EQ(Value::Float8(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Char("abc").AsString(), "abc");
+  EXPECT_EQ(Value::Time(TimePoint(9)).AsTime(), TimePoint(9));
+}
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value::Int1(1).is_integer());
+  EXPECT_TRUE(Value::Int4(1).is_numeric());
+  EXPECT_TRUE(Value::Float8(1).is_numeric());
+  EXPECT_FALSE(Value::Float8(1).is_integer());
+  EXPECT_FALSE(Value::Char("x").is_numeric());
+  EXPECT_FALSE(Value::Time(TimePoint(0)).is_numeric());
+}
+
+TEST(ValueTest, AsDoubleWidensIntegers) {
+  EXPECT_DOUBLE_EQ(Value::Int4(3).AsDouble(), 3.0);
+}
+
+TEST(ValueCompareTest, Integers) {
+  auto c = Value::Compare(Value::Int4(1), Value::Int4(2));
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(*c, 0);
+  EXPECT_EQ(*Value::Compare(Value::Int4(2), Value::Int4(2)), 0);
+  EXPECT_GT(*Value::Compare(Value::Int4(3), Value::Int4(2)), 0);
+}
+
+TEST(ValueCompareTest, MixedIntegerWidthsCompare) {
+  EXPECT_EQ(*Value::Compare(Value::Int1(5), Value::Int4(5)), 0);
+  EXPECT_LT(*Value::Compare(Value::Int2(-1), Value::Int4(0)), 0);
+}
+
+TEST(ValueCompareTest, IntegerVsFloat) {
+  EXPECT_LT(*Value::Compare(Value::Int4(1), Value::Float8(1.5)), 0);
+  EXPECT_EQ(*Value::Compare(Value::Int4(2), Value::Float8(2.0)), 0);
+}
+
+TEST(ValueCompareTest, CharIgnoresTrailingBlanks) {
+  EXPECT_EQ(*Value::Compare(Value::Char("abc"), Value::Char("abc   ")), 0);
+  EXPECT_LT(*Value::Compare(Value::Char("ab"), Value::Char("abc")), 0);
+}
+
+TEST(ValueCompareTest, Times) {
+  EXPECT_LT(*Value::Compare(Value::Time(TimePoint(1)),
+                            Value::Time(TimePoint(2))),
+            0);
+  EXPECT_LT(*Value::Compare(Value::Time(TimePoint(1)),
+                            Value::Time(TimePoint::Forever())),
+            0);
+}
+
+TEST(ValueCompareTest, IncompatibleTypesFail) {
+  EXPECT_FALSE(Value::Compare(Value::Int4(1), Value::Char("1")).ok());
+  EXPECT_FALSE(Value::Compare(Value::Time(TimePoint(1)), Value::Int4(1)).ok());
+  EXPECT_FALSE(
+      Value::Compare(Value::Char("a"), Value::Time(TimePoint(0))).ok());
+}
+
+TEST(ValueEqualsTest, Basic) {
+  EXPECT_TRUE(Value::Int4(5).Equals(Value::Int4(5)));
+  EXPECT_FALSE(Value::Int4(5).Equals(Value::Int4(6)));
+  EXPECT_FALSE(Value::Int4(5).Equals(Value::Char("5")));
+}
+
+TEST(ValueToStringTest, AllTypes) {
+  EXPECT_EQ(Value::Int4(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Float8(1.5).ToString(), "1.5");
+  EXPECT_EQ(Value::Char("hi   ").ToString(), "hi");  // blanks trimmed
+  EXPECT_EQ(Value::Time(TimePoint::Forever()).ToString(), "forever");
+}
+
+TEST(ValueToStringTest, TimeUsesResolution) {
+  auto tp = TimePoint::FromCivil(1980, 6, 1, 12, 0, 0);
+  ASSERT_TRUE(tp.ok());
+  EXPECT_EQ(Value::Time(*tp).ToString(TimeResolution::kYear), "1980");
+  EXPECT_EQ(Value::Time(*tp).ToString(TimeResolution::kDay), "6/1/1980");
+}
+
+TEST(ValueHashTest, EqualValuesHashEqual) {
+  EXPECT_EQ(Value::Int4(42).Hash(), Value::Int4(42).Hash());
+  EXPECT_EQ(Value::Char("abc").Hash(), Value::Char("abc  ").Hash());
+  EXPECT_EQ(Value::Time(TimePoint(5)).Hash(), Value::Time(TimePoint(5)).Hash());
+}
+
+TEST(ValueHashTest, SpreadsDistinctValues) {
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (Value::Int4(i).Hash() % 128 == Value::Int4(i + 1).Hash() % 128) {
+      ++collisions;
+    }
+  }
+  EXPECT_LT(collisions, 50);
+}
+
+TEST(TypeIdNameTest, Names) {
+  EXPECT_STREQ(TypeIdName(TypeId::kInt4), "i4");
+  EXPECT_STREQ(TypeIdName(TypeId::kFloat8), "f8");
+  EXPECT_STREQ(TypeIdName(TypeId::kTime), "time");
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,141 @@
+// Tests of the benchmark workload generator itself.
+
+#include "benchlib/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace tdb {
+namespace bench {
+namespace {
+
+TEST(WorkloadTest, PaperGeometryAt100Percent) {
+  WorkloadConfig config;
+  config.type = DbType::kTemporal;
+  config.fillfactor = 100;
+  auto bench = BenchmarkDb::Create(config);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  // Section 5.1: 128 primary pages for the hashed relation, 129 for ISAM
+  // (128 data + 1 directory).
+  EXPECT_EQ((*bench)->PagesOf("h").value_or(0), 128u);
+  EXPECT_EQ((*bench)->PagesOf("i").value_or(0), 129u);
+}
+
+TEST(WorkloadTest, PaperGeometryAt50Percent) {
+  WorkloadConfig config;
+  config.type = DbType::kRollback;
+  config.fillfactor = 50;
+  auto bench = BenchmarkDb::Create(config);
+  ASSERT_TRUE(bench.ok());
+  EXPECT_EQ((*bench)->PagesOf("h").value_or(0), 256u);
+  EXPECT_EQ((*bench)->PagesOf("i").value_or(0), 259u);  // 256 + 3 directory
+}
+
+TEST(WorkloadTest, StaticGeometry) {
+  WorkloadConfig config;
+  config.type = DbType::kStatic;
+  auto bench = BenchmarkDb::Create(config);
+  ASSERT_TRUE(bench.ok());
+  EXPECT_EQ((*bench)->PagesOf("h").value_or(0), 114u);  // 9 tuples/page
+  EXPECT_EQ((*bench)->PagesOf("i").value_or(0), 115u);
+}
+
+TEST(WorkloadTest, QueryApplicabilityMatrix) {
+  struct Case {
+    DbType type;
+    std::vector<int> applicable;
+  } cases[] = {
+      {DbType::kStatic, {1, 2, 5, 6, 7, 8, 9, 10}},
+      {DbType::kRollback, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+      {DbType::kHistorical, {1, 2, 5, 6, 7, 8, 9, 10}},
+      {DbType::kTemporal, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}},
+  };
+  for (const Case& c : cases) {
+    WorkloadConfig config;
+    config.type = c.type;
+    config.ntuples = 64;
+    auto bench = BenchmarkDb::Create(config);
+    ASSERT_TRUE(bench.ok());
+    for (int q = 1; q <= 12; ++q) {
+      bool expected = std::find(c.applicable.begin(), c.applicable.end(),
+                                q) != c.applicable.end();
+      EXPECT_EQ(!(*bench)->QueryText(q).empty(), expected)
+          << DbTypeName(c.type) << " Q" << q;
+    }
+  }
+}
+
+TEST(WorkloadTest, ProbeAmountsMatchExactlyOneTuple) {
+  WorkloadConfig config;
+  config.type = DbType::kTemporal;
+  auto bench = BenchmarkDb::Create(config);
+  ASSERT_TRUE(bench.ok());
+  auto q7 = (*bench)->RunQuery(7);
+  ASSERT_TRUE(q7.ok());
+  EXPECT_EQ(q7->rows, 1u);
+  auto q8 = (*bench)->RunQuery(8);
+  ASSERT_TRUE(q8.ok());
+  EXPECT_EQ(q8->rows, 1u);
+}
+
+TEST(WorkloadTest, DeterministicAcrossRuns) {
+  auto run = []() {
+    WorkloadConfig config;
+    config.type = DbType::kTemporal;
+    config.ntuples = 128;
+    auto bench = BenchmarkDb::Create(config);
+    EXPECT_TRUE(bench.ok());
+    EXPECT_TRUE((*bench)->UniformUpdateRound().ok());
+    return (*bench)->RunQuery(9)->input_pages;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(WorkloadTest, UpdateRoundRaisesUpdateCountByOne) {
+  WorkloadConfig config;
+  config.type = DbType::kTemporal;
+  config.ntuples = 64;
+  auto bench = BenchmarkDb::Create(config);
+  ASSERT_TRUE(bench.ok());
+  EXPECT_EQ((*bench)->update_count(), 0);
+  ASSERT_TRUE((*bench)->UniformUpdateRound().ok());
+  EXPECT_EQ((*bench)->update_count(), 1);
+  // Every tuple now has exactly one more version pair: the version scan of
+  // tuple 5 sees 3 versions.
+  auto r = (*bench)->db()->Execute(
+      "retrieve (h.seq) where h.id = 5 "
+      "as of \"beginning\" through \"forever\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result.num_rows(), 3u);
+}
+
+TEST(WorkloadTest, MeasureSeparatesFixedCosts) {
+  WorkloadConfig config;
+  config.type = DbType::kTemporal;
+  config.ntuples = 256;
+  auto bench = BenchmarkDb::Create(config);
+  ASSERT_TRUE(bench.ok());
+  // Q02 (ISAM keyed): fixed = 1 directory page at 100% loading.
+  auto q2 = (*bench)->RunQuery(2);
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->fixed_pages, 1u);
+  // Q01 (hashed): no fixed portion.
+  auto q1 = (*bench)->RunQuery(1);
+  ASSERT_TRUE(q1.ok());
+  EXPECT_EQ(q1->fixed_pages, 0u);
+}
+
+TEST(WorkloadTest, TablePrinterAlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(Cell(uint64_t{42}), "42");
+  EXPECT_EQ(Cell(1.5, 2), "1.50");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tdb
