@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_btree.dir/ablation_btree.cc.o"
+  "CMakeFiles/ablation_btree.dir/ablation_btree.cc.o.d"
+  "ablation_btree"
+  "ablation_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

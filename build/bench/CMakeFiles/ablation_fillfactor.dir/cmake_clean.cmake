@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fillfactor.dir/ablation_fillfactor.cc.o"
+  "CMakeFiles/ablation_fillfactor.dir/ablation_fillfactor.cc.o.d"
+  "ablation_fillfactor"
+  "ablation_fillfactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fillfactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

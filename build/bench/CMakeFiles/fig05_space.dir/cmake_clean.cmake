@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_space.dir/fig05_space.cc.o"
+  "CMakeFiles/fig05_space.dir/fig05_space.cc.o.d"
+  "fig05_space"
+  "fig05_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

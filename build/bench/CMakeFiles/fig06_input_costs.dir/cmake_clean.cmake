@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_input_costs.dir/fig06_input_costs.cc.o"
+  "CMakeFiles/fig06_input_costs.dir/fig06_input_costs.cc.o.d"
+  "fig06_input_costs"
+  "fig06_input_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_input_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_graph_series.dir/fig08_graph_series.cc.o"
+  "CMakeFiles/fig08_graph_series.dir/fig08_graph_series.cc.o.d"
+  "fig08_graph_series"
+  "fig08_graph_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_graph_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cost_model.dir/fig09_cost_model.cc.o"
+  "CMakeFiles/fig09_cost_model.dir/fig09_cost_model.cc.o.d"
+  "fig09_cost_model"
+  "fig09_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_improvements.dir/fig10_improvements.cc.o"
+  "CMakeFiles/fig10_improvements.dir/fig10_improvements.cc.o.d"
+  "fig10_improvements"
+  "fig10_improvements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_improvements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

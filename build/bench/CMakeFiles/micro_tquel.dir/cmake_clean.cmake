@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tquel.dir/micro_tquel.cc.o"
+  "CMakeFiles/micro_tquel.dir/micro_tquel.cc.o.d"
+  "micro_tquel"
+  "micro_tquel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tquel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonuniform_updates.dir/nonuniform_updates.cc.o"
+  "CMakeFiles/nonuniform_updates.dir/nonuniform_updates.cc.o.d"
+  "nonuniform_updates"
+  "nonuniform_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonuniform_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

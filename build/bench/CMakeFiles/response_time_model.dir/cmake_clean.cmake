@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/response_time_model.dir/response_time_model.cc.o"
+  "CMakeFiles/response_time_model.dir/response_time_model.cc.o.d"
+  "response_time_model"
+  "response_time_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/response_time_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for response_time_model.
+# This may be replaced when dependencies are built.

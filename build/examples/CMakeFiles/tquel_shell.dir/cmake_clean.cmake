@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tquel_shell.dir/tquel_shell.cpp.o"
+  "CMakeFiles/tquel_shell.dir/tquel_shell.cpp.o.d"
+  "tquel_shell"
+  "tquel_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tquel_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_mgmt.dir/version_mgmt.cpp.o"
+  "CMakeFiles/version_mgmt.dir/version_mgmt.cpp.o.d"
+  "version_mgmt"
+  "version_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

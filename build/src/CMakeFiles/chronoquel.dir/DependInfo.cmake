@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchlib/workload.cc" "src/CMakeFiles/chronoquel.dir/benchlib/workload.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/benchlib/workload.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/chronoquel.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/CMakeFiles/chronoquel.dir/core/database.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/core/database.cc.o.d"
+  "/root/repo/src/core/relation.cc" "src/CMakeFiles/chronoquel.dir/core/relation.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/core/relation.cc.o.d"
+  "/root/repo/src/core/result_set.cc" "src/CMakeFiles/chronoquel.dir/core/result_set.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/core/result_set.cc.o.d"
+  "/root/repo/src/diskmodel/disk_model.cc" "src/CMakeFiles/chronoquel.dir/diskmodel/disk_model.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/diskmodel/disk_model.cc.o.d"
+  "/root/repo/src/env/env.cc" "src/CMakeFiles/chronoquel.dir/env/env.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/env/env.cc.o.d"
+  "/root/repo/src/exec/ddl_executor.cc" "src/CMakeFiles/chronoquel.dir/exec/ddl_executor.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/exec/ddl_executor.cc.o.d"
+  "/root/repo/src/exec/dml_executor.cc" "src/CMakeFiles/chronoquel.dir/exec/dml_executor.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/exec/dml_executor.cc.o.d"
+  "/root/repo/src/exec/eval.cc" "src/CMakeFiles/chronoquel.dir/exec/eval.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/exec/eval.cc.o.d"
+  "/root/repo/src/exec/exec_env.cc" "src/CMakeFiles/chronoquel.dir/exec/exec_env.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/exec/exec_env.cc.o.d"
+  "/root/repo/src/exec/planner.cc" "src/CMakeFiles/chronoquel.dir/exec/planner.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/exec/planner.cc.o.d"
+  "/root/repo/src/exec/query_executor.cc" "src/CMakeFiles/chronoquel.dir/exec/query_executor.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/exec/query_executor.cc.o.d"
+  "/root/repo/src/exec/version.cc" "src/CMakeFiles/chronoquel.dir/exec/version.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/exec/version.cc.o.d"
+  "/root/repo/src/exec/version_source.cc" "src/CMakeFiles/chronoquel.dir/exec/version_source.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/exec/version_source.cc.o.d"
+  "/root/repo/src/index/secondary_index.cc" "src/CMakeFiles/chronoquel.dir/index/secondary_index.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/index/secondary_index.cc.o.d"
+  "/root/repo/src/storage/btree_file.cc" "src/CMakeFiles/chronoquel.dir/storage/btree_file.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/storage/btree_file.cc.o.d"
+  "/root/repo/src/storage/hash_file.cc" "src/CMakeFiles/chronoquel.dir/storage/hash_file.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/storage/hash_file.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/chronoquel.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/io_stats.cc" "src/CMakeFiles/chronoquel.dir/storage/io_stats.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/storage/io_stats.cc.o.d"
+  "/root/repo/src/storage/isam_file.cc" "src/CMakeFiles/chronoquel.dir/storage/isam_file.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/storage/isam_file.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/chronoquel.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/storage/pager.cc.o.d"
+  "/root/repo/src/storage/storage_file.cc" "src/CMakeFiles/chronoquel.dir/storage/storage_file.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/storage/storage_file.cc.o.d"
+  "/root/repo/src/temporal/db_type.cc" "src/CMakeFiles/chronoquel.dir/temporal/db_type.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/temporal/db_type.cc.o.d"
+  "/root/repo/src/tquel/ast.cc" "src/CMakeFiles/chronoquel.dir/tquel/ast.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/tquel/ast.cc.o.d"
+  "/root/repo/src/tquel/binder.cc" "src/CMakeFiles/chronoquel.dir/tquel/binder.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/tquel/binder.cc.o.d"
+  "/root/repo/src/tquel/lexer.cc" "src/CMakeFiles/chronoquel.dir/tquel/lexer.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/tquel/lexer.cc.o.d"
+  "/root/repo/src/tquel/parser.cc" "src/CMakeFiles/chronoquel.dir/tquel/parser.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/tquel/parser.cc.o.d"
+  "/root/repo/src/tquel/printer.cc" "src/CMakeFiles/chronoquel.dir/tquel/printer.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/tquel/printer.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/chronoquel.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/timepoint.cc" "src/CMakeFiles/chronoquel.dir/types/timepoint.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/types/timepoint.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/chronoquel.dir/types/value.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/types/value.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/chronoquel.dir/util/status.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/util/status.cc.o.d"
+  "/root/repo/src/util/stringx.cc" "src/CMakeFiles/chronoquel.dir/util/stringx.cc.o" "gcc" "src/CMakeFiles/chronoquel.dir/util/stringx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for chronoquel.
+# This may be replaced when dependencies are built.

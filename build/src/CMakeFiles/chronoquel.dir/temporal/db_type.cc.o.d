@@ -1,0 +1,3 @@
+src/CMakeFiles/chronoquel.dir/temporal/db_type.cc.o: \
+ /root/repo/src/temporal/db_type.cc /usr/include/stdc-predef.h \
+ /root/repo/src/temporal/db_type.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btree_file_test.dir/btree_file_test.cc.o"
+  "CMakeFiles/btree_file_test.dir/btree_file_test.cc.o.d"
+  "btree_file_test"
+  "btree_file_test.pdb"
+  "btree_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

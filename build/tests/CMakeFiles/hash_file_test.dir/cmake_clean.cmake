@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_file_test.dir/hash_file_test.cc.o"
+  "CMakeFiles/hash_file_test.dir/hash_file_test.cc.o.d"
+  "hash_file_test"
+  "hash_file_test.pdb"
+  "hash_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

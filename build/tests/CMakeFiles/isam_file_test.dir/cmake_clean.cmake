@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isam_file_test.dir/isam_file_test.cc.o"
+  "CMakeFiles/isam_file_test.dir/isam_file_test.cc.o.d"
+  "isam_file_test"
+  "isam_file_test.pdb"
+  "isam_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isam_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stringx_test.dir/stringx_test.cc.o"
+  "CMakeFiles/stringx_test.dir/stringx_test.cc.o.d"
+  "stringx_test"
+  "stringx_test.pdb"
+  "stringx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stringx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

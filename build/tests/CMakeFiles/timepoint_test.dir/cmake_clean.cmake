@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timepoint_test.dir/timepoint_test.cc.o"
+  "CMakeFiles/timepoint_test.dir/timepoint_test.cc.o.d"
+  "timepoint_test"
+  "timepoint_test.pdb"
+  "timepoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timepoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

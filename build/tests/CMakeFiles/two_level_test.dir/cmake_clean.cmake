@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_level_test.dir/two_level_test.cc.o"
+  "CMakeFiles/two_level_test.dir/two_level_test.cc.o.d"
+  "two_level_test"
+  "two_level_test.pdb"
+  "two_level_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_level_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

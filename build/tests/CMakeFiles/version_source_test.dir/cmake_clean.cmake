@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_source_test.dir/version_source_test.cc.o"
+  "CMakeFiles/version_source_test.dir/version_source_test.cc.o.d"
+  "version_source_test"
+  "version_source_test.pdb"
+  "version_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
