@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/database.h"
+#include "exec/plan.h"
 #include "util/stringx.h"
 
 using tdb::Database;
@@ -140,7 +141,9 @@ int main(int argc, char** argv) {
       std::printf("%s(%zu rows)\n",
                   result->result.ToString(resolution).c_str(),
                   result->result.num_rows());
-      if (show_plan && !result->message.empty()) {
+      if (show_plan && result->plan != nullptr) {
+        std::printf("%s", result->plan->Describe(/*with_stats=*/true).c_str());
+      } else if (show_plan && !result->message.empty()) {
         std::printf("%s\n", result->message.c_str());
       }
     } else if (!result->message.empty()) {

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "diskmodel/disk_model.h"
+#include "exec/plan.h"
 #include "util/stringx.h"
 
 namespace tdb {
@@ -242,6 +243,10 @@ Result<Measure> BenchmarkDb::RunText(const std::string& text) {
   m.fixed_pages = totals.reads[static_cast<int>(IoCategory::kDirectory)] +
                   totals.reads[static_cast<int>(IoCategory::kTemp)];
   m.rows = static_cast<uint64_t>(result->affected);
+  if (result->plan != nullptr) {
+    m.plan = result->plan->Summary();
+    m.plan_tree = result->plan->Describe(/*with_stats=*/true);
+  }
   DiskEstimate estimate = DiskModel().Estimate(trace->events());
   m.random_accesses = estimate.random_accesses;
   m.sequential_accesses = estimate.sequential_accesses;

@@ -41,6 +41,11 @@ struct Measure {
   uint64_t random_accesses = 0;
   uint64_t sequential_accesses = 0;
   double modeled_ms = 0;
+  /// One-line summary of the plan that produced these counts (e.g.
+  /// "bench_h:keyed(current)"), so figure output is self-documenting.
+  std::string plan;
+  /// The annotated plan tree (Describe(true) of the executed plan).
+  std::string plan_tree;
 };
 
 /// The paper's benchmark database: two relations `bench_h` (hashed on id)

@@ -3,6 +3,8 @@
 #include "exec/ddl_executor.h"
 #include "exec/dml_executor.h"
 #include "exec/exec_env.h"
+#include "exec/plan.h"
+#include "exec/planner.h"
 #include "exec/query_executor.h"
 #include "tquel/binder.h"
 #include "tquel/parser.h"
@@ -135,6 +137,26 @@ Result<ExecResult> Database::Execute(const std::string& text) {
         mutating = copy->from;
         break;
       }
+      case Statement::Kind::kExplain: {
+        // Plan the wrapped retrieve without executing it: the plan tree
+        // comes back as rows, one line per node.
+        auto* explain = static_cast<ExplainStmt*>(stmt.get());
+        TDB_ASSIGN_OR_RETURN(BoundStatement bound,
+                             binder.BindRetrieve(explain->query.get()));
+        TDB_ASSIGN_OR_RETURN(std::shared_ptr<PhysicalPlan> plan,
+                             BuildPlan(*explain->query, bound, exec));
+        last = ExecResult{};
+        last.result.columns.push_back("query plan");
+        for (const std::string& line : Split(plan->Describe(), '\n')) {
+          if (line.empty()) continue;
+          Row row;
+          row.push_back(Value::Char(line));
+          last.result.rows.push_back(std::move(row));
+        }
+        last.message = "plan: " + plan->Summary();
+        last.plan = std::move(plan);
+        break;
+      }
     }
     if (mutating) {
       PersistClock();
@@ -149,6 +171,34 @@ Result<ExecResult> Database::Execute(const std::string& text) {
 Result<ResultSet> Database::Query(const std::string& text) {
   TDB_ASSIGN_OR_RETURN(ExecResult r, Execute(text));
   return r.result;
+}
+
+Result<std::shared_ptr<const PhysicalPlan>> Database::Plan(
+    const std::string& text) {
+  TDB_ASSIGN_OR_RETURN(auto stmts, Parser::ParseScript(text));
+  if (stmts.size() != 1) {
+    return Status::Invalid("Plan expects a single statement");
+  }
+  RetrieveStmt* retrieve = nullptr;
+  if (stmts[0]->kind == Statement::Kind::kRetrieve) {
+    retrieve = static_cast<RetrieveStmt*>(stmts[0].get());
+  } else if (stmts[0]->kind == Statement::Kind::kExplain) {
+    retrieve = static_cast<ExplainStmt*>(stmts[0].get())->query.get();
+  } else {
+    return Status::Invalid("Plan expects a retrieve statement");
+  }
+  Binder binder(&catalog_, &ranges_);
+  TDB_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindRetrieve(retrieve));
+  ExecEnv exec{env_, dir_, &catalog_, &registry_, &relations_, now_,
+               options_.buffer_frames};
+  TDB_ASSIGN_OR_RETURN(std::shared_ptr<PhysicalPlan> plan,
+                       BuildPlan(*retrieve, bound, exec));
+  return std::shared_ptr<const PhysicalPlan>(std::move(plan));
+}
+
+Result<std::string> Database::Explain(const std::string& text) {
+  TDB_ASSIGN_OR_RETURN(auto plan, Plan(text));
+  return plan->Describe();
 }
 
 }  // namespace tdb

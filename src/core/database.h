@@ -56,6 +56,15 @@ class Database {
   /// Convenience wrapper asserting the text is a single retrieve.
   Result<ResultSet> Query(const std::string& text);
 
+  /// Plans `text` — a single retrieve, with or without a leading `explain`
+  /// — and returns the structured physical plan WITHOUT executing anything.
+  /// The plan's runtime stats are all zero; only the pre-rendered node text
+  /// remains meaningful once this call returns.
+  Result<std::shared_ptr<const PhysicalPlan>> Plan(const std::string& text);
+
+  /// Like Plan(), rendered: the multi-line plan tree `explain` would print.
+  Result<std::string> Explain(const std::string& text);
+
   TimePoint now() const { return now_; }
   void SetNow(TimePoint tp) { now_ = tp; }
   void AdvanceSeconds(int64_t secs) { now_ = now_.AddSeconds(secs); }

@@ -1,12 +1,15 @@
 #ifndef CHRONOQUEL_CORE_RESULT_SET_H_
 #define CHRONOQUEL_CORE_RESULT_SET_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "types/schema.h"
 
 namespace tdb {
+
+struct PhysicalPlan;
 
 /// Rows returned by a retrieve statement.  Historical / temporal results
 /// carry the computed valid interval as trailing valid_from / valid_to
@@ -26,6 +29,10 @@ struct ExecResult {
   ResultSet result;      // retrieve only
   int64_t affected = 0;  // rows appended / deleted / replaced / copied
   std::string message;   // human-oriented note ("created relation r", ...)
+  /// retrieve / explain only: the physical plan.  After a retrieve it is
+  /// annotated with per-node runtime stats (`PhysicalPlan::Describe(true)`);
+  /// after an explain the stats are all zero — nothing ran.
+  std::shared_ptr<const PhysicalPlan> plan;
 };
 
 }  // namespace tdb

@@ -1,0 +1,239 @@
+#include "exec/plan.h"
+
+#include "util/stringx.h"
+
+namespace tdb {
+
+const char* PlanNodeKindName(PlanNode::Kind k) {
+  switch (k) {
+    case PlanNode::Kind::kSeqScan:
+      return "seq-scan";
+    case PlanNode::Kind::kKeyedLookup:
+      return "keyed-lookup";
+    case PlanNode::Kind::kIndexEq:
+      return "index-eq";
+    case PlanNode::Kind::kRangeScan:
+      return "range-scan";
+    case PlanNode::Kind::kNestedLoop:
+      return "nested-loop";
+    case PlanNode::Kind::kSubstitution:
+      return "substitution";
+    case PlanNode::Kind::kFilter:
+      return "filter";
+    case PlanNode::Kind::kProject:
+      return "project";
+  }
+  return "?";
+}
+
+std::string AccessNode::Brief() const {
+  const char* word = "scan";
+  switch (kind) {
+    case Kind::kSeqScan:
+      word = "scan";
+      break;
+    case Kind::kKeyedLookup:
+      word = "keyed";
+      break;
+    case Kind::kIndexEq:
+      word = "index";
+      break;
+    case Kind::kRangeScan:
+      word = "range";
+      break;
+    default:
+      break;
+  }
+  std::string s = rel_name + ":" + word;
+  if (current_only) s += "(current)";
+  return s;
+}
+
+const AccessNode* AccessOf(const PlanNode* node) {
+  if (node == nullptr) return nullptr;
+  if (node->kind == PlanNode::Kind::kFilter) {
+    return AccessOf(static_cast<const FilterNode*>(node)->child.get());
+  }
+  switch (node->kind) {
+    case PlanNode::Kind::kSeqScan:
+    case PlanNode::Kind::kKeyedLookup:
+    case PlanNode::Kind::kIndexEq:
+    case PlanNode::Kind::kRangeScan:
+      return static_cast<const AccessNode*>(node);
+    default:
+      return nullptr;
+  }
+}
+
+AccessNode* AccessOf(PlanNode* node) {
+  return const_cast<AccessNode*>(AccessOf(const_cast<const PlanNode*>(node)));
+}
+
+namespace {
+
+/// The `[...]` annotation appended to a line when stats are requested.
+std::string StatsSuffix(const PlanNode& node) {
+  if (!node.stats.executed) return " [not executed]";
+  std::string s;
+  if (node.kind == PlanNode::Kind::kProject) {
+    s = StrPrintf(" [rows=%llu",
+                  static_cast<unsigned long long>(node.stats.rows_emitted));
+  } else {
+    s = StrPrintf(
+        " [loops=%llu examined=%llu emitted=%llu",
+        static_cast<unsigned long long>(node.stats.loops),
+        static_cast<unsigned long long>(node.stats.rows_examined),
+        static_cast<unsigned long long>(node.stats.rows_emitted));
+  }
+  uint64_t reads = node.stats.io.TotalReads();
+  uint64_t writes = node.stats.io.TotalWrites();
+  if (reads > 0 || writes > 0) {
+    s += StrPrintf(" reads=%llu", static_cast<unsigned long long>(reads));
+    std::vector<std::string> parts;
+    for (int i = 0; i < kNumIoCategories; ++i) {
+      if (node.stats.io.reads[i] == 0) continue;
+      parts.push_back(StrPrintf(
+          "%s=%llu", IoCategoryName(static_cast<IoCategory>(i)),
+          static_cast<unsigned long long>(node.stats.io.reads[i])));
+    }
+    if (!parts.empty()) s += " (" + Join(parts, " ") + ")";
+    if (writes > 0) {
+      s += StrPrintf(" writes=%llu", static_cast<unsigned long long>(writes));
+    }
+  }
+  s += "]";
+  return s;
+}
+
+void DescribeNode(const PlanNode* node, int depth, const std::string& label,
+                  bool with_stats, std::string* out) {
+  std::string line(static_cast<size_t>(depth) * 2, ' ');
+  line += label;
+  if (node == nullptr) {
+    // A project without input: the single-row constant plan.
+    line += "constant";
+    out->append(line);
+    out->push_back('\n');
+    return;
+  }
+  switch (node->kind) {
+    case PlanNode::Kind::kSeqScan:
+    case PlanNode::Kind::kKeyedLookup:
+    case PlanNode::Kind::kIndexEq:
+    case PlanNode::Kind::kRangeScan: {
+      const auto* a = static_cast<const AccessNode*>(node);
+      line += PlanNodeKindName(node->kind);
+      line += " " + a->var_name + "=" + a->rel_name;
+      if (node->kind == PlanNode::Kind::kKeyedLookup) {
+        line += " key=" + static_cast<const KeyedLookupNode*>(a)->key_text;
+      } else if (node->kind == PlanNode::Kind::kIndexEq) {
+        const auto* ix = static_cast<const IndexEqNode*>(a);
+        line += " index=" + ix->index_attr + " key=" + ix->key_text;
+      } else if (node->kind == PlanNode::Kind::kRangeScan) {
+        const auto* r = static_cast<const RangeScanNode*>(a);
+        if (!r->lo_text.empty()) {
+          line += std::string(" key>") + (r->lo_inclusive ? "=" : "") +
+                  r->lo_text;
+        }
+        if (!r->hi_text.empty()) {
+          line += std::string(" key<") + (r->hi_inclusive ? "=" : "") +
+                  r->hi_text;
+        }
+      }
+      if (a->current_only) line += " (current)";
+      if (with_stats) line += StatsSuffix(*node);
+      out->append(line);
+      out->push_back('\n');
+      return;
+    }
+    case PlanNode::Kind::kFilter: {
+      const auto* f = static_cast<const FilterNode*>(node);
+      line += "filter [" + Join(f->pred_text, "; ") + "]";
+      if (with_stats) line += StatsSuffix(*node);
+      out->append(line);
+      out->push_back('\n');
+      DescribeNode(f->child.get(), depth + 1, "", with_stats, out);
+      return;
+    }
+    case PlanNode::Kind::kNestedLoop: {
+      const auto* n = static_cast<const NestedLoopNode*>(node);
+      line += "nested-loop";
+      if (with_stats) line += StatsSuffix(*node);
+      out->append(line);
+      out->push_back('\n');
+      for (const auto& level : n->levels) {
+        DescribeNode(level.get(), depth + 1, "", with_stats, out);
+      }
+      return;
+    }
+    case PlanNode::Kind::kSubstitution: {
+      const auto* s = static_cast<const SubstitutionNode*>(node);
+      line += "substitution";
+      if (with_stats) line += StatsSuffix(*node);
+      out->append(line);
+      out->push_back('\n');
+      DescribeNode(s->outer.get(), depth + 1, "outer: ", with_stats, out);
+      DescribeNode(s->inner.get(), depth + 1, "inner: ", with_stats, out);
+      return;
+    }
+    case PlanNode::Kind::kProject: {
+      const auto* p = static_cast<const ProjectNode*>(node);
+      line += "project (" + Join(p->target_text, ", ") + ")";
+      if (p->unique) line += " unique";
+      if (!p->into.empty()) line += " into " + p->into;
+      if (!p->as_of_text.empty()) line += " as of " + p->as_of_text;
+      if (!p->sort_text.empty()) line += " sort by " + p->sort_text;
+      if (with_stats) line += StatsSuffix(*node);
+      out->append(line);
+      out->push_back('\n');
+      DescribeNode(p->child.get(), depth + 1, "", with_stats, out);
+      return;
+    }
+  }
+}
+
+void CollectBriefs(const PlanNode* node, std::vector<std::string>* out) {
+  if (node == nullptr) return;
+  if (const AccessNode* a = AccessOf(node)) {
+    out->push_back(a->Brief());
+    return;
+  }
+  switch (node->kind) {
+    case PlanNode::Kind::kNestedLoop: {
+      const auto* n = static_cast<const NestedLoopNode*>(node);
+      for (const auto& level : n->levels) CollectBriefs(level.get(), out);
+      return;
+    }
+    case PlanNode::Kind::kSubstitution: {
+      // Historical note order: the substitution decision (naming the inner
+      // access) is recorded first, then the outer detachment's own path.
+      const auto* s = static_cast<const SubstitutionNode*>(node);
+      const AccessNode* inner = AccessOf(s->inner.get());
+      out->push_back("substitution(" +
+                     (inner != nullptr ? inner->Brief() : std::string("?")) +
+                     ")");
+      CollectBriefs(s->outer.get(), out);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+std::string PhysicalPlan::Describe(bool with_stats) const {
+  std::string out;
+  DescribeNode(root.get(), 0, "", with_stats, &out);
+  return out;
+}
+
+std::string PhysicalPlan::Summary() const {
+  if (root == nullptr || root->child == nullptr) return "constant";
+  std::vector<std::string> briefs;
+  CollectBriefs(root->child.get(), &briefs);
+  if (briefs.empty()) return "constant";
+  return Join(briefs, "; ");
+}
+
+}  // namespace tdb

@@ -1,5 +1,6 @@
 #include "exec/planner.h"
 
+#include "exec/eval.h"
 #include "util/stringx.h"
 
 namespace tdb {
@@ -249,6 +250,296 @@ bool WantsCurrentOnly(int var, const Relation* rel,
   // Rollback relations (transaction time only): rolling back to "now"
   // selects the versions whose transaction interval is still open.
   return HasTransactionTime(type) && as_of_is_now;
+}
+
+namespace {
+
+/// Variables still referenced once aggregates fold: a plain (ungrouped)
+/// aggregate becomes a constant before iteration starts, so it keeps none
+/// of its variables live; a `by` aggregate keeps its node (group lookup per
+/// output row) and therefore all of them.
+void CollectPostFoldVars(const Expr* expr, std::set<int>* out) {
+  if (expr == nullptr) return;
+  switch (expr->kind) {
+    case Expr::Kind::kColumn:
+      out->insert(expr->var_index);
+      return;
+    case Expr::Kind::kBinary:
+      CollectPostFoldVars(expr->left.get(), out);
+      CollectPostFoldVars(expr->right.get(), out);
+      return;
+    case Expr::Kind::kUnary:
+      CollectPostFoldVars(expr->left.get(), out);
+      return;
+    case Expr::Kind::kAggregate:
+      if (expr->agg_by != nullptr) {
+        CollectExprVars(expr->agg_arg.get(), out);
+        CollectExprVars(expr->agg_by.get(), out);
+        CollectExprVars(expr->agg_where.get(), out);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+/// Converts an AccessChoice into the corresponding plan leaf, rendering the
+/// probe/bound expressions for display.
+std::unique_ptr<AccessNode> NodeForChoice(const AccessChoice& choice, int var,
+                                          const std::string& var_name,
+                                          Relation* rel, bool current_only) {
+  std::unique_ptr<AccessNode> node;
+  switch (choice.kind) {
+    case AccessChoice::Kind::kScan:
+      node = std::make_unique<SeqScanNode>();
+      break;
+    case AccessChoice::Kind::kKeyed: {
+      auto keyed = std::make_unique<KeyedLookupNode>();
+      keyed->key_expr = choice.key_expr;
+      keyed->key_text = choice.key_expr->ToString();
+      node = std::move(keyed);
+      break;
+    }
+    case AccessChoice::Kind::kIndexEq: {
+      auto ix = std::make_unique<IndexEqNode>();
+      ix->key_expr = choice.key_expr;
+      ix->key_text = choice.key_expr->ToString();
+      ix->index = choice.index;
+      ix->index_attr = choice.index->meta().attr;
+      node = std::move(ix);
+      break;
+    }
+    case AccessChoice::Kind::kRange: {
+      auto range = std::make_unique<RangeScanNode>();
+      range->lo_expr = choice.lo_expr;
+      range->hi_expr = choice.hi_expr;
+      range->lo_inclusive = choice.lo_inclusive;
+      range->hi_inclusive = choice.hi_inclusive;
+      if (choice.lo_expr != nullptr) range->lo_text = choice.lo_expr->ToString();
+      if (choice.hi_expr != nullptr) range->hi_text = choice.hi_expr->ToString();
+      node = std::move(range);
+      break;
+    }
+  }
+  node->var = var;
+  node->var_name = var_name;
+  node->rel_name = rel->meta().name;
+  node->rel = rel;
+  node->current_only = current_only;
+  return node;
+}
+
+/// The residual conjuncts one nesting level applies.
+struct LevelConjuncts {
+  std::vector<const Conjunct*> where;
+  std::vector<const TemporalConjunct*> when;
+};
+
+/// Assigns each top-level conjunct to the first level (in binding order)
+/// at which all its variables are bound.  Variable-free conjuncts go to the
+/// outermost level — evaluating them once is equivalent to the historical
+/// executor's re-evaluation at every level.
+std::vector<LevelConjuncts> AssignConjuncts(
+    const std::vector<int>& order, const std::vector<Conjunct>& where,
+    const std::vector<TemporalConjunct>& when) {
+  std::vector<LevelConjuncts> out(order.size());
+  std::set<int> bound;
+  for (size_t level = 0; level < order.size(); ++level) {
+    bound.insert(order[level]);
+    for (const Conjunct& c : where) {
+      if (c.vars.empty()) {
+        if (level == 0) out[0].where.push_back(&c);
+        continue;
+      }
+      if (c.vars.count(order[level]) == 0) continue;  // not newly covered
+      if (!IsSubset(c.vars, bound)) continue;
+      out[level].where.push_back(&c);
+    }
+    for (const TemporalConjunct& c : when) {
+      if (c.vars.empty()) {
+        if (level == 0) out[0].when.push_back(&c);
+        continue;
+      }
+      if (c.vars.count(order[level]) == 0) continue;
+      if (!IsSubset(c.vars, bound)) continue;
+      out[level].when.push_back(&c);
+    }
+  }
+  return out;
+}
+
+/// Wraps an access leaf in a FilterNode when its level has residual
+/// conjuncts to apply.
+std::unique_ptr<PlanNode> WrapLevel(std::unique_ptr<AccessNode> access,
+                                    const LevelConjuncts& residual) {
+  if (residual.where.empty() && residual.when.empty()) return access;
+  auto filter = std::make_unique<FilterNode>();
+  for (const Conjunct* c : residual.where) {
+    filter->where.push_back(c->expr);
+    filter->pred_text.push_back(c->expr->ToString());
+  }
+  for (const TemporalConjunct* c : residual.when) {
+    filter->when.push_back(c->pred);
+    filter->pred_text.push_back("when " + c->pred->ToString());
+  }
+  filter->child = std::move(access);
+  return filter;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<PhysicalPlan>> BuildPlan(const RetrieveStmt& stmt,
+                                                const BoundStatement& bound,
+                                                const ExecEnv& env) {
+  auto plan = std::make_shared<PhysicalPlan>();
+  Evaluator eval(env.now);
+
+  std::vector<Relation*> rels;
+  for (const BoundVar& bv : bound.vars) {
+    TDB_ASSIGN_OR_RETURN(Relation * rel, env.GetRelation(bv.rel->name));
+    rels.push_back(rel);
+  }
+
+  std::vector<Conjunct> where_conjuncts;
+  std::vector<TemporalConjunct> when_conjuncts;
+  SplitWhere(stmt.where.get(), &where_conjuncts);
+  SplitWhen(stmt.when.get(), &when_conjuncts);
+
+  // TQuel semantics: without an explicit `as of`, relations with
+  // transaction time are viewed as of *now*.  The rollback point is a
+  // constant of the statement, so it is evaluated at plan time.
+  plan->as_of_at = env.now;
+  std::string as_of_text;
+  if (stmt.as_of.has_value()) {
+    Binding empty;
+    TDB_ASSIGN_OR_RETURN(Interval at, eval.EvalTemporal(*stmt.as_of->at, empty));
+    plan->as_of_at = at.from;
+    as_of_text = stmt.as_of->at->ToString();
+    if (stmt.as_of->through != nullptr) {
+      plan->has_through = true;
+      TDB_ASSIGN_OR_RETURN(Interval through,
+                           eval.EvalTemporal(*stmt.as_of->through, empty));
+      plan->as_of_through = through.from;
+      as_of_text += " through " + stmt.as_of->through->ToString();
+    }
+  }
+  bool as_of_is_now = !plan->has_through && plan->as_of_at == env.now;
+
+  std::vector<bool> current_only(rels.size(), false);
+  for (size_t i = 0; i < rels.size(); ++i) {
+    current_only[i] = WantsCurrentOnly(static_cast<int>(i), rels[i],
+                                       when_conjuncts, as_of_is_now);
+  }
+
+  // Variables that stay live once plain aggregates fold to constants; a
+  // query with none (e.g. `retrieve (n = count(p.id))`) emits one row.
+  std::set<int> live;
+  for (const TargetItem& t : stmt.targets) {
+    CollectPostFoldVars(t.expr.get(), &live);
+  }
+  CollectExprVars(stmt.where.get(), &live);
+  CollectTemporalPredVars(stmt.when.get(), &live);
+  if (stmt.valid.has_value()) {
+    CollectTemporalExprVars(stmt.valid->from.get(), &live);
+    CollectTemporalExprVars(stmt.valid->to.get(), &live);
+  }
+
+  // Does the result carry a valid interval?
+  bool valid_output = stmt.valid.has_value();
+  if (!valid_output && !rels.empty()) {
+    valid_output = true;
+    for (Relation* rel : rels) {
+      if (!HasValidTime(rel->schema().db_type())) valid_output = false;
+    }
+  }
+
+  auto root = std::make_unique<ProjectNode>();
+  root->unique = stmt.unique;
+  root->into = stmt.into;
+  root->valid_output = valid_output;
+  root->as_of_text = as_of_text;
+  for (const TargetItem& t : stmt.targets) {
+    // The binder derives a name for bare column targets; showing it would
+    // just repeat the attribute ("id = h.id"), so keep implicit names out.
+    bool implicit = t.name.empty() || (t.expr->kind == Expr::Kind::kColumn &&
+                                       t.name == t.expr->attr);
+    root->target_text.push_back(
+        implicit ? t.expr->ToString() : t.name + " = " + t.expr->ToString());
+  }
+  {
+    std::vector<std::string> keys;
+    for (const SortKey& key : stmt.sort_by) {
+      keys.push_back(key.target + (key.descending ? " desc" : ""));
+    }
+    root->sort_text = Join(keys, ", ");
+  }
+
+  auto access_for = [&](int var, const std::set<int>& available) {
+    AccessChoice choice = ChooseAccess(var, rels[static_cast<size_t>(var)],
+                                       where_conjuncts, available);
+    return NodeForChoice(choice, var, bound.vars[static_cast<size_t>(var)].name,
+                         rels[static_cast<size_t>(var)],
+                         current_only[static_cast<size_t>(var)]);
+  };
+  auto nested_plan = [&]() {
+    std::vector<int> order;
+    for (size_t i = 0; i < rels.size(); ++i) order.push_back(static_cast<int>(i));
+    std::vector<LevelConjuncts> residual =
+        AssignConjuncts(order, where_conjuncts, when_conjuncts);
+    auto nested = std::make_unique<NestedLoopNode>();
+    std::set<int> outer;
+    for (size_t level = 0; level < order.size(); ++level) {
+      nested->levels.push_back(
+          WrapLevel(access_for(order[level], outer), residual[level]));
+      outer.insert(order[level]);
+    }
+    return nested;
+  };
+
+  if (rels.empty() || live.empty()) {
+    // Constant plan: root without input.
+  } else if (rels.size() == 1) {
+    std::vector<LevelConjuncts> residual =
+        AssignConjuncts({0}, where_conjuncts, when_conjuncts);
+    root->child = WrapLevel(access_for(0, {}), residual[0]);
+  } else if (rels.size() == 2) {
+    // Prefer tuple substitution into a keyed inner variable (the Ingres
+    // decomposition the paper's two-variable queries measure).
+    int inner = -1;
+    AccessChoice inner_choice;
+    for (int cand = 0; cand < 2; ++cand) {
+      std::set<int> avail = {1 - cand};
+      AccessChoice c = ChooseAccess(cand, rels[static_cast<size_t>(cand)],
+                                    where_conjuncts, avail);
+      if (c.kind == AccessChoice::Kind::kKeyed ||
+          (c.kind == AccessChoice::Kind::kIndexEq && inner < 0)) {
+        inner = cand;
+        inner_choice = c;
+        if (c.kind == AccessChoice::Kind::kKeyed) break;
+      }
+    }
+    if (inner >= 0) {
+      int outer = 1 - inner;
+      std::vector<LevelConjuncts> residual =
+          AssignConjuncts({outer, inner}, where_conjuncts, when_conjuncts);
+      auto sub = std::make_unique<SubstitutionNode>();
+      sub->outer = WrapLevel(access_for(outer, {}), residual[0]);
+      sub->inner = WrapLevel(
+          NodeForChoice(inner_choice, inner,
+                        bound.vars[static_cast<size_t>(inner)].name,
+                        rels[static_cast<size_t>(inner)],
+                        current_only[static_cast<size_t>(inner)]),
+          residual[1]);
+      root->child = std::move(sub);
+    } else {
+      root->child = nested_plan();
+    }
+  } else {
+    root->child = nested_plan();
+  }
+
+  plan->root = std::move(root);
+  return plan;
 }
 
 }  // namespace tdb

@@ -1,11 +1,15 @@
 #ifndef CHRONOQUEL_EXEC_PLANNER_H_
 #define CHRONOQUEL_EXEC_PLANNER_H_
 
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "core/relation.h"
+#include "exec/exec_env.h"
+#include "exec/plan.h"
 #include "tquel/ast.h"
+#include "tquel/binder.h"
 
 namespace tdb {
 
@@ -68,6 +72,24 @@ AccessChoice ChooseAccess(int var, Relation* rel,
 bool WantsCurrentOnly(int var, const Relation* rel,
                       const std::vector<TemporalConjunct>& when_conjuncts,
                       bool as_of_is_now);
+
+/// Builds the complete physical plan for a bound retrieve statement: every
+/// access-path and join-order decision is made here, before execution.  The
+/// shape mirrors the Ingres decomposition the executor implements:
+///   * no tuple variables left live after aggregate folding -> a constant
+///     plan (ProjectNode without input) emitting exactly one row;
+///   * one variable -> its chosen access path, wrapped in a FilterNode when
+///     residual conjuncts remain;
+///   * two variables with a keyed/indexed candidate -> SubstitutionNode
+///     (detach the other variable to a temp, probe this one per temp row);
+///   * otherwise -> left-deep NestedLoopNode with per-level access choice.
+/// The rollback point (`as of`, defaulting to now) is evaluated here so the
+/// plan and the executor agree on it.  The returned plan aliases
+/// expressions owned by `stmt` — execute it while the statement is alive;
+/// the pre-rendered node text stays printable afterwards.
+Result<std::shared_ptr<PhysicalPlan>> BuildPlan(const RetrieveStmt& stmt,
+                                                const BoundStatement& bound,
+                                                const ExecEnv& env);
 
 }  // namespace tdb
 

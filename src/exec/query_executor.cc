@@ -1,6 +1,8 @@
 #include "exec/query_executor.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 
 #include "storage/heap_file.h"
 #include "util/stringx.h"
@@ -58,157 +60,155 @@ void CollectAttrRefs(const Expr* expr, int var, std::set<int>* out) {
 }  // namespace
 
 bool QueryExecutor::QualifiesAsOf(const Interval& tx) const {
-  if (!has_as_of_) return true;
   if (!has_through_) return tx.Contains(as_of_at_);
   // `as of t1 through t2`: current at any moment of the closed range.
   return tx.Overlaps(Interval(as_of_at_, as_of_through_)) ||
          tx.Contains(as_of_through_);
 }
 
-Result<bool> QueryExecutor::ApplyFilters(const Binding& binding,
-                                         const std::set<int>& bound_vars,
-                                         const std::set<int>& outer_vars) {
-  auto covered_now = [&](const std::set<int>& vs) {
-    // All variables bound, and at least one NOT bound before this level
-    // (otherwise an outer level already applied the filter).
-    for (int v : vs) {
-      if (bound_vars.count(v) == 0) return false;
-    }
-    for (int v : vs) {
-      if (outer_vars.count(v) == 0) return true;
-    }
-    return vs.empty();  // constant predicates apply at the innermost level 0
-  };
-  for (const Conjunct& c : where_conjuncts_) {
-    if (!covered_now(c.vars)) continue;
-    TDB_ASSIGN_OR_RETURN(bool ok, eval_.EvalBool(*c.expr, binding));
+Result<bool> QueryExecutor::EvalFilter(const FilterNode& filter,
+                                       const Binding& binding) {
+  for (const Expr* e : filter.where) {
+    TDB_ASSIGN_OR_RETURN(bool ok, eval_.EvalBool(*e, binding));
     if (!ok) return false;
   }
-  for (const TemporalConjunct& c : when_conjuncts_) {
-    if (!covered_now(c.vars)) continue;
-    TDB_ASSIGN_OR_RETURN(bool ok, eval_.EvalPred(*c.pred, binding));
+  for (const TemporalPred* p : filter.when) {
+    TDB_ASSIGN_OR_RETURN(bool ok, eval_.EvalPred(*p, binding));
     if (!ok) return false;
   }
   return true;
 }
 
-Result<AccessSpec> QueryExecutor::SpecFor(int var, const AccessChoice& choice,
+Result<AccessSpec> QueryExecutor::SpecFor(const AccessNode& node,
                                           const Binding& binding) const {
   AccessSpec spec;
-  spec.current_only = vars_[static_cast<size_t>(var)].current_only;
-  switch (choice.kind) {
-    case AccessChoice::Kind::kScan:
+  spec.current_only = node.current_only;
+  switch (node.kind) {
+    case PlanNode::Kind::kSeqScan:
       spec.kind = AccessSpec::Kind::kScan;
       return spec;
-    case AccessChoice::Kind::kRange: {
+    case PlanNode::Kind::kRangeScan: {
+      const auto& range = static_cast<const RangeScanNode&>(node);
       spec.kind = AccessSpec::Kind::kRange;
-      spec.lo_inclusive = choice.lo_inclusive;
-      spec.hi_inclusive = choice.hi_inclusive;
-      if (choice.lo_expr != nullptr) {
-        TDB_ASSIGN_OR_RETURN(Value lo, eval_.Eval(*choice.lo_expr, binding));
+      spec.lo_inclusive = range.lo_inclusive;
+      spec.hi_inclusive = range.hi_inclusive;
+      if (range.lo_expr != nullptr) {
+        TDB_ASSIGN_OR_RETURN(Value lo, eval_.Eval(*range.lo_expr, binding));
         spec.lo = std::move(lo);
       }
-      if (choice.hi_expr != nullptr) {
-        TDB_ASSIGN_OR_RETURN(Value hi, eval_.Eval(*choice.hi_expr, binding));
+      if (range.hi_expr != nullptr) {
+        TDB_ASSIGN_OR_RETURN(Value hi, eval_.Eval(*range.hi_expr, binding));
         spec.hi = std::move(hi);
       }
       return spec;
     }
-    case AccessChoice::Kind::kKeyed:
+    case PlanNode::Kind::kKeyedLookup: {
+      const auto& keyed = static_cast<const KeyedLookupNode&>(node);
       spec.kind = AccessSpec::Kind::kKeyed;
-      break;
-    case AccessChoice::Kind::kIndexEq:
+      TDB_ASSIGN_OR_RETURN(spec.key, eval_.Eval(*keyed.key_expr, binding));
+      return spec;
+    }
+    case PlanNode::Kind::kIndexEq: {
+      const auto& ix = static_cast<const IndexEqNode&>(node);
       spec.kind = AccessSpec::Kind::kIndexEq;
-      spec.index = choice.index;
-      break;
+      spec.index = ix.index;
+      TDB_ASSIGN_OR_RETURN(spec.key, eval_.Eval(*ix.key_expr, binding));
+      return spec;
+    }
+    default:
+      return Status::Internal("SpecFor: not an access node");
   }
-  TDB_ASSIGN_OR_RETURN(spec.key, eval_.Eval(*choice.key_expr, binding));
-  return spec;
 }
 
-std::string QueryExecutor::DescribeChoice(int var,
-                                          const AccessChoice& choice) const {
-  const char* kind = "scan";
-  switch (choice.kind) {
-    case AccessChoice::Kind::kScan:
-      kind = "scan";
-      break;
-    case AccessChoice::Kind::kKeyed:
-      kind = "keyed";
-      break;
-    case AccessChoice::Kind::kIndexEq:
-      kind = "index";
-      break;
-    case AccessChoice::Kind::kRange:
-      kind = "range";
-      break;
-  }
-  std::string note = StrPrintf(
-      "%s:%s", vars_[static_cast<size_t>(var)].rel->meta().name.c_str(), kind);
-  if (vars_[static_cast<size_t>(var)].current_only) note += "(current)";
-  return note;
-}
+Status QueryExecutor::ExecuteAccess(AccessNode* node, Binding* binding,
+                                    const EmitFn& body) {
+  node->stats.executed = true;
+  ++node->stats.loops;
+  TDB_ASSIGN_OR_RETURN(AccessSpec spec, SpecFor(*node, *binding));
 
-Status QueryExecutor::IterateVar(int var, const std::set<int>& outer_vars,
-                                 Binding* binding, const EmitFn& body) {
-  Relation* rel = vars_[static_cast<size_t>(var)].rel;
-  AccessChoice choice = ChooseAccess(var, rel, where_conjuncts_, outer_vars);
-  plan_notes_.push_back(DescribeChoice(var, choice));
-  TDB_ASSIGN_OR_RETURN(AccessSpec spec, SpecFor(var, choice, *binding));
-  TDB_ASSIGN_OR_RETURN(auto src, VersionSource::Create(rel, std::move(spec)));
+  IoCounters before = env_.registry->Total();
+  auto src_result = VersionSource::Create(node->rel, std::move(spec));
+  AccumulateDelta(&node->stats.io, before, env_.registry->Total());
+  if (!src_result.ok()) return src_result.status();
+  std::unique_ptr<VersionSource> src = std::move(*src_result);
 
-  std::set<int> bound_vars = outer_vars;
-  bound_vars.insert(var);
-
+  bool tx_time = HasTransactionTime(node->rel->schema().db_type());
   while (true) {
-    TDB_ASSIGN_OR_RETURN(bool have, src->Next());
-    if (!have) break;
-    (*binding)[static_cast<size_t>(var)] = &src->ref();
-    bool pass = true;
-    if (HasTransactionTime(rel->schema().db_type()) &&
-        !QualifiesAsOf(src->ref().tx)) {
-      pass = false;
-    }
-    if (pass) {
-      TDB_ASSIGN_OR_RETURN(pass, ApplyFilters(*binding, bound_vars,
-                                              outer_vars));
-    }
-    if (pass) {
-      TDB_RETURN_NOT_OK(body(*binding));
-    }
+    before = env_.registry->Total();
+    auto have_result = src->Next();
+    AccumulateDelta(&node->stats.io, before, env_.registry->Total());
+    if (!have_result.ok()) return have_result.status();
+    if (!*have_result) break;
+    ++node->stats.rows_examined;
+    (*binding)[static_cast<size_t>(node->var)] = &src->ref();
+    if (tx_time && !QualifiesAsOf(src->ref().tx)) continue;
+    ++node->stats.rows_emitted;
+    TDB_RETURN_NOT_OK(body(*binding));
   }
-  (*binding)[static_cast<size_t>(var)] = nullptr;
+  (*binding)[static_cast<size_t>(node->var)] = nullptr;
   return Status::OK();
 }
 
-Status QueryExecutor::Nested(size_t level, std::set<int> bound_vars,
-                             Binding* binding, const EmitFn& emit) {
-  if (level == vars_.size()) return emit(*binding);
-  int var = static_cast<int>(level);
-  return IterateVar(var, bound_vars, binding, [&](const Binding&) -> Status {
-    std::set<int> next = bound_vars;
-    next.insert(var);
-    return Nested(level + 1, std::move(next), binding, emit);
-  });
+Status QueryExecutor::ExecuteLevel(PlanNode* level, Binding* binding,
+                                   const EmitFn& body) {
+  if (level->kind == PlanNode::Kind::kFilter) {
+    auto* filter = static_cast<FilterNode*>(level);
+    filter->stats.executed = true;
+    ++filter->stats.loops;
+    auto* access = static_cast<AccessNode*>(filter->child.get());
+    return ExecuteAccess(access, binding, [&](const Binding& b) -> Status {
+      ++filter->stats.rows_examined;
+      TDB_ASSIGN_OR_RETURN(bool pass, EvalFilter(*filter, b));
+      if (!pass) return Status::OK();
+      ++filter->stats.rows_emitted;
+      return body(b);
+    });
+  }
+  return ExecuteAccess(static_cast<AccessNode*>(level), binding, body);
 }
 
-Status QueryExecutor::Substitution(int outer, int inner,
-                                   const AccessChoice& inner_choice,
-                                   Binding* binding, const EmitFn& emit) {
-  Relation* outer_rel = vars_[static_cast<size_t>(outer)].rel;
+Status QueryExecutor::ExecuteNestedLoop(NestedLoopNode* node, size_t level,
+                                        Binding* binding, const EmitFn& emit) {
+  if (level == 0) {
+    node->stats.executed = true;
+    ++node->stats.loops;
+  }
+  if (level == node->levels.size()) {
+    ++node->stats.rows_emitted;
+    return emit(*binding);
+  }
+  return ExecuteLevel(node->levels[level].get(), binding,
+                      [&](const Binding&) -> Status {
+                        return ExecuteNestedLoop(node, level + 1, binding,
+                                                 emit);
+                      });
+}
+
+Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
+                                          Binding* binding,
+                                          const EmitFn& emit) {
+  node->stats.executed = true;
+  ++node->stats.loops;
+
+  AccessNode* outer_access = AccessOf(node->outer.get());
+  AccessNode* inner_access = AccessOf(node->inner.get());
+  FilterNode* inner_filter =
+      node->inner->kind == PlanNode::Kind::kFilter
+          ? static_cast<FilterNode*>(node->inner.get())
+          : nullptr;
+  int outer_var = outer_access->var;
+  int inner_var = inner_access->var;
+  Relation* outer_rel = outer_access->rel;
+  Relation* inner_rel = inner_access->rel;
   const Schema& oschema = outer_rel->schema();
-  plan_notes_.push_back(
-      "substitution(" + DescribeChoice(inner, inner_choice) + ")");
 
   // ---- one-variable detachment: project the outer variable's qualifying
   // versions into a temporary relation ----
   std::set<int> proj;
   for (const TargetItem& t : stmt_->targets) {
-    CollectAttrRefs(t.expr.get(), outer, &proj);
+    CollectAttrRefs(t.expr.get(), outer_var, &proj);
   }
-  for (const Conjunct& c : where_conjuncts_) {
-    CollectAttrRefs(c.expr, outer, &proj);
-  }
+  CollectAttrRefs(stmt_->where.get(), outer_var, &proj);
   // The implicit time attributes travel along for when / as-of / valid
   // evaluation against the temp rows.
   for (size_t i = oschema.num_user_attrs(); i < oschema.num_attrs(); ++i) {
@@ -230,30 +230,33 @@ Status QueryExecutor::Substitution(int outer, int inner,
   std::string temp_path = env_.dir + "/" + temp_name + ".dat";
   RecordLayout temp_layout;
   temp_layout.record_size = temp_schema.record_size();
-  TDB_ASSIGN_OR_RETURN(
-      auto temp_pager,
+  IoCounters before = env_.registry->Total();
+  auto temp_pager_result =
       Pager::Open(env_.env, temp_path, env_.registry->ForFile(temp_name),
-                  env_.buffer_frames));
-  TDB_RETURN_NOT_OK(temp_pager->Reset());
-  TDB_ASSIGN_OR_RETURN(auto temp, HeapFile::Open(std::move(temp_pager),
-                                                 temp_layout,
-                                                 IoCategory::kTemp));
+                  env_.buffer_frames);
+  AccumulateDelta(&node->stats.io, before, env_.registry->Total());
+  if (!temp_pager_result.ok()) return temp_pager_result.status();
+  TDB_RETURN_NOT_OK((*temp_pager_result)->Reset());
+  TDB_ASSIGN_OR_RETURN(auto temp,
+                       HeapFile::Open(std::move(*temp_pager_result),
+                                      temp_layout, IoCategory::kTemp));
 
-  std::set<int> none;
-  TDB_RETURN_NOT_OK(IterateVar(outer, none, binding,
-                               [&](const Binding& b) -> Status {
-    const VersionRef* ref = b[static_cast<size_t>(outer)];
-    Row trow;
-    trow.reserve(proj_attrs.size());
-    for (int ai : proj_attrs) {
-      trow.push_back(ref->row[static_cast<size_t>(ai)]);
-    }
-    TDB_ASSIGN_OR_RETURN(auto rec, EncodeRecord(temp_schema, trow));
-    return temp->Insert(rec.data(), rec.size(), nullptr);
-  }));
+  TDB_RETURN_NOT_OK(ExecuteLevel(
+      node->outer.get(), binding, [&](const Binding& b) -> Status {
+        const VersionRef* ref = b[static_cast<size_t>(outer_var)];
+        Row trow;
+        trow.reserve(proj_attrs.size());
+        for (int ai : proj_attrs) {
+          trow.push_back(ref->row[static_cast<size_t>(ai)]);
+        }
+        TDB_ASSIGN_OR_RETURN(auto rec, EncodeRecord(temp_schema, trow));
+        IoCounters pre = env_.registry->Total();
+        Status st = temp->Insert(rec.data(), rec.size(), nullptr);
+        AccumulateDelta(&node->stats.io, pre, env_.registry->Total());
+        return st;
+      }));
 
   // ---- tuple substitution: probe the inner variable per temp row ----
-  std::set<int> outer_set = {outer};
   VersionRef outer_ref;  // reconstructed full-schema version
   Status status = Status::OK();
   // Consecutive temp rows often probe the same key (all versions of one
@@ -262,11 +265,19 @@ Status QueryExecutor::Substitution(int outer, int inner,
   bool have_cached_key = false;
   Value cached_key;
   std::vector<VersionRef> cached_matches;
+  bool inner_tx_time = HasTransactionTime(inner_rel->schema().db_type());
   {
-    TDB_ASSIGN_OR_RETURN(auto cur, temp->Scan());
+    before = env_.registry->Total();
+    auto cur_result = temp->Scan();
+    AccumulateDelta(&node->stats.io, before, env_.registry->Total());
+    if (!cur_result.ok()) return cur_result.status();
+    auto cur = std::move(*cur_result);
     while (status.ok()) {
-      TDB_ASSIGN_OR_RETURN(bool have, cur->Next());
-      if (!have) break;
+      before = env_.registry->Total();
+      auto have_result = cur->Next();
+      AccumulateDelta(&node->stats.io, before, env_.registry->Total());
+      if (!have_result.ok()) return have_result.status();
+      if (!*have_result) break;
       TDB_ASSIGN_OR_RETURN(Row trow, DecodeRecord(temp_schema,
                                                   cur->record().data(),
                                                   cur->record().size()));
@@ -293,45 +304,60 @@ Status QueryExecutor::Substitution(int outer, int inner,
       }
       outer_ref.row = std::move(full);
       RefreshIntervals(oschema, &outer_ref);
-      (*binding)[static_cast<size_t>(outer)] = &outer_ref;
+      (*binding)[static_cast<size_t>(outer_var)] = &outer_ref;
 
-      TDB_ASSIGN_OR_RETURN(AccessSpec spec,
-                           SpecFor(inner, inner_choice, *binding));
-      Relation* inner_rel = vars_[static_cast<size_t>(inner)].rel;
+      TDB_ASSIGN_OR_RETURN(AccessSpec spec, SpecFor(*inner_access, *binding));
       if (!have_cached_key || !cached_key.Equals(spec.key)) {
         cached_key = spec.key;
         have_cached_key = true;
         cached_matches.clear();
-        TDB_ASSIGN_OR_RETURN(auto src, VersionSource::Create(inner_rel,
-                                                             std::move(spec)));
-        while (true) {
-          TDB_ASSIGN_OR_RETURN(bool have_inner, src->Next());
-          if (!have_inner) break;
-          cached_matches.push_back(src->ref());
+        inner_access->stats.executed = true;
+        ++inner_access->stats.loops;
+        before = env_.registry->Total();
+        auto src_result = VersionSource::Create(inner_rel, std::move(spec));
+        if (src_result.ok()) {
+          auto& src = *src_result;
+          while (true) {
+            auto have_inner = src->Next();
+            if (!have_inner.ok()) {
+              status = have_inner.status();
+              break;
+            }
+            if (!*have_inner) break;
+            ++inner_access->stats.rows_examined;
+            cached_matches.push_back(src->ref());
+          }
         }
+        AccumulateDelta(&inner_access->stats.io, before,
+                        env_.registry->Total());
+        if (!src_result.ok()) return src_result.status();
+        TDB_RETURN_NOT_OK(status);
       }
-      std::set<int> both = {outer, inner};
       for (const VersionRef& iref : cached_matches) {
-        (*binding)[static_cast<size_t>(inner)] = &iref;
+        (*binding)[static_cast<size_t>(inner_var)] = &iref;
         bool pass = true;
-        if (HasTransactionTime(inner_rel->schema().db_type()) &&
-            !QualifiesAsOf(iref.tx)) {
-          pass = false;
+        if (inner_tx_time && !QualifiesAsOf(iref.tx)) pass = false;
+        if (pass) ++inner_access->stats.rows_emitted;
+        if (pass && inner_filter != nullptr) {
+          inner_filter->stats.executed = true;
+          ++inner_filter->stats.rows_examined;
+          TDB_ASSIGN_OR_RETURN(pass, EvalFilter(*inner_filter, *binding));
+          if (pass) ++inner_filter->stats.rows_emitted;
         }
         if (pass) {
-          TDB_ASSIGN_OR_RETURN(pass, ApplyFilters(*binding, both, outer_set));
-        }
-        if (pass) {
+          ++node->stats.rows_emitted;
           status = emit(*binding);
           if (!status.ok()) break;
         }
       }
-      (*binding)[static_cast<size_t>(inner)] = nullptr;
+      (*binding)[static_cast<size_t>(inner_var)] = nullptr;
     }
   }
-  (*binding)[static_cast<size_t>(outer)] = nullptr;
+  (*binding)[static_cast<size_t>(outer_var)] = nullptr;
+  before = env_.registry->Total();
   temp.reset();  // flush before deleting
   (void)env_.env->DeleteFile(temp_path);
+  AccumulateDelta(&node->stats.io, before, env_.registry->Total());
   return status;
 }
 
@@ -403,7 +429,7 @@ Status QueryExecutor::FoldAggregate(Expr* expr, const BoundStatement& bound) {
         "aggregates must reference exactly one tuple variable");
   }
   int var = *agg_vars.begin();
-  Relation* rel = vars_[static_cast<size_t>(var)].rel;
+  Relation* rel = rels_[static_cast<size_t>(var)];
   const Schema& schema = rel->schema();
 
   // Aggregates are independent one-variable subqueries over the state of
@@ -414,7 +440,7 @@ Status QueryExecutor::FoldAggregate(Expr* expr, const BoundStatement& bound) {
   AccessSpec spec;
   spec.kind = AccessSpec::Kind::kScan;
   TDB_ASSIGN_OR_RETURN(auto src, VersionSource::Create(rel, spec));
-  Binding binding(vars_.size(), nullptr);
+  Binding binding(rels_.size(), nullptr);
 
   std::map<std::string, AggAccumulator> groups;
   while (true) {
@@ -482,70 +508,25 @@ Status QueryExecutor::FoldAggregates(RetrieveStmt* stmt,
 Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
                                            const BoundStatement& bound) {
   stmt_ = stmt;
-  vars_.clear();
-  where_conjuncts_.clear();
-  when_conjuncts_.clear();
-  plan_notes_.clear();
-
+  rels_.clear();
   for (const BoundVar& bv : bound.vars) {
-    VarInfo info;
-    TDB_ASSIGN_OR_RETURN(info.rel, env_.GetRelation(bv.rel->name));
-    vars_.push_back(info);
-  }
-  SplitWhere(stmt->where.get(), &where_conjuncts_);
-  SplitWhen(stmt->when.get(), &when_conjuncts_);
-
-  // TQuel semantics: a query without an explicit `as of` views relations
-  // with transaction time as of *now*, so superseded versions never leak
-  // into results.  (Relations without transaction time are unaffected —
-  // QualifiesAsOf is only consulted for them.)
-  has_as_of_ = true;
-  has_through_ = false;
-  as_of_at_ = env_.now;
-  if (stmt->as_of.has_value()) {
-    Binding empty;
-    TDB_ASSIGN_OR_RETURN(Interval at,
-                         eval_.EvalTemporal(*stmt->as_of->at, empty));
-    as_of_at_ = at.from;
-    if (stmt->as_of->through != nullptr) {
-      has_through_ = true;
-      TDB_ASSIGN_OR_RETURN(Interval th,
-                           eval_.EvalTemporal(*stmt->as_of->through, empty));
-      as_of_through_ = th.from;
-    }
-  }
-  bool as_of_is_now = !has_through_ && as_of_at_ == env_.now;
-  for (size_t i = 0; i < vars_.size(); ++i) {
-    vars_[i].current_only = WantsCurrentOnly(static_cast<int>(i),
-                                             vars_[i].rel, when_conjuncts_,
-                                             as_of_is_now);
+    TDB_ASSIGN_OR_RETURN(Relation * rel, env_.GetRelation(bv.rel->name));
+    rels_.push_back(rel);
   }
 
+  // All planning decisions — access paths, join order, residual-filter
+  // placement, the rollback point — are made up front.
+  TDB_ASSIGN_OR_RETURN(std::shared_ptr<PhysicalPlan> plan,
+                       BuildPlan(*stmt, bound, env_));
+  as_of_at_ = plan->as_of_at;
+  has_through_ = plan->has_through;
+  as_of_through_ = plan->as_of_through;
+
+  // Aggregate folding runs before iteration starts (it performs its own
+  // one-variable scans); its I/O is deliberately outside the plan tree.
   TDB_RETURN_NOT_OK(FoldAggregates(stmt, bound));
 
-  // Folding aggregates may leave the statement with no live variable
-  // references at all (e.g. `retrieve (n = count(p.id))`) — such a query
-  // emits exactly one row.
-  std::set<int> live_vars;
-  for (const TargetItem& t : stmt->targets) {
-    CollectExprVars(t.expr.get(), &live_vars);
-  }
-  CollectExprVars(stmt->where.get(), &live_vars);
-  CollectTemporalPredVars(stmt->when.get(), &live_vars);
-  if (stmt->valid.has_value()) {
-    CollectTemporalExprVars(stmt->valid->from.get(), &live_vars);
-    CollectTemporalExprVars(stmt->valid->to.get(), &live_vars);
-  }
-  bool no_live_vars = live_vars.empty();
-
-  // Does the result carry a valid interval?
-  bool valid_output = stmt->valid.has_value();
-  if (!valid_output && !vars_.empty()) {
-    valid_output = true;
-    for (const VarInfo& v : vars_) {
-      if (!HasValidTime(v.rel->schema().db_type())) valid_output = false;
-    }
-  }
+  bool valid_output = plan->root->valid_output;
 
   ResultSet result;
   for (const TargetItem& t : stmt->targets) result.columns.push_back(t.name);
@@ -555,7 +536,6 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
   }
 
   std::set<std::string> seen;  // for `unique`
-  Status emit_error = Status::OK();
   EmitFn emit = [&](const Binding& binding) -> Status {
     Row row;
     row.reserve(stmt->targets.size() + 2);
@@ -601,37 +581,20 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
     return Status::OK();
   };
 
-  Binding binding(vars_.size(), nullptr);
-  if (vars_.empty() || no_live_vars) {
+  Binding binding(rels_.size(), nullptr);
+  PlanNode* input = plan->root->child.get();
+  if (input == nullptr) {
+    // Constant plan: one row from an empty binding.
     TDB_RETURN_NOT_OK(emit(binding));
-  } else if (vars_.size() == 1) {
-    std::set<int> none;
-    TDB_RETURN_NOT_OK(IterateVar(0, none, &binding, emit));
-  } else if (vars_.size() == 2) {
-    // Prefer tuple substitution into a keyed inner variable.
-    int inner = -1;
-    AccessChoice inner_choice;
-    for (int cand = 0; cand < 2; ++cand) {
-      std::set<int> avail = {1 - cand};
-      AccessChoice c = ChooseAccess(cand, vars_[static_cast<size_t>(cand)].rel,
-                                    where_conjuncts_, avail);
-      if (c.kind == AccessChoice::Kind::kKeyed ||
-          (c.kind == AccessChoice::Kind::kIndexEq && inner < 0)) {
-        inner = cand;
-        inner_choice = c;
-        if (c.kind == AccessChoice::Kind::kKeyed) break;
-      }
-    }
-    if (inner >= 0) {
-      TDB_RETURN_NOT_OK(
-          Substitution(1 - inner, inner, inner_choice, &binding, emit));
-    } else {
-      TDB_RETURN_NOT_OK(Nested(0, {}, &binding, emit));
-    }
+  } else if (input->kind == PlanNode::Kind::kNestedLoop) {
+    TDB_RETURN_NOT_OK(ExecuteNestedLoop(static_cast<NestedLoopNode*>(input),
+                                        0, &binding, emit));
+  } else if (input->kind == PlanNode::Kind::kSubstitution) {
+    TDB_RETURN_NOT_OK(ExecuteSubstitution(
+        static_cast<SubstitutionNode*>(input), &binding, emit));
   } else {
-    TDB_RETURN_NOT_OK(Nested(0, {}, &binding, emit));
+    TDB_RETURN_NOT_OK(ExecuteLevel(input, &binding, emit));
   }
-  TDB_RETURN_NOT_OK(emit_error);
 
   // `sort by` orders the result by named output columns (stable, so
   // secondary keys listed later act as tie breakers of earlier ones).
@@ -666,6 +629,10 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
     TDB_RETURN_NOT_OK(sort_error);
   }
 
+  plan->root->stats.executed = true;
+  plan->root->stats.loops = 1;
+  plan->root->stats.rows_emitted = result.rows.size();
+
   ExecResult out;
   if (!stmt->into.empty()) {
     // Materialize into a new relation: historical when a valid interval was
@@ -697,10 +664,9 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
     out.result = std::move(result);
   }
   if (out.message.empty()) {
-    out.message = "plan: " + (plan_notes_.empty()
-                                  ? std::string("constant")
-                                  : Join(plan_notes_, "; "));
+    out.message = "plan: " + plan->Summary();
   }
+  out.plan = std::move(plan);
   return out;
 }
 

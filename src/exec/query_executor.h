@@ -3,12 +3,12 @@
 
 #include <functional>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "core/result_set.h"
 #include "exec/eval.h"
 #include "exec/exec_env.h"
+#include "exec/plan.h"
 #include "exec/planner.h"
 #include "exec/version_source.h"
 #include "tquel/ast.h"
@@ -16,16 +16,20 @@
 
 namespace tdb {
 
-/// Executes retrieve statements the way the prototype (and Ingres) does:
-///   * one-variable queries through the one-variable query processor with
-///     access-path selection (hashed access, ISAM access, secondary index,
-///     or sequential scan);
-///   * two-variable queries by one-variable detachment of the outer
-///     variable into a temporary relation followed by tuple substitution
-///     into the keyed inner variable (the asymmetric Q09/Q10 plans), or by
-///     nested sequential scans when no keyed path exists (Q11);
-///   * more variables by left-deep nested iteration with per-level access
-///     selection.
+/// Interprets the physical plan BuildPlan produces for a retrieve
+/// statement.  All access-path and join-order decisions were made by the
+/// planner; this class only evaluates the tree, the way the prototype (and
+/// Ingres) executes it:
+///   * an access leaf streams one variable's versions through the chosen
+///     path (hashed/ISAM lookup, secondary index, key range, or scan);
+///   * a FilterNode applies that level's residual where/when conjuncts;
+///   * a NestedLoopNode iterates its levels left-deep;
+///   * a SubstitutionNode detaches the outer variable into a temporary
+///     relation, then probes the keyed inner variable per temp row (the
+///     asymmetric Q09/Q10 plans).
+/// While executing it annotates every node's PlanNodeStats — loops, rows,
+/// and page I/O scoped via IoCounters deltas — and attaches the annotated
+/// plan to the ExecResult.
 class QueryExecutor {
  public:
   explicit QueryExecutor(const ExecEnv& env) : env_(env), eval_(env.now) {}
@@ -33,11 +37,6 @@ class QueryExecutor {
   Result<ExecResult> Retrieve(RetrieveStmt* stmt, const BoundStatement& bound);
 
  private:
-  struct VarInfo {
-    Relation* rel = nullptr;
-    bool current_only = false;
-  };
-
   /// Callback receiving each fully-bound row candidate.
   using EmitFn = std::function<Status(const Binding&)>;
 
@@ -48,49 +47,35 @@ class QueryExecutor {
   /// True when the version's transaction interval qualifies under `as of`.
   bool QualifiesAsOf(const Interval& tx) const;
 
-  /// Applies the where/when conjuncts whose variables are covered by
-  /// `bound_vars` and not yet applied at an outer level.
-  Result<bool> ApplyFilters(const Binding& binding,
-                            const std::set<int>& bound_vars,
-                            const std::set<int>& outer_vars);
+  /// Evaluates a FilterNode's residual conjuncts against the binding.
+  Result<bool> EvalFilter(const FilterNode& filter, const Binding& binding);
 
-  /// Iterates variable `var` through `choice`, calling `body` per version
-  /// that passes its per-level filters.
-  Status IterateVar(int var, const std::set<int>& outer_vars,
-                    Binding* binding, const EmitFn& body);
+  /// Runs one nesting level (FilterNode or access leaf), calling `body` per
+  /// version that passes the level's as-of check and residual filters.
+  Status ExecuteLevel(PlanNode* level, Binding* binding, const EmitFn& body);
 
-  /// Generic left-deep nested iteration starting at `level`.
-  Status Nested(size_t level, std::set<int> bound_vars, Binding* binding,
-                const EmitFn& emit);
+  /// Streams an access leaf, accumulating its stats and I/O.
+  Status ExecuteAccess(AccessNode* node, Binding* binding, const EmitFn& body);
 
-  /// Two-variable plan: detach `outer` into a temp relation, then probe
-  /// `inner` through `inner_choice` per temp row.
-  Status Substitution(int outer, int inner, const AccessChoice& inner_choice,
-                      Binding* binding, const EmitFn& emit);
+  Status ExecuteNestedLoop(NestedLoopNode* node, size_t level,
+                           Binding* binding, const EmitFn& emit);
+  Status ExecuteSubstitution(SubstitutionNode* node, Binding* binding,
+                             const EmitFn& emit);
 
-  /// Builds the AccessSpec (evaluating the probe expression) for a choice.
-  Result<AccessSpec> SpecFor(int var, const AccessChoice& choice,
+  /// Builds the AccessSpec (evaluating the probe expression) for a leaf.
+  Result<AccessSpec> SpecFor(const AccessNode& node,
                              const Binding& binding) const;
-
-  /// Human-readable summary of the chosen access path for `var`.
-  std::string DescribeChoice(int var, const AccessChoice& choice) const;
 
   ExecEnv env_;
   Evaluator eval_;
 
   // Per-statement state.
   RetrieveStmt* stmt_ = nullptr;
-  std::vector<VarInfo> vars_;
-  std::vector<Conjunct> where_conjuncts_;
-  std::vector<TemporalConjunct> when_conjuncts_;
-  bool has_as_of_ = false;
+  std::vector<Relation*> rels_;  // per bound variable
   TimePoint as_of_at_;
   bool has_through_ = false;
   TimePoint as_of_through_;
   int temp_counter_ = 0;
-  /// Plan decisions accumulated during execution, reported in the result
-  /// message (e.g. "h: keyed; i: scan->temp; substitution").
-  std::vector<std::string> plan_notes_;
 };
 
 }  // namespace tdb

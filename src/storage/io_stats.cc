@@ -18,6 +18,14 @@ const char* IoCategoryName(IoCategory c) {
   return "?";
 }
 
+void AccumulateDelta(IoCounters* into, const IoCounters& before,
+                     const IoCounters& after) {
+  for (int i = 0; i < kNumIoCategories; ++i) {
+    into->reads[i] += after.reads[i] - before.reads[i];
+    into->writes[i] += after.writes[i] - before.writes[i];
+  }
+}
+
 IoCounters* IoRegistry::ForFile(const std::string& file_name) {
   auto it = by_file_.find(file_name);
   if (it == by_file_.end()) {

@@ -84,6 +84,13 @@ struct IoCounters {
   }
 };
 
+/// Adds `after - before` (per category, reads and writes) into `into`.
+/// Used by the executor to attribute registry-wide I/O to the plan node
+/// whose storage operation ran between the two snapshots; the trace fields
+/// are not touched.
+void AccumulateDelta(IoCounters* into, const IoCounters& before,
+                     const IoCounters& after);
+
 /// Registry of per-file counters owned by a Database.  The paper's metric —
 /// "we counted only disk accesses to user relations, and allocated only 1
 /// buffer for each user relation" — is implemented by giving every file a

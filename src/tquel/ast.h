@@ -190,6 +190,7 @@ struct Statement {
     kIndex,
     kCopy,
     kHelp,
+    kExplain,
   };
   explicit Statement(Kind k) : kind(k) {}
   virtual ~Statement() = default;
@@ -313,6 +314,13 @@ struct CopyStmt : Statement {
   std::string relation;
   bool from = false;  // true: load, false: dump
   std::string path;
+};
+
+/// `explain retrieve ...` — plans the wrapped query and returns the plan
+/// tree as rows, without executing it.
+struct ExplainStmt : Statement {
+  ExplainStmt() : Statement(Kind::kExplain) {}
+  std::unique_ptr<RetrieveStmt> query;
 };
 
 }  // namespace tdb

@@ -39,6 +39,7 @@ class ParserImpl {
     if (t.IsKeyword("index")) return ParseIndex();
     if (t.IsKeyword("copy")) return ParseCopy();
     if (t.IsKeyword("help")) return ParseHelp();
+    if (t.IsKeyword("explain")) return ParseExplain();
     return Err("unknown statement '" + t.text + "'");
   }
 
@@ -96,7 +97,7 @@ class ParserImpl {
     static const char* kStarters[] = {"range",  "retrieve", "append",
                                       "delete", "replace",  "create",
                                       "destroy", "modify",  "index", "copy",
-                                      "help"};
+                                      "help",   "explain"};
     for (const char* kw : kStarters) {
       if (t.IsKeyword(kw)) return true;
     }
@@ -284,6 +285,17 @@ class ParserImpl {
     if (Peek().Is(TokenType::kIdent) && !AtClauseBoundary()) {
       stmt->relation = Advance().text;
     }
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  Result<std::unique_ptr<Statement>> ParseExplain() {
+    Advance();  // explain
+    if (!Peek().IsKeyword("retrieve")) {
+      return Err("explain supports only retrieve statements");
+    }
+    TDB_ASSIGN_OR_RETURN(auto query, ParseRetrieve());
+    auto stmt = std::make_unique<ExplainStmt>();
+    stmt->query.reset(static_cast<RetrieveStmt*>(query.release()));
     return std::unique_ptr<Statement>(std::move(stmt));
   }
 

@@ -148,6 +148,10 @@ std::string PrintStatement(const Statement& stmt) {
       return "copy " + s.relation + (s.from ? " from \"" : " to \"") +
              s.path + "\"";
     }
+    case Statement::Kind::kExplain: {
+      const auto& s = static_cast<const ExplainStmt&>(stmt);
+      return "explain " + PrintStatement(*s.query);
+    }
   }
   return "?";
 }

@@ -7,6 +7,7 @@
 
 #include "core/database.h"
 #include "env/env.h"
+#include "exec/plan.h"
 #include "tquel/binder.h"
 #include "tquel/parser.h"
 
@@ -62,6 +63,20 @@ class PlannerTest : public ::testing::Test {
     auto rel = db_->GetRelation(name);
     EXPECT_TRUE(rel.ok());
     return *rel;
+  }
+
+  /// Builds the physical plan for a retrieve through the Database facade
+  /// (which routes to BuildPlan without executing).
+  std::shared_ptr<const PhysicalPlan> Plan(const std::string& text) {
+    auto plan = db_->Plan(text);
+    EXPECT_TRUE(plan.ok()) << text << " -> " << plan.status().ToString();
+    return plan.ok() ? std::move(plan).value() : nullptr;
+  }
+
+  /// The access leaf of a one-variable plan (reaching through any filter).
+  const AccessNode* Access(const std::shared_ptr<const PhysicalPlan>& plan) {
+    if (plan == nullptr || plan->root == nullptr) return nullptr;
+    return AccessOf(plan->root->child.get());
   }
 
   MemEnv env_;
@@ -185,6 +200,164 @@ TEST_F(PlannerTest, CollectTemporalVars) {
   std::set<int> vars;
   CollectTemporalPredVars(retrieve->when.get(), &vars);
   EXPECT_EQ(vars, (std::set<int>{0, 1}));
+}
+
+// --- BuildPlan: the plan IR makes the same decisions ChooseAccess does ---
+
+TEST_F(PlannerTest, BuildPlanAgreesWithChooseAccessPerShape) {
+  // Each one-variable query shape: the plan's access leaf must be the node
+  // kind corresponding to what ChooseAccess picks for the same conjuncts.
+  struct Case {
+    const char* query;
+    const char* rel;
+    PlanNode::Kind expect;
+  };
+  const Case cases[] = {
+      {"retrieve (h.id) where h.id = 5", "hrel", PlanNode::Kind::kKeyedLookup},
+      {"retrieve (h.id) where 5 = h.id", "hrel", PlanNode::Kind::kKeyedLookup},
+      {"retrieve (h.id) where h.amount = 35", "hrel", PlanNode::Kind::kIndexEq},
+      {"retrieve (h.id) where h.amount = 35 and h.id = 5", "hrel",
+       PlanNode::Kind::kKeyedLookup},
+      {"retrieve (i.id) where i.amount = 35", "irel", PlanNode::Kind::kSeqScan},
+      {"retrieve (i.id) where i.id >= 4 and i.id < 9", "irel",
+       PlanNode::Kind::kRangeScan},
+      {"retrieve (h.id) where h.id >= 4", "hrel", PlanNode::Kind::kSeqScan},
+      {"retrieve (i.id) where i.id >= 4 and i.id = 6", "irel",
+       PlanNode::Kind::kKeyedLookup},
+  };
+  auto kind_of = [](AccessChoice::Kind k) {
+    switch (k) {
+      case AccessChoice::Kind::kKeyed:
+        return PlanNode::Kind::kKeyedLookup;
+      case AccessChoice::Kind::kIndexEq:
+        return PlanNode::Kind::kIndexEq;
+      case AccessChoice::Kind::kRange:
+        return PlanNode::Kind::kRangeScan;
+      case AccessChoice::Kind::kScan:
+        return PlanNode::Kind::kSeqScan;
+    }
+    return PlanNode::Kind::kSeqScan;
+  };
+  for (const Case& c : cases) {
+    auto plan = Plan(c.query);  // keeps the nodes alive while we inspect
+    const AccessNode* access = Access(plan);
+    ASSERT_NE(access, nullptr) << c.query;
+    EXPECT_EQ(access->kind, c.expect) << c.query;
+    // Cross-check against ChooseAccess on the same statement.
+    AccessChoice choice = ChooseAccess(0, Rel(c.rel), Conjuncts(c.query), {});
+    EXPECT_EQ(access->kind, kind_of(choice.kind)) << c.query;
+  }
+}
+
+TEST_F(PlannerTest, BuildPlanKeyedRendersProbe) {
+  auto plan = Plan("retrieve (h.id) where h.id = 5");
+  const AccessNode* access = Access(plan);
+  ASSERT_NE(access, nullptr);
+  ASSERT_EQ(access->kind, PlanNode::Kind::kKeyedLookup);
+  EXPECT_EQ(static_cast<const KeyedLookupNode*>(access)->key_text, "5");
+  EXPECT_EQ(access->rel_name, "hrel");
+  EXPECT_EQ(access->var_name, "h");
+}
+
+TEST_F(PlannerTest, BuildPlanRangeKeepsBounds) {
+  auto plan = Plan("retrieve (i.id) where i.id >= 4 and i.id < 9");
+  const AccessNode* access = Access(plan);
+  ASSERT_NE(access, nullptr);
+  ASSERT_EQ(access->kind, PlanNode::Kind::kRangeScan);
+  const auto* range = static_cast<const RangeScanNode*>(access);
+  EXPECT_EQ(range->lo_text, "4");
+  EXPECT_TRUE(range->lo_inclusive);
+  EXPECT_EQ(range->hi_text, "9");
+  EXPECT_FALSE(range->hi_inclusive);
+}
+
+TEST_F(PlannerTest, BuildPlanResidualConjunctsBecomeFilter) {
+  auto plan = Plan("retrieve (i.id) where i.amount = 35");
+  ASSERT_NE(plan, nullptr);
+  ASSERT_EQ(plan->root->child->kind, PlanNode::Kind::kFilter);
+  const auto* filter = static_cast<const FilterNode*>(plan->root->child.get());
+  ASSERT_EQ(filter->pred_text.size(), 1u);
+  EXPECT_EQ(filter->pred_text[0], "(i.amount = 35)");
+  EXPECT_EQ(filter->child->kind, PlanNode::Kind::kSeqScan);
+}
+
+TEST_F(PlannerTest, BuildPlanUnfilteredScanHasNoFilterNode) {
+  auto plan = Plan("retrieve (h.id)");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->root->child->kind, PlanNode::Kind::kSeqScan);
+}
+
+TEST_F(PlannerTest, BuildPlanJoinPrefersKeyedInner) {
+  // h is hashed on id, so the join conjunct makes it the substitution
+  // inner; i detaches as the outer — exactly ChooseAccess's preference.
+  auto plan = Plan("retrieve (h.id, i.amount) where h.id = i.id");
+  ASSERT_NE(plan, nullptr);
+  ASSERT_EQ(plan->root->child->kind, PlanNode::Kind::kSubstitution);
+  const auto* sub =
+      static_cast<const SubstitutionNode*>(plan->root->child.get());
+  const AccessNode* inner = AccessOf(sub->inner.get());
+  const AccessNode* outer = AccessOf(sub->outer.get());
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(inner->kind, PlanNode::Kind::kKeyedLookup);
+  EXPECT_EQ(inner->rel_name, "hrel");
+  EXPECT_EQ(outer->kind, PlanNode::Kind::kSeqScan);
+  EXPECT_EQ(outer->rel_name, "irel");
+  EXPECT_EQ(plan->Summary(), "substitution(hrel:keyed); irel:scan");
+}
+
+TEST_F(PlannerTest, BuildPlanJoinFallsBackToIndexInner) {
+  // No key join exists, but hrel's secondary index on amount still allows
+  // an indexed substitution inner.
+  auto plan = Plan("retrieve (h.id, i.id) where h.amount = i.amount");
+  ASSERT_NE(plan, nullptr);
+  ASSERT_EQ(plan->root->child->kind, PlanNode::Kind::kSubstitution);
+  const auto* sub =
+      static_cast<const SubstitutionNode*>(plan->root->child.get());
+  const AccessNode* inner = AccessOf(sub->inner.get());
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->kind, PlanNode::Kind::kIndexEq);
+  EXPECT_EQ(inner->rel_name, "hrel");
+}
+
+TEST_F(PlannerTest, BuildPlanCrossProductNestsScans) {
+  auto plan = Plan("retrieve (h.id, i.id)");
+  ASSERT_NE(plan, nullptr);
+  ASSERT_EQ(plan->root->child->kind, PlanNode::Kind::kNestedLoop);
+  const auto* nested =
+      static_cast<const NestedLoopNode*>(plan->root->child.get());
+  ASSERT_EQ(nested->levels.size(), 2u);
+  for (const auto& level : nested->levels) {
+    EXPECT_EQ(level->kind, PlanNode::Kind::kSeqScan);
+  }
+}
+
+TEST_F(PlannerTest, BuildPlanPlainAggregateIsConstant) {
+  auto plan = Plan("retrieve (n = count(h.id))");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->root->child, nullptr);
+  EXPECT_EQ(plan->Summary(), "constant");
+}
+
+TEST_F(PlannerTest, BuildPlanPropagatesCurrentOnly) {
+  auto current = Plan("retrieve (h.id) where h.id = 5 when h overlap \"now\"");
+  const AccessNode* access = Access(current);
+  ASSERT_NE(access, nullptr);
+  EXPECT_TRUE(access->current_only);
+  auto historical = Plan("retrieve (h.id) where h.id = 5");
+  const AccessNode* history = Access(historical);
+  ASSERT_NE(history, nullptr);
+  EXPECT_FALSE(history->current_only);
+}
+
+TEST_F(PlannerTest, BuildPlanEvaluatesAsOfAtPlanTime) {
+  auto now_plan = Plan("retrieve (h.id)");
+  ASSERT_NE(now_plan, nullptr);
+  EXPECT_EQ(now_plan->as_of_at, db_->now());
+  auto past_plan = Plan("retrieve (h.id) as of \"1990\"");
+  ASSERT_NE(past_plan, nullptr);
+  EXPECT_GT(past_plan->as_of_at, db_->now());
+  EXPECT_FALSE(past_plan->root->as_of_text.empty());
 }
 
 }  // namespace
