@@ -3,10 +3,14 @@
 
 // Shared helpers for the paper-figure benchmark binaries.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchlib/workload.h"
@@ -45,6 +49,62 @@ inline std::vector<std::map<int, Measure>> Sweep(
     if (uc < max_uc) CheckOk(bench->UniformUpdateRound(), "update round");
   }
   return out;
+}
+
+/// Monotonic clock in milliseconds, for wall-clock reporting.  Timings go
+/// to stderr only: stdout carries the paper's page counts and must stay
+/// byte-identical run to run.
+inline int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Number of worker threads for RunCells: hardware concurrency, capped at
+/// the cell count, overridable via TDB_BENCH_THREADS (1 forces the serial
+/// order, useful when debugging a cell in isolation).
+inline size_t BenchThreads(size_t cells) {
+  size_t threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (const char* env = std::getenv("TDB_BENCH_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) threads = static_cast<size_t>(v);
+  }
+  return std::min(threads, cells);
+}
+
+/// Runs `cells` independent measurement cells concurrently and returns the
+/// results indexed by cell, so downstream printing is byte-identical to a
+/// serial sweep regardless of completion order.
+///
+/// Each cell function MUST build its own BenchmarkDb (in-memory Env +
+/// Database): page counters and the logical clock are single-threaded by
+/// design, and sharing them across cells would corrupt the paper metrics
+/// (IoRegistry asserts on it in debug builds).  Page-I/O counts are
+/// unaffected by the parallelism — every cell performs exactly the accesses
+/// the serial run performs.
+template <typename Fn>
+auto RunCells(size_t cells, Fn&& fn) -> std::vector<decltype(fn(size_t{0}))> {
+  using R = decltype(fn(size_t{0}));
+  std::vector<R> results(cells);
+  size_t threads = BenchThreads(cells);
+  if (threads <= 1) {
+    for (size_t i = 0; i < cells; ++i) results[i] = fn(i);
+    return results;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells) return;
+      results[i] = fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
+  return results;
 }
 
 inline const char* LoadingName(int fillfactor) {

@@ -14,28 +14,43 @@ using namespace tdb::bench;
 
 namespace {
 
-void EmitSeries(const char* title, DbType type, int fillfactor, int max_uc) {
-  WorkloadConfig config;
-  config.type = type;
-  config.fillfactor = fillfactor;
-  auto bench = CheckOk(BenchmarkDb::Create(config), "create");
-  auto sweep = Sweep(bench.get(), max_uc, AllQueries());
+struct SeriesSpec {
+  const char* title;
+  DbType type;
+  int fillfactor;
+  int max_uc;
+};
 
-  std::printf("# %s\n", title);
-  std::printf("uc");
-  std::vector<int> qs;
+struct SeriesData {
+  std::vector<int> qs;  // queries defined for this database type
+  std::vector<std::map<int, Measure>> sweep;
+};
+
+// Measurement only — printing happens serially afterwards so the two
+// series can be computed concurrently without reordering stdout.
+SeriesData ComputeSeries(const SeriesSpec& spec) {
+  WorkloadConfig config;
+  config.type = spec.type;
+  config.fillfactor = spec.fillfactor;
+  auto bench = CheckOk(BenchmarkDb::Create(config), "create");
+  SeriesData data;
   for (int q = 1; q <= 12; ++q) {
-    if (!bench->QueryText(q).empty()) {
-      qs.push_back(q);
-      std::printf(",Q%02d", q);
-    }
+    if (!bench->QueryText(q).empty()) data.qs.push_back(q);
   }
+  data.sweep = Sweep(bench.get(), spec.max_uc, AllQueries());
+  return data;
+}
+
+void PrintSeries(const SeriesSpec& spec, const SeriesData& data) {
+  std::printf("# %s\n", spec.title);
+  std::printf("uc");
+  for (int q : data.qs) std::printf(",Q%02d", q);
   std::printf("\n");
-  for (int uc = 0; uc <= max_uc; ++uc) {
+  for (int uc = 0; uc <= spec.max_uc; ++uc) {
     std::printf("%d", uc);
-    for (int q : qs) {
+    for (int q : data.qs) {
       std::printf(",%llu",
-                  (unsigned long long)sweep[uc].at(q).input_pages);
+                  (unsigned long long)data.sweep[uc].at(q).input_pages);
     }
     std::printf("\n");
   }
@@ -45,9 +60,18 @@ void EmitSeries(const char* title, DbType type, int fillfactor, int max_uc) {
 }  // namespace
 
 int main() {
-  EmitSeries("Figure 8(a): temporal database, 100% loading",
-             DbType::kTemporal, 100, 15);
-  EmitSeries("Figure 8(b): rollback database, 50% loading (jagged lines)",
-             DbType::kRollback, 50, 15);
+  const std::vector<SeriesSpec> specs = {
+      {"Figure 8(a): temporal database, 100% loading", DbType::kTemporal, 100,
+       15},
+      {"Figure 8(b): rollback database, 50% loading (jagged lines)",
+       DbType::kRollback, 50, 15},
+  };
+  int64_t t0 = NowMillis();
+  auto series =
+      RunCells(specs.size(), [&](size_t i) { return ComputeSeries(specs[i]); });
+  std::fprintf(stderr, "fig08: %zu cells on %zu threads in %lld ms\n",
+               specs.size(), BenchThreads(specs.size()),
+               static_cast<long long>(NowMillis() - t0));
+  for (size_t i = 0; i < specs.size(); ++i) PrintSeries(specs[i], series[i]);
   return 0;
 }

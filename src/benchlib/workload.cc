@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <set>
 
 #include "diskmodel/disk_model.h"
@@ -233,7 +234,9 @@ Result<Measure> BenchmarkDb::RunText(const std::string& text) {
   IoTrace* trace = db_->io()->trace();
   trace->Clear();
   trace->set_enabled(true);
+  auto wall0 = std::chrono::steady_clock::now();
   auto result = db_->Execute(text);
+  auto wall1 = std::chrono::steady_clock::now();
   trace->set_enabled(false);
   TDB_RETURN_NOT_OK(result.status());
   IoCounters totals = db_->io()->Total();
@@ -251,6 +254,8 @@ Result<Measure> BenchmarkDb::RunText(const std::string& text) {
   m.random_accesses = estimate.random_accesses;
   m.sequential_accesses = estimate.sequential_accesses;
   m.modeled_ms = estimate.total_ms;
+  m.wall_ms =
+      std::chrono::duration<double, std::milli>(wall1 - wall0).count();
   trace->Clear();
   return m;
 }

@@ -41,6 +41,10 @@ struct Measure {
   uint64_t random_accesses = 0;
   uint64_t sequential_accesses = 0;
   double modeled_ms = 0;
+  /// Wall-clock of the Execute call (monotonic).  Diagnostic only — never
+  /// printed to figure stdout, which reports the paper's page counts and
+  /// must stay deterministic.
+  double wall_ms = 0;
   /// One-line summary of the plan that produced these counts (e.g.
   /// "bench_h:keyed(current)"), so figure output is self-documenting.
   std::string plan;

@@ -46,6 +46,9 @@ Result<Relation*> Database::GetRelation(const std::string& name) {
 }
 
 Result<ExecResult> Database::Execute(const std::string& text) {
+  // One-writer-per-Env rule (see IoRegistry): a Database, its registry, and
+  // its logical clock belong to a single thread.
+  registry_.CheckOwnerThread();
   TDB_ASSIGN_OR_RETURN(auto stmts, Parser::ParseScript(text));
   if (stmts.empty()) return Status::ParseError("empty statement");
 

@@ -1,0 +1,519 @@
+#include "exec/compiled_expr.h"
+
+#include <cstdlib>
+
+namespace tdb {
+
+bool CompiledExprEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("TDB_COMPILED_EXPR");
+    return v == nullptr || std::string_view(v) != "0";
+  }();
+  return enabled;
+}
+
+namespace {
+
+bool Truthy(const Value& v) {
+  if (v.is_integer()) return v.AsInt() != 0;
+  if (v.type() == TypeId::kFloat8) return v.AsDouble() != 0;
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+std::optional<CompiledProgram> CompiledProgram::CompileExpr(const Expr& expr) {
+  CompiledProgram prog(Kind::kScalar);
+  if (!prog.EmitExpr(expr)) return std::nullopt;
+  return prog;
+}
+
+CompiledProgram CompiledProgram::CompileTemporal(const TemporalExpr& expr) {
+  CompiledProgram prog(Kind::kInterval);
+  prog.EmitTemporal(expr);
+  return prog;
+}
+
+CompiledProgram CompiledProgram::CompilePred(const TemporalPred& pred) {
+  CompiledProgram prog(Kind::kPredicate);
+  prog.EmitPred(pred);
+  return prog;
+}
+
+bool CompiledProgram::EmitExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kConstInt: {
+      Instr in{Op::kPushInt};
+      in.ival = expr.int_val;
+      code_.push_back(std::move(in));
+      return true;
+    }
+    case Expr::Kind::kConstFloat: {
+      Instr in{Op::kPushFloat};
+      in.fval = expr.float_val;
+      code_.push_back(std::move(in));
+      return true;
+    }
+    case Expr::Kind::kConstString: {
+      Instr in{Op::kPushStr};
+      in.sval = expr.str_val;
+      code_.push_back(std::move(in));
+      return true;
+    }
+    case Expr::Kind::kColumn: {
+      Instr in{Op::kLoadCol};
+      in.a = expr.var_index;
+      in.b = expr.attr_index;
+      in.sval = expr.var + "." + expr.attr;  // for the unbound-tuple error
+      code_.push_back(std::move(in));
+      return true;
+    }
+    case Expr::Kind::kUnary: {
+      if (!EmitExpr(*expr.left)) return false;
+      code_.push_back(
+          Instr{expr.op == ExprOp::kNot ? Op::kNot : Op::kNeg});
+      return true;
+    }
+    case Expr::Kind::kBinary: {
+      if (expr.op == ExprOp::kAnd || expr.op == ExprOp::kOr) {
+        // Short circuit exactly like the Evaluator: a falsy (truthy) left
+        // operand yields Int4(0) (Int4(1)) without touching the right one;
+        // otherwise the result is the right operand coerced to 0/1.
+        if (!EmitExpr(*expr.left)) return false;
+        size_t jump_at = code_.size();
+        code_.push_back(
+            Instr{expr.op == ExprOp::kAnd ? Op::kAndJump : Op::kOrJump});
+        if (!EmitExpr(*expr.right)) return false;
+        code_.push_back(Instr{Op::kCoerceBool});
+        code_[jump_at].a = static_cast<int32_t>(code_.size());
+        return true;
+      }
+      if (!EmitExpr(*expr.left)) return false;
+      if (!EmitExpr(*expr.right)) return false;
+      switch (expr.op) {
+        case ExprOp::kEq:
+          code_.push_back(Instr{Op::kCmpEq});
+          return true;
+        case ExprOp::kNe:
+          code_.push_back(Instr{Op::kCmpNe});
+          return true;
+        case ExprOp::kLt:
+          code_.push_back(Instr{Op::kCmpLt});
+          return true;
+        case ExprOp::kLe:
+          code_.push_back(Instr{Op::kCmpLe});
+          return true;
+        case ExprOp::kGt:
+          code_.push_back(Instr{Op::kCmpGt});
+          return true;
+        case ExprOp::kGe:
+          code_.push_back(Instr{Op::kCmpGe});
+          return true;
+        case ExprOp::kAdd:
+          code_.push_back(Instr{Op::kAdd});
+          return true;
+        case ExprOp::kSub:
+          code_.push_back(Instr{Op::kSub});
+          return true;
+        case ExprOp::kMul:
+          code_.push_back(Instr{Op::kMul});
+          return true;
+        case ExprOp::kDiv:
+          code_.push_back(Instr{Op::kDiv});
+          return true;
+        case ExprOp::kMod:
+          code_.push_back(Instr{Op::kMod});
+          return true;
+        default:
+          return false;
+      }
+    }
+    case Expr::Kind::kAggregate:
+      // Plain aggregates are folded into constants before target programs
+      // are compiled; grouped (`by`) aggregates keep their node and look a
+      // map up per row — those stay on the Evaluator path.
+      return false;
+  }
+  return false;
+}
+
+void CompiledProgram::EmitTemporal(const TemporalExpr& expr) {
+  switch (expr.kind) {
+    case TemporalExpr::Kind::kVar: {
+      Instr in{Op::kIvalVar};
+      in.a = expr.var_index;
+      in.sval = expr.var;
+      code_.push_back(std::move(in));
+      return;
+    }
+    case TemporalExpr::Kind::kConst: {
+      Instr in{Op::kIvalConst};
+      in.tval = expr.const_time;
+      code_.push_back(std::move(in));
+      return;
+    }
+    case TemporalExpr::Kind::kNow:
+      code_.push_back(Instr{Op::kIvalNow});
+      return;
+    case TemporalExpr::Kind::kStartOf:
+      EmitTemporal(*expr.left);
+      code_.push_back(Instr{Op::kIvalStart});
+      return;
+    case TemporalExpr::Kind::kEndOf:
+      EmitTemporal(*expr.left);
+      code_.push_back(Instr{Op::kIvalEnd});
+      return;
+    case TemporalExpr::Kind::kOverlap:
+      EmitTemporal(*expr.left);
+      EmitTemporal(*expr.right);
+      code_.push_back(Instr{Op::kIvalIntersect});
+      return;
+    case TemporalExpr::Kind::kExtend:
+      EmitTemporal(*expr.left);
+      EmitTemporal(*expr.right);
+      code_.push_back(Instr{Op::kIvalSpan});
+      return;
+  }
+}
+
+void CompiledProgram::EmitPred(const TemporalPred& pred) {
+  switch (pred.kind) {
+    case TemporalPred::Kind::kPrecede:
+      EmitTemporal(*pred.lexpr);
+      EmitTemporal(*pred.rexpr);
+      code_.push_back(Instr{Op::kPredPrecede});
+      return;
+    case TemporalPred::Kind::kOverlap:
+      EmitTemporal(*pred.lexpr);
+      EmitTemporal(*pred.rexpr);
+      code_.push_back(Instr{Op::kPredOverlap});
+      return;
+    case TemporalPred::Kind::kEqual:
+      EmitTemporal(*pred.lexpr);
+      EmitTemporal(*pred.rexpr);
+      code_.push_back(Instr{Op::kPredEqual});
+      return;
+    case TemporalPred::Kind::kNonEmpty: {
+      // Bare `a overlap b` uses the precise overlap test (touching
+      // half-open intervals do not overlap); any other bare interval
+      // expression tests non-emptiness — mirroring Evaluator::EvalPred.
+      const TemporalExpr& e = *pred.lexpr;
+      if (e.kind == TemporalExpr::Kind::kOverlap) {
+        EmitTemporal(*e.left);
+        EmitTemporal(*e.right);
+        code_.push_back(Instr{Op::kPredOverlap});
+        return;
+      }
+      EmitTemporal(e);
+      code_.push_back(Instr{Op::kPredNonEmpty});
+      return;
+    }
+    case TemporalPred::Kind::kAnd: {
+      EmitPred(*pred.left);
+      size_t jump_at = code_.size();
+      code_.push_back(Instr{Op::kPredAndJump});
+      EmitPred(*pred.right);
+      code_[jump_at].a = static_cast<int32_t>(code_.size());
+      return;
+    }
+    case TemporalPred::Kind::kOr: {
+      EmitPred(*pred.left);
+      size_t jump_at = code_.size();
+      code_.push_back(Instr{Op::kPredOrJump});
+      EmitPred(*pred.right);
+      code_[jump_at].a = static_cast<int32_t>(code_.size());
+      return;
+    }
+    case TemporalPred::Kind::kNot:
+      EmitPred(*pred.left);
+      code_.push_back(Instr{Op::kPredNot});
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+Status CompiledProgram::Run(const Binding& binding, TimePoint now) const {
+  vals_.clear();
+  ivals_.clear();
+  bools_.clear();
+
+  size_t i = 0;
+  const size_t n = code_.size();
+  while (i < n) {
+    const Instr& in = code_[i];
+    ++i;
+    switch (in.op) {
+      case Op::kPushInt:
+        vals_.push_back(Value::Int4(in.ival));
+        break;
+      case Op::kPushFloat:
+        vals_.push_back(Value::Float8(in.fval));
+        break;
+      case Op::kPushStr:
+        vals_.push_back(Value::Char(in.sval));
+        break;
+      case Op::kLoadCol: {
+        if (in.a < 0 || static_cast<size_t>(in.a) >= binding.size() ||
+            binding[static_cast<size_t>(in.a)] == nullptr) {
+          return Status::Internal("column '" + in.sval +
+                                  "' evaluated without a bound tuple");
+        }
+        vals_.push_back(binding[static_cast<size_t>(in.a)]->attr(
+            static_cast<size_t>(in.b)));
+        break;
+      }
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kMod: {
+        Value b = std::move(vals_.back());
+        vals_.pop_back();
+        Value& a = vals_.back();
+        if (!a.is_numeric() || !b.is_numeric()) {
+          return Status::Invalid("arithmetic requires numeric operands");
+        }
+        if (a.type() == TypeId::kFloat8 || b.type() == TypeId::kFloat8) {
+          double x = a.AsDouble();
+          double y = b.AsDouble();
+          switch (in.op) {
+            case Op::kAdd:
+              a = Value::Float8(x + y);
+              break;
+            case Op::kSub:
+              a = Value::Float8(x - y);
+              break;
+            case Op::kMul:
+              a = Value::Float8(x * y);
+              break;
+            case Op::kDiv:
+              if (y == 0) return Status::Invalid("division by zero");
+              a = Value::Float8(x / y);
+              break;
+            default:
+              return Status::Invalid("modulo requires integer operands");
+          }
+        } else {
+          int64_t x = a.AsInt();
+          int64_t y = b.AsInt();
+          switch (in.op) {
+            case Op::kAdd:
+              a = Value::Int4(x + y);
+              break;
+            case Op::kSub:
+              a = Value::Int4(x - y);
+              break;
+            case Op::kMul:
+              a = Value::Int4(x * y);
+              break;
+            case Op::kDiv:
+              if (y == 0) return Status::Invalid("division by zero");
+              a = Value::Int4(x / y);
+              break;
+            default:
+              if (y == 0) return Status::Invalid("modulo by zero");
+              a = Value::Int4(x % y);
+              break;
+          }
+        }
+        break;
+      }
+      case Op::kCmpEq:
+      case Op::kCmpNe:
+      case Op::kCmpLt:
+      case Op::kCmpLe:
+      case Op::kCmpGt:
+      case Op::kCmpGe: {
+        Value b = std::move(vals_.back());
+        vals_.pop_back();
+        Value& a = vals_.back();
+        int c = 0;
+        if (!Value::TryCompare(a, b, &c)) {
+          return Value::Compare(a, b).status();
+        }
+        bool out = false;
+        switch (in.op) {
+          case Op::kCmpEq:
+            out = c == 0;
+            break;
+          case Op::kCmpNe:
+            out = c != 0;
+            break;
+          case Op::kCmpLt:
+            out = c < 0;
+            break;
+          case Op::kCmpLe:
+            out = c <= 0;
+            break;
+          case Op::kCmpGt:
+            out = c > 0;
+            break;
+          default:
+            out = c >= 0;
+            break;
+        }
+        a = Value::Int4(out ? 1 : 0);
+        break;
+      }
+      case Op::kNot: {
+        Value& a = vals_.back();
+        a = Value::Int4(Truthy(a) ? 0 : 1);
+        break;
+      }
+      case Op::kNeg: {
+        Value& a = vals_.back();
+        if (a.is_integer()) {
+          a = Value::Int4(-a.AsInt());
+        } else if (a.type() == TypeId::kFloat8) {
+          a = Value::Float8(-a.AsDouble());
+        } else {
+          return Status::Invalid("unary minus requires a numeric operand");
+        }
+        break;
+      }
+      case Op::kAndJump: {
+        bool t = Truthy(vals_.back());
+        vals_.pop_back();
+        if (!t) {
+          vals_.push_back(Value::Int4(0));
+          i = static_cast<size_t>(in.a);
+        }
+        break;
+      }
+      case Op::kOrJump: {
+        bool t = Truthy(vals_.back());
+        vals_.pop_back();
+        if (t) {
+          vals_.push_back(Value::Int4(1));
+          i = static_cast<size_t>(in.a);
+        }
+        break;
+      }
+      case Op::kCoerceBool: {
+        Value& a = vals_.back();
+        a = Value::Int4(Truthy(a) ? 1 : 0);
+        break;
+      }
+      case Op::kIvalVar: {
+        if (in.a < 0 || static_cast<size_t>(in.a) >= binding.size() ||
+            binding[static_cast<size_t>(in.a)] == nullptr) {
+          return Status::Internal("temporal variable '" + in.sval +
+                                  "' evaluated without a bound tuple");
+        }
+        ivals_.push_back(binding[static_cast<size_t>(in.a)]->valid);
+        break;
+      }
+      case Op::kIvalConst:
+        ivals_.push_back(Interval::Event(in.tval));
+        break;
+      case Op::kIvalNow:
+        ivals_.push_back(Interval::Event(now));
+        break;
+      case Op::kIvalStart: {
+        Interval& a = ivals_.back();
+        a = Interval::Event(a.from);
+        break;
+      }
+      case Op::kIvalEnd: {
+        Interval& a = ivals_.back();
+        a = Interval::Event(a.to);
+        break;
+      }
+      case Op::kIvalIntersect: {
+        Interval b = ivals_.back();
+        ivals_.pop_back();
+        Interval& a = ivals_.back();
+        a = Interval::Intersect(a, b);
+        break;
+      }
+      case Op::kIvalSpan: {
+        Interval b = ivals_.back();
+        ivals_.pop_back();
+        Interval& a = ivals_.back();
+        a = Interval::Span(a, b);
+        break;
+      }
+      case Op::kPredPrecede: {
+        Interval b = ivals_.back();
+        ivals_.pop_back();
+        Interval a = ivals_.back();
+        ivals_.pop_back();
+        bools_.push_back(a.Precedes(b) ? 1 : 0);
+        break;
+      }
+      case Op::kPredOverlap: {
+        Interval b = ivals_.back();
+        ivals_.pop_back();
+        Interval a = ivals_.back();
+        ivals_.pop_back();
+        bools_.push_back(a.Overlaps(b) ? 1 : 0);
+        break;
+      }
+      case Op::kPredEqual: {
+        Interval b = ivals_.back();
+        ivals_.pop_back();
+        Interval a = ivals_.back();
+        ivals_.pop_back();
+        bools_.push_back(a == b ? 1 : 0);
+        break;
+      }
+      case Op::kPredNonEmpty: {
+        Interval a = ivals_.back();
+        ivals_.pop_back();
+        bools_.push_back(a.empty() ? 0 : 1);
+        break;
+      }
+      case Op::kPredNot:
+        bools_.back() = bools_.back() ? 0 : 1;
+        break;
+      case Op::kPredAndJump:
+        if (!bools_.back()) {
+          i = static_cast<size_t>(in.a);
+        } else {
+          bools_.pop_back();
+        }
+        break;
+      case Op::kPredOrJump:
+        if (bools_.back()) {
+          i = static_cast<size_t>(in.a);
+        } else {
+          bools_.pop_back();
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<Value> CompiledProgram::Eval(const Binding& binding,
+                                    TimePoint now) const {
+  TDB_RETURN_NOT_OK(Run(binding, now));
+  return std::move(vals_.back());
+}
+
+Result<bool> CompiledProgram::EvalBool(const Binding& binding,
+                                       TimePoint now) const {
+  TDB_RETURN_NOT_OK(Run(binding, now));
+  return Truthy(vals_.back());
+}
+
+Result<Interval> CompiledProgram::EvalInterval(const Binding& binding,
+                                               TimePoint now) const {
+  TDB_RETURN_NOT_OK(Run(binding, now));
+  return ivals_.back();
+}
+
+Result<bool> CompiledProgram::EvalPred(const Binding& binding,
+                                       TimePoint now) const {
+  TDB_RETURN_NOT_OK(Run(binding, now));
+  return bools_.back() != 0;
+}
+
+}  // namespace tdb

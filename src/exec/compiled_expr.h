@@ -1,0 +1,124 @@
+#ifndef CHRONOQUEL_EXEC_COMPILED_EXPR_H_
+#define CHRONOQUEL_EXEC_COMPILED_EXPR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/eval.h"
+#include "temporal/interval.h"
+#include "tquel/ast.h"
+#include "types/value.h"
+
+namespace tdb {
+
+/// True unless the TDB_COMPILED_EXPR environment variable is set to "0".
+/// The planner consults this once per process; disabling it forces every
+/// evaluation back through the AST-walking Evaluator, which is the A/B
+/// lever the micro benchmarks and the golden I/O test use.
+bool CompiledExprEnabled();
+
+/// A flat postfix evaluation program lowered from an `Expr`,
+/// `TemporalExpr`, or `TemporalPred` tree at plan-build time.  Execution
+/// replaces the per-tuple recursive `Evaluator` walk (one virtual-free
+/// switch dispatch per instruction, operands on a small reused stack) and
+/// reads column operands lazily through `VersionRef::attr`, so a predicate
+/// touching two attributes of a 108-byte tuple decodes exactly those two.
+///
+/// Semantics — including numeric promotion, char blank-padding, division
+/// errors, and short-circuit evaluation — are bit-identical to the
+/// Evaluator; the program performs no page I/O, so the paper's page-read
+/// accounting is structurally unaffected.
+///
+/// A program reuses its operand stacks across calls and is therefore NOT
+/// thread-safe; each executor owns its plan (and thus its programs)
+/// exclusively, matching the one-writer-per-Env isolation rule.
+class CompiledProgram {
+ public:
+  enum class Kind : uint8_t { kScalar, kInterval, kPredicate };
+
+  /// Lowers a scalar expression.  Returns nullopt when the tree contains a
+  /// construct the compiler does not handle (grouped aggregates) — callers
+  /// fall back to the Evaluator for that expression.
+  static std::optional<CompiledProgram> CompileExpr(const Expr& expr);
+
+  /// Lowers a temporal expression to an interval program (never fails —
+  /// every TemporalExpr kind is supported).
+  static CompiledProgram CompileTemporal(const TemporalExpr& expr);
+
+  /// Lowers a temporal predicate to a boolean program (never fails).
+  static CompiledProgram CompilePred(const TemporalPred& pred);
+
+  Kind kind() const { return kind_; }
+  size_t size() const { return code_.size(); }
+
+  /// Scalar programs.
+  Result<Value> Eval(const Binding& binding, TimePoint now) const;
+  Result<bool> EvalBool(const Binding& binding, TimePoint now) const;
+
+  /// Interval programs.
+  Result<Interval> EvalInterval(const Binding& binding, TimePoint now) const;
+
+  /// Predicate programs.
+  Result<bool> EvalPred(const Binding& binding, TimePoint now) const;
+
+ private:
+  enum class Op : uint8_t {
+    // scalar value stack
+    kPushInt,     // push Int4(ival)
+    kPushFloat,   // push Float8(fval)
+    kPushStr,     // push Char(sval)
+    kLoadCol,     // push binding[a]->attr(b)
+    kAdd, kSub, kMul, kDiv, kMod,
+    kCmpEq, kCmpNe, kCmpLt, kCmpLe, kCmpGt, kCmpGe,
+    kNot,         // pop, push Int4(!truthy)
+    kNeg,         // pop, push numeric negation
+    kAndJump,     // pop; if !truthy push Int4(0) and jump a
+    kOrJump,      // pop; if truthy push Int4(1) and jump a
+    kCoerceBool,  // pop, push Int4(truthy ? 1 : 0)
+    // interval stack
+    kIvalVar,     // push binding[a]->valid
+    kIvalConst,   // push Event(tval)
+    kIvalNow,     // push Event(now)
+    kIvalStart, kIvalEnd,        // pop 1, push event
+    kIvalIntersect, kIvalSpan,   // pop 2, push 1
+    // predicate (bool) stack
+    kPredPrecede, kPredOverlap, kPredEqual,  // pop 2 intervals, push bool
+    kPredNonEmpty,                           // pop 1 interval, push bool
+    kPredNot,                                // invert top bool
+    kPredAndJump,  // if !top jump a (keep as result) else pop and continue
+    kPredOrJump,   // if top jump a (keep as result) else pop and continue
+  };
+
+  struct Instr {
+    Op op;
+    int32_t a = 0;  // var index or jump target
+    int32_t b = 0;  // attr index
+    int64_t ival = 0;
+    double fval = 0;
+    TimePoint tval;
+    std::string sval;  // string constant, or name for error messages
+  };
+
+  explicit CompiledProgram(Kind kind) : kind_(kind) {}
+
+  bool EmitExpr(const Expr& expr);
+  void EmitTemporal(const TemporalExpr& expr);
+  void EmitPred(const TemporalPred& pred);
+
+  /// Runs the program; on success the result is the top of the stack
+  /// matching kind_.
+  Status Run(const Binding& binding, TimePoint now) const;
+
+  Kind kind_;
+  std::vector<Instr> code_;
+
+  // Operand stacks, reused across calls (cleared, capacity kept).
+  mutable std::vector<Value> vals_;
+  mutable std::vector<Interval> ivals_;
+  mutable std::vector<char> bools_;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_EXEC_COMPILED_EXPR_H_

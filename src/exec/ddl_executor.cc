@@ -124,7 +124,7 @@ Result<std::vector<StoredVersion>> CollectAll(Relation* rel) {
     TDB_ASSIGN_OR_RETURN(bool have, src->Next());
     if (!have) break;
     StoredVersion v;
-    TDB_ASSIGN_OR_RETURN(v.rec, EncodeRecord(schema, src->ref().row));
+    TDB_ASSIGN_OR_RETURN(v.rec, EncodeRecord(schema, src->ref().FullRow()));
     v.is_current = src->ref().IsCurrent(schema);
     (src->ref().in_history ? history : primary).push_back(std::move(v));
   }
@@ -145,7 +145,7 @@ Status DdlExecutor::RebuildIndexes(const std::string& name) {
   while (true) {
     TDB_ASSIGN_OR_RETURN(bool have, src->Next());
     if (!have) break;
-    TDB_ASSIGN_OR_RETURN(auto rec, EncodeRecord(schema, src->ref().row));
+    TDB_ASSIGN_OR_RETURN(auto rec, EncodeRecord(schema, src->ref().FullRow()));
     if (src->ref().IsCurrent(schema)) {
       TDB_RETURN_NOT_OK(rel->IndexInsertCurrent(rec, src->ref().tid,
                                                 src->ref().in_history));
@@ -438,7 +438,7 @@ Result<ExecResult> DdlExecutor::Copy(const CopyStmt& stmt) {
       std::string line;
       for (size_t i = 0; i < schema.num_attrs(); ++i) {
         if (i > 0) line += '\t';
-        line += src->ref().row[i].ToString(TimeResolution::kSecond);
+        line += src->ref().attr(i).ToString(TimeResolution::kSecond);
       }
       text += line + "\n";
       ++out.affected;
@@ -511,7 +511,7 @@ Result<ExecResult> DdlExecutor::Copy(const CopyStmt& stmt) {
     Tid tid;
     TDB_RETURN_NOT_OK(rel->InsertPrimary(rec, &tid));
     VersionRef ref;
-    ref.row = row;
+    ref.SetRow(std::move(row));
     RefreshIntervals(schema, &ref);
     if (ref.IsCurrent(schema)) {
       TDB_RETURN_NOT_OK(rel->IndexInsertCurrent(rec, tid, false));

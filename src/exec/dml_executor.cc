@@ -117,7 +117,7 @@ Result<std::vector<DmlExecutor::Victim>> DmlExecutor::CollectVictims(
     }
     Victim v;
     v.tid = src->ref().tid;
-    TDB_ASSIGN_OR_RETURN(v.rec, EncodeRecord(schema, src->ref().row));
+    TDB_ASSIGN_OR_RETURN(v.rec, EncodeRecord(schema, src->ref().FullRow()));
     victims.push_back(std::move(v));
   }
   binding[0] = nullptr;
@@ -184,7 +184,7 @@ Result<ExecResult> DmlExecutor::Append(AppendStmt* stmt,
     Tid tid;
     TDB_RETURN_NOT_OK(rel->InsertPrimary(rec, &tid));
     VersionRef ref;
-    ref.row = row;
+    ref.SetRow(std::move(row));
     RefreshIntervals(schema, &ref);
     if (ref.IsCurrent(schema)) {
       return rel->IndexInsertCurrent(rec, tid, /*in_history_store=*/false);
@@ -367,7 +367,7 @@ Result<ExecResult> DmlExecutor::Replace(ReplaceStmt* stmt,
     binding[0] = &ref;
     TDB_ASSIGN_OR_RETURN(Interval valid, EffectiveValid(stmt->valid, binding));
     TDB_ASSIGN_OR_RETURN(Row new_row,
-                         ApplyTargets(schema, ref.row, stmt->targets,
+                         ApplyTargets(schema, ref.FullRow(), stmt->targets,
                                       binding));
 
     if (schema.db_type() == DbType::kStatic) {

@@ -76,7 +76,7 @@ Result<Value> Evaluator::Eval(const Expr& expr, const Binding& binding) const {
                                 "' evaluated without a bound tuple");
       }
       const VersionRef* ref = binding[static_cast<size_t>(expr.var_index)];
-      return ref->row[static_cast<size_t>(expr.attr_index)];
+      return ref->attr(static_cast<size_t>(expr.attr_index));
     }
     case Expr::Kind::kUnary: {
       TDB_ASSIGN_OR_RETURN(Value v, Eval(*expr.left, binding));

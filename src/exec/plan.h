@@ -2,9 +2,11 @@
 #define CHRONOQUEL_EXEC_PLAN_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "exec/compiled_expr.h"
 #include "storage/io_stats.h"
 #include "tquel/ast.h"
 #include "types/timepoint.h"
@@ -85,12 +87,16 @@ struct KeyedLookupNode : AccessNode {
   KeyedLookupNode() : AccessNode(Kind::kKeyedLookup) {}
   /// Probe expression; references only variables bound by outer levels.
   const Expr* key_expr = nullptr;
+  /// Lowered form of key_expr, built at plan time when compiled evaluation
+  /// is enabled and the expression is compilable.
+  std::optional<CompiledProgram> key_prog;
   std::string key_text;
 };
 
 struct IndexEqNode : AccessNode {
   IndexEqNode() : AccessNode(Kind::kIndexEq) {}
   const Expr* key_expr = nullptr;
+  std::optional<CompiledProgram> key_prog;
   std::string key_text;
   SecondaryIndex* index = nullptr;
   std::string index_attr;  // the indexed attribute, for display
@@ -101,6 +107,8 @@ struct RangeScanNode : AccessNode {
   // Either bound may be null (one-sided range).
   const Expr* lo_expr = nullptr;
   const Expr* hi_expr = nullptr;
+  std::optional<CompiledProgram> lo_prog;
+  std::optional<CompiledProgram> hi_prog;
   bool lo_inclusive = true;
   bool hi_inclusive = true;
   std::string lo_text;
@@ -114,6 +122,12 @@ struct FilterNode : PlanNode {
   FilterNode() : PlanNode(Kind::kFilter) {}
   std::vector<const Expr*> where;
   std::vector<const TemporalPred*> when;
+  /// Lowered forms of the conjuncts, 1:1 with where / when.  Populated at
+  /// plan time only when compiled evaluation is enabled and every conjunct
+  /// at this level compiles; otherwise left empty and the executor walks
+  /// the ASTs.
+  std::vector<CompiledProgram> where_prog;
+  std::vector<CompiledProgram> when_prog;
   std::vector<std::string> pred_text;  // rendered, where factors then when
   std::unique_ptr<PlanNode> child;     // the access node this level guards
 };

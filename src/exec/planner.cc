@@ -1,5 +1,6 @@
 #include "exec/planner.h"
 
+#include "exec/compiled_expr.h"
 #include "exec/eval.h"
 #include "util/stringx.h"
 
@@ -297,6 +298,9 @@ std::unique_ptr<AccessNode> NodeForChoice(const AccessChoice& choice, int var,
       auto keyed = std::make_unique<KeyedLookupNode>();
       keyed->key_expr = choice.key_expr;
       keyed->key_text = choice.key_expr->ToString();
+      if (CompiledExprEnabled()) {
+        keyed->key_prog = CompiledProgram::CompileExpr(*choice.key_expr);
+      }
       node = std::move(keyed);
       break;
     }
@@ -304,6 +308,9 @@ std::unique_ptr<AccessNode> NodeForChoice(const AccessChoice& choice, int var,
       auto ix = std::make_unique<IndexEqNode>();
       ix->key_expr = choice.key_expr;
       ix->key_text = choice.key_expr->ToString();
+      if (CompiledExprEnabled()) {
+        ix->key_prog = CompiledProgram::CompileExpr(*choice.key_expr);
+      }
       ix->index = choice.index;
       ix->index_attr = choice.index->meta().attr;
       node = std::move(ix);
@@ -317,6 +324,14 @@ std::unique_ptr<AccessNode> NodeForChoice(const AccessChoice& choice, int var,
       range->hi_inclusive = choice.hi_inclusive;
       if (choice.lo_expr != nullptr) range->lo_text = choice.lo_expr->ToString();
       if (choice.hi_expr != nullptr) range->hi_text = choice.hi_expr->ToString();
+      if (CompiledExprEnabled()) {
+        if (choice.lo_expr != nullptr) {
+          range->lo_prog = CompiledProgram::CompileExpr(*choice.lo_expr);
+        }
+        if (choice.hi_expr != nullptr) {
+          range->hi_prog = CompiledProgram::CompileExpr(*choice.hi_expr);
+        }
+      }
       node = std::move(range);
       break;
     }
@@ -381,6 +396,27 @@ std::unique_ptr<PlanNode> WrapLevel(std::unique_ptr<AccessNode> access,
   for (const TemporalConjunct* c : residual.when) {
     filter->when.push_back(c->pred);
     filter->pred_text.push_back("when " + c->pred->ToString());
+  }
+  if (CompiledExprEnabled()) {
+    // All-or-nothing: the executor takes the compiled path only when every
+    // conjunct of the level lowered (aggregates in `where` are rejected by
+    // the binder, so in practice this always succeeds).
+    bool all = true;
+    for (const Expr* e : filter->where) {
+      auto prog = CompiledProgram::CompileExpr(*e);
+      if (!prog.has_value()) {
+        all = false;
+        break;
+      }
+      filter->where_prog.push_back(std::move(*prog));
+    }
+    if (all) {
+      for (const TemporalPred* p : filter->when) {
+        filter->when_prog.push_back(CompiledProgram::CompilePred(*p));
+      }
+    } else {
+      filter->where_prog.clear();
+    }
   }
   filter->child = std::move(access);
   return filter;

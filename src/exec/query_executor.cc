@@ -68,6 +68,20 @@ bool QueryExecutor::QualifiesAsOf(const Interval& tx) const {
 
 Result<bool> QueryExecutor::EvalFilter(const FilterNode& filter,
                                        const Binding& binding) {
+  // Compiled fast path: the planner lowered every conjunct of this level.
+  if (filter.where_prog.size() == filter.where.size() &&
+      filter.when_prog.size() == filter.when.size() &&
+      (!filter.where_prog.empty() || !filter.when_prog.empty())) {
+    for (const CompiledProgram& prog : filter.where_prog) {
+      TDB_ASSIGN_OR_RETURN(bool ok, prog.EvalBool(binding, env_.now));
+      if (!ok) return false;
+    }
+    for (const CompiledProgram& prog : filter.when_prog) {
+      TDB_ASSIGN_OR_RETURN(bool ok, prog.EvalPred(binding, env_.now));
+      if (!ok) return false;
+    }
+    return true;
+  }
   for (const Expr* e : filter.where) {
     TDB_ASSIGN_OR_RETURN(bool ok, eval_.EvalBool(*e, binding));
     if (!ok) return false;
@@ -93,11 +107,17 @@ Result<AccessSpec> QueryExecutor::SpecFor(const AccessNode& node,
       spec.lo_inclusive = range.lo_inclusive;
       spec.hi_inclusive = range.hi_inclusive;
       if (range.lo_expr != nullptr) {
-        TDB_ASSIGN_OR_RETURN(Value lo, eval_.Eval(*range.lo_expr, binding));
+        TDB_ASSIGN_OR_RETURN(
+            Value lo, range.lo_prog.has_value()
+                          ? range.lo_prog->Eval(binding, env_.now)
+                          : eval_.Eval(*range.lo_expr, binding));
         spec.lo = std::move(lo);
       }
       if (range.hi_expr != nullptr) {
-        TDB_ASSIGN_OR_RETURN(Value hi, eval_.Eval(*range.hi_expr, binding));
+        TDB_ASSIGN_OR_RETURN(
+            Value hi, range.hi_prog.has_value()
+                          ? range.hi_prog->Eval(binding, env_.now)
+                          : eval_.Eval(*range.hi_expr, binding));
         spec.hi = std::move(hi);
       }
       return spec;
@@ -105,14 +125,20 @@ Result<AccessSpec> QueryExecutor::SpecFor(const AccessNode& node,
     case PlanNode::Kind::kKeyedLookup: {
       const auto& keyed = static_cast<const KeyedLookupNode&>(node);
       spec.kind = AccessSpec::Kind::kKeyed;
-      TDB_ASSIGN_OR_RETURN(spec.key, eval_.Eval(*keyed.key_expr, binding));
+      TDB_ASSIGN_OR_RETURN(spec.key,
+                           keyed.key_prog.has_value()
+                               ? keyed.key_prog->Eval(binding, env_.now)
+                               : eval_.Eval(*keyed.key_expr, binding));
       return spec;
     }
     case PlanNode::Kind::kIndexEq: {
       const auto& ix = static_cast<const IndexEqNode&>(node);
       spec.kind = AccessSpec::Kind::kIndexEq;
       spec.index = ix.index;
-      TDB_ASSIGN_OR_RETURN(spec.key, eval_.Eval(*ix.key_expr, binding));
+      TDB_ASSIGN_OR_RETURN(spec.key,
+                           ix.key_prog.has_value()
+                               ? ix.key_prog->Eval(binding, env_.now)
+                               : eval_.Eval(*ix.key_expr, binding));
       return spec;
     }
     default:
@@ -241,13 +267,14 @@ Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
                        HeapFile::Open(std::move(*temp_pager_result),
                                       temp_layout, IoCategory::kTemp));
 
+  Row trow;  // scratch, reused across outer rows
   TDB_RETURN_NOT_OK(ExecuteLevel(
       node->outer.get(), binding, [&](const Binding& b) -> Status {
         const VersionRef* ref = b[static_cast<size_t>(outer_var)];
-        Row trow;
+        trow.clear();
         trow.reserve(proj_attrs.size());
         for (int ai : proj_attrs) {
-          trow.push_back(ref->row[static_cast<size_t>(ai)]);
+          trow.push_back(ref->attr(static_cast<size_t>(ai)));
         }
         TDB_ASSIGN_OR_RETURN(auto rec, EncodeRecord(temp_schema, trow));
         IoCounters pre = env_.registry->Total();
@@ -278,11 +305,10 @@ Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
       AccumulateDelta(&node->stats.io, before, env_.registry->Total());
       if (!have_result.ok()) return have_result.status();
       if (!*have_result) break;
-      TDB_ASSIGN_OR_RETURN(Row trow, DecodeRecord(temp_schema,
-                                                  cur->record().data(),
-                                                  cur->record().size()));
-      // Expand into a full-schema row (unprojected attributes default).
-      Row full(oschema.num_attrs());
+      // Expand into a full-schema row (unprojected attributes default),
+      // reusing outer_ref's row storage across temp rows.
+      Row& full = outer_ref.MutableRow();
+      full.resize(oschema.num_attrs());
       for (size_t i = 0; i < oschema.num_attrs(); ++i) {
         const Attribute& a = oschema.attr(i);
         switch (a.type) {
@@ -300,9 +326,9 @@ Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
         }
       }
       for (size_t i = 0; i < proj_attrs.size(); ++i) {
-        full[static_cast<size_t>(proj_attrs[i])] = trow[i];
+        full[static_cast<size_t>(proj_attrs[i])] =
+            DecodeAttr(temp_schema, i, cur->record().data());
       }
-      outer_ref.row = std::move(full);
       RefreshIntervals(oschema, &outer_ref);
       (*binding)[static_cast<size_t>(outer_var)] = &outer_ref;
 
@@ -325,7 +351,9 @@ Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
             }
             if (!*have_inner) break;
             ++inner_access->stats.rows_examined;
-            cached_matches.push_back(src->ref());
+            // Materialize: the source's ref borrows cursor bytes that die on
+            // the next advance, so the cache needs an owning copy.
+            cached_matches.push_back(src->ref().Clone());
           }
         }
         AccumulateDelta(&inner_access->stats.io, before,
@@ -382,9 +410,15 @@ struct AggAccumulator {
       minv = maxv = v;
       have_minmax = true;
     } else {
-      TDB_ASSIGN_OR_RETURN(int cmin, Value::Compare(v, minv));
+      int cmin = 0;
+      if (!Value::TryCompare(v, minv, &cmin)) {
+        return Value::Compare(v, minv).status();
+      }
       if (cmin < 0) minv = v;
-      TDB_ASSIGN_OR_RETURN(int cmax, Value::Compare(v, maxv));
+      int cmax = 0;
+      if (!Value::TryCompare(v, maxv, &cmax)) {
+        return Value::Compare(v, maxv).status();
+      }
       if (cmax > 0) maxv = v;
     }
     return Status::OK();
@@ -526,6 +560,27 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
   // one-variable scans); its I/O is deliberately outside the plan tree.
   TDB_RETURN_NOT_OK(FoldAggregates(stmt, bound));
 
+  // Lower the target list and valid clause AFTER folding: plain aggregates
+  // are constants by now, and grouped aggregates (which keep their node)
+  // fail to compile and stay on the Evaluator per target.
+  std::vector<std::optional<CompiledProgram>> target_progs;
+  std::optional<CompiledProgram> valid_from_prog;
+  std::optional<CompiledProgram> valid_to_prog;
+  if (CompiledExprEnabled()) {
+    target_progs.reserve(stmt->targets.size());
+    for (const TargetItem& t : stmt->targets) {
+      target_progs.push_back(CompiledProgram::CompileExpr(*t.expr));
+    }
+    if (stmt->valid.has_value()) {
+      valid_from_prog = CompiledProgram::CompileTemporal(*stmt->valid->from);
+      if (!stmt->valid->at) {
+        valid_to_prog = CompiledProgram::CompileTemporal(*stmt->valid->to);
+      }
+    }
+  } else {
+    target_progs.resize(stmt->targets.size());
+  }
+
   bool valid_output = plan->root->valid_output;
 
   ResultSet result;
@@ -539,20 +594,37 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
   EmitFn emit = [&](const Binding& binding) -> Status {
     Row row;
     row.reserve(stmt->targets.size() + 2);
-    for (const TargetItem& t : stmt->targets) {
-      TDB_ASSIGN_OR_RETURN(Value v, eval_.Eval(*t.expr, binding));
+    for (size_t ti = 0; ti < stmt->targets.size(); ++ti) {
+      Value v;
+      if (target_progs[ti].has_value()) {
+        TDB_ASSIGN_OR_RETURN(v, target_progs[ti]->Eval(binding, env_.now));
+      } else {
+        TDB_ASSIGN_OR_RETURN(v, eval_.Eval(*stmt->targets[ti].expr, binding));
+      }
       row.push_back(std::move(v));
     }
     if (valid_output) {
       Interval iv(TimePoint::Beginning(), TimePoint::Forever());
       if (stmt->valid.has_value()) {
-        TDB_ASSIGN_OR_RETURN(Interval from,
-                             eval_.EvalTemporal(*stmt->valid->from, binding));
+        Interval from;
+        if (valid_from_prog.has_value()) {
+          TDB_ASSIGN_OR_RETURN(from,
+                               valid_from_prog->EvalInterval(binding, env_.now));
+        } else {
+          TDB_ASSIGN_OR_RETURN(from,
+                               eval_.EvalTemporal(*stmt->valid->from, binding));
+        }
         if (stmt->valid->at) {
           iv = Interval::Event(from.from);
         } else {
-          TDB_ASSIGN_OR_RETURN(Interval to,
-                               eval_.EvalTemporal(*stmt->valid->to, binding));
+          Interval to;
+          if (valid_to_prog.has_value()) {
+            TDB_ASSIGN_OR_RETURN(to,
+                                 valid_to_prog->EvalInterval(binding, env_.now));
+          } else {
+            TDB_ASSIGN_OR_RETURN(to,
+                                 eval_.EvalTemporal(*stmt->valid->to, binding));
+          }
           iv = Interval(from.from, to.from);
         }
       } else {
@@ -617,12 +689,12 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
                      [&](const Row& a, const Row& b) {
                        for (const SortKey& key : stmt->sort_by) {
                          size_t i = static_cast<size_t>(key.target_index);
-                         auto c = Value::Compare(a[i], b[i]);
-                         if (!c.ok()) {
-                           sort_error = c.status();
+                         int c = 0;
+                         if (!Value::TryCompare(a[i], b[i], &c)) {
+                           sort_error = Value::Compare(a[i], b[i]).status();
                            return false;
                          }
-                         if (*c != 0) return key.descending ? *c > 0 : *c < 0;
+                         if (c != 0) return key.descending ? c > 0 : c < 0;
                        }
                        return false;
                      });

@@ -2,21 +2,55 @@
 
 namespace tdb {
 
+void VersionRef::BindRaw(const Schema& schema, const uint8_t* rec) {
+  schema_ = &schema;
+  raw_ = rec;
+  row_.assign(schema.num_attrs(), Value());  // keeps the vector's capacity
+  decoded_ = 0;
+  full_ = false;
+  // The lifespans are consulted for every tuple (temporal qualification,
+  // currency checks), so derive them eagerly; attr() caches the decoded
+  // time values as a side effect.
+  RefreshIntervals(schema, this);
+}
+
+const Row& VersionRef::FullRow() const {
+  if (!full_) {
+    const size_t n = row_.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (i < 64 && (decoded_ & (uint64_t{1} << i))) continue;
+      row_[i] = DecodeAttr(*schema_, i, raw_);
+    }
+    full_ = true;
+  }
+  return row_;
+}
+
+VersionRef VersionRef::Clone() const {
+  VersionRef copy;
+  copy.valid = valid;
+  copy.tx = tx;
+  copy.tid = tid;
+  copy.in_history = in_history;
+  copy.row_ = FullRow();
+  return copy;
+}
+
 void RefreshIntervals(const Schema& schema, VersionRef* ref) {
   ref->valid = Interval(TimePoint::Beginning(), TimePoint::Forever());
   ref->tx = Interval(TimePoint::Beginning(), TimePoint::Forever());
   if (schema.valid_from_index() >= 0) {
     TimePoint from =
-        ref->row[static_cast<size_t>(schema.valid_from_index())].AsTime();
+        ref->attr(static_cast<size_t>(schema.valid_from_index())).AsTime();
     TimePoint to =
-        ref->row[static_cast<size_t>(schema.valid_to_index())].AsTime();
+        ref->attr(static_cast<size_t>(schema.valid_to_index())).AsTime();
     ref->valid = Interval(from, to);  // events: from == to
   }
   if (schema.tx_start_index() >= 0) {
     TimePoint from =
-        ref->row[static_cast<size_t>(schema.tx_start_index())].AsTime();
+        ref->attr(static_cast<size_t>(schema.tx_start_index())).AsTime();
     TimePoint to =
-        ref->row[static_cast<size_t>(schema.tx_stop_index())].AsTime();
+        ref->attr(static_cast<size_t>(schema.tx_stop_index())).AsTime();
     ref->tx = Interval(from, to);
   }
 }
@@ -24,7 +58,8 @@ void RefreshIntervals(const Schema& schema, VersionRef* ref) {
 Result<VersionRef> DecodeVersion(const Schema& schema, const uint8_t* rec,
                                  size_t size, Tid tid, bool in_history) {
   VersionRef ref;
-  TDB_ASSIGN_OR_RETURN(ref.row, DecodeRecord(schema, rec, size));
+  TDB_ASSIGN_OR_RETURN(Row row, DecodeRecord(schema, rec, size));
+  ref.SetRow(std::move(row));
   ref.tid = tid;
   ref.in_history = in_history;
   RefreshIntervals(schema, &ref);

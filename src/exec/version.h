@@ -2,6 +2,7 @@
 #define CHRONOQUEL_EXEC_VERSION_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "storage/storage_file.h"
@@ -11,15 +12,76 @@
 namespace tdb {
 
 /// One tuple version bound to a range variable during evaluation: the
-/// decoded row plus its two lifespans.  Relations without valid
+/// attribute values plus the two lifespans.  Relations without valid
 /// (transaction) time get the universal interval for valid (tx), so the
 /// same evaluation code covers all four database types.
-struct VersionRef {
-  Row row;
+///
+/// A VersionRef is either *raw* — bound to the encoded record bytes of a
+/// live cursor position, decoding attributes lazily on first access — or
+/// *materialized*, owning a fully decoded Row.  Raw mode is the zero-copy
+/// fast path: a scan whose predicate touches two integer attributes decodes
+/// exactly those two and never pays for the 96-byte char payload.  The raw
+/// pointer is valid only until the underlying cursor advances, which is why
+/// copies are deleted: aliasing the bytes past their lifetime must not
+/// compile.  Use Clone() where an owning snapshot is genuinely needed.
+class VersionRef {
+ public:
+  VersionRef() = default;
+  VersionRef(VersionRef&&) noexcept = default;
+  VersionRef& operator=(VersionRef&&) noexcept = default;
+  VersionRef(const VersionRef&) = delete;
+  VersionRef& operator=(const VersionRef&) = delete;
+
   Interval valid{TimePoint::Beginning(), TimePoint::Forever()};
   Interval tx{TimePoint::Beginning(), TimePoint::Forever()};
   Tid tid;
   bool in_history = false;  // lives in a two-level relation's history store
+
+  /// Rebinds to the encoded record `rec` (laid out per `schema`), resetting
+  /// the decode cache but keeping its capacity, and re-derives the
+  /// lifespans from the implicit time attributes.  `rec` must stay valid
+  /// until the next rebind or materialization.
+  void BindRaw(const Schema& schema, const uint8_t* rec);
+
+  /// Materializes with an already decoded row (temp relations, DML).
+  /// Lifespans are NOT derived; call RefreshIntervals if they matter.
+  void SetRow(Row row) {
+    schema_ = nullptr;
+    raw_ = nullptr;
+    row_ = std::move(row);
+    full_ = true;
+  }
+
+  /// Attribute `i`, decoding it on first access in raw mode.
+  const Value& attr(size_t i) const {
+    if (!full_) {
+      if (i < 64) {
+        uint64_t bit = uint64_t{1} << i;
+        if (!(decoded_ & bit)) {
+          row_[i] = DecodeAttr(*schema_, i, raw_);
+          decoded_ |= bit;
+        }
+      } else {
+        row_[i] = DecodeAttr(*schema_, i, raw_);  // beyond the cache bitmap
+      }
+    }
+    return row_[i];
+  }
+
+  /// The complete row, decoding any attributes not yet touched.
+  const Row& FullRow() const;
+
+  /// FullRow with mutable access; once taken, the version is materialized
+  /// and no longer reads the raw bytes.
+  Row& MutableRow() {
+    FullRow();
+    return row_;
+  }
+
+  size_t num_attrs() const { return row_.size(); }
+
+  /// An owning, fully materialized copy (safe past cursor advances).
+  VersionRef Clone() const;
 
   /// "Current" in the sense the DML layer qualifies versions: still open in
   /// transaction time, and (for interval relations) still open in valid
@@ -33,9 +95,16 @@ struct VersionRef {
     }
     return true;
   }
+
+ private:
+  const Schema* schema_ = nullptr;  // non-null only in raw mode
+  const uint8_t* raw_ = nullptr;
+  mutable Row row_;
+  mutable uint64_t decoded_ = 0;  // bit i set → row_[i] decoded (raw mode)
+  mutable bool full_ = true;      // materialized, or every attribute decoded
 };
 
-/// Decodes a stored record into a VersionRef (row + lifespans).
+/// Decodes a stored record into a materialized VersionRef (row + lifespans).
 Result<VersionRef> DecodeVersion(const Schema& schema, const uint8_t* rec,
                                  size_t size, Tid tid, bool in_history);
 

@@ -61,10 +61,13 @@ Result<bool> VersionSource::NextScan() {
       return false;
     }
     bool in_history = stage_ == Stage::kHistoryScan;
-    // History records carry an 8-byte back pointer past the schema record.
-    TDB_ASSIGN_OR_RETURN(
-        ref_, DecodeVersion(schema, cursor_->record().data(),
-                            schema.record_size(), cursor_->tid(), in_history));
+    // Zero-copy: the cursor's record buffer stays valid until the next
+    // Next(), so the ref borrows it and decodes attributes on demand.
+    // (History records carry an 8-byte back pointer past the schema record,
+    // which lazy decode never touches.)
+    ref_.BindRaw(schema, cursor_->record().data());
+    ref_.tid = cursor_->tid();
+    ref_.in_history = in_history;
     return true;
   }
 }
@@ -79,10 +82,9 @@ Result<bool> VersionSource::NextKeyed() {
         }
         TDB_ASSIGN_OR_RETURN(bool have, cursor_->Next());
         if (have) {
-          TDB_ASSIGN_OR_RETURN(
-              ref_, DecodeVersion(schema, cursor_->record().data(),
-                                  schema.record_size(), cursor_->tid(),
-                                  /*in_history=*/false));
+          ref_.BindRaw(schema, cursor_->record().data());
+          ref_.tid = cursor_->tid();
+          ref_.in_history = false;
           return true;
         }
         cursor_.reset();
@@ -100,11 +102,13 @@ Result<bool> VersionSource::NextKeyed() {
           return false;
         }
         Tid tid = *chain_next_;
-        TDB_ASSIGN_OR_RETURN(auto rec, rel_->FetchHistory(tid));
+        // Fetch returns a temporary buffer; keep the bytes alive in
+        // owned_rec_ (reused across iterations) for the lazy ref.
+        TDB_ASSIGN_OR_RETURN(owned_rec_, rel_->FetchHistory(tid));
         TDB_ASSIGN_OR_RETURN(chain_next_, rel_->HistoryBackPtr(tid));
-        TDB_ASSIGN_OR_RETURN(
-            ref_, DecodeVersion(schema, rec.data(), rec.size(), tid,
-                                /*in_history=*/true));
+        ref_.BindRaw(schema, owned_rec_.data());
+        ref_.tid = tid;
+        ref_.in_history = true;
         return true;
       }
       default:
@@ -127,9 +131,10 @@ Result<bool> VersionSource::NextIndex() {
         entry.in_history ? rel_->FetchHistory(entry.tid)
                          : rel_->FetchPrimary(entry.tid);
     if (!rec.ok()) return rec.status();
-    TDB_ASSIGN_OR_RETURN(
-        ref_, DecodeVersion(schema, rec->data(), schema.record_size(),
-                            entry.tid, entry.in_history));
+    owned_rec_ = std::move(rec).value();
+    ref_.BindRaw(schema, owned_rec_.data());
+    ref_.tid = entry.tid;
+    ref_.in_history = entry.in_history;
     return true;
   }
   return false;

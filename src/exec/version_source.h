@@ -56,6 +56,9 @@ class VersionSource {
   Relation* rel_;
   AccessSpec spec_;
   VersionRef ref_;
+  // Backing bytes for ref_ when the record comes from a point fetch rather
+  // than a live cursor; reused across iterations.
+  std::vector<uint8_t> owned_rec_;
 
   // scan / keyed state
   enum class Stage { kPrimary, kHistoryScan, kHistoryChain, kDone };

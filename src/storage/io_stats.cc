@@ -1,5 +1,7 @@
 #include "storage/io_stats.h"
 
+#include <cassert>
+
 namespace tdb {
 
 const char* IoCategoryName(IoCategory c) {
@@ -26,7 +28,22 @@ void AccumulateDelta(IoCounters* into, const IoCounters& before,
   }
 }
 
+void IoRegistry::CheckOwnerThread() const {
+  std::thread::id self = std::this_thread::get_id();
+  std::thread::id expected{};
+  if (owner_.compare_exchange_strong(expected, self,
+                                     std::memory_order_relaxed)) {
+    return;  // first use: bound to this thread
+  }
+  assert(expected == self &&
+         "IoRegistry touched from a second thread: each concurrent benchmark "
+         "cell must own its Env/Database exclusively (one writer per Env)");
+  (void)self;
+  (void)expected;
+}
+
 IoCounters* IoRegistry::ForFile(const std::string& file_name) {
+  CheckOwnerThread();
   auto it = by_file_.find(file_name);
   if (it == by_file_.end()) {
     it = by_file_.emplace(file_name, std::make_unique<IoCounters>()).first;
@@ -37,6 +54,7 @@ IoCounters* IoRegistry::ForFile(const std::string& file_name) {
 }
 
 void IoRegistry::ResetAll() {
+  CheckOwnerThread();
   for (auto& [_, counters] : by_file_) counters->Reset();
 }
 

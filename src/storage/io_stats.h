@@ -1,10 +1,12 @@
 #ifndef CHRONOQUEL_STORAGE_IO_STATS_H_
 #define CHRONOQUEL_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace tdb {
@@ -97,6 +99,13 @@ void AccumulateDelta(IoCounters* into, const IoCounters& before,
 /// single-frame Pager whose counters live here.  System-catalog I/O is not
 /// routed through the registry, matching the paper's exclusion of system
 /// relations.
+///
+/// NOT thread-safe, by design: counters and the logical clock are plain
+/// fields so the measured page counts stay deterministic.  The parallel
+/// benchmark driver (bench/bench_util.h) therefore gives every concurrent
+/// cell its own Env + Database — one writer per registry, ever.  Debug
+/// builds enforce the rule: the registry binds to the first thread that
+/// touches it and asserts on any other.
 class IoRegistry {
  public:
   /// Returns (creating if needed) the counters for `file_name`.  The
@@ -105,6 +114,12 @@ class IoRegistry {
 
   /// Zeroes every counter (called before each measured query).
   void ResetAll();
+
+  /// Binds the registry to the calling thread on first use and asserts
+  /// (debug builds) that every later call arrives on the same thread.
+  /// Kept out of the per-tuple Total() path; ForFile / ResetAll and
+  /// Database::Execute call it.
+  void CheckOwnerThread() const;
 
   /// Sum over all files.
   IoCounters Total() const;
@@ -122,6 +137,9 @@ class IoRegistry {
  private:
   std::map<std::string, std::unique_ptr<IoCounters>> by_file_;
   IoTrace trace_;
+  /// Id of the thread the registry is bound to; default-constructed until
+  /// the first CheckOwnerThread.  Atomic so the guard itself is race-free.
+  mutable std::atomic<std::thread::id> owner_{};
 };
 
 }  // namespace tdb

@@ -22,16 +22,18 @@ const char* TypeIdName(TypeId t) {
   return "?";
 }
 
-Result<int> Value::Compare(const Value& a, const Value& b) {
+bool Value::TryCompare(const Value& a, const Value& b, int* out) {
   if (a.is_numeric() && b.is_numeric()) {
     if (a.type() == TypeId::kFloat8 || b.type() == TypeId::kFloat8) {
       double x = a.AsDouble();
       double y = b.AsDouble();
-      return x < y ? -1 : (x > y ? 1 : 0);
+      *out = x < y ? -1 : (x > y ? 1 : 0);
+      return true;
     }
     int64_t x = a.AsInt();
     int64_t y = b.AsInt();
-    return x < y ? -1 : (x > y ? 1 : 0);
+    *out = x < y ? -1 : (x > y ? 1 : 0);
+    return true;
   }
   if (a.type() == TypeId::kChar && b.type() == TypeId::kChar) {
     // Fixed-width char attributes are blank padded on disk; comparisons
@@ -39,20 +41,28 @@ Result<int> Value::Compare(const Value& a, const Value& b) {
     std::string_view x = TrimView(a.AsString());
     std::string_view y = TrimView(b.AsString());
     int c = x.compare(y);
-    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    *out = c < 0 ? -1 : (c > 0 ? 1 : 0);
+    return true;
   }
   if (a.type() == TypeId::kTime && b.type() == TypeId::kTime) {
     TimePoint x = a.AsTime();
     TimePoint y = b.AsTime();
-    return x < y ? -1 : (x > y ? 1 : 0);
+    *out = x < y ? -1 : (x > y ? 1 : 0);
+    return true;
   }
+  return false;
+}
+
+Result<int> Value::Compare(const Value& a, const Value& b) {
+  int c = 0;
+  if (TryCompare(a, b, &c)) return c;
   return Status::Invalid(StrPrintf("cannot compare %s with %s",
                                    TypeIdName(a.type()), TypeIdName(b.type())));
 }
 
 bool Value::Equals(const Value& other) const {
-  auto c = Compare(*this, other);
-  return c.ok() && *c == 0;
+  int c = 0;
+  return TryCompare(*this, other, &c) && c == 0;
 }
 
 std::string Value::ToString(TimeResolution res) const {

@@ -61,6 +61,12 @@ class Value {
   /// numeric, char with char, time with time).  Returns an error otherwise.
   static Result<int> Compare(const Value& a, const Value& b);
 
+  /// Non-allocating fast path for the per-tuple hot loops: writes the
+  /// three-way comparison into `*out` and returns true when the types are
+  /// comparable; returns false (leaving `*out` untouched) otherwise, in
+  /// which case callers fall back to Compare() for the error Status.
+  static bool TryCompare(const Value& a, const Value& b, int* out);
+
   /// Equality via Compare; values of incompatible types are never equal.
   bool Equals(const Value& other) const;
 

@@ -76,7 +76,7 @@ TEST(EvalTest, ColumnAccessThroughBinding) {
                                 {"b", TypeId::kChar, 4, false}},
                                DbType::kStatic);
   VersionRef ref;
-  ref.row = {Value::Int4(42), Value::Char("zz")};
+  ref.SetRow({Value::Int4(42), Value::Char("zz")});
 
   Expr* e = ParseExpr("h.a * 2");
   e->left->var_index = 0;

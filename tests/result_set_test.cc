@@ -70,20 +70,20 @@ TEST(VersionRefTest, IsCurrentRules) {
   auto temporal = Schema::Create({{"id", TypeId::kInt4, 4, false}},
                                  DbType::kTemporal);
   VersionRef ref;
-  ref.row = {Value::Int4(1), Value::Time(TimePoint(1)),
-             Value::Time(TimePoint::Forever()), Value::Time(TimePoint(1)),
-             Value::Time(TimePoint::Forever())};
+  ref.SetRow({Value::Int4(1), Value::Time(TimePoint(1)),
+              Value::Time(TimePoint::Forever()), Value::Time(TimePoint(1)),
+              Value::Time(TimePoint::Forever())});
   RefreshIntervals(*temporal, &ref);
   EXPECT_TRUE(ref.IsCurrent(*temporal));
 
   // Closed in valid time: a correction, not current.
-  ref.row[2] = Value::Time(TimePoint(10));
+  ref.MutableRow()[2] = Value::Time(TimePoint(10));
   RefreshIntervals(*temporal, &ref);
   EXPECT_FALSE(ref.IsCurrent(*temporal));
 
   // Closed in transaction time: superseded.
-  ref.row[2] = Value::Time(TimePoint::Forever());
-  ref.row[4] = Value::Time(TimePoint(10));
+  ref.MutableRow()[2] = Value::Time(TimePoint::Forever());
+  ref.MutableRow()[4] = Value::Time(TimePoint(10));
   RefreshIntervals(*temporal, &ref);
   EXPECT_FALSE(ref.IsCurrent(*temporal));
 }
@@ -92,7 +92,7 @@ TEST(VersionRefTest, StaticAlwaysCurrent) {
   auto schema = Schema::Create({{"id", TypeId::kInt4, 4, false}},
                                DbType::kStatic);
   VersionRef ref;
-  ref.row = {Value::Int4(1)};
+  ref.SetRow({Value::Int4(1)});
   RefreshIntervals(*schema, &ref);
   EXPECT_TRUE(ref.IsCurrent(*schema));
   EXPECT_EQ(ref.valid, Interval(TimePoint::Beginning(), TimePoint::Forever()));

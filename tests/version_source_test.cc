@@ -49,7 +49,7 @@ class VersionSourceTest : public ::testing::Test {
       auto have = src->Next();
       EXPECT_TRUE(have.ok()) << have.status().ToString();
       if (!have.ok() || !*have) break;
-      out.push_back(src->ref().row[1].AsInt());
+      out.push_back(src->ref().attr(1).AsInt());
     }
     return out;
   }
