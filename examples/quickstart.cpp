@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/database.h"
+#include "core/chronoquel.h"
 
 using tdb::Database;
 using tdb::DatabaseOptions;
@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
 
   DatabaseOptions options;
   options.start_time = *tdb::TimePoint::FromCivil(1980, 1, 1);
+  // Journal every statement: a crash mid-update rolls back to the last
+  // statement boundary when the database is next opened.
+  options.durability = tdb::DurabilityMode::kJournal;
   auto db = Database::Open(dir, options);
   if (!db.ok()) {
     std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
@@ -45,8 +48,18 @@ int main(int argc, char** argv) {
 
   // `persistent` adds transaction time (rollback support); `interval` adds
   // valid time (historical support).  Together: a temporal relation.
-  Run(db->get(), "create persistent interval emp (name = c12, sal = i4)");
-  Run(db->get(), "range of e is emp");
+  // ExecuteScript runs the whole setup, one atomic statement at a time;
+  // on failure the status names the statement and its source offset.
+  auto setup = (*db)->ExecuteScript(
+      "create persistent interval emp (name = c12, sal = i4);"
+      "range of e is emp");
+  if (!setup.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 setup.status().ToString().c_str());
+    return 1;
+  }
+  for (const ExecResult& r : *setup) std::printf("  %s\n", r.message.c_str());
+  std::printf("\n");
 
   Run(db->get(), "append to emp (name = \"merrie\", sal = 25000)");
   (*db)->AdvanceSeconds(86400 * 90);  // three months pass

@@ -1,6 +1,6 @@
 // Interactive TQuel shell: a small REPL over a database directory.
 //
-//   ./tquel_shell <database-directory>
+//   ./tquel_shell [--durability=off|journal|sync] <database-directory>
 //
 // Meta commands:
 //   \h            help
@@ -17,7 +17,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/database.h"
+#include "core/chronoquel.h"
 #include "exec/plan.h"
 #include "util/stringx.h"
 
@@ -51,19 +51,38 @@ void PrintHelp() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <database-directory>\n", argv[0]);
+  DatabaseOptions options;
+  const char* dir = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--durability=off") {
+      options.durability = tdb::DurabilityMode::kOff;
+    } else if (arg == "--durability=journal") {
+      options.durability = tdb::DurabilityMode::kJournal;
+    } else if (arg == "--durability=sync") {
+      options.durability = tdb::DurabilityMode::kJournalSync;
+    } else if (dir == nullptr && arg.rfind("--", 0) != 0) {
+      dir = argv[i];
+    } else {
+      dir = nullptr;
+      break;
+    }
+  }
+  if (dir == nullptr) {
+    std::fprintf(stderr,
+                 "usage: %s [--durability=off|journal|sync] "
+                 "<database-directory>\n",
+                 argv[0]);
     return 1;
   }
-  DatabaseOptions options;
-  auto db = Database::Open(argv[1], options);
+  auto db = Database::Open(dir, options);
   if (!db.ok()) {
     std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
     return 1;
   }
   Database* d = db->get();
   std::printf("ChronoQuel shell — TQuel over %s (\\h for help, \\q to quit)\n",
-              argv[1]);
+              dir);
 
   TimeResolution resolution = TimeResolution::kSecond;
   bool show_plan = false;

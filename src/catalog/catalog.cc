@@ -130,6 +130,9 @@ Status Catalog::Load() {
 Status Catalog::Save() const {
   std::string text;
   for (const auto& [_, meta] : relations_) text += SerializeRelationMeta(meta);
+  if (journal_ != nullptr) {
+    TDB_RETURN_NOT_OK(journal_->BeforeFileRewrite(CatalogPath()));
+  }
   return env_->WriteStringToFile(CatalogPath(), text);
 }
 

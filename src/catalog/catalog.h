@@ -7,6 +7,7 @@
 
 #include "env/env.h"
 #include "storage/isam_file.h"
+#include "storage/journal.h"
 #include "storage/storage_file.h"
 #include "types/schema.h"
 #include "util/status.h"
@@ -64,6 +65,10 @@ class Catalog {
  public:
   Catalog(Env* env, std::string dir) : env_(env), dir_(std::move(dir)) {}
 
+  /// Routes catalog rewrites through the database's journal so DDL rolls
+  /// back atomically.  Nullable; catalog reads stay unjournaled.
+  void set_journal(Journal* journal) { journal_ = journal; }
+
   /// Loads the catalog file if present.
   Status Load();
   /// Writes the catalog file.
@@ -85,6 +90,7 @@ class Catalog {
 
   Env* env_;
   std::string dir_;
+  Journal* journal_ = nullptr;
   std::map<std::string, RelationMeta> relations_;  // lower-cased name
 };
 

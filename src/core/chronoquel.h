@@ -1,0 +1,41 @@
+#ifndef CHRONOQUEL_CORE_CHRONOQUEL_H_
+#define CHRONOQUEL_CORE_CHRONOQUEL_H_
+
+/// Umbrella header: the public face of ChronoQuel.  Applications include
+/// this one header and program against
+///
+///   * Database / DatabaseOptions  (core/database.h)  — open a database
+///     directory, pick an Env, buffer frames, and a DurabilityMode;
+///   * Database::ExecuteScript / Execute / Query / Plan / Explain — run
+///     TQuel text and get ExecResult / ResultSet values back;
+///   * Status / Result<T>          (util/status.h)    — every fallible call
+///     returns one of these; script errors carry a StatementContext naming
+///     the failing statement;
+///   * Env / MemEnv                (env/env.h)        — the filesystem
+///     abstraction, replaceable for hermetic tests;
+///   * DurabilityMode              (storage/journal.h) — off / journal /
+///     journal+sync crash safety;
+///   * TimePoint / Interval        (types/timepoint.h) — the temporal
+///     values TQuel queries produce and consume.
+///
+/// Everything else under src/ is implementation detail and may change
+/// between versions.
+///
+///   #include "core/chronoquel.h"
+///
+///   auto db = tdb::Database::Open("/data/mydb", {}).value();
+///   auto results = db->ExecuteScript(R"(
+///     create persistent interval emp (name = c20, sal = i4);
+///     range of e is emp;
+///     append to emp (name = "ada", sal = 120);
+///     retrieve (e.name) where e.sal > 100
+///   )");
+
+#include "core/database.h"
+#include "core/result_set.h"
+#include "env/env.h"
+#include "storage/journal.h"
+#include "types/timepoint.h"
+#include "util/status.h"
+
+#endif  // CHRONOQUEL_CORE_CHRONOQUEL_H_

@@ -16,13 +16,28 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
                                                  DatabaseOptions options) {
   Env* env = options.env != nullptr ? options.env : Env::Default();
   TDB_RETURN_NOT_OK(env->CreateDirIfMissing(dir));
+  // A leftover journal means a statement was interrupted mid-write; roll
+  // its pre-images back before anything reads the files.  This runs even
+  // with durability off, so a crashed journaled run reopens clean under
+  // any options.
+  if (env->FileExists(Journal::PathFor(dir))) {
+    TDB_RETURN_NOT_OK(Journal::Recover(env, dir));
+  }
   std::unique_ptr<Database> db(new Database(env, dir, options));
+  if (options.durability != DurabilityMode::kOff) {
+    TDB_ASSIGN_OR_RETURN(db->journal_,
+                         Journal::Open(env, dir, options.durability));
+    db->catalog_.set_journal(db->journal_.get());
+  }
   TDB_RETURN_NOT_OK(db->catalog_.Load());
   db->RestoreClock();
   return db;
 }
 
 void Database::PersistClock() const {
+  if (journal_ != nullptr) {
+    (void)journal_->BeforeFileRewrite(ClockPath());
+  }
   (void)env_->WriteStringToFile(ClockPath(),
                                 StrPrintf("%d", now_.seconds()));
 }
@@ -41,134 +56,191 @@ void Database::RestoreClock() {
 
 Result<Relation*> Database::GetRelation(const std::string& name) {
   ExecEnv exec{env_, dir_, &catalog_, &registry_, &relations_, now_,
-               options_.buffer_frames};
+               options_.buffer_frames, journal_.get()};
   return exec.GetRelation(name);
 }
 
-Result<ExecResult> Database::Execute(const std::string& text) {
+Result<std::vector<ExecResult>> Database::ExecuteScript(
+    const std::string& text) {
   // One-writer-per-Env rule (see IoRegistry): a Database, its registry, and
   // its logical clock belong to a single thread.
   registry_.CheckOwnerThread();
   TDB_ASSIGN_OR_RETURN(auto stmts, Parser::ParseScript(text));
   if (stmts.empty()) return Status::ParseError("empty statement");
 
-  ExecResult last;
-  for (auto& stmt : stmts) {
-    ExecEnv exec{env_, dir_, &catalog_, &registry_, &relations_, now_,
-               options_.buffer_frames};
-    Binder binder(&catalog_, &ranges_);
-    bool mutating = false;
-    switch (stmt->kind) {
-      case Statement::Kind::kRange: {
-        auto* range = static_cast<RangeStmt*>(stmt.get());
-        if (catalog_.Find(range->relation) == nullptr) {
-          return Status::BindError("relation '" + range->relation +
-                                   "' does not exist");
-        }
-        ranges_[ToLower(range->var)] = range->relation;
-        last = ExecResult{};
-        last.message = "range of " + range->var + " is " + range->relation;
-        break;
+  std::vector<ExecResult> results;
+  results.reserve(stmts.size());
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    Statement* stmt = stmts[i].get();
+    const StatementContext ctx{static_cast<int>(i) + 1, stmt->source_offset};
+    if (journal_ != nullptr) {
+      Status begin = journal_->Begin();
+      if (!begin.ok()) return begin.WithStatementContext(ctx);
+    }
+    Result<ExecResult> result = ExecuteStatement(stmt);
+    if (journal_ != nullptr) {
+      if (result.ok()) {
+        Status commit = CommitStatement();
+        if (!commit.ok()) result = commit;
       }
-      case Statement::Kind::kRetrieve: {
-        auto* retrieve = static_cast<RetrieveStmt*>(stmt.get());
-        TDB_ASSIGN_OR_RETURN(BoundStatement bound,
-                             binder.BindRetrieve(retrieve));
-        QueryExecutor qexec(exec);
-        TDB_ASSIGN_OR_RETURN(last, qexec.Retrieve(retrieve, bound));
-        break;
-      }
-      case Statement::Kind::kAppend: {
-        auto* append = static_cast<AppendStmt*>(stmt.get());
-        TDB_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindAppend(append));
-        DmlExecutor dml(exec);
-        TDB_ASSIGN_OR_RETURN(last, dml.Append(append, bound));
-        mutating = true;
-        break;
-      }
-      case Statement::Kind::kDelete: {
-        auto* del = static_cast<DeleteStmt*>(stmt.get());
-        TDB_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindDelete(del));
-        DmlExecutor dml(exec);
-        TDB_ASSIGN_OR_RETURN(last, dml.Delete(del, bound));
-        mutating = true;
-        break;
-      }
-      case Statement::Kind::kReplace: {
-        auto* replace = static_cast<ReplaceStmt*>(stmt.get());
-        TDB_ASSIGN_OR_RETURN(BoundStatement bound,
-                             binder.BindReplace(replace));
-        DmlExecutor dml(exec);
-        TDB_ASSIGN_OR_RETURN(last, dml.Replace(replace, bound));
-        mutating = true;
-        break;
-      }
-      case Statement::Kind::kCreate: {
-        DdlExecutor ddl(exec);
-        TDB_ASSIGN_OR_RETURN(last,
-                             ddl.Create(*static_cast<CreateStmt*>(stmt.get())));
-        break;
-      }
-      case Statement::Kind::kDestroy: {
-        DdlExecutor ddl(exec);
-        TDB_ASSIGN_OR_RETURN(
-            last, ddl.Destroy(*static_cast<DestroyStmt*>(stmt.get())));
-        break;
-      }
-      case Statement::Kind::kModify: {
-        DdlExecutor ddl(exec);
-        TDB_ASSIGN_OR_RETURN(last,
-                             ddl.Modify(*static_cast<ModifyStmt*>(stmt.get())));
-        break;
-      }
-      case Statement::Kind::kIndex: {
-        DdlExecutor ddl(exec);
-        TDB_ASSIGN_OR_RETURN(last,
-                             ddl.Index(*static_cast<IndexStmt*>(stmt.get())));
-        break;
-      }
-      case Statement::Kind::kHelp: {
-        DdlExecutor ddl(exec);
-        TDB_ASSIGN_OR_RETURN(last,
-                             ddl.Help(*static_cast<HelpStmt*>(stmt.get())));
-        break;
-      }
-      case Statement::Kind::kCopy: {
-        auto* copy = static_cast<CopyStmt*>(stmt.get());
-        DdlExecutor ddl(exec);
-        TDB_ASSIGN_OR_RETURN(last, ddl.Copy(*copy));
-        mutating = copy->from;
-        break;
-      }
-      case Statement::Kind::kExplain: {
-        // Plan the wrapped retrieve without executing it: the plan tree
-        // comes back as rows, one line per node.
-        auto* explain = static_cast<ExplainStmt*>(stmt.get());
-        TDB_ASSIGN_OR_RETURN(BoundStatement bound,
-                             binder.BindRetrieve(explain->query.get()));
-        TDB_ASSIGN_OR_RETURN(std::shared_ptr<PhysicalPlan> plan,
-                             BuildPlan(*explain->query, bound, exec));
-        last = ExecResult{};
-        last.result.columns.push_back("query plan");
-        for (const std::string& line : Split(plan->Describe(), '\n')) {
-          if (line.empty()) continue;
-          Row row;
-          row.push_back(Value::Char(line));
-          last.result.rows.push_back(std::move(row));
-        }
-        last.message = "plan: " + plan->Summary();
-        last.plan = std::move(plan);
-        break;
+      if (!result.ok()) {
+        Status rolled_back = RollbackStatement();
+        if (!rolled_back.ok()) return rolled_back.WithStatementContext(ctx);
       }
     }
-    if (mutating) {
-      PersistClock();
-      if (options_.auto_advance_seconds > 0) {
-        AdvanceSeconds(options_.auto_advance_seconds);
+    if (!result.ok()) return result.status().WithStatementContext(ctx);
+    results.push_back(std::move(*result));
+  }
+  return results;
+}
+
+Result<ExecResult> Database::ExecuteStatement(Statement* stmt) {
+  ExecEnv exec{env_, dir_, &catalog_, &registry_, &relations_, now_,
+               options_.buffer_frames, journal_.get()};
+  Binder binder(&catalog_, &ranges_);
+  bool mutating = false;
+  ExecResult last;
+  switch (stmt->kind) {
+    case Statement::Kind::kRange: {
+      auto* range = static_cast<RangeStmt*>(stmt);
+      if (catalog_.Find(range->relation) == nullptr) {
+        return Status::BindError("relation '" + range->relation +
+                                 "' does not exist");
       }
+      ranges_[ToLower(range->var)] = range->relation;
+      last = ExecResult{};
+      last.message = "range of " + range->var + " is " + range->relation;
+      break;
+    }
+    case Statement::Kind::kRetrieve: {
+      auto* retrieve = static_cast<RetrieveStmt*>(stmt);
+      TDB_ASSIGN_OR_RETURN(BoundStatement bound,
+                           binder.BindRetrieve(retrieve));
+      QueryExecutor qexec(exec);
+      TDB_ASSIGN_OR_RETURN(last, qexec.Retrieve(retrieve, bound));
+      break;
+    }
+    case Statement::Kind::kAppend: {
+      auto* append = static_cast<AppendStmt*>(stmt);
+      TDB_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindAppend(append));
+      DmlExecutor dml(exec);
+      TDB_ASSIGN_OR_RETURN(last, dml.Append(append, bound));
+      mutating = true;
+      break;
+    }
+    case Statement::Kind::kDelete: {
+      auto* del = static_cast<DeleteStmt*>(stmt);
+      TDB_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindDelete(del));
+      DmlExecutor dml(exec);
+      TDB_ASSIGN_OR_RETURN(last, dml.Delete(del, bound));
+      mutating = true;
+      break;
+    }
+    case Statement::Kind::kReplace: {
+      auto* replace = static_cast<ReplaceStmt*>(stmt);
+      TDB_ASSIGN_OR_RETURN(BoundStatement bound,
+                           binder.BindReplace(replace));
+      DmlExecutor dml(exec);
+      TDB_ASSIGN_OR_RETURN(last, dml.Replace(replace, bound));
+      mutating = true;
+      break;
+    }
+    case Statement::Kind::kCreate: {
+      DdlExecutor ddl(exec);
+      TDB_ASSIGN_OR_RETURN(last,
+                           ddl.Create(*static_cast<CreateStmt*>(stmt)));
+      break;
+    }
+    case Statement::Kind::kDestroy: {
+      DdlExecutor ddl(exec);
+      TDB_ASSIGN_OR_RETURN(
+          last, ddl.Destroy(*static_cast<DestroyStmt*>(stmt)));
+      break;
+    }
+    case Statement::Kind::kModify: {
+      DdlExecutor ddl(exec);
+      TDB_ASSIGN_OR_RETURN(last,
+                           ddl.Modify(*static_cast<ModifyStmt*>(stmt)));
+      break;
+    }
+    case Statement::Kind::kIndex: {
+      DdlExecutor ddl(exec);
+      TDB_ASSIGN_OR_RETURN(last,
+                           ddl.Index(*static_cast<IndexStmt*>(stmt)));
+      break;
+    }
+    case Statement::Kind::kHelp: {
+      DdlExecutor ddl(exec);
+      TDB_ASSIGN_OR_RETURN(last,
+                           ddl.Help(*static_cast<HelpStmt*>(stmt)));
+      break;
+    }
+    case Statement::Kind::kCopy: {
+      auto* copy = static_cast<CopyStmt*>(stmt);
+      DdlExecutor ddl(exec);
+      TDB_ASSIGN_OR_RETURN(last, ddl.Copy(*copy));
+      mutating = copy->from;
+      break;
+    }
+    case Statement::Kind::kExplain: {
+      // Plan the wrapped retrieve without executing it: the plan tree
+      // comes back as rows, one line per node.
+      auto* explain = static_cast<ExplainStmt*>(stmt);
+      TDB_ASSIGN_OR_RETURN(BoundStatement bound,
+                           binder.BindRetrieve(explain->query.get()));
+      TDB_ASSIGN_OR_RETURN(std::shared_ptr<PhysicalPlan> plan,
+                           BuildPlan(*explain->query, bound, exec));
+      last = ExecResult{};
+      last.result.columns.push_back("query plan");
+      for (const std::string& line : Split(plan->Describe(), '\n')) {
+        if (line.empty()) continue;
+        Row row;
+        row.push_back(Value::Char(line));
+        last.result.rows.push_back(std::move(row));
+      }
+      last.message = "plan: " + plan->Summary();
+      last.plan = std::move(plan);
+      break;
+    }
+  }
+  if (mutating) {
+    PersistClock();
+    if (options_.auto_advance_seconds > 0) {
+      AdvanceSeconds(options_.auto_advance_seconds);
     }
   }
   return last;
+}
+
+Status Database::CommitStatement() {
+  // Write back every dirty frame; each in-place overwrite first pre-images
+  // the page through the journal hooks.
+  for (auto& [_, rel] : relations_) {
+    TDB_RETURN_NOT_OK(rel->FlushBuffers());
+  }
+  if (journal_->mode() == DurabilityMode::kJournalSync) {
+    for (auto& [_, rel] : relations_) {
+      TDB_RETURN_NOT_OK(rel->SyncFiles());
+    }
+  }
+  return journal_->Commit();
+}
+
+Status Database::RollbackStatement() {
+  // Dirty frames hold aborted content; drop them unwritten so destructor
+  // flushes cannot leak them to disk, then close the handles (the files
+  // are about to change underneath them).
+  for (auto& [_, rel] : relations_) rel->DiscardBuffers();
+  relations_.clear();
+  TDB_RETURN_NOT_OK(journal_->Rollback());
+  // The journal restored catalog.meta on disk; re-read it so the
+  // in-memory image matches again.
+  return catalog_.Load();
+}
+
+Result<ExecResult> Database::Execute(const std::string& text) {
+  TDB_ASSIGN_OR_RETURN(auto results, ExecuteScript(text));
+  return std::move(results.back());
 }
 
 Result<ResultSet> Database::Query(const std::string& text) {
@@ -192,8 +264,10 @@ Result<std::shared_ptr<const PhysicalPlan>> Database::Plan(
   }
   Binder binder(&catalog_, &ranges_);
   TDB_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindRetrieve(retrieve));
+  // Journal included so relations opened (and cached) while planning carry
+  // the same hooks as ones opened while executing.
   ExecEnv exec{env_, dir_, &catalog_, &registry_, &relations_, now_,
-               options_.buffer_frames};
+               options_.buffer_frames, journal_.get()};
   TDB_ASSIGN_OR_RETURN(std::shared_ptr<PhysicalPlan> plan,
                        BuildPlan(*retrieve, bound, exec));
   return std::shared_ptr<const PhysicalPlan>(std::move(plan));

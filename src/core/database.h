@@ -5,15 +5,20 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "catalog/catalog.h"
 #include "core/relation.h"
 #include "core/result_set.h"
 #include "env/env.h"
 #include "storage/io_stats.h"
+#include "storage/journal.h"
 #include "types/timepoint.h"
 #include "util/status.h"
 
 namespace tdb {
+
+struct Statement;  // tquel/ast.h
 
 /// 1980-01-01 00:00:00 UTC — the epoch the paper's benchmark databases are
 /// initialized around, and the default logical start time.
@@ -31,6 +36,13 @@ struct DatabaseOptions {
   /// Buffer frames per relation file.  The paper's methodology (and the
   /// default) is 1; `bench/ablation_buffers` sweeps this.
   int buffer_frames = 1;
+  /// Crash safety for mutating statements.  kOff (the default, and the
+  /// benchmark configuration) writes pages in place with no journal.
+  /// kJournal pre-images every page overwrite to a rollback journal so a
+  /// process crash leaves each statement atomic; kJournalSync additionally
+  /// fsyncs at the commit barriers for power-cut safety.  Recovery runs
+  /// automatically in Open() whatever the mode.
+  DurabilityMode durability = DurabilityMode::kOff;
 };
 
 /// The TQuel temporal DBMS facade: a database directory containing a
@@ -49,8 +61,15 @@ class Database {
   static Result<std::unique_ptr<Database>> Open(const std::string& dir,
                                                 DatabaseOptions options = {});
 
-  /// Parses and executes a script of one or more statements, returning the
-  /// result of the last one.  Any error aborts the remainder.
+  /// Parses and executes a script of one or more statements, returning one
+  /// ExecResult per statement in script order.  The first error aborts the
+  /// remainder; the returned Status then carries a StatementContext naming
+  /// the failing statement (1-based index + source offset).  With
+  /// durability on, each statement is atomic: a failure (or crash) rolls
+  /// the database back to the previous statement boundary.
+  Result<std::vector<ExecResult>> ExecuteScript(const std::string& text);
+
+  /// Like ExecuteScript(), returning only the last statement's result.
   Result<ExecResult> Execute(const std::string& text);
 
   /// Convenience wrapper asserting the text is a single retrieve.
@@ -112,11 +131,28 @@ class Database {
   void PersistClock() const;
   void RestoreClock();
 
+  /// Runs one parsed statement (the per-statement switch).  Journal
+  /// bracketing lives in ExecuteScript.
+  Result<ExecResult> ExecuteStatement(Statement* stmt);
+
+  /// Commit barrier with durability on: flush every open pager (each
+  /// overwrite pre-imaged via the journal hooks), sync data files in
+  /// kJournalSync, then write the journal's commit mark.
+  Status CommitStatement();
+
+  /// Undoes a failed statement: drops dirty frames unwritten, closes the
+  /// open relations, applies the journal's pre-images, and reloads the
+  /// catalog from its restored file.
+  Status RollbackStatement();
+
   Env* env_;
   std::string dir_;
   DatabaseOptions options_;
   Catalog catalog_;
   IoRegistry registry_;
+  /// Declared before relations_ so pagers (whose destructors flush through
+  /// the journal hooks) are destroyed first.
+  std::unique_ptr<Journal> journal_;
   std::map<std::string, std::unique_ptr<Relation>> relations_;
   std::map<std::string, std::string> ranges_;
   TimePoint now_;

@@ -34,15 +34,18 @@ Result<std::unique_ptr<Relation>> Relation::Open(Env* env,
                                                  const std::string& dir,
                                                  const RelationMeta& meta,
                                                  IoRegistry* registry,
-                                                 int buffer_frames) {
+                                                 int buffer_frames,
+                                                 Journal* journal) {
   TDB_ASSIGN_OR_RETURN(RecordLayout layout,
                        LayoutFor(meta.schema, meta.key_attr));
   std::unique_ptr<Relation> rel(new Relation(meta, layout));
 
   IoCounters* primary_counters = registry->ForFile(meta.name);
   std::string primary_path = dir + "/" + meta.DataFileName();
-  TDB_ASSIGN_OR_RETURN(auto pager,
-                       Pager::Open(env, primary_path, primary_counters, buffer_frames));
+  TDB_ASSIGN_OR_RETURN(
+      auto pager,
+      Pager::Open(env, primary_path, primary_counters, buffer_frames,
+                  journal));
   switch (meta.org) {
     case Organization::kHeap: {
       TDB_ASSIGN_OR_RETURN(auto file,
@@ -82,7 +85,7 @@ Result<std::unique_ptr<Relation>> Relation::Open(Env* env,
     TDB_ASSIGN_OR_RETURN(
         auto hist_pager,
         Pager::Open(env, hist_path, registry->ForFile(meta.name + "#hist"),
-                    buffer_frames));
+                    buffer_frames, journal));
     TDB_ASSIGN_OR_RETURN(
         rel->history_,
         HeapFile::Open(std::move(hist_pager), rel->history_layout_));
@@ -100,7 +103,7 @@ Result<std::unique_ptr<Relation>> Relation::Open(Env* env,
     TDB_ASSIGN_OR_RETURN(
         auto anc_pager,
         Pager::Open(env, anc_path, registry->ForFile(meta.name + "#anc"),
-                    buffer_frames));
+                    buffer_frames, journal));
     if (fresh || anc_pager->page_count() == 0) {
       TDB_ASSIGN_OR_RETURN(rel->anchors_,
                            HashFile::Create(std::move(anc_pager),
@@ -124,7 +127,7 @@ Result<std::unique_ptr<Relation>> Relation::Open(Env* env,
                              meta.schema.attr(static_cast<size_t>(attr_idx)),
                              registry->ForFile(idx.name + "#cur"),
                              registry->ForFile(idx.name + "#hist"),
-                             buffer_frames));
+                             buffer_frames, journal));
     rel->indexes_.push_back(std::move(index));
   }
   return rel;

@@ -36,11 +36,14 @@ class Relation {
  public:
   /// Opens every file of the relation.  Counters are obtained from
   /// `registry` (one per physical file, all summed by measurements).
+  /// `journal` (nullable) is handed to every pager so in-place page writes
+  /// are pre-imaged when durability is on.
   static Result<std::unique_ptr<Relation>> Open(Env* env,
                                                 const std::string& dir,
                                                 const RelationMeta& meta,
                                                 IoRegistry* registry,
-                                                int buffer_frames = 1);
+                                                int buffer_frames = 1,
+                                                Journal* journal = nullptr);
 
   const RelationMeta& meta() const { return meta_; }
   const Schema& schema() const { return meta_.schema; }
@@ -110,6 +113,36 @@ class Relation {
     }
     for (auto& idx : indexes_) TDB_RETURN_NOT_OK(idx->FlushAndDrop());
     return Status::OK();
+  }
+
+  /// Writes every dirty buffer frame back (frames stay resident).  The
+  /// commit protocol calls this so a statement's effects are fully on disk
+  /// before the journal's commit mark is written.
+  Status FlushBuffers() {
+    TDB_RETURN_NOT_OK(primary_->pager()->Flush());
+    if (history_ != nullptr) TDB_RETURN_NOT_OK(history_->pager()->Flush());
+    if (anchors_ != nullptr) TDB_RETURN_NOT_OK(anchors_->pager()->Flush());
+    for (auto& idx : indexes_) TDB_RETURN_NOT_OK(idx->Flush());
+    return Status::OK();
+  }
+
+  /// Fsyncs every file of the relation (kJournalSync commit protocol).
+  Status SyncFiles() {
+    TDB_RETURN_NOT_OK(primary_->pager()->Sync());
+    if (history_ != nullptr) TDB_RETURN_NOT_OK(history_->pager()->Sync());
+    if (anchors_ != nullptr) TDB_RETURN_NOT_OK(anchors_->pager()->Sync());
+    for (auto& idx : indexes_) TDB_RETURN_NOT_OK(idx->Sync());
+    return Status::OK();
+  }
+
+  /// Empties every buffer frame WITHOUT writing dirty ones back.  Rollback
+  /// calls this so aborted in-memory page edits never reach the restored
+  /// file image.
+  void DiscardBuffers() {
+    primary_->pager()->DiscardAll();
+    if (history_ != nullptr) history_->pager()->DiscardAll();
+    if (anchors_ != nullptr) anchors_->pager()->DiscardAll();
+    for (auto& idx : indexes_) idx->Discard();
   }
 
  private:

@@ -1,0 +1,116 @@
+#ifndef CHRONOQUEL_ENV_FAULT_ENV_H_
+#define CHRONOQUEL_ENV_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+
+namespace tdb {
+
+/// An Env wrapper that injects storage failures, used to prove the journal's
+/// crash story (tests/crash_recovery_test.cc) and exercisable from any test
+/// that wants hostile I/O.
+///
+/// Every *mutating* operation that reaches the wrapped env — RandomRWFile
+/// Write / Truncate / Sync, and env-level DeleteFile / RenameFile /
+/// WriteStringToFile — consumes one operation index, counted from 0 in
+/// execution order.  Reads never count and never fail, so a test can always
+/// inspect the resulting file image.
+///
+/// Three fault styles:
+///   * CrashAt(k): operation k and everything after it fail with an
+///     IOError and leave the wrapped env untouched — the file image is
+///     frozen exactly as it was after operation k-1, like a power cut.
+///     With set_torn_write_bytes(b), if operation k is a Write (or
+///     WriteStringToFile) its first b bytes are applied before the freeze,
+///     modeling a torn page / short sector write.
+///   * FailSyncAt(n): the nth Sync (1-based) returns an IOError once;
+///     state is not frozen — later operations succeed.  Models a transient
+///     EIO from fsync.
+///   * FailWriteShort(n, b): the nth Write (1-based) persists only its
+///     first b bytes and returns an IOError once.  Models ENOSPC-style
+///     short writes.
+///
+/// The wrapper is intended for single-threaded tests but guards its counter
+/// with a mutex so accidental cross-thread use stays well-defined.
+class FaultEnv : public Env {
+ public:
+  explicit FaultEnv(Env* base) : base_(base) {}
+
+  // --- fault script -------------------------------------------------------
+
+  /// Freeze the file image at operation `k` (0-based; the k-th mutating
+  /// operation is the first to fail).
+  void CrashAt(uint64_t k);
+
+  /// When the crashing operation is a write, apply its first `n` bytes.
+  void set_torn_write_bytes(uint64_t n);
+
+  /// Fail the `n`th Sync (1-based) once with an IOError.
+  void FailSyncAt(uint64_t n);
+
+  /// The `n`th Write (1-based) persists only `bytes` bytes and fails once.
+  void FailWriteShort(uint64_t n, uint64_t bytes);
+
+  /// Clears the script and all counters (the wrapped env is untouched).
+  void Reset();
+
+  /// Mutating operations seen so far (failed ones included).
+  uint64_t op_count() const;
+
+  /// True once CrashAt has triggered.
+  bool crashed() const;
+
+  // --- Env ----------------------------------------------------------------
+
+  Result<std::unique_ptr<RandomRWFile>> OpenOrCreate(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status CreateDirIfMissing(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Status WriteStringToFile(const std::string& path,
+                           const std::string& data) override;
+
+ private:
+  friend class FaultFile;
+
+  /// What one mutating operation is allowed to do.
+  struct Decision {
+    bool fail = false;
+    /// For writes when failing: bytes to apply before reporting the fault
+    /// (UINT64_MAX = none).
+    uint64_t partial_bytes = UINT64_MAX;
+  };
+
+  /// Consumes one operation index and scores it against the script.
+  /// `is_write` enables torn/short-write semantics; `is_sync` enables
+  /// FailSyncAt.
+  Decision NextOp(bool is_write, bool is_sync);
+
+  static Status InjectedError() {
+    return Status::IOError("injected fault: storage is unavailable");
+  }
+
+  Env* base_;
+  mutable std::mutex mu_;
+  uint64_t ops_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t crash_at_ = UINT64_MAX;
+  uint64_t torn_write_bytes_ = UINT64_MAX;
+  uint64_t fail_sync_at_ = 0;    // 1-based; 0 = disabled
+  uint64_t fail_write_at_ = 0;   // 1-based; 0 = disabled
+  uint64_t fail_write_bytes_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_ENV_FAULT_ENV_H_

@@ -80,14 +80,24 @@ Result<ExecResult> DdlExecutor::Create(const CreateStmt& stmt) {
 }
 
 void DdlExecutor::DeleteFiles(const RelationMeta& meta, bool indexes_too) {
-  (void)env_.env->DeleteFile(env_.dir + "/" + meta.DataFileName());
-  (void)env_.env->DeleteFile(env_.dir + "/" + meta.HistoryFileName());
-  (void)env_.env->DeleteFile(env_.dir + "/" + meta.name + ".anc");
+  std::vector<std::string> paths = {
+      env_.dir + "/" + meta.DataFileName(),
+      env_.dir + "/" + meta.HistoryFileName(),
+      env_.dir + "/" + meta.name + ".anc",
+  };
   if (indexes_too) {
     for (const IndexMeta& idx : meta.indexes) {
-      (void)env_.env->DeleteFile(env_.dir + "/" + idx.CurrentFileName());
-      (void)env_.env->DeleteFile(env_.dir + "/" + idx.HistoryFileName());
+      paths.push_back(env_.dir + "/" + idx.CurrentFileName());
+      paths.push_back(env_.dir + "/" + idx.HistoryFileName());
     }
+  }
+  for (const std::string& path : paths) {
+    // Pre-image the whole file so destroy / modify roll back to intact
+    // storage if the statement dies after this point.
+    if (env_.journal != nullptr) {
+      (void)env_.journal->BeforeDeleteFile(path);
+    }
+    (void)env_.env->DeleteFile(path);
   }
 }
 
@@ -245,7 +255,8 @@ Result<ExecResult> DdlExecutor::Modify(const ModifyStmt& stmt) {
     case Organization::kHeap: {
       TDB_ASSIGN_OR_RETURN(
           auto pager,
-          Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name)));
+          Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name),
+                      /*frames=*/1, env_.journal));
       TDB_RETURN_NOT_OK(pager->Reset());
       TDB_ASSIGN_OR_RETURN(auto heap, HeapFile::Open(std::move(pager), layout));
       for (const auto& rec : primary_records()) {
@@ -257,7 +268,8 @@ Result<ExecResult> DdlExecutor::Modify(const ModifyStmt& stmt) {
     case Organization::kHash: {
       TDB_ASSIGN_OR_RETURN(
           auto pager,
-          Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name)));
+          Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name),
+                      /*frames=*/1, env_.journal));
       TDB_ASSIGN_OR_RETURN(
           auto hash,
           HashFile::Create(std::move(pager), layout, meta.hash_buckets));
@@ -270,7 +282,8 @@ Result<ExecResult> DdlExecutor::Modify(const ModifyStmt& stmt) {
     case Organization::kIsam: {
       TDB_ASSIGN_OR_RETURN(
           auto pager,
-          Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name)));
+          Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name),
+                      /*frames=*/1, env_.journal));
       TDB_ASSIGN_OR_RETURN(
           auto isam,
           IsamFile::BulkLoad(std::move(pager), layout, primary_records(),
@@ -282,7 +295,8 @@ Result<ExecResult> DdlExecutor::Modify(const ModifyStmt& stmt) {
       // B-trees build incrementally; the fill factor does not apply.
       TDB_ASSIGN_OR_RETURN(
           auto pager,
-          Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name)));
+          Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name),
+                      /*frames=*/1, env_.journal));
       TDB_ASSIGN_OR_RETURN(auto btree,
                            BtreeFile::Create(std::move(pager), layout));
       for (const auto& rec : primary_records()) {

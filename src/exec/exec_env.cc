@@ -12,8 +12,9 @@ Result<Relation*> ExecEnv::GetRelation(const std::string& name) const {
   if (meta == nullptr) {
     return Status::NotFound("relation '" + name + "' does not exist");
   }
-  TDB_ASSIGN_OR_RETURN(auto rel,
-                       Relation::Open(env, dir, *meta, registry, buffer_frames));
+  TDB_ASSIGN_OR_RETURN(
+      auto rel,
+      Relation::Open(env, dir, *meta, registry, buffer_frames, journal));
   Relation* ptr = rel.get();
   (*relations)[key] = std::move(rel);
   return ptr;

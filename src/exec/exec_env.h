@@ -9,6 +9,7 @@
 #include "core/relation.h"
 #include "env/env.h"
 #include "storage/io_stats.h"
+#include "storage/journal.h"
 #include "types/timepoint.h"
 
 namespace tdb {
@@ -26,6 +27,9 @@ struct ExecEnv {
   TimePoint now;
   /// Buffer frames per relation file (1 = the paper's discipline).
   int buffer_frames = 1;
+  /// The owning database's write-ahead journal; null when durability is
+  /// off.  Executors route every pager and every file deletion through it.
+  Journal* journal = nullptr;
 
   /// Returns the open handle for `name`, opening it from the catalog on
   /// first use.

@@ -257,6 +257,9 @@ Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
   RecordLayout temp_layout;
   temp_layout.record_size = temp_schema.record_size();
   IoCounters before = env_.registry->Total();
+  // Detachment temporaries are scratch: deleted at the end of the query and
+  // orphaned harmlessly by a crash (the catalog never references them), so
+  // they deliberately bypass the journal.
   auto temp_pager_result =
       Pager::Open(env_.env, temp_path, env_.registry->ForFile(temp_name),
                   env_.buffer_frames);

@@ -14,9 +14,11 @@ constexpr uint32_t kDefaultIndexBuckets = 16;
 
 Result<std::unique_ptr<StorageFile>> OpenIndexFile(
     Env* env, const std::string& path, const RecordLayout& layout,
-    Organization org, uint32_t nbuckets, IoCounters* counters, int frames) {
+    Organization org, uint32_t nbuckets, IoCounters* counters, int frames,
+    Journal* journal) {
   bool fresh = !env->FileExists(path);
-  TDB_ASSIGN_OR_RETURN(auto pager, Pager::Open(env, path, counters, frames));
+  TDB_ASSIGN_OR_RETURN(auto pager,
+                       Pager::Open(env, path, counters, frames, journal));
   if (org == Organization::kHash) {
     if (fresh || pager->page_count() == 0) {
       TDB_ASSIGN_OR_RETURN(auto file,
@@ -37,7 +39,7 @@ Result<std::unique_ptr<StorageFile>> OpenIndexFile(
 Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Open(
     Env* env, const std::string& dir, const IndexMeta& meta,
     const Attribute& attr, IoCounters* current_counters,
-    IoCounters* history_counters, int buffer_frames) {
+    IoCounters* history_counters, int buffer_frames, Journal* journal) {
   if (meta.org != Organization::kHeap && meta.org != Organization::kHash) {
     return Status::Invalid("index structure must be heap or hash");
   }
@@ -51,7 +53,7 @@ Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Open(
   TDB_ASSIGN_OR_RETURN(
       auto current,
       OpenIndexFile(env, dir + "/" + meta.CurrentFileName(), layout, meta.org,
-                    nbuckets, current_counters, buffer_frames));
+                    nbuckets, current_counters, buffer_frames, journal));
   std::unique_ptr<StorageFile> history;
   if (meta.levels == 2) {
     uint32_t hbuckets =
@@ -59,7 +61,8 @@ Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Open(
     TDB_ASSIGN_OR_RETURN(
         history,
         OpenIndexFile(env, dir + "/" + meta.HistoryFileName(), layout,
-                      meta.org, hbuckets, history_counters, buffer_frames));
+                      meta.org, hbuckets, history_counters, buffer_frames,
+                      journal));
   }
   return std::unique_ptr<SecondaryIndex>(new SecondaryIndex(
       meta, layout, std::move(current), std::move(history)));

@@ -35,11 +35,13 @@ class SecondaryIndex {
  public:
   /// Opens (creating empty files as needed) the index described by `meta`
   /// over an attribute of type `attr`.  Counter objects come from the
-  /// owning database's IoRegistry.
+  /// owning database's IoRegistry; `journal` (nullable) pre-images index
+  /// page overwrites when durability is on.
   static Result<std::unique_ptr<SecondaryIndex>> Open(
       Env* env, const std::string& dir, const IndexMeta& meta,
       const Attribute& attr, IoCounters* current_counters,
-      IoCounters* history_counters, int buffer_frames = 1);
+      IoCounters* history_counters, int buffer_frames = 1,
+      Journal* journal = nullptr);
 
   const IndexMeta& meta() const { return meta_; }
 
@@ -74,6 +76,26 @@ class SecondaryIndex {
       TDB_RETURN_NOT_OK(history_->pager()->FlushAndDrop());
     }
     return Status::OK();
+  }
+
+  /// Writes dirty frames back; frames stay resident (commit protocol).
+  Status Flush() {
+    TDB_RETURN_NOT_OK(current_->pager()->Flush());
+    if (history_ != nullptr) TDB_RETURN_NOT_OK(history_->pager()->Flush());
+    return Status::OK();
+  }
+
+  /// Fsyncs both structures' files (kJournalSync commit protocol).
+  Status Sync() {
+    TDB_RETURN_NOT_OK(current_->pager()->Sync());
+    if (history_ != nullptr) TDB_RETURN_NOT_OK(history_->pager()->Sync());
+    return Status::OK();
+  }
+
+  /// Drops frames without writing dirty ones back (rollback).
+  void Discard() {
+    current_->pager()->DiscardAll();
+    if (history_ != nullptr) history_->pager()->DiscardAll();
   }
 
  private:

@@ -1,0 +1,400 @@
+#include "storage/journal.h"
+
+#include <cstring>
+
+#include "storage/page.h"
+#include "util/stringx.h"
+
+namespace tdb {
+
+const char* DurabilityModeName(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kOff:
+      return "off";
+    case DurabilityMode::kJournal:
+      return "journal";
+    case DurabilityMode::kJournalSync:
+      return "journal+sync";
+  }
+  return "?";
+}
+
+uint32_t Crc32(const uint8_t* data, size_t n, uint32_t seed) {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+namespace {
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+bool GetU8(const std::vector<uint8_t>& buf, size_t* off, uint8_t* v) {
+  if (*off + 1 > buf.size()) return false;
+  *v = buf[*off];
+  *off += 1;
+  return true;
+}
+
+bool GetU32(const std::vector<uint8_t>& buf, size_t* off, uint32_t* v) {
+  if (*off + 4 > buf.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(buf[*off + i]) << (8 * i);
+  *off += 4;
+  return true;
+}
+
+bool GetU64(const std::vector<uint8_t>& buf, size_t* off, uint64_t* v) {
+  if (*off + 8 > buf.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(buf[*off + i]) << (8 * i);
+  *off += 8;
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> Journal::EncodeRecord(const Record& rec) {
+  std::vector<uint8_t> out;
+  PutU8(&out, static_cast<uint8_t>(rec.type));
+  PutU32(&out, static_cast<uint32_t>(rec.path.size()));
+  out.insert(out.end(), rec.path.begin(), rec.path.end());
+  switch (rec.type) {
+    case kFileSize:
+      PutU8(&out, rec.existed ? 1 : 0);
+      PutU64(&out, rec.size);
+      break;
+    case kPageImage:
+      PutU32(&out, rec.pno);
+      out.insert(out.end(), rec.payload.begin(), rec.payload.end());
+      break;
+    case kFileImage:
+      PutU8(&out, rec.existed ? 1 : 0);
+      PutU64(&out, static_cast<uint64_t>(rec.payload.size()));
+      out.insert(out.end(), rec.payload.begin(), rec.payload.end());
+      break;
+    case kCommit:
+      break;
+  }
+  PutU32(&out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+bool Journal::DecodeRecord(const std::vector<uint8_t>& buf, size_t* offset,
+                           Record* out) {
+  size_t off = *offset;
+  const size_t start = off;
+  uint8_t type = 0;
+  uint32_t path_len = 0;
+  if (!GetU8(buf, &off, &type) || !GetU32(buf, &off, &path_len)) return false;
+  if (type < kFileSize || type > kCommit) return false;
+  if (off + path_len > buf.size()) return false;
+  out->type = static_cast<RecordType>(type);
+  out->path.assign(reinterpret_cast<const char*>(buf.data() + off), path_len);
+  off += path_len;
+  out->payload.clear();
+  switch (out->type) {
+    case kFileSize: {
+      uint8_t existed = 0;
+      if (!GetU8(buf, &off, &existed) || !GetU64(buf, &off, &out->size)) {
+        return false;
+      }
+      out->existed = existed != 0;
+      break;
+    }
+    case kPageImage: {
+      if (!GetU32(buf, &off, &out->pno)) return false;
+      if (off + kPageSize > buf.size()) return false;
+      out->payload.assign(buf.begin() + static_cast<long>(off),
+                          buf.begin() + static_cast<long>(off + kPageSize));
+      off += kPageSize;
+      break;
+    }
+    case kFileImage: {
+      uint8_t existed = 0;
+      uint64_t len = 0;
+      if (!GetU8(buf, &off, &existed) || !GetU64(buf, &off, &len)) return false;
+      out->existed = existed != 0;
+      if (off + len > buf.size()) return false;
+      out->payload.assign(buf.begin() + static_cast<long>(off),
+                          buf.begin() + static_cast<long>(off + len));
+      off += static_cast<size_t>(len);
+      break;
+    }
+    case kCommit:
+      break;
+  }
+  uint32_t stored_crc = 0;
+  if (!GetU32(buf, &off, &stored_crc)) return false;
+  if (Crc32(buf.data() + start, off - 4 - start) != stored_crc) return false;
+  *offset = off;
+  return true;
+}
+
+Result<std::unique_ptr<Journal>> Journal::Open(Env* env,
+                                               const std::string& dir,
+                                               DurabilityMode mode) {
+  std::string path = PathFor(dir);
+  TDB_ASSIGN_OR_RETURN(auto file, env->OpenOrCreate(path));
+  std::unique_ptr<Journal> journal(
+      new Journal(env, std::move(path), std::move(file), mode));
+  // Any prior batch was resolved by Recover(); discard leftovers.
+  TDB_RETURN_NOT_OK(journal->file_->Truncate(0));
+  return journal;
+}
+
+Status Journal::Begin() {
+  if (!healthy_) {
+    return Status::IOError(
+        "journal rollback failed earlier; reopen the database to recover");
+  }
+  if (active_) return Status::Internal("journal batch already active");
+  TDB_RETURN_NOT_OK(file_->Truncate(0));
+  write_offset_ = 0;
+  sync_pending_ = false;
+  batch_.clear();
+  files_.clear();
+  active_ = true;
+  return Status::OK();
+}
+
+Status Journal::AppendRecord(const Record& rec) {
+  std::vector<uint8_t> bytes = EncodeRecord(rec);
+  TDB_RETURN_NOT_OK(file_->Write(write_offset_, bytes.data(), bytes.size()));
+  write_offset_ += bytes.size();
+  batch_.push_back(rec);
+  sync_pending_ = true;
+  return Status::OK();
+}
+
+Status Journal::SyncPending() {
+  if (mode_ == DurabilityMode::kJournalSync && sync_pending_) {
+    TDB_RETURN_NOT_OK(file_->Sync());
+    sync_pending_ = false;
+  }
+  return Status::OK();
+}
+
+Result<Journal::FileState*> Journal::EnsureFileLogged(const std::string& path,
+                                                      RandomRWFile* file) {
+  auto it = files_.find(path);
+  if (it != files_.end()) return &it->second;
+  FileState fs;
+  fs.existed = env_->FileExists(path);
+  if (fs.existed) {
+    if (file != nullptr) {
+      TDB_ASSIGN_OR_RETURN(fs.batch_start_size, file->Size());
+    } else {
+      TDB_ASSIGN_OR_RETURN(auto probe, env_->OpenOrCreate(path));
+      TDB_ASSIGN_OR_RETURN(fs.batch_start_size, probe->Size());
+    }
+  }
+  Record rec;
+  rec.type = kFileSize;
+  rec.path = path;
+  rec.existed = fs.existed;
+  rec.size = fs.batch_start_size;
+  TDB_RETURN_NOT_OK(AppendRecord(rec));
+  return &files_.emplace(path, fs).first->second;
+}
+
+Status Journal::CaptureWholeFile(const std::string& path, FileState* fs) {
+  if (fs->whole_file_captured) return Status::OK();
+  Record rec;
+  rec.type = kFileImage;
+  rec.path = path;
+  rec.existed = fs->existed || env_->FileExists(path);
+  if (rec.existed) {
+    TDB_ASSIGN_OR_RETURN(std::string content, env_->ReadFileToString(path));
+    rec.payload.assign(content.begin(), content.end());
+  }
+  TDB_RETURN_NOT_OK(AppendRecord(rec));
+  fs->whole_file_captured = true;
+  return Status::OK();
+}
+
+Status Journal::BeforePageWrite(const std::string& path, RandomRWFile* file,
+                                uint32_t pno) {
+
+  if (!active_) return Status::OK();
+  TDB_ASSIGN_OR_RETURN(FileState * fs, EnsureFileLogged(path, file));
+  uint64_t end = (static_cast<uint64_t>(pno) + 1) * kPageSize;
+  if (!fs->whole_file_captured && end <= fs->batch_start_size &&
+      fs->pages_logged.insert(pno).second) {
+    Record rec;
+    rec.type = kPageImage;
+    rec.path = path;
+    rec.pno = pno;
+    rec.payload.resize(kPageSize);
+    // Read the pre-image straight from the file, bypassing the pager so the
+    // paper's page-I/O accounting never sees journal traffic.
+    TDB_RETURN_NOT_OK(file->Read(static_cast<uint64_t>(pno) * kPageSize,
+                                 kPageSize, rec.payload.data()));
+    TDB_RETURN_NOT_OK(AppendRecord(rec));
+  }
+  return SyncPending();
+}
+
+Status Journal::BeforeTruncate(const std::string& path, RandomRWFile* file,
+                               uint64_t new_size) {
+  if (!active_) return Status::OK();
+  TDB_ASSIGN_OR_RETURN(FileState * fs, EnsureFileLogged(path, file));
+  if (!fs->whole_file_captured && file != nullptr) {
+    TDB_ASSIGN_OR_RETURN(uint64_t cur, file->Size());
+    if (new_size < cur) {
+      // A shrink destroys bytes the page records do not cover; keep the
+      // whole current image (earlier page records still restore the bytes
+      // this batch already overwrote before the shrink).
+      TDB_RETURN_NOT_OK(CaptureWholeFile(path, fs));
+    }
+  }
+  return SyncPending();
+}
+
+Status Journal::BeforeFileRewrite(const std::string& path) {
+  if (!active_) return Status::OK();
+  TDB_ASSIGN_OR_RETURN(FileState * fs, EnsureFileLogged(path, nullptr));
+  TDB_RETURN_NOT_OK(CaptureWholeFile(path, fs));
+  return SyncPending();
+}
+
+Status Journal::BeforeDeleteFile(const std::string& path) {
+  if (!active_) return Status::OK();
+  if (!env_->FileExists(path)) return Status::OK();
+  return BeforeFileRewrite(path);
+}
+
+Status Journal::Commit() {
+  if (!active_) return Status::OK();
+  active_ = false;
+  if (batch_.empty()) return Status::OK();  // read-only statement
+  Record mark;
+  mark.type = kCommit;
+  std::vector<uint8_t> bytes = EncodeRecord(mark);
+  TDB_RETURN_NOT_OK(file_->Write(write_offset_, bytes.data(), bytes.size()));
+  if (mode_ == DurabilityMode::kJournalSync) {
+    TDB_RETURN_NOT_OK(file_->Sync());
+  }
+  // The statement is now durable.  Emptying the journal is tidy-up only:
+  // if it fails (or we crash first), recovery sees the mark and discards.
+  (void)file_->Truncate(0);
+  write_offset_ = 0;
+  batch_.clear();
+  files_.clear();
+  sync_pending_ = false;
+  return Status::OK();
+}
+
+Status Journal::Rollback() {
+  if (!active_) return Status::OK();
+  active_ = false;
+  Status applied = ApplyReversed(env_, batch_);
+  if (!applied.ok()) {
+    healthy_ = false;
+    return applied;
+  }
+  (void)file_->Truncate(0);
+  write_offset_ = 0;
+  batch_.clear();
+  files_.clear();
+  sync_pending_ = false;
+  return Status::OK();
+}
+
+Status Journal::ApplyReversed(Env* env, const std::vector<Record>& records) {
+  std::vector<std::string> touched;
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    const Record& rec = *it;
+    switch (rec.type) {
+      case kCommit:
+        break;
+      case kPageImage: {
+        TDB_ASSIGN_OR_RETURN(auto file, env->OpenOrCreate(rec.path));
+        TDB_RETURN_NOT_OK(file->Write(
+            static_cast<uint64_t>(rec.pno) * kPageSize, rec.payload.data(),
+            rec.payload.size()));
+        touched.push_back(rec.path);
+        break;
+      }
+      case kFileImage: {
+        if (!rec.existed) {
+          if (env->FileExists(rec.path)) {
+            TDB_RETURN_NOT_OK(env->DeleteFile(rec.path));
+          }
+          break;
+        }
+        TDB_ASSIGN_OR_RETURN(auto file, env->OpenOrCreate(rec.path));
+        TDB_RETURN_NOT_OK(file->Truncate(rec.payload.size()));
+        if (!rec.payload.empty()) {
+          TDB_RETURN_NOT_OK(
+              file->Write(0, rec.payload.data(), rec.payload.size()));
+        }
+        touched.push_back(rec.path);
+        break;
+      }
+      case kFileSize: {
+        if (!rec.existed) {
+          if (env->FileExists(rec.path)) {
+            TDB_RETURN_NOT_OK(env->DeleteFile(rec.path));
+          }
+          break;
+        }
+        TDB_ASSIGN_OR_RETURN(auto file, env->OpenOrCreate(rec.path));
+        TDB_RETURN_NOT_OK(file->Truncate(rec.size));
+        touched.push_back(rec.path);
+        break;
+      }
+    }
+  }
+  for (const std::string& path : touched) {
+    if (!env->FileExists(path)) continue;
+    TDB_ASSIGN_OR_RETURN(auto file, env->OpenOrCreate(path));
+    TDB_RETURN_NOT_OK(file->Sync());
+  }
+  return Status::OK();
+}
+
+Status Journal::Recover(Env* env, const std::string& dir) {
+  std::string path = PathFor(dir);
+  if (!env->FileExists(path)) return Status::OK();
+  TDB_ASSIGN_OR_RETURN(std::string text, env->ReadFileToString(path));
+  std::vector<uint8_t> buf(text.begin(), text.end());
+  std::vector<Record> records;
+  size_t off = 0;
+  while (off < buf.size()) {
+    Record rec;
+    if (!DecodeRecord(buf, &off, &rec)) break;  // torn tail: append was cut
+    records.push_back(std::move(rec));
+  }
+  if (!records.empty() && records.back().type != kCommit) {
+    // Crash mid-statement: put every batch-start image back.
+    TDB_RETURN_NOT_OK(ApplyReversed(env, records));
+  }
+  // Committed (or empty, or fully undone): the journal is spent.
+  TDB_ASSIGN_OR_RETURN(auto file, env->OpenOrCreate(path));
+  TDB_RETURN_NOT_OK(file->Truncate(0));
+  return file->Sync();
+}
+
+}  // namespace tdb

@@ -1,0 +1,194 @@
+#ifndef CHRONOQUEL_STORAGE_JOURNAL_H_
+#define CHRONOQUEL_STORAGE_JOURNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+#include "util/status.h"
+
+namespace tdb {
+
+/// How much crash protection the database applies to mutating statements.
+///
+/// The paper's page-I/O metric is measured with durability OFF (the
+/// default): the journal performs no I/O and the accounting to user
+/// relations is byte-identical to the seed benchmarks.
+enum class DurabilityMode : uint8_t {
+  /// No journal.  A crash mid-statement can tear pages.  Benchmark default.
+  kOff,
+  /// Pre-image journal without fsync: every statement is atomic across
+  /// process crashes (kill -9), but not across power loss.
+  kJournal,
+  /// Journal plus ordered fsyncs: the journal is synced before any data
+  /// page is overwritten in place and the data files are synced before the
+  /// commit mark, so statements are atomic across power loss too.
+  kJournalSync,
+};
+
+/// "off", "journal", or "journal+sync".
+const char* DurabilityModeName(DurabilityMode mode);
+
+/// CRC-32 (IEEE 802.3 polynomial) of `n` bytes, seedable for chaining.
+uint32_t Crc32(const uint8_t* data, size_t n, uint32_t seed = 0);
+
+/// Write-ahead *undo* journal for one database directory.
+///
+/// Protocol (one batch per statement):
+///   1. Begin() empties the journal.
+///   2. Before any byte of database state is overwritten in place, the
+///      owner of that state calls a Before*() hook and the journal appends
+///      the *pre-image* — the first time only, per page / file per batch:
+///        * BeforePageWrite: the 1024-byte on-disk page payload,
+///        * BeforeTruncate (shrink) / BeforeDeleteFile / BeforeFileRewrite:
+///          the whole file,
+///        * any first mutation: the file's batch-start size (so rollback
+///          can truncate away pages appended mid-batch, or delete files
+///          created mid-batch).
+///      In kJournalSync mode the appended records are fsynced before the
+///      hook returns, so the pre-image always reaches stable storage
+///      before the overwrite it protects.
+///   3. Commit() appends a commit-mark record (after the caller has
+///      flushed — and in kJournalSync synced — the data files) and then
+///      empties the journal.
+///   4. Rollback() re-applies the batch's pre-images in reverse order,
+///      returning every file to its batch-start image.
+///
+/// Recover() reads a journal left behind by a crash: a journal that is
+/// empty or ends with a commit mark is discarded (the statement committed);
+/// anything else is rolled back.  A torn tail (short or CRC-mismatched
+/// record) marks the exact point the crash interrupted an append; since
+/// every append precedes the write it protects, the torn record's data
+/// write never happened and the tail is simply ignored.  Recovery only
+/// writes batch-start images, so running it any number of times — including
+/// crashing *during* recovery and recovering again — converges to the same
+/// state (idempotence).
+class Journal {
+ public:
+  /// The journal file of a database directory.
+  static std::string PathFor(const std::string& dir) {
+    return dir + "/journal";
+  }
+
+  /// Opens (creating if missing) the journal for `dir`.  Call Recover()
+  /// first: Open() assumes any previous batch has been resolved and
+  /// truncates leftovers.
+  static Result<std::unique_ptr<Journal>> Open(Env* env,
+                                               const std::string& dir,
+                                               DurabilityMode mode);
+
+  /// Rolls back (or discards, if committed) whatever a crashed session left
+  /// in `dir`'s journal.  A no-op when no journal file exists.
+  static Status Recover(Env* env, const std::string& dir);
+
+  DurabilityMode mode() const { return mode_; }
+
+  /// True between a successful Begin() and the matching Commit()/Rollback().
+  bool active() const { return active_; }
+
+  /// True until a rollback fails (leaving disk state only recoverable by
+  /// Recover() on reopen).
+  bool healthy() const { return healthy_; }
+
+  /// Starts a statement batch: empties the journal and forgets per-batch
+  /// dedup state.
+  Status Begin();
+
+  /// Seals the batch: appends the commit mark, syncs it (kJournalSync), and
+  /// empties the journal.  The caller must have flushed (and, in
+  /// kJournalSync, synced) all data files first.
+  Status Commit();
+
+  /// Undoes the batch on disk by applying its pre-images in reverse.  The
+  /// caller must discard all in-memory state derived from the rolled-back
+  /// files (buffer frames, open relations, the catalog image).
+  Status Rollback();
+
+  // --- pre-image hooks (no-ops outside an active batch) -------------------
+
+  /// Called by the pager before overwriting page `pno` of `path` in place.
+  /// Reads the pre-image through `file` without touching any I/O counters.
+  Status BeforePageWrite(const std::string& path, RandomRWFile* file,
+                         uint32_t pno);
+
+  /// Called before `path` is truncated to `new_size` (either direction;
+  /// a shrink captures the whole current file).
+  Status BeforeTruncate(const std::string& path, RandomRWFile* file,
+                        uint64_t new_size);
+
+  /// Called before `path` is rewritten wholesale (catalog, clock).
+  Status BeforeFileRewrite(const std::string& path);
+
+  /// Called before `path` is deleted.
+  Status BeforeDeleteFile(const std::string& path);
+
+ private:
+  enum RecordType : uint8_t {
+    kFileSize = 1,   // batch-start size of a file (0/absent when !existed)
+    kPageImage = 2,  // pre-image of one kPageSize page
+    kFileImage = 3,  // pre-image of a whole file
+    kCommit = 4,     // batch committed; nothing to undo
+  };
+
+  struct Record {
+    RecordType type = kCommit;
+    std::string path;
+    bool existed = true;     // kFileSize / kFileImage
+    uint64_t size = 0;       // kFileSize: batch-start size
+    uint32_t pno = 0;        // kPageImage
+    std::vector<uint8_t> payload;  // kPageImage / kFileImage bytes
+  };
+
+  /// Per-file dedup state for the active batch.
+  struct FileState {
+    bool whole_file_captured = false;
+    uint64_t batch_start_size = 0;
+    bool existed = false;
+    std::set<uint32_t> pages_logged;
+  };
+
+  Journal(Env* env, std::string path, std::unique_ptr<RandomRWFile> file,
+          DurabilityMode mode)
+      : env_(env), path_(std::move(path)), file_(std::move(file)),
+        mode_(mode) {}
+
+  /// Logs the batch-start size of `path` once per batch and returns its
+  /// dedup state.  `file` may be null (size probed through the env).
+  Result<FileState*> EnsureFileLogged(const std::string& path,
+                                      RandomRWFile* file);
+
+  /// Captures the whole current content of `path` once per batch.
+  Status CaptureWholeFile(const std::string& path, FileState* fs);
+
+  Status AppendRecord(const Record& rec);
+  Status SyncPending();
+
+  static std::vector<uint8_t> EncodeRecord(const Record& rec);
+  /// Decodes the record at `*offset`, advancing it.  Returns false on a
+  /// torn / corrupt tail (parsing must stop there).
+  static bool DecodeRecord(const std::vector<uint8_t>& buf, size_t* offset,
+                           Record* out);
+
+  /// Applies `records` (a batch's pre-images) in reverse order through
+  /// `env`, then syncs every touched file.
+  static Status ApplyReversed(Env* env, const std::vector<Record>& records);
+
+  Env* env_;
+  std::string path_;
+  std::unique_ptr<RandomRWFile> file_;
+  DurabilityMode mode_;
+  bool active_ = false;
+  bool healthy_ = true;
+  bool sync_pending_ = false;
+  uint64_t write_offset_ = 0;
+  std::vector<Record> batch_;  // in-memory mirror for in-session rollback
+  std::map<std::string, FileState> files_;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_STORAGE_JOURNAL_H_

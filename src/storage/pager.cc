@@ -7,9 +7,15 @@
 namespace tdb {
 
 Result<std::unique_ptr<Pager>> Pager::Open(Env* env, const std::string& path,
-                                           IoCounters* counters, int frames) {
+                                           IoCounters* counters, int frames,
+                                           Journal* journal) {
   if (frames < 1 || frames > 1024) {
     return Status::Invalid("pager frame count must be in [1, 1024]");
+  }
+  // Journal the creation before it happens, so rolling back a statement
+  // that made this relation's first file deletes the file again.
+  if (journal != nullptr && !env->FileExists(path)) {
+    TDB_RETURN_NOT_OK(journal->BeforeFileRewrite(path));
   }
   TDB_ASSIGN_OR_RETURN(auto file, env->OpenOrCreate(path));
   TDB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
@@ -20,7 +26,7 @@ Result<std::unique_ptr<Pager>> Pager::Open(Env* env, const std::string& path,
   }
   return std::unique_ptr<Pager>(
       new Pager(std::move(file), path, counters,
-                static_cast<uint32_t>(size / kPageSize), frames));
+                static_cast<uint32_t>(size / kPageSize), frames, journal));
 }
 
 Pager::Frame* Pager::FindFrame(uint32_t pno) {
@@ -32,6 +38,12 @@ Pager::Frame* Pager::FindFrame(uint32_t pno) {
 
 Status Pager::FlushFrame(Frame* frame) {
   if (!frame->dirty || frame->pno == kNoPage) return Status::OK();
+  // WAL discipline: the on-disk pre-image of this page must be in the
+  // journal (and, in sync mode, on stable storage) before the overwrite.
+  if (journal_ != nullptr) {
+    TDB_RETURN_NOT_OK(
+        journal_->BeforePageWrite(path_, file_.get(), frame->pno));
+  }
   TDB_RETURN_NOT_OK(file_->Write(
       static_cast<uint64_t>(frame->pno) * kPageSize, frame->data, kPageSize));
   Count(/*write=*/true, frame->category, frame->pno);
@@ -91,8 +103,11 @@ Result<uint32_t> Pager::AllocatePage(IoCategory cat) {
   ++page_count_;
   // Extend the file now so page_count derived from size stays consistent
   // even if the frame is evicted later.
-  TDB_RETURN_NOT_OK(file_->Truncate(static_cast<uint64_t>(page_count_) *
-                                    kPageSize));
+  uint64_t new_size = static_cast<uint64_t>(page_count_) * kPageSize;
+  if (journal_ != nullptr) {
+    TDB_RETURN_NOT_OK(journal_->BeforeTruncate(path_, file_.get(), new_size));
+  }
+  TDB_RETURN_NOT_OK(file_->Truncate(new_size));
   return pno;
 }
 
@@ -109,6 +124,9 @@ Status Pager::FlushAndDrop() {
 }
 
 Status Pager::Reset() {
+  if (journal_ != nullptr) {
+    TDB_RETURN_NOT_OK(journal_->BeforeTruncate(path_, file_.get(), 0));
+  }
   for (Frame& frame : frames_) {
     frame.pno = kNoPage;
     frame.dirty = false;
@@ -116,6 +134,14 @@ Status Pager::Reset() {
   last_touched_ = nullptr;
   page_count_ = 0;
   return file_->Truncate(0);
+}
+
+void Pager::DiscardAll() {
+  for (Frame& frame : frames_) {
+    frame.pno = kNoPage;
+    frame.dirty = false;
+  }
+  last_touched_ = nullptr;
 }
 
 }  // namespace tdb

@@ -8,6 +8,7 @@
 
 #include "env/env.h"
 #include "storage/io_stats.h"
+#include "storage/journal.h"
 #include "storage/page.h"
 #include "util/status.h"
 
@@ -28,10 +29,15 @@ namespace tdb {
 class Pager {
  public:
   /// Opens (or creates empty) the file at `path` within `env`.  `counters`
-  /// may be null (I/O not accounted, e.g. catalog internals).
+  /// may be null (I/O not accounted, e.g. catalog internals).  `journal`
+  /// may be null (no durability): when set, the pre-image of every page
+  /// overwritten in place is journaled before the write, and file
+  /// creation / growth / truncation is recorded so a rollback can undo it.
+  /// Journal traffic never touches `counters`.
   static Result<std::unique_ptr<Pager>> Open(Env* env, const std::string& path,
                                              IoCounters* counters,
-                                             int frames = 1);
+                                             int frames = 1,
+                                             Journal* journal = nullptr);
 
   ~Pager() { (void)Flush(); }
 
@@ -59,6 +65,15 @@ class Pager {
   /// query's resident pages cannot subsidize the next.
   Status FlushAndDrop();
 
+  /// Empties every frame WITHOUT writing dirty ones back.  Used when a
+  /// statement rolls back: the journal restores the file image, and the
+  /// in-memory frames holding the aborted writes must not reach disk.
+  void DiscardAll();
+
+  /// Fsyncs the underlying file (the durability point of the commit
+  /// protocol; no-op cost for the in-memory env).
+  Status Sync() { return file_->Sync(); }
+
   uint32_t page_count() const { return page_count_; }
   const std::string& path() const { return path_; }
   IoCounters* counters() const { return counters_; }
@@ -77,10 +92,12 @@ class Pager {
   };
 
   Pager(std::unique_ptr<RandomRWFile> file, std::string path,
-        IoCounters* counters, uint32_t page_count, int frames)
+        IoCounters* counters, uint32_t page_count, int frames,
+        Journal* journal)
       : file_(std::move(file)),
         path_(std::move(path)),
         counters_(counters),
+        journal_(journal),
         page_count_(page_count),
         frames_(static_cast<size_t>(frames)) {}
 
@@ -105,6 +122,7 @@ class Pager {
   std::unique_ptr<RandomRWFile> file_;
   std::string path_;
   IoCounters* counters_;
+  Journal* journal_;
   uint32_t page_count_;
   std::vector<Frame> frames_;
   Frame* last_touched_ = nullptr;

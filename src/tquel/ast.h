@@ -195,6 +195,9 @@ struct Statement {
   explicit Statement(Kind k) : kind(k) {}
   virtual ~Statement() = default;
   Kind kind;
+  /// Byte offset of the statement's first token in the script text; lets
+  /// error reporting point at the failing statement.
+  size_t source_offset = 0;
 };
 
 /// `range of t is R`

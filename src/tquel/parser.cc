@@ -17,8 +17,14 @@ class ParserImpl {
     while (true) {
       while (Peek().Is(TokenType::kSemi)) Advance();
       if (Peek().Is(TokenType::kEnd)) break;
-      TDB_ASSIGN_OR_RETURN(auto stmt, ParseStatement());
-      stmts.push_back(std::move(stmt));
+      size_t offset = Peek().pos;
+      auto stmt = ParseStatement();
+      if (!stmt.ok()) {
+        return stmt.status().WithStatementContext(
+            {static_cast<int>(stmts.size()) + 1, offset});
+      }
+      (*stmt)->source_offset = offset;
+      stmts.push_back(std::move(*stmt));
     }
     return stmts;
   }

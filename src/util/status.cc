@@ -37,6 +37,10 @@ std::string Status::ToString() const {
     out += ": ";
     out += message_;
   }
+  if (context_.has_value()) {
+    out += " (statement " + std::to_string(context_->statement_index) +
+           ", offset " + std::to_string(context_->source_offset) + ")";
+  }
   return out;
 }
 

@@ -25,6 +25,20 @@ enum class StatusCode {
 /// Returns a short human-readable name for `code` ("Invalid argument", ...).
 const char* StatusCodeName(StatusCode code);
 
+/// Locates an error within a multi-statement script: which statement failed
+/// (1-based, in script order) and where its text begins in the source.
+/// Attached to a Status by Database::ExecuteScript so callers can map an
+/// error back to the offending statement without re-parsing.
+struct StatementContext {
+  int statement_index = 0;   // 1-based position in the script
+  size_t source_offset = 0;  // byte offset of the statement's first token
+
+  bool operator==(const StatementContext& o) const {
+    return statement_index == o.statement_index &&
+           source_offset == o.source_offset;
+  }
+};
+
 /// Result of an operation that can fail.  The library does not use
 /// exceptions; every fallible operation returns a Status (or a Result<T>).
 ///
@@ -72,7 +86,23 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// "OK" or "<code name>: <message>".
+  /// Returns a copy of this status carrying `ctx`.  No-op on OK statuses;
+  /// an already-attached context is preserved (the innermost statement that
+  /// reported the error wins).
+  Status WithStatementContext(const StatementContext& ctx) const {
+    if (ok() || context_.has_value()) return *this;
+    Status s = *this;
+    s.context_ = ctx;
+    return s;
+  }
+
+  /// The statement context, or nullptr when none was attached.
+  const StatementContext* statement_context() const {
+    return context_.has_value() ? &*context_ : nullptr;
+  }
+
+  /// "OK" or "<code name>: <message>", with the statement context rendered
+  /// as a "(statement N, offset M)" suffix when present.
   std::string ToString() const;
 
  private:
@@ -81,6 +111,7 @@ class Status {
 
   StatusCode code_;
   std::string message_;
+  std::optional<StatementContext> context_;
 };
 
 /// Either a value of type T or an error Status.  Analogous to

@@ -282,5 +282,115 @@ TEST_F(DatabaseTest, UniqueAndExpressionTargets) {
   EXPECT_EQ(e.result.rows[0][0].AsInt(), 10);
 }
 
+TEST_F(DatabaseTest, ExecuteScriptReturnsPerStatementResults) {
+  auto results = db_->ExecuteScript(
+      "create parts (id = i4, qty = i4);"
+      "append to parts (id = 1, qty = 5);"
+      "range of p is parts;"
+      "retrieve (p.id, p.qty)");
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 4u);
+  EXPECT_NE((*results)[0].message.find("created"), std::string::npos);
+  EXPECT_EQ((*results)[1].affected, 1);
+  EXPECT_EQ((*results)[3].result.num_rows(), 1u);
+}
+
+TEST_F(DatabaseTest, ExecuteIsLastResultOfScript) {
+  auto r = db_->Execute(
+      "create parts (id = i4);"
+      "append to parts (id = 7);"
+      "range of p is parts;"
+      "retrieve (p.id)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->result.num_rows(), 1u);
+  EXPECT_EQ(r->result.rows[0][0].AsInt(), 7);
+}
+
+TEST_F(DatabaseTest, ScriptErrorCarriesStatementContext) {
+  const std::string script =
+      "create parts (id = i4);"
+      "range of p is nonexistent";
+  Status s = db_->ExecuteScript(script).status();
+  ASSERT_FALSE(s.ok());
+  ASSERT_NE(s.statement_context(), nullptr);
+  EXPECT_EQ(s.statement_context()->statement_index, 2);
+  EXPECT_EQ(s.statement_context()->source_offset,
+            script.find("range of p"));
+  EXPECT_NE(s.ToString().find("(statement 2, offset"), std::string::npos)
+      << s.ToString();
+  // Statement 1 ran before the failure.
+  EXPECT_NE(db_->catalog()->Find("parts"), nullptr);
+}
+
+TEST_F(DatabaseTest, ParseErrorCarriesStatementContext) {
+  const std::string script =
+      "create parts (id = i4);"
+      "banana split";
+  Status s = db_->Execute(script).status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  ASSERT_NE(s.statement_context(), nullptr);
+  EXPECT_EQ(s.statement_context()->statement_index, 2);
+  EXPECT_EQ(s.statement_context()->source_offset, script.find("banana"));
+}
+
+TEST_F(DatabaseTest, SingleStatementErrorContextIsStatementOne) {
+  Status s = ExecErr("retrieve (zz.id)");
+  ASSERT_NE(s.statement_context(), nullptr);
+  EXPECT_EQ(s.statement_context()->statement_index, 1);
+  EXPECT_EQ(s.statement_context()->source_offset, 0u);
+}
+
+TEST(DatabaseDurabilityTest, JournaledExecutionMatchesUnjournaled) {
+  auto run = [](DurabilityMode mode) {
+    MemEnv env;
+    DatabaseOptions options;
+    options.env = &env;
+    options.durability = mode;
+    auto db = Database::Open("/db", options);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    auto results = (*db)->ExecuteScript(
+        "create persistent emp (name = c8, sal = i4);"
+        "append to emp (name = \"ada\", sal = 100);"
+        "append to emp (name = \"bob\", sal = 200);"
+        "range of e is emp;"
+        "replace e (sal = e.sal + 10) where e.name = \"ada\";"
+        "retrieve (e.name, e.sal) sort by name");
+    EXPECT_TRUE(results.ok()) << results.status().ToString();
+    return results.ok() ? results->back().result.ToString() : std::string();
+  };
+  std::string off = run(DurabilityMode::kOff);
+  EXPECT_EQ(run(DurabilityMode::kJournal), off);
+  EXPECT_EQ(run(DurabilityMode::kJournalSync), off);
+  EXPECT_FALSE(off.empty());
+}
+
+TEST(DatabaseDurabilityTest, FailedStatementRollsBackAndReportsContext) {
+  MemEnv env;
+  DatabaseOptions options;
+  options.env = &env;
+  options.durability = DurabilityMode::kJournal;
+  auto db = Database::Open("/db", options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Execute("create parts (id = i4)").ok());
+  ASSERT_TRUE((*db)->Execute("append to parts (id = 1)").ok());
+
+  // Statement 2 fails after statement 1 mutated: the script error names
+  // statement 2 and statement 1's append stays committed.
+  Status s = (*db)
+                 ->ExecuteScript(
+                     "append to parts (id = 2);"
+                     "append to nonexistent (id = 3)")
+                 .status();
+  ASSERT_FALSE(s.ok());
+  ASSERT_NE(s.statement_context(), nullptr);
+  EXPECT_EQ(s.statement_context()->statement_index, 2);
+
+  ASSERT_TRUE((*db)->Execute("range of p is parts").ok());
+  auto rows = (*db)->Query("retrieve (p.id)");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->num_rows(), 2u);
+}
+
 }  // namespace
 }  // namespace tdb

@@ -48,6 +48,36 @@ TEST(StatusTest, CodeNamesAreDistinct) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
 }
 
+TEST(StatusTest, StatementContextAttachesAndRenders) {
+  Status s = Status::BindError("no such relation");
+  EXPECT_EQ(s.statement_context(), nullptr);
+
+  Status with = s.WithStatementContext({3, 42});
+  ASSERT_NE(with.statement_context(), nullptr);
+  EXPECT_EQ(with.statement_context()->statement_index, 3);
+  EXPECT_EQ(with.statement_context()->source_offset, 42u);
+  EXPECT_EQ(with.ToString(),
+            "Bind error: no such relation (statement 3, offset 42)");
+  // The original is untouched; code and message carry over.
+  EXPECT_EQ(s.statement_context(), nullptr);
+  EXPECT_EQ(with.code(), StatusCode::kBindError);
+}
+
+TEST(StatusTest, StatementContextFirstAttachWins) {
+  Status inner = Status::ParseError("bad token").WithStatementContext({2, 10});
+  Status outer = inner.WithStatementContext({5, 99});
+  ASSERT_NE(outer.statement_context(), nullptr);
+  EXPECT_EQ(outer.statement_context()->statement_index, 2);
+  EXPECT_EQ(outer.statement_context()->source_offset, 10u);
+}
+
+TEST(StatusTest, StatementContextNoopOnOk) {
+  Status ok = Status::OK().WithStatementContext({1, 0});
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.statement_context(), nullptr);
+  EXPECT_EQ(ok.ToString(), "OK");
+}
+
 TEST(ResultTest, HoldsValue) {
   Result<int> r = 42;
   ASSERT_TRUE(r.ok());
