@@ -9,11 +9,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "benchlib/workload.h"
+#include "core/database.h"
 #include "util/stringx.h"
 
 namespace tdb {
@@ -106,6 +108,65 @@ auto RunCells(size_t cells, Fn&& fn) -> std::vector<decltype(fn(size_t{0}))> {
   for (std::thread& th : pool) th.join();
   return results;
 }
+
+/// Optional `--metrics[=PATH]` support for the figure drivers: collects
+/// one metrics snapshot per measurement cell and writes them on exit as a
+/// JSON array — one {"cell": <label>, "metrics": {...}} object per cell,
+/// in cell order — next to the figure's stdout capture (default PATH is
+/// METRICS_<figure>.json).  stdout is never touched, so the paper tables
+/// stay byte-identical whether or not the flag is given.
+class MetricsSink {
+ public:
+  MetricsSink(int argc, char** argv, const std::string& default_path) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--metrics") {
+        path_ = default_path;
+      } else if (arg.rfind("--metrics=", 0) == 0) {
+        path_ = arg.substr(10);
+      }
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Captures `db`'s current snapshot under `label`.  Thread-safe: cells
+  /// call this concurrently from RunCells workers, each on its own
+  /// Database.  No-op when --metrics was not given, so instrumented cells
+  /// cost nothing in a plain run.
+  void Add(size_t cell, const std::string& label, Database* db) {
+    if (!enabled()) return;
+    std::string json = db->Snapshot().ToJson();
+    std::lock_guard<std::mutex> lock(mu_);
+    cells_[cell] = "{\"cell\":\"" + label + "\",\"metrics\":" + json + "}";
+  }
+
+  /// Writes the collected snapshots in cell order; no-op when disabled.
+  void Write() const {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics to %s\n", path_.c_str());
+      return;
+    }
+    std::fputs("[\n", f);
+    bool first = true;
+    for (const auto& [cell, json] : cells_) {
+      (void)cell;
+      if (!first) std::fputs(",\n", f);
+      first = false;
+      std::fputs(json.c_str(), f);
+    }
+    std::fputs("\n]\n", f);
+    std::fclose(f);
+    std::fprintf(stderr, "metrics written to %s\n", path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+  std::map<size_t, std::string> cells_;
+};
 
 inline const char* LoadingName(int fillfactor) {
   return fillfactor == 100 ? "100%" : "50%";

@@ -11,8 +11,9 @@
 using namespace tdb;
 using namespace tdb::bench;
 
-int main() {
+int main(int argc, char** argv) {
   constexpr int kMaxUc = 14;
+  MetricsSink sink(argc, argv, "METRICS_fig07.json");
   struct Config {
     DbType type;
     int fillfactor;
@@ -39,6 +40,9 @@ int main() {
     auto bench = CheckOk(BenchmarkDb::Create(config), "create");
     auto sweep = Sweep(bench.get(), c.type == DbType::kStatic ? 0 : kMaxUc,
                        AllQueries());
+    sink.Add(i, std::string(DbTypeName(c.type)) + " " +
+                    LoadingName(c.fillfactor),
+             bench->db());
     return CellResult{sweep.front(), sweep.back()};
   });
   std::fprintf(stderr, "fig07: %zu cells on %zu threads in %lld ms\n",
@@ -99,5 +103,6 @@ int main() {
       "Paper (Fig. 7): rollback ~= historical; temporal ~2x more expensive "
       "at uc=14;\n50%% loading halves the growth but doubles the base scan "
       "cost.\n");
+  sink.Write();
   return 0;
 }

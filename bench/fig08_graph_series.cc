@@ -28,7 +28,8 @@ struct SeriesData {
 
 // Measurement only — printing happens serially afterwards so the two
 // series can be computed concurrently without reordering stdout.
-SeriesData ComputeSeries(const SeriesSpec& spec) {
+SeriesData ComputeSeries(const SeriesSpec& spec, size_t cell,
+                         MetricsSink* sink) {
   WorkloadConfig config;
   config.type = spec.type;
   config.fillfactor = spec.fillfactor;
@@ -38,6 +39,7 @@ SeriesData ComputeSeries(const SeriesSpec& spec) {
     if (!bench->QueryText(q).empty()) data.qs.push_back(q);
   }
   data.sweep = Sweep(bench.get(), spec.max_uc, AllQueries());
+  sink->Add(cell, spec.title, bench->db());
   return data;
 }
 
@@ -59,7 +61,8 @@ void PrintSeries(const SeriesSpec& spec, const SeriesData& data) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsSink sink(argc, argv, "METRICS_fig08.json");
   const std::vector<SeriesSpec> specs = {
       {"Figure 8(a): temporal database, 100% loading", DbType::kTemporal, 100,
        15},
@@ -67,11 +70,12 @@ int main() {
        DbType::kRollback, 50, 15},
   };
   int64_t t0 = NowMillis();
-  auto series =
-      RunCells(specs.size(), [&](size_t i) { return ComputeSeries(specs[i]); });
+  auto series = RunCells(
+      specs.size(), [&](size_t i) { return ComputeSeries(specs[i], i, &sink); });
   std::fprintf(stderr, "fig08: %zu cells on %zu threads in %lld ms\n",
                specs.size(), BenchThreads(specs.size()),
                static_cast<long long>(NowMillis() - t0));
   for (size_t i = 0; i < specs.size(); ++i) PrintSeries(specs[i], series[i]);
+  sink.Write();
   return 0;
 }

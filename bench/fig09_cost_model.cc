@@ -21,8 +21,9 @@
 using namespace tdb;
 using namespace tdb::bench;
 
-int main() {
+int main(int argc, char** argv) {
   constexpr int kMaxUc = 14;
+  MetricsSink sink(argc, argv, "METRICS_fig09.json");
   TablePrinter table({"type", "loading", "query", "fixed", "variable",
                       "growth rate", "law-implied rate"});
   TablePrinter formula({"type", "loading", "query", "measured uc7",
@@ -44,7 +45,11 @@ int main() {
     config.type = cfgs[i].type;
     config.fillfactor = cfgs[i].fillfactor;
     auto bench = CheckOk(BenchmarkDb::Create(config), "create");
-    return Sweep(bench.get(), kMaxUc, AllQueries());
+    auto sweep = Sweep(bench.get(), kMaxUc, AllQueries());
+    sink.Add(i, std::string(DbTypeName(cfgs[i].type)) + " " +
+                    LoadingName(cfgs[i].fillfactor),
+             bench->db());
+    return sweep;
   });
   std::fprintf(stderr, "fig09: %zu cells on %zu threads in %lld ms\n",
                cfgs.size(), BenchThreads(cfgs.size()),
@@ -105,5 +110,6 @@ int main() {
       "Section 5.3 formula check: cost(n) = fixed + variable*(1 + rate*n) "
       "with the law-implied rate\n\n%s\n",
       formula.ToString().c_str());
+  sink.Write();
   return 0;
 }

@@ -21,16 +21,20 @@ using namespace tdb::bench;
 
 namespace {
 
-std::map<int, Measure> RunVariant(const WorkloadConfig& config, int uc) {
+std::map<int, Measure> RunVariant(const WorkloadConfig& config, int uc,
+                                  size_t cell, const std::string& label,
+                                  MetricsSink* sink) {
   auto bench = CheckOk(BenchmarkDb::Create(config), "create");
   auto sweep = Sweep(bench.get(), uc, AllQueries());
+  sink->Add(cell, label, bench->db());
   return sweep.back();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr int kUc = 14;
+  MetricsSink sink(argc, argv, "METRICS_fig10.json");
   WorkloadConfig base;
   base.type = DbType::kTemporal;
   base.fillfactor = 100;
@@ -66,7 +70,8 @@ int main() {
   }
   int64_t t0 = NowMillis();
   auto runs = RunCells(variants.size(), [&](size_t i) {
-    return RunVariant(variants[i].config, variants[i].uc);
+    return RunVariant(variants[i].config, variants[i].uc, i, variants[i].name,
+                      &sink);
   });
   std::fprintf(stderr, "fig10: %zu cells on %zu threads in %lld ms\n",
                variants.size(), BenchThreads(variants.size()),
@@ -116,5 +121,6 @@ int main() {
       "Paper (Fig. 10): static queries become flat under the two-level "
       "store;\nthe 2-level hash index answers Q07 in 2 page reads instead of "
       "3717.\n");
+  sink.Write();
   return 0;
 }

@@ -1,6 +1,10 @@
 // Interactive TQuel shell: a small REPL over a database directory.
 //
-//   ./tquel_shell [--durability=off|journal|sync] <database-directory>
+//   ./tquel_shell [--durability=off|journal|sync] [--metrics[=PATH]]
+//                 <database-directory>
+//
+// --metrics dumps the session's metrics snapshot as JSON on exit (default
+// path METRICS_shell.json in the working directory).
 //
 // Meta commands:
 //   \h            help
@@ -8,17 +12,21 @@
 //   \now          show the logical clock
 //   \advance N    advance the clock N seconds
 //   \io           show I/O counters since the last \io
+//   \metrics      print the metrics snapshot as JSON
 //   \res R        output time resolution: second|minute|hour|day|month|year
 //   \plan         toggle printing of query plans
 //   \q            quit
-// Everything else is executed as TQuel.
+// Everything else is executed as TQuel (including `explain analyze
+// retrieve ...`).
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/chronoquel.h"
 #include "exec/plan.h"
+#include "obs/metrics.h"
 #include "util/stringx.h"
 
 using tdb::Database;
@@ -53,6 +61,7 @@ void PrintHelp() {
 int main(int argc, char** argv) {
   DatabaseOptions options;
   const char* dir = nullptr;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--durability=off") {
@@ -61,6 +70,12 @@ int main(int argc, char** argv) {
       options.durability = tdb::DurabilityMode::kJournal;
     } else if (arg == "--durability=sync") {
       options.durability = tdb::DurabilityMode::kJournalSync;
+    } else if (arg == "--metrics") {
+      options.metrics = true;
+      metrics_path = "METRICS_shell.json";
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      options.metrics = true;
+      metrics_path = arg.substr(10);
     } else if (dir == nullptr && arg.rfind("--", 0) != 0) {
       dir = argv[i];
     } else {
@@ -71,7 +86,7 @@ int main(int argc, char** argv) {
   if (dir == nullptr) {
     std::fprintf(stderr,
                  "usage: %s [--durability=off|journal|sync] "
-                 "<database-directory>\n",
+                 "[--metrics[=PATH]] <database-directory>\n",
                  argv[0]);
     return 1;
   }
@@ -150,6 +165,14 @@ int main(int argc, char** argv) {
       d->io()->ResetAll();
       continue;
     }
+    if (text == "\\metrics") {
+      if (d->metrics() == nullptr) {
+        std::printf("metrics are disabled (TDB_METRICS=0)\n");
+      } else {
+        std::printf("%s\n", d->Snapshot().ToJson().c_str());
+      }
+      continue;
+    }
 
     auto result = d->Execute(text);
     if (!result.ok()) {
@@ -168,6 +191,11 @@ int main(int argc, char** argv) {
     } else if (!result->message.empty()) {
       std::printf("%s\n", result->message.c_str());
     }
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << d->Snapshot().ToJson() << "\n";
+    std::printf("metrics written to %s\n", metrics_path.c_str());
   }
   return 0;
 }

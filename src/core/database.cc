@@ -1,5 +1,7 @@
 #include "core/database.h"
 
+#include <chrono>
+
 #include "exec/ddl_executor.h"
 #include "exec/dml_executor.h"
 #include "exec/exec_env.h"
@@ -28,6 +30,14 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
     TDB_ASSIGN_OR_RETURN(db->journal_,
                          Journal::Open(env, dir, options.durability));
     db->catalog_.set_journal(db->journal_.get());
+  }
+  // Wire observability before any relation file opens, so every per-file
+  // IoCounters is born with its PagerMetrics block attached.  When metrics
+  // are disabled nothing is wired and every instrumentation pointer in the
+  // storage layer stays null.
+  if (obs::MetricsRegistry* m = db->metrics()) {
+    db->registry_.set_metrics(m);
+    if (db->journal_ != nullptr) db->journal_->set_metrics(m);
   }
   TDB_RETURN_NOT_OK(db->catalog_.Load());
   db->RestoreClock();
@@ -77,7 +87,20 @@ Result<std::vector<ExecResult>> Database::ExecuteScript(
       Status begin = journal_->Begin();
       if (!begin.ok()) return begin.WithStatementContext(ctx);
     }
-    Result<ExecResult> result = ExecuteStatement(stmt);
+    Result<ExecResult> result = ExecResult{};
+    if (obs::MetricsRegistry* m = metrics()) {
+      obs::TraceSpan span(m, "db.statement");
+      auto start = std::chrono::steady_clock::now();
+      result = ExecuteStatement(stmt);
+      m->counter("db.statements")->Increment();
+      m->histogram("db.statement_nanos")
+          ->Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count()));
+    } else {
+      result = ExecuteStatement(stmt);
+    }
     if (journal_ != nullptr) {
       if (result.ok()) {
         Status commit = CommitStatement();
@@ -183,16 +206,29 @@ Result<ExecResult> Database::ExecuteStatement(Statement* stmt) {
       break;
     }
     case Statement::Kind::kExplain: {
-      // Plan the wrapped retrieve without executing it: the plan tree
-      // comes back as rows, one line per node.
+      // Plain explain plans the wrapped retrieve without executing it;
+      // `explain analyze` runs it and annotates each node with its runtime
+      // stats and wall time.  Either way the tree comes back as rows, one
+      // line per node, and the query's own result rows are discarded.
       auto* explain = static_cast<ExplainStmt*>(stmt);
       TDB_ASSIGN_OR_RETURN(BoundStatement bound,
                            binder.BindRetrieve(explain->query.get()));
-      TDB_ASSIGN_OR_RETURN(std::shared_ptr<PhysicalPlan> plan,
-                           BuildPlan(*explain->query, bound, exec));
+      std::shared_ptr<PhysicalPlan> plan;
+      if (explain->analyze) {
+        QueryExecutor qexec(exec);
+        TDB_ASSIGN_OR_RETURN(ExecResult run,
+                             qexec.Retrieve(explain->query.get(), bound));
+        plan = std::const_pointer_cast<PhysicalPlan>(run.plan);
+      } else {
+        TDB_ASSIGN_OR_RETURN(plan, BuildPlan(*explain->query, bound, exec));
+      }
       last = ExecResult{};
       last.result.columns.push_back("query plan");
-      for (const std::string& line : Split(plan->Describe(), '\n')) {
+      const std::string tree = explain->analyze
+                                   ? plan->Describe(/*with_stats=*/true,
+                                                    /*with_timing=*/true)
+                                   : plan->Describe();
+      for (const std::string& line : Split(tree, '\n')) {
         if (line.empty()) continue;
         Row row;
         row.push_back(Value::Char(line));

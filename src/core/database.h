@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include <vector>
@@ -11,6 +12,7 @@
 #include "core/relation.h"
 #include "core/result_set.h"
 #include "env/env.h"
+#include "obs/metrics.h"
 #include "storage/io_stats.h"
 #include "storage/journal.h"
 #include "types/timepoint.h"
@@ -43,6 +45,12 @@ struct DatabaseOptions {
   /// fsyncs at the commit barriers for power-cut safety.  Recovery runs
   /// automatically in Open() whatever the mode.
   DurabilityMode durability = DurabilityMode::kOff;
+  /// Observability: counters, histograms, per-node wall time, and trace
+  /// spans.  Unset defers to the TDB_METRICS environment variable (on
+  /// unless it is "0").  When resolved off, no instrumentation pointer is
+  /// ever wired and the measured page counts / figure stdout are
+  /// byte-identical to a run without the obs layer.
+  std::optional<bool> metrics;
 };
 
 /// The TQuel temporal DBMS facade: a database directory containing a
@@ -100,6 +108,15 @@ class Database {
   Catalog* catalog() { return &catalog_; }
   IoRegistry* io() { return &registry_; }
 
+  /// The metrics registry, or null when metrics are disabled for this
+  /// database — callers branch on null exactly like the storage layer.
+  obs::MetricsRegistry* metrics() {
+    return metrics_.enabled() ? &metrics_ : nullptr;
+  }
+
+  /// Structured dump of every metric (empty when metrics are disabled).
+  obs::MetricsSnapshot Snapshot() const { return metrics_.Snapshot(); }
+
   Result<Relation*> GetRelation(const std::string& name);
 
   /// Flushes and empties the buffer frame of every open relation file.
@@ -121,6 +138,7 @@ class Database {
         dir_(std::move(dir)),
         options_(options),
         catalog_(env, dir_),
+        metrics_(options.metrics.value_or(obs::MetricsEnabled())),
         now_(options.start_time) {}
 
   /// The logical clock is persisted alongside the catalog so that a
@@ -149,6 +167,9 @@ class Database {
   std::string dir_;
   DatabaseOptions options_;
   Catalog catalog_;
+  /// Declared before registry_ and journal_, which hold raw pointers into
+  /// it while metrics are enabled.
+  obs::MetricsRegistry metrics_;
   IoRegistry registry_;
   /// Declared before relations_ so pagers (whose destructors flush through
   /// the journal hooks) are destroyed first.

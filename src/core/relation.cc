@@ -127,7 +127,7 @@ Result<std::unique_ptr<Relation>> Relation::Open(Env* env,
                              meta.schema.attr(static_cast<size_t>(attr_idx)),
                              registry->ForFile(idx.name + "#cur"),
                              registry->ForFile(idx.name + "#hist"),
-                             buffer_frames, journal));
+                             buffer_frames, journal, registry->metrics()));
     rel->indexes_.push_back(std::move(index));
   }
   return rel;

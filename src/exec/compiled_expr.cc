@@ -4,12 +4,21 @@
 
 namespace tdb {
 
+namespace {
+std::optional<bool> g_compiled_override;
+}  // namespace
+
 bool CompiledExprEnabled() {
+  if (g_compiled_override.has_value()) return *g_compiled_override;
   static const bool enabled = [] {
     const char* v = std::getenv("TDB_COMPILED_EXPR");
     return v == nullptr || std::string_view(v) != "0";
   }();
   return enabled;
+}
+
+void SetCompiledExprEnabledForTest(std::optional<bool> enabled) {
+  g_compiled_override = enabled;
 }
 
 namespace {

@@ -18,6 +18,11 @@ namespace tdb {
 /// lever the micro benchmarks and the golden I/O test use.
 bool CompiledExprEnabled();
 
+/// Test hook: forces CompiledExprEnabled() to `enabled` (or back to the
+/// environment value with nullopt).  Lets the differential harness run the
+/// same query compiled and interpreted inside one process.
+void SetCompiledExprEnabledForTest(std::optional<bool> enabled);
+
 /// A flat postfix evaluation program lowered from an `Expr`,
 /// `TemporalExpr`, or `TemporalPred` tree at plan-build time.  Execution
 /// replaces the per-tuple recursive `Evaluator` walk (one virtual-free

@@ -72,7 +72,8 @@ AccessNode* AccessOf(PlanNode* node) {
 namespace {
 
 /// The `[...]` annotation appended to a line when stats are requested.
-std::string StatsSuffix(const PlanNode& node) {
+/// `with_timing` adds the node's inclusive wall time (explain analyze).
+std::string StatsSuffix(const PlanNode& node, bool with_timing) {
   if (!node.stats.executed) return " [not executed]";
   std::string s;
   if (node.kind == PlanNode::Kind::kProject) {
@@ -101,12 +102,16 @@ std::string StatsSuffix(const PlanNode& node) {
       s += StrPrintf(" writes=%llu", static_cast<unsigned long long>(writes));
     }
   }
+  if (with_timing) {
+    s += StrPrintf(" time=%.3fms",
+                   static_cast<double>(node.stats.wall_nanos) / 1e6);
+  }
   s += "]";
   return s;
 }
 
 void DescribeNode(const PlanNode* node, int depth, const std::string& label,
-                  bool with_stats, std::string* out) {
+                  bool with_stats, bool with_timing, std::string* out) {
   std::string line(static_cast<size_t>(depth) * 2, ' ');
   line += label;
   if (node == nullptr) {
@@ -141,7 +146,7 @@ void DescribeNode(const PlanNode* node, int depth, const std::string& label,
         }
       }
       if (a->current_only) line += " (current)";
-      if (with_stats) line += StatsSuffix(*node);
+      if (with_stats) line += StatsSuffix(*node, with_timing);
       out->append(line);
       out->push_back('\n');
       return;
@@ -149,31 +154,33 @@ void DescribeNode(const PlanNode* node, int depth, const std::string& label,
     case PlanNode::Kind::kFilter: {
       const auto* f = static_cast<const FilterNode*>(node);
       line += "filter [" + Join(f->pred_text, "; ") + "]";
-      if (with_stats) line += StatsSuffix(*node);
+      if (with_stats) line += StatsSuffix(*node, with_timing);
       out->append(line);
       out->push_back('\n');
-      DescribeNode(f->child.get(), depth + 1, "", with_stats, out);
+      DescribeNode(f->child.get(), depth + 1, "", with_stats, with_timing, out);
       return;
     }
     case PlanNode::Kind::kNestedLoop: {
       const auto* n = static_cast<const NestedLoopNode*>(node);
       line += "nested-loop";
-      if (with_stats) line += StatsSuffix(*node);
+      if (with_stats) line += StatsSuffix(*node, with_timing);
       out->append(line);
       out->push_back('\n');
       for (const auto& level : n->levels) {
-        DescribeNode(level.get(), depth + 1, "", with_stats, out);
+        DescribeNode(level.get(), depth + 1, "", with_stats, with_timing, out);
       }
       return;
     }
     case PlanNode::Kind::kSubstitution: {
       const auto* s = static_cast<const SubstitutionNode*>(node);
       line += "substitution";
-      if (with_stats) line += StatsSuffix(*node);
+      if (with_stats) line += StatsSuffix(*node, with_timing);
       out->append(line);
       out->push_back('\n');
-      DescribeNode(s->outer.get(), depth + 1, "outer: ", with_stats, out);
-      DescribeNode(s->inner.get(), depth + 1, "inner: ", with_stats, out);
+      DescribeNode(s->outer.get(), depth + 1, "outer: ", with_stats,
+                   with_timing, out);
+      DescribeNode(s->inner.get(), depth + 1, "inner: ", with_stats,
+                   with_timing, out);
       return;
     }
     case PlanNode::Kind::kProject: {
@@ -183,10 +190,10 @@ void DescribeNode(const PlanNode* node, int depth, const std::string& label,
       if (!p->into.empty()) line += " into " + p->into;
       if (!p->as_of_text.empty()) line += " as of " + p->as_of_text;
       if (!p->sort_text.empty()) line += " sort by " + p->sort_text;
-      if (with_stats) line += StatsSuffix(*node);
+      if (with_stats) line += StatsSuffix(*node, with_timing);
       out->append(line);
       out->push_back('\n');
-      DescribeNode(p->child.get(), depth + 1, "", with_stats, out);
+      DescribeNode(p->child.get(), depth + 1, "", with_stats, with_timing, out);
       return;
     }
   }
@@ -222,9 +229,9 @@ void CollectBriefs(const PlanNode* node, std::vector<std::string>* out) {
 
 }  // namespace
 
-std::string PhysicalPlan::Describe(bool with_stats) const {
+std::string PhysicalPlan::Describe(bool with_stats, bool with_timing) const {
   std::string out;
-  DescribeNode(root.get(), 0, "", with_stats, &out);
+  DescribeNode(root.get(), 0, "", with_stats, with_timing, &out);
   return out;
 }
 

@@ -33,6 +33,10 @@ struct PlanNodeStats {
   /// Page I/O attributed to this node, scoped via IoCounters deltas around
   /// the node's own storage operations (children's I/O is excluded).
   IoCounters io;
+  /// Inclusive wall time spent inside this node (children included), summed
+  /// over loops.  Populated only when the Database has a metrics registry
+  /// wired; stays 0 otherwise so timed renderings remain deterministic.
+  uint64_t wall_nanos = 0;
 };
 
 /// A node of the physical plan: the tree the planner builds *before*
@@ -180,8 +184,11 @@ struct PhysicalPlan {
 
   /// Multi-line tree rendering (the `explain` output).  With `with_stats`,
   /// each line is annotated with the node's runtime statistics — the
-  /// post-execution form attached to ExecResult.
-  std::string Describe(bool with_stats = false) const;
+  /// post-execution form attached to ExecResult.  `with_timing`
+  /// additionally appends each node's wall time (the `explain analyze`
+  /// form); the benchmark figures never pass it, keeping their stdout
+  /// byte-identical whether or not metrics are compiled in and enabled.
+  std::string Describe(bool with_stats = false, bool with_timing = false) const;
 
   /// One-line access-path summary, e.g. "substitution(a:keyed); b:scan" or
   /// "constant" — byte-compatible with the historical ExecResult message.

@@ -1,15 +1,42 @@
 #include "exec/query_executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
 #include "storage/heap_file.h"
 #include "util/stringx.h"
 
 namespace tdb {
 
 namespace {
+
+/// Accumulates the scope's wall time into a node's inclusive wall_nanos.
+/// Disabled (no clock reads at all) unless the executor runs with timing —
+/// i.e. unless the Database has a metrics registry wired.
+class ScopedNodeTimer {
+ public:
+  ScopedNodeTimer(bool enabled, PlanNodeStats* stats)
+      : stats_(enabled ? stats : nullptr) {
+    if (stats_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedNodeTimer() {
+    if (stats_ == nullptr) return;
+    stats_->wall_nanos += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  ScopedNodeTimer(const ScopedNodeTimer&) = delete;
+  ScopedNodeTimer& operator=(const ScopedNodeTimer&) = delete;
+
+ private:
+  PlanNodeStats* stats_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Infers the output attribute for a target expression (used by
 /// `retrieve into` and temp-relation schemas).
@@ -148,6 +175,7 @@ Result<AccessSpec> QueryExecutor::SpecFor(const AccessNode& node,
 
 Status QueryExecutor::ExecuteAccess(AccessNode* node, Binding* binding,
                                     const EmitFn& body) {
+  ScopedNodeTimer timer(timing_, &node->stats);
   node->stats.executed = true;
   ++node->stats.loops;
   TDB_ASSIGN_OR_RETURN(AccessSpec spec, SpecFor(*node, *binding));
@@ -179,6 +207,7 @@ Status QueryExecutor::ExecuteLevel(PlanNode* level, Binding* binding,
                                    const EmitFn& body) {
   if (level->kind == PlanNode::Kind::kFilter) {
     auto* filter = static_cast<FilterNode*>(level);
+    ScopedNodeTimer timer(timing_, &filter->stats);
     filter->stats.executed = true;
     ++filter->stats.loops;
     auto* access = static_cast<AccessNode*>(filter->child.get());
@@ -195,6 +224,7 @@ Status QueryExecutor::ExecuteLevel(PlanNode* level, Binding* binding,
 
 Status QueryExecutor::ExecuteNestedLoop(NestedLoopNode* node, size_t level,
                                         Binding* binding, const EmitFn& emit) {
+  ScopedNodeTimer timer(timing_ && level == 0, &node->stats);
   if (level == 0) {
     node->stats.executed = true;
     ++node->stats.loops;
@@ -213,6 +243,8 @@ Status QueryExecutor::ExecuteNestedLoop(NestedLoopNode* node, size_t level,
 Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
                                           Binding* binding,
                                           const EmitFn& emit) {
+  ScopedNodeTimer timer(timing_, &node->stats);
+  obs::TraceSpan span(env_.registry->metrics(), "exec.substitution");
   node->stats.executed = true;
   ++node->stats.loops;
 
@@ -544,6 +576,8 @@ Status QueryExecutor::FoldAggregates(RetrieveStmt* stmt,
 
 Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
                                            const BoundStatement& bound) {
+  timing_ = env_.registry->metrics() != nullptr;
+  obs::TraceSpan span(env_.registry->metrics(), "exec.retrieve");
   stmt_ = stmt;
   rels_.clear();
   for (const BoundVar& bv : bound.vars) {
@@ -555,6 +589,10 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
   // placement, the rollback point — are made up front.
   TDB_ASSIGN_OR_RETURN(std::shared_ptr<PhysicalPlan> plan,
                        BuildPlan(*stmt, bound, env_));
+  // Root wall time covers everything from here on (folding, iteration,
+  // sort, materialization); the stats object outlives this frame through
+  // the shared plan, so the timer's late write lands safely.
+  ScopedNodeTimer root_timer(timing_, &plan->root->stats);
   as_of_at_ = plan->as_of_at;
   has_through_ = plan->has_through;
   as_of_through_ = plan->as_of_through;

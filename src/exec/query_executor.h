@@ -70,6 +70,10 @@ class QueryExecutor {
   Evaluator eval_;
 
   // Per-statement state.
+  /// True when the owning Database has a metrics registry wired: per-node
+  /// wall clocks run and trace spans record.  False keeps the clock out of
+  /// the hot path entirely (the zero-cost-when-disabled guarantee).
+  bool timing_ = false;
   RetrieveStmt* stmt_ = nullptr;
   std::vector<Relation*> rels_;  // per bound variable
   TimePoint as_of_at_;

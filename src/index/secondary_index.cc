@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/stringx.h"
 
 namespace tdb {
@@ -39,7 +40,8 @@ Result<std::unique_ptr<StorageFile>> OpenIndexFile(
 Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Open(
     Env* env, const std::string& dir, const IndexMeta& meta,
     const Attribute& attr, IoCounters* current_counters,
-    IoCounters* history_counters, int buffer_frames, Journal* journal) {
+    IoCounters* history_counters, int buffer_frames, Journal* journal,
+    obs::MetricsRegistry* metrics) {
   if (meta.org != Organization::kHeap && meta.org != Organization::kHash) {
     return Status::Invalid("index structure must be heap or hash");
   }
@@ -64,8 +66,17 @@ Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Open(
                       meta.org, hbuckets, history_counters, buffer_frames,
                       journal));
   }
-  return std::unique_ptr<SecondaryIndex>(new SecondaryIndex(
+  std::unique_ptr<SecondaryIndex> index(new SecondaryIndex(
       meta, layout, std::move(current), std::move(history)));
+  if (metrics != nullptr) {
+    const std::string prefix = "index." + meta.name + ".";
+    index->m_probes_ = metrics->counter(prefix + "probes");
+    index->m_entries_scanned_ = metrics->counter(prefix + "entries_scanned");
+    index->m_inserts_ = metrics->counter(prefix + "inserts");
+    index->m_moves_ = metrics->counter(prefix + "moves");
+    index->m_removes_ = metrics->counter(prefix + "removes");
+  }
+  return index;
 }
 
 std::vector<uint8_t> SecondaryIndex::EncodeEntry(const Value& key, Tid tid,
@@ -120,12 +131,14 @@ IndexEntryRef SecondaryIndex::DecodeEntry(const RecordLayout& layout,
 
 Status SecondaryIndex::InsertCurrent(const Value& key, Tid tid,
                                      bool in_history_store) {
+  if (m_inserts_ != nullptr) m_inserts_->Increment();
   std::vector<uint8_t> rec = EncodeEntry(key, tid, in_history_store);
   return current_->Insert(rec.data(), rec.size(), nullptr);
 }
 
 Status SecondaryIndex::InsertHistory(const Value& key, Tid tid,
                                      bool in_history_store) {
+  if (m_inserts_ != nullptr) m_inserts_->Increment();
   StorageFile* file = meta_.levels == 2 ? history_.get() : current_.get();
   std::vector<uint8_t> rec = EncodeEntry(key, tid, in_history_store);
   return file->Insert(rec.data(), rec.size(), nullptr);
@@ -150,12 +163,14 @@ Result<Tid> SecondaryIndex::FindEntry(StorageFile* file, const Value& key,
 }
 
 Status SecondaryIndex::RemoveCurrent(const Value& key, Tid tid) {
+  if (m_removes_ != nullptr) m_removes_->Increment();
   TDB_ASSIGN_OR_RETURN(Tid slot, FindEntry(current_.get(), key, tid));
   return current_->Erase(slot);
 }
 
 Status SecondaryIndex::MoveToHistory(const Value& key, Tid old_tid,
                                      Tid new_tid, bool new_in_history_store) {
+  if (m_moves_ != nullptr) m_moves_->Increment();
   if (meta_.levels == 2) {
     TDB_RETURN_NOT_OK(RemoveCurrent(key, old_tid));
     return InsertHistory(key, new_tid, new_in_history_store);
@@ -178,6 +193,7 @@ Status SecondaryIndex::CollectMatches(StorageFile* file, const Value& key,
   while (true) {
     TDB_ASSIGN_OR_RETURN(bool have, cur->Next());
     if (!have) break;
+    if (m_entries_scanned_ != nullptr) m_entries_scanned_->Increment();
     if (!layout_.KeyOf(cur->record().data()).Equals(key)) continue;
     out->push_back(DecodeEntry(layout_, cur->record().data()));
   }
@@ -186,6 +202,7 @@ Status SecondaryIndex::CollectMatches(StorageFile* file, const Value& key,
 
 Result<std::vector<IndexEntryRef>> SecondaryIndex::Lookup(const Value& key,
                                                           bool current_only) {
+  if (m_probes_ != nullptr) m_probes_->Increment();
   std::vector<IndexEntryRef> out;
   TDB_RETURN_NOT_OK(CollectMatches(current_.get(), key, &out));
   if (!current_only && history_ != nullptr) {

@@ -14,6 +14,11 @@
 
 namespace tdb {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
+
 /// A tuple-id reference stored in an index entry.  `in_history` says which
 /// store of a two-level relation the version lives in.
 struct IndexEntryRef {
@@ -36,12 +41,13 @@ class SecondaryIndex {
   /// Opens (creating empty files as needed) the index described by `meta`
   /// over an attribute of type `attr`.  Counter objects come from the
   /// owning database's IoRegistry; `journal` (nullable) pre-images index
-  /// page overwrites when durability is on.
+  /// page overwrites when durability is on; `metrics` (nullable) wires
+  /// index.<name>.{probes,entries_scanned,inserts,moves,removes}.
   static Result<std::unique_ptr<SecondaryIndex>> Open(
       Env* env, const std::string& dir, const IndexMeta& meta,
       const Attribute& attr, IoCounters* current_counters,
       IoCounters* history_counters, int buffer_frames = 1,
-      Journal* journal = nullptr);
+      Journal* journal = nullptr, obs::MetricsRegistry* metrics = nullptr);
 
   const IndexMeta& meta() const { return meta_; }
 
@@ -122,6 +128,13 @@ class SecondaryIndex {
   RecordLayout layout_;  // entry layout: key + page(4) + slot(2) + flags(2)
   std::unique_ptr<StorageFile> current_;
   std::unique_ptr<StorageFile> history_;  // null for 1-level
+
+  // Observability counters; all null when metrics are disabled.
+  obs::Counter* m_probes_ = nullptr;
+  obs::Counter* m_entries_scanned_ = nullptr;
+  obs::Counter* m_inserts_ = nullptr;
+  obs::Counter* m_moves_ = nullptr;
+  obs::Counter* m_removes_ = nullptr;
 };
 
 }  // namespace tdb

@@ -1,0 +1,44 @@
+#include "obs/trace.h"
+
+#include "obs/metrics.h"
+
+namespace tdb {
+namespace obs {
+
+std::vector<TraceEvent> TraceSink::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  size_t start = (next_ + ring_.size() - count_) % ring_.size();
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+TraceSpan::TraceSpan(MetricsRegistry* registry, const char* name)
+    : registry_(registry), name_(name) {
+  if (registry_ == nullptr) return;
+  depth_ = registry_->trace()->depth();
+  registry_->trace()->EnterSpan();
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (registry_ == nullptr) return;
+  auto end = std::chrono::steady_clock::now();
+  registry_->trace()->ExitSpan();
+  TraceEvent ev;
+  ev.name = name_;
+  ev.start_nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          start_.time_since_epoch())
+          .count());
+  ev.duration_nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+          .count());
+  ev.depth = depth_;
+  registry_->trace()->Record(std::move(ev));
+}
+
+}  // namespace obs
+}  // namespace tdb

@@ -1,0 +1,87 @@
+#ifndef CHRONOQUEL_OBS_TRACE_H_
+#define CHRONOQUEL_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tdb {
+namespace obs {
+
+class MetricsRegistry;
+
+/// One completed span: a named region of execution with monotonic start
+/// time and duration.  `depth` reflects span nesting at record time so a
+/// flat dump still shows the call structure.
+struct TraceEvent {
+  std::string name;
+  uint64_t start_nanos = 0;     // steady_clock, since an arbitrary epoch
+  uint64_t duration_nanos = 0;
+  uint32_t depth = 0;
+};
+
+/// Fixed-capacity ring buffer of the most recent spans.  Recording is
+/// O(1) with no allocation in steady state (slots are reused); the sink
+/// deliberately keeps only the tail so tracing can stay on in long
+/// sessions without growing.
+class TraceSink {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit TraceSink(size_t capacity = kDefaultCapacity)
+      : ring_(capacity) {}
+
+  void Record(TraceEvent ev) {
+    ring_[next_] = std::move(ev);
+    next_ = (next_ + 1) % ring_.size();
+    if (count_ < ring_.size()) ++count_;
+  }
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  size_t size() const { return count_; }
+  size_t capacity() const { return ring_.size(); }
+  void Clear() {
+    next_ = 0;
+    count_ = 0;
+  }
+
+  /// Current span nesting depth (maintained by TraceSpan).
+  uint32_t depth() const { return depth_; }
+  void EnterSpan() { ++depth_; }
+  void ExitSpan() {
+    if (depth_ > 0) --depth_;
+  }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;
+  size_t count_ = 0;
+  uint32_t depth_ = 0;
+};
+
+/// RAII span: times the enclosing scope and records a TraceEvent into the
+/// registry's sink on destruction.  A null registry makes the span a
+/// no-op, which is how tracing stays zero-cost when metrics are disabled
+/// — callers pass Database::metrics() straight through.
+class TraceSpan {
+ public:
+  TraceSpan(MetricsRegistry* registry, const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  const char* name_;
+  uint32_t depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_OBS_TRACE_H_

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace tdb {
 
 const char* IoCategoryName(IoCategory c) {
@@ -49,8 +51,16 @@ IoCounters* IoRegistry::ForFile(const std::string& file_name) {
     it = by_file_.emplace(file_name, std::make_unique<IoCounters>()).first;
     it->second->trace = &trace_;
     it->second->trace_file_id = static_cast<uint32_t>(by_file_.size() - 1);
+    if (metrics_ != nullptr) it->second->metrics = metrics_->pager(file_name);
   }
   return it->second.get();
+}
+
+void IoRegistry::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  for (auto& [name, counters] : by_file_) {
+    counters->metrics = metrics_ == nullptr ? nullptr : metrics_->pager(name);
+  }
 }
 
 void IoRegistry::ResetAll() {

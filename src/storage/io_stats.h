@@ -11,6 +11,11 @@
 
 namespace tdb {
 
+namespace obs {
+struct PagerMetrics;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Role of a page read/write.  Categorizing lets the Fig. 9 harness
 /// *measure* (not estimate) the fixed portion of a query's cost, which the
 /// paper defines as ISAM directory traversal plus temporary-relation I/O.
@@ -77,6 +82,11 @@ struct IoCounters {
   IoTrace* trace = nullptr;
   uint32_t trace_file_id = 0;
 
+  /// Optional buffer-pool/pager metrics for this file (owned by the
+  /// Database's obs::MetricsRegistry).  Null when metrics are disabled —
+  /// the Pager's only added cost is then one predictable branch per site.
+  obs::PagerMetrics* metrics = nullptr;
+
   IoCounters& operator+=(const IoCounters& o) {
     for (int i = 0; i < kNumIoCategories; ++i) {
       reads[i] += o.reads[i];
@@ -134,8 +144,17 @@ class IoRegistry {
   /// feed the disk model.
   IoTrace* trace() { return &trace_; }
 
+  /// Attaches (or detaches, with nullptr) an observability registry: every
+  /// present and future per-file IoCounters gets its `metrics` pointer set
+  /// to that registry's PagerMetrics block for the same file name.  The
+  /// Database calls this once at Open when metrics are enabled; when it
+  /// never does, instrumentation stays entirely unwired.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   std::map<std::string, std::unique_ptr<IoCounters>> by_file_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   IoTrace trace_;
   /// Id of the thread the registry is bound to; default-constructed until
   /// the first CheckOwnerThread.  Atomic so the guard itself is race-free.

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "storage/page.h"
 #include "util/stringx.h"
 
@@ -164,12 +165,27 @@ Result<std::unique_ptr<Journal>> Journal::Open(Env* env,
   return journal;
 }
 
+void Journal::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_batches_ = m_commits_ = m_rollbacks_ = nullptr;
+    m_records_ = m_pre_image_bytes_ = m_replay_ops_ = nullptr;
+    return;
+  }
+  m_batches_ = metrics->counter("journal.batches");
+  m_commits_ = metrics->counter("journal.commits");
+  m_rollbacks_ = metrics->counter("journal.rollbacks");
+  m_records_ = metrics->counter("journal.records");
+  m_pre_image_bytes_ = metrics->counter("journal.pre_image_bytes");
+  m_replay_ops_ = metrics->counter("journal.replay_ops");
+}
+
 Status Journal::Begin() {
   if (!healthy_) {
     return Status::IOError(
         "journal rollback failed earlier; reopen the database to recover");
   }
   if (active_) return Status::Internal("journal batch already active");
+  if (m_batches_ != nullptr) m_batches_->Increment();
   TDB_RETURN_NOT_OK(file_->Truncate(0));
   write_offset_ = 0;
   sync_pending_ = false;
@@ -180,6 +196,10 @@ Status Journal::Begin() {
 }
 
 Status Journal::AppendRecord(const Record& rec) {
+  if (m_records_ != nullptr) {
+    m_records_->Increment();
+    m_pre_image_bytes_->Add(rec.payload.size());
+  }
   std::vector<uint8_t> bytes = EncodeRecord(rec);
   TDB_RETURN_NOT_OK(file_->Write(write_offset_, bytes.data(), bytes.size()));
   write_offset_ += bytes.size();
@@ -288,6 +308,7 @@ Status Journal::BeforeDeleteFile(const std::string& path) {
 Status Journal::Commit() {
   if (!active_) return Status::OK();
   active_ = false;
+  if (m_commits_ != nullptr) m_commits_->Increment();
   if (batch_.empty()) return Status::OK();  // read-only statement
   Record mark;
   mark.type = kCommit;
@@ -309,6 +330,10 @@ Status Journal::Commit() {
 Status Journal::Rollback() {
   if (!active_) return Status::OK();
   active_ = false;
+  if (m_rollbacks_ != nullptr) {
+    m_rollbacks_->Increment();
+    m_replay_ops_->Add(batch_.size());
+  }
   Status applied = ApplyReversed(env_, batch_);
   if (!applied.ok()) {
     healthy_ = false;

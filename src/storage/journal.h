@@ -13,6 +13,11 @@
 
 namespace tdb {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
+
 /// How much crash protection the database applies to mutating statements.
 ///
 /// The paper's page-I/O metric is measured with durability OFF (the
@@ -93,6 +98,10 @@ class Journal {
   /// True until a rollback fails (leaving disk state only recoverable by
   /// Recover() on reopen).
   bool healthy() const { return healthy_; }
+
+  /// Wires (or unwires, with nullptr) observability counters:
+  /// journal.{batches,commits,rollbacks,records,pre_image_bytes,replay_ops}.
+  void set_metrics(obs::MetricsRegistry* metrics);
 
   /// Starts a statement batch: empties the journal and forgets per-batch
   /// dedup state.
@@ -187,6 +196,14 @@ class Journal {
   uint64_t write_offset_ = 0;
   std::vector<Record> batch_;  // in-memory mirror for in-session rollback
   std::map<std::string, FileState> files_;
+
+  // Resolved once by set_metrics(); all null when metrics are disabled.
+  obs::Counter* m_batches_ = nullptr;
+  obs::Counter* m_commits_ = nullptr;
+  obs::Counter* m_rollbacks_ = nullptr;
+  obs::Counter* m_records_ = nullptr;
+  obs::Counter* m_pre_image_bytes_ = nullptr;
+  obs::Counter* m_replay_ops_ = nullptr;
 };
 
 }  // namespace tdb

@@ -2,9 +2,26 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/stringx.h"
 
 namespace tdb {
+
+void Pager::Count(bool write, IoCategory cat, uint32_t pno) {
+  if (counters_ == nullptr) return;
+  if (write) {
+    ++counters_->writes[static_cast<int>(cat)];
+  } else {
+    ++counters_->reads[static_cast<int>(cat)];
+  }
+  if (counters_->trace != nullptr) {
+    counters_->trace->Record(counters_->trace_file_id, pno, write);
+  }
+  if (counters_->metrics != nullptr) {
+    (write ? counters_->metrics->write_pages : counters_->metrics->read_pages)
+        .Increment();
+  }
+}
 
 Result<std::unique_ptr<Pager>> Pager::Open(Env* env, const std::string& path,
                                            IoCounters* counters, int frames,
@@ -60,6 +77,9 @@ Result<Pager::Frame*> Pager::EvictableFrame() {
     }
     if (frame.last_use < victim->last_use) victim = &frame;
   }
+  if (victim->pno != kNoPage && metrics() != nullptr) {
+    metrics()->evictions.Increment();
+  }
   TDB_RETURN_NOT_OK(FlushFrame(victim));
   return victim;
 }
@@ -70,6 +90,10 @@ Result<uint8_t*> Pager::ReadPage(uint32_t pno, IoCategory cat) {
                                         pno, page_count_, path_.c_str()));
   }
   Frame* frame = FindFrame(pno);
+  if (metrics() != nullptr) {
+    metrics()->requests.Increment();
+    (frame != nullptr ? metrics()->hits : metrics()->misses).Increment();
+  }
   if (frame == nullptr) {
     TDB_ASSIGN_OR_RETURN(frame, EvictableFrame());
     TDB_RETURN_NOT_OK(file_->Read(static_cast<uint64_t>(pno) * kPageSize,
@@ -109,6 +133,11 @@ Result<uint32_t> Pager::AllocatePage(IoCategory cat) {
   }
   TDB_RETURN_NOT_OK(file_->Truncate(new_size));
   return pno;
+}
+
+Status Pager::Sync() {
+  if (metrics() != nullptr) metrics()->syncs.Increment();
+  return file_->Sync();
 }
 
 Status Pager::Flush() {

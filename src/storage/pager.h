@@ -72,7 +72,7 @@ class Pager {
 
   /// Fsyncs the underlying file (the durability point of the commit
   /// protocol; no-op cost for the in-memory env).
-  Status Sync() { return file_->Sync(); }
+  Status Sync();
 
   uint32_t page_count() const { return page_count_; }
   const std::string& path() const { return path_; }
@@ -101,16 +101,12 @@ class Pager {
         page_count_(page_count),
         frames_(static_cast<size_t>(frames)) {}
 
-  void Count(bool write, IoCategory cat, uint32_t pno) {
-    if (counters_ == nullptr) return;
-    if (write) {
-      ++counters_->writes[static_cast<int>(cat)];
-    } else {
-      ++counters_->reads[static_cast<int>(cat)];
-    }
-    if (counters_->trace != nullptr) {
-      counters_->trace->Record(counters_->trace_file_id, pno, write);
-    }
+  void Count(bool write, IoCategory cat, uint32_t pno);
+
+  /// This file's observability counters, or null when the Database has no
+  /// metrics registry wired (the zero-cost-off path).
+  obs::PagerMetrics* metrics() const {
+    return counters_ == nullptr ? nullptr : counters_->metrics;
   }
 
   /// Frame holding `pno`, or null.

@@ -324,6 +324,9 @@ struct CopyStmt : Statement {
 struct ExplainStmt : Statement {
   ExplainStmt() : Statement(Kind::kExplain) {}
   std::unique_ptr<RetrieveStmt> query;
+  /// `explain analyze`: execute the query and annotate the printed plan
+  /// with per-node runtime stats and wall time.
+  bool analyze = false;
 };
 
 }  // namespace tdb

@@ -296,11 +296,13 @@ class ParserImpl {
 
   Result<std::unique_ptr<Statement>> ParseExplain() {
     Advance();  // explain
+    bool analyze = ConsumeKeyword("analyze");
     if (!Peek().IsKeyword("retrieve")) {
       return Err("explain supports only retrieve statements");
     }
     TDB_ASSIGN_OR_RETURN(auto query, ParseRetrieve());
     auto stmt = std::make_unique<ExplainStmt>();
+    stmt->analyze = analyze;
     stmt->query.reset(static_cast<RetrieveStmt*>(query.release()));
     return std::unique_ptr<Statement>(std::move(stmt));
   }
@@ -634,6 +636,24 @@ class ParserImpl {
   }
 
   Result<std::unique_ptr<TemporalPred>> ParseTemporalBase() {
+    // A '(' here is ambiguous: it may group a whole predicate
+    // (`(a precede b or c equal d) and ...`) or merely a temporal
+    // expression (`(h overlap i) precede x`).  Try the predicate reading
+    // first and backtrack unless it consumed a closing ')' after a real
+    // predicate — a parenthesized kNonEmpty is indistinguishable from a
+    // parenthesized expression, so it is left to the expression path
+    // (which yields the same meaning and keeps `precede` chains working).
+    if (Peek().Is(TokenType::kLParen)) {
+      size_t saved = pos_;
+      Advance();  // (
+      auto inner = ParseTemporalPred();
+      if (inner.ok() && Peek().Is(TokenType::kRParen) &&
+          (*inner)->kind != TemporalPred::Kind::kNonEmpty) {
+        Advance();  // )
+        return std::move(*inner);
+      }
+      pos_ = saved;
+    }
     TDB_ASSIGN_OR_RETURN(auto lhs, ParseTemporalExpr());
     auto p = std::make_unique<TemporalPred>();
     if (ConsumeKeyword("precede")) {

@@ -6,28 +6,58 @@ namespace tdb {
 
 namespace {
 
-/// Predicate printing is precedence aware (not > and > or) instead of
-/// parenthesized: TQuel's when-grammar has no predicate parentheses, so
-/// this is what keeps the output re-parseable.  Trees produced by the
-/// parser never place an `or` under an `and`, so no precedence is lost.
-std::string PrintPred(const TemporalPred& pred) {
+/// Binding strength of a predicate node: or < and < not < atoms.
+int PredPrecedence(const TemporalPred& pred) {
+  switch (pred.kind) {
+    case TemporalPred::Kind::kOr:
+      return 0;
+    case TemporalPred::Kind::kAnd:
+      return 1;
+    case TemporalPred::Kind::kNot:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+/// Predicate printing is precedence aware: a subtree that binds looser
+/// than its context is parenthesized, so ANY tree shape — including ones a
+/// naive reading of the input could not produce, like an `or` under an
+/// `and` — round-trips through the parser's predicate-grouping parens.
+/// Atoms are never wrapped (a parenthesized non-empty test stays on the
+/// expression grammar's parens, where `(` already belongs).
+std::string PrintPred(const TemporalPred& pred, int parent_prec = 0) {
+  int prec = PredPrecedence(pred);
+  std::string out;
   switch (pred.kind) {
     case TemporalPred::Kind::kPrecede:
-      return pred.lexpr->ToString() + " precede " + pred.rexpr->ToString();
+      out = pred.lexpr->ToString() + " precede " + pred.rexpr->ToString();
+      break;
     case TemporalPred::Kind::kOverlap:
-      return pred.lexpr->ToString() + " overlap " + pred.rexpr->ToString();
+      out = pred.lexpr->ToString() + " overlap " + pred.rexpr->ToString();
+      break;
     case TemporalPred::Kind::kEqual:
-      return pred.lexpr->ToString() + " equal " + pred.rexpr->ToString();
+      out = pred.lexpr->ToString() + " equal " + pred.rexpr->ToString();
+      break;
     case TemporalPred::Kind::kNonEmpty:
-      return pred.lexpr->ToString();
+      out = pred.lexpr->ToString();
+      break;
     case TemporalPred::Kind::kAnd:
-      return PrintPred(*pred.left) + " and " + PrintPred(*pred.right);
-    case TemporalPred::Kind::kOr:
-      return PrintPred(*pred.left) + " or " + PrintPred(*pred.right);
+    case TemporalPred::Kind::kOr: {
+      const char* word = pred.kind == TemporalPred::Kind::kAnd ? " and "
+                                                               : " or ";
+      // Left-associative: the left child may sit at this level, the right
+      // child must bind strictly tighter to reproduce the same tree.
+      out = PrintPred(*pred.left, prec) + word +
+            PrintPred(*pred.right, prec + 1);
+      break;
+    }
     case TemporalPred::Kind::kNot:
-      return "not " + PrintPred(*pred.left);
+      out = "not " + PrintPred(*pred.left, prec);
+      break;
   }
-  return "?";
+  if (prec < parent_prec) return "(" + out + ")";
+  return out;
 }
 
 std::string PrintTail(const std::optional<ValidClause>& valid,
@@ -150,7 +180,8 @@ std::string PrintStatement(const Statement& stmt) {
     }
     case Statement::Kind::kExplain: {
       const auto& s = static_cast<const ExplainStmt&>(stmt);
-      return "explain " + PrintStatement(*s.query);
+      return std::string("explain ") + (s.analyze ? "analyze " : "") +
+             PrintStatement(*s.query);
     }
   }
   return "?";

@@ -6,13 +6,24 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+
 #include "benchlib/workload.h"
 #include "core/database.h"
 #include "env/env.h"
 #include "exec/plan.h"
+#include "obs/metrics.h"
 
 namespace tdb {
 namespace {
+
+/// Replaces wall-clock annotations (`time=1.234ms`) with `time=*` so
+/// analyzed plan trees can be golden-tested: every other stat (rows,
+/// loops, page I/O) is deterministic under MemEnv.
+std::string MaskTimes(const std::string& s) {
+  static const std::regex kTime("time=[0-9]+\\.[0-9]{3}ms");
+  return std::regex_replace(s, kTime, "time=*");
+}
 
 class ExplainTest : public ::testing::Test {
  protected:
@@ -219,6 +230,125 @@ TEST_F(ExplainTest, SubstitutionStatsCountProbes) {
   // The temp relation's I/O lands on the substitution node itself.
   EXPECT_TRUE(sub->stats.executed);
   EXPECT_GT(sub->stats.io.TotalWrites(), 0u);
+}
+
+// --- explain analyze -----------------------------------------------------
+
+TEST(MaskTimesTest, NormalizesOnlyWallClock) {
+  EXPECT_EQ(MaskTimes("a [rows=1 time=0.034ms]\nb [loops=2 time=12.500ms]\n"),
+            "a [rows=1 time=*]\nb [loops=2 time=*]\n");
+  EXPECT_EQ(MaskTimes("no times here [rows=3]"), "no times here [rows=3]");
+}
+
+/// Same schema as ExplainTest but with metrics pinned on, so analyzed
+/// plans carry real wall-clock samples regardless of the environment the
+/// suite runs under.
+class ExplainAnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetMetricsEnabledForTest(true);
+    DatabaseOptions options;
+    options.env = &env_;
+    auto db = Database::Open("/db", options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    Exec("create persistent interval hrel (id = i4, amount = i4, pad = c96)");
+    for (int i = 0; i < 20; ++i) {
+      Exec("append to hrel (id = " + std::to_string(i) + ", amount = " +
+           std::to_string(i * 7) + ")");
+    }
+    Exec("modify hrel to hash on id where fillfactor = 100");
+    Exec("range of h is hrel");
+  }
+
+  void TearDown() override { obs::SetMetricsEnabledForTest(std::nullopt); }
+
+  void Exec(const std::string& text) {
+    auto r = db_->Execute(text);
+    ASSERT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+  }
+
+  /// Runs `explain analyze <query>` and returns the printed rows.
+  std::string Analyze(const std::string& query) {
+    auto r = db_->Execute("explain analyze " + query);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) return "";
+    std::string tree;
+    for (const auto& row : r->result.rows) tree += row[0].AsString() + "\n";
+    return tree;
+  }
+
+  MemEnv env_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExplainAnalyzeTest, KeyedLookupGolden) {
+  EXPECT_EQ(
+      MaskTimes(Analyze("retrieve (h.id) where h.id = 5 "
+                        "when h overlap \"now\"")),
+      "project (h.id) [rows=1 time=*]\n"
+      "  filter [(h.id = 5); when (h overlap \"now\")] "
+      "[loops=1 examined=1 emitted=1 time=*]\n"
+      "    keyed-lookup h=hrel key=5 (current) "
+      "[loops=1 examined=1 emitted=1 reads=1 (data=1) time=*]\n");
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeExecutesTheQuery) {
+  // Unlike plain explain, analyze runs the plan: page reads happen and
+  // executed stats (rows, loops, I/O) are real.
+  Exec("retrieve (h.id) where h.id = 5");  // warm the relation cache
+  ASSERT_TRUE(db_->DropAllBuffers().ok());  // force the probe back to disk
+  IoCounters before = db_->io()->Total();
+  auto r = db_->Execute("explain analyze retrieve (h.id) where h.id = 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  IoCounters after = db_->io()->Total();
+  EXPECT_GT(after.TotalReads(), before.TotalReads());
+  ASSERT_NE(r->plan, nullptr);
+  EXPECT_TRUE(r->plan->root->stats.executed);
+  EXPECT_EQ(r->plan->root->stats.rows_emitted, 1u);
+}
+
+TEST_F(ExplainAnalyzeTest, PlainExplainStaysUnexecuted) {
+  std::string plain;
+  {
+    auto r = db_->Execute("explain retrieve (h.id) where h.id = 5");
+    ASSERT_TRUE(r.ok());
+    for (const auto& row : r->result.rows) plain += row[0].AsString() + "\n";
+  }
+  // No stats suffixes at all on the unexecuted form.
+  EXPECT_EQ(plain.find("[rows="), std::string::npos) << plain;
+  EXPECT_EQ(plain.find("time="), std::string::npos) << plain;
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeIsDeterministicWhenMetricsDisabled) {
+  // With metrics off the executor takes no clock samples: wall times stay
+  // zero, making `explain analyze` output fully deterministic (the
+  // property that keeps figure stdout byte-identical under TDB_METRICS=0).
+  obs::SetMetricsEnabledForTest(false);
+  DatabaseOptions options;
+  options.env = &env_;
+  auto db = Database::Open("/db", options);
+  ASSERT_TRUE(db.ok());
+  auto r = (*db)->Execute(
+      "range of h is hrel\n"
+      "explain analyze retrieve (h.id) where h.id = 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::string tree;
+  for (const auto& row : r->result.rows) tree += row[0].AsString() + "\n";
+  EXPECT_NE(tree.find("time=0.000ms"), std::string::npos) << tree;
+  // Every time annotation is the deterministic zero.
+  std::string masked = MaskTimes(tree);
+  size_t zeros = 0;
+  size_t masks = 0;
+  for (size_t p = tree.find("time=0.000ms"); p != std::string::npos;
+       p = tree.find("time=0.000ms", p + 1)) {
+    ++zeros;
+  }
+  for (size_t p = masked.find("time=*"); p != std::string::npos;
+       p = masked.find("time=*", p + 1)) {
+    ++masks;
+  }
+  EXPECT_EQ(zeros, masks) << tree;
 }
 
 // --- Acceptance: explained plan == executed plan, all four db types ------

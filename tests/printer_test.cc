@@ -1,11 +1,21 @@
 // Tests of the TQuel pretty printer, including the print -> reparse ->
-// print fixed-point property over a corpus of statements.
+// print fixed-point property over a corpus of statements, and a stronger
+// property over randomly GENERATED ASTs: print the tree, re-parse the
+// text, and require the parsed tree to be structurally identical to the
+// generated one.  The generator respects two parser normalizations that
+// make certain shapes unreachable from text — `a overlap b` always binds
+// at the temporal-expression level (so TemporalPred::kOverlap is never
+// produced; non-emptiness of the intersection is the same meaning), and
+// unary minus folds into numeric literals — and otherwise explores the
+// full grammar, including predicate trees (`or` under `and`, nested
+// `not`) that only parse thanks to predicate grouping parentheses.
 
 #include "tquel/printer.h"
 
 #include <gtest/gtest.h>
 
 #include "tquel/parser.h"
+#include "util/random.h"
 
 namespace tdb {
 namespace {
@@ -77,6 +87,353 @@ INSTANTIATE_TEST_SUITE_P(
         "modify r to heap",
         "index on r is am (amount) with structure = hash, levels = 2",
         "copy r to \"/dump.tsv\""));
+
+// --- Random-AST round trip ----------------------------------------------
+
+const char* const kVars[] = {"h", "i", "e"};
+const char* const kAttrs[] = {"id", "seq", "amount", "sal", "tag"};
+
+std::unique_ptr<Expr> GenScalar(Random& rng, int depth);
+
+std::unique_ptr<Expr> GenAtom(Random& rng) {
+  switch (rng.Uniform(4)) {
+    case 0:
+      return Expr::Int(static_cast<int64_t>(rng.Uniform(1000)));
+    case 1: {
+      const double pool[] = {0.5, 1.5, 2.25, 10.75};
+      return Expr::Float(pool[rng.Uniform(4)]);
+    }
+    case 2:
+      return Expr::Str(rng.NextString(3));
+    default:
+      return Expr::Column(kVars[rng.Uniform(3)], kAttrs[rng.Uniform(5)]);
+  }
+}
+
+std::unique_ptr<Expr> GenArith(Random& rng, int depth) {
+  if (depth <= 0 || rng.Uniform(2) == 0) {
+    // Unary minus folds into numeric literals at parse time, so it is
+    // only generated over columns (where the tree shape survives).
+    if (rng.Uniform(6) == 0) {
+      return Expr::Unary(ExprOp::kNeg,
+                         Expr::Column(kVars[rng.Uniform(3)],
+                                      kAttrs[rng.Uniform(5)]));
+    }
+    return GenAtom(rng);
+  }
+  const ExprOp ops[] = {ExprOp::kAdd, ExprOp::kSub, ExprOp::kMul, ExprOp::kDiv,
+                        ExprOp::kMod};
+  return Expr::Binary(ops[rng.Uniform(5)], GenArith(rng, depth - 1),
+                      GenArith(rng, depth - 1));
+}
+
+std::unique_ptr<Expr> GenComparison(Random& rng, int depth) {
+  const ExprOp ops[] = {ExprOp::kEq, ExprOp::kNe, ExprOp::kLt,
+                        ExprOp::kLe,  ExprOp::kGt, ExprOp::kGe};
+  return Expr::Binary(ops[rng.Uniform(6)], GenArith(rng, depth),
+                      GenArith(rng, depth));
+}
+
+/// Boolean structure over comparisons: and/or/not nesting.
+std::unique_ptr<Expr> GenScalar(Random& rng, int depth) {
+  if (depth <= 0 || rng.Uniform(2) == 0) return GenComparison(rng, 2);
+  switch (rng.Uniform(3)) {
+    case 0:
+      return Expr::Binary(ExprOp::kAnd, GenScalar(rng, depth - 1),
+                          GenScalar(rng, depth - 1));
+    case 1:
+      return Expr::Binary(ExprOp::kOr, GenScalar(rng, depth - 1),
+                          GenScalar(rng, depth - 1));
+    default:
+      return Expr::Unary(ExprOp::kNot, GenScalar(rng, depth - 1));
+  }
+}
+
+std::unique_ptr<TemporalExpr> GenTemporalPrimary(Random& rng, int depth) {
+  switch (rng.Uniform(depth > 0 ? 5 : 3)) {
+    case 0:
+      return TemporalExpr::Var(kVars[rng.Uniform(3)]);
+    case 1:
+      return TemporalExpr::Now();
+    case 2: {
+      const char* const pool[] = {"1981", "08:00 1/1/80", "forever"};
+      auto tp = TimePoint::Parse(pool[rng.Uniform(3)]);
+      EXPECT_TRUE(tp.ok());
+      return TemporalExpr::Const(*tp);
+    }
+    case 3: {
+      TemporalExpr::Kind k = rng.Uniform(2) == 0 ? TemporalExpr::Kind::kStartOf
+                                                 : TemporalExpr::Kind::kEndOf;
+      return TemporalExpr::Make(k, GenTemporalPrimary(rng, depth - 1), nullptr);
+    }
+    default: {
+      TemporalExpr::Kind k = rng.Uniform(2) == 0 ? TemporalExpr::Kind::kOverlap
+                                                 : TemporalExpr::Kind::kExtend;
+      return TemporalExpr::Make(k, GenTemporalPrimary(rng, depth - 1),
+                                GenTemporalPrimary(rng, depth - 1));
+    }
+  }
+}
+
+std::unique_ptr<TemporalPred> GenTemporalPred(Random& rng, int depth) {
+  auto p = std::make_unique<TemporalPred>();
+  if (depth > 0 && rng.Uniform(2) == 0) {
+    switch (rng.Uniform(3)) {
+      case 0:
+        p->kind = TemporalPred::Kind::kAnd;
+        break;
+      case 1:
+        p->kind = TemporalPred::Kind::kOr;
+        break;
+      default:
+        p->kind = TemporalPred::Kind::kNot;
+        p->left = GenTemporalPred(rng, depth - 1);
+        return p;
+    }
+    p->left = GenTemporalPred(rng, depth - 1);
+    p->right = GenTemporalPred(rng, depth - 1);
+    return p;
+  }
+  switch (rng.Uniform(3)) {
+    case 0:
+      p->kind = TemporalPred::Kind::kPrecede;
+      break;
+    case 1:
+      p->kind = TemporalPred::Kind::kEqual;
+      break;
+    default:
+      // Bare interval expression (non-emptiness test) — `overlap`
+      // comparisons are spelled this way by the grammar.
+      p->kind = TemporalPred::Kind::kNonEmpty;
+      p->lexpr = GenTemporalPrimary(rng, 2);
+      return p;
+  }
+  p->lexpr = GenTemporalPrimary(rng, 2);
+  p->rexpr = GenTemporalPrimary(rng, 2);
+  return p;
+}
+
+// Structural equality, ignoring binder annotations (both sides unbound).
+bool Eq(const Expr* a, const Expr* b);
+bool Eq(const TemporalExpr* a, const TemporalExpr* b);
+bool Eq(const TemporalPred* a, const TemporalPred* b);
+
+bool Eq(const Expr* a, const Expr* b) {
+  if (a == nullptr || b == nullptr) return a == b;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case Expr::Kind::kConstInt:
+      return a->int_val == b->int_val;
+    case Expr::Kind::kConstFloat:
+      return a->float_val == b->float_val;
+    case Expr::Kind::kConstString:
+      return a->str_val == b->str_val;
+    case Expr::Kind::kColumn:
+      return a->var == b->var && a->attr == b->attr;
+    case Expr::Kind::kBinary:
+    case Expr::Kind::kUnary:
+      return a->op == b->op && Eq(a->left.get(), b->left.get()) &&
+             Eq(a->right.get(), b->right.get());
+    case Expr::Kind::kAggregate:
+      return a->agg == b->agg && Eq(a->agg_arg.get(), b->agg_arg.get()) &&
+             Eq(a->agg_by.get(), b->agg_by.get()) &&
+             Eq(a->agg_where.get(), b->agg_where.get());
+  }
+  return false;
+}
+
+bool Eq(const TemporalExpr* a, const TemporalExpr* b) {
+  if (a == nullptr || b == nullptr) return a == b;
+  if (a->kind != b->kind) return false;
+  if (a->var != b->var) return false;
+  if (a->kind == TemporalExpr::Kind::kConst &&
+      a->const_time.ToString() != b->const_time.ToString()) {
+    return false;
+  }
+  return Eq(a->left.get(), b->left.get()) && Eq(a->right.get(), b->right.get());
+}
+
+bool Eq(const TemporalPred* a, const TemporalPred* b) {
+  if (a == nullptr || b == nullptr) return a == b;
+  return a->kind == b->kind && Eq(a->lexpr.get(), b->lexpr.get()) &&
+         Eq(a->rexpr.get(), b->rexpr.get()) &&
+         Eq(a->left.get(), b->left.get()) && Eq(a->right.get(), b->right.get());
+}
+
+bool Eq(const std::optional<ValidClause>& a,
+        const std::optional<ValidClause>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  return a->at == b->at && Eq(a->from.get(), b->from.get()) &&
+         Eq(a->to.get(), b->to.get());
+}
+
+bool Eq(const std::optional<AsOfClause>& a,
+        const std::optional<AsOfClause>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  return Eq(a->at.get(), b->at.get()) && Eq(a->through.get(), b->through.get());
+}
+
+bool Eq(const std::vector<TargetItem>& a, const std::vector<TargetItem>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].name != b[i].name || !Eq(a[i].expr.get(), b[i].expr.get())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool EqStatement(const Statement& a, const Statement& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Statement::Kind::kRetrieve: {
+      const auto& x = static_cast<const RetrieveStmt&>(a);
+      const auto& y = static_cast<const RetrieveStmt&>(b);
+      if (x.into != y.into || x.unique != y.unique) return false;
+      if (!Eq(x.targets, y.targets) || !Eq(x.valid, y.valid) ||
+          !Eq(x.where.get(), y.where.get()) ||
+          !Eq(x.when.get(), y.when.get()) || !Eq(x.as_of, y.as_of)) {
+        return false;
+      }
+      if (x.sort_by.size() != y.sort_by.size()) return false;
+      for (size_t i = 0; i < x.sort_by.size(); ++i) {
+        if (x.sort_by[i].target != y.sort_by[i].target ||
+            x.sort_by[i].descending != y.sort_by[i].descending) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case Statement::Kind::kDelete: {
+      const auto& x = static_cast<const DeleteStmt&>(a);
+      const auto& y = static_cast<const DeleteStmt&>(b);
+      return x.var == y.var && Eq(x.valid, y.valid) &&
+             Eq(x.where.get(), y.where.get()) && Eq(x.when.get(), y.when.get());
+    }
+    case Statement::Kind::kReplace: {
+      const auto& x = static_cast<const ReplaceStmt&>(a);
+      const auto& y = static_cast<const ReplaceStmt&>(b);
+      return x.var == y.var && Eq(x.targets, y.targets) &&
+             Eq(x.valid, y.valid) && Eq(x.where.get(), y.where.get()) &&
+             Eq(x.when.get(), y.when.get());
+    }
+    case Statement::Kind::kAppend: {
+      const auto& x = static_cast<const AppendStmt&>(a);
+      const auto& y = static_cast<const AppendStmt&>(b);
+      return x.relation == y.relation && Eq(x.targets, y.targets) &&
+             Eq(x.valid, y.valid) && Eq(x.where.get(), y.where.get()) &&
+             Eq(x.when.get(), y.when.get());
+    }
+    default:
+      return false;
+  }
+}
+
+void GenTail(Random& rng, std::optional<ValidClause>* valid,
+             std::unique_ptr<Expr>* where, std::unique_ptr<TemporalPred>* when,
+             std::optional<AsOfClause>* as_of) {
+  if (rng.Uniform(3) == 0) {
+    ValidClause v;
+    if (rng.Uniform(2) == 0) {
+      v.at = true;
+      v.from = GenTemporalPrimary(rng, 2);
+    } else {
+      v.from = GenTemporalPrimary(rng, 2);
+      v.to = GenTemporalPrimary(rng, 2);
+    }
+    *valid = std::move(v);
+  }
+  if (rng.Uniform(2) == 0) *where = GenScalar(rng, 2);
+  if (rng.Uniform(2) == 0) *when = GenTemporalPred(rng, 3);
+  if (as_of != nullptr && rng.Uniform(3) == 0) {
+    AsOfClause c;
+    c.at = GenTemporalPrimary(rng, 1);
+    if (rng.Uniform(2) == 0) c.through = GenTemporalPrimary(rng, 1);
+    *as_of = std::move(c);
+  }
+}
+
+std::unique_ptr<Statement> GenStatement(Random& rng) {
+  switch (rng.Uniform(5)) {
+    case 0: {
+      auto s = std::make_unique<DeleteStmt>();
+      s->var = kVars[rng.Uniform(3)];
+      GenTail(rng, &s->valid, &s->where, &s->when, nullptr);
+      return s;
+    }
+    case 1: {
+      auto s = std::make_unique<ReplaceStmt>();
+      s->var = kVars[rng.Uniform(3)];
+      s->targets.push_back(TargetItem{kAttrs[rng.Uniform(5)], GenArith(rng, 2)});
+      GenTail(rng, &s->valid, &s->where, &s->when, nullptr);
+      return s;
+    }
+    case 2: {
+      auto s = std::make_unique<AppendStmt>();
+      s->relation = "rel_" + rng.NextString(3);
+      size_t n = 1 + rng.Uniform(3);
+      for (size_t t = 0; t < n; ++t) {
+        s->targets.push_back(
+            TargetItem{kAttrs[rng.Uniform(5)], GenArith(rng, 1)});
+      }
+      GenTail(rng, &s->valid, &s->where, &s->when, nullptr);
+      return s;
+    }
+    default: {
+      auto s = std::make_unique<RetrieveStmt>();
+      if (rng.Uniform(4) == 0) s->into = "out_" + rng.NextString(2);
+      if (rng.Uniform(4) == 0) s->unique = true;
+      size_t n = 1 + rng.Uniform(3);
+      for (size_t t = 0; t < n; ++t) {
+        if (rng.Uniform(3) == 0) {
+          // Bare column target (no rename).
+          s->targets.push_back(TargetItem{
+              "", Expr::Column(kVars[rng.Uniform(3)], kAttrs[rng.Uniform(5)])});
+        } else if (rng.Uniform(6) == 0) {
+          auto agg = std::make_unique<Expr>();
+          agg->kind = Expr::Kind::kAggregate;
+          const AggFunc funcs[] = {AggFunc::kCount, AggFunc::kSum,
+                                   AggFunc::kAvg,   AggFunc::kMin,
+                                   AggFunc::kMax,   AggFunc::kAny};
+          agg->agg = funcs[rng.Uniform(6)];
+          agg->agg_arg =
+              Expr::Column(kVars[rng.Uniform(3)], kAttrs[rng.Uniform(5)]);
+          if (rng.Uniform(2) == 0) {
+            agg->agg_by =
+                Expr::Column(kVars[rng.Uniform(3)], kAttrs[rng.Uniform(5)]);
+          }
+          if (rng.Uniform(3) == 0) agg->agg_where = GenComparison(rng, 1);
+          s->targets.push_back(
+              TargetItem{"n" + std::to_string(t), std::move(agg)});
+        } else {
+          s->targets.push_back(
+              TargetItem{"x" + std::to_string(t), GenArith(rng, 2)});
+        }
+      }
+      GenTail(rng, &s->valid, &s->where, &s->when, &s->as_of);
+      if (rng.Uniform(4) == 0 && !s->targets.empty() &&
+          !s->targets[0].name.empty()) {
+        s->sort_by.push_back(SortKey{s->targets[0].name, rng.Uniform(2) == 0});
+      }
+      return s;
+    }
+  }
+}
+
+TEST(PrinterPropertyTest, RandomAstPrintParseRoundTrip) {
+  for (uint64_t seed = 1; seed <= 500; ++seed) {
+    Random rng(seed);
+    std::unique_ptr<Statement> original = GenStatement(rng);
+    std::string printed = PrintStatement(*original);
+    SCOPED_TRACE(testing::Message() << "seed " << seed << ": " << printed);
+    auto reparsed = Parser::ParseStatement(printed);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_TRUE(EqStatement(*original, **reparsed))
+        << "reparsed prints as: " << PrintStatement(**reparsed);
+  }
+}
 
 }  // namespace
 }  // namespace tdb
