@@ -7,8 +7,15 @@
 //   BM_DecodeFullRow      vs BM_LazyDecodeTwoAttrs   (zero-copy binding)
 //   BM_EvalAst            vs BM_EvalCompiled         (one predicate, bound)
 //   BM_ScanFilterAst      vs BM_ScanFilterCompiled   (bind + filter loop)
+//   BM_ScanFilterHotPath  vs BM_ScanFilterVectorized (selection-vector
+//                                                     kernel over a morsel)
+//   BM_ExecScanFilter* / BM_ExecJoin*                (end-to-end engine A/B,
+//                                                     tuple vs vectorized)
 //   BM_QueryQ04 / BM_QueryQ07                        (end to end; A/B via
 //                                                     TDB_COMPILED_EXPR=0)
+//
+// scripts/make_bench_exec.py turns the --benchmark_format=json output into
+// the repo-root BENCH_exec.json ns/tuple table.
 
 #include <benchmark/benchmark.h>
 
@@ -18,6 +25,7 @@
 #include "benchlib/workload.h"
 #include "exec/compiled_expr.h"
 #include "exec/eval.h"
+#include "exec/morsel.h"
 #include "exec/version.h"
 #include "types/schema.h"
 
@@ -217,6 +225,79 @@ void BM_ScanFilterHotPath(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kScanTuples);
 }
 BENCHMARK(BM_ScanFilterHotPath);
+
+void BM_ScanFilterVectorized(benchmark::State& state) {
+  Schema schema = BenchSchema();
+  std::vector<std::vector<uint8_t>> recs;
+  for (int i = 0; i < kScanTuples; ++i) recs.push_back(BenchRecord(schema, i));
+  Morsel m;
+  m.EnsureArena(recs.size() * recs[0].size());
+  for (const auto& rec : recs) m.AppendCopy(rec.data(), rec.size(), Tid());
+  auto pred = ProbePredicate();
+  auto prog = CompiledProgram::CompileExpr(*pred);
+  if (!prog.has_value()) std::abort();
+  Binding binding(1, nullptr);
+  VersionRef scratch;
+  SelVec sel;
+  for (auto _ : state) {
+    FillIdentity(&sel, m.size());
+    auto st = prog->EvalBoolBatch(schema, 0, m, &binding, &scratch,
+                                  TimePoint(0), &sel);
+    if (!st.ok()) std::abort();
+    benchmark::DoNotOptimize(sel.data());
+    benchmark::DoNotOptimize(sel.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kScanTuples);
+}
+BENCHMARK(BM_ScanFilterVectorized);
+
+// End-to-end engine A/B on the paper's temporal database: the same query
+// through the full stack (plan, pager, stats) with the morsel engine forced
+// on or off.  Items = the 1024 tuples each execution examines, so the
+// numbers read as ns/tuple alongside the loop benchmarks above.
+void RunEngineBench(benchmark::State& state, const char* text,
+                    bool vectorized) {
+  bench::WorkloadConfig config;
+  config.type = DbType::kTemporal;
+  config.fillfactor = 100;
+  auto db = bench::BenchmarkDb::Create(config);
+  if (!db.ok()) std::abort();
+  SetVectorExecEnabledForTest(vectorized);
+  for (auto _ : state) {
+    auto r = (*db)->db()->Execute(text);
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->affected);
+  }
+  SetVectorExecEnabledForTest(std::nullopt);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+// Full scan + kernel-eligible filter (the Q04/Q07 shape).
+constexpr char kScanFilterQuery[] =
+    "retrieve (h.id, h.amount) where h.amount > 1000 and h.seq >= 0";
+// Two-variable join: per outer row the inner relation is probed on its key.
+constexpr char kJoinQuery[] =
+    "retrieve (h.id, i.amount) where h.id = i.id and h.amount > 1000";
+
+void BM_ExecScanFilterTuple(benchmark::State& state) {
+  RunEngineBench(state, kScanFilterQuery, /*vectorized=*/false);
+}
+BENCHMARK(BM_ExecScanFilterTuple);
+
+void BM_ExecScanFilterVectorized(benchmark::State& state) {
+  RunEngineBench(state, kScanFilterQuery, /*vectorized=*/true);
+}
+BENCHMARK(BM_ExecScanFilterVectorized);
+
+void BM_ExecJoinTuple(benchmark::State& state) {
+  RunEngineBench(state, kJoinQuery, /*vectorized=*/false);
+}
+BENCHMARK(BM_ExecJoinTuple);
+
+void BM_ExecJoinVectorized(benchmark::State& state) {
+  RunEngineBench(state, kJoinQuery, /*vectorized=*/true);
+}
+BENCHMARK(BM_ExecJoinVectorized);
 
 // End-to-end queries on the paper's temporal database (100% loading, uc=0).
 // Whether the compiled path runs is decided process-wide by

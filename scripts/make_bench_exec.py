@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Distills micro_exec --benchmark_format=json output into BENCH_exec.json.
+
+Usage:
+    build/bench/micro_exec --benchmark_format=json > /tmp/micro_exec.json
+    python3 scripts/make_bench_exec.py /tmp/micro_exec.json [-o BENCH_exec.json]
+
+The output is the repo-root ns/tuple table per engine mode: the scan-filter
+loop (per-tuple predicate cost, isolated from the pager) and the end-to-end
+scan-filter / join queries, each tuple-at-a-time vs vectorized, plus the
+speedup ratios the PR's acceptance criteria reference.
+"""
+
+import argparse
+import json
+import sys
+
+# benchmark name -> (section, engine-mode key)
+MAPPING = {
+    "BM_ScanFilterBaseline": ("scan_filter_loop", "decode_row_ast"),
+    "BM_ScanFilterAstLazy": ("scan_filter_loop", "lazy_ast"),
+    "BM_ScanFilterHotPath": ("scan_filter_loop", "compiled_tuple"),
+    "BM_ScanFilterVectorized": ("scan_filter_loop", "vectorized"),
+    "BM_ExecScanFilterTuple": ("exec_scan_filter", "tuple"),
+    "BM_ExecScanFilterVectorized": ("exec_scan_filter", "vectorized"),
+    "BM_ExecJoinTuple": ("exec_join", "tuple"),
+    "BM_ExecJoinVectorized": ("exec_join", "vectorized"),
+}
+
+# (section, numerator-mode, denominator-mode) -> ratio name
+SPEEDUPS = [
+    ("scan_filter_loop", "compiled_tuple", "vectorized",
+     "speedup_vectorized_vs_compiled_tuple"),
+    ("exec_scan_filter", "tuple", "vectorized",
+     "speedup_vectorized_vs_tuple"),
+    ("exec_join", "tuple", "vectorized", "speedup_vectorized_vs_tuple"),
+]
+
+
+def ns_per_tuple(bench):
+    ips = bench.get("items_per_second")
+    if ips:
+        return 1e9 / ips
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("input", help="micro_exec --benchmark_format=json output")
+    parser.add_argument("-o", "--output", default="BENCH_exec.json")
+    args = parser.parse_args()
+
+    with open(args.input) as f:
+        raw = json.load(f)
+
+    table = {}
+    for bench in raw.get("benchmarks", []):
+        key = MAPPING.get(bench.get("name", ""))
+        if key is None:
+            continue
+        npt = ns_per_tuple(bench)
+        if npt is None:
+            continue
+        table.setdefault(key[0], {})[key[1]] = round(npt, 2)
+
+    if not table:
+        sys.exit("no mapped benchmarks found in " + args.input)
+
+    for section, slow, fast, name in SPEEDUPS:
+        modes = table.get(section, {})
+        if slow in modes and fast in modes and modes[fast] > 0:
+            modes[name] = round(modes[slow] / modes[fast], 2)
+
+    out = {
+        "unit": "ns_per_tuple",
+        "source": "bench/micro_exec.cc",
+        "context": {
+            k: raw.get("context", {}).get(k)
+            for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+        },
+    }
+    out.update(table)
+    with open(args.output, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print("wrote", args.output)
+
+
+if __name__ == "__main__":
+    main()

@@ -525,4 +525,414 @@ Result<bool> CompiledProgram::EvalPred(const Binding& binding,
   return bools_.back() != 0;
 }
 
+// ---------------------------------------------------------------------------
+// Batch execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Local replicas of the record codec's little-endian helpers (they live in
+// schema.cc's anonymous namespace); the decode must match DecodeAttr bit
+// for bit so kernel and interpreter agree on every value.
+inline uint64_t BatchGetIntLE(const uint8_t* p, size_t width) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < width; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+inline int64_t BatchSignExtend(uint64_t v, size_t width) {
+  if (width >= 8) return static_cast<int64_t>(v);
+  uint64_t sign = 1ULL << (8 * width - 1);
+  if (v & sign) v |= ~((sign << 1) - 1);
+  return static_cast<int64_t>(v);
+}
+
+/// Valid-time lifespan decoded straight from the record bytes — the same
+/// derivation RefreshIntervals performs through attr().AsTime().  Events
+/// share one stored attribute (valid_from_index == valid_to_index), so
+/// they decode to the degenerate [t, t] exactly as in the scalar path.
+inline Interval DecodeValidInterval(const Schema& schema, const uint8_t* rec) {
+  int from_idx = schema.valid_from_index();
+  if (from_idx < 0) {
+    return Interval(TimePoint::Beginning(), TimePoint::Forever());
+  }
+  auto at = [&](int idx) {
+    return TimePoint(static_cast<int32_t>(
+        BatchGetIntLE(rec + schema.offset(static_cast<size_t>(idx)), 4)));
+  };
+  return Interval(at(from_idx), at(schema.valid_to_index()));
+}
+
+}  // namespace
+
+struct CompiledProgram::BatchKernelCache {
+  // --- scalar: AND-chain of `column OP integer-constant` compares ---
+  struct CmpUnit {
+    int var = 0;
+    int attr = 0;
+    Op op = Op::kCmpEq;  // normalized to (column OP constant)
+    int64_t rhs = 0;
+    std::string name;  // column name for the unbound-tuple error
+  };
+  bool scalar_kernel = false;
+  std::vector<CmpUnit> units;
+
+  // --- predicate: one temporal predicate, var interval vs constant ---
+  enum class IvalSel : uint8_t { kWhole, kStart, kEnd };
+  bool pred_kernel = false;
+  int pred_var = 0;
+  IvalSel pred_sel = IvalSel::kWhole;
+  Op pred_op = Op::kPredOverlap;  // kPredPrecede / kPredOverlap / kPredEqual
+  bool var_is_left = true;
+  bool negate = false;
+  bool const_is_now = false;  // constant side is `now`, resolved per call
+  TimePoint const_time;
+};
+
+namespace {
+
+/// Branch-light selection-vector compaction: decode a W-byte little-endian
+/// integer at `off` in every live record and keep the rows where `cmp`
+/// holds.  The store is unconditional and the increment predicated, so the
+/// loop carries no data-dependent branch.
+template <size_t W, typename Cmp>
+size_t CompactCmp(const Morsel& m, uint16_t off, Cmp cmp, SelVec* sel) {
+  size_t out = 0;
+  for (uint16_t idx : *sel) {
+    int64_t v = BatchSignExtend(BatchGetIntLE(m.rec(idx) + off, W), W);
+    (*sel)[out] = idx;
+    out += cmp(v) ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace
+
+const CompiledProgram::BatchKernelCache& CompiledProgram::Analysis() const {
+  if (batch_cache_ != nullptr) return *batch_cache_;
+  auto cache = std::make_shared<BatchKernelCache>();
+  const size_t n = code_.size();
+
+  if (kind_ == Kind::kScalar) {
+    // Grammar: unit (AndJump unit CoerceBool)*, a unit being the three
+    // instructions of one column-vs-integer-constant compare, with every
+    // AndJump landing immediately after its matching CoerceBool (the shape
+    // EmitExpr produces for left-associated AND chains).  Refining the
+    // selection by each unit in order is then exactly the interpreter's
+    // short-circuit evaluation.
+    auto parse_unit = [&](size_t pos, BatchKernelCache::CmpUnit* u) {
+      if (pos + 3 > n) return false;
+      const Instr& i0 = code_[pos];
+      const Instr& i1 = code_[pos + 1];
+      const Instr& cmp = code_[pos + 2];
+      bool col_first;
+      if (i0.op == Op::kLoadCol && i1.op == Op::kPushInt) {
+        col_first = true;
+      } else if (i0.op == Op::kPushInt && i1.op == Op::kLoadCol) {
+        col_first = false;
+      } else {
+        return false;
+      }
+      switch (cmp.op) {
+        case Op::kCmpEq:
+        case Op::kCmpNe:
+        case Op::kCmpLt:
+        case Op::kCmpLe:
+        case Op::kCmpGt:
+        case Op::kCmpGe:
+          break;
+        default:
+          return false;
+      }
+      const Instr& col = col_first ? i0 : i1;
+      const Instr& cst = col_first ? i1 : i0;
+      u->var = col.a;
+      u->attr = col.b;
+      u->name = col.sval;
+      u->rhs = cst.ival;
+      u->op = cmp.op;
+      if (!col_first) {
+        // constant OP column → column mirrored-OP constant
+        switch (cmp.op) {
+          case Op::kCmpLt:
+            u->op = Op::kCmpGt;
+            break;
+          case Op::kCmpLe:
+            u->op = Op::kCmpGe;
+            break;
+          case Op::kCmpGt:
+            u->op = Op::kCmpLt;
+            break;
+          case Op::kCmpGe:
+            u->op = Op::kCmpLe;
+            break;
+          default:
+            break;  // Eq / Ne are symmetric
+        }
+      }
+      return true;
+    };
+    BatchKernelCache::CmpUnit u;
+    if (parse_unit(0, &u)) {
+      cache->units.push_back(u);
+      size_t pos = 3;
+      bool ok = true;
+      while (ok && pos < n) {
+        if (code_[pos].op != Op::kAndJump || !parse_unit(pos + 1, &u) ||
+            pos + 4 >= n || code_[pos + 4].op != Op::kCoerceBool ||
+            static_cast<size_t>(code_[pos].a) != pos + 5) {
+          ok = false;
+          break;
+        }
+        cache->units.push_back(u);
+        pos += 5;
+      }
+      cache->scalar_kernel = ok && pos == n;
+    }
+    if (!cache->scalar_kernel) cache->units.clear();
+  }
+
+  if (kind_ == Kind::kPredicate) {
+    // Grammar: side side PredOp [PredNot], one side being the variable's
+    // interval (optionally `start of` / `end of`) and the other a constant
+    // or `now` event.  `start of` / `end of` an event is the event itself,
+    // so the transform folds away on the constant side.
+    struct Side {
+      bool is_var = false;
+      int var = 0;
+      BatchKernelCache::IvalSel sel = BatchKernelCache::IvalSel::kWhole;
+      bool is_now = false;
+      TimePoint time;
+      size_t len = 0;
+    };
+    auto parse_side = [&](size_t pos, Side* s) {
+      if (pos >= n) return false;
+      const Instr& i0 = code_[pos];
+      if (i0.op == Op::kIvalVar) {
+        s->is_var = true;
+        s->var = i0.a;
+      } else if (i0.op == Op::kIvalConst) {
+        s->is_var = false;
+        s->is_now = false;
+        s->time = i0.tval;
+      } else if (i0.op == Op::kIvalNow) {
+        s->is_var = false;
+        s->is_now = true;
+      } else {
+        return false;
+      }
+      s->len = 1;
+      s->sel = BatchKernelCache::IvalSel::kWhole;
+      if (pos + 1 < n && (code_[pos + 1].op == Op::kIvalStart ||
+                          code_[pos + 1].op == Op::kIvalEnd)) {
+        s->sel = code_[pos + 1].op == Op::kIvalStart
+                     ? BatchKernelCache::IvalSel::kStart
+                     : BatchKernelCache::IvalSel::kEnd;
+        s->len = 2;
+      }
+      return true;
+    };
+    Side s1, s2;
+    if (parse_side(0, &s1) && parse_side(s1.len, &s2)) {
+      size_t pos = s1.len + s2.len;
+      if (pos < n && (code_[pos].op == Op::kPredPrecede ||
+                      code_[pos].op == Op::kPredOverlap ||
+                      code_[pos].op == Op::kPredEqual)) {
+        Op pop = code_[pos].op;
+        ++pos;
+        bool neg = false;
+        if (pos < n && code_[pos].op == Op::kPredNot) {
+          neg = true;
+          ++pos;
+        }
+        if (pos == n && s1.is_var != s2.is_var) {
+          const Side& vs = s1.is_var ? s1 : s2;
+          const Side& cs = s1.is_var ? s2 : s1;
+          cache->pred_kernel = true;
+          cache->pred_var = vs.var;
+          cache->pred_sel = vs.sel;
+          cache->pred_op = pop;
+          cache->var_is_left = s1.is_var;
+          cache->negate = neg;
+          cache->const_is_now = cs.is_now;
+          cache->const_time = cs.time;
+        }
+      }
+    }
+  }
+
+  batch_cache_ = std::move(cache);
+  return *batch_cache_;
+}
+
+Status CompiledProgram::EvalBatchGeneric(const Schema& schema, int var,
+                                         const Morsel& m, Binding* binding,
+                                         VersionRef* scratch, TimePoint now,
+                                         SelVec* sel) const {
+  if (var < 0 || static_cast<size_t>(var) >= binding->size()) {
+    return Status::Internal("batch filter variable out of range");
+  }
+  (*binding)[static_cast<size_t>(var)] = scratch;
+  size_t out = 0;
+  for (uint16_t idx : *sel) {
+    scratch->BindRaw(schema, m.rec(idx));
+    Result<bool> pass = kind_ == Kind::kPredicate ? EvalPred(*binding, now)
+                                                  : EvalBool(*binding, now);
+    if (!pass.ok()) {
+      (*binding)[static_cast<size_t>(var)] = nullptr;
+      return pass.status();
+    }
+    if (*pass) (*sel)[out++] = idx;
+  }
+  (*binding)[static_cast<size_t>(var)] = nullptr;
+  sel->resize(out);
+  return Status::OK();
+}
+
+Status CompiledProgram::EvalBoolBatch(const Schema& schema, int var,
+                                      const Morsel& m, Binding* binding,
+                                      VersionRef* scratch, TimePoint now,
+                                      SelVec* sel) const {
+  const BatchKernelCache& k = Analysis();
+  if (!k.scalar_kernel) {
+    return EvalBatchGeneric(schema, var, m, binding, scratch, now, sel);
+  }
+  // The fixed-width kernels only cover integer attributes of the morsel's
+  // variable; anything else (float promotion, char/time operands whose
+  // compare errors) takes the interpreter so semantics stay identical.
+  for (const auto& u : k.units) {
+    if (u.var != var) continue;
+    TypeId t = schema.attr(static_cast<size_t>(u.attr)).type;
+    if (t != TypeId::kInt1 && t != TypeId::kInt2 && t != TypeId::kInt4) {
+      return EvalBatchGeneric(schema, var, m, binding, scratch, now, sel);
+    }
+  }
+  for (const auto& u : k.units) {
+    if (sel->empty()) return Status::OK();
+    if (u.var != var) {
+      // Outer variable: one value for the whole morsel — compare once.
+      if (u.var < 0 || static_cast<size_t>(u.var) >= binding->size() ||
+          (*binding)[static_cast<size_t>(u.var)] == nullptr) {
+        return Status::Internal("column '" + u.name +
+                                "' evaluated without a bound tuple");
+      }
+      const Value& cv = (*binding)[static_cast<size_t>(u.var)]->attr(
+          static_cast<size_t>(u.attr));
+      Value rhs = Value::Int4(u.rhs);
+      int c = 0;
+      if (!Value::TryCompare(cv, rhs, &c)) {
+        return Value::Compare(cv, rhs).status();
+      }
+      bool pass = false;
+      switch (u.op) {
+        case Op::kCmpEq:
+          pass = c == 0;
+          break;
+        case Op::kCmpNe:
+          pass = c != 0;
+          break;
+        case Op::kCmpLt:
+          pass = c < 0;
+          break;
+        case Op::kCmpLe:
+          pass = c <= 0;
+          break;
+        case Op::kCmpGt:
+          pass = c > 0;
+          break;
+        default:
+          pass = c >= 0;
+          break;
+      }
+      if (!pass) sel->clear();
+      continue;
+    }
+    const uint16_t off = schema.offset(static_cast<size_t>(u.attr));
+    const size_t w = schema.attr(static_cast<size_t>(u.attr)).width;
+    const int64_t rhs = u.rhs;
+    auto run_cmp = [&](auto cmp) {
+      size_t out;
+      switch (w) {
+        case 1:
+          out = CompactCmp<1>(m, off, cmp, sel);
+          break;
+        case 2:
+          out = CompactCmp<2>(m, off, cmp, sel);
+          break;
+        default:
+          out = CompactCmp<4>(m, off, cmp, sel);
+          break;
+      }
+      sel->resize(out);
+    };
+    switch (u.op) {
+      case Op::kCmpEq:
+        run_cmp([rhs](int64_t v) { return v == rhs; });
+        break;
+      case Op::kCmpNe:
+        run_cmp([rhs](int64_t v) { return v != rhs; });
+        break;
+      case Op::kCmpLt:
+        run_cmp([rhs](int64_t v) { return v < rhs; });
+        break;
+      case Op::kCmpLe:
+        run_cmp([rhs](int64_t v) { return v <= rhs; });
+        break;
+      case Op::kCmpGt:
+        run_cmp([rhs](int64_t v) { return v > rhs; });
+        break;
+      default:
+        run_cmp([rhs](int64_t v) { return v >= rhs; });
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status CompiledProgram::EvalPredBatch(const Schema& schema, int var,
+                                      const Morsel& m, Binding* binding,
+                                      VersionRef* scratch, TimePoint now,
+                                      SelVec* sel) const {
+  const BatchKernelCache& k = Analysis();
+  if (!k.pred_kernel || k.pred_var != var) {
+    return EvalBatchGeneric(schema, var, m, binding, scratch, now, sel);
+  }
+  const Interval cst = Interval::Event(k.const_is_now ? now : k.const_time);
+  size_t out = 0;
+  for (uint16_t idx : *sel) {
+    Interval v = DecodeValidInterval(schema, m.rec(idx));
+    switch (k.pred_sel) {
+      case BatchKernelCache::IvalSel::kStart:
+        v = Interval::Event(v.from);
+        break;
+      case BatchKernelCache::IvalSel::kEnd:
+        v = Interval::Event(v.to);
+        break;
+      default:
+        break;
+    }
+    const Interval& a = k.var_is_left ? v : cst;
+    const Interval& b = k.var_is_left ? cst : v;
+    bool r;
+    switch (k.pred_op) {
+      case Op::kPredPrecede:
+        r = a.Precedes(b);
+        break;
+      case Op::kPredEqual:
+        r = a == b;
+        break;
+      default:
+        r = a.Overlaps(b);
+        break;
+    }
+    r = r != k.negate;
+    (*sel)[out] = idx;
+    out += r ? 1 : 0;
+  }
+  sel->resize(out);
+  return Status::OK();
+}
+
 }  // namespace tdb

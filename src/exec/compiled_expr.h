@@ -1,11 +1,13 @@
 #ifndef CHRONOQUEL_EXEC_COMPILED_EXPR_H_
 #define CHRONOQUEL_EXEC_COMPILED_EXPR_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "exec/eval.h"
+#include "exec/morsel.h"
 #include "temporal/interval.h"
 #include "tquel/ast.h"
 #include "types/value.h"
@@ -67,6 +69,29 @@ class CompiledProgram {
   /// Predicate programs.
   Result<bool> EvalPred(const Binding& binding, TimePoint now) const;
 
+  /// Batch variants over a morsel of raw records (laid out per `schema`)
+  /// bound to variable `var`.  `sel` holds the morsel indexes still live
+  /// and is refined in place, order preserved; rows outside `sel` are
+  /// never evaluated.  `binding` supplies any other (outer) variables;
+  /// `scratch` is a caller-owned VersionRef the generic per-row path
+  /// rebinds row by row (binding[var] is pointed at it and restored to
+  /// null on return).
+  ///
+  /// Per-row semantics are identical to EvalBool/EvalPred.  The fast path
+  /// — an AND-chain of fixed-width integer `attr OP const` compares, or a
+  /// single interval predicate against a constant/now — runs branch-light
+  /// kernels straight over the record bytes.  The only observable
+  /// divergence is error *ordering*: a batch finishes one conjunct over
+  /// all live rows before starting the next, so when several rows would
+  /// error, a different row's error can surface first (the query fails
+  /// either way).
+  Status EvalBoolBatch(const Schema& schema, int var, const Morsel& m,
+                       Binding* binding, VersionRef* scratch, TimePoint now,
+                       SelVec* sel) const;
+  Status EvalPredBatch(const Schema& schema, int var, const Morsel& m,
+                       Binding* binding, VersionRef* scratch, TimePoint now,
+                       SelVec* sel) const;
+
  private:
   enum class Op : uint8_t {
     // scalar value stack
@@ -115,8 +140,18 @@ class CompiledProgram {
   /// matching kind_.
   Status Run(const Binding& binding, TimePoint now) const;
 
+  /// One-time structural analysis of code_ for the batch kernels; defined
+  /// in the .cc.  Shared (not cloned) on program copy — it is derived
+  /// purely from the immutable code_.
+  struct BatchKernelCache;
+  const BatchKernelCache& Analysis() const;
+  Status EvalBatchGeneric(const Schema& schema, int var, const Morsel& m,
+                          Binding* binding, VersionRef* scratch,
+                          TimePoint now, SelVec* sel) const;
+
   Kind kind_;
   std::vector<Instr> code_;
+  mutable std::shared_ptr<BatchKernelCache> batch_cache_;
 
   // Operand stacks, reused across calls (cleared, capacity kept).
   mutable std::vector<Value> vals_;

@@ -1,0 +1,39 @@
+#include "exec/morsel.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "util/stringx.h"
+
+namespace tdb {
+
+namespace {
+std::optional<bool> g_vector_override;
+}  // namespace
+
+bool VectorExecEnabled() {
+  if (g_vector_override.has_value()) return *g_vector_override;
+  static const bool enabled = [] {
+    const char* v = std::getenv("TDB_VECTOR_EXEC");
+    return v == nullptr || std::string_view(v) != "0";
+  }();
+  return enabled;
+}
+
+void SetVectorExecEnabledForTest(std::optional<bool> enabled) {
+  g_vector_override = enabled;
+}
+
+size_t MorselCapacity() {
+  static const size_t cap = [] {
+    const char* v = std::getenv("TDB_MORSEL_CAP");
+    int64_t parsed = 0;
+    if (v == nullptr || !ParseInt64(v, &parsed)) return int64_t{1024};
+    if (parsed < 1) return int64_t{1};
+    if (parsed > 65535) return int64_t{65535};
+    return parsed;
+  }();
+  return cap;
+}
+
+}  // namespace tdb

@@ -38,6 +38,53 @@ class ScopedNodeTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Sums a fixed set of per-file IoCounters — the files one plan node's
+/// storage operations can touch — so scoping an operation's I/O costs a
+/// handful of array adds instead of a registry-wide map walk per tuple.
+/// Correct because a VersionSource (or temp-relation operation) only ever
+/// performs I/O through the pagers registered here; every other file's
+/// counters are provably unchanged across the window.
+class IoWindow {
+ public:
+  void Add(const IoCounters* c) {
+    if (c != nullptr) files_.push_back(c);
+  }
+  void AddRelation(Relation* rel) {
+    Add(rel->primary()->pager()->counters());
+    if (rel->history() != nullptr) Add(rel->history()->pager()->counters());
+    if (rel->anchors() != nullptr) Add(rel->anchors()->pager()->counters());
+    for (const auto& idx : rel->indexes()) {
+      Add(idx->current_counters());
+      Add(idx->history_counters());
+    }
+  }
+  void Begin() { Snapshot(&before_); }
+  /// Adds the delta since the last Begin() into `into`.
+  void End(IoCounters* into) {
+    IoCounters after;
+    Snapshot(&after);
+    AccumulateDelta(into, before_, after);
+  }
+
+ private:
+  void Snapshot(IoCounters* out) const {
+    out->Reset();
+    for (const IoCounters* c : files_) *out += *c;
+  }
+
+  std::vector<const IoCounters*> files_;
+  IoCounters before_;
+};
+
+/// Little-endian int32 load, matching the record codec in types/schema.cc.
+int32_t GetI32LE(const uint8_t* p) {
+  uint32_t v = static_cast<uint32_t>(p[0]) |
+               (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16) |
+               (static_cast<uint32_t>(p[3]) << 24);
+  return static_cast<int32_t>(v);
+}
+
 /// Infers the output attribute for a target expression (used by
 /// `retrieve into` and temp-relation schemas).
 Attribute InferAttribute(const std::string& name, const Expr& expr,
@@ -180,27 +227,200 @@ Status QueryExecutor::ExecuteAccess(AccessNode* node, Binding* binding,
   ++node->stats.loops;
   TDB_ASSIGN_OR_RETURN(AccessSpec spec, SpecFor(*node, *binding));
 
-  IoCounters before = env_.registry->Total();
+  IoWindow win;
+  win.AddRelation(node->rel);
+  win.Begin();
   auto src_result = VersionSource::Create(node->rel, std::move(spec));
-  AccumulateDelta(&node->stats.io, before, env_.registry->Total());
+  win.End(&node->stats.io);
   if (!src_result.ok()) return src_result.status();
   std::unique_ptr<VersionSource> src = std::move(*src_result);
 
   bool tx_time = HasTransactionTime(node->rel->schema().db_type());
+  // Row counters accumulate locally and land on the node once per scan,
+  // keeping the stats stores out of the inner loop.
+  uint64_t examined = 0;
+  uint64_t emitted = 0;
+  Status status = Status::OK();
   while (true) {
-    before = env_.registry->Total();
+    win.Begin();
     auto have_result = src->Next();
-    AccumulateDelta(&node->stats.io, before, env_.registry->Total());
-    if (!have_result.ok()) return have_result.status();
+    win.End(&node->stats.io);
+    if (!have_result.ok()) {
+      status = have_result.status();
+      break;
+    }
     if (!*have_result) break;
-    ++node->stats.rows_examined;
+    ++examined;
     (*binding)[static_cast<size_t>(node->var)] = &src->ref();
     if (tx_time && !QualifiesAsOf(src->ref().tx)) continue;
-    ++node->stats.rows_emitted;
-    TDB_RETURN_NOT_OK(body(*binding));
+    ++emitted;
+    status = body(*binding);
+    if (!status.ok()) break;
   }
   (*binding)[static_cast<size_t>(node->var)] = nullptr;
+  node->stats.rows_examined += examined;
+  node->stats.rows_emitted += emitted;
+  return status;
+}
+
+std::unique_ptr<QueryExecutor::VecScratch> QueryExecutor::AcquireVecScratch() {
+  if (vec_pool_.empty()) return std::make_unique<VecScratch>();
+  auto s = std::move(vec_pool_.back());
+  vec_pool_.pop_back();
+  return s;
+}
+
+void QueryExecutor::ReleaseVecScratch(std::unique_ptr<VecScratch> s) {
+  vec_pool_.push_back(std::move(s));
+}
+
+void QueryExecutor::FilterAsOfBatch(const Schema& schema, const Morsel& m,
+                                    SelVec* sel) const {
+  const uint16_t so = schema.offset(static_cast<size_t>(schema.tx_start_index()));
+  const uint16_t eo = schema.offset(static_cast<size_t>(schema.tx_stop_index()));
+  size_t out = 0;
+  for (uint16_t idx : *sel) {
+    const uint8_t* rec = m.rec(idx);
+    Interval tx(TimePoint(GetI32LE(rec + so)), TimePoint(GetI32LE(rec + eo)));
+    (*sel)[out] = idx;
+    out += QualifiesAsOf(tx) ? 1 : 0;
+  }
+  sel->resize(out);
+}
+
+Status QueryExecutor::EvalFilterBatch(const FilterNode& filter,
+                                      const Schema& schema, int var,
+                                      const Morsel& m, Binding* binding,
+                                      VersionRef* scratch, SelVec* sel) {
+  // Compiled fast path, mirroring EvalFilter's all-or-nothing gate: every
+  // conjunct runs as a batch kernel (or the program's generic row loop),
+  // refining `sel` in short-circuit order.
+  if (filter.where_prog.size() == filter.where.size() &&
+      filter.when_prog.size() == filter.when.size() &&
+      (!filter.where_prog.empty() || !filter.when_prog.empty())) {
+    for (const CompiledProgram& prog : filter.where_prog) {
+      if (sel->empty()) return Status::OK();
+      TDB_RETURN_NOT_OK(prog.EvalBoolBatch(schema, var, m, binding, scratch,
+                                           env_.now, sel));
+    }
+    for (const CompiledProgram& prog : filter.when_prog) {
+      if (sel->empty()) return Status::OK();
+      TDB_RETURN_NOT_OK(prog.EvalPredBatch(schema, var, m, binding, scratch,
+                                           env_.now, sel));
+    }
+    return Status::OK();
+  }
+  // AST fallback: interpret per row over the selection.
+  (*binding)[static_cast<size_t>(var)] = scratch;
+  size_t out = 0;
+  for (uint16_t idx : *sel) {
+    scratch->BindRaw(schema, m.rec(idx));
+    scratch->in_history = m.in_history;
+    bool pass = true;
+    for (const Expr* e : filter.where) {
+      TDB_ASSIGN_OR_RETURN(pass, eval_.EvalBool(*e, *binding));
+      if (!pass) break;
+    }
+    if (pass) {
+      for (const TemporalPred* p : filter.when) {
+        TDB_ASSIGN_OR_RETURN(pass, eval_.EvalPred(*p, *binding));
+        if (!pass) break;
+      }
+    }
+    if (pass) (*sel)[out++] = idx;
+  }
+  (*binding)[static_cast<size_t>(var)] = nullptr;
+  sel->resize(out);
   return Status::OK();
+}
+
+Status QueryExecutor::ExecuteAccessVectorized(AccessNode* node,
+                                              FilterNode* filter,
+                                              Binding* binding,
+                                              const EmitFn& body) {
+  ScopedNodeTimer timer(timing_, &node->stats);
+  node->stats.executed = true;
+  ++node->stats.loops;
+  TDB_ASSIGN_OR_RETURN(AccessSpec spec, SpecFor(*node, *binding));
+
+  IoWindow win;
+  win.AddRelation(node->rel);
+  win.Begin();
+  auto src_result = VersionSource::Create(node->rel, std::move(spec));
+  win.End(&node->stats.io);
+  if (!src_result.ok()) return src_result.status();
+  std::unique_ptr<VersionSource> src = std::move(*src_result);
+
+  const Schema& schema = node->rel->schema();
+  const bool tx_time = HasTransactionTime(schema.db_type());
+  const size_t cap = MorselCapacity();
+  const size_t var = static_cast<size_t>(node->var);
+
+  std::unique_ptr<VecScratch> scratch = AcquireVecScratch();
+  Morsel& m = scratch->morsel;
+  SelVec& sel = scratch->sel;
+  VersionRef& ref = scratch->ref;
+
+  uint64_t examined = 0;
+  uint64_t emitted = 0;
+  uint64_t filter_examined = 0;
+  uint64_t filter_emitted = 0;
+  Status status = Status::OK();
+  while (status.ok()) {
+    win.Begin();
+    auto n_result = src->NextBatch(&m, cap);
+    win.End(&node->stats.io);
+    if (!n_result.ok()) {
+      status = n_result.status();
+      break;
+    }
+    const size_t n = *n_result;
+    if (n == 0) break;
+    examined += n;
+    FillIdentity(&sel, n);
+    if (tx_time) FilterAsOfBatch(schema, m, &sel);
+    emitted += sel.size();
+    if (filter != nullptr) {
+      filter_examined += sel.size();
+      status = EvalFilterBatch(*filter, schema, node->var, m, binding, &ref,
+                               &sel);
+      if (!status.ok()) break;
+      filter_emitted += sel.size();
+    }
+    // Emit the survivors tuple-wise; the consumer never sees morsels, so
+    // every downstream path (join recursion, projection) is unchanged.
+    for (uint16_t idx : sel) {
+      ref.BindRaw(schema, m.rec(idx));
+      ref.tid = m.tid(idx);
+      ref.in_history = m.in_history;
+      (*binding)[var] = &ref;
+      status = body(*binding);
+      if (!status.ok()) break;
+    }
+  }
+  (*binding)[var] = nullptr;
+  node->stats.rows_examined += examined;
+  node->stats.rows_emitted += emitted;
+  if (filter != nullptr) {
+    filter->stats.rows_examined += filter_examined;
+    filter->stats.rows_emitted += filter_emitted;
+  }
+  ReleaseVecScratch(std::move(scratch));
+  return status;
+}
+
+Status QueryExecutor::ExecuteLevelVectorized(PlanNode* level, Binding* binding,
+                                             const EmitFn& body) {
+  if (level->kind == PlanNode::Kind::kFilter) {
+    auto* filter = static_cast<FilterNode*>(level);
+    ScopedNodeTimer timer(timing_, &filter->stats);
+    filter->stats.executed = true;
+    ++filter->stats.loops;
+    return ExecuteAccessVectorized(
+        static_cast<AccessNode*>(filter->child.get()), filter, binding, body);
+  }
+  return ExecuteAccessVectorized(static_cast<AccessNode*>(level), nullptr,
+                                 binding, body);
 }
 
 Status QueryExecutor::ExecuteLevel(PlanNode* level, Binding* binding,
@@ -228,16 +448,35 @@ Status QueryExecutor::ExecuteNestedLoop(NestedLoopNode* node, size_t level,
   if (level == 0) {
     node->stats.executed = true;
     ++node->stats.loops;
+    if (vectorized_) {
+      // Batching routing rule: a non-innermost level holds zero-copy morsel
+      // slices pinned in its relation's buffer frame while the levels below
+      // it run, so it may batch only when no inner level reads the same
+      // relation (a self-join's inner rescans would evict the pinned frame
+      // and change the outer's page re-read counts).  The innermost level
+      // is always safe: its per-row body performs no page I/O.
+      std::set<const Relation*> rels;
+      nlj_distinct_rels_ = true;
+      for (const auto& lv : node->levels) {
+        if (!rels.insert(AccessOf(lv.get())->rel).second) {
+          nlj_distinct_rels_ = false;
+          break;
+        }
+      }
+    }
   }
   if (level == node->levels.size()) {
     ++node->stats.rows_emitted;
     return emit(*binding);
   }
-  return ExecuteLevel(node->levels[level].get(), binding,
-                      [&](const Binding&) -> Status {
-                        return ExecuteNestedLoop(node, level + 1, binding,
-                                                 emit);
-                      });
+  const bool innermost = level + 1 == node->levels.size();
+  const bool batch = vectorized_ && (innermost || nlj_distinct_rels_);
+  const EmitFn next = [&](const Binding&) -> Status {
+    return ExecuteNestedLoop(node, level + 1, binding, emit);
+  };
+  return batch ? ExecuteLevelVectorized(node->levels[level].get(), binding,
+                                        next)
+               : ExecuteLevel(node->levels[level].get(), binding, next);
 }
 
 Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
@@ -288,14 +527,18 @@ Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
   std::string temp_path = env_.dir + "/" + temp_name + ".dat";
   RecordLayout temp_layout;
   temp_layout.record_size = temp_schema.record_size();
-  IoCounters before = env_.registry->Total();
+  // The substitution node's own I/O all flows through the temp file, so its
+  // window watches just that one counter block.
+  IoWindow temp_win;
+  IoCounters* temp_counters = env_.registry->ForFile(temp_name);
+  temp_win.Add(temp_counters);
+  temp_win.Begin();
   // Detachment temporaries are scratch: deleted at the end of the query and
   // orphaned harmlessly by a crash (the catalog never references them), so
   // they deliberately bypass the journal.
   auto temp_pager_result =
-      Pager::Open(env_.env, temp_path, env_.registry->ForFile(temp_name),
-                  env_.buffer_frames);
-  AccumulateDelta(&node->stats.io, before, env_.registry->Total());
+      Pager::Open(env_.env, temp_path, temp_counters, env_.buffer_frames);
+  temp_win.End(&node->stats.io);
   if (!temp_pager_result.ok()) return temp_pager_result.status();
   TDB_RETURN_NOT_OK((*temp_pager_result)->Reset());
   TDB_ASSIGN_OR_RETURN(auto temp,
@@ -303,20 +546,25 @@ Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
                                       temp_layout, IoCategory::kTemp));
 
   Row trow;  // scratch, reused across outer rows
-  TDB_RETURN_NOT_OK(ExecuteLevel(
-      node->outer.get(), binding, [&](const Binding& b) -> Status {
-        const VersionRef* ref = b[static_cast<size_t>(outer_var)];
-        trow.clear();
-        trow.reserve(proj_attrs.size());
-        for (int ai : proj_attrs) {
-          trow.push_back(ref->attr(static_cast<size_t>(ai)));
-        }
-        TDB_ASSIGN_OR_RETURN(auto rec, EncodeRecord(temp_schema, trow));
-        IoCounters pre = env_.registry->Total();
-        Status st = temp->Insert(rec.data(), rec.size(), nullptr);
-        AccumulateDelta(&node->stats.io, pre, env_.registry->Total());
-        return st;
-      }));
+  const EmitFn detach = [&](const Binding& b) -> Status {
+    const VersionRef* ref = b[static_cast<size_t>(outer_var)];
+    trow.clear();
+    trow.reserve(proj_attrs.size());
+    for (int ai : proj_attrs) {
+      trow.push_back(ref->attr(static_cast<size_t>(ai)));
+    }
+    TDB_ASSIGN_OR_RETURN(auto rec, EncodeRecord(temp_schema, trow));
+    temp_win.Begin();
+    Status st = temp->Insert(rec.data(), rec.size(), nullptr);
+    temp_win.End(&node->stats.io);
+    return st;
+  };
+  // The detachment body writes only to the temp pager, never to the outer
+  // relation's files, so the outer level may batch with zero-copy morsels.
+  TDB_RETURN_NOT_OK(vectorized_
+                        ? ExecuteLevelVectorized(node->outer.get(), binding,
+                                                 detach)
+                        : ExecuteLevel(node->outer.get(), binding, detach));
 
   // ---- tuple substitution: probe the inner variable per temp row ----
   VersionRef outer_ref;  // reconstructed full-schema version
@@ -328,16 +576,18 @@ Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
   Value cached_key;
   std::vector<VersionRef> cached_matches;
   bool inner_tx_time = HasTransactionTime(inner_rel->schema().db_type());
+  IoWindow inner_win;
+  inner_win.AddRelation(inner_rel);
   {
-    before = env_.registry->Total();
+    temp_win.Begin();
     auto cur_result = temp->Scan();
-    AccumulateDelta(&node->stats.io, before, env_.registry->Total());
+    temp_win.End(&node->stats.io);
     if (!cur_result.ok()) return cur_result.status();
     auto cur = std::move(*cur_result);
     while (status.ok()) {
-      before = env_.registry->Total();
+      temp_win.Begin();
       auto have_result = cur->Next();
-      AccumulateDelta(&node->stats.io, before, env_.registry->Total());
+      temp_win.End(&node->stats.io);
       if (!have_result.ok()) return have_result.status();
       if (!*have_result) break;
       // Expand into a full-schema row (unprojected attributes default),
@@ -374,7 +624,7 @@ Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
         cached_matches.clear();
         inner_access->stats.executed = true;
         ++inner_access->stats.loops;
-        before = env_.registry->Total();
+        inner_win.Begin();
         auto src_result = VersionSource::Create(inner_rel, std::move(spec));
         if (src_result.ok()) {
           auto& src = *src_result;
@@ -391,8 +641,7 @@ Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
             cached_matches.push_back(src->ref().Clone());
           }
         }
-        AccumulateDelta(&inner_access->stats.io, before,
-                        env_.registry->Total());
+        inner_win.End(&inner_access->stats.io);
         if (!src_result.ok()) return src_result.status();
         TDB_RETURN_NOT_OK(status);
       }
@@ -417,10 +666,10 @@ Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
     }
   }
   (*binding)[static_cast<size_t>(outer_var)] = nullptr;
-  before = env_.registry->Total();
+  temp_win.Begin();
   temp.reset();  // flush before deleting
   (void)env_.env->DeleteFile(temp_path);
-  AccumulateDelta(&node->stats.io, before, env_.registry->Total());
+  temp_win.End(&node->stats.io);
   return status;
 }
 
@@ -577,6 +826,7 @@ Status QueryExecutor::FoldAggregates(RetrieveStmt* stmt,
 Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
                                            const BoundStatement& bound) {
   timing_ = env_.registry->metrics() != nullptr;
+  vectorized_ = VectorExecEnabled();
   obs::TraceSpan span(env_.registry->metrics(), "exec.retrieve");
   stmt_ = stmt;
   rels_.clear();
@@ -706,7 +956,10 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
     TDB_RETURN_NOT_OK(ExecuteSubstitution(
         static_cast<SubstitutionNode*>(input), &binding, emit));
   } else {
-    TDB_RETURN_NOT_OK(ExecuteLevel(input, &binding, emit));
+    // A lone level's emit body does no page I/O, so batching is always safe.
+    TDB_RETURN_NOT_OK(vectorized_
+                          ? ExecuteLevelVectorized(input, &binding, emit)
+                          : ExecuteLevel(input, &binding, emit));
   }
 
   // `sort by` orders the result by named output columns (stable, so

@@ -57,6 +57,31 @@ class QueryExecutor {
   /// Streams an access leaf, accumulating its stats and I/O.
   Status ExecuteAccess(AccessNode* node, Binding* binding, const EmitFn& body);
 
+  // --- vectorized (morsel-at-a-time) variants, used when VectorExecEnabled()
+  // and the level is safe to batch (see ExecuteNestedLoop's routing rule) ---
+
+  /// Morsel-driven ExecuteLevel: fuses the level's access leaf and optional
+  /// FilterNode — versions are gathered in batches, the as-of check and the
+  /// residual conjuncts run as selection-vector kernels, and `body` is
+  /// invoked per surviving row.  Row/IO/loop stats match the tuple path.
+  Status ExecuteLevelVectorized(PlanNode* level, Binding* binding,
+                                const EmitFn& body);
+  Status ExecuteAccessVectorized(AccessNode* node, FilterNode* filter,
+                                 Binding* binding, const EmitFn& body);
+
+  /// Drops from `sel` the morsel rows whose transaction interval fails the
+  /// statement's as-of qualification.  Only called for schemas with
+  /// transaction time.
+  void FilterAsOfBatch(const Schema& schema, const Morsel& m,
+                       SelVec* sel) const;
+
+  /// Batch form of EvalFilter over `sel` (refined in place).  Uses the
+  /// compiled batch kernels when the node's conjuncts all compiled,
+  /// otherwise interprets the ASTs row by row through `scratch`.
+  Status EvalFilterBatch(const FilterNode& filter, const Schema& schema,
+                         int var, const Morsel& m, Binding* binding,
+                         VersionRef* scratch, SelVec* sel);
+
   Status ExecuteNestedLoop(NestedLoopNode* node, size_t level,
                            Binding* binding, const EmitFn& emit);
   Status ExecuteSubstitution(SubstitutionNode* node, Binding* binding,
@@ -80,6 +105,29 @@ class QueryExecutor {
   bool has_through_ = false;
   TimePoint as_of_through_;
   int temp_counter_ = 0;
+
+  /// True when this statement runs the morsel-driven engine (the
+  /// TDB_VECTOR_EXEC lever, sampled once per Retrieve).
+  bool vectorized_ = false;
+  /// Within a nested loop: true when every level reads a distinct relation.
+  /// Zero-copy morsels pin one buffer frame of their relation's pager, so a
+  /// non-innermost level may batch only if the levels below it never touch
+  /// the same pager (a self-join's inner rescans would both evict the
+  /// outer's pinned frame and change the re-read counts).  The innermost
+  /// level is always safe: its per-row body does no page I/O.
+  bool nlj_distinct_rels_ = true;
+
+  /// Reusable per-level batch state (morsel arena, selection vector, and the
+  /// scratch VersionRef rows are bound through).  Pooled so inner levels —
+  /// reopened once per outer row — do not reallocate every time.
+  struct VecScratch {
+    Morsel morsel;
+    SelVec sel;
+    VersionRef ref;
+  };
+  std::unique_ptr<VecScratch> AcquireVecScratch();
+  void ReleaseVecScratch(std::unique_ptr<VecScratch> s);
+  std::vector<std::unique_ptr<VecScratch>> vec_pool_;
 };
 
 }  // namespace tdb

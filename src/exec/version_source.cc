@@ -28,6 +28,20 @@ Result<bool> VersionSource::Next() {
   return Status::Internal("unreachable access kind");
 }
 
+Result<size_t> VersionSource::NextBatch(Morsel* m, size_t max) {
+  m->Clear();
+  switch (spec_.kind) {
+    case AccessSpec::Kind::kScan:
+    case AccessSpec::Kind::kRange:
+      return NextScanBatch(m, max);
+    case AccessSpec::Kind::kKeyed:
+      return NextKeyedBatch(m, max);
+    case AccessSpec::Kind::kIndexEq:
+      return NextIndexBatch(m, max);
+  }
+  return Status::Internal("unreachable access kind");
+}
+
 Result<bool> VersionSource::NextScan() {
   const Schema& schema = rel_->schema();
   while (true) {
@@ -70,6 +84,109 @@ Result<bool> VersionSource::NextScan() {
     ref_.in_history = in_history;
     return true;
   }
+}
+
+Result<size_t> VersionSource::NextScanBatch(Morsel* m, size_t max) {
+  while (true) {
+    if (stage_ == Stage::kDone) return 0;
+    if (cursor_ == nullptr) {
+      if (stage_ == Stage::kPrimary) {
+        if (spec_.kind == AccessSpec::Kind::kRange) {
+          TDB_ASSIGN_OR_RETURN(
+              cursor_, rel_->primary()->ScanRange(spec_.lo, spec_.lo_inclusive,
+                                                  spec_.hi,
+                                                  spec_.hi_inclusive));
+        } else {
+          TDB_ASSIGN_OR_RETURN(cursor_, rel_->primary()->Scan());
+        }
+      } else {
+        TDB_ASSIGN_OR_RETURN(cursor_, rel_->history()->Scan());
+      }
+    }
+    TDB_ASSIGN_OR_RETURN(size_t n, cursor_->NextBatch(m, max));
+    if (n == 0) {
+      cursor_.reset();
+      if (stage_ == Stage::kPrimary && rel_->two_level() &&
+          !spec_.current_only) {
+        stage_ = Stage::kHistoryScan;
+        continue;
+      }
+      stage_ = Stage::kDone;
+      return 0;
+    }
+    m->in_history = stage_ == Stage::kHistoryScan;
+    return n;
+  }
+}
+
+Result<size_t> VersionSource::NextKeyedBatch(Morsel* m, size_t max) {
+  while (true) {
+    switch (stage_) {
+      case Stage::kPrimary: {
+        if (cursor_ == nullptr) {
+          TDB_ASSIGN_OR_RETURN(cursor_, rel_->primary()->ScanKey(spec_.key));
+        }
+        TDB_ASSIGN_OR_RETURN(size_t n, cursor_->NextBatch(m, max));
+        if (n > 0) {
+          m->in_history = false;
+          return n;
+        }
+        cursor_.reset();
+        if (rel_->two_level() && !spec_.current_only) {
+          TDB_ASSIGN_OR_RETURN(chain_next_, rel_->AnchorLookup(spec_.key));
+          stage_ = Stage::kHistoryChain;
+          continue;
+        }
+        stage_ = Stage::kDone;
+        return 0;
+      }
+      case Stage::kHistoryChain: {
+        // Point fetches: the bytes go into the morsel arena, so they stay
+        // valid across the chain's page walks.
+        size_t n = 0;
+        while (chain_next_.has_value() && n < max) {
+          Tid tid = *chain_next_;
+          TDB_ASSIGN_OR_RETURN(owned_rec_, rel_->FetchHistory(tid));
+          TDB_ASSIGN_OR_RETURN(chain_next_, rel_->HistoryBackPtr(tid));
+          if (n == 0) m->EnsureArena(max * owned_rec_.size());
+          m->AppendCopy(owned_rec_.data(), owned_rec_.size(), tid);
+          ++n;
+        }
+        if (n == 0) {
+          stage_ = Stage::kDone;
+          return 0;
+        }
+        m->in_history = true;
+        return n;
+      }
+      default:
+        return 0;
+    }
+  }
+}
+
+Result<size_t> VersionSource::NextIndexBatch(Morsel* m, size_t max) {
+  if (!entries_loaded_) {
+    TDB_ASSIGN_OR_RETURN(entries_,
+                         spec_.index->Lookup(spec_.key, spec_.current_only));
+    entries_loaded_ = true;
+    entry_pos_ = 0;
+  }
+  if (entry_pos_ >= entries_.size()) return 0;
+  // Cut the morsel where in_history flips so the flag stays uniform.
+  const bool hist = entries_[entry_pos_].in_history;
+  size_t n = 0;
+  while (entry_pos_ < entries_.size() && n < max &&
+         entries_[entry_pos_].in_history == hist) {
+    const IndexEntryRef& entry = entries_[entry_pos_++];
+    TDB_ASSIGN_OR_RETURN(owned_rec_, hist ? rel_->FetchHistory(entry.tid)
+                                          : rel_->FetchPrimary(entry.tid));
+    if (n == 0) m->EnsureArena(max * owned_rec_.size());
+    m->AppendCopy(owned_rec_.data(), owned_rec_.size(), entry.tid);
+    ++n;
+  }
+  m->in_history = hist;
+  return n;
 }
 
 Result<bool> VersionSource::NextKeyed() {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/relation.h"
+#include "exec/morsel.h"
 #include "exec/version.h"
 #include "index/secondary_index.h"
 
@@ -45,6 +46,14 @@ class VersionSource {
   Result<bool> Next();
   const VersionRef& ref() const { return ref_; }
 
+  /// Batch variant: clears `m`, gathers up to `max` versions — all from the
+  /// same store, so `m->in_history` is uniform — and returns the count
+  /// (0 = end of stream).  Page-I/O order and counts are identical to an
+  /// equivalent sequence of Next() calls; scan-shaped paths gather
+  /// zero-copy frame slices cut at every page fetch, point-fetch paths
+  /// (history chains, index entries) copy into the morsel arena.
+  Result<size_t> NextBatch(Morsel* m, size_t max);
+
  private:
   VersionSource(Relation* rel, AccessSpec spec)
       : rel_(rel), spec_(std::move(spec)) {}
@@ -52,6 +61,9 @@ class VersionSource {
   Result<bool> NextScan();
   Result<bool> NextKeyed();
   Result<bool> NextIndex();
+  Result<size_t> NextScanBatch(Morsel* m, size_t max);
+  Result<size_t> NextKeyedBatch(Morsel* m, size_t max);
+  Result<size_t> NextIndexBatch(Morsel* m, size_t max);
 
   Relation* rel_;
   AccessSpec spec_;

@@ -75,6 +75,14 @@ class SecondaryIndex {
   Result<std::vector<IndexEntryRef>> Lookup(const Value& key,
                                             bool current_only);
 
+  /// I/O counters of the index's structures (history null for a 1-level
+  /// index).  The executor sums these — instead of walking the whole
+  /// registry — when attributing per-node I/O.
+  IoCounters* current_counters() { return current_->pager()->counters(); }
+  IoCounters* history_counters() {
+    return history_ == nullptr ? nullptr : history_->pager()->counters();
+  }
+
   /// Flushes and empties the buffer frames of both structures.
   Status FlushAndDrop() {
     TDB_RETURN_NOT_OK(current_->pager()->FlushAndDrop());

@@ -47,6 +47,37 @@ class ChainCursor : public Cursor {
     }
   }
 
+  Result<size_t> NextBatch(RecordBatch* batch, size_t max) override {
+    // Zero-copy gather of one chain page at a time (key filter applied
+    // inline).  The overflow link is read from the frame before returning,
+    // so no slice outlives a page fetch.
+    while (true) {
+      if (page_ == kNoPage) return 0;
+      TDB_ASSIGN_OR_RETURN(uint8_t* frame,
+                           pager_->ReadPage(page_, category_of_(page_)));
+      Page page(frame, layout_.record_size);
+      size_t n = 0;
+      while (slot_ < page.capacity() && n < max) {
+        uint16_t s = slot_++;
+        if (!page.SlotUsed(s)) continue;
+        if (key_.has_value() &&
+            !layout_.KeyOf(page.RecordAt(s)).Equals(*key_)) {
+          continue;
+        }
+        batch->AppendSlice(page.RecordAt(s), Tid{page_, s});
+        ++n;
+      }
+      if (slot_ >= page.capacity()) {
+        page_ = page.next_overflow();
+        slot_ = 0;
+      }
+      if (n > 0) {
+        batch->SetSource(pager_);
+        return n;
+      }
+    }
+  }
+
  private:
   Pager* pager_;
   RecordLayout layout_;

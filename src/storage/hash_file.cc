@@ -35,6 +35,32 @@ class HashScanCursor : public Cursor {
     }
   }
 
+  Result<size_t> NextBatch(RecordBatch* batch, size_t max) override {
+    // Zero-copy page-at-a-time gather; cut at every page fetch so slices
+    // only ever alias the single resident frame.
+    while (true) {
+      if (page_ >= pager_->page_count()) return 0;
+      TDB_ASSIGN_OR_RETURN(uint8_t* frame,
+                           pager_->ReadPage(page_, file_->CategoryOf(page_)));
+      Page page(frame, layout_.record_size);
+      size_t n = 0;
+      while (slot_ < page.capacity() && n < max) {
+        uint16_t s = slot_++;
+        if (!page.SlotUsed(s)) continue;
+        batch->AppendSlice(page.RecordAt(s), Tid{page_, s});
+        ++n;
+      }
+      if (slot_ >= page.capacity()) {
+        ++page_;
+        slot_ = 0;
+      }
+      if (n > 0) {
+        batch->SetSource(pager_);
+        return n;
+      }
+    }
+  }
+
  private:
   HashFile* file_;
   Pager* pager_;

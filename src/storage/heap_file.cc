@@ -31,6 +31,31 @@ class LinearCursor : public Cursor {
     }
   }
 
+  Result<size_t> NextBatch(RecordBatch* batch, size_t max) override {
+    // Zero-copy: slices alias the frame of the page just read, so the batch
+    // is cut at every page fetch — identical I/O order/counts to Next().
+    while (true) {
+      if (page_ >= pager_->page_count()) return 0;
+      TDB_ASSIGN_OR_RETURN(uint8_t* frame, pager_->ReadPage(page_, cat_));
+      Page page(frame, layout_.record_size);
+      size_t n = 0;
+      while (slot_ < page.capacity() && n < max) {
+        uint16_t s = slot_++;
+        if (!page.SlotUsed(s)) continue;
+        batch->AppendSlice(page.RecordAt(s), Tid{page_, s});
+        ++n;
+      }
+      if (slot_ >= page.capacity()) {
+        ++page_;
+        slot_ = 0;
+      }
+      if (n > 0) {
+        batch->SetSource(pager_);
+        return n;
+      }
+    }
+  }
+
  private:
   Pager* pager_;
   RecordLayout layout_;

@@ -126,6 +126,53 @@ class IsamScanCursor : public Cursor {
     }
   }
 
+  Result<size_t> NextBatch(RecordBatch* batch, size_t max) override {
+    // Same walk as Next() — primary pages then their chains, bounds checked
+    // per record — but gathering zero-copy slices one page at a time.
+    while (true) {
+      if (page_ == kNoPage) {
+        if (primary_ >= data_pages_ || primary_ > last_primary_ ||
+            past_range_) {
+          return 0;
+        }
+        page_ = primary_++;
+        slot_ = 0;
+      }
+      TDB_ASSIGN_OR_RETURN(uint8_t* frame,
+                           pager_->ReadPage(page_, file_->CategoryOf(page_)));
+      Page page(frame, layout_.record_size);
+      size_t n = 0;
+      while (slot_ < page.capacity() && n < max) {
+        uint16_t s = slot_++;
+        if (!page.SlotUsed(s)) continue;
+        if (lo_.has_value() || hi_.has_value()) {
+          Value key = layout_.KeyOf(page.RecordAt(s));
+          if (hi_.has_value()) {
+            TDB_ASSIGN_OR_RETURN(int c, Value::Compare(key, *hi_));
+            if (c > 0 || (c == 0 && !hi_inclusive_)) {
+              past_range_ = true;  // later primary pages are all larger
+              continue;
+            }
+          }
+          if (lo_.has_value()) {
+            TDB_ASSIGN_OR_RETURN(int c, Value::Compare(key, *lo_));
+            if (c < 0 || (c == 0 && !lo_inclusive_)) continue;
+          }
+        }
+        batch->AppendSlice(page.RecordAt(s), Tid{page_, s});
+        ++n;
+      }
+      if (slot_ >= page.capacity()) {
+        page_ = page.next_overflow();
+        slot_ = 0;
+      }
+      if (n > 0) {
+        batch->SetSource(pager_);
+        return n;
+      }
+    }
+  }
+
  private:
   IsamFile* file_;
   Pager* pager_;

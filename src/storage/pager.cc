@@ -102,6 +102,7 @@ Result<uint8_t*> Pager::ReadPage(uint32_t pno, IoCategory cat) {
     frame->pno = pno;
     frame->category = cat;
     frame->dirty = false;
+    ++generation_;
   }
   frame->last_use = ++tick_;
   last_touched_ = frame;
@@ -124,6 +125,7 @@ Result<uint32_t> Pager::AllocatePage(IoCategory cat) {
   frame->dirty = true;
   frame->last_use = ++tick_;
   last_touched_ = frame;
+  ++generation_;
   ++page_count_;
   // Extend the file now so page_count derived from size stays consistent
   // even if the frame is evicted later.
@@ -149,6 +151,7 @@ Status Pager::FlushAndDrop() {
   TDB_RETURN_NOT_OK(Flush());
   for (Frame& frame : frames_) frame.pno = kNoPage;
   last_touched_ = nullptr;
+  ++generation_;
   return Status::OK();
 }
 
@@ -161,6 +164,7 @@ Status Pager::Reset() {
     frame.dirty = false;
   }
   last_touched_ = nullptr;
+  ++generation_;
   page_count_ = 0;
   return file_->Truncate(0);
 }
@@ -171,6 +175,7 @@ void Pager::DiscardAll() {
     frame.dirty = false;
   }
   last_touched_ = nullptr;
+  ++generation_;
 }
 
 }  // namespace tdb

@@ -79,6 +79,14 @@ class Pager {
   IoCounters* counters() const { return counters_; }
   int num_frames() const { return static_cast<int>(frames_.size()); }
 
+  /// Monotonic count of frame-content changes: bumped whenever any frame is
+  /// (re)loaded, allocated, or invalidated (ReadPage miss, AllocatePage,
+  /// FlushAndDrop, DiscardAll, Reset).  A frame pointer returned by
+  /// ReadPage — and every record slice cut from it — is valid only while
+  /// the generation is unchanged; batch consumers snapshot it and assert
+  /// (debug builds) before dereferencing their slices.
+  uint64_t generation() const { return generation_; }
+
   /// Truncates to zero pages (used by `modify`, which rebuilds the file).
   Status Reset();
 
@@ -123,6 +131,7 @@ class Pager {
   std::vector<Frame> frames_;
   Frame* last_touched_ = nullptr;
   uint64_t tick_ = 0;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace tdb

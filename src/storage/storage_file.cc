@@ -18,6 +18,22 @@ const char* OrganizationName(Organization o) {
   return "?";
 }
 
+Result<size_t> Cursor::NextBatch(RecordBatch* batch, size_t max) {
+  // Fallback for cursors without a zero-copy override (e.g. the B-tree's
+  // buffered leaf groups): drain Next() into the batch arena.  The copies
+  // survive any later page I/O, so this never needs a page-boundary cut.
+  size_t n = 0;
+  while (n < max) {
+    TDB_ASSIGN_OR_RETURN(bool have, Next());
+    if (!have) break;
+    if (n == 0) batch->EnsureArena(batch->size() == 0 ? max * record_.size()
+                                                      : record_.size() * max);
+    batch->AppendCopy(record_.data(), record_.size(), tid_);
+    ++n;
+  }
+  return n;
+}
+
 Value RecordLayout::KeyFromBytes(const uint8_t* p) const {
   switch (key_type) {
     case TypeId::kInt1: {

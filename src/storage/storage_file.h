@@ -1,7 +1,9 @@
 #ifndef CHRONOQUEL_STORAGE_STORAGE_FILE_H_
 #define CHRONOQUEL_STORAGE_STORAGE_FILE_H_
 
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
@@ -52,6 +54,85 @@ struct RecordLayout {
   Value KeyFromBytes(const uint8_t* p) const;
 };
 
+/// A batch of record pointers gathered by Cursor::NextBatch — the morsel
+/// currency of the vectorized executor.  Entries are either *slices*
+/// (zero-copy pointers into the producing Pager's current frame, valid only
+/// until that pager's next ReadPage/AllocatePage) or *copies* (bytes owned
+/// by the batch's arena, valid until the next Clear).  A single batch never
+/// mixes lifetimes with a page fetch in between: zero-copy producers CUT
+/// the batch at every page fetch, so all slices alias one resident frame.
+///
+/// The source pager's generation is snapshotted at gather time; debug
+/// builds assert it is unchanged on every access, catching any consumer
+/// that holds slices across an eviction boundary.
+class RecordBatch {
+ public:
+  void Clear() {
+    recs_.clear();
+    tids_.clear();
+    arena_used_ = 0;
+    src_pager_ = nullptr;
+    src_generation_ = 0;
+  }
+
+  size_t size() const { return recs_.size(); }
+  bool empty() const { return recs_.empty(); }
+
+  const uint8_t* rec(size_t i) const {
+    AssertFresh();
+    return recs_[i];
+  }
+  const Tid& tid(size_t i) const { return tids_[i]; }
+
+  /// Zero-copy append: `p` points into the producing pager's frame.
+  void AppendSlice(const uint8_t* p, const Tid& tid) {
+    recs_.push_back(p);
+    tids_.push_back(tid);
+  }
+
+  /// Owning append: copies `n` bytes into the arena.  EnsureArena must have
+  /// reserved room first — the arena never reallocates while entries point
+  /// into it.
+  void AppendCopy(const uint8_t* p, size_t n, const Tid& tid) {
+    assert(arena_used_ + n <= arena_.size());
+    uint8_t* dst = arena_.data() + arena_used_;
+    std::memcpy(dst, p, n);
+    arena_used_ += n;
+    recs_.push_back(dst);
+    tids_.push_back(tid);
+  }
+
+  /// Reserves arena capacity for owning appends.  Only legal while the
+  /// batch holds no copies (growing would dangle their pointers).
+  void EnsureArena(size_t bytes) {
+    if (arena_.size() < bytes) {
+      assert(arena_used_ == 0);
+      arena_.resize(bytes);
+    }
+  }
+
+  /// Records the pager (and its current generation) the slices alias.
+  void SetSource(const Pager* pager) {
+    src_pager_ = pager;
+    src_generation_ = pager == nullptr ? 0 : pager->generation();
+  }
+
+  /// Debug-build stale-slice check: the source pager must not have loaded
+  /// or dropped any frame since the batch was gathered.
+  void AssertFresh() const {
+    assert(src_pager_ == nullptr ||
+           src_pager_->generation() == src_generation_);
+  }
+
+ private:
+  std::vector<const uint8_t*> recs_;
+  std::vector<Tid> tids_;
+  std::vector<uint8_t> arena_;
+  size_t arena_used_ = 0;
+  const Pager* src_pager_ = nullptr;
+  uint64_t src_generation_ = 0;
+};
+
 /// Iterator over the records of a file (or of one key's chain).  Usage:
 ///   auto cur = file->Scan();
 ///   while (true) {
@@ -65,6 +146,15 @@ class Cursor {
 
   /// Advances to the next record; returns false at end of stream.
   virtual Result<bool> Next() = 0;
+
+  /// Appends up to `max` records to `batch` and returns how many were
+  /// added; 0 means end of stream.  Page-I/O order and counts are identical
+  /// to an equivalent sequence of Next() calls.  The base implementation
+  /// copies records into the batch arena (safe across any later I/O);
+  /// zero-copy overrides append frame slices instead and cut the batch at
+  /// every page fetch, so a returned batch never spans a ReadPage.
+  /// Interleaving Next() and NextBatch() on one cursor is supported.
+  virtual Result<size_t> NextBatch(RecordBatch* batch, size_t max);
 
   /// Valid after Next() returned true, until the next call to Next().
   const std::vector<uint8_t>& record() const { return record_; }

@@ -1,10 +1,12 @@
 // Differential executor fuzz harness: seeded random TQuel retrieves over
-// small generated temporal databases, each executed four ways — compiled
+// small generated temporal databases, each executed eight ways — compiled
 // expressions vs the AST-walking Evaluator, crossed with durability off vs
-// the rollback journal — asserting byte-identical result sets.  Any
-// divergence pinpoints a semantic bug in exactly one layer (expression
-// compiler, journal write path, or executor), which is why this harness
-// guards the observability PR: instrumentation must never change results.
+// the rollback journal, crossed with the vectorized (morsel) engine vs
+// tuple-at-a-time — asserting byte-identical result sets.  Any divergence
+// pinpoints a semantic bug in exactly one layer (expression compiler,
+// journal write path, batch kernels, or executor), which is why this
+// harness guards the observability and vectorization PRs: instrumentation
+// and batching must never change results.
 //
 // After every seed the metric invariants are checked on both databases:
 // buffer requests == hits + misses, misses == physical reads per file, and
@@ -23,6 +25,7 @@
 #include "core/database.h"
 #include "env/env.h"
 #include "exec/compiled_expr.h"
+#include "exec/morsel.h"
 #include "obs/metrics.h"
 #include "util/random.h"
 #include "util/stringx.h"
@@ -222,7 +225,7 @@ void CheckMetricInvariants(Database* db, bool journaled) {
   }
 }
 
-TEST(DifferentialTest, FourWayExecutionAgrees) {
+TEST(DifferentialTest, EightWayExecutionAgrees) {
   int seeds = NumSeeds();
   int queries_checked = 0;
   for (int seed = 1; seed <= seeds; ++seed) {
@@ -239,22 +242,27 @@ TEST(DifferentialTest, FourWayExecutionAgrees) {
       std::string text = GenQuery(qrng);
       SCOPED_TRACE(text);
       std::vector<std::string> renderings;
-      for (bool compiled : {true, false}) {
-        SetCompiledExprEnabledForTest(compiled);
-        for (Database* db : {plain.db.get(), journaled.db.get()}) {
-          auto r = db->Execute(text);
-          ASSERT_TRUE(r.ok()) << r.status().ToString();
-          renderings.push_back(
-              r->result.ToString(TimeResolution::kSecond) +
-              StrPrintf("(%zu rows)", r->result.num_rows()));
+      for (bool vec : {true, false}) {
+        SetVectorExecEnabledForTest(vec);
+        for (bool compiled : {true, false}) {
+          SetCompiledExprEnabledForTest(compiled);
+          for (Database* db : {plain.db.get(), journaled.db.get()}) {
+            auto r = db->Execute(text);
+            ASSERT_TRUE(r.ok()) << r.status().ToString();
+            renderings.push_back(
+                r->result.ToString(TimeResolution::kSecond) +
+                StrPrintf("(%zu rows)", r->result.num_rows()));
+          }
         }
       }
       SetCompiledExprEnabledForTest(std::nullopt);
-      ASSERT_EQ(renderings.size(), 4u);
-      // compiled/off vs compiled/journal vs ast/off vs ast/journal.
-      EXPECT_EQ(renderings[0], renderings[1]);
-      EXPECT_EQ(renderings[0], renderings[2]);
-      EXPECT_EQ(renderings[2], renderings[3]);
+      SetVectorExecEnabledForTest(std::nullopt);
+      ASSERT_EQ(renderings.size(), 8u);
+      // {vectorized, tuple} x {compiled, ast} x {off, journal}: everything
+      // must agree with the first rendering.
+      for (size_t i = 1; i < renderings.size(); ++i) {
+        EXPECT_EQ(renderings[0], renderings[i]) << "variant " << i;
+      }
       ++queries_checked;
     }
     CheckMetricInvariants(plain.db.get(), /*journaled=*/false);
