@@ -25,6 +25,10 @@ MAPPING = {
     "BM_ExecScanFilterVectorized": ("exec_scan_filter", "vectorized"),
     "BM_ExecJoinTuple": ("exec_join", "tuple"),
     "BM_ExecJoinVectorized": ("exec_join", "vectorized"),
+    "BM_ExecJoinHash": ("exec_join", "hash"),
+    "BM_ExecJoinHashVectorized": ("exec_join", "hash_vectorized"),
+    "BM_ExecIntervalJoinPaper": ("exec_interval_join", "paper"),
+    "BM_ExecIntervalJoinSweep": ("exec_interval_join", "sweep"),
 }
 
 # (section, numerator-mode, denominator-mode) -> ratio name
@@ -34,6 +38,8 @@ SPEEDUPS = [
     ("exec_scan_filter", "tuple", "vectorized",
      "speedup_vectorized_vs_tuple"),
     ("exec_join", "tuple", "vectorized", "speedup_vectorized_vs_tuple"),
+    ("exec_join", "tuple", "hash", "speedup_hash_vs_tuple"),
+    ("exec_interval_join", "paper", "sweep", "speedup_sweep_vs_paper"),
 ]
 
 

@@ -11,6 +11,12 @@ const IndexMeta* RelationMeta::FindIndex(const std::string& attr) const {
   return nullptr;
 }
 
+uint64_t RelationStats::DistinctOr(const std::string& attr,
+                                   uint64_t fallback) const {
+  auto it = distinct.find(ToLower(attr));
+  return it == distinct.end() ? fallback : it->second;
+}
+
 std::string SerializeRelationMeta(const RelationMeta& m) {
   std::string out;
   out += "relation " + m.name + "\n";
@@ -141,6 +147,7 @@ Status Catalog::Create(RelationMeta meta) {
   if (relations_.count(key) > 0) {
     return Status::AlreadyExists("relation '" + meta.name + "' exists");
   }
+  stats_.erase(key);
   relations_[key] = std::move(meta);
   return Save();
 }
@@ -149,6 +156,7 @@ Status Catalog::Drop(const std::string& name) {
   if (relations_.erase(ToLower(name)) == 0) {
     return Status::NotFound("relation '" + name + "' does not exist");
   }
+  stats_.erase(ToLower(name));
   return Save();
 }
 
@@ -173,8 +181,24 @@ Status Catalog::Update(const RelationMeta& meta) {
   if (relations_.count(key) == 0) {
     return Status::NotFound("relation '" + meta.name + "' does not exist");
   }
+  stats_.erase(key);
   relations_[key] = meta;
   return Save();
 }
+
+const RelationStats* Catalog::FindStats(const std::string& name) const {
+  auto it = stats_.find(ToLower(name));
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+void Catalog::SetStats(const std::string& name, RelationStats stats) {
+  stats_[ToLower(name)] = std::move(stats);
+}
+
+void Catalog::InvalidateStats(const std::string& name) {
+  stats_.erase(ToLower(name));
+}
+
+void Catalog::InvalidateAllStats() { stats_.clear(); }
 
 }  // namespace tdb

@@ -57,6 +57,26 @@ struct RelationMeta {
   const IndexMeta* FindIndex(const std::string& attr) const;
 };
 
+/// Cardinality statistics for one relation, the inputs of the planner's
+/// cost model: version counts, page counts per store, and a per-user-
+/// attribute distinct count.  Stats are advisory — they steer plan choice
+/// but can never change results — so they are computed lazily (only when
+/// cost-based join planning asks) and invalidated wholesale on any DML or
+/// DDL against the relation.  Paper mode never computes them, keeping the
+/// measured page counts untouched.
+struct RelationStats {
+  uint64_t rows = 0;           // versions reachable by a full scan
+  uint64_t primary_pages = 0;  // primary store pages
+  uint64_t history_pages = 0;  // two-level history store pages
+  /// Distinct values per user attribute (by attribute name).
+  std::map<std::string, uint64_t> distinct;
+
+  uint64_t pages() const { return primary_pages + history_pages; }
+  /// Distinct count for `attr`, defaulting to `rows` (every value unique)
+  /// when the attribute was never profiled.
+  uint64_t DistinctOr(const std::string& attr, uint64_t fallback) const;
+};
+
 /// The system catalog: relation metadata keyed by (case-insensitive) name,
 /// persisted as a text file in the database directory.  Catalog I/O is not
 /// routed through the measured pagers, matching the paper's exclusion of
@@ -85,6 +105,15 @@ class Catalog {
   /// Replaces the stored metadata for `meta.name` (used by `modify`).
   Status Update(const RelationMeta& meta);
 
+  /// Cached statistics for `name`, or nullptr when none have been computed
+  /// since the last invalidation.  Stats live only in memory; they are never
+  /// persisted with the catalog file.
+  const RelationStats* FindStats(const std::string& name) const;
+  void SetStats(const std::string& name, RelationStats stats);
+  /// Drops the cached stats for one relation (any DML/DDL against it).
+  void InvalidateStats(const std::string& name);
+  void InvalidateAllStats();
+
  private:
   std::string CatalogPath() const { return dir_ + "/catalog.meta"; }
 
@@ -92,6 +121,7 @@ class Catalog {
   std::string dir_;
   Journal* journal_ = nullptr;
   std::map<std::string, RelationMeta> relations_;  // lower-cased name
+  std::map<std::string, RelationStats> stats_;     // lower-cased name
 };
 
 /// Serialization used by Catalog (exposed for tests).

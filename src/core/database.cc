@@ -66,7 +66,8 @@ void Database::RestoreClock() {
 
 Result<Relation*> Database::GetRelation(const std::string& name) {
   ExecEnv exec{env_, dir_, &catalog_, &registry_, &relations_, now_,
-               options_.buffer_frames, journal_.get()};
+               options_.buffer_frames, journal_.get(),
+               EffectiveJoinMethod(options_.join_method)};
   return exec.GetRelation(name);
 }
 
@@ -119,7 +120,8 @@ Result<std::vector<ExecResult>> Database::ExecuteScript(
 
 Result<ExecResult> Database::ExecuteStatement(Statement* stmt) {
   ExecEnv exec{env_, dir_, &catalog_, &registry_, &relations_, now_,
-               options_.buffer_frames, journal_.get()};
+               options_.buffer_frames, journal_.get(),
+               EffectiveJoinMethod(options_.join_method)};
   Binder binder(&catalog_, &ranges_);
   bool mutating = false;
   ExecResult last;
@@ -303,7 +305,8 @@ Result<std::shared_ptr<const PhysicalPlan>> Database::Plan(
   // Journal included so relations opened (and cached) while planning carry
   // the same hooks as ones opened while executing.
   ExecEnv exec{env_, dir_, &catalog_, &registry_, &relations_, now_,
-               options_.buffer_frames, journal_.get()};
+               options_.buffer_frames, journal_.get(),
+               EffectiveJoinMethod(options_.join_method)};
   TDB_ASSIGN_OR_RETURN(std::shared_ptr<PhysicalPlan> plan,
                        BuildPlan(*retrieve, bound, exec));
   return std::shared_ptr<const PhysicalPlan>(std::move(plan));

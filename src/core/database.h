@@ -12,6 +12,7 @@
 #include "core/relation.h"
 #include "core/result_set.h"
 #include "env/env.h"
+#include "exec/join_method.h"
 #include "obs/metrics.h"
 #include "storage/io_stats.h"
 #include "storage/journal.h"
@@ -51,6 +52,11 @@ struct DatabaseOptions {
   /// ever wired and the measured page counts / figure stdout are
   /// byte-identical to a run without the obs layer.
   std::optional<bool> metrics;
+  /// Join planning mode (see exec/join_method.h).  Unset defers to the
+  /// TDB_JOIN_METHOD environment variable; both default to kPaper, whose
+  /// plans — and therefore every measured page count — are byte-identical
+  /// to the pre-cost-model system.
+  std::optional<JoinMethod> join_method;
 };
 
 /// The TQuel temporal DBMS facade: a database directory containing a

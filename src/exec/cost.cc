@@ -1,0 +1,69 @@
+#include "exec/cost.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/version_source.h"
+#include "util/stringx.h"
+
+namespace tdb {
+
+Result<RelationStats> ComputeRelationStats(Relation* rel) {
+  RelationStats stats;
+  const Schema& schema = rel->schema();
+  size_t nuser = schema.num_user_attrs();
+  // Distinct values per user attribute, via the printed form: exact for
+  // the fixed-width types involved, and cheap enough for one lazy pass.
+  std::vector<std::set<std::string>> seen(nuser);
+
+  AccessSpec spec;
+  spec.kind = AccessSpec::Kind::kScan;
+  TDB_ASSIGN_OR_RETURN(auto src, VersionSource::Create(rel, spec));
+  while (true) {
+    TDB_ASSIGN_OR_RETURN(bool have, src->Next());
+    if (!have) break;
+    ++stats.rows;
+    for (size_t i = 0; i < nuser; ++i) {
+      seen[i].insert(src->ref().attr(i).ToString(TimeResolution::kSecond));
+    }
+  }
+  for (size_t i = 0; i < nuser; ++i) {
+    stats.distinct[ToLower(schema.attr(i).name)] =
+        static_cast<uint64_t>(seen[i].size());
+  }
+  stats.primary_pages = rel->primary()->page_count();
+  if (rel->history() != nullptr) {
+    stats.history_pages = rel->history()->page_count();
+  }
+  return stats;
+}
+
+Result<const RelationStats*> GetOrComputeStats(Catalog* catalog,
+                                               Relation* rel) {
+  const std::string& name = rel->meta().name;
+  if (const RelationStats* cached = catalog->FindStats(name)) return cached;
+  TDB_ASSIGN_OR_RETURN(RelationStats stats, ComputeRelationStats(rel));
+  catalog->SetStats(name, std::move(stats));
+  return catalog->FindStats(name);
+}
+
+double EstimateEqJoinRows(double left_rows, double right_rows,
+                          uint64_t left_distinct, uint64_t right_distinct) {
+  uint64_t d = left_distinct > right_distinct ? left_distinct : right_distinct;
+  if (d == 0) d = 1;
+  return left_rows * right_rows / static_cast<double>(d);
+}
+
+double EstimateOverlapJoinRows(double left_rows, double right_rows) {
+  return left_rows * right_rows * 0.5;
+}
+
+double EstimateEqSelectivity(const RelationStats& stats,
+                             const std::string& attr) {
+  uint64_t d = stats.DistinctOr(attr, stats.rows == 0 ? 1 : stats.rows);
+  if (d == 0) d = 1;
+  return 1.0 / static_cast<double>(d);
+}
+
+}  // namespace tdb

@@ -1,0 +1,74 @@
+#ifndef CHRONOQUEL_EXEC_COST_H_
+#define CHRONOQUEL_EXEC_COST_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "core/relation.h"
+#include "diskmodel/disk_model.h"
+#include "util/status.h"
+
+namespace tdb {
+
+/// Profiles `rel` with one full version scan: counts versions, collects a
+/// distinct-value count per user attribute, and records the page counts of
+/// the primary and history stores.  The scan goes through the measured
+/// pagers (a real read), which is why stats are computed lazily and only
+/// when cost-based join planning is active — paper mode never calls this
+/// and its page-I/O goldens stay exact.
+Result<RelationStats> ComputeRelationStats(Relation* rel);
+
+/// Cached stats for `rel`: returns the catalog's copy, computing and
+/// caching it on miss.  The cache is invalidated by DML/DDL against the
+/// relation (see Catalog::InvalidateStats), so stats can be stale only in
+/// the benign direction — a worse plan, never a wrong answer.
+Result<const RelationStats*> GetOrComputeStats(Catalog* catalog,
+                                               Relation* rel);
+
+/// The planner's cost model: modeled milliseconds of disk time derived
+/// from the diskmodel parameters, plus a small per-row CPU charge so
+/// in-memory work (hash probes, merge comparisons) is not free.  All
+/// formulas are documented in DESIGN.md §11.
+struct CostModel {
+  DiskParameters disk;
+  /// CPU charge per row handled (build, probe, or comparison).
+  double cpu_row_ms = 1e-4;
+
+  /// One random page access: average seek + half rotation + transfer.
+  double RandomMs() const {
+    return disk.average_seek_ms + disk.rotation_ms / 2 +
+           disk.transfer_ms_per_page;
+  }
+  double SeqMs() const { return disk.sequential_ms_per_page; }
+  /// Full-file scan: one random access to reach the file, then sequential.
+  double ScanMs(uint64_t pages) const {
+    if (pages == 0) return 0;
+    return RandomMs() + static_cast<double>(pages - 1) * SeqMs();
+  }
+  /// One keyed/index probe touching `pages` expected pages, each random.
+  double ProbeMs(double pages) const {
+    return RandomMs() * (pages < 1.0 ? 1.0 : pages);
+  }
+};
+
+/// Estimated output cardinality of an equi-join: |L| * |R| / max(d_l, d_r),
+/// the textbook uniform-distribution estimate over the join attribute's
+/// distinct counts.
+double EstimateEqJoinRows(double left_rows, double right_rows,
+                          uint64_t left_distinct, uint64_t right_distinct);
+
+/// Estimated output cardinality of a valid-time `overlap` join.  The
+/// paper's databases keep long-lived versions (most intervals run to
+/// forever), so overlap is common; 0.5 is deliberately coarse — the
+/// estimate only ranks plans.
+double EstimateOverlapJoinRows(double left_rows, double right_rows);
+
+/// Selectivity of one restriction conjunct: 1/d for an equality against a
+/// profiled attribute, 1/3 for anything else (Selinger's catch-all).
+double EstimateEqSelectivity(const RelationStats& stats,
+                             const std::string& attr);
+inline double DefaultSelectivity() { return 1.0 / 3.0; }
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_EXEC_COST_H_

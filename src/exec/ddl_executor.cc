@@ -535,6 +535,7 @@ Result<ExecResult> DdlExecutor::Copy(const CopyStmt& stmt) {
     ++out.affected;
   }
   TDB_RETURN_NOT_OK(rel->primary()->pager()->Flush());
+  env_.catalog->InvalidateStats(stmt.relation);
   out.message = StrPrintf("copied %lld tuples from %s",
                           static_cast<long long>(out.affected),
                           stmt.path.c_str());

@@ -221,6 +221,7 @@ Result<ExecResult> DmlExecutor::Append(AppendStmt* stmt,
         "append from more than one tuple variable is not supported");
   }
   TDB_RETURN_NOT_OK(rel->primary()->pager()->Flush());
+  env_.catalog->InvalidateStats(stmt->relation);
   out.message = StrPrintf("appended %lld tuples to %s",
                           static_cast<long long>(out.affected),
                           stmt->relation.c_str());
@@ -342,6 +343,7 @@ Result<ExecResult> DmlExecutor::Delete(DeleteStmt* stmt,
   if (rel->history() != nullptr) {
     TDB_RETURN_NOT_OK(rel->history()->pager()->Flush());
   }
+  env_.catalog->InvalidateStats(bound.vars[0].rel->name);
   ExecResult out;
   out.affected = static_cast<int64_t>(victims.size());
   out.message = StrPrintf("deleted %lld tuples",
@@ -413,6 +415,7 @@ Result<ExecResult> DmlExecutor::Replace(ReplaceStmt* stmt,
   if (rel->history() != nullptr) {
     TDB_RETURN_NOT_OK(rel->history()->pager()->Flush());
   }
+  env_.catalog->InvalidateStats(bound.vars[0].rel->name);
   ExecResult out;
   out.affected = static_cast<int64_t>(victims.size());
   out.message = StrPrintf("replaced %lld tuples",

@@ -8,6 +8,7 @@
 #include "catalog/catalog.h"
 #include "core/relation.h"
 #include "env/env.h"
+#include "exec/join_method.h"
 #include "storage/io_stats.h"
 #include "storage/journal.h"
 #include "types/timepoint.h"
@@ -30,6 +31,9 @@ struct ExecEnv {
   /// The owning database's write-ahead journal; null when durability is
   /// off.  Executors route every pager and every file deletion through it.
   Journal* journal = nullptr;
+  /// How the planner chooses join order/method.  kPaper (the default)
+  /// reproduces the tuple-substitution plans of the paper exactly.
+  JoinMethod join_method = JoinMethod::kPaper;
 
   /// Returns the open handle for `name`, opening it from the catalog on
   /// first use.

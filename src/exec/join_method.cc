@@ -1,0 +1,57 @@
+#include "exec/join_method.h"
+
+#include <cstdlib>
+
+#include "util/stringx.h"
+
+namespace tdb {
+
+namespace {
+std::optional<JoinMethod> g_join_override;
+}  // namespace
+
+const char* JoinMethodName(JoinMethod m) {
+  switch (m) {
+    case JoinMethod::kPaper:
+      return "paper";
+    case JoinMethod::kAuto:
+      return "auto";
+    case JoinMethod::kNestedLoop:
+      return "nlj";
+    case JoinMethod::kHash:
+      return "hash";
+    case JoinMethod::kMerge:
+      return "merge";
+  }
+  return "?";
+}
+
+std::optional<JoinMethod> ParseJoinMethod(const std::string& text) {
+  std::string t = ToLower(Trim(text));
+  if (t == "paper") return JoinMethod::kPaper;
+  if (t == "auto" || t == "cost") return JoinMethod::kAuto;
+  if (t == "nlj" || t == "nested-loop") return JoinMethod::kNestedLoop;
+  if (t == "hash") return JoinMethod::kHash;
+  if (t == "merge" || t == "interval") return JoinMethod::kMerge;
+  return std::nullopt;
+}
+
+JoinMethod JoinMethodFromEnv() {
+  static const JoinMethod method = [] {
+    const char* v = std::getenv("TDB_JOIN_METHOD");
+    if (v == nullptr) return JoinMethod::kPaper;
+    return ParseJoinMethod(v).value_or(JoinMethod::kPaper);
+  }();
+  return method;
+}
+
+JoinMethod EffectiveJoinMethod(std::optional<JoinMethod> option) {
+  if (g_join_override.has_value()) return *g_join_override;
+  return option.value_or(JoinMethodFromEnv());
+}
+
+void SetJoinMethodForTest(std::optional<JoinMethod> method) {
+  g_join_override = method;
+}
+
+}  // namespace tdb

@@ -18,6 +18,10 @@ const char* PlanNodeKindName(PlanNode::Kind k) {
       return "nested-loop";
     case PlanNode::Kind::kSubstitution:
       return "substitution";
+    case PlanNode::Kind::kHashJoin:
+      return "hash-join";
+    case PlanNode::Kind::kIntervalJoin:
+      return "interval-join";
     case PlanNode::Kind::kFilter:
       return "filter";
     case PlanNode::Kind::kProject:
@@ -86,6 +90,9 @@ std::string StatsSuffix(const PlanNode& node, bool with_timing) {
         static_cast<unsigned long long>(node.stats.rows_examined),
         static_cast<unsigned long long>(node.stats.rows_emitted));
   }
+  // Estimated vs. actual: present only under cost-based planning, so
+  // paper-mode stats lines never change.
+  if (node.est_rows >= 0) s += StrPrintf(" est=%.0f", node.est_rows);
   uint64_t reads = node.stats.io.TotalReads();
   uint64_t writes = node.stats.io.TotalWrites();
   if (reads > 0 || writes > 0) {
@@ -108,6 +115,17 @@ std::string StatsSuffix(const PlanNode& node, bool with_timing) {
   }
   s += "]";
   return s;
+}
+
+/// Appends the line terminator shared by every node: the `[est=N]` tag on
+/// an unexecuted (plain explain) rendering, or the stats suffix.
+void FinishLine(const PlanNode& node, bool with_stats, bool with_timing,
+                std::string* line) {
+  if (with_stats) {
+    *line += StatsSuffix(node, with_timing);
+  } else if (node.est_rows >= 0) {
+    *line += StrPrintf(" [est=%.0f]", node.est_rows);
+  }
 }
 
 void DescribeNode(const PlanNode* node, int depth, const std::string& label,
@@ -146,7 +164,7 @@ void DescribeNode(const PlanNode* node, int depth, const std::string& label,
         }
       }
       if (a->current_only) line += " (current)";
-      if (with_stats) line += StatsSuffix(*node, with_timing);
+      FinishLine(*node, with_stats, with_timing, &line);
       out->append(line);
       out->push_back('\n');
       return;
@@ -154,7 +172,7 @@ void DescribeNode(const PlanNode* node, int depth, const std::string& label,
     case PlanNode::Kind::kFilter: {
       const auto* f = static_cast<const FilterNode*>(node);
       line += "filter [" + Join(f->pred_text, "; ") + "]";
-      if (with_stats) line += StatsSuffix(*node, with_timing);
+      FinishLine(*node, with_stats, with_timing, &line);
       out->append(line);
       out->push_back('\n');
       DescribeNode(f->child.get(), depth + 1, "", with_stats, with_timing, out);
@@ -163,7 +181,7 @@ void DescribeNode(const PlanNode* node, int depth, const std::string& label,
     case PlanNode::Kind::kNestedLoop: {
       const auto* n = static_cast<const NestedLoopNode*>(node);
       line += "nested-loop";
-      if (with_stats) line += StatsSuffix(*node, with_timing);
+      FinishLine(*node, with_stats, with_timing, &line);
       out->append(line);
       out->push_back('\n');
       for (const auto& level : n->levels) {
@@ -174,12 +192,43 @@ void DescribeNode(const PlanNode* node, int depth, const std::string& label,
     case PlanNode::Kind::kSubstitution: {
       const auto* s = static_cast<const SubstitutionNode*>(node);
       line += "substitution";
-      if (with_stats) line += StatsSuffix(*node, with_timing);
+      FinishLine(*node, with_stats, with_timing, &line);
       out->append(line);
       out->push_back('\n');
       DescribeNode(s->outer.get(), depth + 1, "outer: ", with_stats,
                    with_timing, out);
       DescribeNode(s->inner.get(), depth + 1, "inner: ", with_stats,
+                   with_timing, out);
+      return;
+    }
+    case PlanNode::Kind::kHashJoin: {
+      const auto* h = static_cast<const HashJoinNode*>(node);
+      line += "hash-join key=(" + h->key_text + ")";
+      if (!h->residual.pred_text.empty()) {
+        line += " filter [" + Join(h->residual.pred_text, "; ") + "]";
+      }
+      FinishLine(*node, with_stats, with_timing, &line);
+      out->append(line);
+      out->push_back('\n');
+      DescribeNode(h->build.get(), depth + 1, "build: ", with_stats,
+                   with_timing, out);
+      DescribeNode(h->probe.get(), depth + 1, "probe: ", with_stats,
+                   with_timing, out);
+      return;
+    }
+    case PlanNode::Kind::kIntervalJoin: {
+      const auto* j = static_cast<const IntervalJoinNode*>(node);
+      // pred_text is an Expr rendering, already parenthesized.
+      line += "interval-join when=" + j->pred_text;
+      if (!j->residual.pred_text.empty()) {
+        line += " filter [" + Join(j->residual.pred_text, "; ") + "]";
+      }
+      FinishLine(*node, with_stats, with_timing, &line);
+      out->append(line);
+      out->push_back('\n');
+      DescribeNode(j->left.get(), depth + 1, "left: ", with_stats,
+                   with_timing, out);
+      DescribeNode(j->right.get(), depth + 1, "right: ", with_stats,
                    with_timing, out);
       return;
     }
@@ -190,7 +239,7 @@ void DescribeNode(const PlanNode* node, int depth, const std::string& label,
       if (!p->into.empty()) line += " into " + p->into;
       if (!p->as_of_text.empty()) line += " as of " + p->as_of_text;
       if (!p->sort_text.empty()) line += " sort by " + p->sort_text;
-      if (with_stats) line += StatsSuffix(*node, with_timing);
+      FinishLine(*node, with_stats, with_timing, &line);
       out->append(line);
       out->push_back('\n');
       DescribeNode(p->child.get(), depth + 1, "", with_stats, with_timing, out);
@@ -220,6 +269,24 @@ void CollectBriefs(const PlanNode* node, std::vector<std::string>* out) {
                      (inner != nullptr ? inner->Brief() : std::string("?")) +
                      ")");
       CollectBriefs(s->outer.get(), out);
+      return;
+    }
+    case PlanNode::Kind::kHashJoin: {
+      const auto* h = static_cast<const HashJoinNode*>(node);
+      const AccessNode* b = AccessOf(h->build.get());
+      const AccessNode* p = AccessOf(h->probe.get());
+      out->push_back("hash-join(" +
+                     (b != nullptr ? b->Brief() : std::string("?")) + " x " +
+                     (p != nullptr ? p->Brief() : std::string("?")) + ")");
+      return;
+    }
+    case PlanNode::Kind::kIntervalJoin: {
+      const auto* j = static_cast<const IntervalJoinNode*>(node);
+      const AccessNode* l = AccessOf(j->left.get());
+      const AccessNode* r = AccessOf(j->right.get());
+      out->push_back("interval-join(" +
+                     (l != nullptr ? l->Brief() : std::string("?")) + " x " +
+                     (r != nullptr ? r->Brief() : std::string("?")) + ")");
       return;
     }
     default:

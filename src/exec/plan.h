@@ -52,6 +52,8 @@ struct PlanNode {
     kRangeScan,     // key-range scan of an order-preserving organization
     kNestedLoop,    // left-deep nested iteration over its levels
     kSubstitution,  // detach outer to a temp, probe keyed inner per temp row
+    kHashJoin,      // build a hash table on one side, probe with the other
+    kIntervalJoin,  // sort/merge sweep over valid-time intervals (overlap)
     kFilter,        // residual where/when conjuncts applied at one level
     kProject,       // target-list evaluation, unique/sort/into (plan root)
   };
@@ -61,6 +63,10 @@ struct PlanNode {
 
   Kind kind;
   PlanNodeStats stats;
+  /// The cost model's output-cardinality estimate, set only when cost-based
+  /// join planning is active.  Negative means "not estimated" and renders
+  /// nothing, so paper-mode explain output is byte-identical.
+  double est_rows = -1.0;
 };
 
 const char* PlanNodeKindName(PlanNode::Kind k);
@@ -152,6 +158,37 @@ struct SubstitutionNode : PlanNode {
   SubstitutionNode() : PlanNode(Kind::kSubstitution) {}
   std::unique_ptr<PlanNode> outer;  // detached into the temp relation
   std::unique_ptr<PlanNode> inner;  // probed per temp row
+};
+
+/// The batched hash join (cost-based planning only): the build side runs to
+/// completion populating an in-memory table keyed on its join expression,
+/// then the probe side streams — vectorized through the morsel machinery
+/// when TDB_VECTOR_EXEC is on — looking up matches per row.  `residual`
+/// holds the cross-variable conjuncts beyond the consumed equality; its
+/// child stays null (both sides are this node's own children).
+struct HashJoinNode : PlanNode {
+  HashJoinNode() : PlanNode(Kind::kHashJoin) {}
+  std::unique_ptr<PlanNode> build;  // FilterNode or AccessNode
+  std::unique_ptr<PlanNode> probe;
+  const Expr* build_key = nullptr;  // references only the build variable
+  const Expr* probe_key = nullptr;  // references only the probe variable
+  std::optional<CompiledProgram> build_prog;
+  std::optional<CompiledProgram> probe_prog;
+  std::string key_text;  // rendered `build = probe` equality
+  /// Residual cross conjuncts evaluated per candidate match (child null).
+  FilterNode residual;
+};
+
+/// The sort/merge temporal interval join (cost-based planning only): both
+/// sides materialize, sort by valid-interval start, and a two-pointer sweep
+/// emits pairs whose valid intervals overlap — the consumed `a overlap b`
+/// conjunct.  Extra cross conjuncts land in `residual` (child null).
+struct IntervalJoinNode : PlanNode {
+  IntervalJoinNode() : PlanNode(Kind::kIntervalJoin) {}
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+  std::string pred_text;  // rendered `a overlap b`
+  FilterNode residual;
 };
 
 /// Root of every retrieve plan: evaluates the target list (plus the default

@@ -1,6 +1,9 @@
 #include "exec/planner.h"
 
+#include <algorithm>
+
 #include "exec/compiled_expr.h"
+#include "exec/cost.h"
 #include "exec/eval.h"
 #include "util/stringx.h"
 
@@ -383,12 +386,9 @@ std::vector<LevelConjuncts> AssignConjuncts(
   return out;
 }
 
-/// Wraps an access leaf in a FilterNode when its level has residual
-/// conjuncts to apply.
-std::unique_ptr<PlanNode> WrapLevel(std::unique_ptr<AccessNode> access,
-                                    const LevelConjuncts& residual) {
-  if (residual.where.empty() && residual.when.empty()) return access;
-  auto filter = std::make_unique<FilterNode>();
+/// Populates `filter` with the given conjuncts: ASTs, rendered text, and —
+/// all-or-nothing — compiled programs when compiled evaluation is enabled.
+void FillFilterNode(FilterNode* filter, const LevelConjuncts& residual) {
   for (const Conjunct* c : residual.where) {
     filter->where.push_back(c->expr);
     filter->pred_text.push_back(c->expr->ToString());
@@ -418,8 +418,68 @@ std::unique_ptr<PlanNode> WrapLevel(std::unique_ptr<AccessNode> access,
       filter->where_prog.clear();
     }
   }
+}
+
+/// Wraps an access leaf in a FilterNode when its level has residual
+/// conjuncts to apply.
+std::unique_ptr<PlanNode> WrapLevel(std::unique_ptr<AccessNode> access,
+                                    const LevelConjuncts& residual) {
+  if (residual.where.empty() && residual.when.empty()) return access;
+  auto filter = std::make_unique<FilterNode>();
+  FillFilterNode(filter.get(), residual);
   filter->child = std::move(access);
   return filter;
+}
+
+/// If `conj` is an equality linking exactly variables `a` and `b` — one
+/// operand referencing only `a`, the other only `b` — returns true and
+/// outputs the two operand expressions by variable.
+bool MatchCrossEq(const Conjunct& conj, int a, int b, const Expr** a_side,
+                  const Expr** b_side) {
+  const Expr* e = conj.expr;
+  if (e->kind != Expr::Kind::kBinary || e->op != ExprOp::kEq) return false;
+  std::set<int> lv;
+  std::set<int> rv;
+  CollectExprVars(e->left.get(), &lv);
+  CollectExprVars(e->right.get(), &rv);
+  if (lv == std::set<int>{a} && rv == std::set<int>{b}) {
+    *a_side = e->left.get();
+    *b_side = e->right.get();
+    return true;
+  }
+  if (lv == std::set<int>{b} && rv == std::set<int>{a}) {
+    *a_side = e->right.get();
+    *b_side = e->left.get();
+    return true;
+  }
+  return false;
+}
+
+/// If `conj` is `x overlap y` over two bare variables (explicit kOverlap or
+/// the bare kNonEmpty form), returns true and outputs the variable pair.
+bool MatchCrossOverlap(const TemporalConjunct& conj, int* x, int* y) {
+  const TemporalExpr* a = nullptr;
+  const TemporalExpr* b = nullptr;
+  const TemporalPred* pred = conj.pred;
+  if (pred->kind == TemporalPred::Kind::kOverlap) {
+    a = pred->lexpr.get();
+    b = pred->rexpr.get();
+  } else if (pred->kind == TemporalPred::Kind::kNonEmpty &&
+             pred->lexpr->kind == TemporalExpr::Kind::kOverlap) {
+    a = pred->lexpr->left.get();
+    b = pred->lexpr->right.get();
+  } else {
+    return false;
+  }
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != TemporalExpr::Kind::kVar ||
+      b->kind != TemporalExpr::Kind::kVar) {
+    return false;
+  }
+  if (a->var_index == b->var_index) return false;
+  *x = a->var_index;
+  *y = b->var_index;
+  return true;
 }
 
 }  // namespace
@@ -517,9 +577,7 @@ Result<std::shared_ptr<PhysicalPlan>> BuildPlan(const RetrieveStmt& stmt,
                          rels[static_cast<size_t>(var)],
                          current_only[static_cast<size_t>(var)]);
   };
-  auto nested_plan = [&]() {
-    std::vector<int> order;
-    for (size_t i = 0; i < rels.size(); ++i) order.push_back(static_cast<int>(i));
+  auto nested_plan = [&](const std::vector<int>& order) {
     std::vector<LevelConjuncts> residual =
         AssignConjuncts(order, where_conjuncts, when_conjuncts);
     auto nested = std::make_unique<NestedLoopNode>();
@@ -531,6 +589,315 @@ Result<std::shared_ptr<PhysicalPlan>> BuildPlan(const RetrieveStmt& stmt,
     }
     return nested;
   };
+  auto identity_order = [&]() {
+    std::vector<int> order;
+    for (size_t i = 0; i < rels.size(); ++i) order.push_back(static_cast<int>(i));
+    return order;
+  };
+
+  // The historical multi-variable plan: tuple substitution into a keyed
+  // inner variable when one exists (the Ingres decomposition the paper's
+  // two-variable queries measure), left-deep nested loops otherwise.
+  auto paper_join = [&]() -> std::unique_ptr<PlanNode> {
+    if (rels.size() == 2) {
+      int inner = -1;
+      AccessChoice inner_choice;
+      for (int cand = 0; cand < 2; ++cand) {
+        std::set<int> avail = {1 - cand};
+        AccessChoice c = ChooseAccess(cand, rels[static_cast<size_t>(cand)],
+                                      where_conjuncts, avail);
+        if (c.kind == AccessChoice::Kind::kKeyed ||
+            (c.kind == AccessChoice::Kind::kIndexEq && inner < 0)) {
+          inner = cand;
+          inner_choice = c;
+          if (c.kind == AccessChoice::Kind::kKeyed) break;
+        }
+      }
+      if (inner >= 0) {
+        int outer = 1 - inner;
+        std::vector<LevelConjuncts> residual =
+            AssignConjuncts({outer, inner}, where_conjuncts, when_conjuncts);
+        auto sub = std::make_unique<SubstitutionNode>();
+        sub->outer = WrapLevel(access_for(outer, {}), residual[0]);
+        sub->inner = WrapLevel(
+            NodeForChoice(inner_choice, inner,
+                          bound.vars[static_cast<size_t>(inner)].name,
+                          rels[static_cast<size_t>(inner)],
+                          current_only[static_cast<size_t>(inner)]),
+            residual[1]);
+        return sub;
+      }
+    }
+    return nested_plan(identity_order());
+  };
+
+  // Cost-based join planning (join_method != kPaper): estimate modeled
+  // disk time from catalog stats for every candidate method/order and pick
+  // (or force) one.  See DESIGN.md §11 for the formulas.
+  auto cost_join = [&]() -> Result<std::unique_ptr<PlanNode>> {
+    std::vector<const RelationStats*> st(rels.size());
+    for (size_t i = 0; i < rels.size(); ++i) {
+      TDB_ASSIGN_OR_RETURN(st[i], GetOrComputeStats(env.catalog, rels[i]));
+    }
+    CostModel cm;
+
+    auto pages_of = [&](int v) -> uint64_t {
+      const RelationStats& s = *st[static_cast<size_t>(v)];
+      uint64_t pages =
+          s.primary_pages +
+          (current_only[static_cast<size_t>(v)] ? 0 : s.history_pages);
+      return pages == 0 ? 1 : pages;
+    };
+    // Input cardinality after this variable's single-variable restrictions.
+    auto est_input = [&](int v) {
+      const RelationStats& s = *st[static_cast<size_t>(v)];
+      double sel = 1.0;
+      std::set<int> self{v};
+      for (const Conjunct& c : where_conjuncts) {
+        if (c.vars != self) continue;
+        int attr_index = -1;
+        if (MatchEqOnAttr(c, v, {}, &attr_index) != nullptr) {
+          sel *= EstimateEqSelectivity(
+              s, rels[static_cast<size_t>(v)]->schema().attr(
+                     static_cast<size_t>(attr_index)).name);
+        } else {
+          sel *= DefaultSelectivity();
+        }
+      }
+      return static_cast<double>(s.rows) * sel;
+    };
+    std::vector<double> est_in(rels.size());
+    for (size_t i = 0; i < rels.size(); ++i) {
+      est_in[i] = est_input(static_cast<int>(i));
+    }
+
+    if (rels.size() > 2) {
+      // Beyond two variables only the join *order* is optimized: levels run
+      // smallest estimated input first, so inner reopen counts shrink.
+      // Forced hash/merge fall back to the paper plan (they are two-way
+      // operators here).
+      if (env.join_method == JoinMethod::kHash ||
+          env.join_method == JoinMethod::kMerge) {
+        return paper_join();
+      }
+      std::vector<int> order = identity_order();
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return est_in[static_cast<size_t>(a)] < est_in[static_cast<size_t>(b)];
+      });
+      auto nested = nested_plan(order);
+      for (size_t level = 0; level < nested->levels.size(); ++level) {
+        nested->levels[level]->est_rows =
+            est_in[static_cast<size_t>(order[level])];
+      }
+      return std::unique_ptr<PlanNode>(std::move(nested));
+    }
+
+    // Two variables: find the cross conjuncts the specialized joins consume.
+    const Conjunct* equi = nullptr;
+    const Expr* key0 = nullptr;  // equi operand referencing variable 0
+    const Expr* key1 = nullptr;
+    for (const Conjunct& c : where_conjuncts) {
+      if (MatchCrossEq(c, 0, 1, &key0, &key1)) {
+        equi = &c;
+        break;
+      }
+    }
+    const TemporalConjunct* overlap = nullptr;
+    bool both_valid = HasValidTime(rels[0]->schema().db_type()) &&
+                      HasValidTime(rels[1]->schema().db_type());
+    if (both_valid) {
+      for (const TemporalConjunct& c : when_conjuncts) {
+        int x = -1;
+        int y = -1;
+        if (MatchCrossOverlap(c, &x, &y) &&
+            ((x == 0 && y == 1) || (x == 1 && y == 0))) {
+          overlap = &c;
+          break;
+        }
+      }
+    }
+
+    auto distinct_for = [&](int v, const Expr* side) -> uint64_t {
+      const RelationStats& s = *st[static_cast<size_t>(v)];
+      uint64_t fallback = s.rows == 0 ? 1 : s.rows;
+      if (side != nullptr && side->kind == Expr::Kind::kColumn) {
+        return s.DistinctOr(rels[static_cast<size_t>(v)]->schema().attr(
+                                static_cast<size_t>(side->attr_index)).name,
+                            fallback);
+      }
+      return fallback;
+    };
+    double est_join;
+    if (equi != nullptr) {
+      est_join = EstimateEqJoinRows(est_in[0], est_in[1],
+                                    distinct_for(0, key0),
+                                    distinct_for(1, key1));
+    } else if (overlap != nullptr) {
+      est_join = EstimateOverlapJoinRows(est_in[0], est_in[1]);
+    } else {
+      est_join = est_in[0] * est_in[1] * DefaultSelectivity();
+    }
+
+    // Candidate costs (modeled ms).
+    auto nlj_cost = [&](int o) {
+      int i = 1 - o;
+      AccessChoice c = ChooseAccess(i, rels[static_cast<size_t>(i)],
+                                    where_conjuncts, {o});
+      // A keyed/indexed reopen touches ~2 random pages (bucket or directory
+      // plus data/history); a scan reopen re-reads the inner file.
+      double per_row = c.kind == AccessChoice::Kind::kScan
+                           ? cm.ScanMs(pages_of(i))
+                           : cm.ProbeMs(2.0);
+      return cm.ScanMs(pages_of(o)) + est_in[static_cast<size_t>(o)] * per_row;
+    };
+    auto sub_cost = [&](int o) {
+      int i = 1 - o;
+      AccessChoice c = ChooseAccess(i, rels[static_cast<size_t>(i)],
+                                    where_conjuncts, {o});
+      if (c.kind != AccessChoice::Kind::kKeyed &&
+          c.kind != AccessChoice::Kind::kIndexEq) {
+        return 1e18;  // substitution needs a keyed inner
+      }
+      // Scan + detach to the temp relation (write + re-read, sequential) +
+      // one keyed probe per temp row.
+      return cm.ScanMs(pages_of(o)) +
+             2.0 * static_cast<double>(pages_of(o)) * cm.SeqMs() +
+             est_in[static_cast<size_t>(o)] * cm.ProbeMs(2.0);
+    };
+    auto hash_cost = [&](int b) {
+      int p = 1 - b;
+      return cm.ScanMs(pages_of(b)) + cm.ScanMs(pages_of(p)) +
+             cm.cpu_row_ms * (est_in[static_cast<size_t>(b)] +
+                              est_in[static_cast<size_t>(p)] + est_join);
+    };
+    auto merge_cost = [&]() {
+      return cm.ScanMs(pages_of(0)) + cm.ScanMs(pages_of(1)) +
+             cm.cpu_row_ms * (est_in[0] + est_in[1] + est_join);
+    };
+
+    // Partition the conjuncts: per-side restrictions and variable-free
+    // factors become side filters (variable-free ones run on the side that
+    // executes once); the consumed cross conjunct is dropped; every other
+    // cross conjunct becomes the join node's residual filter.
+    auto partition = [&](int once_side, const void* consumed,
+                         LevelConjuncts sides[2], LevelConjuncts* cross) {
+      for (const Conjunct& c : where_conjuncts) {
+        if (static_cast<const void*>(&c) == consumed) continue;
+        if (c.vars.empty()) {
+          sides[once_side].where.push_back(&c);
+        } else if (c.vars == std::set<int>{0}) {
+          sides[0].where.push_back(&c);
+        } else if (c.vars == std::set<int>{1}) {
+          sides[1].where.push_back(&c);
+        } else {
+          cross->where.push_back(&c);
+        }
+      }
+      for (const TemporalConjunct& c : when_conjuncts) {
+        if (static_cast<const void*>(&c) == consumed) continue;
+        if (c.vars.empty()) {
+          sides[once_side].when.push_back(&c);
+        } else if (c.vars == std::set<int>{0}) {
+          sides[0].when.push_back(&c);
+        } else if (c.vars == std::set<int>{1}) {
+          sides[1].when.push_back(&c);
+        } else {
+          cross->when.push_back(&c);
+        }
+      }
+    };
+    auto side_node = [&](int v, const LevelConjuncts& lc) {
+      auto node = WrapLevel(access_for(v, {}), lc);
+      node->est_rows = est_in[static_cast<size_t>(v)];
+      return node;
+    };
+
+    auto build_hash = [&]() -> std::unique_ptr<PlanNode> {
+      // Build on the smaller estimated input.
+      int b = est_in[0] <= est_in[1] ? 0 : 1;
+      int p = 1 - b;
+      LevelConjuncts sides[2];
+      LevelConjuncts cross;
+      partition(b, equi, sides, &cross);
+      auto node = std::make_unique<HashJoinNode>();
+      node->build = side_node(b, sides[b]);
+      node->probe = side_node(p, sides[p]);
+      node->build_key = b == 0 ? key0 : key1;
+      node->probe_key = p == 0 ? key0 : key1;
+      node->key_text =
+          node->build_key->ToString() + " = " + node->probe_key->ToString();
+      if (CompiledExprEnabled()) {
+        node->build_prog = CompiledProgram::CompileExpr(*node->build_key);
+        node->probe_prog = CompiledProgram::CompileExpr(*node->probe_key);
+      }
+      FillFilterNode(&node->residual, cross);
+      node->est_rows = est_join;
+      return node;
+    };
+    auto build_merge = [&]() -> std::unique_ptr<PlanNode> {
+      LevelConjuncts sides[2];
+      LevelConjuncts cross;
+      partition(0, overlap, sides, &cross);
+      auto node = std::make_unique<IntervalJoinNode>();
+      node->left = side_node(0, sides[0]);
+      node->right = side_node(1, sides[1]);
+      node->pred_text = overlap->pred->ToString();
+      FillFilterNode(&node->residual, cross);
+      node->est_rows = est_join;
+      return node;
+    };
+    auto build_nlj = [&](int o) -> std::unique_ptr<PlanNode> {
+      auto nested = nested_plan({o, 1 - o});
+      nested->levels[0]->est_rows = est_in[static_cast<size_t>(o)];
+      nested->levels[1]->est_rows = est_join;
+      nested->est_rows = est_join;
+      return nested;
+    };
+
+    switch (env.join_method) {
+      case JoinMethod::kNestedLoop:
+        return build_nlj(nlj_cost(0) <= nlj_cost(1) ? 0 : 1);
+      case JoinMethod::kHash:
+        if (equi == nullptr) return paper_join();
+        return build_hash();
+      case JoinMethod::kMerge:
+        if (overlap == nullptr) return paper_join();
+        return build_merge();
+      default:
+        break;
+    }
+
+    // kAuto: cheapest of every applicable candidate.
+    double best = std::min(
+        {nlj_cost(0), nlj_cost(1), std::min(sub_cost(0), sub_cost(1))});
+    enum class Pick { kSub, kNlj, kHash, kMerge };
+    Pick pick = std::min(sub_cost(0), sub_cost(1)) <= std::min(nlj_cost(0),
+                                                               nlj_cost(1))
+                    ? Pick::kSub
+                    : Pick::kNlj;
+    if (equi != nullptr && hash_cost(est_in[0] <= est_in[1] ? 0 : 1) < best) {
+      best = hash_cost(est_in[0] <= est_in[1] ? 0 : 1);
+      pick = Pick::kHash;
+    }
+    if (overlap != nullptr && merge_cost() < best) {
+      best = merge_cost();
+      pick = Pick::kMerge;
+    }
+    switch (pick) {
+      case Pick::kHash:
+        return build_hash();
+      case Pick::kMerge:
+        return build_merge();
+      case Pick::kNlj:
+        return build_nlj(nlj_cost(0) <= nlj_cost(1) ? 0 : 1);
+      case Pick::kSub: {
+        auto node = paper_join();
+        node->est_rows = est_join;
+        return node;
+      }
+    }
+    return paper_join();
+  };
 
   if (rels.empty() || live.empty()) {
     // Constant plan: root without input.
@@ -538,40 +905,10 @@ Result<std::shared_ptr<PhysicalPlan>> BuildPlan(const RetrieveStmt& stmt,
     std::vector<LevelConjuncts> residual =
         AssignConjuncts({0}, where_conjuncts, when_conjuncts);
     root->child = WrapLevel(access_for(0, {}), residual[0]);
-  } else if (rels.size() == 2) {
-    // Prefer tuple substitution into a keyed inner variable (the Ingres
-    // decomposition the paper's two-variable queries measure).
-    int inner = -1;
-    AccessChoice inner_choice;
-    for (int cand = 0; cand < 2; ++cand) {
-      std::set<int> avail = {1 - cand};
-      AccessChoice c = ChooseAccess(cand, rels[static_cast<size_t>(cand)],
-                                    where_conjuncts, avail);
-      if (c.kind == AccessChoice::Kind::kKeyed ||
-          (c.kind == AccessChoice::Kind::kIndexEq && inner < 0)) {
-        inner = cand;
-        inner_choice = c;
-        if (c.kind == AccessChoice::Kind::kKeyed) break;
-      }
-    }
-    if (inner >= 0) {
-      int outer = 1 - inner;
-      std::vector<LevelConjuncts> residual =
-          AssignConjuncts({outer, inner}, where_conjuncts, when_conjuncts);
-      auto sub = std::make_unique<SubstitutionNode>();
-      sub->outer = WrapLevel(access_for(outer, {}), residual[0]);
-      sub->inner = WrapLevel(
-          NodeForChoice(inner_choice, inner,
-                        bound.vars[static_cast<size_t>(inner)].name,
-                        rels[static_cast<size_t>(inner)],
-                        current_only[static_cast<size_t>(inner)]),
-          residual[1]);
-      root->child = std::move(sub);
-    } else {
-      root->child = nested_plan();
-    }
+  } else if (env.join_method != JoinMethod::kPaper) {
+    TDB_ASSIGN_OR_RETURN(root->child, cost_join());
   } else {
-    root->child = nested_plan();
+    root->child = paper_join();
   }
 
   plan->root = std::move(root);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 #include "obs/metrics.h"
 #include "storage/heap_file.h"
@@ -675,6 +677,194 @@ Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
 
 namespace {
 
+/// Hash key for one join-key value, normalized so that cross-type numeric
+/// equality (int vs float) lands on the same bucket — matching the kEq
+/// semantics the nested-loop plans evaluate.  Numerics key on the bit
+/// pattern of their double value (one memcpy, no formatting) with -0.0
+/// collapsed into +0.0.  Reuses the caller's buffer; returns false for a
+/// key that can never compare equal under kEq (NaN), which the caller
+/// skips on both sides.
+bool NormalizedJoinKey(const Value& v, std::string* out) {
+  if (v.is_numeric()) {
+    double d = v.AsDouble();
+    if (d != d) return false;   // NaN: kEq is always false
+    if (d == 0.0) d = 0.0;      // -0.0 == +0.0 under kEq
+    out->assign(1 + sizeof(double), 'n');
+    std::memcpy(out->data() + 1, &d, sizeof(double));
+    return true;
+  }
+  if (v.type() == TypeId::kChar) {
+    out->assign(1, 's');
+  } else {
+    out->assign(1, 't');
+  }
+  out->append(v.ToString());
+  return true;
+}
+
+}  // namespace
+
+Status QueryExecutor::ExecuteHashJoin(HashJoinNode* node, Binding* binding,
+                                      const EmitFn& emit) {
+  ScopedNodeTimer timer(timing_, &node->stats);
+  obs::TraceSpan span(env_.registry->metrics(), "exec.hash_join");
+  node->stats.executed = true;
+  ++node->stats.loops;
+
+  AccessNode* build_access = AccessOf(node->build.get());
+  size_t build_var = static_cast<size_t>(build_access->var);
+  bool has_residual =
+      !node->residual.where.empty() || !node->residual.when.empty();
+
+  // ---- build: run the build side to completion into the hash table.  The
+  // per-row body only evaluates the key and copies the version into the
+  // table — no page I/O — so morsel batching is always safe here.
+  std::unordered_map<std::string, std::vector<VersionRef>> table;
+  std::string keybuf;
+  const EmitFn build_row = [&](const Binding& b) -> Status {
+    Value key;
+    if (node->build_prog.has_value()) {
+      TDB_ASSIGN_OR_RETURN(key, node->build_prog->Eval(b, env_.now));
+    } else {
+      TDB_ASSIGN_OR_RETURN(key, eval_.Eval(*node->build_key, b));
+    }
+    if (!NormalizedJoinKey(key, &keybuf)) return Status::OK();
+    // Materialize: the producer's ref borrows cursor/morsel bytes that die
+    // on the next advance, so the table needs an owning copy.
+    table[keybuf].push_back(b[build_var]->Clone());
+    return Status::OK();
+  };
+  TDB_RETURN_NOT_OK(
+      vectorized_
+          ? ExecuteLevelVectorized(node->build.get(), binding, build_row)
+          : ExecuteLevel(node->build.get(), binding, build_row));
+
+  // ---- probe: stream the probe side, looking up matches per row.  The
+  // emit body does no page I/O (into-materialization runs after iteration),
+  // so the probe side batches too.
+  uint64_t candidates = 0;
+  uint64_t matches = 0;
+  const EmitFn probe_row = [&](const Binding& b) -> Status {
+    Value key;
+    if (node->probe_prog.has_value()) {
+      TDB_ASSIGN_OR_RETURN(key, node->probe_prog->Eval(b, env_.now));
+    } else {
+      TDB_ASSIGN_OR_RETURN(key, eval_.Eval(*node->probe_key, b));
+    }
+    if (!NormalizedJoinKey(key, &keybuf)) return Status::OK();
+    auto it = table.find(keybuf);
+    if (it == table.end()) return Status::OK();
+    for (const VersionRef& bref : it->second) {
+      ++candidates;
+      (*binding)[build_var] = &bref;
+      bool pass = true;
+      if (has_residual) {
+        TDB_ASSIGN_OR_RETURN(pass, EvalFilter(node->residual, *binding));
+      }
+      if (!pass) continue;
+      ++matches;
+      TDB_RETURN_NOT_OK(emit(*binding));
+    }
+    (*binding)[build_var] = nullptr;
+    return Status::OK();
+  };
+  Status status =
+      vectorized_
+          ? ExecuteLevelVectorized(node->probe.get(), binding, probe_row)
+          : ExecuteLevel(node->probe.get(), binding, probe_row);
+  (*binding)[build_var] = nullptr;
+  node->stats.rows_examined += candidates;
+  node->stats.rows_emitted += matches;
+  return status;
+}
+
+Status QueryExecutor::ExecuteIntervalJoin(IntervalJoinNode* node,
+                                          Binding* binding,
+                                          const EmitFn& emit) {
+  ScopedNodeTimer timer(timing_, &node->stats);
+  obs::TraceSpan span(env_.registry->metrics(), "exec.interval_join");
+  node->stats.executed = true;
+  ++node->stats.loops;
+
+  size_t lvar = static_cast<size_t>(AccessOf(node->left.get())->var);
+  size_t rvar = static_cast<size_t>(AccessOf(node->right.get())->var);
+  bool has_residual =
+      !node->residual.where.empty() || !node->residual.when.empty();
+
+  // Materialize both sides; as-of qualification and the per-side filters
+  // already ran inside the levels.
+  auto gather = [&](PlanNode* side, size_t var,
+                    std::vector<VersionRef>* out) -> Status {
+    const EmitFn keep = [&](const Binding& b) -> Status {
+      out->push_back(b[var]->Clone());
+      return Status::OK();
+    };
+    return vectorized_ ? ExecuteLevelVectorized(side, binding, keep)
+                       : ExecuteLevel(side, binding, keep);
+  };
+  std::vector<VersionRef> left;
+  std::vector<VersionRef> right;
+  TDB_RETURN_NOT_OK(gather(node->left.get(), lvar, &left));
+  TDB_RETURN_NOT_OK(gather(node->right.get(), rvar, &right));
+
+  // Sort by valid-interval start (stable, ties by end) so the sweep can
+  // retire each version once.
+  auto by_start = [](const VersionRef& a, const VersionRef& b) {
+    if (!(a.valid.from == b.valid.from)) return a.valid.from < b.valid.from;
+    return a.valid.to < b.valid.to;
+  };
+  std::stable_sort(left.begin(), left.end(), by_start);
+  std::stable_sort(right.begin(), right.end(), by_start);
+
+  // Two-pointer sweep: retire the side with the smaller start, scanning the
+  // other side from its pointer while starts stay within the retired
+  // interval (an inclusive bound — a safe superset of overlap, and exact
+  // for the event-interval equality case).  Every overlapping pair is
+  // examined exactly once, at the first retirement of either version.
+  uint64_t candidates = 0;
+  uint64_t matches = 0;
+  Status status = Status::OK();
+  auto pair_body = [&](const VersionRef& l, const VersionRef& r) -> Status {
+    ++candidates;
+    if (!l.valid.Overlaps(r.valid)) return Status::OK();
+    (*binding)[lvar] = &l;
+    (*binding)[rvar] = &r;
+    bool pass = true;
+    if (has_residual) {
+      TDB_ASSIGN_OR_RETURN(pass, EvalFilter(node->residual, *binding));
+    }
+    if (!pass) return Status::OK();
+    ++matches;
+    return emit(*binding);
+  };
+  size_t li = 0;
+  size_t rj = 0;
+  while (li < left.size() && rj < right.size() && status.ok()) {
+    if (left[li].valid.from <= right[rj].valid.from) {
+      const VersionRef& cur = left[li];
+      for (size_t k = rj; k < right.size() && status.ok(); ++k) {
+        if (cur.valid.to < right[k].valid.from) break;
+        status = pair_body(cur, right[k]);
+      }
+      ++li;
+    } else {
+      const VersionRef& cur = right[rj];
+      for (size_t k = li; k < left.size() && status.ok(); ++k) {
+        if (cur.valid.to < left[k].valid.from) break;
+        status = pair_body(left[k], cur);
+      }
+      ++rj;
+    }
+  }
+  (*binding)[lvar] = nullptr;
+  (*binding)[rvar] = nullptr;
+  node->stats.rows_examined += candidates;
+  node->stats.rows_emitted += matches;
+  return status;
+}
+
+namespace {
+
 /// Accumulator for one aggregate group.
 struct AggAccumulator {
   int64_t count = 0;
@@ -955,6 +1145,12 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
   } else if (input->kind == PlanNode::Kind::kSubstitution) {
     TDB_RETURN_NOT_OK(ExecuteSubstitution(
         static_cast<SubstitutionNode*>(input), &binding, emit));
+  } else if (input->kind == PlanNode::Kind::kHashJoin) {
+    TDB_RETURN_NOT_OK(
+        ExecuteHashJoin(static_cast<HashJoinNode*>(input), &binding, emit));
+  } else if (input->kind == PlanNode::Kind::kIntervalJoin) {
+    TDB_RETURN_NOT_OK(ExecuteIntervalJoin(
+        static_cast<IntervalJoinNode*>(input), &binding, emit));
   } else {
     // A lone level's emit body does no page I/O, so batching is always safe.
     TDB_RETURN_NOT_OK(vectorized_

@@ -87,6 +87,19 @@ class QueryExecutor {
   Status ExecuteSubstitution(SubstitutionNode* node, Binding* binding,
                              const EmitFn& emit);
 
+  /// Batched hash join (cost-based planning): runs the build side to
+  /// completion into an in-memory table keyed on the normalized build-key
+  /// value, then streams the probe side — both sides morsel-batched when
+  /// vectorized execution is on — emitting per matching pair that passes
+  /// the residual filter.
+  Status ExecuteHashJoin(HashJoinNode* node, Binding* binding,
+                         const EmitFn& emit);
+  /// Sort/merge temporal interval join (cost-based planning): materializes
+  /// both sides, sorts by valid-interval start, and sweeps with two
+  /// pointers emitting pairs whose valid intervals overlap.
+  Status ExecuteIntervalJoin(IntervalJoinNode* node, Binding* binding,
+                             const EmitFn& emit);
+
   /// Builds the AccessSpec (evaluating the probe expression) for a leaf.
   Result<AccessSpec> SpecFor(const AccessNode& node,
                              const Binding& binding) const;

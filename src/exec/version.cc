@@ -1,10 +1,13 @@
 #include "exec/version.h"
 
+#include <cstring>
+
 namespace tdb {
 
 void VersionRef::BindRaw(const Schema& schema, const uint8_t* rec) {
   schema_ = &schema;
   raw_ = rec;
+  owned_.reset();  // rebinding a recycled clone releases its copy
   row_.assign(schema.num_attrs(), Value());  // keeps the vector's capacity
   decoded_ = 0;
   full_ = false;
@@ -32,7 +35,20 @@ VersionRef VersionRef::Clone() const {
   copy.tx = tx;
   copy.tid = tid;
   copy.in_history = in_history;
-  copy.row_ = FullRow();
+  if (raw_ != nullptr) {
+    // Raw mode: one memcpy of the record, attribute decode stays lazy.
+    // The lifespans were derived at bind time, so they carry over as-is.
+    const size_t len = schema_->record_size();
+    copy.owned_ = std::make_unique<uint8_t[]>(len);
+    std::memcpy(copy.owned_.get(), raw_, len);
+    copy.schema_ = schema_;
+    copy.raw_ = copy.owned_.get();
+    copy.row_.assign(row_.size(), Value());
+    copy.decoded_ = 0;
+    copy.full_ = false;
+  } else {
+    copy.row_ = FullRow();
+  }
   return copy;
 }
 

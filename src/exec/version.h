@@ -2,6 +2,7 @@
 #define CHRONOQUEL_EXEC_VERSION_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -48,6 +49,7 @@ class VersionRef {
   void SetRow(Row row) {
     schema_ = nullptr;
     raw_ = nullptr;
+    owned_.reset();
     row_ = std::move(row);
     full_ = true;
   }
@@ -80,7 +82,11 @@ class VersionRef {
 
   size_t num_attrs() const { return row_.size(); }
 
-  /// An owning, fully materialized copy (safe past cursor advances).
+  /// An owning copy, safe past cursor advances.  A raw-bound source is
+  /// cloned by copying its record bytes — attribute decode stays lazy, so
+  /// operators that materialize many versions (hash build, interval-join
+  /// gather) never pay for attributes they don't read.  The source schema
+  /// must outlive the clone (relation schemas outlive any execution).
   VersionRef Clone() const;
 
   /// "Current" in the sense the DML layer qualifies versions: still open in
@@ -99,6 +105,9 @@ class VersionRef {
  private:
   const Schema* schema_ = nullptr;  // non-null only in raw mode
   const uint8_t* raw_ = nullptr;
+  /// A Clone()'s private copy of the record bytes; raw_ aliases it.  Moves
+  /// keep raw_ valid because the heap block itself doesn't move.
+  std::unique_ptr<uint8_t[]> owned_;
   mutable Row row_;
   mutable uint64_t decoded_ = 0;  // bit i set → row_[i] decoded (raw mode)
   mutable bool full_ = true;      // materialized, or every attribute decoded

@@ -11,6 +11,7 @@
 #include "benchlib/workload.h"
 #include "core/database.h"
 #include "env/env.h"
+#include "exec/join_method.h"
 #include "exec/plan.h"
 #include "obs/metrics.h"
 
@@ -152,6 +153,71 @@ TEST_F(ExplainTest, ProjectDecorationsGolden) {
   EXPECT_NE(desc.find(" sort by id desc\n"), std::string::npos) << desc;
 }
 
+// --- Cost-based join methods (TDB_JOIN_METHOD levers) --------------------
+
+/// Forced hash join: the equality conjunct is consumed as the hash key and
+/// every node carries the cost model's `[est=N]` cardinality tag.  Both
+/// sides have 20 rows with 20 distinct ids, so est = 20*20/20 = 20.
+TEST_F(ExplainTest, HashJoinGolden) {
+  SetJoinMethodForTest(JoinMethod::kHash);
+  std::string desc = Explain("retrieve (h.id, i.amount) where h.id = i.id");
+  SetJoinMethodForTest(std::nullopt);
+  EXPECT_EQ(desc,
+            "project (h.id, i.amount)\n"
+            "  hash-join key=(h.id = i.id) [est=20]\n"
+            "    build: seq-scan h=hrel [est=20]\n"
+            "    probe: seq-scan i=irel [est=20]\n");
+}
+
+/// Forced interval join: the cross `overlap` conjunct becomes the sweep
+/// predicate; est = 0.5 * 20 * 20 = 200 (the coarse overlap selectivity).
+TEST_F(ExplainTest, IntervalJoinGolden) {
+  SetJoinMethodForTest(JoinMethod::kMerge);
+  std::string desc = Explain("retrieve (h.id, i.id) when h overlap i");
+  SetJoinMethodForTest(std::nullopt);
+  EXPECT_EQ(desc,
+            "project (h.id, id_2 = i.id)\n"
+            "  interval-join when=(h overlap i) [est=200]\n"
+            "    left: seq-scan h=hrel [est=20]\n"
+            "    right: seq-scan i=irel [est=20]\n");
+}
+
+/// Residual conjuncts: the consumed equality disappears, per-side
+/// restrictions sink into side filters, and the leftover cross conjunct
+/// lands on the join node's own filter clause.
+TEST_F(ExplainTest, HashJoinResidualGolden) {
+  SetJoinMethodForTest(JoinMethod::kHash);
+  std::string desc = Explain(
+      "retrieve (h.id, i.amount) where h.id = i.id and h.amount > 35 "
+      "and h.amount < i.amount + 140");
+  SetJoinMethodForTest(std::nullopt);
+  EXPECT_EQ(desc,
+            "project (h.id, i.amount)\n"
+            "  hash-join key=(h.id = i.id) "
+            "filter [(h.amount < (i.amount + 140))] [est=7]\n"
+            "    build: filter [(h.amount > 35)] [est=7]\n"
+            "      seq-scan h=hrel\n"
+            "    probe: seq-scan i=irel [est=20]\n");
+}
+
+/// A forced method that does not apply (no equality conjunct for hash, no
+/// overlap for merge) falls back to the paper plan — with no est tags, so
+/// the fallback rendering matches paper mode byte-for-byte.
+TEST_F(ExplainTest, ForcedMethodFallsBackToPaperPlan) {
+  std::string paper = Explain("retrieve (h.id, i.id)");
+  SetJoinMethodForTest(JoinMethod::kHash);
+  std::string forced = Explain("retrieve (h.id, i.id)");
+  SetJoinMethodForTest(std::nullopt);
+  EXPECT_EQ(paper, forced);
+}
+
+/// Paper mode never renders estimates: the lever off means byte-identical
+/// output to the pre-cost-model plans.
+TEST_F(ExplainTest, PaperModeHasNoEstimates) {
+  std::string desc = Explain("retrieve (h.id, i.amount) where h.id = i.id");
+  EXPECT_EQ(desc.find("est="), std::string::npos) << desc;
+}
+
 // --- The explain statement itself ---------------------------------------
 
 TEST_F(ExplainTest, ExplainStatementReturnsPlanRows) {
@@ -253,15 +319,22 @@ class ExplainAnalyzeTest : public ::testing::Test {
     ASSERT_TRUE(db.ok());
     db_ = std::move(db).value();
     Exec("create persistent interval hrel (id = i4, amount = i4, pad = c96)");
+    Exec("create persistent interval irel (id = i4, amount = i4, pad = c96)");
     for (int i = 0; i < 20; ++i) {
       Exec("append to hrel (id = " + std::to_string(i) + ", amount = " +
+           std::to_string(i * 7) + ")");
+      Exec("append to irel (id = " + std::to_string(i) + ", amount = " +
            std::to_string(i * 7) + ")");
     }
     Exec("modify hrel to hash on id where fillfactor = 100");
     Exec("range of h is hrel");
+    Exec("range of i is irel");
   }
 
-  void TearDown() override { obs::SetMetricsEnabledForTest(std::nullopt); }
+  void TearDown() override {
+    obs::SetMetricsEnabledForTest(std::nullopt);
+    SetJoinMethodForTest(std::nullopt);
+  }
 
   void Exec(const std::string& text) {
     auto r = db_->Execute(text);
@@ -291,6 +364,38 @@ TEST_F(ExplainAnalyzeTest, KeyedLookupGolden) {
       "[loops=1 examined=1 emitted=1 time=*]\n"
       "    keyed-lookup h=hrel key=5 (current) "
       "[loops=1 examined=1 emitted=1 reads=1 (data=1) time=*]\n");
+}
+
+/// Estimated vs. actual, per node: the analyzed hash join reports the cost
+/// model's `est=` next to the executed row counts.  20 ids join 1:1, and
+/// the estimate (20*20 / 20 distinct) agrees exactly on this uniform data.
+TEST_F(ExplainAnalyzeTest, HashJoinEstVsActualGolden) {
+  SetJoinMethodForTest(JoinMethod::kHash);
+  std::string tree =
+      MaskTimes(Analyze("retrieve (h.id, i.amount) where h.id = i.id"));
+  EXPECT_EQ(tree,
+            "project (h.id, i.amount) [rows=20 time=*]\n"
+            "  hash-join key=(h.id = i.id) "
+            "[loops=1 examined=20 emitted=20 est=20 time=*]\n"
+            "    build: seq-scan h=hrel "
+            "[loops=1 examined=20 emitted=20 est=20 reads=3 (data=3) time=*]\n"
+            "    probe: seq-scan i=irel "
+            "[loops=1 examined=20 emitted=20 est=20 reads=3 (data=3) "
+            "time=*]\n");
+}
+
+TEST_F(ExplainAnalyzeTest, IntervalJoinEstVsActual) {
+  SetJoinMethodForTest(JoinMethod::kMerge);
+  std::string tree =
+      MaskTimes(Analyze("retrieve (h.id, i.id) when h overlap i"));
+  // All 20x20 version pairs coexist (no history rounds), so the sweep
+  // emits 400 rows against the coarse 200 estimate — est and actual are
+  // both visible per node, which is the point of the annotation.
+  EXPECT_NE(tree.find("interval-join when=(h overlap i)"), std::string::npos)
+      << tree;
+  EXPECT_NE(tree.find("emitted=400 est=200"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("left: seq-scan h=hrel"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("right: seq-scan i=irel"), std::string::npos) << tree;
 }
 
 TEST_F(ExplainAnalyzeTest, AnalyzeExecutesTheQuery) {
