@@ -62,6 +62,29 @@ inline int64_t NowMillis() {
       .count();
 }
 
+/// Execution-engine context for benchmark reporting: the intra-query
+/// worker-thread lever as resolved from TDB_EXEC_THREADS (the same
+/// precedence ResolveExecThreads applies when no per-database option is
+/// set) plus the host's actual hardware concurrency.  Recorded into
+/// BENCH_exec.json so thread-scaling numbers are interpretable — a
+/// "4-thread" run on a 1-core host measures scheduling overhead, not
+/// scaling.
+struct ExecContext {
+  int exec_threads = 1;
+  unsigned hardware_concurrency = 1;
+
+  static ExecContext Detect() {
+    ExecContext ctx;
+    if (const char* env = std::getenv("TDB_EXEC_THREADS")) {
+      long v = std::strtol(env, nullptr, 10);
+      if (v > 0) ctx.exec_threads = static_cast<int>(std::min<long>(v, 64));
+    }
+    ctx.hardware_concurrency = std::thread::hardware_concurrency();
+    if (ctx.hardware_concurrency == 0) ctx.hardware_concurrency = 1;
+    return ctx;
+  }
+};
+
 /// Number of worker threads for RunCells: hardware concurrency, capped at
 /// the cell count, overridable via TDB_BENCH_THREADS (1 forces the serial
 /// order, useful when debugging a cell in isolation).

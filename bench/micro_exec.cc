@@ -20,14 +20,17 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "benchlib/workload.h"
 #include "exec/compiled_expr.h"
 #include "exec/eval.h"
 #include "exec/join_method.h"
 #include "exec/morsel.h"
 #include "exec/version.h"
+#include "exec/worker_pool.h"
 #include "types/schema.h"
 
 namespace tdb {
@@ -320,6 +323,43 @@ void BM_ExecJoinHashVectorized(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecJoinHashVectorized);
 
+// Thread scaling of the morsel-driven parallel pipelines (the shared
+// worker pool): the same vectorized queries at 1/2/4 exec threads.  Rows,
+// stats, and page counts are identical at every arg (the executor merges
+// per-chunk results deterministically); only wall clock may move.  On a
+// 1-core host the >1-thread args measure pool overhead, not speedup —
+// BENCH_exec.json records hardware_concurrency so readers can tell.
+void RunEngineBenchThreads(benchmark::State& state, const char* text,
+                           JoinMethod method) {
+  bench::WorkloadConfig config;
+  config.type = DbType::kTemporal;
+  config.fillfactor = 100;
+  auto db = bench::BenchmarkDb::Create(config);
+  if (!db.ok()) std::abort();
+  SetVectorExecEnabledForTest(true);
+  SetJoinMethodForTest(method);
+  SetExecThreadsForTest(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = (*db)->db()->Execute(text);
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->affected);
+  }
+  SetExecThreadsForTest(std::nullopt);
+  SetJoinMethodForTest(std::nullopt);
+  SetVectorExecEnabledForTest(std::nullopt);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void BM_ExecScanFilterThreads(benchmark::State& state) {
+  RunEngineBenchThreads(state, kScanFilterQuery, JoinMethod::kPaper);
+}
+BENCHMARK(BM_ExecScanFilterThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ExecJoinHashThreads(benchmark::State& state) {
+  RunEngineBenchThreads(state, kJoinQuery, JoinMethod::kHash);
+}
+BENCHMARK(BM_ExecJoinHashThreads)->Arg(1)->Arg(2)->Arg(4);
+
 // Temporal join: 16 restricted outer versions against the 1024-tuple inner,
 // `when h overlap i`.  Paper mode rescans the inner per outer row; the
 // sort/merge sweep sorts both sides once and emits overlapping pairs.
@@ -364,4 +404,18 @@ BENCHMARK(BM_QueryQ07);  // non-key selection over history
 }  // namespace
 }  // namespace tdb
 
-BENCHMARK_MAIN();
+// Custom main (vs BENCHMARK_MAIN) so the execution-engine context —
+// TDB_EXEC_THREADS as resolved and the host's real hardware concurrency —
+// lands in the JSON context block scripts/make_bench_exec.py copies into
+// BENCH_exec.json.
+int main(int argc, char** argv) {
+  const tdb::bench::ExecContext ctx = tdb::bench::ExecContext::Detect();
+  benchmark::AddCustomContext("exec_threads", std::to_string(ctx.exec_threads));
+  benchmark::AddCustomContext("hardware_concurrency",
+                              std::to_string(ctx.hardware_concurrency));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

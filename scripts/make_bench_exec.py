@@ -29,6 +29,14 @@ MAPPING = {
     "BM_ExecJoinHashVectorized": ("exec_join", "hash_vectorized"),
     "BM_ExecIntervalJoinPaper": ("exec_interval_join", "paper"),
     "BM_ExecIntervalJoinSweep": ("exec_interval_join", "sweep"),
+    # Thread scaling of the morsel-driven parallel pipelines (google-benchmark
+    # appends the ->Arg() value to the name).
+    "BM_ExecScanFilterThreads/1": ("exec_scan_filter", "threads_1"),
+    "BM_ExecScanFilterThreads/2": ("exec_scan_filter", "threads_2"),
+    "BM_ExecScanFilterThreads/4": ("exec_scan_filter", "threads_4"),
+    "BM_ExecJoinHashThreads/1": ("exec_join", "hash_threads_1"),
+    "BM_ExecJoinHashThreads/2": ("exec_join", "hash_threads_2"),
+    "BM_ExecJoinHashThreads/4": ("exec_join", "hash_threads_4"),
 }
 
 # (section, numerator-mode, denominator-mode) -> ratio name
@@ -40,6 +48,9 @@ SPEEDUPS = [
     ("exec_join", "tuple", "vectorized", "speedup_vectorized_vs_tuple"),
     ("exec_join", "tuple", "hash", "speedup_hash_vs_tuple"),
     ("exec_interval_join", "paper", "sweep", "speedup_sweep_vs_paper"),
+    ("exec_scan_filter", "threads_1", "threads_4", "speedup_threads_4_vs_1"),
+    ("exec_join", "hash_threads_1", "hash_threads_4",
+     "speedup_hash_threads_4_vs_1"),
 ]
 
 
@@ -82,7 +93,9 @@ def main():
         "source": "bench/micro_exec.cc",
         "context": {
             k: raw.get("context", {}).get(k)
-            for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+            for k in ("host_name", "num_cpus", "mhz_per_cpu",
+                      "library_build_type", "exec_threads",
+                      "hardware_concurrency")
         },
     }
     out.update(table)

@@ -5,9 +5,11 @@
 #include "exec/ddl_executor.h"
 #include "exec/dml_executor.h"
 #include "exec/exec_env.h"
+#include "exec/morsel.h"
 #include "exec/plan.h"
 #include "exec/planner.h"
 #include "exec/query_executor.h"
+#include "exec/worker_pool.h"
 #include "tquel/binder.h"
 #include "tquel/parser.h"
 #include "util/stringx.h"
@@ -64,11 +66,18 @@ void Database::RestoreClock() {
   }
 }
 
-Result<Relation*> Database::GetRelation(const std::string& name) {
+ExecEnv Database::MakeExecEnv() {
   ExecEnv exec{env_, dir_, &catalog_, &registry_, &relations_, now_,
                options_.buffer_frames, journal_.get(),
                EffectiveJoinMethod(options_.join_method)};
-  return exec.GetRelation(name);
+  exec.vector_exec = ResolveVectorExec(options_.vector_exec);
+  exec.morsel_cap = ResolveMorselCapacity(options_.morsel_capacity);
+  exec.exec_threads = ResolveExecThreads(options_.exec_threads);
+  return exec;
+}
+
+Result<Relation*> Database::GetRelation(const std::string& name) {
+  return MakeExecEnv().GetRelation(name);
 }
 
 Result<std::vector<ExecResult>> Database::ExecuteScript(
@@ -119,9 +128,7 @@ Result<std::vector<ExecResult>> Database::ExecuteScript(
 }
 
 Result<ExecResult> Database::ExecuteStatement(Statement* stmt) {
-  ExecEnv exec{env_, dir_, &catalog_, &registry_, &relations_, now_,
-               options_.buffer_frames, journal_.get(),
-               EffectiveJoinMethod(options_.join_method)};
+  ExecEnv exec = MakeExecEnv();
   Binder binder(&catalog_, &ranges_);
   bool mutating = false;
   ExecResult last;
@@ -304,9 +311,7 @@ Result<std::shared_ptr<const PhysicalPlan>> Database::Plan(
   TDB_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindRetrieve(retrieve));
   // Journal included so relations opened (and cached) while planning carry
   // the same hooks as ones opened while executing.
-  ExecEnv exec{env_, dir_, &catalog_, &registry_, &relations_, now_,
-               options_.buffer_frames, journal_.get(),
-               EffectiveJoinMethod(options_.join_method)};
+  ExecEnv exec = MakeExecEnv();
   TDB_ASSIGN_OR_RETURN(std::shared_ptr<PhysicalPlan> plan,
                        BuildPlan(*retrieve, bound, exec));
   return std::shared_ptr<const PhysicalPlan>(std::move(plan));

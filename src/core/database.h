@@ -22,6 +22,7 @@
 namespace tdb {
 
 struct Statement;  // tquel/ast.h
+struct ExecEnv;    // exec/exec_env.h
 
 /// 1980-01-01 00:00:00 UTC — the epoch the paper's benchmark databases are
 /// initialized around, and the default logical start time.
@@ -57,6 +58,18 @@ struct DatabaseOptions {
   /// plans — and therefore every measured page count — are byte-identical
   /// to the pre-cost-model system.
   std::optional<JoinMethod> join_method;
+  /// Morsel-at-a-time execution.  Unset defers to TDB_VECTOR_EXEC (on
+  /// unless "0"); off selects the tuple-at-a-time engine.  Identical page
+  /// I/O either way.
+  std::optional<bool> vector_exec;
+  /// Morsel capacity in records.  0 (unset) defers to TDB_MORSEL_CAP,
+  /// default 1024, clamped to [1, 65535].
+  int morsel_capacity = 0;
+  /// Worker threads for morsel-driven parallel pipelines.  0 (unset)
+  /// defers to TDB_EXEC_THREADS, default 1 — the paper's single-threaded
+  /// measurement discipline, whose IoCounters and figure stdout are
+  /// bit-identical to the pre-parallel system.  Clamped to [1, 64].
+  int exec_threads = 0;
 };
 
 /// The TQuel temporal DBMS facade: a database directory containing a
@@ -154,6 +167,11 @@ class Database {
   std::string ClockPath() const { return dir_ + "/clock"; }
   void PersistClock() const;
   void RestoreClock();
+
+  /// The executor environment for one statement, with every engine knob
+  /// (join method, vectorization, morsel capacity, thread count) resolved
+  /// from this database's options and the TDB_* environment.
+  ExecEnv MakeExecEnv();
 
   /// Runs one parsed statement (the per-statement switch).  Journal
   /// bracketing lives in ExecuteScript.

@@ -34,6 +34,13 @@ struct ExecEnv {
   /// How the planner chooses join order/method.  kPaper (the default)
   /// reproduces the tuple-substitution plans of the paper exactly.
   JoinMethod join_method = JoinMethod::kPaper;
+  /// Resolved engine knobs (DatabaseOptions > TDB_* env > defaults; see
+  /// ResolveVectorExec / ResolveMorselCapacity / ResolveExecThreads).
+  bool vector_exec = true;
+  size_t morsel_cap = 1024;
+  /// Worker threads for morsel-driven parallel pipelines.  1 (the paper's
+  /// measurement discipline) keeps execution strictly single-threaded.
+  int exec_threads = 1;
 
   /// Returns the open handle for `name`, opening it from the catalog on
   /// first use.

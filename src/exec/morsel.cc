@@ -11,29 +11,28 @@ namespace {
 std::optional<bool> g_vector_override;
 }  // namespace
 
-bool VectorExecEnabled() {
+bool ResolveVectorExec(const std::optional<bool>& option) {
   if (g_vector_override.has_value()) return *g_vector_override;
-  static const bool enabled = [] {
-    const char* v = std::getenv("TDB_VECTOR_EXEC");
-    return v == nullptr || std::string_view(v) != "0";
-  }();
-  return enabled;
+  if (option.has_value()) return *option;
+  const char* v = std::getenv("TDB_VECTOR_EXEC");
+  return v == nullptr || std::string_view(v) != "0";
 }
 
 void SetVectorExecEnabledForTest(std::optional<bool> enabled) {
   g_vector_override = enabled;
 }
 
-size_t MorselCapacity() {
-  static const size_t cap = [] {
+size_t ResolveMorselCapacity(int option) {
+  int64_t cap = 0;
+  if (option > 0) {
+    cap = option;
+  } else {
     const char* v = std::getenv("TDB_MORSEL_CAP");
-    int64_t parsed = 0;
-    if (v == nullptr || !ParseInt64(v, &parsed)) return int64_t{1024};
-    if (parsed < 1) return int64_t{1};
-    if (parsed > 65535) return int64_t{65535};
-    return parsed;
-  }();
-  return cap;
+    if (v == nullptr || !ParseInt64(v, &cap)) cap = 1024;
+  }
+  if (cap < 1) cap = 1;
+  if (cap > 65535) cap = 65535;
+  return static_cast<size_t>(cap);
 }
 
 }  // namespace tdb

@@ -9,8 +9,8 @@
 
 namespace tdb {
 
-/// Batch currency of the vectorized executor: up to MorselCapacity() raw
-/// record slices from ONE store of a relation, gathered by
+/// Batch currency of the vectorized executor: up to the morsel capacity of
+/// raw record slices from ONE store of a relation, gathered by
 /// VersionSource::NextBatch.  All entries of a morsel share `in_history`
 /// (the gather is cut when the source transitions between primary and
 /// history stores), so batch kernels can decode intervals uniformly.
@@ -28,18 +28,21 @@ inline void FillIdentity(SelVec* sel, size_t n) {
   for (size_t i = 0; i < n; ++i) (*sel)[i] = static_cast<uint16_t>(i);
 }
 
-/// Whether the executor runs morsel-at-a-time.  Defaults to on; the
-/// TDB_VECTOR_EXEC=0 environment variable (read once) selects the
-/// tuple-at-a-time fallback.  Both modes perform identical page I/O.
-bool VectorExecEnabled();
+/// Resolves whether a Database runs morsel-at-a-time: test override >
+/// `option` (DatabaseOptions::vector_exec) > TDB_VECTOR_EXEC env (re-read
+/// every call, so tests can flip it without a process restart) > on.  Both
+/// modes perform identical page I/O.
+bool ResolveVectorExec(const std::optional<bool>& option);
 
-/// Test hook: forces VectorExecEnabled() to `enabled` (or back to the
-/// environment default with nullopt).
+/// Test hook: forces ResolveVectorExec() to `enabled` (or back to the
+/// option/environment default with nullopt).
 void SetVectorExecEnabledForTest(std::optional<bool> enabled);
 
-/// Morsel capacity in records: TDB_MORSEL_CAP (read once), default 1024,
-/// clamped to [1, 65535] so selection-vector indexes fit in uint16_t.
-size_t MorselCapacity();
+/// Resolves a Database's morsel capacity in records: `option`
+/// (DatabaseOptions::morsel_capacity, when > 0) > TDB_MORSEL_CAP env
+/// (re-read every call) > 1024, clamped to [1, 65535] so selection-vector
+/// indexes fit in uint16_t.
+size_t ResolveMorselCapacity(int option);
 
 }  // namespace tdb
 

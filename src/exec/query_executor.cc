@@ -1,19 +1,36 @@
 #include "exec/query_executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <map>
 #include <set>
 #include <unordered_map>
 
+#include "exec/worker_pool.h"
 #include "obs/metrics.h"
 #include "storage/heap_file.h"
+#include "storage/page.h"
 #include "util/stringx.h"
 
 namespace tdb {
 
 namespace {
+
+/// Pages per parallel-scan chunk.  Fixed (never derived from the thread
+/// count) so the chunk boundaries — and therefore every per-chunk merge —
+/// are identical at any TDB_EXEC_THREADS, which is what makes row order,
+/// stats, and IoCounters reproducible across thread counts.
+constexpr uint32_t kParallelChunkPages = 4;
+
+/// True when the planner lowered every conjunct of this filter — the
+/// all-or-nothing compiled-path gate both EvalFilter variants share.
+bool FilterCompiled(const FilterNode& filter) {
+  return filter.where_prog.size() == filter.where.size() &&
+         filter.when_prog.size() == filter.when.size() &&
+         (!filter.where_prog.empty() || !filter.when_prog.empty());
+}
 
 /// Accumulates the scope's wall time into a node's inclusive wall_nanos.
 /// Disabled (no clock reads at all) unless the executor runs with timing —
@@ -144,15 +161,21 @@ bool QueryExecutor::QualifiesAsOf(const Interval& tx) const {
 
 Result<bool> QueryExecutor::EvalFilter(const FilterNode& filter,
                                        const Binding& binding) {
+  return EvalFilterWith(filter, filter.where_prog, filter.when_prog,
+                        FilterCompiled(filter), binding);
+}
+
+Result<bool> QueryExecutor::EvalFilterWith(
+    const FilterNode& filter, const std::vector<CompiledProgram>& where_prog,
+    const std::vector<CompiledProgram>& when_prog, bool compiled,
+    const Binding& binding) const {
   // Compiled fast path: the planner lowered every conjunct of this level.
-  if (filter.where_prog.size() == filter.where.size() &&
-      filter.when_prog.size() == filter.when.size() &&
-      (!filter.where_prog.empty() || !filter.when_prog.empty())) {
-    for (const CompiledProgram& prog : filter.where_prog) {
+  if (compiled) {
+    for (const CompiledProgram& prog : where_prog) {
       TDB_ASSIGN_OR_RETURN(bool ok, prog.EvalBool(binding, env_.now));
       if (!ok) return false;
     }
-    for (const CompiledProgram& prog : filter.when_prog) {
+    for (const CompiledProgram& prog : when_prog) {
       TDB_ASSIGN_OR_RETURN(bool ok, prog.EvalPred(binding, env_.now));
       if (!ok) return false;
     }
@@ -294,18 +317,26 @@ Status QueryExecutor::EvalFilterBatch(const FilterNode& filter,
                                       const Schema& schema, int var,
                                       const Morsel& m, Binding* binding,
                                       VersionRef* scratch, SelVec* sel) {
+  return EvalFilterBatchWith(filter, filter.where_prog, filter.when_prog,
+                             FilterCompiled(filter), schema, var, m, binding,
+                             scratch, sel);
+}
+
+Status QueryExecutor::EvalFilterBatchWith(
+    const FilterNode& filter, const std::vector<CompiledProgram>& where_prog,
+    const std::vector<CompiledProgram>& when_prog, bool compiled,
+    const Schema& schema, int var, const Morsel& m, Binding* binding,
+    VersionRef* scratch, SelVec* sel) const {
   // Compiled fast path, mirroring EvalFilter's all-or-nothing gate: every
   // conjunct runs as a batch kernel (or the program's generic row loop),
   // refining `sel` in short-circuit order.
-  if (filter.where_prog.size() == filter.where.size() &&
-      filter.when_prog.size() == filter.when.size() &&
-      (!filter.where_prog.empty() || !filter.when_prog.empty())) {
-    for (const CompiledProgram& prog : filter.where_prog) {
+  if (compiled) {
+    for (const CompiledProgram& prog : where_prog) {
       if (sel->empty()) return Status::OK();
       TDB_RETURN_NOT_OK(prog.EvalBoolBatch(schema, var, m, binding, scratch,
                                            env_.now, sel));
     }
-    for (const CompiledProgram& prog : filter.when_prog) {
+    for (const CompiledProgram& prog : when_prog) {
       if (sel->empty()) return Status::OK();
       TDB_RETURN_NOT_OK(prog.EvalPredBatch(schema, var, m, binding, scratch,
                                            env_.now, sel));
@@ -355,7 +386,7 @@ Status QueryExecutor::ExecuteAccessVectorized(AccessNode* node,
 
   const Schema& schema = node->rel->schema();
   const bool tx_time = HasTransactionTime(schema.db_type());
-  const size_t cap = MorselCapacity();
+  const size_t cap = env_.morsel_cap;
   const size_t var = static_cast<size_t>(node->var);
 
   std::unique_ptr<VecScratch> scratch = AcquireVecScratch();
@@ -423,6 +454,316 @@ Status QueryExecutor::ExecuteLevelVectorized(PlanNode* level, Binding* binding,
   }
   return ExecuteAccessVectorized(static_cast<AccessNode*>(level), nullptr,
                                  binding, body);
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven intra-query parallelism.
+//
+// A parallel scan replays the serial scan's exact page-I/O accounting.  The
+// serial engine reads a store's pages 0..N-1 through its single buffer
+// frame, so its counters are: a free hit if page 0 was already resident, a
+// dirty-eviction write if some other page was resident and dirty, one
+// physical read per non-resident page, and the last page left resident.
+// Workers instead read through Pager::ReadPageInto — resident frames serve
+// hits, everything else is a counted read into worker-private memory that
+// leaves the frames untouched.  RunParallelScan brackets the dispatch with
+// a normalization (below) and a re-prime so the counter deltas, observed
+// only at this coordinator level, are bit-identical to serial.
+// ---------------------------------------------------------------------------
+
+/// The row-building half of Retrieve's emit path: evaluates the target list
+/// and the valid-interval output columns for one fully-bound row.  Copyable
+/// so each parallel task evaluates through private program copies (compiled
+/// operand stacks are per-object scratch); the ordering-sensitive half —
+/// `unique` dedup and the result push — stays on the coordinator sink.
+struct RowProjector {
+  const RetrieveStmt* stmt = nullptr;
+  bool valid_output = false;
+  std::vector<std::optional<CompiledProgram>> target_progs;
+  std::optional<CompiledProgram> valid_from_prog;
+  std::optional<CompiledProgram> valid_to_prog;
+  TimePoint now;
+  const Evaluator* eval = nullptr;
+
+  /// Builds the output row; false = drop it (vacuous default valid
+  /// interval), mirroring the serial emit path exactly.
+  Result<bool> BuildRow(const Binding& binding, Row* row) const {
+    row->clear();
+    row->reserve(stmt->targets.size() + 2);
+    for (size_t ti = 0; ti < stmt->targets.size(); ++ti) {
+      Value v;
+      if (target_progs[ti].has_value()) {
+        TDB_ASSIGN_OR_RETURN(v, target_progs[ti]->Eval(binding, now));
+      } else {
+        TDB_ASSIGN_OR_RETURN(v, eval->Eval(*stmt->targets[ti].expr, binding));
+      }
+      row->push_back(std::move(v));
+    }
+    if (valid_output) {
+      Interval iv(TimePoint::Beginning(), TimePoint::Forever());
+      if (stmt->valid.has_value()) {
+        Interval from;
+        if (valid_from_prog.has_value()) {
+          TDB_ASSIGN_OR_RETURN(from, valid_from_prog->EvalInterval(binding,
+                                                                   now));
+        } else {
+          TDB_ASSIGN_OR_RETURN(from,
+                               eval->EvalTemporal(*stmt->valid->from, binding));
+        }
+        if (stmt->valid->at) {
+          iv = Interval::Event(from.from);
+        } else {
+          Interval to;
+          if (valid_to_prog.has_value()) {
+            TDB_ASSIGN_OR_RETURN(to, valid_to_prog->EvalInterval(binding,
+                                                                 now));
+          } else {
+            TDB_ASSIGN_OR_RETURN(to,
+                                 eval->EvalTemporal(*stmt->valid->to, binding));
+          }
+          iv = Interval(from.from, to.from);
+        }
+      } else {
+        // Default: the overlap of every participating tuple's lifespan;
+        // vacuous rows (no shared instant) are dropped.
+        bool first = true;
+        for (const VersionRef* ref : binding) {
+          if (ref == nullptr) continue;
+          iv = first ? ref->valid : Interval::Intersect(iv, ref->valid);
+          first = false;
+        }
+        if (iv.empty()) return false;
+      }
+      row->push_back(Value::Time(iv.from));
+      row->push_back(Value::Time(iv.to));
+    }
+    return true;
+  }
+};
+
+/// Per-worker scratch for a parallel scan: a private binding, morsel,
+/// selection vector, scratch ref, filter-program copies, and the page
+/// buffer ReadPageInto fills (so workers never share buffer frames).
+struct QueryExecutor::ScanWorkerState {
+  explicit ScanWorkerState(const Binding& b) : binding(b) {}
+
+  Binding binding;  // the scanned variable's slot is rebound per row
+  Morsel morsel;
+  SelVec sel;
+  VersionRef ref;
+  // Lazily-taken private copies of the fused filter's compiled programs:
+  // their operand stacks are scratch, so the plan node's own copies cannot
+  // be shared across workers.
+  bool progs_init = false;
+  bool compiled = false;
+  std::vector<CompiledProgram> where_prog;
+  std::vector<CompiledProgram> when_prog;
+  alignas(8) uint8_t page_buf[kPageSize];
+};
+
+std::optional<QueryExecutor::ParScan> QueryExecutor::TryPlanParallelScan(
+    PlanNode* level) {
+  if (env_.exec_threads < 2 || !vectorized_) return std::nullopt;
+  // An enabled I/O trace logs every page touch in serial order; concurrent
+  // workers would interleave it, so tracing pins the serial engine (this is
+  // also what keeps the figure drivers' traced goldens byte-identical).
+  if (env_.registry->trace()->enabled()) return std::nullopt;
+  ParScan ps;
+  PlanNode* leaf = level;
+  if (level->kind == PlanNode::Kind::kFilter) {
+    ps.filter = static_cast<FilterNode*>(level);
+    leaf = ps.filter->child.get();
+  }
+  if (leaf->kind != PlanNode::Kind::kSeqScan) return std::nullopt;
+  ps.node = static_cast<AccessNode*>(leaf);
+  ps.chunks = CutScanChunks(ps.node->rel, ps.node->current_only,
+                            kParallelChunkPages);
+  if (ps.chunks.size() < 2) return std::nullopt;
+  for (const ScanChunk& c : ps.chunks) {
+    // The I/O-replay bracketing below is derived for the paper's
+    // single-frame pager; larger pools keep the serial engine.
+    if (!c.use_cursor && c.file->pager()->num_frames() != 1) {
+      return std::nullopt;
+    }
+  }
+  return ps;
+}
+
+Status QueryExecutor::RunParallelScan(ParScan* ps, const Binding& binding,
+                                      const ParallelRowFn& row) {
+  AccessNode* node = ps->node;
+  FilterNode* filter = ps->filter;
+  ScopedNodeTimer timer(timing_, &node->stats);
+  std::optional<ScopedNodeTimer> filter_timer;
+  if (filter != nullptr) {
+    filter_timer.emplace(timing_, &filter->stats);
+    filter->stats.executed = true;
+    ++filter->stats.loops;
+  }
+  node->stats.executed = true;
+  ++node->stats.loops;
+
+  IoWindow win;
+  win.AddRelation(node->rel);
+  win.Begin();
+
+  // Normalize each page-range-chunked store's buffer frame so the workers'
+  // frame-bypassing reads reproduce the serial counts: an empty frame needs
+  // nothing; page 0 resident stays (the serial scan's first read — and the
+  // workers' ReadPageInto(0) — hit it for free); any other resident page,
+  // which the serial scan would evict (writing it first if dirty) before
+  // its cold reads, is flushed and dropped up front.
+  std::vector<StorageFile*> chunked;
+  for (const ScanChunk& c : ps->chunks) {
+    if (c.use_cursor) continue;
+    if (!chunked.empty() && chunked.back() == c.file) continue;
+    chunked.push_back(c.file);
+  }
+  Status status = Status::OK();
+  for (StorageFile* f : chunked) {
+    std::vector<uint32_t> resident = f->pager()->ResidentPages();
+    if (resident.empty()) continue;
+    status = (resident.size() == 1 && resident[0] == 0)
+                 ? f->pager()->Flush()
+                 : f->pager()->FlushAndDrop();
+    if (!status.ok()) break;
+  }
+
+  const size_t ntasks = ps->chunks.size();
+  std::vector<ChunkStats> stats(ntasks);
+  std::vector<Status> errors(ntasks, Status::OK());
+  if (status.ok()) {
+    // Work stealing: workers claim chunk indexes from a shared counter, so
+    // a skewed chunk (one giant store) never idles the rest of the pool.
+    std::atomic<size_t> next{0};
+    std::atomic<bool> abort{false};
+    const int workers = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(env_.exec_threads), ntasks));
+    WorkerPool::Shared().Run(workers, [&](int) {
+      ScanWorkerState ws(binding);
+      while (true) {
+        const size_t t = next.fetch_add(1, std::memory_order_relaxed);
+        if (t >= ntasks) break;
+        if (abort.load(std::memory_order_relaxed)) continue;
+        Status st =
+            ProcessScanChunk(*ps, ps->chunks[t], t, &ws, row, &stats[t]);
+        if (!st.ok()) {
+          errors[t] = std::move(st);
+          abort.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+    // Re-prime: the serial scan ends with each store's last page resident
+    // (its read already counted), so install it without counting before
+    // the window closes.
+    for (StorageFile* f : chunked) {
+      const uint32_t pages = f->page_count();
+      if (pages == 0) continue;
+      status = f->pager()->PrimeFrame(pages - 1, f->ScanCategory(pages - 1));
+      if (!status.ok()) break;
+    }
+  }
+  win.End(&node->stats.io);
+  TDB_RETURN_NOT_OK(status);
+  // First error in chunk order — the same failure a serial scan reports.
+  for (size_t t = 0; t < ntasks; ++t) TDB_RETURN_NOT_OK(errors[t]);
+
+  ChunkStats total;
+  for (const ChunkStats& cs : stats) {
+    total.examined += cs.examined;
+    total.emitted += cs.emitted;
+    total.filter_examined += cs.filter_examined;
+    total.filter_emitted += cs.filter_emitted;
+  }
+  node->stats.rows_examined += total.examined;
+  node->stats.rows_emitted += total.emitted;
+  if (filter != nullptr) {
+    filter->stats.rows_examined += total.filter_examined;
+    filter->stats.rows_emitted += total.filter_emitted;
+  }
+  return Status::OK();
+}
+
+Status QueryExecutor::ProcessScanChunk(const ParScan& ps,
+                                       const ScanChunk& chunk, size_t task,
+                                       ScanWorkerState* ws,
+                                       const ParallelRowFn& row,
+                                       ChunkStats* stats) const {
+  AccessNode* node = ps.node;
+  FilterNode* filter = ps.filter;
+  const Schema& schema = node->rel->schema();
+  const bool tx_time = HasTransactionTime(schema.db_type());
+  const size_t var = static_cast<size_t>(node->var);
+  if (filter != nullptr && !ws->progs_init) {
+    ws->progs_init = true;
+    ws->compiled = FilterCompiled(*filter);
+    if (ws->compiled) {
+      ws->where_prog = filter->where_prog;
+      ws->when_prog = filter->when_prog;
+    }
+  }
+  Morsel& m = ws->morsel;
+  SelVec& sel = ws->sel;
+  VersionRef& ref = ws->ref;
+  Binding* binding = &ws->binding;
+
+  auto flush_batch = [&]() -> Status {
+    const size_t n = m.size();
+    stats->examined += n;
+    FillIdentity(&sel, n);
+    if (tx_time) FilterAsOfBatch(schema, m, &sel);
+    stats->emitted += sel.size();
+    if (filter != nullptr) {
+      stats->filter_examined += sel.size();
+      TDB_RETURN_NOT_OK(EvalFilterBatchWith(*filter, ws->where_prog,
+                                            ws->when_prog, ws->compiled,
+                                            schema, node->var, m, binding,
+                                            &ref, &sel));
+      stats->filter_emitted += sel.size();
+    }
+    for (uint16_t idx : sel) {
+      ref.BindRaw(schema, m.rec(idx));
+      ref.tid = m.tid(idx);
+      ref.in_history = m.in_history;
+      (*binding)[var] = &ref;
+      TDB_RETURN_NOT_OK(row(task, binding));
+    }
+    (*binding)[var] = nullptr;
+    return Status::OK();
+  };
+
+  if (chunk.use_cursor) {
+    // Whole-store chunk (ISAM/B-tree primaries): this worker is the pager's
+    // only user, so the ordinary cursor path — buffer frame included —
+    // behaves exactly as it does serially.
+    TDB_ASSIGN_OR_RETURN(auto cur, chunk.file->Scan());
+    while (true) {
+      m.Clear();
+      TDB_ASSIGN_OR_RETURN(size_t n, cur->NextBatch(&m, env_.morsel_cap));
+      if (n == 0) break;
+      m.in_history = chunk.in_history;
+      TDB_RETURN_NOT_OK(flush_batch());
+    }
+    return Status::OK();
+  }
+
+  // Page-range chunk: replay the linear cursor's walk — pages ascending,
+  // used slots ascending — against a private copy of each page.
+  const uint16_t record_size = chunk.file->layout().record_size;
+  Pager* pager = chunk.file->pager();
+  for (uint32_t pno = chunk.begin; pno < chunk.end; ++pno) {
+    TDB_RETURN_NOT_OK(pager->ReadPageInto(pno, chunk.file->ScanCategory(pno),
+                                          ws->page_buf));
+    Page page(ws->page_buf, record_size);
+    m.Clear();
+    m.in_history = chunk.in_history;
+    for (uint16_t s = 0; s < page.capacity(); ++s) {
+      if (page.SlotUsed(s)) m.AppendSlice(page.RecordAt(s), Tid{pno, s});
+    }
+    if (m.empty()) continue;
+    TDB_RETURN_NOT_OK(flush_batch());
+  }
+  return Status::OK();
 }
 
 Status QueryExecutor::ExecuteLevel(PlanNode* level, Binding* binding,
@@ -721,57 +1062,177 @@ Status QueryExecutor::ExecuteHashJoin(HashJoinNode* node, Binding* binding,
   // table — no page I/O — so morsel batching is always safe here.
   std::unordered_map<std::string, std::vector<VersionRef>> table;
   std::string keybuf;
-  const EmitFn build_row = [&](const Binding& b) -> Status {
-    Value key;
-    if (node->build_prog.has_value()) {
-      TDB_ASSIGN_OR_RETURN(key, node->build_prog->Eval(b, env_.now));
-    } else {
-      TDB_ASSIGN_OR_RETURN(key, eval_.Eval(*node->build_key, b));
+  std::optional<ParScan> par_build = TryPlanParallelScan(node->build.get());
+  if (par_build.has_value()) {
+    // Parallel build: workers evaluate keys and clone versions into
+    // per-chunk staging vectors; the coordinator inserts them in chunk
+    // order, so every bucket's match list keeps the serial row order.
+    struct TaskBuild {
+      std::optional<CompiledProgram> prog;  // private build-key program
+      std::string keybuf;
+      std::vector<std::pair<std::string, VersionRef>> out;
+    };
+    std::vector<std::unique_ptr<TaskBuild>> tasks(par_build->chunks.size());
+    ParallelRowFn build_chunk_row = [&](size_t task, Binding* b) -> Status {
+      auto& t = tasks[task];
+      if (t == nullptr) {
+        t = std::make_unique<TaskBuild>();
+        t->prog = node->build_prog;
+      }
+      Value key;
+      if (t->prog.has_value()) {
+        TDB_ASSIGN_OR_RETURN(key, t->prog->Eval(*b, env_.now));
+      } else {
+        TDB_ASSIGN_OR_RETURN(key, eval_.Eval(*node->build_key, *b));
+      }
+      if (!NormalizedJoinKey(key, &t->keybuf)) return Status::OK();
+      t->out.emplace_back(t->keybuf, (*b)[build_var]->Clone());
+      return Status::OK();
+    };
+    TDB_RETURN_NOT_OK(RunParallelScan(&*par_build, *binding, build_chunk_row));
+    for (auto& t : tasks) {
+      if (t == nullptr) continue;
+      for (auto& [k, v] : t->out) table[k].push_back(std::move(v));
     }
-    if (!NormalizedJoinKey(key, &keybuf)) return Status::OK();
-    // Materialize: the producer's ref borrows cursor/morsel bytes that die
-    // on the next advance, so the table needs an owning copy.
-    table[keybuf].push_back(b[build_var]->Clone());
-    return Status::OK();
-  };
-  TDB_RETURN_NOT_OK(
-      vectorized_
-          ? ExecuteLevelVectorized(node->build.get(), binding, build_row)
-          : ExecuteLevel(node->build.get(), binding, build_row));
+  } else {
+    const EmitFn build_row = [&](const Binding& b) -> Status {
+      Value key;
+      if (node->build_prog.has_value()) {
+        TDB_ASSIGN_OR_RETURN(key, node->build_prog->Eval(b, env_.now));
+      } else {
+        TDB_ASSIGN_OR_RETURN(key, eval_.Eval(*node->build_key, b));
+      }
+      if (!NormalizedJoinKey(key, &keybuf)) return Status::OK();
+      // Materialize: the producer's ref borrows cursor/morsel bytes that
+      // die on the next advance, so the table needs an owning copy.
+      table[keybuf].push_back(b[build_var]->Clone());
+      return Status::OK();
+    };
+    TDB_RETURN_NOT_OK(
+        vectorized_
+            ? ExecuteLevelVectorized(node->build.get(), binding, build_row)
+            : ExecuteLevel(node->build.get(), binding, build_row));
+  }
 
   // ---- probe: stream the probe side, looking up matches per row.  The
   // emit body does no page I/O (into-materialization runs after iteration),
   // so the probe side batches too.
   uint64_t candidates = 0;
   uint64_t matches = 0;
-  const EmitFn probe_row = [&](const Binding& b) -> Status {
-    Value key;
-    if (node->probe_prog.has_value()) {
-      TDB_ASSIGN_OR_RETURN(key, node->probe_prog->Eval(b, env_.now));
-    } else {
-      TDB_ASSIGN_OR_RETURN(key, eval_.Eval(*node->probe_key, b));
+  Status status = Status::OK();
+  // A hash join always sits directly under the plan root, so `emit` is the
+  // root's projector+sink pair; the parallel probe needs them split (rows
+  // built on workers, ordering-sensitive sink on the coordinator).
+  std::optional<ParScan> par_probe =
+      root_proj_ != nullptr && root_sink_ != nullptr
+          ? TryPlanParallelScan(node->probe.get())
+          : std::nullopt;
+  if (par_probe.has_value()) {
+    // Freeze the table for concurrent probing: materialize every entry's
+    // row up front so the workers' attr() reads never race on the refs'
+    // lazy-decode caches.
+    for (auto& [k, vec] : table) {
+      (void)k;
+      for (VersionRef& v : vec) v.FullRow();
     }
-    if (!NormalizedJoinKey(key, &keybuf)) return Status::OK();
-    auto it = table.find(keybuf);
-    if (it == table.end()) return Status::OK();
-    for (const VersionRef& bref : it->second) {
-      ++candidates;
-      (*binding)[build_var] = &bref;
-      bool pass = true;
-      if (has_residual) {
-        TDB_ASSIGN_OR_RETURN(pass, EvalFilter(node->residual, *binding));
+    const bool residual_compiled = FilterCompiled(node->residual);
+    struct TaskProbe {
+      std::optional<CompiledProgram> prog;  // private probe-key program
+      std::vector<CompiledProgram> res_where;
+      std::vector<CompiledProgram> res_when;
+      RowProjector proj;
+      std::string keybuf;
+      std::vector<Row> rows;
+      uint64_t candidates = 0;
+      uint64_t matches = 0;
+    };
+    std::vector<std::unique_ptr<TaskProbe>> tasks(par_probe->chunks.size());
+    ParallelRowFn probe_chunk_row = [&](size_t task, Binding* b) -> Status {
+      auto& t = tasks[task];
+      if (t == nullptr) {
+        t = std::make_unique<TaskProbe>();
+        t->prog = node->probe_prog;
+        if (residual_compiled) {
+          t->res_where = node->residual.where_prog;
+          t->res_when = node->residual.when_prog;
+        }
+        t->proj = *root_proj_;
       }
-      if (!pass) continue;
-      ++matches;
-      TDB_RETURN_NOT_OK(emit(*binding));
+      Value key;
+      if (t->prog.has_value()) {
+        TDB_ASSIGN_OR_RETURN(key, t->prog->Eval(*b, env_.now));
+      } else {
+        TDB_ASSIGN_OR_RETURN(key, eval_.Eval(*node->probe_key, *b));
+      }
+      if (!NormalizedJoinKey(key, &t->keybuf)) return Status::OK();
+      auto it = table.find(t->keybuf);
+      if (it == table.end()) return Status::OK();
+      for (const VersionRef& bref : it->second) {
+        ++t->candidates;
+        (*b)[build_var] = &bref;
+        bool pass = true;
+        if (has_residual) {
+          auto pr = EvalFilterWith(node->residual, t->res_where, t->res_when,
+                                   residual_compiled, *b);
+          if (!pr.ok()) {
+            (*b)[build_var] = nullptr;
+            return pr.status();
+          }
+          pass = *pr;
+        }
+        if (!pass) continue;
+        ++t->matches;
+        Row row;
+        TDB_ASSIGN_OR_RETURN(bool keep, t->proj.BuildRow(*b, &row));
+        if (keep) t->rows.push_back(std::move(row));
+      }
+      (*b)[build_var] = nullptr;
+      return Status::OK();
+    };
+    status = RunParallelScan(&*par_probe, *binding, probe_chunk_row);
+    if (status.ok()) {
+      // Merge in chunk order = the serial emit order.
+      for (auto& t : tasks) {
+        if (t == nullptr) continue;
+        candidates += t->candidates;
+        matches += t->matches;
+        for (Row& row : t->rows) {
+          status = (*root_sink_)(std::move(row));
+          if (!status.ok()) break;
+        }
+        if (!status.ok()) break;
+      }
     }
-    (*binding)[build_var] = nullptr;
-    return Status::OK();
-  };
-  Status status =
-      vectorized_
-          ? ExecuteLevelVectorized(node->probe.get(), binding, probe_row)
-          : ExecuteLevel(node->probe.get(), binding, probe_row);
+  } else {
+    const EmitFn probe_row = [&](const Binding& b) -> Status {
+      Value key;
+      if (node->probe_prog.has_value()) {
+        TDB_ASSIGN_OR_RETURN(key, node->probe_prog->Eval(b, env_.now));
+      } else {
+        TDB_ASSIGN_OR_RETURN(key, eval_.Eval(*node->probe_key, b));
+      }
+      if (!NormalizedJoinKey(key, &keybuf)) return Status::OK();
+      auto it = table.find(keybuf);
+      if (it == table.end()) return Status::OK();
+      for (const VersionRef& bref : it->second) {
+        ++candidates;
+        (*binding)[build_var] = &bref;
+        bool pass = true;
+        if (has_residual) {
+          TDB_ASSIGN_OR_RETURN(pass, EvalFilter(node->residual, *binding));
+        }
+        if (!pass) continue;
+        ++matches;
+        TDB_RETURN_NOT_OK(emit(*binding));
+      }
+      (*binding)[build_var] = nullptr;
+      return Status::OK();
+    };
+    status = vectorized_
+                 ? ExecuteLevelVectorized(node->probe.get(), binding,
+                                          probe_row)
+                 : ExecuteLevel(node->probe.get(), binding, probe_row);
+  }
   (*binding)[build_var] = nullptr;
   node->stats.rows_examined += candidates;
   node->stats.rows_emitted += matches;
@@ -792,9 +1253,25 @@ Status QueryExecutor::ExecuteIntervalJoin(IntervalJoinNode* node,
       !node->residual.where.empty() || !node->residual.when.empty();
 
   // Materialize both sides; as-of qualification and the per-side filters
-  // already ran inside the levels.
+  // already ran inside the levels.  Each side's gather body only clones the
+  // bound version, so it parallelizes as per-chunk staging vectors merged
+  // in chunk order (= the serial gather order, preserved through the
+  // stable sort below).
   auto gather = [&](PlanNode* side, size_t var,
                     std::vector<VersionRef>* out) -> Status {
+    std::optional<ParScan> par = TryPlanParallelScan(side);
+    if (par.has_value()) {
+      std::vector<std::vector<VersionRef>> tasks(par->chunks.size());
+      ParallelRowFn chunk_row = [&](size_t task, Binding* b) -> Status {
+        tasks[task].push_back((*b)[var]->Clone());
+        return Status::OK();
+      };
+      TDB_RETURN_NOT_OK(RunParallelScan(&*par, *binding, chunk_row));
+      for (auto& t : tasks) {
+        for (VersionRef& v : t) out->push_back(std::move(v));
+      }
+      return Status::OK();
+    }
     const EmitFn keep = [&](const Binding& b) -> Status {
       out->push_back(b[var]->Clone());
       return Status::OK();
@@ -1016,7 +1493,7 @@ Status QueryExecutor::FoldAggregates(RetrieveStmt* stmt,
 Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
                                            const BoundStatement& bound) {
   timing_ = env_.registry->metrics() != nullptr;
-  vectorized_ = VectorExecEnabled();
+  vectorized_ = env_.vector_exec;
   obs::TraceSpan span(env_.registry->metrics(), "exec.retrieve");
   stmt_ = stmt;
   rels_.clear();
@@ -1071,57 +1548,21 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
     result.columns.push_back(kAttrValidTo);
   }
 
+  // The emit path is split in two: the projector builds output rows (pure
+  // given a binding — parallel scans copy it per task and run it on worker
+  // threads), the sink applies `unique` dedup and appends to the result
+  // (ordering-sensitive — always coordinator-side, in serial row order).
+  RowProjector proj;
+  proj.stmt = stmt;
+  proj.valid_output = valid_output;
+  proj.target_progs = std::move(target_progs);
+  proj.valid_from_prog = std::move(valid_from_prog);
+  proj.valid_to_prog = std::move(valid_to_prog);
+  proj.now = env_.now;
+  proj.eval = &eval_;
+
   std::set<std::string> seen;  // for `unique`
-  EmitFn emit = [&](const Binding& binding) -> Status {
-    Row row;
-    row.reserve(stmt->targets.size() + 2);
-    for (size_t ti = 0; ti < stmt->targets.size(); ++ti) {
-      Value v;
-      if (target_progs[ti].has_value()) {
-        TDB_ASSIGN_OR_RETURN(v, target_progs[ti]->Eval(binding, env_.now));
-      } else {
-        TDB_ASSIGN_OR_RETURN(v, eval_.Eval(*stmt->targets[ti].expr, binding));
-      }
-      row.push_back(std::move(v));
-    }
-    if (valid_output) {
-      Interval iv(TimePoint::Beginning(), TimePoint::Forever());
-      if (stmt->valid.has_value()) {
-        Interval from;
-        if (valid_from_prog.has_value()) {
-          TDB_ASSIGN_OR_RETURN(from,
-                               valid_from_prog->EvalInterval(binding, env_.now));
-        } else {
-          TDB_ASSIGN_OR_RETURN(from,
-                               eval_.EvalTemporal(*stmt->valid->from, binding));
-        }
-        if (stmt->valid->at) {
-          iv = Interval::Event(from.from);
-        } else {
-          Interval to;
-          if (valid_to_prog.has_value()) {
-            TDB_ASSIGN_OR_RETURN(to,
-                                 valid_to_prog->EvalInterval(binding, env_.now));
-          } else {
-            TDB_ASSIGN_OR_RETURN(to,
-                                 eval_.EvalTemporal(*stmt->valid->to, binding));
-          }
-          iv = Interval(from.from, to.from);
-        }
-      } else {
-        // Default: the overlap of every participating tuple's lifespan;
-        // vacuous rows (no shared instant) are dropped.
-        bool first = true;
-        for (const VersionRef* ref : binding) {
-          if (ref == nullptr) continue;
-          iv = first ? ref->valid : Interval::Intersect(iv, ref->valid);
-          first = false;
-        }
-        if (iv.empty()) return Status::OK();
-      }
-      row.push_back(Value::Time(iv.from));
-      row.push_back(Value::Time(iv.to));
-    }
+  std::function<Status(Row&&)> sink = [&](Row&& row) -> Status {
     if (stmt->unique) {
       std::string key;
       for (const Value& v : row) {
@@ -1133,6 +1574,14 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
     result.rows.push_back(std::move(row));
     return Status::OK();
   };
+  EmitFn emit = [&](const Binding& binding) -> Status {
+    Row row;
+    TDB_ASSIGN_OR_RETURN(bool keep, proj.BuildRow(binding, &row));
+    if (!keep) return Status::OK();
+    return sink(std::move(row));
+  };
+  root_proj_ = &proj;
+  root_sink_ = &sink;
 
   Binding binding(rels_.size(), nullptr);
   PlanNode* input = plan->root->child.get();
@@ -1151,12 +1600,40 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
   } else if (input->kind == PlanNode::Kind::kIntervalJoin) {
     TDB_RETURN_NOT_OK(ExecuteIntervalJoin(
         static_cast<IntervalJoinNode*>(input), &binding, emit));
+  } else if (std::optional<ParScan> par = TryPlanParallelScan(input);
+             par.has_value()) {
+    // Parallel lone level: workers project rows into per-chunk buffers;
+    // the coordinator drains them through the sink in chunk order, which
+    // IS the serial row order.
+    struct TaskOut {
+      RowProjector proj;
+      std::vector<Row> rows;
+    };
+    std::vector<std::unique_ptr<TaskOut>> tasks(par->chunks.size());
+    ParallelRowFn chunk_row = [&](size_t task, Binding* b) -> Status {
+      auto& t = tasks[task];
+      if (t == nullptr) {
+        t = std::make_unique<TaskOut>();
+        t->proj = proj;
+      }
+      Row row;
+      TDB_ASSIGN_OR_RETURN(bool keep, t->proj.BuildRow(*b, &row));
+      if (keep) t->rows.push_back(std::move(row));
+      return Status::OK();
+    };
+    TDB_RETURN_NOT_OK(RunParallelScan(&*par, binding, chunk_row));
+    for (auto& t : tasks) {
+      if (t == nullptr) continue;
+      for (Row& row : t->rows) TDB_RETURN_NOT_OK(sink(std::move(row)));
+    }
   } else {
     // A lone level's emit body does no page I/O, so batching is always safe.
     TDB_RETURN_NOT_OK(vectorized_
                           ? ExecuteLevelVectorized(input, &binding, emit)
                           : ExecuteLevel(input, &binding, emit));
   }
+  root_proj_ = nullptr;
+  root_sink_ = nullptr;
 
   // `sort by` orders the result by named output columns (stable, so
   // secondary keys listed later act as tie breakers of earlier ones).

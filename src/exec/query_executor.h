@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/result_set.h"
@@ -15,6 +16,8 @@
 #include "tquel/binder.h"
 
 namespace tdb {
+
+struct RowProjector;  // query_executor.cc
 
 /// Interprets the physical plan BuildPlan produces for a retrieve
 /// statement.  All access-path and join-order decisions were made by the
@@ -57,7 +60,7 @@ class QueryExecutor {
   /// Streams an access leaf, accumulating its stats and I/O.
   Status ExecuteAccess(AccessNode* node, Binding* binding, const EmitFn& body);
 
-  // --- vectorized (morsel-at-a-time) variants, used when VectorExecEnabled()
+  // --- vectorized (morsel-at-a-time) variants, used when env_.vector_exec
   // and the level is safe to batch (see ExecuteNestedLoop's routing rule) ---
 
   /// Morsel-driven ExecuteLevel: fuses the level's access leaf and optional
@@ -81,6 +84,75 @@ class QueryExecutor {
   Status EvalFilterBatch(const FilterNode& filter, const Schema& schema,
                          int var, const Morsel& m, Binding* binding,
                          VersionRef* scratch, SelVec* sel);
+
+  /// EvalFilter / EvalFilterBatch against caller-owned compiled-program
+  /// copies: a CompiledProgram's operand stacks are per-object scratch, so
+  /// parallel scan workers must never share the plan node's own programs.
+  /// `compiled` is the node's all-or-nothing lowering gate, pre-computed.
+  Result<bool> EvalFilterWith(const FilterNode& filter,
+                              const std::vector<CompiledProgram>& where_prog,
+                              const std::vector<CompiledProgram>& when_prog,
+                              bool compiled, const Binding& binding) const;
+  Status EvalFilterBatchWith(const FilterNode& filter,
+                             const std::vector<CompiledProgram>& where_prog,
+                             const std::vector<CompiledProgram>& when_prog,
+                             bool compiled, const Schema& schema, int var,
+                             const Morsel& m, Binding* binding,
+                             VersionRef* scratch, SelVec* sel) const;
+
+  // --- morsel-driven intra-query parallelism (see exec/worker_pool.h) ---
+
+  /// A planned parallel scan: the sequential-scan leaf (with its optional
+  /// fused FilterNode) plus the store chunks workers claim.
+  struct ParScan {
+    AccessNode* node = nullptr;
+    FilterNode* filter = nullptr;
+    std::vector<ScanChunk> chunks;
+  };
+
+  /// Per-chunk row counters, accumulated worker-locally and merged into the
+  /// plan nodes in chunk order after the pool joins, so the annotated stats
+  /// are identical to a serial run at any thread count.
+  struct ChunkStats {
+    uint64_t examined = 0;
+    uint64_t emitted = 0;
+    uint64_t filter_examined = 0;
+    uint64_t filter_emitted = 0;
+  };
+
+  struct ScanWorkerState;  // per-worker scratch, defined in the .cc
+
+  /// Receives each surviving row of a parallel scan ON A WORKER THREAD:
+  /// `task` is the chunk index (index per-task output buffers with it; one
+  /// worker owns a task at a time), `binding` is the worker's private copy
+  /// with the scanned variable bound.  Must not touch shared mutable state.
+  using ParallelRowFn = std::function<Status(size_t task, Binding* binding)>;
+
+  /// Decides whether `level` — an access leaf, optionally under a
+  /// FilterNode — can run as a parallel scan.  Requires >= 2 exec threads,
+  /// the vectorized engine, no active I/O trace (workers would interleave
+  /// its per-page log), a plain kSeqScan leaf, >= 2 chunks, and the paper's
+  /// single-frame pager on every page-range-chunked store (the I/O
+  /// replay rules below are derived for exactly that configuration).
+  std::optional<ParScan> TryPlanParallelScan(PlanNode* level);
+
+  /// Runs the scan's chunks on the shared worker pool, calling `row` per
+  /// surviving version.  Deterministic by construction: chunks are cut in
+  /// the serial visit order, claimed via an atomic counter, and every
+  /// merge (stats, errors, and the caller's per-task outputs) happens in
+  /// chunk order after the join.  Buffer-frame normalization before
+  /// dispatch plus re-priming after it keep the relation's IoCounters
+  /// bit-identical to the serial scan's at any thread count.
+  Status RunParallelScan(ParScan* ps, const Binding& binding,
+                         const ParallelRowFn& row);
+
+  /// Scans one chunk on a worker: page-range chunks read through
+  /// Pager::ReadPageInto into private memory and replay the serial
+  /// cursor's slot walk; use_cursor chunks stream the store's ordinary
+  /// Scan() (that worker is the pager's only user).
+  Status ProcessScanChunk(const ParScan& ps, const ScanChunk& chunk,
+                          size_t task, ScanWorkerState* ws,
+                          const ParallelRowFn& row, ChunkStats* stats) const;
 
   Status ExecuteNestedLoop(NestedLoopNode* node, size_t level,
                            Binding* binding, const EmitFn& emit);
@@ -122,6 +194,12 @@ class QueryExecutor {
   /// True when this statement runs the morsel-driven engine (the
   /// TDB_VECTOR_EXEC lever, sampled once per Retrieve).
   bool vectorized_ = false;
+  /// Root projector/sink split of Retrieve's emit path, wired while a
+  /// statement runs: the projector is the thread-safe row-building half
+  /// (copied per parallel-probe task), the sink the ordering-sensitive
+  /// half (`unique` dedup + result push) that stays on the coordinator.
+  const RowProjector* root_proj_ = nullptr;
+  const std::function<Status(Row&&)>* root_sink_ = nullptr;
   /// Within a nested loop: true when every level reads a distinct relation.
   /// Zero-copy morsels pin one buffer frame of their relation's pager, so a
   /// non-innermost level may batch only if the levels below it never touch

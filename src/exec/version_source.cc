@@ -1,6 +1,39 @@
 #include "exec/version_source.h"
 
+#include <algorithm>
+
 namespace tdb {
+
+std::vector<ScanChunk> CutScanChunks(Relation* rel, bool current_only,
+                                     uint32_t chunk_pages) {
+  if (chunk_pages == 0) chunk_pages = 1;
+  std::vector<ScanChunk> chunks;
+  auto add_store = [&](StorageFile* file, bool in_history) {
+    const uint32_t pages = file->page_count();
+    if (pages == 0) return;
+    if (!file->LinearScan()) {
+      ScanChunk c;
+      c.file = file;
+      c.in_history = in_history;
+      c.use_cursor = true;
+      chunks.push_back(c);
+      return;
+    }
+    for (uint32_t begin = 0; begin < pages; begin += chunk_pages) {
+      ScanChunk c;
+      c.file = file;
+      c.in_history = in_history;
+      c.begin = begin;
+      c.end = std::min(pages, begin + chunk_pages);
+      chunks.push_back(c);
+    }
+  };
+  add_store(rel->primary(), /*in_history=*/false);
+  if (rel->two_level() && !current_only && rel->history() != nullptr) {
+    add_store(rel->history(), /*in_history=*/true);
+  }
+  return chunks;
+}
 
 Result<std::unique_ptr<VersionSource>> VersionSource::Create(Relation* rel,
                                                              AccessSpec spec) {

@@ -1,0 +1,121 @@
+#include "exec/worker_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tdb {
+
+namespace {
+
+std::optional<int>& ExecThreadsOverride() {
+  static std::optional<int> v;
+  return v;
+}
+
+int ClampThreads(long long n) {
+  if (n < 1) return 1;
+  if (n > 64) return 64;
+  return static_cast<int>(n);
+}
+
+}  // namespace
+
+int ResolveExecThreads(int option) {
+  if (ExecThreadsOverride().has_value()) {
+    return ClampThreads(*ExecThreadsOverride());
+  }
+  if (option > 0) return ClampThreads(option);
+  const char* env = std::getenv("TDB_EXEC_THREADS");
+  if (env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0') return ClampThreads(v);
+  }
+  return 1;
+}
+
+void SetExecThreadsForTest(std::optional<int> threads) {
+  ExecThreadsOverride() = threads;
+}
+
+WorkerPool& WorkerPool::Shared() {
+  static WorkerPool pool;
+  return pool;
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int WorkerPool::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void WorkerPool::EnsureThreads(int want) {
+  want = std::min(want, 63);
+  while (static_cast<int>(threads_.size()) < want) {
+    threads_.emplace_back([this] { HelperLoop(); });
+  }
+}
+
+void WorkerPool::Run(int workers, const std::function<void(int)>& body) {
+  if (workers <= 1) {
+    body(0);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (busy_ || shutdown_) {
+    // A concurrent (or nested) parallel region owns the pool.  Run every id
+    // on this thread: correctness never depends on helper availability.
+    lock.unlock();
+    for (int id = 0; id < workers; ++id) body(id);
+    return;
+  }
+  busy_ = true;
+  body_ = &body;
+  total_ = workers;
+  next_id_ = 0;
+  completed_ = 0;
+  ++epoch_;
+  EnsureThreads(workers - 1);
+  cv_work_.notify_all();
+  // The caller is a worker too: claim ids alongside the helpers
+  // (work-stealing — a fast caller absorbs ids a lagging helper never gets).
+  while (next_id_ < total_) {
+    int id = next_id_++;
+    lock.unlock();
+    body(id);
+    lock.lock();
+    ++completed_;
+  }
+  cv_done_.wait(lock, [this] { return completed_ == total_; });
+  body_ = nullptr;
+  busy_ = false;
+}
+
+void WorkerPool::HelperLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen = 0;
+  while (true) {
+    cv_work_.wait(lock,
+                  [&] { return shutdown_ || (busy_ && epoch_ != seen); });
+    if (shutdown_) return;
+    seen = epoch_;
+    while (busy_ && next_id_ < total_) {
+      int id = next_id_++;
+      const std::function<void(int)>* body = body_;
+      lock.unlock();
+      (*body)(id);
+      lock.lock();
+      if (++completed_ == total_) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace tdb

@@ -63,6 +63,11 @@ class HashFile : public StorageFile {
     return pno < nbuckets_ ? IoCategory::kData : IoCategory::kOverflow;
   }
 
+  bool LinearScan() const override { return true; }
+  IoCategory ScanCategory(uint32_t pno) const override {
+    return CategoryOf(pno);
+  }
+
  private:
   HashFile(std::unique_ptr<Pager> pager, const RecordLayout& layout,
            uint32_t nbuckets)

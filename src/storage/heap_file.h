@@ -37,6 +37,12 @@ class HeapFile : public StorageFile {
   Result<std::vector<uint8_t>> Fetch(const Tid& tid) override;
   Pager* pager() override { return pager_.get(); }
 
+  bool LinearScan() const override { return true; }
+  IoCategory ScanCategory(uint32_t pno) const override {
+    (void)pno;
+    return category_;
+  }
+
  private:
   HeapFile(std::unique_ptr<Pager> pager, const RecordLayout& layout,
            IoCategory category)

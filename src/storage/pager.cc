@@ -113,6 +113,55 @@ void Pager::MarkDirty() {
   if (last_touched_ != nullptr) last_touched_->dirty = true;
 }
 
+Status Pager::ReadPageInto(uint32_t pno, IoCategory cat, uint8_t* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pno >= page_count_) {
+    return Status::OutOfRange(StrPrintf("page %u >= page count %u in '%s'",
+                                        pno, page_count_, path_.c_str()));
+  }
+  Frame* frame = FindFrame(pno);
+  if (metrics() != nullptr) {
+    metrics()->requests.Increment();
+    (frame != nullptr ? metrics()->hits : metrics()->misses).Increment();
+  }
+  if (frame != nullptr) {
+    std::memcpy(out, frame->data, kPageSize);
+    return Status::OK();
+  }
+  TDB_RETURN_NOT_OK(
+      file_->Read(static_cast<uint64_t>(pno) * kPageSize, kPageSize, out));
+  Count(/*write=*/false, cat, pno);
+  return Status::OK();
+}
+
+Status Pager::PrimeFrame(uint32_t pno, IoCategory cat) {
+  if (pno >= page_count_) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame* frame = FindFrame(pno);
+  if (frame == nullptr) {
+    TDB_ASSIGN_OR_RETURN(frame, EvictableFrame());
+    // Deliberately uncounted: the parallel workers already charged the read
+    // of this page; this load only restores the serial scan's end state.
+    TDB_RETURN_NOT_OK(file_->Read(static_cast<uint64_t>(pno) * kPageSize,
+                                  kPageSize, frame->data));
+    frame->pno = pno;
+    frame->category = cat;
+    frame->dirty = false;
+    ++generation_;
+  }
+  frame->last_use = ++tick_;
+  last_touched_ = frame;
+  return Status::OK();
+}
+
+std::vector<uint32_t> Pager::ResidentPages() const {
+  std::vector<uint32_t> pnos;
+  for (const Frame& frame : frames_) {
+    if (frame.pno != kNoPage) pnos.push_back(frame.pno);
+  }
+  return pnos;
+}
+
 Result<uint32_t> Pager::AllocatePage(IoCategory cat) {
   TDB_ASSIGN_OR_RETURN(Frame * frame, EvictableFrame());
   uint32_t pno = page_count_;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,28 @@ class Pager {
   /// Marks the most recently returned frame dirty (its write will be
   /// counted on eviction).
   void MarkDirty();
+
+  /// Thread-safe copy-out read for parallel scan workers.  Never disturbs
+  /// the frame pool: a resident page is memcpy'd out (a buffer hit, free),
+  /// anything else is read from the file straight into `out` and counted as
+  /// one page read — exactly what a single-frame serial scan would have
+  /// counted for that page.  Guarded by an internal mutex so workers of one
+  /// parallel pipeline may share the pager; the serial ReadPage path takes
+  /// no lock and is byte-for-byte unchanged.
+  Status ReadPageInto(uint32_t pno, IoCategory cat, uint8_t* out);
+
+  /// Coordinator-only repair after a parallel scan: makes `pno` the
+  /// resident page, replaying the frame state a serial scan would have left
+  /// behind.  A resident `pno` is just touched (dirty preserved); otherwise
+  /// the LRU victim is evicted (its write counted if dirty — the same
+  /// mid-scan eviction write the serial scan performs) and `pno` is loaded
+  /// WITHOUT counting a read, because the parallel workers already counted
+  /// it.  No-op for out-of-range pages (empty file).
+  Status PrimeFrame(uint32_t pno, IoCategory cat);
+
+  /// Page numbers currently held in frames (coordinator-only; used to
+  /// normalize buffer state before dispatching parallel workers).
+  std::vector<uint32_t> ResidentPages() const;
 
   /// Appends a fresh zeroed page, loads it into a frame, and returns its
   /// page number.  The new page is dirty.
@@ -124,6 +147,10 @@ class Pager {
   Status FlushFrame(Frame* frame);
 
   std::unique_ptr<RandomRWFile> file_;
+  /// Serializes ReadPageInto between parallel scan workers (frame lookup,
+  /// file read, counter bump).  The serial single-thread paths never take
+  /// it.
+  std::mutex mu_;
   std::string path_;
   IoCounters* counters_;
   Journal* journal_;

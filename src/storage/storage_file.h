@@ -212,6 +212,19 @@ class StorageFile {
   /// Reads the single record at `tid`.
   virtual Result<std::vector<uint8_t>> Fetch(const Tid& tid) = 0;
 
+  /// True when Scan() visits pages 0..page_count-1 in ascending order,
+  /// reading each exactly once with no auxiliary (directory) pages — the
+  /// contract the parallel executor relies on to cut page-range morsels
+  /// that replay the cursor's exact record order and I/O counts.  Heap and
+  /// hash files qualify; ISAM/B-tree scans stay cursor-driven.
+  virtual bool LinearScan() const { return false; }
+
+  /// I/O accounting category a sequential scan charges for page `pno`.
+  virtual IoCategory ScanCategory(uint32_t pno) const {
+    (void)pno;
+    return IoCategory::kData;
+  }
+
   virtual Pager* pager() = 0;
   uint32_t page_count() { return pager()->page_count(); }
 

@@ -13,6 +13,11 @@
 //     renderings): a hash join and a merge sweep legitimately emit pairs
 //     in different orders, but never different pairs.
 //
+// A third axis — 1, 2, and 4 executor threads — pins the morsel-
+// parallelism contract on top: within one method the vectorized engine
+// must return byte-identical rows (and, in the seeded fuzz, identical
+// analyzed per-node stats) at every thread count.
+//
 // A second sweep replays the join queries of the eight paper databases
 // (4 database types x 2 fillfactors) under every method, and a unit test
 // pins the advisory-only stats contract: wildly wrong cached statistics
@@ -35,6 +40,7 @@
 #include "exec/compiled_expr.h"
 #include "exec/join_method.h"
 #include "exec/morsel.h"
+#include "exec/worker_pool.h"
 #include "util/random.h"
 #include "util/stringx.h"
 
@@ -208,6 +214,29 @@ TEST(JoinMethodDifferentialTest, AllMethodsAgree) {
         // the analyzed plan.
         EXPECT_EQ(rows[0], rows[1]);
         EXPECT_EQ(analyze[0], analyze[1]);
+        // Threads axis: the vectorized engine at 2 and 4 workers must match
+        // its single-threaded run byte for byte — rows, row order, and the
+        // analyzed per-node stats and IoCounters (the chunk-order merge and
+        // frame-normalization contract of the parallel scan).
+        SetVectorExecEnabledForTest(true);
+        for (int threads : {2, 4}) {
+          SCOPED_TRACE(testing::Message() << threads << " threads");
+          SetExecThreadsForTest(threads);
+          auto r = db->Execute(text);
+          ASSERT_TRUE(r.ok()) << r.status().ToString();
+          EXPECT_EQ(rows[0],
+                    r->result.ToString(TimeResolution::kSecond) +
+                        StrPrintf("(%zu rows)", r->result.num_rows()));
+          auto a = db->Execute("explain analyze " + text);
+          ASSERT_TRUE(a.ok()) << a.status().ToString();
+          std::string tree;
+          for (const auto& row : a->result.rows) {
+            tree += row[0].AsString() + "\n";
+          }
+          EXPECT_EQ(analyze[0], MaskTimes(tree));
+        }
+        SetExecThreadsForTest(std::nullopt);
+        SetVectorExecEnabledForTest(std::nullopt);
         // Across methods only the multiset is pinned.
         std::string sorted = SortedLines(rows[0]);
         if (method == JoinMethod::kPaper) {
@@ -252,12 +281,30 @@ TEST(JoinMethodDifferentialTest, MethodsAgreeOnAllPaperDatabases) {
         for (JoinMethod method : kAllMethods) {
           SCOPED_TRACE(JoinMethodName(method));
           SetJoinMethodForTest(method);
-          auto r = (*db)->db()->Execute(text);
+          // Threads axis: within one method the result must be byte-
+          // identical (same rows, same order) at 1, 2, and 4 executor
+          // threads under the vectorized engine — the parallel build,
+          // probe, and gather paths merge in chunk order by construction.
+          SetVectorExecEnabledForTest(true);
+          std::string exact_1thread;
+          for (int threads : {1, 2, 4}) {
+            SCOPED_TRACE(testing::Message() << threads << " threads");
+            SetExecThreadsForTest(threads);
+            auto r = (*db)->db()->Execute(text);
+            ASSERT_TRUE(r.ok()) << r.status().ToString();
+            std::string exact =
+                r->result.ToString(TimeResolution::kSecond) +
+                StrPrintf("(%zu rows)", r->result.num_rows());
+            if (threads == 1) {
+              exact_1thread = exact;
+            } else {
+              EXPECT_EQ(exact_1thread, exact);
+            }
+          }
+          SetExecThreadsForTest(std::nullopt);
+          SetVectorExecEnabledForTest(std::nullopt);
           SetJoinMethodForTest(std::nullopt);
-          ASSERT_TRUE(r.ok()) << r.status().ToString();
-          std::string sorted =
-              SortedLines(r->result.ToString(TimeResolution::kSecond) +
-                          StrPrintf("(%zu rows)", r->result.num_rows()));
+          std::string sorted = SortedLines(exact_1thread);
           if (method == JoinMethod::kPaper) {
             baseline = sorted;
           } else {
