@@ -1,5 +1,6 @@
 // Quickstart: open a database, create a temporal relation, record some
-// facts, and ask historical / rollback questions in TQuel.
+// facts, and ask historical / rollback questions in TQuel — through a
+// Session, the unit of client state the server's connections use too.
 //
 //   ./quickstart [database-directory]   (defaults to a temp directory)
 
@@ -7,19 +8,23 @@
 #include <string>
 
 #include "core/chronoquel.h"
+#include "core/session.h"
+#include "core/statement_error.h"
 
 using tdb::Database;
 using tdb::DatabaseOptions;
 using tdb::ExecResult;
+using tdb::Session;
 using tdb::TimeResolution;
 
 namespace {
 
-void Run(Database* db, const std::string& text) {
+void Run(Session* session, const std::string& text) {
   std::printf("tquel> %s\n", text.c_str());
-  auto result = db->Execute(text);
+  auto result = session->Execute(text);
   if (!result.ok()) {
-    std::printf("  error: %s\n\n", result.status().ToString().c_str());
+    std::printf("  error: %s\n\n",
+                tdb::FormatStatementError(result.status(), text).c_str());
     return;
   }
   if (!result->result.columns.empty()) {
@@ -46,11 +51,18 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // A session is one client's connection: its own range declarations, its
+  // own I/O accounting, optionally its own pinned as-of timestamp.  The
+  // embedded Database::Execute is a wrapper over an implicit default
+  // session; here we hold one explicitly, as the server's connection
+  // handlers do.
+  std::unique_ptr<Session> session = (*db)->CreateSession();
+
   // `persistent` adds transaction time (rollback support); `interval` adds
   // valid time (historical support).  Together: a temporal relation.
   // ExecuteScript runs the whole setup, one atomic statement at a time;
   // on failure the status names the statement and its source offset.
-  auto setup = (*db)->ExecuteScript(
+  auto setup = session->ExecuteScript(
       "create persistent interval emp (name = c12, sal = i4);"
       "range of e is emp");
   if (!setup.ok()) {
@@ -61,32 +73,39 @@ int main(int argc, char** argv) {
   for (const ExecResult& r : *setup) std::printf("  %s\n", r.message.c_str());
   std::printf("\n");
 
-  Run(db->get(), "append to emp (name = \"merrie\", sal = 25000)");
+  Run(session.get(), "append to emp (name = \"merrie\", sal = 25000)");
   (*db)->AdvanceSeconds(86400 * 90);  // three months pass
-  Run(db->get(), "append to emp (name = \"tom\", sal = 23000)");
+  Run(session.get(), "append to emp (name = \"tom\", sal = 23000)");
   (*db)->AdvanceSeconds(86400 * 90);
 
   tdb::TimePoint before_raise = (*db)->now();
-  Run(db->get(), "replace e (sal = 27000) where e.name = \"merrie\"");
+  Run(session.get(), "replace e (sal = 27000) where e.name = \"merrie\"");
   (*db)->AdvanceSeconds(86400 * 30);
 
   std::printf("--- current state (valid now, known now) ---\n");
-  Run(db->get(), "retrieve (e.name, e.sal) when e overlap \"now\"");
+  Run(session.get(), "retrieve (e.name, e.sal) when e overlap \"now\"");
 
   std::printf("--- full salary history of merrie (as known now) ---\n");
-  Run(db->get(), "retrieve (e.sal) where e.name = \"merrie\"");
+  Run(session.get(), "retrieve (e.sal) where e.name = \"merrie\"");
 
   std::printf("--- rollback: what did the database say before the raise? ---\n");
-  Run(db->get(), "retrieve (e.name, e.sal) when e overlap \"" +
-                     before_raise.ToString() + "\" as of \"" +
-                     before_raise.ToString() + "\"");
+  Run(session.get(), "retrieve (e.name, e.sal) when e overlap \"" +
+                         before_raise.ToString() + "\" as of \"" +
+                         before_raise.ToString() + "\"");
+
+  std::printf("--- the same rollback view, pinned session-wide ---\n");
+  session->PinAsOf(before_raise);
+  Run(session.get(), "retrieve (e.name, e.sal) when e overlap \"" +
+                         before_raise.ToString() + "\"");
+  session->PinAsOf(std::nullopt);
 
   std::printf("--- aggregates over the current state ---\n");
-  Run(db->get(), "retrieve (headcount = count(e.name), payroll = sum(e.sal))");
+  Run(session.get(),
+      "retrieve (headcount = count(e.name), payroll = sum(e.sal))");
 
   std::printf("--- reorganize for keyed access, then probe ---\n");
-  Run(db->get(), "modify emp to hash on name where fillfactor = 100");
-  Run(db->get(),
+  Run(session.get(), "modify emp to hash on name where fillfactor = 100");
+  Run(session.get(),
       "retrieve (e.sal) where e.name = \"tom\" when e overlap \"now\"");
   return 0;
 }

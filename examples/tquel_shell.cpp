@@ -25,6 +25,7 @@
 #include <string>
 
 #include "core/chronoquel.h"
+#include "core/statement_error.h"
 #include "exec/plan.h"
 #include "obs/metrics.h"
 #include "util/stringx.h"
@@ -176,7 +177,11 @@ int main(int argc, char** argv) {
 
     auto result = d->Execute(text);
     if (!result.ok()) {
-      std::printf("error: %s\n", result.status().ToString().c_str());
+      // The same rendering a wire client produces from a kError frame:
+      // status text plus the offending line with a caret (the
+      // StatementContext travels in both cases).
+      std::printf("error: %s\n",
+                  tdb::FormatStatementError(result.status(), text).c_str());
       continue;
     }
     if (!result->result.columns.empty()) {

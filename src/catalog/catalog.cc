@@ -187,18 +187,24 @@ Status Catalog::Update(const RelationMeta& meta) {
 }
 
 const RelationStats* Catalog::FindStats(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   auto it = stats_.find(ToLower(name));
   return it == stats_.end() ? nullptr : &it->second;
 }
 
 void Catalog::SetStats(const std::string& name, RelationStats stats) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   stats_[ToLower(name)] = std::move(stats);
 }
 
 void Catalog::InvalidateStats(const std::string& name) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.erase(ToLower(name));
 }
 
-void Catalog::InvalidateAllStats() { stats_.clear(); }
+void Catalog::InvalidateAllStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.clear();
+}
 
 }  // namespace tdb

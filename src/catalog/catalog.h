@@ -2,6 +2,7 @@
 #define CHRONOQUEL_CATALOG_CATALOG_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -107,7 +108,10 @@ class Catalog {
 
   /// Cached statistics for `name`, or nullptr when none have been computed
   /// since the last invalidation.  Stats live only in memory; they are never
-  /// persisted with the catalog file.
+  /// persisted with the catalog file.  The map is mutex-guarded so sessions
+  /// planning different relations can race; the returned pointer stays
+  /// valid while the caller holds its statement lock on `name` (only a
+  /// writer with the exclusive lock invalidates that entry).
   const RelationStats* FindStats(const std::string& name) const;
   void SetStats(const std::string& name, RelationStats stats);
   /// Drops the cached stats for one relation (any DML/DDL against it).
@@ -121,6 +125,7 @@ class Catalog {
   std::string dir_;
   Journal* journal_ = nullptr;
   std::map<std::string, RelationMeta> relations_;  // lower-cased name
+  mutable std::mutex stats_mu_;                    // guards stats_ structure
   std::map<std::string, RelationStats> stats_;     // lower-cased name
 };
 

@@ -6,6 +6,10 @@
 ///
 ///   * Database / DatabaseOptions  (core/database.h)  — open a database
 ///     directory, pick an Env, buffer frames, and a DurabilityMode;
+///   * Session / SessionOptions    (core/session.h)   — one client's
+///     connection: Database::CreateSession hands out sessions that may
+///     execute concurrently from different threads, each with its own
+///     range declarations, exec options, and pinned as-of timestamp;
 ///   * Database::ExecuteScript / Execute / Query / Plan / Explain — run
 ///     TQuel text and get ExecResult / ResultSet values back;
 ///   * Status / Result<T>          (util/status.h)    — every fallible call
@@ -33,6 +37,7 @@
 
 #include "core/database.h"
 #include "core/result_set.h"
+#include "core/session.h"
 #include "env/env.h"
 #include "storage/journal.h"
 #include "types/timepoint.h"

@@ -1,15 +1,9 @@
 #include "core/database.h"
 
-#include <chrono>
-
-#include "exec/ddl_executor.h"
-#include "exec/dml_executor.h"
 #include "exec/exec_env.h"
-#include "exec/morsel.h"
 #include "exec/plan.h"
 #include "exec/planner.h"
-#include "exec/query_executor.h"
-#include "exec/worker_pool.h"
+#include "tquel/ast.h"
 #include "tquel/binder.h"
 #include "tquel/parser.h"
 #include "util/stringx.h"
@@ -31,22 +25,34 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
   if (options.durability != DurabilityMode::kOff) {
     TDB_ASSIGN_OR_RETURN(db->journal_,
                          Journal::Open(env, dir, options.durability));
+    db->journal_->set_group_window_micros(options.group_commit_window_micros);
     db->catalog_.set_journal(db->journal_.get());
   }
   // Wire observability before any relation file opens, so every per-file
   // IoCounters is born with its PagerMetrics block attached.  When metrics
   // are disabled nothing is wired and every instrumentation pointer in the
-  // storage layer stays null.
+  // storage layer stays null.  (The session constructor wires its own
+  // registry the same way.)
   if (obs::MetricsRegistry* m = db->metrics()) {
-    db->registry_.set_metrics(m);
     if (db->journal_ != nullptr) db->journal_->set_metrics(m);
   }
   TDB_RETURN_NOT_OK(db->catalog_.Load());
   db->RestoreClock();
+  db->default_session_ =
+      std::unique_ptr<Session>(new Session(db.get(), 0, SessionOptions{}));
   return db;
 }
 
+std::unique_ptr<Session> Database::CreateSession(SessionOptions options) {
+  concurrent_.store(true, std::memory_order_release);
+  const int id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<Session>(new Session(this, id, std::move(options)));
+}
+
 void Database::PersistClock() const {
+  // clock_mu_ held across the file write so journal-off concurrent writers
+  // cannot tear the clock file.  Lock order: journal_mu_ -> clock_mu_.
+  std::lock_guard<std::mutex> lock(clock_mu_);
   if (journal_ != nullptr) {
     (void)journal_->BeforeFileRewrite(ClockPath());
   }
@@ -66,231 +72,30 @@ void Database::RestoreClock() {
   }
 }
 
-ExecEnv Database::MakeExecEnv() {
-  ExecEnv exec{env_, dir_, &catalog_, &registry_, &relations_, now_,
-               options_.buffer_frames, journal_.get(),
-               EffectiveJoinMethod(options_.join_method)};
-  exec.vector_exec = ResolveVectorExec(options_.vector_exec);
-  exec.morsel_cap = ResolveMorselCapacity(options_.morsel_capacity);
-  exec.exec_threads = ResolveExecThreads(options_.exec_threads);
-  return exec;
+TimePoint Database::AcquireTxTime() {
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  const TimePoint t = now_;
+  if (options_.auto_advance_seconds > 0) {
+    now_ = now_.AddSeconds(options_.auto_advance_seconds);
+  }
+  return t;
 }
 
 Result<Relation*> Database::GetRelation(const std::string& name) {
-  return MakeExecEnv().GetRelation(name);
+  return default_session_->MakeExecEnv(now()).GetRelation(name);
 }
 
 Result<std::vector<ExecResult>> Database::ExecuteScript(
     const std::string& text) {
-  // One-writer-per-Env rule (see IoRegistry): a Database, its registry, and
-  // its logical clock belong to a single thread.
-  registry_.CheckOwnerThread();
-  TDB_ASSIGN_OR_RETURN(auto stmts, Parser::ParseScript(text));
-  if (stmts.empty()) return Status::ParseError("empty statement");
-
-  std::vector<ExecResult> results;
-  results.reserve(stmts.size());
-  for (size_t i = 0; i < stmts.size(); ++i) {
-    Statement* stmt = stmts[i].get();
-    const StatementContext ctx{static_cast<int>(i) + 1, stmt->source_offset};
-    if (journal_ != nullptr) {
-      Status begin = journal_->Begin();
-      if (!begin.ok()) return begin.WithStatementContext(ctx);
-    }
-    Result<ExecResult> result = ExecResult{};
-    if (obs::MetricsRegistry* m = metrics()) {
-      obs::TraceSpan span(m, "db.statement");
-      auto start = std::chrono::steady_clock::now();
-      result = ExecuteStatement(stmt);
-      m->counter("db.statements")->Increment();
-      m->histogram("db.statement_nanos")
-          ->Record(static_cast<uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - start)
-                  .count()));
-    } else {
-      result = ExecuteStatement(stmt);
-    }
-    if (journal_ != nullptr) {
-      if (result.ok()) {
-        Status commit = CommitStatement();
-        if (!commit.ok()) result = commit;
-      }
-      if (!result.ok()) {
-        Status rolled_back = RollbackStatement();
-        if (!rolled_back.ok()) return rolled_back.WithStatementContext(ctx);
-      }
-    }
-    if (!result.ok()) return result.status().WithStatementContext(ctx);
-    results.push_back(std::move(*result));
-  }
-  return results;
-}
-
-Result<ExecResult> Database::ExecuteStatement(Statement* stmt) {
-  ExecEnv exec = MakeExecEnv();
-  Binder binder(&catalog_, &ranges_);
-  bool mutating = false;
-  ExecResult last;
-  switch (stmt->kind) {
-    case Statement::Kind::kRange: {
-      auto* range = static_cast<RangeStmt*>(stmt);
-      if (catalog_.Find(range->relation) == nullptr) {
-        return Status::BindError("relation '" + range->relation +
-                                 "' does not exist");
-      }
-      ranges_[ToLower(range->var)] = range->relation;
-      last = ExecResult{};
-      last.message = "range of " + range->var + " is " + range->relation;
-      break;
-    }
-    case Statement::Kind::kRetrieve: {
-      auto* retrieve = static_cast<RetrieveStmt*>(stmt);
-      TDB_ASSIGN_OR_RETURN(BoundStatement bound,
-                           binder.BindRetrieve(retrieve));
-      QueryExecutor qexec(exec);
-      TDB_ASSIGN_OR_RETURN(last, qexec.Retrieve(retrieve, bound));
-      break;
-    }
-    case Statement::Kind::kAppend: {
-      auto* append = static_cast<AppendStmt*>(stmt);
-      TDB_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindAppend(append));
-      DmlExecutor dml(exec);
-      TDB_ASSIGN_OR_RETURN(last, dml.Append(append, bound));
-      mutating = true;
-      break;
-    }
-    case Statement::Kind::kDelete: {
-      auto* del = static_cast<DeleteStmt*>(stmt);
-      TDB_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindDelete(del));
-      DmlExecutor dml(exec);
-      TDB_ASSIGN_OR_RETURN(last, dml.Delete(del, bound));
-      mutating = true;
-      break;
-    }
-    case Statement::Kind::kReplace: {
-      auto* replace = static_cast<ReplaceStmt*>(stmt);
-      TDB_ASSIGN_OR_RETURN(BoundStatement bound,
-                           binder.BindReplace(replace));
-      DmlExecutor dml(exec);
-      TDB_ASSIGN_OR_RETURN(last, dml.Replace(replace, bound));
-      mutating = true;
-      break;
-    }
-    case Statement::Kind::kCreate: {
-      DdlExecutor ddl(exec);
-      TDB_ASSIGN_OR_RETURN(last,
-                           ddl.Create(*static_cast<CreateStmt*>(stmt)));
-      break;
-    }
-    case Statement::Kind::kDestroy: {
-      DdlExecutor ddl(exec);
-      TDB_ASSIGN_OR_RETURN(
-          last, ddl.Destroy(*static_cast<DestroyStmt*>(stmt)));
-      break;
-    }
-    case Statement::Kind::kModify: {
-      DdlExecutor ddl(exec);
-      TDB_ASSIGN_OR_RETURN(last,
-                           ddl.Modify(*static_cast<ModifyStmt*>(stmt)));
-      break;
-    }
-    case Statement::Kind::kIndex: {
-      DdlExecutor ddl(exec);
-      TDB_ASSIGN_OR_RETURN(last,
-                           ddl.Index(*static_cast<IndexStmt*>(stmt)));
-      break;
-    }
-    case Statement::Kind::kHelp: {
-      DdlExecutor ddl(exec);
-      TDB_ASSIGN_OR_RETURN(last,
-                           ddl.Help(*static_cast<HelpStmt*>(stmt)));
-      break;
-    }
-    case Statement::Kind::kCopy: {
-      auto* copy = static_cast<CopyStmt*>(stmt);
-      DdlExecutor ddl(exec);
-      TDB_ASSIGN_OR_RETURN(last, ddl.Copy(*copy));
-      mutating = copy->from;
-      break;
-    }
-    case Statement::Kind::kExplain: {
-      // Plain explain plans the wrapped retrieve without executing it;
-      // `explain analyze` runs it and annotates each node with its runtime
-      // stats and wall time.  Either way the tree comes back as rows, one
-      // line per node, and the query's own result rows are discarded.
-      auto* explain = static_cast<ExplainStmt*>(stmt);
-      TDB_ASSIGN_OR_RETURN(BoundStatement bound,
-                           binder.BindRetrieve(explain->query.get()));
-      std::shared_ptr<PhysicalPlan> plan;
-      if (explain->analyze) {
-        QueryExecutor qexec(exec);
-        TDB_ASSIGN_OR_RETURN(ExecResult run,
-                             qexec.Retrieve(explain->query.get(), bound));
-        plan = std::const_pointer_cast<PhysicalPlan>(run.plan);
-      } else {
-        TDB_ASSIGN_OR_RETURN(plan, BuildPlan(*explain->query, bound, exec));
-      }
-      last = ExecResult{};
-      last.result.columns.push_back("query plan");
-      const std::string tree = explain->analyze
-                                   ? plan->Describe(/*with_stats=*/true,
-                                                    /*with_timing=*/true)
-                                   : plan->Describe();
-      for (const std::string& line : Split(tree, '\n')) {
-        if (line.empty()) continue;
-        Row row;
-        row.push_back(Value::Char(line));
-        last.result.rows.push_back(std::move(row));
-      }
-      last.message = "plan: " + plan->Summary();
-      last.plan = std::move(plan);
-      break;
-    }
-  }
-  if (mutating) {
-    PersistClock();
-    if (options_.auto_advance_seconds > 0) {
-      AdvanceSeconds(options_.auto_advance_seconds);
-    }
-  }
-  return last;
-}
-
-Status Database::CommitStatement() {
-  // Write back every dirty frame; each in-place overwrite first pre-images
-  // the page through the journal hooks.
-  for (auto& [_, rel] : relations_) {
-    TDB_RETURN_NOT_OK(rel->FlushBuffers());
-  }
-  if (journal_->mode() == DurabilityMode::kJournalSync) {
-    for (auto& [_, rel] : relations_) {
-      TDB_RETURN_NOT_OK(rel->SyncFiles());
-    }
-  }
-  return journal_->Commit();
-}
-
-Status Database::RollbackStatement() {
-  // Dirty frames hold aborted content; drop them unwritten so destructor
-  // flushes cannot leak them to disk, then close the handles (the files
-  // are about to change underneath them).
-  for (auto& [_, rel] : relations_) rel->DiscardBuffers();
-  relations_.clear();
-  TDB_RETURN_NOT_OK(journal_->Rollback());
-  // The journal restored catalog.meta on disk; re-read it so the
-  // in-memory image matches again.
-  return catalog_.Load();
+  return default_session_->ExecuteScript(text);
 }
 
 Result<ExecResult> Database::Execute(const std::string& text) {
-  TDB_ASSIGN_OR_RETURN(auto results, ExecuteScript(text));
-  return std::move(results.back());
+  return default_session_->Execute(text);
 }
 
 Result<ResultSet> Database::Query(const std::string& text) {
-  TDB_ASSIGN_OR_RETURN(ExecResult r, Execute(text));
-  return r.result;
+  return default_session_->Query(text);
 }
 
 Result<std::shared_ptr<const PhysicalPlan>> Database::Plan(
@@ -307,11 +112,11 @@ Result<std::shared_ptr<const PhysicalPlan>> Database::Plan(
   } else {
     return Status::Invalid("Plan expects a retrieve statement");
   }
-  Binder binder(&catalog_, &ranges_);
+  Binder binder(&catalog_, &default_session_->ranges_);
   TDB_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindRetrieve(retrieve));
   // Journal included so relations opened (and cached) while planning carry
   // the same hooks as ones opened while executing.
-  ExecEnv exec = MakeExecEnv();
+  ExecEnv exec = default_session_->MakeExecEnv(now());
   TDB_ASSIGN_OR_RETURN(std::shared_ptr<PhysicalPlan> plan,
                        BuildPlan(*retrieve, bound, exec));
   return std::shared_ptr<const PhysicalPlan>(std::move(plan));

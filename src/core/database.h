@@ -1,16 +1,20 @@
 #ifndef CHRONOQUEL_CORE_DATABASE_H_
 #define CHRONOQUEL_CORE_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "core/lock_table.h"
 #include "core/relation.h"
 #include "core/result_set.h"
+#include "core/session.h"
 #include "env/env.h"
 #include "exec/join_method.h"
 #include "obs/metrics.h"
@@ -70,6 +74,31 @@ struct DatabaseOptions {
   /// measurement discipline, whose IoCounters and figure stdout are
   /// bit-identical to the pre-parallel system.  Clamped to [1, 64].
   int exec_threads = 0;
+  /// Compiled postfix expression programs.  Unset defers to
+  /// TDB_COMPILED_EXPR (on unless "0"); off evaluates every expression on
+  /// the AST walker.  Identical results and page I/O either way.
+  std::optional<bool> compiled_expr;
+  /// Group-commit window at kJournalSync: before the leader of a commit
+  /// group captures which marks its fsync covers, it waits this long so
+  /// concurrent committers can land their marks and share the fsync
+  /// (MySQL's binlog_group_commit_sync_delay plays the same role).  Only
+  /// the concurrent session path pays it — the embedded single-session
+  /// commit never waits.  0 disables the window.
+  int group_commit_window_micros = 200;
+
+  /// Reads every TDB_* engine lever from the process environment into one
+  /// DatabaseOptions: TDB_VECTOR_EXEC, TDB_MORSEL_CAP, TDB_EXEC_THREADS,
+  /// TDB_JOIN_METHOD, TDB_COMPILED_EXPR, and TDB_METRICS.  Fields whose
+  /// variable is absent (or unparseable) stay unset, so callers can layer
+  /// explicit options on top.  This is the single place the environment is
+  /// consulted; every per-statement knob resolves through the one
+  /// precedence chain
+  ///
+  ///   test override > per-session > DatabaseOptions > environment > default
+  ///
+  /// (see exec/morsel.h, exec/worker_pool.h, exec/join_method.h,
+  /// exec/compiled_expr.h for the per-knob resolvers).
+  static DatabaseOptions FromEnv();
 };
 
 /// The TQuel temporal DBMS facade: a database directory containing a
@@ -94,6 +123,9 @@ class Database {
   /// the failing statement (1-based index + source offset).  With
   /// durability on, each statement is atomic: a failure (or crash) rolls
   /// the database back to the previous statement boundary.
+  ///
+  /// A thin wrapper over an implicit default Session (as are Execute and
+  /// Query); multi-client code holds its own sessions via CreateSession.
   Result<std::vector<ExecResult>> ExecuteScript(const std::string& text);
 
   /// Like ExecuteScript(), returning only the last statement's result.
@@ -101,6 +133,17 @@ class Database {
 
   /// Convenience wrapper asserting the text is a single retrieve.
   Result<ResultSet> Query(const std::string& text);
+
+  /// Opens a new client session.  The first call switches the database
+  /// into concurrent mode: from then on every statement (including ones
+  /// through the embedded wrappers above) takes statement locks, read
+  /// statements pin an as-of snapshot, and journal commits group-batch.
+  /// Until then the embedded path runs exactly as the single-session
+  /// system did — no lock, mutex, or thread is ever touched.
+  ///
+  /// Sessions may execute concurrently from different threads (one thread
+  /// per session) and must be destroyed before the Database.
+  std::unique_ptr<Session> CreateSession(SessionOptions options = {});
 
   /// Plans `text` — a single retrieve, with or without a leading `explain`
   /// — and returns the structured physical plan WITHOUT executing anything.
@@ -111,9 +154,18 @@ class Database {
   /// Like Plan(), rendered: the multi-line plan tree `explain` would print.
   Result<std::string> Explain(const std::string& text);
 
-  TimePoint now() const { return now_; }
-  void SetNow(TimePoint tp) { now_ = tp; }
-  void AdvanceSeconds(int64_t secs) { now_ = now_.AddSeconds(secs); }
+  TimePoint now() const {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    return now_;
+  }
+  void SetNow(TimePoint tp) {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    now_ = tp;
+  }
+  void AdvanceSeconds(int64_t secs) {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    now_ = now_.AddSeconds(secs);
+  }
 
   /// Adjusts the per-statement clock advance (0 freezes the clock so a
   /// group of statements shares one transaction timestamp).
@@ -125,7 +177,7 @@ class Database {
   Env* env() { return env_; }
   const std::string& dir() const { return dir_; }
   Catalog* catalog() { return &catalog_; }
-  IoRegistry* io() { return &registry_; }
+  IoRegistry* io() { return default_session_->io(); }
 
   /// The metrics registry, or null when metrics are disabled for this
   /// database — callers branch on null exactly like the storage layer.
@@ -138,20 +190,20 @@ class Database {
 
   Result<Relation*> GetRelation(const std::string& name);
 
-  /// Flushes and empties the buffer frame of every open relation file.
-  /// Measurement runs call this before each query so the single frame per
-  /// relation starts cold, as in the paper's methodology.
-  Status DropAllBuffers() {
-    for (auto& [_, rel] : relations_) {
-      TDB_RETURN_NOT_OK(rel->FlushAndDropBuffers());
-    }
-    return Status::OK();
+  /// Flushes and empties the buffer frame of every relation file the
+  /// default session has open.  Measurement runs call this before each
+  /// query so the single frame per relation starts cold, as in the
+  /// paper's methodology.
+  Status DropAllBuffers() { return default_session_->DropAllBuffers(); }
+
+  /// The default session's range declarations (variable -> relation).
+  const std::map<std::string, std::string>& ranges() const {
+    return default_session_->ranges();
   }
 
-  /// The active range declarations (variable -> relation).
-  const std::map<std::string, std::string>& ranges() const { return ranges_; }
-
  private:
+  friend class Session;
+
   Database(Env* env, std::string dir, DatabaseOptions options)
       : env_(env),
         dir_(std::move(dir)),
@@ -159,6 +211,13 @@ class Database {
         catalog_(env, dir_),
         metrics_(options.metrics.value_or(obs::MetricsEnabled())),
         now_(options.start_time) {}
+
+  /// The live clock (reads pin their snapshot off this).
+  TimePoint NowSnapshot() const { return now(); }
+
+  /// Stamps a concurrent writer: returns the transaction time and advances
+  /// the clock atomically, so overlapping writers get distinct stamps.
+  TimePoint AcquireTxTime();
 
   /// The logical clock is persisted alongside the catalog so that a
   /// reopened database resumes *after* every recorded transaction time —
@@ -168,39 +227,35 @@ class Database {
   void PersistClock() const;
   void RestoreClock();
 
-  /// The executor environment for one statement, with every engine knob
-  /// (join method, vectorization, morsel capacity, thread count) resolved
-  /// from this database's options and the TDB_* environment.
-  ExecEnv MakeExecEnv();
-
-  /// Runs one parsed statement (the per-statement switch).  Journal
-  /// bracketing lives in ExecuteScript.
-  Result<ExecResult> ExecuteStatement(Statement* stmt);
-
-  /// Commit barrier with durability on: flush every open pager (each
-  /// overwrite pre-imaged via the journal hooks), sync data files in
-  /// kJournalSync, then write the journal's commit mark.
-  Status CommitStatement();
-
-  /// Undoes a failed statement: drops dirty frames unwritten, closes the
-  /// open relations, applies the journal's pre-images, and reloads the
-  /// catalog from its restored file.
-  Status RollbackStatement();
-
   Env* env_;
   std::string dir_;
   DatabaseOptions options_;
   Catalog catalog_;
-  /// Declared before registry_ and journal_, which hold raw pointers into
-  /// it while metrics are enabled.
+  /// Declared before the registries and journal, which hold raw pointers
+  /// into it while metrics are enabled.
   obs::MetricsRegistry metrics_;
-  IoRegistry registry_;
-  /// Declared before relations_ so pagers (whose destructors flush through
-  /// the journal hooks) are destroyed first.
+  /// Declared before default_session_ so session pagers (whose destructors
+  /// flush through the journal hooks) are destroyed first.
   std::unique_ptr<Journal> journal_;
-  std::map<std::string, std::unique_ptr<Relation>> relations_;
-  std::map<std::string, std::string> ranges_;
-  TimePoint now_;
+
+  // --- concurrent mode (engaged by the first CreateSession) --------------
+  std::atomic<bool> concurrent_{false};
+  std::atomic<int> next_session_id_{1};
+  LockTable lock_table_;
+  /// Serializes writer journal batches (Begin .. CommitGroup); the
+  /// commit-mark fsync runs outside it via Journal::WaitDurable.
+  std::mutex journal_mu_;
+  mutable std::mutex clock_mu_;
+  /// Cross-session cache invalidation: a writer bumps its target
+  /// relations' versions (and DDL the catalog generation) at commit, and
+  /// every session drops handles it discovers stale at statement start.
+  std::mutex version_mu_;
+  std::map<std::string, uint64_t> rel_versions_;
+  uint64_t catalog_gen_ = 0;
+
+  /// Owns the embedded API's registry/relations/ranges.
+  std::unique_ptr<Session> default_session_;
+  TimePoint now_;  // guarded by clock_mu_
 };
 
 }  // namespace tdb

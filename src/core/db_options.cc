@@ -1,0 +1,47 @@
+#include <cstdlib>
+#include <string_view>
+
+#include "core/database.h"
+#include "exec/join_method.h"
+#include "util/stringx.h"
+
+namespace tdb {
+
+namespace {
+
+/// "on unless 0" boolean levers; absent -> unset.
+std::optional<bool> BoolFromEnv(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  return std::string_view(v) != "0";
+}
+
+/// Positive integer levers; absent or unparseable -> 0 (unset).
+int IntFromEnv(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return 0;
+  int64_t parsed = 0;
+  if (!ParseInt64(v, &parsed)) return 0;
+  if (parsed <= 0) return 0;
+  if (parsed > INT32_MAX) parsed = INT32_MAX;
+  return static_cast<int>(parsed);
+}
+
+}  // namespace
+
+DatabaseOptions DatabaseOptions::FromEnv() {
+  DatabaseOptions o;
+  o.vector_exec = BoolFromEnv("TDB_VECTOR_EXEC");
+  o.morsel_capacity = IntFromEnv("TDB_MORSEL_CAP");
+  o.exec_threads = IntFromEnv("TDB_EXEC_THREADS");
+  if (const char* v = std::getenv("TDB_JOIN_METHOD")) {
+    // Present but unparseable degrades to kPaper, like a set field: the
+    // historical lever never failed open, and neither does this one.
+    o.join_method = ParseJoinMethod(v).value_or(JoinMethod::kPaper);
+  }
+  o.compiled_expr = BoolFromEnv("TDB_COMPILED_EXPR");
+  o.metrics = BoolFromEnv("TDB_METRICS");
+  return o;
+}
+
+}  // namespace tdb

@@ -1,0 +1,62 @@
+#include "core/lock_table.h"
+
+#include <algorithm>
+
+#include "util/stringx.h"
+
+namespace tdb {
+
+std::shared_mutex& LockTable::ForRelation(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = locks_[ToLower(name)];
+  if (slot == nullptr) slot = std::make_unique<std::shared_mutex>();
+  return *slot;
+}
+
+StatementLocks::StatementLocks(
+    LockTable* table, DdlMode ddl,
+    std::vector<std::pair<std::string, bool>> relations)
+    : table_(table), ddl_(ddl) {
+  if (ddl_ == DdlMode::kExclusive) {
+    table_->ddl_latch().lock();
+  } else {
+    table_->ddl_latch().lock_shared();
+  }
+  for (auto& [name, _] : relations) name = ToLower(name);
+  std::sort(relations.begin(), relations.end());
+  for (const auto& [name, exclusive] : relations) {
+    if (!held_.empty() &&
+        &table_->ForRelation(name) == held_.back().first) {
+      // Same relation twice: exclusive subsumes shared, and the sort put
+      // the shared entry (false < true) first — upgrade in place before
+      // the lock is taken, never after.
+      held_.back().second = held_.back().second || exclusive;
+      continue;
+    }
+    held_.emplace_back(&table_->ForRelation(name), exclusive);
+  }
+  for (auto& [lock, exclusive] : held_) {
+    if (exclusive) {
+      lock->lock();
+    } else {
+      lock->lock_shared();
+    }
+  }
+}
+
+StatementLocks::~StatementLocks() {
+  for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+    if (it->second) {
+      it->first->unlock();
+    } else {
+      it->first->unlock_shared();
+    }
+  }
+  if (ddl_ == DdlMode::kExclusive) {
+    table_->ddl_latch().unlock();
+  } else {
+    table_->ddl_latch().unlock_shared();
+  }
+}
+
+}  // namespace tdb

@@ -1,0 +1,593 @@
+#include "core/session.h"
+
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "core/database.h"
+#include "exec/compiled_expr.h"
+#include "exec/ddl_executor.h"
+#include "exec/dml_executor.h"
+#include "exec/exec_env.h"
+#include "exec/morsel.h"
+#include "exec/plan.h"
+#include "exec/planner.h"
+#include "exec/query_executor.h"
+#include "exec/worker_pool.h"
+#include "tquel/ast.h"
+#include "tquel/binder.h"
+#include "tquel/parser.h"
+#include "util/stringx.h"
+
+namespace tdb {
+
+namespace {
+
+/// What one statement needs from the lock table, derived from its AST
+/// before execution (so locks are held before any page is touched).
+struct LockPlan {
+  StatementLocks::DdlMode ddl = StatementLocks::DdlMode::kShared;
+  /// (relation, exclusive?) pairs; shared entries cover every relation a
+  /// range variable can reach, exclusive ones the statement's write target.
+  std::vector<std::pair<std::string, bool>> rels;
+  /// Writes database files, so it needs a journal batch and a post-commit
+  /// version bump for other sessions.
+  bool writes = false;
+  /// DML: stamps transaction time and advances the logical clock.
+  bool data_mutating = false;
+};
+
+/// Collects the tuple-variable names a statement's clauses reference, so
+/// the lock plan can cover exactly the relations the statement can touch.
+/// A session may hold many declared ranges; a statement that mentions one
+/// of them must not contend with writers of the others.
+struct VarCollector {
+  std::set<std::string> vars;  // lower-cased
+
+  void Scalar(const Expr* e) {
+    if (e == nullptr) return;
+    if (e->kind == Expr::Kind::kColumn) vars.insert(ToLower(e->var));
+    Scalar(e->left.get());
+    Scalar(e->right.get());
+    Scalar(e->agg_arg.get());
+    Scalar(e->agg_by.get());
+    Scalar(e->agg_where.get());
+  }
+  void Temporal(const TemporalExpr* t) {
+    if (t == nullptr) return;
+    if (t->kind == TemporalExpr::Kind::kVar) vars.insert(ToLower(t->var));
+    Temporal(t->left.get());
+    Temporal(t->right.get());
+  }
+  void Pred(const TemporalPred* p) {
+    if (p == nullptr) return;
+    Temporal(p->lexpr.get());
+    Temporal(p->rexpr.get());
+    Pred(p->left.get());
+    Pred(p->right.get());
+  }
+  void Valid(const std::optional<ValidClause>& v) {
+    if (!v.has_value()) return;
+    Temporal(v->from.get());
+    Temporal(v->to.get());
+  }
+  void AsOf(const std::optional<AsOfClause>& a) {
+    if (!a.has_value()) return;
+    Temporal(a->at.get());
+    Temporal(a->through.get());
+  }
+  void Targets(const std::vector<TargetItem>& targets) {
+    for (const TargetItem& t : targets) Scalar(t.expr.get());
+  }
+};
+
+LockPlan ClassifyStatement(const Statement* stmt,
+                           const std::map<std::string, std::string>& ranges) {
+  LockPlan lp;
+  // Precise read set: only the relations whose range variables the
+  // statement actually references.  Shared locks on every declared range
+  // would make any two sessions' writes conflict as soon as each has a
+  // range over the other's relation, serializing workloads that never
+  // touch the same data.
+  auto read_referenced = [&](const VarCollector& vc) {
+    for (const std::string& var : vc.vars) {
+      auto it = ranges.find(var);
+      if (it != ranges.end()) lp.rels.emplace_back(it->second, false);
+    }
+  };
+  switch (stmt->kind) {
+    case Statement::Kind::kRange:
+    case Statement::Kind::kHelp:
+      break;  // catalog reads only; the shared DDL latch covers them
+    case Statement::Kind::kRetrieve: {
+      auto* r = static_cast<const RetrieveStmt*>(stmt);
+      VarCollector vc;
+      vc.Targets(r->targets);
+      vc.Scalar(r->where.get());
+      vc.Pred(r->when.get());
+      vc.Valid(r->valid);
+      vc.AsOf(r->as_of);
+      read_referenced(vc);
+      if (!r->into.empty()) {
+        // `retrieve into` creates a relation: catalog shape changes.
+        lp.ddl = StatementLocks::DdlMode::kExclusive;
+        lp.writes = true;
+      }
+      break;
+    }
+    case Statement::Kind::kExplain: {
+      // analyze executes; plain planning still reads
+      auto* e = static_cast<const ExplainStmt*>(stmt);
+      const RetrieveStmt* r = e->query.get();
+      VarCollector vc;
+      vc.Targets(r->targets);
+      vc.Scalar(r->where.get());
+      vc.Pred(r->when.get());
+      vc.Valid(r->valid);
+      vc.AsOf(r->as_of);
+      read_referenced(vc);
+      break;
+    }
+    case Statement::Kind::kAppend: {
+      auto* a = static_cast<const AppendStmt*>(stmt);
+      VarCollector vc;
+      vc.Targets(a->targets);
+      vc.Scalar(a->where.get());
+      vc.Pred(a->when.get());
+      vc.Valid(a->valid);
+      read_referenced(vc);
+      lp.rels.emplace_back(a->relation, true);
+      lp.writes = lp.data_mutating = true;
+      break;
+    }
+    case Statement::Kind::kDelete: {
+      auto* d = static_cast<const DeleteStmt*>(stmt);
+      VarCollector vc;
+      vc.Scalar(d->where.get());
+      vc.Pred(d->when.get());
+      vc.Valid(d->valid);
+      read_referenced(vc);
+      auto it = ranges.find(ToLower(d->var));
+      if (it != ranges.end()) lp.rels.emplace_back(it->second, true);
+      lp.writes = lp.data_mutating = true;
+      break;
+    }
+    case Statement::Kind::kReplace: {
+      auto* r = static_cast<const ReplaceStmt*>(stmt);
+      VarCollector vc;
+      vc.Targets(r->targets);
+      vc.Scalar(r->where.get());
+      vc.Pred(r->when.get());
+      vc.Valid(r->valid);
+      read_referenced(vc);
+      auto it = ranges.find(ToLower(r->var));
+      if (it != ranges.end()) lp.rels.emplace_back(it->second, true);
+      lp.writes = lp.data_mutating = true;
+      break;
+    }
+    case Statement::Kind::kCopy: {
+      auto* c = static_cast<const CopyStmt*>(stmt);
+      lp.rels.emplace_back(c->relation, c->from);
+      lp.writes = lp.data_mutating = c->from;
+      break;
+    }
+    case Statement::Kind::kCreate:
+    case Statement::Kind::kDestroy:
+    case Statement::Kind::kModify:
+    case Statement::Kind::kIndex:
+      lp.ddl = StatementLocks::DdlMode::kExclusive;
+      lp.writes = true;
+      break;
+  }
+  return lp;
+}
+
+}  // namespace
+
+Session::Session(Database* db, int id, SessionOptions options)
+    : db_(db), id_(id), options_(std::move(options)) {
+  // The default session (id 0) keeps the legacy scratch names
+  // ("__temp0.dat") so embedded page accounting stays byte-identical.
+  if (id_ > 0) temp_tag_ = StrPrintf("s%d_", id_);
+  if (obs::MetricsRegistry* m = db_->metrics()) registry_.set_metrics(m);
+}
+
+Session::~Session() = default;
+
+ExecEnv Session::MakeExecEnv(TimePoint now) {
+  const DatabaseOptions& dbo = db_->options_;
+  auto join = options_.join_method.has_value() ? options_.join_method
+                                               : dbo.join_method;
+  ExecEnv exec{db_->env_, db_->dir_,  &db_->catalog_,
+               &registry_, &relations_, now,
+               dbo.buffer_frames, db_->journal_.get(),
+               EffectiveJoinMethod(join)};
+  exec.vector_exec = ResolveVectorExec(
+      options_.vector_exec.has_value() ? options_.vector_exec
+                                       : dbo.vector_exec);
+  exec.morsel_cap = ResolveMorselCapacity(options_.morsel_capacity > 0
+                                              ? options_.morsel_capacity
+                                              : dbo.morsel_capacity);
+  exec.exec_threads = ResolveExecThreads(
+      options_.exec_threads > 0 ? options_.exec_threads : dbo.exec_threads);
+  exec.temp_tag = temp_tag_;
+  return exec;
+}
+
+Status Session::DropAllBuffers() {
+  for (auto& [_, rel] : relations_) {
+    TDB_RETURN_NOT_OK(rel->FlushAndDropBuffers());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ExecResult>> Session::ExecuteScript(
+    const std::string& text) {
+  const bool concurrent = db_->concurrent_.load(std::memory_order_acquire);
+  if (!concurrent) {
+    // One-writer-per-Env rule (see IoRegistry): an embedded Database, its
+    // registry, and its logical clock belong to a single thread.
+    registry_.CheckOwnerThread();
+  }
+  TDB_ASSIGN_OR_RETURN(auto stmts, Parser::ParseScript(text));
+  if (stmts.empty()) return Status::ParseError("empty statement");
+
+  Journal* journal = db_->journal_.get();
+  std::vector<ExecResult> results;
+  results.reserve(stmts.size());
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    Statement* stmt = stmts[i].get();
+    const StatementContext ctx{static_cast<int>(i) + 1, stmt->source_offset};
+    if (!concurrent && journal != nullptr) {
+      Status begin = journal->Begin();
+      if (!begin.ok()) return begin.WithStatementContext(ctx);
+    }
+    Result<ExecResult> result = ExecResult{};
+    if (obs::MetricsRegistry* m = db_->metrics()) {
+      obs::TraceSpan span(m, "db.statement");
+      auto start = std::chrono::steady_clock::now();
+      result = concurrent ? ExecuteStatementConcurrent(stmt)
+                          : ExecuteStatementEmbedded(stmt);
+      m->counter("db.statements")->Increment();
+      m->histogram("db.statement_nanos")
+          ->Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count()));
+    } else {
+      result = concurrent ? ExecuteStatementConcurrent(stmt)
+                          : ExecuteStatementEmbedded(stmt);
+    }
+    if (!concurrent && journal != nullptr) {
+      if (result.ok()) {
+        Status commit = CommitStatementEmbedded();
+        if (!commit.ok()) result = commit;
+      }
+      if (!result.ok()) {
+        Status rolled_back = RollbackStatementEmbedded();
+        if (!rolled_back.ok()) return rolled_back.WithStatementContext(ctx);
+      }
+    }
+    if (!result.ok()) return result.status().WithStatementContext(ctx);
+    results.push_back(std::move(*result));
+  }
+  return results;
+}
+
+Result<ExecResult> Session::Execute(const std::string& text) {
+  TDB_ASSIGN_OR_RETURN(auto results, ExecuteScript(text));
+  return std::move(results.back());
+}
+
+Result<ResultSet> Session::Query(const std::string& text) {
+  TDB_ASSIGN_OR_RETURN(ExecResult r, Execute(text));
+  return r.result;
+}
+
+Result<ExecResult> Session::RunStatement(Statement* stmt, ExecEnv& exec,
+                                         bool* data_mutating) {
+  Binder binder(&db_->catalog_, &ranges_);
+  ExecResult last;
+  switch (stmt->kind) {
+    case Statement::Kind::kRange: {
+      auto* range = static_cast<RangeStmt*>(stmt);
+      if (db_->catalog_.Find(range->relation) == nullptr) {
+        return Status::BindError("relation '" + range->relation +
+                                 "' does not exist");
+      }
+      ranges_[ToLower(range->var)] = range->relation;
+      last = ExecResult{};
+      last.message = "range of " + range->var + " is " + range->relation;
+      break;
+    }
+    case Statement::Kind::kRetrieve: {
+      auto* retrieve = static_cast<RetrieveStmt*>(stmt);
+      TDB_ASSIGN_OR_RETURN(BoundStatement bound,
+                           binder.BindRetrieve(retrieve));
+      QueryExecutor qexec(exec);
+      TDB_ASSIGN_OR_RETURN(last, qexec.Retrieve(retrieve, bound));
+      break;
+    }
+    case Statement::Kind::kAppend: {
+      auto* append = static_cast<AppendStmt*>(stmt);
+      TDB_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindAppend(append));
+      DmlExecutor dml(exec);
+      TDB_ASSIGN_OR_RETURN(last, dml.Append(append, bound));
+      *data_mutating = true;
+      break;
+    }
+    case Statement::Kind::kDelete: {
+      auto* del = static_cast<DeleteStmt*>(stmt);
+      TDB_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindDelete(del));
+      DmlExecutor dml(exec);
+      TDB_ASSIGN_OR_RETURN(last, dml.Delete(del, bound));
+      *data_mutating = true;
+      break;
+    }
+    case Statement::Kind::kReplace: {
+      auto* replace = static_cast<ReplaceStmt*>(stmt);
+      TDB_ASSIGN_OR_RETURN(BoundStatement bound,
+                           binder.BindReplace(replace));
+      DmlExecutor dml(exec);
+      TDB_ASSIGN_OR_RETURN(last, dml.Replace(replace, bound));
+      *data_mutating = true;
+      break;
+    }
+    case Statement::Kind::kCreate: {
+      DdlExecutor ddl(exec);
+      TDB_ASSIGN_OR_RETURN(last,
+                           ddl.Create(*static_cast<CreateStmt*>(stmt)));
+      break;
+    }
+    case Statement::Kind::kDestroy: {
+      DdlExecutor ddl(exec);
+      TDB_ASSIGN_OR_RETURN(
+          last, ddl.Destroy(*static_cast<DestroyStmt*>(stmt)));
+      break;
+    }
+    case Statement::Kind::kModify: {
+      DdlExecutor ddl(exec);
+      TDB_ASSIGN_OR_RETURN(last,
+                           ddl.Modify(*static_cast<ModifyStmt*>(stmt)));
+      break;
+    }
+    case Statement::Kind::kIndex: {
+      DdlExecutor ddl(exec);
+      TDB_ASSIGN_OR_RETURN(last,
+                           ddl.Index(*static_cast<IndexStmt*>(stmt)));
+      break;
+    }
+    case Statement::Kind::kHelp: {
+      DdlExecutor ddl(exec);
+      TDB_ASSIGN_OR_RETURN(last,
+                           ddl.Help(*static_cast<HelpStmt*>(stmt)));
+      break;
+    }
+    case Statement::Kind::kCopy: {
+      auto* copy = static_cast<CopyStmt*>(stmt);
+      DdlExecutor ddl(exec);
+      TDB_ASSIGN_OR_RETURN(last, ddl.Copy(*copy));
+      *data_mutating = copy->from;
+      break;
+    }
+    case Statement::Kind::kExplain: {
+      // Plain explain plans the wrapped retrieve without executing it;
+      // `explain analyze` runs it and annotates each node with its runtime
+      // stats and wall time.  Either way the tree comes back as rows, one
+      // line per node, and the query's own result rows are discarded.
+      auto* explain = static_cast<ExplainStmt*>(stmt);
+      TDB_ASSIGN_OR_RETURN(BoundStatement bound,
+                           binder.BindRetrieve(explain->query.get()));
+      std::shared_ptr<PhysicalPlan> plan;
+      if (explain->analyze) {
+        QueryExecutor qexec(exec);
+        TDB_ASSIGN_OR_RETURN(ExecResult run,
+                             qexec.Retrieve(explain->query.get(), bound));
+        plan = std::const_pointer_cast<PhysicalPlan>(run.plan);
+      } else {
+        TDB_ASSIGN_OR_RETURN(plan, BuildPlan(*explain->query, bound, exec));
+      }
+      last = ExecResult{};
+      last.result.columns.push_back("query plan");
+      const std::string tree = explain->analyze
+                                   ? plan->Describe(/*with_stats=*/true,
+                                                    /*with_timing=*/true)
+                                   : plan->Describe();
+      for (const std::string& line : Split(tree, '\n')) {
+        if (line.empty()) continue;
+        Row row;
+        row.push_back(Value::Char(line));
+        last.result.rows.push_back(std::move(row));
+      }
+      last.message = "plan: " + plan->Summary();
+      last.plan = std::move(plan);
+      break;
+    }
+  }
+  return last;
+}
+
+Result<ExecResult> Session::ExecuteStatementEmbedded(Statement* stmt) {
+  ExecEnv exec = MakeExecEnv(options_.as_of.value_or(db_->now()));
+  ScopedCompiledExprChoice compiled(options_.compiled_expr.has_value()
+                                        ? options_.compiled_expr
+                                        : db_->options_.compiled_expr);
+  bool data_mutating = false;
+  // A pinned as-of must never stamp new versions into the past: mutating
+  // statements re-resolve against the live clock.
+  if (options_.as_of.has_value()) {
+    LockPlan lp = ClassifyStatement(stmt, ranges_);
+    if (lp.data_mutating) exec.now = db_->now();
+  }
+  TDB_ASSIGN_OR_RETURN(ExecResult last,
+                       RunStatement(stmt, exec, &data_mutating));
+  if (data_mutating) {
+    db_->PersistClock();
+    if (db_->options_.auto_advance_seconds > 0) {
+      db_->AdvanceSeconds(db_->options_.auto_advance_seconds);
+    }
+  }
+  return last;
+}
+
+Status Session::CommitStatementEmbedded() {
+  // Write back every dirty frame; each in-place overwrite first pre-images
+  // the page through the journal hooks.
+  for (auto& [_, rel] : relations_) {
+    TDB_RETURN_NOT_OK(rel->FlushBuffers());
+  }
+  if (db_->journal_->mode() == DurabilityMode::kJournalSync) {
+    for (auto& [_, rel] : relations_) {
+      TDB_RETURN_NOT_OK(rel->SyncFiles());
+    }
+  }
+  return db_->journal_->Commit();
+}
+
+Status Session::RollbackStatementEmbedded() {
+  // Dirty frames hold aborted content; drop them unwritten so destructor
+  // flushes cannot leak them to disk, then close the handles (the files
+  // are about to change underneath them).
+  for (auto& [_, rel] : relations_) rel->DiscardBuffers();
+  relations_.clear();
+  TDB_RETURN_NOT_OK(db_->journal_->Rollback());
+  // The journal restored catalog.meta on disk; re-read it so the
+  // in-memory image matches again.
+  return db_->catalog_.Load();
+}
+
+void Session::InvalidateStaleHandles() {
+  std::lock_guard<std::mutex> lock(db_->version_mu_);
+  if (seen_catalog_gen_ != db_->catalog_gen_) {
+    // DDL elsewhere: relation files may have been rebuilt or deleted.
+    // Handles are only cached between statements, so dropping them all is
+    // cheap and always safe (a reader's frames are clean by definition).
+    for (auto& [_, rel] : relations_) rel->DiscardBuffers();
+    relations_.clear();
+    seen_versions_.clear();
+    seen_catalog_gen_ = db_->catalog_gen_;
+  }
+  for (auto it = relations_.begin(); it != relations_.end();) {
+    auto vit = db_->rel_versions_.find(it->first);
+    const uint64_t current =
+        vit == db_->rel_versions_.end() ? 0 : vit->second;
+    auto sit = seen_versions_.find(it->first);
+    const uint64_t seen = sit == seen_versions_.end() ? 0 : sit->second;
+    if (seen != current) {
+      it->second->DiscardBuffers();
+      it = relations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Record what this statement will observe.  Its locks are already held,
+  // so these versions cannot move until the statement is over.
+  for (const auto& [name, version] : db_->rel_versions_) {
+    seen_versions_[name] = version;
+  }
+}
+
+Result<ExecResult> Session::ExecuteStatementConcurrent(Statement* stmt) {
+  LockPlan lp = ClassifyStatement(stmt, ranges_);
+  Journal* journal = db_->journal_.get();
+  Result<ExecResult> result = ExecResult{};
+  uint64_t ticket = 0;
+  bool wait_durable = false;
+  {
+    StatementLocks locks(&db_->lock_table_, lp.ddl, lp.rels);
+    InvalidateStaleHandles();
+
+    // The MVCC pin: read statements freeze logical time at statement start
+    // (or at the session's explicit as-of), so whatever writers commit
+    // meanwhile stays invisible — their transaction stamps are later than
+    // the pin.  Writers draw a fresh stamp, advancing the shared clock.
+    const TimePoint stmt_now =
+        lp.data_mutating ? db_->AcquireTxTime()
+                         : options_.as_of.value_or(db_->NowSnapshot());
+    ExecEnv exec = MakeExecEnv(stmt_now);
+    ScopedCompiledExprChoice compiled(options_.compiled_expr.has_value()
+                                          ? options_.compiled_expr
+                                          : db_->options_.compiled_expr);
+    bool data_mutating = false;
+
+    if (lp.writes && journal != nullptr) {
+      // One journal, one writer batch at a time: Begin..CommitGroup runs
+      // under the database's journal mutex.  The commit-mark fsync happens
+      // after unlock, where overlapping writers share it (group commit).
+      std::lock_guard<std::mutex> jlock(db_->journal_mu_);
+      TDB_RETURN_NOT_OK(journal->Begin());
+      result = RunStatement(stmt, exec, &data_mutating);
+      if (result.ok() && lp.data_mutating) db_->PersistClock();
+      if (result.ok()) {
+        Status commit = [&]() -> Status {
+          for (auto& [_, rel] : relations_) {
+            TDB_RETURN_NOT_OK(rel->FlushBuffers());
+          }
+          if (journal->mode() == DurabilityMode::kJournalSync) {
+            // Data must be durable before the commit mark exists: a durable
+            // mark asserts exactly that (see Journal group-commit contract).
+            for (auto& [_, rel] : relations_) {
+              TDB_RETURN_NOT_OK(rel->SyncFiles());
+            }
+          }
+          TDB_ASSIGN_OR_RETURN(ticket, journal->CommitGroup());
+          wait_durable = journal->mode() == DurabilityMode::kJournalSync;
+          return Status::OK();
+        }();
+        if (!commit.ok()) result = commit;
+      }
+      if (!result.ok()) {
+        for (auto& [_, rel] : relations_) rel->DiscardBuffers();
+        relations_.clear();
+        TDB_RETURN_NOT_OK(journal->Rollback());
+        if (lp.ddl == StatementLocks::DdlMode::kExclusive) {
+          // Only DDL rewrites catalog.meta; reloading it under the shared
+          // latch would race other sessions' catalog reads.
+          TDB_RETURN_NOT_OK(db_->catalog_.Load());
+        }
+      }
+    } else {
+      result = RunStatement(stmt, exec, &data_mutating);
+      if (result.ok() && lp.data_mutating) db_->PersistClock();
+      if (result.ok() && lp.writes) {
+        // No journal: still write back dirty frames before the exclusive
+        // lock drops, so other sessions' reopened handles see this
+        // statement's pages.
+        for (auto& [_, rel] : relations_) {
+          Status flushed = rel->FlushBuffers();
+          if (!flushed.ok()) {
+            result = flushed;
+            break;
+          }
+        }
+      }
+    }
+
+    if (result.ok() && lp.writes) {
+      // Publish: bump the versions of everything written (still under this
+      // statement's exclusive locks) so other sessions drop stale handles.
+      std::lock_guard<std::mutex> vlock(db_->version_mu_);
+      for (const auto& [name, exclusive] : lp.rels) {
+        if (!exclusive) continue;
+        const std::string key = ToLower(name);
+        seen_versions_[key] = ++db_->rel_versions_[key];
+      }
+      if (lp.ddl == StatementLocks::DdlMode::kExclusive) {
+        seen_catalog_gen_ = ++db_->catalog_gen_;
+      }
+    }
+  }  // locks released
+
+  // Early lock release: the statement's effects are committed in memory
+  // and published above, so the fsync wait happens without any locks held
+  // and overlapping committers can batch into one sync (group commit).
+  // Safe against crashes because every page overwrite is pre-imaged and
+  // the pre-image is durable before the page changes: if this commit mark
+  // is lost, recovery rolls this statement (and anything after it) back.
+  if (result.ok() && wait_durable) {
+    TDB_RETURN_NOT_OK(journal->WaitDurable(ticket));
+  }
+  return result;
+}
+
+}  // namespace tdb

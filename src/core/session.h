@@ -1,0 +1,134 @@
+#ifndef CHRONOQUEL_CORE_SESSION_H_
+#define CHRONOQUEL_CORE_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "core/result_set.h"
+#include "exec/join_method.h"
+#include "storage/io_stats.h"
+#include "types/timepoint.h"
+#include "util/status.h"
+
+namespace tdb {
+
+class Database;
+struct Statement;  // tquel/ast.h
+struct ExecEnv;    // exec/exec_env.h
+
+/// Per-session knobs, layered between test overrides and the database's
+/// DatabaseOptions in the one precedence chain
+///
+///   test override > session > DatabaseOptions > environment > default
+///
+/// (see DatabaseOptions::FromEnv).  Every field's "unset" value defers to
+/// the next layer down.
+struct SessionOptions {
+  /// Pinned `as of` transaction timestamp for read statements: every
+  /// retrieve in this session sees the database exactly as it stood at
+  /// this instant, whatever concurrent writers commit meanwhile.  Unset
+  /// pins each statement at its own start time (snapshot-read MVCC over
+  /// the append-only stores).  Mutating statements always stamp with the
+  /// live clock — history cannot be written into.
+  std::optional<TimePoint> as_of;
+  std::optional<JoinMethod> join_method;
+  std::optional<bool> vector_exec;
+  int morsel_capacity = 0;  // 0 = unset
+  int exec_threads = 0;     // 0 = unset
+  std::optional<bool> compiled_expr;
+};
+
+/// One client's connection to a Database: the unit of statement execution
+/// and client state (range declarations, open relation handles, I/O
+/// accounting, pinned as-of timestamp, per-session exec options).  The
+/// embedded API (`Database::Execute`) is a thin wrapper over an implicit
+/// default session; the server's connection handlers each own one.
+///
+/// Sessions created by Database::CreateSession() may execute statements
+/// concurrently from different threads — the database's lock table
+/// serializes writers per relation, readers run in parallel against
+/// pinned snapshots, and the journal group-commits overlapping writers.
+/// One Session is still one client: its own methods must not be called
+/// concurrently with each other.  Every Session must be destroyed before
+/// its Database.
+class Session {
+ public:
+  ~Session();
+
+  /// Statement execution, identical semantics to the Database methods of
+  /// the same names (which delegate here).
+  Result<std::vector<ExecResult>> ExecuteScript(const std::string& text);
+  Result<ExecResult> Execute(const std::string& text);
+  Result<ResultSet> Query(const std::string& text);
+
+  int id() const { return id_; }
+  Database* database() { return db_; }
+
+  const SessionOptions& options() const { return options_; }
+  void set_options(SessionOptions options) { options_ = std::move(options); }
+
+  /// Pins (or with nullopt, unpins) the session's as-of read timestamp.
+  void PinAsOf(std::optional<TimePoint> at) { options_.as_of = at; }
+  std::optional<TimePoint> pinned_as_of() const { return options_.as_of; }
+
+  /// This session's range declarations (variable -> relation).
+  const std::map<std::string, std::string>& ranges() const { return ranges_; }
+
+  /// This session's I/O accounting (per-file page read/write counters).
+  IoRegistry* io() { return &registry_; }
+
+  /// Flushes and empties the buffer frame of every relation file this
+  /// session has open (the paper's cold-start discipline).
+  Status DropAllBuffers();
+
+ private:
+  friend class Database;
+
+  Session(Database* db, int id, SessionOptions options);
+
+  /// The executor environment for one statement at logical time `now`,
+  /// with every engine knob resolved session > database > environment.
+  ExecEnv MakeExecEnv(TimePoint now);
+
+  /// The per-statement kind switch, shared by the embedded and concurrent
+  /// paths.  Sets *data_mutating for statements that stamp transaction
+  /// time (append/delete/replace/copy-from).
+  Result<ExecResult> RunStatement(Statement* stmt, ExecEnv& exec,
+                                  bool* data_mutating);
+
+  /// Embedded path: byte-identical to the pre-session Database behavior.
+  Result<ExecResult> ExecuteStatementEmbedded(Statement* stmt);
+  Status CommitStatementEmbedded();
+  Status RollbackStatementEmbedded();
+
+  /// Concurrent path: statement locks, pinned snapshot or acquired tx
+  /// time, journal group commit, cross-session handle invalidation.
+  Result<ExecResult> ExecuteStatementConcurrent(Statement* stmt);
+
+  /// Drops relation handles another session's committed statement made
+  /// stale.  Called at statement start while this statement's locks are
+  /// held, so the handles it keeps stay fresh for the statement.
+  void InvalidateStaleHandles();
+
+  Database* db_;
+  int id_;
+  /// Distinguishes this session's scratch files (`__temp<tag><n>.dat`);
+  /// empty for the default session, keeping embedded names byte-identical.
+  std::string temp_tag_;
+  SessionOptions options_;
+  IoRegistry registry_;
+  /// Declared after registry_ (pagers point into it) and destroyed first.
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+  std::map<std::string, std::string> ranges_;
+  /// Last database-wide relation versions this session reconciled with.
+  std::map<std::string, uint64_t> seen_versions_;
+  uint64_t seen_catalog_gen_ = 0;
+};
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_CORE_SESSION_H_

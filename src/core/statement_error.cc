@@ -1,0 +1,27 @@
+#include "core/statement_error.h"
+
+namespace tdb {
+
+std::string FormatStatementError(const Status& status,
+                                 const std::string& script) {
+  if (status.ok()) return "OK";
+  std::string out = StatusCodeName(status.code());
+  if (!status.message().empty()) {
+    out += ": ";
+    out += status.message();
+  }
+  const StatementContext* ctx = status.statement_context();
+  if (ctx == nullptr) return out;
+  out += " (statement " + std::to_string(ctx->statement_index) + ")";
+  if (ctx->source_offset >= script.size()) return out;
+  // The line containing the statement's first token, caret underneath.
+  size_t line_start = script.rfind('\n', ctx->source_offset);
+  line_start = line_start == std::string::npos ? 0 : line_start + 1;
+  size_t line_end = script.find('\n', ctx->source_offset);
+  if (line_end == std::string::npos) line_end = script.size();
+  out += "\n  " + script.substr(line_start, line_end - line_start);
+  out += "\n  " + std::string(ctx->source_offset - line_start, ' ') + "^";
+  return out;
+}
+
+}  // namespace tdb

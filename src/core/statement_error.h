@@ -1,0 +1,27 @@
+#ifndef CHRONOQUEL_CORE_STATEMENT_ERROR_H_
+#define CHRONOQUEL_CORE_STATEMENT_ERROR_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace tdb {
+
+/// Renders a statement error against the script it came from: the status
+/// text plus, when a StatementContext is attached, the offending line with
+/// a caret under the statement's first token.
+///
+///   Bind error: relation 'emp' does not exist (statement 2)
+///     range of e is emp
+///     ^
+///
+/// This is THE user-facing rendering of an execution error: the shell
+/// prints it directly, and a wire client prints it after re-materializing
+/// the same Status (code, message, context) from a kError frame — so
+/// embedded and remote users see identical diagnostics.
+std::string FormatStatementError(const Status& status,
+                                 const std::string& script);
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_CORE_STATEMENT_ERROR_H_

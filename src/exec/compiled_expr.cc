@@ -1,24 +1,31 @@
 #include "exec/compiled_expr.h"
 
-#include <cstdlib>
+#include "core/database.h"
 
 namespace tdb {
 
 namespace {
 std::optional<bool> g_compiled_override;
+thread_local std::optional<bool> t_compiled_choice;
 }  // namespace
 
 bool CompiledExprEnabled() {
   if (g_compiled_override.has_value()) return *g_compiled_override;
-  static const bool enabled = [] {
-    const char* v = std::getenv("TDB_COMPILED_EXPR");
-    return v == nullptr || std::string_view(v) != "0";
-  }();
-  return enabled;
+  if (t_compiled_choice.has_value()) return *t_compiled_choice;
+  return DatabaseOptions::FromEnv().compiled_expr.value_or(true);
 }
 
 void SetCompiledExprEnabledForTest(std::optional<bool> enabled) {
   g_compiled_override = enabled;
+}
+
+ScopedCompiledExprChoice::ScopedCompiledExprChoice(std::optional<bool> choice)
+    : previous_(t_compiled_choice) {
+  if (choice.has_value()) t_compiled_choice = choice;
+}
+
+ScopedCompiledExprChoice::~ScopedCompiledExprChoice() {
+  t_compiled_choice = previous_;
 }
 
 namespace {

@@ -41,6 +41,10 @@ struct ExecEnv {
   /// Worker threads for morsel-driven parallel pipelines.  1 (the paper's
   /// measurement discipline) keeps execution strictly single-threaded.
   int exec_threads = 1;
+  /// Session tag folded into scratch-file names ("__temp<tag><n>.dat") so
+  /// concurrent sessions never collide on temporaries.  Empty for the
+  /// default session, keeping embedded scratch names byte-identical.
+  std::string temp_tag;
 
   /// Returns the open handle for `name`, opening it from the catalog on
   /// first use.

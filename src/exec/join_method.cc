@@ -1,7 +1,6 @@
 #include "exec/join_method.h"
 
-#include <cstdlib>
-
+#include "core/database.h"
 #include "util/stringx.h"
 
 namespace tdb {
@@ -37,12 +36,7 @@ std::optional<JoinMethod> ParseJoinMethod(const std::string& text) {
 }
 
 JoinMethod JoinMethodFromEnv() {
-  static const JoinMethod method = [] {
-    const char* v = std::getenv("TDB_JOIN_METHOD");
-    if (v == nullptr) return JoinMethod::kPaper;
-    return ParseJoinMethod(v).value_or(JoinMethod::kPaper);
-  }();
-  return method;
+  return DatabaseOptions::FromEnv().join_method.value_or(JoinMethod::kPaper);
 }
 
 JoinMethod EffectiveJoinMethod(std::optional<JoinMethod> option) {

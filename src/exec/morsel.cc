@@ -1,9 +1,6 @@
 #include "exec/morsel.h"
 
-#include <cstdlib>
-#include <string_view>
-
-#include "util/stringx.h"
+#include "core/database.h"
 
 namespace tdb {
 
@@ -14,8 +11,7 @@ std::optional<bool> g_vector_override;
 bool ResolveVectorExec(const std::optional<bool>& option) {
   if (g_vector_override.has_value()) return *g_vector_override;
   if (option.has_value()) return *option;
-  const char* v = std::getenv("TDB_VECTOR_EXEC");
-  return v == nullptr || std::string_view(v) != "0";
+  return DatabaseOptions::FromEnv().vector_exec.value_or(true);
 }
 
 void SetVectorExecEnabledForTest(std::optional<bool> enabled) {
@@ -23,14 +19,8 @@ void SetVectorExecEnabledForTest(std::optional<bool> enabled) {
 }
 
 size_t ResolveMorselCapacity(int option) {
-  int64_t cap = 0;
-  if (option > 0) {
-    cap = option;
-  } else {
-    const char* v = std::getenv("TDB_MORSEL_CAP");
-    if (v == nullptr || !ParseInt64(v, &cap)) cap = 1024;
-  }
-  if (cap < 1) cap = 1;
+  int cap = option > 0 ? option : DatabaseOptions::FromEnv().morsel_capacity;
+  if (cap < 1) cap = 1024;
   if (cap > 65535) cap = 65535;
   return static_cast<size_t>(cap);
 }

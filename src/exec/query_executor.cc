@@ -866,7 +866,8 @@ Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
   TDB_ASSIGN_OR_RETURN(Schema temp_schema,
                        Schema::CreateStatic(std::move(temp_attrs)));
 
-  std::string temp_name = StrPrintf("__temp%d", temp_counter_++);
+  std::string temp_name =
+      StrPrintf("__temp%s%d", env_.temp_tag.c_str(), temp_counter_++);
   std::string temp_path = env_.dir + "/" + temp_name + ".dat";
   RecordLayout temp_layout;
   temp_layout.record_size = temp_schema.record_size();

@@ -1,7 +1,8 @@
 #include "exec/worker_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "core/database.h"
 
 namespace tdb {
 
@@ -25,12 +26,8 @@ int ResolveExecThreads(int option) {
     return ClampThreads(*ExecThreadsOverride());
   }
   if (option > 0) return ClampThreads(option);
-  const char* env = std::getenv("TDB_EXEC_THREADS");
-  if (env != nullptr && env[0] != '\0') {
-    char* end = nullptr;
-    long long v = std::strtoll(env, &end, 10);
-    if (end != env && *end == '\0') return ClampThreads(v);
-  }
+  int env_threads = DatabaseOptions::FromEnv().exec_threads;
+  if (env_threads > 0) return ClampThreads(env_threads);
   return 1;
 }
 

@@ -1,0 +1,116 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace tdb {
+namespace net {
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Client>> Client::ConnectUnix(
+    const std::string& socket_path, const std::string& db_name) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket: " + std::string(strerror(errno)));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::Invalid("unix socket path too long");
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IOError("connect " + socket_path + ": " +
+                               strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return Handshake(fd, db_name);
+}
+
+Result<std::unique_ptr<Client>> Client::ConnectTcp(
+    int port, const std::string& db_name) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket: " + std::string(strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IOError("connect port " + std::to_string(port) + ": " +
+                               strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return Handshake(fd, db_name);
+}
+
+Result<std::unique_ptr<Client>> Client::Handshake(
+    int fd, const std::string& db_name) {
+  std::unique_ptr<Client> client(new Client(fd));
+  std::vector<uint8_t> payload;
+  PutString(&payload, db_name);
+  TDB_ASSIGN_OR_RETURN(Frame reply,
+                       client->RoundTrip(FrameType::kHello, payload));
+  if (reply.type != FrameType::kOk) {
+    return Status::Corruption("unexpected hello reply");
+  }
+  return client;
+}
+
+Result<Frame> Client::RoundTrip(FrameType type,
+                                const std::vector<uint8_t>& payload) {
+  TDB_RETURN_NOT_OK(WriteFrame(fd_, type, payload));
+  Frame reply;
+  TDB_RETURN_NOT_OK(ReadFrame(fd_, &reply));
+  if (reply.type == FrameType::kError) {
+    Status remote;
+    TDB_RETURN_NOT_OK(DecodeStatus(reply.payload, &remote));
+    return remote;
+  }
+  return reply;
+}
+
+Result<std::vector<WireResult>> Client::Execute(const std::string& script) {
+  std::vector<uint8_t> payload;
+  PutString(&payload, script);
+  TDB_ASSIGN_OR_RETURN(Frame reply,
+                       RoundTrip(FrameType::kExecute, payload));
+  if (reply.type != FrameType::kResults) {
+    return Status::Corruption("unexpected execute reply");
+  }
+  std::vector<WireResult> results;
+  TDB_RETURN_NOT_OK(DecodeResults(reply.payload, &results));
+  return results;
+}
+
+Status Client::PinAsOf(std::optional<TimePoint> at) {
+  std::vector<uint8_t> payload;
+  PutU8(&payload, at.has_value() ? 1 : 0);
+  if (at.has_value()) PutI64(&payload, at->seconds());
+  auto reply = RoundTrip(FrameType::kPinAsOf, payload);
+  if (!reply.ok()) return reply.status();
+  if (reply->type != FrameType::kOk) {
+    return Status::Corruption("unexpected pin reply");
+  }
+  return Status::OK();
+}
+
+Status Client::Ping() {
+  auto reply = RoundTrip(FrameType::kPing, {});
+  if (!reply.ok()) return reply.status();
+  if (reply->type != FrameType::kOk) {
+    return Status::Corruption("unexpected ping reply");
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace tdb

@@ -1,0 +1,66 @@
+#ifndef CHRONOQUEL_NET_CLIENT_H_
+#define CHRONOQUEL_NET_CLIENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "types/timepoint.h"
+#include "util/status.h"
+
+namespace tdb {
+namespace net {
+
+/// A blocking client for the tquel wire protocol: one connection, one
+/// server-side Session.  Mirrors the embedded Session API so code moves
+/// between in-process and client/server with a connect call.
+///
+///   auto client = Client::ConnectUnix("/tmp/tquel.sock", "mydb").value();
+///   auto results = client->Execute("range of e is emp\nretrieve (e.name)");
+///
+/// Not thread-safe: one Client per thread, like one Session per thread.
+class Client {
+ public:
+  ~Client();
+
+  /// Connects over a unix-domain socket and opens database `db_name`.
+  static Result<std::unique_ptr<Client>> ConnectUnix(
+      const std::string& socket_path, const std::string& db_name);
+
+  /// Connects to 127.0.0.1:port and opens database `db_name`.
+  static Result<std::unique_ptr<Client>> ConnectTcp(
+      int port, const std::string& db_name);
+
+  /// Executes a TQuel script; one WireResult per statement.  A statement
+  /// error comes back as the same Status (code, message, statement
+  /// context) the embedded API would return.
+  Result<std::vector<WireResult>> Execute(const std::string& script);
+
+  /// Pins (nullopt: unpins) the server session's as-of read timestamp.
+  Status PinAsOf(std::optional<TimePoint> at);
+
+  /// Round-trip liveness check.
+  Status Ping();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  static Result<std::unique_ptr<Client>> Handshake(
+      int fd, const std::string& db_name);
+
+  /// Sends one frame and reads the one response frame every request gets.
+  Result<Frame> RoundTrip(FrameType type,
+                          const std::vector<uint8_t>& payload);
+
+  int fd_;
+};
+
+}  // namespace net
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_NET_CLIENT_H_

@@ -1,0 +1,381 @@
+#include "net/protocol.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace tdb {
+namespace net {
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutI64(std::vector<uint8_t>* out, int64_t v) {
+  uint64_t u = static_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(u >> (8 * i)));
+}
+
+void PutF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutI64(out, static_cast<int64_t>(bits));
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+bool Decoder::Need(size_t n) {
+  if (failed_ || size_ - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool Decoder::GetU8(uint8_t* v) {
+  if (!Need(1)) return false;
+  *v = data_[pos_++];
+  return true;
+}
+
+bool Decoder::GetU32(uint32_t* v) {
+  if (!Need(4)) return false;
+  *v = static_cast<uint32_t>(data_[pos_]) |
+       static_cast<uint32_t>(data_[pos_ + 1]) << 8 |
+       static_cast<uint32_t>(data_[pos_ + 2]) << 16 |
+       static_cast<uint32_t>(data_[pos_ + 3]) << 24;
+  pos_ += 4;
+  return true;
+}
+
+bool Decoder::GetI64(int64_t* v) {
+  if (!Need(8)) return false;
+  uint64_t u = 0;
+  for (int i = 0; i < 8; ++i) {
+    u |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool Decoder::GetF64(double* v) {
+  int64_t bits;
+  if (!GetI64(&bits)) return false;
+  uint64_t u = static_cast<uint64_t>(bits);
+  std::memcpy(v, &u, sizeof(*v));
+  return true;
+}
+
+bool Decoder::GetString(std::string* s) {
+  uint32_t len;
+  if (!GetU32(&len)) return false;
+  // The length is attacker-controlled: bound it by the bytes actually
+  // present before any allocation.
+  if (!Need(len)) return false;
+  s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return true;
+}
+
+void EncodeValue(std::vector<uint8_t>* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case TypeId::kInt1:
+    case TypeId::kInt2:
+    case TypeId::kInt4:
+      PutI64(out, v.AsInt());
+      break;
+    case TypeId::kFloat8:
+      PutF64(out, v.AsDouble());
+      break;
+    case TypeId::kChar:
+      PutString(out, v.AsString());
+      break;
+    case TypeId::kTime:
+      PutI64(out, v.AsTime().seconds());
+      break;
+  }
+}
+
+bool DecodeValue(Decoder* dec, Value* v) {
+  uint8_t tag;
+  if (!dec->GetU8(&tag)) return false;
+  switch (static_cast<TypeId>(tag)) {
+    case TypeId::kInt1: {
+      int64_t i;
+      if (!dec->GetI64(&i)) return false;
+      *v = Value::Int1(i);
+      return true;
+    }
+    case TypeId::kInt2: {
+      int64_t i;
+      if (!dec->GetI64(&i)) return false;
+      *v = Value::Int2(i);
+      return true;
+    }
+    case TypeId::kInt4: {
+      int64_t i;
+      if (!dec->GetI64(&i)) return false;
+      *v = Value::Int4(i);
+      return true;
+    }
+    case TypeId::kFloat8: {
+      double d;
+      if (!dec->GetF64(&d)) return false;
+      *v = Value::Float8(d);
+      return true;
+    }
+    case TypeId::kChar: {
+      std::string s;
+      if (!dec->GetString(&s)) return false;
+      *v = Value::Char(std::move(s));
+      return true;
+    }
+    case TypeId::kTime: {
+      int64_t secs;
+      if (!dec->GetI64(&secs)) return false;
+      *v = Value::Time(TimePoint(static_cast<int32_t>(secs)));
+      return true;
+    }
+  }
+  return false;  // unknown tag
+}
+
+void EncodeWireResult(std::vector<uint8_t>* out, const WireResult& r) {
+  PutString(out, r.message);
+  PutI64(out, r.affected);
+  PutU32(out, static_cast<uint32_t>(r.columns.size()));
+  for (const std::string& c : r.columns) PutString(out, c);
+  PutU32(out, static_cast<uint32_t>(r.rows.size()));
+  for (const Row& row : r.rows) {
+    PutU32(out, static_cast<uint32_t>(row.size()));
+    for (const Value& v : row) EncodeValue(out, v);
+  }
+}
+
+bool DecodeWireResult(Decoder* dec, WireResult* r) {
+  if (!dec->GetString(&r->message)) return false;
+  if (!dec->GetI64(&r->affected)) return false;
+  uint32_t ncols;
+  if (!dec->GetU32(&ncols)) return false;
+  r->columns.clear();
+  for (uint32_t i = 0; i < ncols; ++i) {
+    std::string c;
+    if (!dec->GetString(&c)) return false;
+    r->columns.push_back(std::move(c));
+  }
+  uint32_t nrows;
+  if (!dec->GetU32(&nrows)) return false;
+  r->rows.clear();
+  for (uint32_t i = 0; i < nrows; ++i) {
+    uint32_t nvals;
+    if (!dec->GetU32(&nvals)) return false;
+    Row row;
+    for (uint32_t j = 0; j < nvals; ++j) {
+      Value v;
+      if (!DecodeValue(dec, &v)) return false;
+      row.push_back(std::move(v));
+    }
+    r->rows.push_back(std::move(row));
+  }
+  return true;
+}
+
+std::vector<uint8_t> EncodeResults(const std::vector<WireResult>& results) {
+  std::vector<uint8_t> out;
+  PutU32(&out, static_cast<uint32_t>(results.size()));
+  for (const WireResult& r : results) EncodeWireResult(&out, r);
+  return out;
+}
+
+Status DecodeResults(const std::vector<uint8_t>& payload,
+                     std::vector<WireResult>* results) {
+  Decoder dec(payload);
+  uint32_t count;
+  if (!dec.GetU32(&count)) {
+    return Status::Corruption("results frame: truncated count");
+  }
+  results->clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    WireResult r;
+    if (!DecodeWireResult(&dec, &r)) {
+      return Status::Corruption("results frame: malformed result");
+    }
+    results->push_back(std::move(r));
+  }
+  if (!dec.AtEnd()) {
+    return Status::Corruption("results frame: trailing bytes");
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeStatus(const Status& status) {
+  std::vector<uint8_t> out;
+  PutU8(&out, static_cast<uint8_t>(status.code()));
+  PutString(&out, status.message());
+  const StatementContext* ctx = status.statement_context();
+  PutU8(&out, ctx != nullptr ? 1 : 0);
+  if (ctx != nullptr) {
+    PutI64(&out, ctx->statement_index);
+    PutI64(&out, static_cast<int64_t>(ctx->source_offset));
+  }
+  return out;
+}
+
+namespace {
+
+Status MakeStatus(StatusCode code, std::string msg) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::Invalid(std::move(msg));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(msg));
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(msg));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(std::move(msg));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(msg));
+    case StatusCode::kParseError:
+      return Status::ParseError(std::move(msg));
+    case StatusCode::kBindError:
+      return Status::BindError(std::move(msg));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(msg));
+  }
+  return Status::Internal(std::move(msg));
+}
+
+}  // namespace
+
+Status DecodeStatus(const std::vector<uint8_t>& payload, Status* status) {
+  Decoder dec(payload);
+  uint8_t code_raw, has_ctx;
+  std::string msg;
+  if (!dec.GetU8(&code_raw) || !dec.GetString(&msg) ||
+      !dec.GetU8(&has_ctx)) {
+    return Status::Corruption("status frame: truncated");
+  }
+  if (code_raw > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Corruption("status frame: unknown code");
+  }
+  Status decoded = MakeStatus(static_cast<StatusCode>(code_raw),
+                              std::move(msg));
+  if (has_ctx != 0) {
+    int64_t index, offset;
+    if (!dec.GetI64(&index) || !dec.GetI64(&offset)) {
+      return Status::Corruption("status frame: truncated context");
+    }
+    StatementContext ctx;
+    ctx.statement_index = static_cast<int>(index);
+    ctx.source_offset = static_cast<size_t>(offset);
+    decoded = decoded.WithStatementContext(ctx);
+  }
+  if (!dec.AtEnd()) return Status::Corruption("status frame: trailing bytes");
+  *status = std::move(decoded);
+  return Status::OK();
+}
+
+WireResult ToWireResult(const ExecResult& r) {
+  WireResult w;
+  w.columns = r.result.columns;
+  w.rows = r.result.rows;
+  w.affected = r.affected;
+  w.message = r.message;
+  return w;
+}
+
+namespace {
+
+Status WriteFull(int fd, const uint8_t* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write: " + std::string(strerror(errno)));
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `size` bytes.  *eof is set when the stream ends before
+/// the first byte (a clean close); ending mid-buffer is an error.
+Status ReadFull(int fd, uint8_t* data, size_t size, bool* eof) {
+  *eof = false;
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("read: " + std::string(strerror(errno)));
+    }
+    if (n == 0) {
+      if (got == 0) {
+        *eof = true;
+        return Status::OK();
+      }
+      return Status::IOError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, FrameType type,
+                  const std::vector<uint8_t>& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::Invalid("frame payload too large");
+  }
+  // One buffered write per frame: prefix + type + payload.
+  std::vector<uint8_t> wire;
+  wire.reserve(5 + payload.size());
+  PutU32(&wire, static_cast<uint32_t>(payload.size()));
+  PutU8(&wire, static_cast<uint8_t>(type));
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  return WriteFull(fd, wire.data(), wire.size());
+}
+
+Status ReadFrame(int fd, Frame* frame) {
+  uint8_t header[5];
+  bool eof = false;
+  TDB_RETURN_NOT_OK(ReadFull(fd, header, sizeof(header), &eof));
+  if (eof) return Status::NotFound("connection closed");
+  Decoder dec(header, sizeof(header));
+  uint32_t length;
+  uint8_t type;
+  dec.GetU32(&length);
+  dec.GetU8(&type);
+  if (length > kMaxFrameBytes) {
+    return Status::Corruption("frame length exceeds limit");
+  }
+  frame->type = static_cast<FrameType>(type);
+  frame->payload.resize(length);
+  if (length > 0) {
+    TDB_RETURN_NOT_OK(ReadFull(fd, frame->payload.data(), length, &eof));
+    if (eof) return Status::IOError("connection closed mid-frame");
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace tdb

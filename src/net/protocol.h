@@ -1,0 +1,127 @@
+#ifndef CHRONOQUEL_NET_PROTOCOL_H_
+#define CHRONOQUEL_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/result_set.h"
+#include "types/timepoint.h"
+#include "util/status.h"
+
+namespace tdb {
+namespace net {
+
+/// The tquel wire protocol: length-prefixed frames over a byte stream.
+///
+///   frame := u32 payload_length (LE) | u8 type | payload
+///
+/// A client opens a connection, sends kHello naming a database, then loops
+/// kExecute / kPinAsOf; the server answers every request with exactly one
+/// response frame (kResults / kOk / kError).  All integers little-endian;
+/// strings are u32 length + bytes.  Payloads are bounded by kMaxFrameBytes
+/// and every decoder is bounds-checked — a malicious or truncated frame
+/// yields Status, never undefined behavior (see protocol_test's fuzz).
+enum class FrameType : uint8_t {
+  // client -> server
+  kHello = 1,    // string database name
+  kExecute = 2,  // string TQuel script
+  kPinAsOf = 3,  // u8 has_pin | i64 seconds (pins the session's as-of)
+  kPing = 4,     // empty
+  // server -> client
+  kOk = 16,       // empty (hello / pin / ping acknowledgement)
+  kResults = 17,  // encoded std::vector<WireResult>
+  kError = 18,    // encoded Status
+};
+
+/// Upper bound on a single frame payload; larger announcements are
+/// rejected before any allocation.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// One statement's outcome on the wire: ExecResult minus the physical
+/// plan (which stays server-side; its rendered form travels as rows of an
+/// explain result like any other rows).
+struct WireResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  int64_t affected = 0;
+  std::string message;
+};
+
+/// A parsed frame (payload only; the length prefix is consumed by the
+/// stream layer).
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::vector<uint8_t> payload;
+};
+
+// --- primitive encoders (append to `out`) --------------------------------
+void PutU8(std::vector<uint8_t>* out, uint8_t v);
+void PutU32(std::vector<uint8_t>* out, uint32_t v);
+void PutI64(std::vector<uint8_t>* out, int64_t v);
+void PutF64(std::vector<uint8_t>* out, double v);
+void PutString(std::vector<uint8_t>* out, const std::string& s);
+
+/// Bounds-checked cursor over a received payload.  Every Get returns
+/// false once the payload is exhausted or malformed; the cursor then
+/// stays failed.
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Decoder(const std::vector<uint8_t>& payload)
+      : Decoder(payload.data(), payload.size()) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetI64(int64_t* v);
+  bool GetF64(double* v);
+  bool GetString(std::string* s);
+
+  bool failed() const { return failed_; }
+  /// True when the whole payload was consumed exactly.
+  bool AtEnd() const { return !failed_ && pos_ == size_; }
+
+ private:
+  bool Need(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// --- value / result / status codecs --------------------------------------
+void EncodeValue(std::vector<uint8_t>* out, const Value& v);
+bool DecodeValue(Decoder* dec, Value* v);
+
+void EncodeWireResult(std::vector<uint8_t>* out, const WireResult& r);
+bool DecodeWireResult(Decoder* dec, WireResult* r);
+
+/// Encodes the whole script response: u32 count + results.
+std::vector<uint8_t> EncodeResults(const std::vector<WireResult>& results);
+Status DecodeResults(const std::vector<uint8_t>& payload,
+                     std::vector<WireResult>* results);
+
+/// Status travels as code + message + optional statement context, so the
+/// client re-materializes exactly what the embedded API would have
+/// returned.
+std::vector<uint8_t> EncodeStatus(const Status& status);
+Status DecodeStatus(const std::vector<uint8_t>& payload, Status* status);
+
+/// Narrowing helper: drops the plan, keeps everything a client can use.
+WireResult ToWireResult(const ExecResult& r);
+
+// --- framing over a file descriptor --------------------------------------
+/// Writes one frame (length prefix + type + payload).  Handles partial
+/// writes and EINTR; returns IOError on a broken connection.
+Status WriteFrame(int fd, FrameType type, const std::vector<uint8_t>& payload);
+
+/// Reads one frame.  A clean EOF before any byte of the prefix returns
+/// NotFound (connection closed); anything torn mid-frame is IOError, and
+/// an announced length beyond kMaxFrameBytes is Corruption.
+Status ReadFrame(int fd, Frame* frame);
+
+}  // namespace net
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_NET_PROTOCOL_H_

@@ -1,0 +1,232 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "core/session.h"
+#include "net/protocol.h"
+
+namespace tdb {
+namespace net {
+
+namespace {
+
+bool ValidDatabaseName(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DatabaseRegistry::DatabaseRegistry(std::string root, DatabaseOptions options)
+    : root_(std::move(root)), options_(options) {}
+
+Result<Database*> DatabaseRegistry::GetOrOpen(const std::string& name) {
+  if (!ValidDatabaseName(name)) {
+    return Status::Invalid("invalid database name '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dbs_.find(name);
+  if (it != dbs_.end()) return it->second.get();
+  TDB_ASSIGN_OR_RETURN(auto db, Database::Open(root_ + "/" + name, options_));
+  Database* raw = db.get();
+  dbs_.emplace(name, std::move(db));
+  return raw;
+}
+
+std::vector<std::string> DatabaseRegistry::OpenNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, _] : dbs_) names.push_back(name);
+  return names;
+}
+
+Server::Server(DatabaseRegistry* registry, ServerOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (!options_.unix_path.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Status::IOError("socket: " + std::string(strerror(errno)));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::Invalid("unix socket path too long");
+    }
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_path.c_str());  // stale socket from a dead server
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Status::IOError("bind " + options_.unix_path + ": " +
+                             strerror(errno));
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Status::IOError("socket: " + std::string(strerror(errno)));
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Status::IOError("bind port " +
+                             std::to_string(options_.tcp_port) + ": " +
+                             strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status::IOError("listen: " + std::string(strerror(errno)));
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  // shutdown() wakes the blocked accept(); close() alone does not on all
+  // platforms.
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.swap(conns_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) return;  // Stop() already closed the listener
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop()
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    conns_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  // Connection state: no session until a successful kHello.
+  std::unique_ptr<Session> session;
+  for (;;) {
+    Frame frame;
+    Status read = ReadFrame(fd, &frame);
+    if (!read.ok()) break;  // closed or torn — either way, hang up
+
+    Status error;
+    switch (frame.type) {
+      case FrameType::kHello: {
+        Decoder dec(frame.payload);
+        std::string name;
+        if (!dec.GetString(&name) || !dec.AtEnd()) {
+          error = Status::Corruption("malformed hello frame");
+          break;
+        }
+        auto db = registry_->GetOrOpen(name);
+        if (!db.ok()) {
+          error = db.status();
+          break;
+        }
+        session = (*db)->CreateSession();
+        (void)WriteFrame(fd, FrameType::kOk, {});
+        break;
+      }
+      case FrameType::kExecute: {
+        if (session == nullptr) {
+          error = Status::Invalid("execute before hello");
+          break;
+        }
+        Decoder dec(frame.payload);
+        std::string script;
+        if (!dec.GetString(&script) || !dec.AtEnd()) {
+          error = Status::Corruption("malformed execute frame");
+          break;
+        }
+        auto results = session->ExecuteScript(script);
+        if (!results.ok()) {
+          error = results.status();
+          break;
+        }
+        std::vector<WireResult> wire;
+        wire.reserve(results->size());
+        for (const ExecResult& r : *results) wire.push_back(ToWireResult(r));
+        (void)WriteFrame(fd, FrameType::kResults, EncodeResults(wire));
+        break;
+      }
+      case FrameType::kPinAsOf: {
+        if (session == nullptr) {
+          error = Status::Invalid("pin before hello");
+          break;
+        }
+        Decoder dec(frame.payload);
+        uint8_t has_pin;
+        int64_t secs = 0;
+        if (!dec.GetU8(&has_pin) ||
+            (has_pin != 0 && !dec.GetI64(&secs)) || !dec.AtEnd()) {
+          error = Status::Corruption("malformed pin frame");
+          break;
+        }
+        if (has_pin != 0) {
+          session->PinAsOf(TimePoint(static_cast<int32_t>(secs)));
+        } else {
+          session->PinAsOf(std::nullopt);
+        }
+        (void)WriteFrame(fd, FrameType::kOk, {});
+        break;
+      }
+      case FrameType::kPing:
+        (void)WriteFrame(fd, FrameType::kOk, {});
+        break;
+      default:
+        error = Status::Invalid("unexpected frame type");
+        break;
+    }
+    if (!error.ok()) {
+      // Protocol errors are answered, not fatal: the client decides
+      // whether to continue (statement errors) or give up (corruption).
+      (void)WriteFrame(fd, FrameType::kError, EncodeStatus(error));
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace net
+}  // namespace tdb

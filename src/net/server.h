@@ -1,0 +1,95 @@
+#ifndef CHRONOQUEL_NET_SERVER_H_
+#define CHRONOQUEL_NET_SERVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace tdb {
+namespace net {
+
+/// Maps database names to open Database instances, opening each under a
+/// configured root directory on first use.  All connections to the same
+/// name share one Database (and therefore one lock table, journal, and
+/// logical clock); each connection gets its own Session.
+class DatabaseRegistry {
+ public:
+  /// `root` is the directory databases live under (<root>/<name>);
+  /// `options` is the template every database opens with (env, durability,
+  /// exec knobs — start_time/clock state comes from each database's own
+  /// persisted clock).
+  DatabaseRegistry(std::string root, DatabaseOptions options);
+
+  /// The database named `name`, opened on first use.  Names are
+  /// restricted to [A-Za-z0-9_-]+ so a wire-supplied name can never
+  /// escape the root directory.
+  Result<Database*> GetOrOpen(const std::string& name);
+
+  /// Databases currently open, in name order.
+  std::vector<std::string> OpenNames() const;
+
+ private:
+  std::string root_;
+  DatabaseOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Database>> dbs_;
+};
+
+struct ServerOptions {
+  /// Unix-domain socket path (the primary transport: no ports to
+  /// coordinate, works in every sandbox).  Empty selects TCP instead.
+  std::string unix_path;
+  /// TCP port, used when unix_path is empty; 0 picks an ephemeral port
+  /// (read it back from port() after Start).
+  int tcp_port = 0;
+};
+
+/// The tquel server: accepts connections, speaks the wire protocol
+/// (net/protocol.h), and runs every connection's statements through its
+/// own Session — so concurrency, snapshot pinning, and group commit all
+/// come from the service layer underneath, not from the server itself.
+///
+/// One thread per connection: client count is bounded by the load
+/// generator's closed loop, and a blocked writer parks its thread on the
+/// relation lock exactly like an embedded caller would.
+class Server {
+ public:
+  Server(DatabaseRegistry* registry, ServerOptions options);
+  ~Server();
+
+  /// Binds, listens, and starts the accept thread.
+  Status Start();
+
+  /// Stops accepting, closes every live connection, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound TCP port (after Start, TCP mode only).
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  DatabaseRegistry* registry_;
+  ServerOptions options_;
+  /// Atomic: Stop() swaps in -1 and closes while AcceptLoop reads it.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::mutex mu_;  // guards conns_ and stopping_
+  bool stopping_ = false;
+  std::vector<std::thread> conns_;
+};
+
+}  // namespace net
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_NET_SERVER_H_

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -139,11 +140,11 @@ struct MetricsSnapshot {
 };
 
 /// Registry of named metrics owned by one Database.  Creation (the first
-/// counter()/histogram() call for a name) allocates and is map-guarded by
-/// the owner's single-writer discipline, like IoRegistry; the returned
+/// counter()/histogram() call for a name) allocates under an internal
+/// mutex so concurrent sessions can share one registry; the returned
 /// pointers are stable for the registry's lifetime, so steady-state
-/// instrumentation is pointer-chasing plus relaxed atomics — no lookups,
-/// no locks on either the write or the read path.
+/// instrumentation is pointer-chasing plus relaxed atomics — after the
+/// one-time lookup, no locks on either the write or the read path.
 ///
 /// A disabled registry (TDB_METRICS=0, or DatabaseOptions::metrics =
 /// false) is never wired into the storage layer at all: every metrics
@@ -172,6 +173,7 @@ class MetricsRegistry {
 
  private:
   bool enabled_;
+  mutable std::mutex mu_;  // guards the four name maps, not the metrics
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -6,6 +6,7 @@ namespace tdb {
 namespace obs {
 
 std::vector<TraceEvent> TraceSink::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(count_);
   size_t start = (next_ + ring_.size() - count_) % ring_.size();

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,7 +25,9 @@ struct TraceEvent {
 /// Fixed-capacity ring buffer of the most recent spans.  Recording is
 /// O(1) with no allocation in steady state (slots are reused); the sink
 /// deliberately keeps only the tail so tracing can stay on in long
-/// sessions without growing.
+/// sessions without growing.  Internally mutex-guarded — concurrent
+/// sessions share one sink, and span sites are statement/operator
+/// granularity, far off any per-tuple path.
 class TraceSink {
  public:
   static constexpr size_t kDefaultCapacity = 256;
@@ -33,6 +36,7 @@ class TraceSink {
       : ring_(capacity) {}
 
   void Record(TraceEvent ev) {
+    std::lock_guard<std::mutex> lock(mu_);
     ring_[next_] = std::move(ev);
     next_ = (next_ + 1) % ring_.size();
     if (count_ < ring_.size()) ++count_;
@@ -41,21 +45,35 @@ class TraceSink {
   /// Retained events, oldest first.
   std::vector<TraceEvent> Events() const;
 
-  size_t size() const { return count_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
   size_t capacity() const { return ring_.size(); }
   void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     next_ = 0;
     count_ = 0;
   }
 
-  /// Current span nesting depth (maintained by TraceSpan).
-  uint32_t depth() const { return depth_; }
-  void EnterSpan() { ++depth_; }
+  /// Current span nesting depth (maintained by TraceSpan).  Concurrent
+  /// sessions interleave their spans in one sink, so depth is advisory
+  /// under concurrency — the flat dump stays readable either way.
+  uint32_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return depth_;
+  }
+  void EnterSpan() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++depth_;
+  }
   void ExitSpan() {
+    std::lock_guard<std::mutex> lock(mu_);
     if (depth_ > 0) --depth_;
   }
 
  private:
+  mutable std::mutex mu_;
   std::vector<TraceEvent> ring_;
   size_t next_ = 0;
   size_t count_ = 0;

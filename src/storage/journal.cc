@@ -1,6 +1,8 @@
 #include "storage/journal.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "storage/page.h"
@@ -177,6 +179,7 @@ void Journal::set_metrics(obs::MetricsRegistry* metrics) {
   m_records_ = metrics->counter("journal.records");
   m_pre_image_bytes_ = metrics->counter("journal.pre_image_bytes");
   m_replay_ops_ = metrics->counter("journal.replay_ops");
+  m_group_syncs_ = metrics->counter("journal.group_syncs");
 }
 
 Status Journal::Begin() {
@@ -186,8 +189,16 @@ Status Journal::Begin() {
   }
   if (active_) return Status::Internal("journal batch already active");
   if (m_batches_ != nullptr) m_batches_->Increment();
-  TDB_RETURN_NOT_OK(file_->Truncate(0));
-  write_offset_ = 0;
+  // Reclaim the file only once every sealed batch's commit mark is durable;
+  // marks awaiting a WaitDurable() fsync must survive until then.  The
+  // single-session protocol (Commit syncs + truncates) always takes this
+  // branch, preserving the legacy empty-at-Begin invariant.
+  if (committed_seq_.load(std::memory_order_acquire) ==
+      synced_seq_.load(std::memory_order_acquire)) {
+    TDB_RETURN_NOT_OK(file_->Truncate(0));
+    write_offset_ = 0;
+  }
+  batch_start_offset_ = write_offset_;
   sync_pending_ = false;
   batch_.clear();
   files_.clear();
@@ -321,9 +332,67 @@ Status Journal::Commit() {
   // if it fails (or we crash first), recovery sees the mark and discards.
   (void)file_->Truncate(0);
   write_offset_ = 0;
+  batch_start_offset_ = 0;
+  committed_seq_.fetch_add(1, std::memory_order_acq_rel);
+  synced_seq_.store(committed_seq_.load(std::memory_order_acquire),
+                    std::memory_order_release);
   batch_.clear();
   files_.clear();
   sync_pending_ = false;
+  return Status::OK();
+}
+
+Result<uint64_t> Journal::CommitGroup() {
+  if (!active_) return synced_seq_.load(std::memory_order_acquire);
+  active_ = false;
+  if (m_commits_ != nullptr) m_commits_->Increment();
+  if (batch_.empty()) {
+    // Read-only batch: nothing on disk, nothing to make durable.
+    files_.clear();
+    sync_pending_ = false;
+    return synced_seq_.load(std::memory_order_acquire);
+  }
+  Record mark;
+  mark.type = kCommit;
+  std::vector<uint8_t> bytes = EncodeRecord(mark);
+  TDB_RETURN_NOT_OK(file_->Write(write_offset_, bytes.data(), bytes.size()));
+  write_offset_ += bytes.size();
+  uint64_t ticket = committed_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (mode_ != DurabilityMode::kJournalSync) {
+    // Nothing ever fsyncs in these modes; the mark is as durable as it
+    // will get, so Begin() may reclaim the file immediately.
+    synced_seq_.store(ticket, std::memory_order_release);
+  }
+  batch_.clear();
+  files_.clear();
+  sync_pending_ = false;
+  return ticket;
+}
+
+Status Journal::WaitDurable(uint64_t ticket) {
+  if (mode_ != DurabilityMode::kJournalSync) return Status::OK();
+  if (synced_seq_.load(std::memory_order_acquire) >= ticket) {
+    return Status::OK();
+  }
+  // Leader election by mutex: the first waiter in fsyncs on behalf of every
+  // mark appended so far; waiters arriving meanwhile find their ticket
+  // already covered and return without touching the file.
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  if (synced_seq_.load(std::memory_order_acquire) >= ticket) {
+    return Status::OK();
+  }
+  // Group window: hold the fsync briefly so commits racing through the
+  // writer path can append their marks and ride this sync for free.
+  const int window = group_window_micros_.load(std::memory_order_relaxed);
+  if (window > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(window));
+  }
+  // Capture before the fsync: marks appended during the sync may or may not
+  // be covered, so only claim the ones that provably were.
+  uint64_t covers = committed_seq_.load(std::memory_order_acquire);
+  TDB_RETURN_NOT_OK(file_->Sync());
+  if (m_group_syncs_ != nullptr) m_group_syncs_->Increment();
+  synced_seq_.store(covers, std::memory_order_release);
   return Status::OK();
 }
 
@@ -339,8 +408,10 @@ Status Journal::Rollback() {
     healthy_ = false;
     return applied;
   }
-  (void)file_->Truncate(0);
-  write_offset_ = 0;
+  // Truncate only this batch's records: sealed group-commit batches before
+  // batch_start_offset_ must keep their marks until they are synced.
+  (void)file_->Truncate(batch_start_offset_);
+  write_offset_ = batch_start_offset_;
   batch_.clear();
   files_.clear();
   sync_pending_ = false;
@@ -412,9 +483,19 @@ Status Journal::Recover(Env* env, const std::string& dir) {
     if (!DecodeRecord(buf, &off, &rec)) break;  // torn tail: append was cut
     records.push_back(std::move(rec));
   }
-  if (!records.empty() && records.back().type != kCommit) {
-    // Crash mid-statement: put every batch-start image back.
-    TDB_RETURN_NOT_OK(ApplyReversed(env, records));
+  // Group commit leaves several sealed batches in one file; everything up
+  // to the LAST commit mark committed, and only the records after it (a
+  // batch cut off mid-statement) roll back.  The single-session protocol is
+  // the one-batch special case.
+  size_t resume = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].type == kCommit) resume = i + 1;
+  }
+  if (resume < records.size()) {
+    std::vector<Record> open_batch(
+        std::make_move_iterator(records.begin() + static_cast<long>(resume)),
+        std::make_move_iterator(records.end()));
+    TDB_RETURN_NOT_OK(ApplyReversed(env, open_batch));
   }
   // Committed (or empty, or fully undone): the journal is spent.
   TDB_ASSIGN_OR_RETURN(auto file, env->OpenOrCreate(path));

@@ -1,9 +1,11 @@
 #ifndef CHRONOQUEL_STORAGE_JOURNAL_H_
 #define CHRONOQUEL_STORAGE_JOURNAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -117,6 +119,38 @@ class Journal {
   /// files (buffer frames, open relations, the catalog image).
   Status Rollback();
 
+  // --- group commit -------------------------------------------------------
+  //
+  // The concurrent service layer serializes whole batches (Begin .. seal)
+  // under one writer mutex but moves the commit-mark fsync OUT of that
+  // critical section, so N overlapping kJournalSync commits share one
+  // journal fsync instead of paying one each.  Protocol per writer:
+  //
+  //   lock   -> Begin(); execute; flush + sync data files; CommitGroup()
+  //   unlock -> WaitDurable(ticket)   // durability point for the client
+  //
+  // Data files MUST be synced before CommitGroup appends the mark: a
+  // durable mark asserts the batch's data is durable too.  The journal is
+  // not truncated while sealed-but-unsynced marks remain; the next Begin()
+  // reclaims the file once every sealed batch is covered by a sync.
+
+  /// Seals the batch like Commit() but defers the commit-mark fsync and the
+  /// truncate.  Returns a ticket for WaitDurable().  An empty (read-only)
+  /// batch returns an already-durable ticket.
+  Result<uint64_t> CommitGroup();
+
+  /// Blocks until every batch sealed at or before `ticket` has its commit
+  /// mark on stable storage.  One caller is elected to fsync on behalf of
+  /// all batches sealed so far (counted by journal.group_syncs); the rest
+  /// return without touching the file.  No-op below kJournalSync.
+  Status WaitDurable(uint64_t ticket);
+
+  /// Group-commit window: how long an elected leader waits before its
+  /// fsync so concurrent committers can land marks and share it.  The
+  /// fsync itself dominates real devices; the window matters on fast
+  /// storage where commits would otherwise each pay their own sync.
+  void set_group_window_micros(int micros) { group_window_micros_ = micros; }
+
   // --- pre-image hooks (no-ops outside an active batch) -------------------
 
   /// Called by the pager before overwriting page `pno` of `path` in place.
@@ -194,6 +228,17 @@ class Journal {
   bool healthy_ = true;
   bool sync_pending_ = false;
   uint64_t write_offset_ = 0;
+  /// File offset where the active batch's first record starts.  0 in the
+  /// single-session protocol (Begin truncates); non-zero when sealed
+  /// batches from the group-commit protocol still precede it.
+  uint64_t batch_start_offset_ = 0;
+  /// Batches sealed with a commit mark / batches whose mark reached stable
+  /// storage.  Begin/Commit/CommitGroup run under the owner's writer mutex;
+  /// WaitDurable runs outside it, hence atomics plus a sync leader mutex.
+  std::atomic<uint64_t> committed_seq_{0};
+  std::atomic<uint64_t> synced_seq_{0};
+  std::mutex sync_mu_;
+  std::atomic<int> group_window_micros_{0};
   std::vector<Record> batch_;  // in-memory mirror for in-session rollback
   std::map<std::string, FileState> files_;
 
@@ -204,6 +249,7 @@ class Journal {
   obs::Counter* m_records_ = nullptr;
   obs::Counter* m_pre_image_bytes_ = nullptr;
   obs::Counter* m_replay_ops_ = nullptr;
+  obs::Counter* m_group_syncs_ = nullptr;
 };
 
 }  // namespace tdb

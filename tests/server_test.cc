@@ -1,0 +1,205 @@
+// End-to-end tests of the tquel server: real sockets, real threads, the
+// whole stack from Client::Execute through the wire protocol, a
+// per-connection Session, and the concurrent service layer underneath.
+
+#include "net/server.h"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "env/env.h"
+#include "net/client.h"
+
+namespace tdb {
+namespace net {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = "/tmp/tquel_test_" + std::to_string(::getpid()) + "_" +
+                   std::to_string(counter_++) + ".sock";
+    DatabaseOptions options;
+    options.env = &env_;
+    registry_ = std::make_unique<DatabaseRegistry>("/dbs", options);
+    ServerOptions sopts;
+    sopts.unix_path = socket_path_;
+    server_ = std::make_unique<Server>(registry_.get(), sopts);
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  Result<std::unique_ptr<Client>> Connect(const std::string& db = "testdb") {
+    return Client::ConnectUnix(socket_path_, db);
+  }
+
+  static int counter_;
+  MemEnv env_;
+  std::string socket_path_;
+  std::unique_ptr<DatabaseRegistry> registry_;
+  std::unique_ptr<Server> server_;
+};
+
+int ServerTest::counter_ = 0;
+
+TEST_F(ServerTest, ExecuteRoundTripsRowsAndMessages) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto results = (*client)->Execute(
+      "create emp (name = c8, sal = i4);"
+      "range of e is emp;"
+      "append to emp (name = \"ada\", sal = 120);"
+      "append to emp (name = \"bob\", sal = 80);"
+      "retrieve (e.name, e.sal) where e.sal > 100");
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 5u);
+  EXPECT_EQ((*results)[2].affected, 1);
+  const WireResult& rows = (*results)[4];
+  ASSERT_EQ(rows.columns.size(), 2u);
+  ASSERT_EQ(rows.rows.size(), 1u);
+  EXPECT_EQ(rows.rows[0][0].AsString(), "ada     ");  // c8, blank padded
+  EXPECT_EQ(rows.rows[0][1].AsInt(), 120);
+}
+
+TEST_F(ServerTest, ErrorsTravelWithStatementContext) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+  auto results = (*client)->Execute(
+      "create emp (sal = i4);"
+      "range of e is nope");
+  ASSERT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), StatusCode::kBindError);
+  ASSERT_NE(results.status().statement_context(), nullptr);
+  EXPECT_EQ(results.status().statement_context()->statement_index, 2);
+  // The connection survives a statement error.
+  EXPECT_TRUE((*client)->Ping().ok());
+  EXPECT_TRUE((*client)->Execute("help").ok());
+}
+
+TEST_F(ServerTest, SessionsAreIsolatedButDataIsShared) {
+  auto c1 = Connect();
+  auto c2 = Connect();
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  ASSERT_TRUE((*c1)
+                  ->Execute("create emp (sal = i4);"
+                            "range of e is emp;"
+                            "append to emp (sal = 1)")
+                  .ok());
+  // c2 sees the data but not c1's range declarations.
+  EXPECT_FALSE((*c2)->Execute("retrieve (e.sal)").ok());
+  auto rows = (*c2)->Execute("range of w is emp;"
+                             "retrieve (w.sal)");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->back().rows.size(), 1u);
+  EXPECT_EQ(rows->back().rows[0][0].AsInt(), 1);
+}
+
+TEST_F(ServerTest, DistinctDatabaseNamesAreDistinctDatabases) {
+  auto c1 = Connect("alpha");
+  auto c2 = Connect("beta");
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  ASSERT_TRUE((*c1)->Execute("create r (v = i4)").ok());
+  // beta has no relation r.
+  EXPECT_FALSE((*c2)->Execute("range of x is r").ok());
+  EXPECT_EQ(registry_->OpenNames(),
+            (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST_F(ServerTest, HostileDatabaseNamesAreRejected) {
+  auto evil = Connect("../escape");
+  EXPECT_FALSE(evil.ok());
+  auto empty = Connect("");
+  EXPECT_FALSE(empty.ok());
+}
+
+TEST_F(ServerTest, PinAsOfFreezesAClientsView) {
+  auto writer = Connect();
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)
+                  ->Execute("create persistent emp (sal = i4);"
+                            "range of e is emp;"
+                            "append to emp (sal = 1)")
+                  .ok());
+  auto reader = Connect();
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE((*reader)->Execute("range of e is emp").ok());
+
+  // Pin the reader at the present instant, then write more.
+  auto now_rows = (*reader)->Execute("retrieve (n = count(e.sal))");
+  ASSERT_TRUE(now_rows.ok());
+  ASSERT_EQ(now_rows->back().rows[0][0].AsInt(), 1);
+
+  auto db = registry_->GetOrOpen("testdb");
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*reader)->PinAsOf((*db)->now()).ok());
+  (*db)->AdvanceSeconds(1);  // move the clock past the pin instant
+  ASSERT_TRUE((*writer)->Execute("append to emp (sal = 2)").ok());
+
+  auto pinned = (*reader)->Execute("retrieve (n = count(e.sal))");
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(pinned->back().rows[0][0].AsInt(), 1);  // frozen
+
+  ASSERT_TRUE((*reader)->PinAsOf(std::nullopt).ok());
+  auto fresh = (*reader)->Execute("retrieve (n = count(e.sal))");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->back().rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ServerTest, EightConcurrentClientsSustainAMixedWorkload) {
+  {
+    auto setup = Connect();
+    ASSERT_TRUE(setup.ok());
+    std::string script = "create shared (v = i4)";
+    for (int c = 0; c < 8; ++c) {
+      script += ";create own" + std::to_string(c) + " (v = i4)";
+    }
+    ASSERT_TRUE((*setup)->Execute(script).ok());
+  }
+  constexpr int kClients = 8;
+  constexpr int kStatementsEach = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([this, &failures, c] {
+      auto client = Connect();
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kStatementsEach; ++i) {
+        if (!(*client)
+                 ->Execute("append to shared (v = " + std::to_string(i) +
+                           ");append to own" + std::to_string(c) +
+                           " (v = " + std::to_string(i) + ")")
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+        auto read = (*client)->Execute("range of s is shared;"
+                                       "retrieve (n = count(s.v))");
+        if (!read.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  auto check = Connect();
+  ASSERT_TRUE(check.ok());
+  auto total = (*check)->Execute("range of s is shared;"
+                                 "retrieve (n = count(s.v))");
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(total->back().rows[0][0].AsInt(), kClients * kStatementsEach);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace tdb
