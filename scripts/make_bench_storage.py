@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Runs bench/storage_sweep and distills its JSON into BENCH_storage.json.
+
+Usage:
+    python3 scripts/make_bench_storage.py [--bench build/bench/storage_sweep]
+                                          [--ntuples 1024]
+                                          [-o BENCH_storage.json]
+
+The sweep grid is page size {1024, 4096} x buffer pool {paper single-frame,
+shared pool capped at 1 frame/file, uncapped warm pool} over the paper's
+temporal query mix, plus a vacuum axis (partition policy x page size) on a
+two-level historical store.  This script adds the headline ratios the PR's
+acceptance criteria reference:
+
+    pool_parity_exact      pool-at-cap-1 counts identical to the paper cell
+                           (the byte-identity the test battery enforces,
+                           restated as page counts)
+    page_4096_speedup      paper-cell pages at 1024 / paper-cell pages at
+                           4096 (what bigger pages alone buy)
+    warm_pool_speedup      paper 1024 pages / warm-pool 4096 pages (the
+                           production configuration's combined win)
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", default="build/bench/storage_sweep")
+    parser.add_argument("--ntuples", type=int, default=1024)
+    parser.add_argument("-o", "--output", default="BENCH_storage.json")
+    args = parser.parse_args()
+
+    cmd = [args.bench, "--ntuples=%d" % args.ntuples]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.exit("%s failed:\n%s" % (" ".join(cmd), proc.stderr))
+    raw = json.loads(proc.stdout)
+
+    def cell(pool, page_size):
+        for c in raw["cells"]:
+            if c["pool"] == pool and c["page_size"] == page_size:
+                return c
+        sys.exit("missing cell %s/%d in sweep output" % (pool, page_size))
+
+    paper_1024 = cell("paper", 1024)
+    paper_4096 = cell("paper", 4096)
+    ratios = {
+        "pool_parity_exact": all(
+            cell("pool_cap1", ps)["input_pages"] == cell("paper", ps)["input_pages"]
+            and cell("pool_cap1", ps)["output_pages"] == cell("paper", ps)["output_pages"]
+            for ps in (1024, 4096)
+        ),
+        "page_4096_speedup": round(
+            paper_1024["input_pages"] / paper_4096["input_pages"], 2
+        ),
+        "warm_pool_speedup": round(
+            paper_1024["input_pages"] / cell("pool_warm", 4096)["input_pages"], 2
+        ),
+    }
+
+    out = {
+        "source": raw["source"],
+        "workload": raw["workload"],
+        "ratios": ratios,
+        "cells": raw["cells"],
+        "vacuum": raw["vacuum"],
+    }
+    with open(args.output, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print("wrote", args.output)
+    if not ratios["pool_parity_exact"]:
+        sys.exit("pool-at-cap-1 page counts diverged from the paper cell")
+
+
+if __name__ == "__main__":
+    main()

@@ -53,6 +53,11 @@ Result<std::unique_ptr<BenchmarkDb>> BenchmarkDb::Create(
   options.env = bench->env_.get();
   options.start_time = TimePoint(static_cast<int32_t>(kBenchStart));
   options.buffer_frames = config.buffer_frames;
+  options.page_size = config.page_size;
+  options.pool_frames = config.pool_frames;
+  options.pool_file_cap = config.pool_file_cap;
+  options.exec_threads = config.exec_threads;
+  options.vacuum_partition = config.vacuum_partition;
   TDB_ASSIGN_OR_RETURN(bench->db_, Database::Open("/bench", options));
   Database* db = bench->db_.get();
 

@@ -29,6 +29,14 @@ struct WorkloadConfig {
   bool clustered_history = false;
   std::string index_structure;  // "" (none), "heap", or "hash" on `amount`
   int index_levels = 1;
+
+  // Production storage mode (forwarded to DatabaseOptions; every default
+  // keeps the paper configuration).
+  uint32_t page_size = 0;        // 0 = paper 1024
+  int pool_frames = 0;           // >0 enables the shared buffer pool
+  int pool_file_cap = 0;         // 0 = paper parity (1/file); -1 = uncapped
+  int exec_threads = 0;          // 0 = default (1)
+  std::string vacuum_partition;  // "" = default ("single")
 };
 
 /// Measured I/O for one query execution.

@@ -1,8 +1,27 @@
 #include "catalog/catalog.h"
 
+#include <algorithm>
+
 #include "util/stringx.h"
 
 namespace tdb {
+
+std::string RelationMeta::SegmentFileName(uint32_t id) const {
+  return StrPrintf("%s.seg%u", name.c_str(), id);
+}
+
+const SegmentMeta* RelationMeta::FindSegmentFor(int64_t stamp) const {
+  for (const SegmentMeta& s : segments) {
+    if (stamp >= s.lo && stamp < s.hi) return &s;
+  }
+  return nullptr;
+}
+
+uint32_t RelationMeta::NextSegmentId() const {
+  uint32_t next = 1;
+  for (const SegmentMeta& s : segments) next = std::max(next, s.id + 1);
+  return next;
+}
 
 const IndexMeta* RelationMeta::FindIndex(const std::string& attr) const {
   for (const IndexMeta& idx : indexes) {
@@ -35,6 +54,11 @@ std::string SerializeRelationMeta(const RelationMeta& m) {
     out += StrPrintf("index %s %s %d %d %u %u\n", idx.name.c_str(),
                      idx.attr.c_str(), static_cast<int>(idx.org), idx.levels,
                      idx.nbuckets, idx.history_nbuckets);
+  }
+  for (const SegmentMeta& seg : m.segments) {
+    out += StrPrintf("segment %u %lld %lld\n", seg.id,
+                     static_cast<long long>(seg.lo),
+                     static_cast<long long>(seg.hi));
   }
   out += "end\n";
   return out;
@@ -107,6 +131,17 @@ Result<RelationMeta> ParseRelationMeta(const std::string& block) {
       idx.nbuckets = static_cast<uint32_t>(nb);
       idx.history_nbuckets = static_cast<uint32_t>(hnb);
       m.indexes.push_back(std::move(idx));
+    } else if (tag == "segment") {
+      std::vector<std::string> f = Split(rest, ' ');
+      if (f.size() != 3) return Status::Corruption("bad segment line");
+      SegmentMeta seg;
+      int64_t id = 0;
+      if (!ParseInt64(f[0], &id) || !ParseInt64(f[1], &seg.lo) ||
+          !ParseInt64(f[2], &seg.hi)) {
+        return Status::Corruption("bad segment fields");
+      }
+      seg.id = static_cast<uint32_t>(id);
+      m.segments.push_back(seg);
     } else {
       return Status::Corruption("unknown catalog tag: " + tag);
     }

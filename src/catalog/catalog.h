@@ -33,6 +33,15 @@ struct IndexMeta {
 
 /// Everything the system knows about one relation.  This is the in-memory
 /// image of the (modified) Ingres system relations described in Section 4.
+/// One epoch-partitioned history segment of a two-level relation: history
+/// versions whose retirement stamp falls in [lo, hi) that a `vacuum`
+/// migrated out of the active history store.
+struct SegmentMeta {
+  uint32_t id = 0;  // 1-based; 0 is reserved for the active history file
+  int64_t lo = 0;   // epoch bounds in seconds (half-open, [lo, hi))
+  int64_t hi = 0;
+};
+
 struct RelationMeta {
   std::string name;
   Schema schema;
@@ -52,8 +61,14 @@ struct RelationMeta {
 
   std::vector<IndexMeta> indexes;
 
+  /// Vacuumed history segments (in creation order, ids unique).
+  std::vector<SegmentMeta> segments;
+
   std::string DataFileName() const { return name + ".dat"; }
   std::string HistoryFileName() const { return name + ".hst"; }
+  std::string SegmentFileName(uint32_t id) const;
+  const SegmentMeta* FindSegmentFor(int64_t stamp) const;
+  uint32_t NextSegmentId() const;
 
   const IndexMeta* FindIndex(const std::string& attr) const;
 };

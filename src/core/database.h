@@ -18,8 +18,10 @@
 #include "env/env.h"
 #include "exec/join_method.h"
 #include "obs/metrics.h"
+#include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
 #include "storage/journal.h"
+#include "storage/pager.h"
 #include "types/timepoint.h"
 #include "util/status.h"
 
@@ -85,6 +87,36 @@ struct DatabaseOptions {
   /// the concurrent session path pays it — the embedded single-session
   /// commit never waits.  0 disables the window.
   int group_commit_window_micros = 200;
+
+  // --- production storage mode (ROADMAP item 3) --------------------------
+  // Every field defaults to the paper configuration; the resolved page
+  // size / checksum flag are persisted in a `storage` meta file inside the
+  // database directory, which is AUTHORITATIVE on reopen (on-disk layout
+  // cannot change under an existing database).
+
+  /// Bytes per page.  0 (unset) defers to TDB_PAGE_SIZE, then to the
+  /// directory's storage meta file, then to the paper's 1024.  Must be in
+  /// [512, 65536] and a multiple of 256; production mode uses 4096.
+  uint32_t page_size = 0;
+  /// CRC32-stamp every data page in a 4-byte trailer, verified on load.
+  /// Unset defers to TDB_PAGE_CHECKSUM (off unless "1"-ish), then to the
+  /// storage meta file.
+  std::optional<bool> page_checksum;
+  /// Total frames of the process-shared buffer pool.  0 (unset) defers to
+  /// TDB_POOL_FRAMES; both default to "no pool" — every relation keeps the
+  /// paper's private single frame.  Setting any positive count enables the
+  /// shared pool for every file of this database.
+  int pool_frames = 0;
+  /// Per-file resident-page cap inside the shared pool.  0 (unset) defers
+  /// to TDB_POOL_FILE_CAP, default 1 — the paper's single-frame discipline,
+  /// byte-identical row output and IoCounters.  -1 = uncapped (production).
+  int pool_file_cap = 0;
+  /// History-chain readahead depth in pages (pool mode only).  0 (unset)
+  /// defers to TDB_READAHEAD, default off.
+  int history_readahead = 0;
+  /// Vacuum segment-partition policy: "" (unset) defers to
+  /// TDB_VACUUM_PARTITION, default "single"; or "epoch:<seconds>".
+  std::string vacuum_partition;
 
   /// Reads every TDB_* engine lever from the process environment into one
   /// DatabaseOptions: TDB_VECTOR_EXEC, TDB_MORSEL_CAP, TDB_EXEC_THREADS,
@@ -188,6 +220,15 @@ class Database {
   /// Structured dump of every metric (empty when metrics are disabled).
   obs::MetricsSnapshot Snapshot() const { return metrics_.Snapshot(); }
 
+  /// Resolved production-storage mode every session opens files with
+  /// (page size, checksums, shared pool, readahead).
+  const StorageOptions& storage() const { return storage_; }
+  /// The shared buffer pool, or null when running the paper's private
+  /// single-frame discipline.
+  BufferPool* buffer_pool() { return pool_.get(); }
+  /// Resolved vacuum segment-partition policy ("single" or "epoch:<secs>").
+  const std::string& vacuum_partition() const { return vacuum_partition_; }
+
   Result<Relation*> GetRelation(const std::string& name);
 
   /// Flushes and empties the buffer frame of every relation file the
@@ -219,6 +260,11 @@ class Database {
   /// the clock atomically, so overlapping writers get distinct stamps.
   TimePoint AcquireTxTime();
 
+  /// Resolves storage_, vacuum_partition_, and (optionally) pool_ from
+  /// options > TDB_* env > the directory's `storage` meta file; called by
+  /// Open() before anything touches a relation file.
+  Status ResolveStorageMode();
+
   /// The logical clock is persisted alongside the catalog so that a
   /// reopened database resumes *after* every recorded transaction time —
   /// otherwise "now" would rewind and rollback views would hide recent
@@ -234,9 +280,17 @@ class Database {
   /// Declared before the registries and journal, which hold raw pointers
   /// into it while metrics are enabled.
   obs::MetricsRegistry metrics_;
+  /// Declared before default_session_ (and before journal_, whose hooks
+  /// pool write-backs run through) so session pagers — which flush their
+  /// pool frames on destruction — die first.
+  std::unique_ptr<BufferPool> pool_;
   /// Declared before default_session_ so session pagers (whose destructors
   /// flush through the journal hooks) are destroyed first.
   std::unique_ptr<Journal> journal_;
+  /// Resolved storage mode (options > TDB_* env > `storage` meta file >
+  /// paper defaults; the meta file wins for on-disk layout on reopen).
+  StorageOptions storage_;
+  std::string vacuum_partition_ = "single";
 
   // --- concurrent mode (engaged by the first CreateSession) --------------
   std::atomic<bool> concurrent_{false};

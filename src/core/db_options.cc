@@ -41,6 +41,19 @@ DatabaseOptions DatabaseOptions::FromEnv() {
   }
   o.compiled_expr = BoolFromEnv("TDB_COMPILED_EXPR");
   o.metrics = BoolFromEnv("TDB_METRICS");
+  o.page_size = static_cast<uint32_t>(IntFromEnv("TDB_PAGE_SIZE"));
+  o.page_checksum = BoolFromEnv("TDB_PAGE_CHECKSUM");
+  o.pool_frames = IntFromEnv("TDB_POOL_FRAMES");
+  if (const char* v = std::getenv("TDB_POOL_FILE_CAP")) {
+    int64_t parsed = 0;
+    if (ParseInt64(v, &parsed) && parsed != 0) {
+      o.pool_file_cap = parsed < 0 ? -1 : static_cast<int>(parsed);
+    }
+  }
+  o.history_readahead = IntFromEnv("TDB_READAHEAD");
+  if (const char* v = std::getenv("TDB_VACUUM_PARTITION")) {
+    o.vacuum_partition = v;
+  }
   return o;
 }
 

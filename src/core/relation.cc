@@ -35,17 +35,24 @@ Result<std::unique_ptr<Relation>> Relation::Open(Env* env,
                                                  const RelationMeta& meta,
                                                  IoRegistry* registry,
                                                  int buffer_frames,
-                                                 Journal* journal) {
+                                                 Journal* journal,
+                                                 const StorageOptions& sopts) {
   TDB_ASSIGN_OR_RETURN(RecordLayout layout,
                        LayoutFor(meta.schema, meta.key_attr));
   std::unique_ptr<Relation> rel(new Relation(meta, layout));
+  rel->env_ = env;
+  rel->dir_ = dir;
+  rel->registry_ = registry;
+  rel->buffer_frames_ = buffer_frames;
+  rel->journal_ = journal;
+  rel->sopts_ = sopts;
 
   IoCounters* primary_counters = registry->ForFile(meta.name);
   std::string primary_path = dir + "/" + meta.DataFileName();
   TDB_ASSIGN_OR_RETURN(
       auto pager,
       Pager::Open(env, primary_path, primary_counters, buffer_frames,
-                  journal));
+                  journal, sopts));
   switch (meta.org) {
     case Organization::kHeap: {
       TDB_ASSIGN_OR_RETURN(auto file,
@@ -85,10 +92,14 @@ Result<std::unique_ptr<Relation>> Relation::Open(Env* env,
     TDB_ASSIGN_OR_RETURN(
         auto hist_pager,
         Pager::Open(env, hist_path, registry->ForFile(meta.name + "#hist"),
-                    buffer_frames, journal));
+                    buffer_frames, journal, sopts));
     TDB_ASSIGN_OR_RETURN(
         rel->history_,
         HeapFile::Open(std::move(hist_pager), rel->history_layout_));
+    for (const SegmentMeta& sm : meta.segments) {
+      TDB_ASSIGN_OR_RETURN(auto seg_file, rel->OpenSegmentFile(sm));
+      rel->segments_.push_back(Segment{sm, std::move(seg_file)});
+    }
 
     rel->anchor_layout_ = RecordLayout();
     rel->anchor_layout_.key_offset = 0;
@@ -103,7 +114,7 @@ Result<std::unique_ptr<Relation>> Relation::Open(Env* env,
     TDB_ASSIGN_OR_RETURN(
         auto anc_pager,
         Pager::Open(env, anc_path, registry->ForFile(meta.name + "#anc"),
-                    buffer_frames, journal));
+                    buffer_frames, journal, sopts));
     if (fresh || anc_pager->page_count() == 0) {
       TDB_ASSIGN_OR_RETURN(rel->anchors_,
                            HashFile::Create(std::move(anc_pager),
@@ -127,7 +138,8 @@ Result<std::unique_ptr<Relation>> Relation::Open(Env* env,
                              meta.schema.attr(static_cast<size_t>(attr_idx)),
                              registry->ForFile(idx.name + "#cur"),
                              registry->ForFile(idx.name + "#hist"),
-                             buffer_frames, journal, registry->metrics()));
+                             buffer_frames, journal, registry->metrics(),
+                             sopts));
     rel->indexes_.push_back(std::move(index));
   }
   return rel;
@@ -167,24 +179,29 @@ Status Relation::AppendHistory(const std::vector<uint8_t>& rec, Tid* tid_out) {
                            "' has no history store");
   }
   Value key = layout_.KeyOf(rec.data());
-  TDB_ASSIGN_OR_RETURN(std::optional<Tid> head, AnchorLookup(key));
+  TDB_ASSIGN_OR_RETURN(std::optional<HistoryTid> head, AnchorLookup(key));
 
   std::vector<uint8_t> hrec(history_layout_.record_size, 0);
   std::memcpy(hrec.data(), rec.data(), rec.size());
   uint8_t* bp = hrec.data() + rec.size();
   uint32_t prev_page = kNoPage;
   uint16_t prev_slot = 0;
+  uint16_t prev_seg = 0;
   if (head.has_value()) {
-    prev_page = head->page;
-    prev_slot = head->slot;
+    prev_page = head->tid.page;
+    prev_slot = head->tid.slot;
+    prev_seg = head->seg;
   }
   std::memcpy(bp, &prev_page, 4);
   std::memcpy(bp + 4, &prev_slot, 2);
+  std::memcpy(bp + 6, &prev_seg, 2);
 
+  // Clustering targets the active history file; a head that a vacuum moved
+  // into a segment no longer pins a page there, so start a fresh one.
   Tid htid;
   if (meta_.clustered_history) {
-    if (head.has_value()) {
-      TDB_RETURN_NOT_OK(history_->InsertAtPage(head->page, hrec.data(),
+    if (head.has_value() && head->seg == 0) {
+      TDB_RETURN_NOT_OK(history_->InsertAtPage(head->tid.page, hrec.data(),
                                                hrec.size(), &htid));
     } else {
       TDB_RETURN_NOT_OK(
@@ -194,7 +211,8 @@ Status Relation::AppendHistory(const std::vector<uint8_t>& rec, Tid* tid_out) {
     TDB_RETURN_NOT_OK(history_->Insert(hrec.data(), hrec.size(), &htid));
   }
 
-  // Upsert the anchor: key -> newest history version.
+  // Upsert the anchor: key -> newest history version (always seg 0: new
+  // retirements land in the active history file).
   std::vector<uint8_t> arec(anchor_layout_.record_size, 0);
   std::memcpy(arec.data(), rec.data() + layout_.key_offset,
               layout_.key_width);
@@ -230,29 +248,140 @@ Result<std::vector<uint8_t>> Relation::FetchHistory(const Tid& tid) {
   return hrec;
 }
 
-Result<std::optional<Tid>> Relation::AnchorLookup(const Value& key) {
+Result<std::optional<HistoryTid>> Relation::AnchorLookup(const Value& key) {
   if (anchors_ == nullptr) {
     return Status::Invalid("relation has no anchor file");
   }
   TDB_ASSIGN_OR_RETURN(auto cur, anchors_->ScanKey(key));
   TDB_ASSIGN_OR_RETURN(bool have, cur->Next());
-  if (!have) return std::optional<Tid>();
+  if (!have) return std::optional<HistoryTid>();
   const uint8_t* p = cur->record().data() + anchor_layout_.key_width;
-  Tid tid;
-  std::memcpy(&tid.page, p, 4);
-  std::memcpy(&tid.slot, p + 4, 2);
-  return std::optional<Tid>(tid);
+  HistoryTid at;
+  std::memcpy(&at.tid.page, p, 4);
+  std::memcpy(&at.tid.slot, p + 4, 2);
+  std::memcpy(&at.seg, p + 6, 2);
+  return std::optional<HistoryTid>(at);
 }
 
-Result<std::optional<Tid>> Relation::HistoryBackPtr(const Tid& tid) {
-  TDB_ASSIGN_OR_RETURN(auto hrec, history_->Fetch(tid));
+HeapFile* Relation::SegmentFile(uint16_t id) {
+  for (Segment& seg : segments_) {
+    if (seg.meta.id == id) return seg.file.get();
+  }
+  return nullptr;
+}
+
+Result<std::unique_ptr<HeapFile>> Relation::OpenSegmentFile(
+    const SegmentMeta& sm) {
+  std::string path = dir_ + "/" + meta_.SegmentFileName(sm.id);
+  TDB_ASSIGN_OR_RETURN(
+      auto pager,
+      Pager::Open(env_, path,
+                  registry_->ForFile(StrPrintf("%s#seg%u", meta_.name.c_str(),
+                                               sm.id)),
+                  buffer_frames_, journal_, sopts_));
+  return HeapFile::Open(std::move(pager), history_layout_);
+}
+
+Result<HeapFile*> Relation::EnsureSegment(int64_t lo, int64_t hi) {
+  for (Segment& seg : segments_) {
+    if (seg.meta.lo == lo && seg.meta.hi == hi) return seg.file.get();
+  }
+  SegmentMeta sm;
+  sm.id = meta_.NextSegmentId();
+  sm.lo = lo;
+  sm.hi = hi;
+  TDB_ASSIGN_OR_RETURN(auto file, OpenSegmentFile(sm));
+  meta_.segments.push_back(sm);
+  segments_.push_back(Segment{sm, std::move(file)});
+  return segments_.back().file.get();
+}
+
+Status Relation::AppendToSegment(uint16_t id, const std::vector<uint8_t>& hrec,
+                                 Tid* tid) {
+  HeapFile* file = SegmentFile(id);
+  if (file == nullptr) {
+    return Status::Invalid(StrPrintf("relation '%s' has no segment %u",
+                                     meta_.name.c_str(), id));
+  }
+  return file->Insert(hrec.data(), hrec.size(), tid);
+}
+
+Result<std::vector<uint8_t>> Relation::FetchHistoryAt(const HistoryTid& at) {
+  if (at.seg == 0) return FetchHistory(at.tid);
+  HeapFile* file = SegmentFile(at.seg);
+  if (file == nullptr) {
+    return Status::Corruption(StrPrintf("history chain points at missing "
+                                        "segment %u of '%s'",
+                                        at.seg, meta_.name.c_str()));
+  }
+  if (sopts_.readahead > 0) {
+    // Vacuum lays chains out contiguously oldest-first, so the rest of the
+    // chain sits on the pages right after this one.
+    TDB_RETURN_NOT_OK(file->pager()->Readahead(at.tid.page,
+                                               sopts_.readahead,
+                                               IoCategory::kData));
+  }
+  TDB_ASSIGN_OR_RETURN(auto hrec, file->Fetch(at.tid));
+  hrec.resize(layout_.record_size);
+  return hrec;
+}
+
+Result<std::optional<HistoryTid>> Relation::HistoryBackPtr(
+    const HistoryTid& at) {
+  std::vector<uint8_t> hrec;
+  if (at.seg == 0) {
+    TDB_ASSIGN_OR_RETURN(hrec, history_->Fetch(at.tid));
+  } else {
+    HeapFile* file = SegmentFile(at.seg);
+    if (file == nullptr) {
+      return Status::Corruption(StrPrintf("history chain points at missing "
+                                          "segment %u of '%s'",
+                                          at.seg, meta_.name.c_str()));
+    }
+    TDB_ASSIGN_OR_RETURN(hrec, file->Fetch(at.tid));
+  }
   const uint8_t* bp = hrec.data() + layout_.record_size;
-  uint32_t prev_page = kNoPage;
-  uint16_t prev_slot = 0;
-  std::memcpy(&prev_page, bp, 4);
-  std::memcpy(&prev_slot, bp + 4, 2);
-  if (prev_page == kNoPage) return std::optional<Tid>();
-  return std::optional<Tid>(Tid{prev_page, prev_slot});
+  HistoryTid prev;
+  std::memcpy(&prev.tid.page, bp, 4);
+  std::memcpy(&prev.tid.slot, bp + 4, 2);
+  std::memcpy(&prev.seg, bp + 6, 2);
+  if (prev.tid.page == kNoPage) return std::optional<HistoryTid>();
+  return std::optional<HistoryTid>(prev);
+}
+
+Status Relation::PatchHistoryBackPtr(const HistoryTid& at,
+                                     const std::optional<HistoryTid>& to) {
+  HeapFile* file = at.seg == 0 ? history_.get() : SegmentFile(at.seg);
+  if (file == nullptr) {
+    return Status::Invalid(StrPrintf("no history store for segment %u",
+                                     at.seg));
+  }
+  TDB_ASSIGN_OR_RETURN(auto hrec, file->Fetch(at.tid));
+  uint8_t* bp = hrec.data() + layout_.record_size;
+  uint32_t page = kNoPage;
+  uint16_t slot = 0;
+  uint16_t seg = 0;
+  if (to.has_value()) {
+    page = to->tid.page;
+    slot = to->tid.slot;
+    seg = to->seg;
+  }
+  std::memcpy(bp, &page, 4);
+  std::memcpy(bp + 4, &slot, 2);
+  std::memcpy(bp + 6, &seg, 2);
+  return file->UpdateInPlace(at.tid, hrec.data(), hrec.size());
+}
+
+Status Relation::UpdateAnchor(const Value& key, const HistoryTid& head) {
+  TDB_ASSIGN_OR_RETURN(auto cur, anchors_->ScanKey(key));
+  TDB_ASSIGN_OR_RETURN(bool have, cur->Next());
+  if (!have) return Status::Corruption("anchor vanished during vacuum");
+  std::vector<uint8_t> arec = cur->record();
+  uint8_t* p = arec.data() + anchor_layout_.key_width;
+  std::memcpy(p, &head.tid.page, 4);
+  std::memcpy(p + 4, &head.tid.slot, 2);
+  std::memcpy(p + 6, &head.seg, 2);
+  return anchors_->UpdateInPlace(cur->tid(), arec.data(), arec.size());
 }
 
 Status Relation::IndexInsertCurrent(const std::vector<uint8_t>& rec, Tid tid,

@@ -13,10 +13,26 @@
 #include "storage/heap_file.h"
 #include "storage/io_stats.h"
 #include "storage/isam_file.h"
+#include "storage/pager.h"
 #include "storage/storage_file.h"
 #include "types/schema.h"
 
 namespace tdb {
+
+/// Address of one history version across the active history file and the
+/// vacuumed segment files.  `seg` 0 is the active history store (the only
+/// store before any vacuum, so plain Tids remain valid there); `seg` k > 0
+/// is the segment with id k.  Back pointers and anchor entries carry the
+/// segment id in the two bytes that were zero padding before segments
+/// existed, so pre-vacuum files parse unchanged.
+struct HistoryTid {
+  Tid tid;
+  uint16_t seg = 0;
+
+  bool operator==(const HistoryTid& o) const {
+    return tid == o.tid && seg == o.seg;
+  }
+};
 
 /// A runtime handle to one relation: its primary storage file, its
 /// (optional) two-level-store history pieces, and its secondary indexes.
@@ -43,7 +59,9 @@ class Relation {
                                                 const RelationMeta& meta,
                                                 IoRegistry* registry,
                                                 int buffer_frames = 1,
-                                                Journal* journal = nullptr);
+                                                Journal* journal = nullptr,
+                                                const StorageOptions& sopts =
+                                                    StorageOptions{});
 
   const RelationMeta& meta() const { return meta_; }
   const Schema& schema() const { return meta_.schema; }
@@ -78,10 +96,49 @@ class Relation {
   Result<std::vector<uint8_t>> FetchHistory(const Tid& tid);
 
   /// Newest history version for `key`, if any (reads the anchor file).
-  Result<std::optional<Tid>> AnchorLookup(const Value& key);
+  Result<std::optional<HistoryTid>> AnchorLookup(const Value& key);
 
-  /// Back pointer of the history version at `tid` (nullopt at chain end).
-  Result<std::optional<Tid>> HistoryBackPtr(const Tid& tid);
+  /// Back pointer of the history version at `at` (nullopt at chain end).
+  Result<std::optional<HistoryTid>> HistoryBackPtr(const HistoryTid& at);
+
+  /// Reads a history version from the active history file or a segment
+  /// (without its back pointer).  Segment reads trigger readahead of the
+  /// following pages when the readahead lever is on (vacuum writes chains
+  /// contiguously, so sequential prefetch covers the rest of the chain).
+  Result<std::vector<uint8_t>> FetchHistoryAt(const HistoryTid& at);
+
+  // --- vacuum primitives (driven by DdlExecutor::Vacuum) ---
+
+  /// One vacuumed history segment: catalog bounds plus the open heap.
+  struct Segment {
+    SegmentMeta meta;
+    std::unique_ptr<HeapFile> file;
+  };
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  HeapFile* SegmentFile(uint16_t id);
+
+  /// Opens (creating if needed) the segment covering stamps [lo, hi),
+  /// registering it in this relation's meta().segments.  The caller
+  /// persists the updated meta through the catalog.
+  Result<HeapFile*> EnsureSegment(int64_t lo, int64_t hi);
+
+  /// Appends a raw history record (record + back pointer) to segment `id`.
+  Status AppendToSegment(uint16_t id, const std::vector<uint8_t>& hrec,
+                         Tid* tid);
+
+  /// Rewrites the back pointer of the history version at `at` to `to`.
+  Status PatchHistoryBackPtr(const HistoryTid& at,
+                             const std::optional<HistoryTid>& to);
+
+  /// Repoints the anchor of `key` at a migrated chain head.
+  Status UpdateAnchor(const Value& key, const HistoryTid& head);
+
+  /// Erases a migrated record from the active history file.
+  Status EraseHistory(const Tid& tid) { return history_->Erase(tid); }
+
+  /// Record layout of the history store (record + 8-byte back pointer).
+  const RecordLayout& history_layout() const { return history_layout_; }
 
   // --- index maintenance helpers (driven by the DML executor) ---
 
@@ -102,11 +159,15 @@ class Relation {
   const RecordLayout& layout() const { return layout_; }
 
   /// Flushes and empties every buffer frame of the relation (primary,
-  /// history, anchors, indexes) so subsequent page reads are all counted.
+  /// history, segments, anchors, indexes) so subsequent page reads are all
+  /// counted.
   Status FlushAndDropBuffers() {
     TDB_RETURN_NOT_OK(primary_->pager()->FlushAndDrop());
     if (history_ != nullptr) {
       TDB_RETURN_NOT_OK(history_->pager()->FlushAndDrop());
+    }
+    for (auto& seg : segments_) {
+      TDB_RETURN_NOT_OK(seg.file->pager()->FlushAndDrop());
     }
     if (anchors_ != nullptr) {
       TDB_RETURN_NOT_OK(anchors_->pager()->FlushAndDrop());
@@ -121,6 +182,7 @@ class Relation {
   Status FlushBuffers() {
     TDB_RETURN_NOT_OK(primary_->pager()->Flush());
     if (history_ != nullptr) TDB_RETURN_NOT_OK(history_->pager()->Flush());
+    for (auto& seg : segments_) TDB_RETURN_NOT_OK(seg.file->pager()->Flush());
     if (anchors_ != nullptr) TDB_RETURN_NOT_OK(anchors_->pager()->Flush());
     for (auto& idx : indexes_) TDB_RETURN_NOT_OK(idx->Flush());
     return Status::OK();
@@ -130,6 +192,7 @@ class Relation {
   Status SyncFiles() {
     TDB_RETURN_NOT_OK(primary_->pager()->Sync());
     if (history_ != nullptr) TDB_RETURN_NOT_OK(history_->pager()->Sync());
+    for (auto& seg : segments_) TDB_RETURN_NOT_OK(seg.file->pager()->Sync());
     if (anchors_ != nullptr) TDB_RETURN_NOT_OK(anchors_->pager()->Sync());
     for (auto& idx : indexes_) TDB_RETURN_NOT_OK(idx->Sync());
     return Status::OK();
@@ -141,6 +204,7 @@ class Relation {
   void DiscardBuffers() {
     primary_->pager()->DiscardAll();
     if (history_ != nullptr) history_->pager()->DiscardAll();
+    for (auto& seg : segments_) seg.file->pager()->DiscardAll();
     if (anchors_ != nullptr) anchors_->pager()->DiscardAll();
     for (auto& idx : indexes_) idx->Discard();
   }
@@ -149,14 +213,27 @@ class Relation {
   Relation(RelationMeta meta, RecordLayout layout)
       : meta_(std::move(meta)), layout_(layout) {}
 
+  /// Opens one history segment heap (counters under "<name>#seg<id>").
+  Result<std::unique_ptr<HeapFile>> OpenSegmentFile(const SegmentMeta& sm);
+
   RelationMeta meta_;
   RecordLayout layout_;
   std::unique_ptr<StorageFile> primary_;
   std::unique_ptr<HeapFile> history_;
   std::unique_ptr<HashFile> anchors_;
   RecordLayout history_layout_;  // record + 8-byte back pointer
-  RecordLayout anchor_layout_;   // key + tid + pad
+  RecordLayout anchor_layout_;   // key + tid + seg
+  std::vector<Segment> segments_;
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
+
+  // Open() arguments, kept so EnsureSegment can open new files with the
+  // same counters/journal/storage configuration.
+  Env* env_ = nullptr;
+  std::string dir_;
+  IoRegistry* registry_ = nullptr;
+  int buffer_frames_ = 1;
+  Journal* journal_ = nullptr;
+  StorageOptions sopts_;
 };
 
 /// Builds the RecordLayout of a relation's primary file from its schema and

@@ -175,6 +175,9 @@ LockPlan ClassifyStatement(const Statement* stmt,
     case Statement::Kind::kDestroy:
     case Statement::Kind::kModify:
     case Statement::Kind::kIndex:
+    // Vacuum restructures a relation's history storage (like modify), so
+    // it runs DDL-exclusive even though the logical contents don't change.
+    case Statement::Kind::kVacuum:
       lp.ddl = StatementLocks::DdlMode::kExclusive;
       lp.writes = true;
       break;
@@ -211,6 +214,8 @@ ExecEnv Session::MakeExecEnv(TimePoint now) {
   exec.exec_threads = ResolveExecThreads(
       options_.exec_threads > 0 ? options_.exec_threads : dbo.exec_threads);
   exec.temp_tag = temp_tag_;
+  exec.storage = db_->storage_;
+  exec.vacuum_partition = db_->vacuum_partition_;
   return exec;
 }
 
@@ -349,6 +354,12 @@ Result<ExecResult> Session::RunStatement(Statement* stmt, ExecEnv& exec,
       DdlExecutor ddl(exec);
       TDB_ASSIGN_OR_RETURN(last,
                            ddl.Modify(*static_cast<ModifyStmt*>(stmt)));
+      break;
+    }
+    case Statement::Kind::kVacuum: {
+      DdlExecutor ddl(exec);
+      TDB_ASSIGN_OR_RETURN(last,
+                           ddl.Vacuum(*static_cast<VacuumStmt*>(stmt)));
       break;
     }
     case Statement::Kind::kIndex: {

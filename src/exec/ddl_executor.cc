@@ -1,7 +1,10 @@
 #include "exec/ddl_executor.h"
 
 #include <algorithm>
+#include <cstring>
+#include <limits>
 
+#include "exec/eval.h"
 #include "exec/version.h"
 #include "storage/btree_file.h"
 #include "storage/page.h"
@@ -62,7 +65,7 @@ Result<ExecResult> DdlExecutor::Create(const CreateStmt& stmt) {
   // Records must fit a page under every organization, with headroom for
   // the largest page header (B-tree leaf, 16 bytes) and the two-level
   // history store's 8-byte back pointer.
-  constexpr uint32_t kMaxRecordSize = kPageSize - 16 - 8;
+  const uint32_t kMaxRecordSize = env_.usable_page_size() - 16 - 8;
   if (schema.record_size() > kMaxRecordSize) {
     return Status::Invalid(StrPrintf(
         "record size %u exceeds the maximum of %u bytes",
@@ -85,6 +88,9 @@ void DdlExecutor::DeleteFiles(const RelationMeta& meta, bool indexes_too) {
       env_.dir + "/" + meta.HistoryFileName(),
       env_.dir + "/" + meta.name + ".anc",
   };
+  for (const SegmentMeta& sm : meta.segments) {
+    paths.push_back(env_.dir + "/" + meta.SegmentFileName(sm.id));
+  }
   if (indexes_too) {
     for (const IndexMeta& idx : meta.indexes) {
       paths.push_back(env_.dir + "/" + idx.CurrentFileName());
@@ -221,7 +227,9 @@ Result<ExecResult> DdlExecutor::Modify(const ModifyStmt& stmt) {
   env_.CloseRelation(stmt.relation);
   DeleteFiles(meta, /*indexes_too=*/true);
 
-  // 3. New metadata.
+  // 3. New metadata.  CollectAll already drained any vacuum segments, so
+  // the rebuilt relation starts with everything back in the active stores.
+  meta.segments.clear();
   meta.org = org;
   meta.key_attr = org == Organization::kHeap ? meta.key_attr : key_attr;
   meta.fillfactor = stmt.fillfactor;
@@ -233,13 +241,14 @@ Result<ExecResult> DdlExecutor::Modify(const ModifyStmt& stmt) {
   if (org == Organization::kHash) {
     meta.hash_buckets = HashFile::BucketsFor(
         std::max<uint64_t>(primary_count, 1), schema.record_size(),
-        stmt.fillfactor);
+        env_.usable_page_size(), stmt.fillfactor);
   }
   if (stmt.two_level) {
     // Anchor file: one (key, head-tid) entry per tuple.
     uint16_t anchor_rec = static_cast<uint16_t>(layout.key_width + 8);
     meta.history_buckets = HashFile::BucketsFor(
-        std::max<uint64_t>(current_count, 1), anchor_rec, 100);
+        std::max<uint64_t>(current_count, 1), anchor_rec,
+        env_.usable_page_size(), 100);
   }
 
   // 4. Build the new primary file.
@@ -256,7 +265,7 @@ Result<ExecResult> DdlExecutor::Modify(const ModifyStmt& stmt) {
       TDB_ASSIGN_OR_RETURN(
           auto pager,
           Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name),
-                      /*frames=*/1, env_.journal));
+                      /*frames=*/1, env_.journal, env_.storage));
       TDB_RETURN_NOT_OK(pager->Reset());
       TDB_ASSIGN_OR_RETURN(auto heap, HeapFile::Open(std::move(pager), layout));
       for (const auto& rec : primary_records()) {
@@ -269,7 +278,7 @@ Result<ExecResult> DdlExecutor::Modify(const ModifyStmt& stmt) {
       TDB_ASSIGN_OR_RETURN(
           auto pager,
           Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name),
-                      /*frames=*/1, env_.journal));
+                      /*frames=*/1, env_.journal, env_.storage));
       TDB_ASSIGN_OR_RETURN(
           auto hash,
           HashFile::Create(std::move(pager), layout, meta.hash_buckets));
@@ -283,7 +292,7 @@ Result<ExecResult> DdlExecutor::Modify(const ModifyStmt& stmt) {
       TDB_ASSIGN_OR_RETURN(
           auto pager,
           Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name),
-                      /*frames=*/1, env_.journal));
+                      /*frames=*/1, env_.journal, env_.storage));
       TDB_ASSIGN_OR_RETURN(
           auto isam,
           IsamFile::BulkLoad(std::move(pager), layout, primary_records(),
@@ -296,7 +305,7 @@ Result<ExecResult> DdlExecutor::Modify(const ModifyStmt& stmt) {
       TDB_ASSIGN_OR_RETURN(
           auto pager,
           Pager::Open(env_.env, data_path, env_.registry->ForFile(meta.name),
-                      /*frames=*/1, env_.journal));
+                      /*frames=*/1, env_.journal, env_.storage));
       TDB_ASSIGN_OR_RETURN(auto btree,
                            BtreeFile::Create(std::move(pager), layout));
       for (const auto& rec : primary_records()) {
@@ -329,6 +338,200 @@ Result<ExecResult> DdlExecutor::Modify(const ModifyStmt& stmt) {
       "modified %s to %s%s (fillfactor %d, %zu versions)",
       stmt.relation.c_str(), stmt.two_level ? "twolevel " : "",
       stmt.organization.c_str(), stmt.fillfactor, versions.size());
+  return out;
+}
+
+Result<ExecResult> DdlExecutor::Vacuum(const VacuumStmt& stmt) {
+  RelationMeta* existing = env_.catalog->Find(stmt.relation);
+  if (existing == nullptr) {
+    return Status::NotFound("relation '" + stmt.relation + "' does not exist");
+  }
+  if (!existing->two_level) {
+    return Status::Invalid("vacuum needs a two-level relation; use "
+                           "`modify " + stmt.relation +
+                           " to twolevel ...` first");
+  }
+  if (!existing->indexes.empty()) {
+    return Status::NotSupported(
+        "secondary index entries pin history tids in the active store; "
+        "drop the indexes before `vacuum " + stmt.relation + "`");
+  }
+
+  TDB_ASSIGN_OR_RETURN(Relation * rel, env_.GetRelation(stmt.relation));
+  const Schema& schema = rel->schema();
+
+  // A version is cold once its end stamp precedes the cutoff: transaction
+  // stop when the relation carries transaction time (vacuum must never move
+  // a version rollback could still surface as current), else the valid
+  // time's end (events carry a single instant).
+  int stamp_idx = schema.tx_stop_index();
+  if (stamp_idx < 0) stamp_idx = schema.valid_to_index();
+  if (stamp_idx < 0) stamp_idx = schema.valid_from_index();
+  if (stamp_idx < 0) {
+    return Status::Invalid("relation '" + stmt.relation +
+                           "' has no temporal attributes to vacuum by");
+  }
+
+  TimePoint cutoff = env_.now;
+  if (stmt.before != nullptr) {
+    Evaluator eval(env_.now);
+    Binding empty;
+    TDB_ASSIGN_OR_RETURN(Interval at, eval.EvalTemporal(*stmt.before, empty));
+    cutoff = at.from;
+  }
+
+  // Partition policy: one wide segment, or one segment per epoch of the
+  // version's end stamp.
+  int64_t epoch = 0;
+  const std::string& policy = env_.vacuum_partition;
+  if (policy.rfind("epoch:", 0) == 0) {
+    if (!ParseInt64(policy.substr(6), &epoch) || epoch <= 0) {
+      return Status::Invalid("bad vacuum partition policy '" + policy + "'");
+    }
+  } else if (!policy.empty() && policy != "single") {
+    return Status::Invalid("bad vacuum partition policy '" + policy +
+                           "' (use \"single\" or \"epoch:<seconds>\")");
+  }
+
+  // Anchor records hold the primary key at offset 0.
+  RecordLayout alayout;
+  {
+    int kidx = schema.FindAttr(rel->meta().key_attr);
+    if (kidx < 0) {
+      return Status::Corruption("two-level relation lost its key attribute");
+    }
+    alayout.key_offset = 0;
+    alayout.key_type = schema.attr(static_cast<size_t>(kidx)).type;
+    alayout.key_width = schema.attr(static_cast<size_t>(kidx)).width;
+  }
+
+  // Snapshot the keys first: migration rewrites anchor records in place,
+  // which is not safe under the same hash file's scan cursor.
+  std::vector<Value> keys;
+  {
+    TDB_ASSIGN_OR_RETURN(auto cur, rel->anchors()->Scan());
+    while (true) {
+      TDB_ASSIGN_OR_RETURN(bool have, cur->Next());
+      if (!have) break;
+      keys.push_back(alayout.KeyOf(cur->record().data()));
+    }
+  }
+
+  const uint16_t rec_size = schema.record_size();
+  size_t migrated = 0;
+  for (const Value& key : keys) {
+    TDB_ASSIGN_OR_RETURN(std::optional<HistoryTid> head,
+                         rel->AnchorLookup(key));
+    // seg != 0: a prior vacuum already moved the whole chain.
+    if (!head.has_value() || head->seg != 0) continue;
+
+    // Walk the active-store chain newest-first, keeping the raw records
+    // (back pointers included).  The walk stops where a prior vacuum's
+    // segment tail begins; that link is preserved below.
+    struct Link {
+      Tid tid;
+      std::vector<uint8_t> hrec;
+      bool cold = false;
+    };
+    std::vector<Link> chain;
+    std::optional<HistoryTid> at = head;
+    while (at.has_value() && at->seg == 0) {
+      Link l;
+      l.tid = at->tid;
+      TDB_ASSIGN_OR_RETURN(l.hrec, rel->history()->Fetch(at->tid));
+      TimePoint stamp = DecodeAttr(schema, static_cast<size_t>(stamp_idx),
+                                   l.hrec.data())
+                            .AsTime();
+      l.cold = stamp.seconds() < cutoff.seconds() &&
+               stamp.seconds() != TimePoint::Forever().seconds();
+      const uint8_t* bp = l.hrec.data() + rec_size;
+      HistoryTid prev;
+      std::memcpy(&prev.tid.page, bp, 4);
+      std::memcpy(&prev.tid.slot, bp + 4, 2);
+      std::memcpy(&prev.seg, bp + 6, 2);
+      chain.push_back(std::move(l));
+      if (prev.tid.page == kNoPage) {
+        at.reset();
+      } else {
+        at = prev;
+      }
+    }
+
+    // Only a maximal cold *suffix* (the oldest versions) moves: the chain
+    // is cut at one point, so the segment part must stay contiguous.
+    size_t split = chain.size();
+    while (split > 0 && chain[split - 1].cold) --split;
+    if (split == chain.size()) continue;
+
+    // Migrate oldest-first so each appended record can point back at the
+    // one before it, starting from any prior vacuum's tail.
+    std::optional<HistoryTid> prev = at;
+    for (size_t j = chain.size(); j > split; --j) {
+      Link& l = chain[j - 1];
+      int64_t secs = DecodeAttr(schema, static_cast<size_t>(stamp_idx),
+                                l.hrec.data())
+                         .AsTime()
+                         .seconds();
+      int64_t lo = 0;
+      int64_t hi = std::numeric_limits<int64_t>::max();
+      if (epoch > 0) {
+        lo = (secs / epoch) * epoch;
+        hi = lo + epoch;
+      }
+      TDB_ASSIGN_OR_RETURN(HeapFile * segfile, rel->EnsureSegment(lo, hi));
+      uint16_t seg_id = 0;
+      for (const Relation::Segment& s : rel->segments()) {
+        if (s.file.get() == segfile) {
+          seg_id = s.meta.id;
+          break;
+        }
+      }
+      uint8_t* bp = l.hrec.data() + rec_size;
+      uint32_t ppage = kNoPage;
+      uint16_t pslot = 0;
+      uint16_t pseg = 0;
+      if (prev.has_value()) {
+        ppage = prev->tid.page;
+        pslot = prev->tid.slot;
+        pseg = prev->seg;
+      }
+      std::memcpy(bp, &ppage, 4);
+      std::memcpy(bp + 4, &pslot, 2);
+      std::memcpy(bp + 6, &pseg, 2);
+      Tid ntid;
+      TDB_RETURN_NOT_OK(rel->AppendToSegment(seg_id, l.hrec, &ntid));
+      prev = HistoryTid{ntid, seg_id};
+      ++migrated;
+    }
+
+    // Reconnect: the oldest warm version — or the anchor, when the whole
+    // chain moved — now points at the migrated head.
+    if (split == 0) {
+      TDB_RETURN_NOT_OK(rel->UpdateAnchor(key, *prev));
+    } else {
+      TDB_RETURN_NOT_OK(
+          rel->PatchHistoryBackPtr(HistoryTid{chain[split - 1].tid, 0}, prev));
+    }
+    for (size_t j = split; j < chain.size(); ++j) {
+      TDB_RETURN_NOT_OK(rel->EraseHistory(chain[j].tid));
+    }
+  }
+
+  // Persist the segment roster and flush everything the migration touched.
+  // The statement journal pre-imaged each page write, so a crash anywhere
+  // above rolls back to the pre-vacuum image.
+  TDB_RETURN_NOT_OK(env_.catalog->Update(rel->meta()));
+  TDB_RETURN_NOT_OK(rel->history()->pager()->Flush());
+  TDB_RETURN_NOT_OK(rel->anchors()->pager()->Flush());
+  for (const Relation::Segment& s : rel->segments()) {
+    TDB_RETURN_NOT_OK(s.file->pager()->Flush());
+  }
+
+  ExecResult out;
+  out.affected = static_cast<int64_t>(migrated);
+  out.message = StrPrintf("vacuumed %zu versions of %s into %zu segments",
+                          migrated, stmt.relation.c_str(),
+                          rel->segments().size());
   return out;
 }
 

@@ -20,6 +20,7 @@ class DdlExecutor {
   Result<ExecResult> Create(const CreateStmt& stmt);
   Result<ExecResult> Destroy(const DestroyStmt& stmt);
   Result<ExecResult> Modify(const ModifyStmt& stmt);
+  Result<ExecResult> Vacuum(const VacuumStmt& stmt);
   Result<ExecResult> Index(const IndexStmt& stmt);
   Result<ExecResult> Copy(const CopyStmt& stmt);
   Result<ExecResult> Help(const HelpStmt& stmt);

@@ -13,8 +13,8 @@ Result<Relation*> ExecEnv::GetRelation(const std::string& name) const {
     return Status::NotFound("relation '" + name + "' does not exist");
   }
   TDB_ASSIGN_OR_RETURN(
-      auto rel,
-      Relation::Open(env, dir, *meta, registry, buffer_frames, journal));
+      auto rel, Relation::Open(env, dir, *meta, registry, buffer_frames,
+                               journal, storage));
   Relation* ptr = rel.get();
   (*relations)[key] = std::move(rel);
   return ptr;

@@ -11,6 +11,7 @@
 #include "exec/join_method.h"
 #include "storage/io_stats.h"
 #include "storage/journal.h"
+#include "storage/pager.h"
 #include "types/timepoint.h"
 
 namespace tdb {
@@ -45,6 +46,21 @@ struct ExecEnv {
   /// concurrent sessions never collide on temporaries.  Empty for the
   /// default session, keeping embedded scratch names byte-identical.
   std::string temp_tag;
+  /// Production storage mode for every file the executors open or rebuild
+  /// (page size, checksums, shared pool, readahead).  Defaults reproduce
+  /// the paper byte-for-byte.
+  StorageOptions storage;
+  /// Vacuum segment-partition policy: "single" (one segment absorbs every
+  /// cold version) or "epoch:<seconds>" (segments bucket versions by stamp
+  /// into fixed epochs).
+  std::string vacuum_partition = "single";
+
+  /// Usable bytes per page under `storage` (page size minus the CRC
+  /// trailer when checksums are on); sizing computations (hash bucket
+  /// counts, record-size caps) must use this, not kPageSize.
+  uint32_t usable_page_size() const {
+    return storage.page_size - (storage.checksum ? 4u : 0u);
+  }
 
   /// Returns the open handle for `name`, opening it from the catalog on
   /// first use.

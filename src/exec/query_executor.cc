@@ -545,7 +545,8 @@ struct RowProjector {
 /// selection vector, scratch ref, filter-program copies, and the page
 /// buffer ReadPageInto fills (so workers never share buffer frames).
 struct QueryExecutor::ScanWorkerState {
-  explicit ScanWorkerState(const Binding& b) : binding(b) {}
+  ScanWorkerState(const Binding& b, uint32_t page_size)
+      : binding(b), page_buf(page_size) {}
 
   Binding binding;  // the scanned variable's slot is rebound per row
   Morsel morsel;
@@ -558,7 +559,7 @@ struct QueryExecutor::ScanWorkerState {
   bool compiled = false;
   std::vector<CompiledProgram> where_prog;
   std::vector<CompiledProgram> when_prog;
-  alignas(8) uint8_t page_buf[kPageSize];
+  std::vector<uint8_t> page_buf;  // sized to the file's page size
 };
 
 std::optional<QueryExecutor::ParScan> QueryExecutor::TryPlanParallelScan(
@@ -640,7 +641,7 @@ Status QueryExecutor::RunParallelScan(ParScan* ps, const Binding& binding,
     const int workers = static_cast<int>(
         std::min<size_t>(static_cast<size_t>(env_.exec_threads), ntasks));
     WorkerPool::Shared().Run(workers, [&](int) {
-      ScanWorkerState ws(binding);
+      ScanWorkerState ws(binding, env_.storage.page_size);
       while (true) {
         const size_t t = next.fetch_add(1, std::memory_order_relaxed);
         if (t >= ntasks) break;
@@ -753,8 +754,8 @@ Status QueryExecutor::ProcessScanChunk(const ParScan& ps,
   Pager* pager = chunk.file->pager();
   for (uint32_t pno = chunk.begin; pno < chunk.end; ++pno) {
     TDB_RETURN_NOT_OK(pager->ReadPageInto(pno, chunk.file->ScanCategory(pno),
-                                          ws->page_buf));
-    Page page(ws->page_buf, record_size);
+                                          ws->page_buf.data()));
+    Page page(ws->page_buf.data(), record_size, pager->usable_size());
     m.Clear();
     m.in_history = chunk.in_history;
     for (uint16_t s = 0; s < page.capacity(); ++s) {
@@ -880,8 +881,9 @@ Status QueryExecutor::ExecuteSubstitution(SubstitutionNode* node,
   // Detachment temporaries are scratch: deleted at the end of the query and
   // orphaned harmlessly by a crash (the catalog never references them), so
   // they deliberately bypass the journal.
-  auto temp_pager_result =
-      Pager::Open(env_.env, temp_path, temp_counters, env_.buffer_frames);
+  auto temp_pager_result = Pager::Open(env_.env, temp_path, temp_counters,
+                                       env_.buffer_frames,
+                                       /*journal=*/nullptr, env_.storage);
   temp_win.End(&node->stats.io);
   if (!temp_pager_result.ok()) return temp_pager_result.status();
   TDB_RETURN_NOT_OK((*temp_pager_result)->Reset());

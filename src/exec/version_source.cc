@@ -31,6 +31,11 @@ std::vector<ScanChunk> CutScanChunks(Relation* rel, bool current_only,
   add_store(rel->primary(), /*in_history=*/false);
   if (rel->two_level() && !current_only && rel->history() != nullptr) {
     add_store(rel->history(), /*in_history=*/true);
+    // Vacuumed history segments come after the active history store, in
+    // segment order — the same order the serial scan visits them.
+    for (const Relation::Segment& seg : rel->segments()) {
+      add_store(seg.file.get(), /*in_history=*/true);
+    }
   }
   return chunks;
 }
@@ -89,11 +94,14 @@ Result<bool> VersionSource::NextScan() {
         } else {
           TDB_ASSIGN_OR_RETURN(cursor_, rel_->primary()->Scan());
         }
-      } else {
+      } else if (stage_ == Stage::kHistoryScan) {
         // The history store is a heap: range bounds cannot be used here;
         // the executor re-applies every predicate, so a full scan is
         // correct (just not accelerated).
         TDB_ASSIGN_OR_RETURN(cursor_, rel_->history()->Scan());
+      } else {
+        TDB_ASSIGN_OR_RETURN(cursor_,
+                             rel_->segments()[seg_pos_].file->Scan());
       }
     }
     TDB_ASSIGN_OR_RETURN(bool have, cursor_->Next());
@@ -104,10 +112,20 @@ Result<bool> VersionSource::NextScan() {
         stage_ = Stage::kHistoryScan;
         continue;
       }
+      if (stage_ == Stage::kHistoryScan && !rel_->segments().empty()) {
+        stage_ = Stage::kSegmentScan;
+        seg_pos_ = 0;
+        continue;
+      }
+      if (stage_ == Stage::kSegmentScan &&
+          seg_pos_ + 1 < rel_->segments().size()) {
+        ++seg_pos_;
+        continue;
+      }
       stage_ = Stage::kDone;
       return false;
     }
-    bool in_history = stage_ == Stage::kHistoryScan;
+    bool in_history = stage_ != Stage::kPrimary;
     // Zero-copy: the cursor's record buffer stays valid until the next
     // Next(), so the ref borrows it and decodes attributes on demand.
     // (History records carry an 8-byte back pointer past the schema record,
@@ -132,8 +150,11 @@ Result<size_t> VersionSource::NextScanBatch(Morsel* m, size_t max) {
         } else {
           TDB_ASSIGN_OR_RETURN(cursor_, rel_->primary()->Scan());
         }
-      } else {
+      } else if (stage_ == Stage::kHistoryScan) {
         TDB_ASSIGN_OR_RETURN(cursor_, rel_->history()->Scan());
+      } else {
+        TDB_ASSIGN_OR_RETURN(cursor_,
+                             rel_->segments()[seg_pos_].file->Scan());
       }
     }
     TDB_ASSIGN_OR_RETURN(size_t n, cursor_->NextBatch(m, max));
@@ -144,10 +165,20 @@ Result<size_t> VersionSource::NextScanBatch(Morsel* m, size_t max) {
         stage_ = Stage::kHistoryScan;
         continue;
       }
+      if (stage_ == Stage::kHistoryScan && !rel_->segments().empty()) {
+        stage_ = Stage::kSegmentScan;
+        seg_pos_ = 0;
+        continue;
+      }
+      if (stage_ == Stage::kSegmentScan &&
+          seg_pos_ + 1 < rel_->segments().size()) {
+        ++seg_pos_;
+        continue;
+      }
       stage_ = Stage::kDone;
       return 0;
     }
-    m->in_history = stage_ == Stage::kHistoryScan;
+    m->in_history = stage_ != Stage::kPrimary;
     return n;
   }
 }
@@ -178,11 +209,11 @@ Result<size_t> VersionSource::NextKeyedBatch(Morsel* m, size_t max) {
         // valid across the chain's page walks.
         size_t n = 0;
         while (chain_next_.has_value() && n < max) {
-          Tid tid = *chain_next_;
-          TDB_ASSIGN_OR_RETURN(owned_rec_, rel_->FetchHistory(tid));
-          TDB_ASSIGN_OR_RETURN(chain_next_, rel_->HistoryBackPtr(tid));
+          HistoryTid at = *chain_next_;
+          TDB_ASSIGN_OR_RETURN(owned_rec_, rel_->FetchHistoryAt(at));
+          TDB_ASSIGN_OR_RETURN(chain_next_, rel_->HistoryBackPtr(at));
           if (n == 0) m->EnsureArena(max * owned_rec_.size());
-          m->AppendCopy(owned_rec_.data(), owned_rec_.size(), tid);
+          m->AppendCopy(owned_rec_.data(), owned_rec_.size(), at.tid);
           ++n;
         }
         if (n == 0) {
@@ -251,13 +282,13 @@ Result<bool> VersionSource::NextKeyed() {
           stage_ = Stage::kDone;
           return false;
         }
-        Tid tid = *chain_next_;
+        HistoryTid at = *chain_next_;
         // Fetch returns a temporary buffer; keep the bytes alive in
         // owned_rec_ (reused across iterations) for the lazy ref.
-        TDB_ASSIGN_OR_RETURN(owned_rec_, rel_->FetchHistory(tid));
-        TDB_ASSIGN_OR_RETURN(chain_next_, rel_->HistoryBackPtr(tid));
+        TDB_ASSIGN_OR_RETURN(owned_rec_, rel_->FetchHistoryAt(at));
+        TDB_ASSIGN_OR_RETURN(chain_next_, rel_->HistoryBackPtr(at));
         ref_.BindRaw(schema, owned_rec_.data());
-        ref_.tid = tid;
+        ref_.tid = at.tid;
         ref_.in_history = true;
         return true;
       }

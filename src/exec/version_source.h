@@ -32,7 +32,7 @@ struct AccessSpec {
 /// path.  For conventional relations everything comes from the primary
 /// file.  For a two-level relation:
 ///   * kScan visits the primary file and then (unless current_only) the
-///     entire history store;
+///     entire history store followed by any vacuumed history segments;
 ///   * kKeyed visits the primary chain for the key and then (unless
 ///     current_only) walks the key's history chain from its anchor;
 ///   * kIndexEq resolves entries through the secondary index and fetches
@@ -73,10 +73,14 @@ class VersionSource {
   std::vector<uint8_t> owned_rec_;
 
   // scan / keyed state
-  enum class Stage { kPrimary, kHistoryScan, kHistoryChain, kDone };
+  enum class Stage { kPrimary, kHistoryScan, kSegmentScan, kHistoryChain,
+                     kDone };
   Stage stage_ = Stage::kPrimary;
   std::unique_ptr<Cursor> cursor_;
-  std::optional<Tid> chain_next_;
+  std::optional<HistoryTid> chain_next_;
+  // Which vacuum segment kSegmentScan is draining (index into
+  // rel_->segments()).
+  size_t seg_pos_ = 0;
   bool started_ = false;
 
   // index state

@@ -16,10 +16,10 @@ constexpr uint32_t kDefaultIndexBuckets = 16;
 Result<std::unique_ptr<StorageFile>> OpenIndexFile(
     Env* env, const std::string& path, const RecordLayout& layout,
     Organization org, uint32_t nbuckets, IoCounters* counters, int frames,
-    Journal* journal) {
+    Journal* journal, const StorageOptions& sopts) {
   bool fresh = !env->FileExists(path);
-  TDB_ASSIGN_OR_RETURN(auto pager,
-                       Pager::Open(env, path, counters, frames, journal));
+  TDB_ASSIGN_OR_RETURN(
+      auto pager, Pager::Open(env, path, counters, frames, journal, sopts));
   if (org == Organization::kHash) {
     if (fresh || pager->page_count() == 0) {
       TDB_ASSIGN_OR_RETURN(auto file,
@@ -41,7 +41,7 @@ Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Open(
     Env* env, const std::string& dir, const IndexMeta& meta,
     const Attribute& attr, IoCounters* current_counters,
     IoCounters* history_counters, int buffer_frames, Journal* journal,
-    obs::MetricsRegistry* metrics) {
+    obs::MetricsRegistry* metrics, const StorageOptions& sopts) {
   if (meta.org != Organization::kHeap && meta.org != Organization::kHash) {
     return Status::Invalid("index structure must be heap or hash");
   }
@@ -55,7 +55,8 @@ Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Open(
   TDB_ASSIGN_OR_RETURN(
       auto current,
       OpenIndexFile(env, dir + "/" + meta.CurrentFileName(), layout, meta.org,
-                    nbuckets, current_counters, buffer_frames, journal));
+                    nbuckets, current_counters, buffer_frames, journal,
+                    sopts));
   std::unique_ptr<StorageFile> history;
   if (meta.levels == 2) {
     uint32_t hbuckets =
@@ -64,7 +65,7 @@ Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Open(
         history,
         OpenIndexFile(env, dir + "/" + meta.HistoryFileName(), layout,
                       meta.org, hbuckets, history_counters, buffer_frames,
-                      journal));
+                      journal, sopts));
   }
   std::unique_ptr<SecondaryIndex> index(new SecondaryIndex(
       meta, layout, std::move(current), std::move(history)));

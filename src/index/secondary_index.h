@@ -47,7 +47,8 @@ class SecondaryIndex {
       Env* env, const std::string& dir, const IndexMeta& meta,
       const Attribute& attr, IoCounters* current_counters,
       IoCounters* history_counters, int buffer_frames = 1,
-      Journal* journal = nullptr, obs::MetricsRegistry* metrics = nullptr);
+      Journal* journal = nullptr, obs::MetricsRegistry* metrics = nullptr,
+      const StorageOptions& sopts = {});
 
   const IndexMeta& meta() const { return meta_; }
 

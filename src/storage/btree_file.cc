@@ -35,15 +35,15 @@ constexpr uint32_t kInternalHeader = 12;
 
 class LeafView {
  public:
-  LeafView(uint8_t* frame, uint16_t record_size)
-      : frame_(frame), record_size_(record_size) {}
+  LeafView(uint8_t* frame, uint16_t record_size, uint32_t usable = kPageSize)
+      : frame_(frame), record_size_(record_size), usable_(usable) {}
 
-  static uint16_t Capacity(uint16_t record_size) {
-    uint16_t cap = static_cast<uint16_t>((kPageSize - kLeafHeader) /
+  static uint16_t Capacity(uint16_t record_size, uint32_t usable = kPageSize) {
+    uint16_t cap = static_cast<uint16_t>((usable - kLeafHeader) /
                                          record_size);
     return cap > 64 ? 64 : cap;
   }
-  uint16_t capacity() const { return Capacity(record_size_); }
+  uint16_t capacity() const { return Capacity(record_size_, usable_); }
 
   uint32_t next_leaf() const { return Get32(0); }
   void set_next_leaf(uint32_t v) { Put32(0, v); }
@@ -95,12 +95,13 @@ class LeafView {
 
   uint8_t* frame_;
   uint16_t record_size_;
+  uint32_t usable_;
 };
 
 class InternalView {
  public:
-  InternalView(uint8_t* frame, uint16_t key_width)
-      : frame_(frame), key_width_(key_width) {}
+  InternalView(uint8_t* frame, uint16_t key_width, uint32_t usable = kPageSize)
+      : frame_(frame), key_width_(key_width), usable_(usable) {}
 
   static bool IsInternal(const uint8_t* frame) {
     uint32_t marker;
@@ -109,7 +110,7 @@ class InternalView {
   }
 
   uint16_t Capacity() const {
-    return static_cast<uint16_t>((kPageSize - kInternalHeader) /
+    return static_cast<uint16_t>((usable_ - kInternalHeader) /
                                  (key_width_ + 4u));
   }
   uint16_t count() const {
@@ -158,6 +159,7 @@ class InternalView {
  private:
   uint8_t* frame_;
   uint16_t key_width_;
+  uint32_t usable_;
 };
 
 /// Cursor over the leaf chain.  Slots inside a leaf (and its overflow
@@ -218,7 +220,7 @@ class BtreeCursor : public Cursor {
           uint8_t* frame,
           pager_->ReadPage(page, on_overflow ? IoCategory::kOverflow
                                              : IoCategory::kData));
-      LeafView leaf(frame, layout_.record_size);
+      LeafView leaf(frame, layout_.record_size, pager_->usable_size());
       if (!on_overflow) next_leaf = leaf.next_leaf();
       for (uint16_t s = 0; s < leaf.capacity(); ++s) {
         if (!leaf.SlotUsed(s)) continue;
@@ -284,13 +286,13 @@ class BtreeCursor : public Cursor {
 Result<std::unique_ptr<BtreeFile>> BtreeFile::Create(
     std::unique_ptr<Pager> pager, const RecordLayout& layout) {
   if (!layout.has_key()) return Status::Invalid("btree file needs a key");
-  if (LeafView::Capacity(layout.record_size) < 2) {
+  if (LeafView::Capacity(layout.record_size, pager->usable_size()) < 2) {
     return Status::Invalid("record too large for a btree leaf");
   }
   TDB_RETURN_NOT_OK(pager->Reset());
   TDB_ASSIGN_OR_RETURN(uint32_t root, pager->AllocatePage(IoCategory::kData));
   TDB_ASSIGN_OR_RETURN(uint8_t* frame, pager->ReadPage(root, IoCategory::kData));
-  LeafView leaf(frame, layout.record_size);
+  LeafView leaf(frame, layout.record_size, pager->usable_size());
   leaf.Format();
   pager->MarkDirty();
   TDB_RETURN_NOT_OK(pager->Flush());
@@ -312,7 +314,7 @@ Result<uint32_t> BtreeFile::FindLeaf(const Value& key) {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(pno, IoCategory::kDirectory));
     if (!InternalView::IsInternal(frame)) return pno;
-    InternalView node(frame, layout_.key_width);
+    InternalView node(frame, layout_.key_width, pager_->usable_size());
     uint32_t child = node.child0();
     for (uint16_t i = 0; i < node.count(); ++i) {
       Value sep = layout_.KeyFromBytes(node.KeyAt(i));
@@ -333,7 +335,7 @@ Result<uint32_t> BtreeFile::LeftmostLeaf() {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(pno, IoCategory::kDirectory));
     if (!InternalView::IsInternal(frame)) return pno;
-    InternalView node(frame, layout_.key_width);
+    InternalView node(frame, layout_.key_width, pager_->usable_size());
     pno = node.child0();
   }
 }
@@ -345,7 +347,7 @@ Result<int> BtreeFile::Height() {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(pno, IoCategory::kDirectory));
     if (!InternalView::IsInternal(frame)) return height;
-    InternalView node(frame, layout_.key_width);
+    InternalView node(frame, layout_.key_width, pager_->usable_size());
     pno = node.child0();
     ++height;
   }
@@ -359,7 +361,7 @@ Result<BtreeFile::SplitResult> BtreeFile::SplitLeaf(uint32_t pno) {
   {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(pno, IoCategory::kData));
-    LeafView leaf(frame, layout_.record_size);
+    LeafView leaf(frame, layout_.record_size, pager_->usable_size());
     next_leaf = leaf.next_leaf();
     for (uint16_t s = 0; s < leaf.capacity(); ++s) {
       if (leaf.SlotUsed(s)) {
@@ -405,7 +407,7 @@ Result<BtreeFile::SplitResult> BtreeFile::SplitLeaf(uint32_t pno) {
   {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(right, IoCategory::kData));
-    LeafView leaf(frame, layout_.record_size);
+    LeafView leaf(frame, layout_.record_size, pager_->usable_size());
     leaf.Format();
     leaf.set_next_leaf(next_leaf);
     for (size_t i = sep_at; i < records.size(); ++i) {
@@ -420,7 +422,7 @@ Result<BtreeFile::SplitResult> BtreeFile::SplitLeaf(uint32_t pno) {
   {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(pno, IoCategory::kData));
-    LeafView leaf(frame, layout_.record_size);
+    LeafView leaf(frame, layout_.record_size, pager_->usable_size());
     leaf.Format();
     leaf.set_next_leaf(right);
     for (size_t i = 0; i < sep_at; ++i) {
@@ -450,7 +452,7 @@ Result<BtreeFile::SplitResult> BtreeFile::InsertRec(uint32_t pno,
     {
       TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                            pager_->ReadPage(pno, IoCategory::kDirectory));
-      InternalView node(frame, layout_.key_width);
+      InternalView node(frame, layout_.key_width, pager_->usable_size());
       child = node.child0();
       child_pos = 0;
       for (uint16_t i = 0; i < node.count(); ++i) {
@@ -470,7 +472,7 @@ Result<BtreeFile::SplitResult> BtreeFile::InsertRec(uint32_t pno,
     // Install (sep, right) after the child's position.
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(pno, IoCategory::kDirectory));
-    InternalView node(frame, layout_.key_width);
+    InternalView node(frame, layout_.key_width, pager_->usable_size());
     if (node.count() < node.Capacity()) {
       node.InsertEntry(child_pos, child_split.sep_key.data(),
                        child_split.right);
@@ -504,7 +506,7 @@ Result<BtreeFile::SplitResult> BtreeFile::InsertRec(uint32_t pno,
     {
       TDB_ASSIGN_OR_RETURN(uint8_t* rframe,
                            pager_->ReadPage(right_pno, IoCategory::kDirectory));
-      InternalView right(rframe, layout_.key_width);
+      InternalView right(rframe, layout_.key_width, pager_->usable_size());
       right.Format();
       right.set_child0(entries[mid].child);
       uint16_t n = 0;
@@ -517,7 +519,7 @@ Result<BtreeFile::SplitResult> BtreeFile::InsertRec(uint32_t pno,
     {
       TDB_ASSIGN_OR_RETURN(uint8_t* lframe,
                            pager_->ReadPage(pno, IoCategory::kDirectory));
-      InternalView left(lframe, layout_.key_width);
+      InternalView left(lframe, layout_.key_width, pager_->usable_size());
       left.Format();
       left.set_child0(c0);
       for (size_t i = 0; i < mid; ++i) {
@@ -534,7 +536,7 @@ Result<BtreeFile::SplitResult> BtreeFile::InsertRec(uint32_t pno,
   {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(pno, IoCategory::kData));
-    LeafView leaf(frame, layout_.record_size);
+    LeafView leaf(frame, layout_.record_size, pager_->usable_size());
     int slot = leaf.FirstFreeSlot();
     if (slot >= 0) {
       std::memcpy(leaf.RecordAt(static_cast<uint16_t>(slot)), rec,
@@ -552,7 +554,7 @@ Result<BtreeFile::SplitResult> BtreeFile::InsertRec(uint32_t pno,
   {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(pno, IoCategory::kData));
-    LeafView leaf(frame, layout_.record_size);
+    LeafView leaf(frame, layout_.record_size, pager_->usable_size());
     overflow = leaf.overflow();
     Value first;
     bool have_first = false;
@@ -574,7 +576,7 @@ Result<BtreeFile::SplitResult> BtreeFile::InsertRec(uint32_t pno,
     while (cur != kNoPage) {
       TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                            pager_->ReadPage(cur, IoCategory::kOverflow));
-      LeafView page(frame, layout_.record_size);
+      LeafView page(frame, layout_.record_size, pager_->usable_size());
       int slot = page.FirstFreeSlot();
       if (slot >= 0) {
         std::memcpy(page.RecordAt(static_cast<uint16_t>(slot)), rec,
@@ -592,7 +594,7 @@ Result<BtreeFile::SplitResult> BtreeFile::InsertRec(uint32_t pno,
     {
       TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                            pager_->ReadPage(fresh, IoCategory::kOverflow));
-      LeafView page(frame, layout_.record_size);
+      LeafView page(frame, layout_.record_size, pager_->usable_size());
       page.Format();
       std::memcpy(page.RecordAt(0), rec, layout_.record_size);
       page.SetSlotUsed(0, true);
@@ -603,7 +605,7 @@ Result<BtreeFile::SplitResult> BtreeFile::InsertRec(uint32_t pno,
           uint8_t* frame,
           pager_->ReadPage(prev, prev == pno ? IoCategory::kData
                                              : IoCategory::kOverflow));
-      LeafView page(frame, layout_.record_size);
+      LeafView page(frame, layout_.record_size, pager_->usable_size());
       page.set_overflow(fresh);
       pager_->MarkDirty();
     }
@@ -618,7 +620,7 @@ Result<BtreeFile::SplitResult> BtreeFile::InsertRec(uint32_t pno,
   {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(target, IoCategory::kData));
-    LeafView leaf(frame, layout_.record_size);
+    LeafView leaf(frame, layout_.record_size, pager_->usable_size());
     int slot = leaf.FirstFreeSlot();
     if (slot < 0) return Status::Internal("no slot after leaf split");
     std::memcpy(leaf.RecordAt(static_cast<uint16_t>(slot)), rec,
@@ -640,16 +642,16 @@ Status BtreeFile::Insert(const uint8_t* rec, size_t size, Tid* tid) {
   // The root split: move its (already-halved) content to a fresh `left`
   // page and turn page 0 into an internal node over {left, right}.
   TDB_ASSIGN_OR_RETURN(uint32_t left, pager_->AllocatePage(IoCategory::kData));
-  uint8_t snapshot[kPageSize];
+  std::vector<uint8_t> snapshot(pager_->page_size());
   {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(0, IoCategory::kDirectory));
-    std::memcpy(snapshot, frame, kPageSize);
+    std::memcpy(snapshot.data(), frame, pager_->page_size());
   }
   {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(left, IoCategory::kData));
-    std::memcpy(frame, snapshot, kPageSize);
+    std::memcpy(frame, snapshot.data(), pager_->page_size());
     pager_->MarkDirty();
   }
   // Records that were in the root (if it was a leaf) moved to `left`; the
@@ -658,7 +660,7 @@ Status BtreeFile::Insert(const uint8_t* rec, size_t size, Tid* tid) {
   {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(0, IoCategory::kDirectory));
-    InternalView root(frame, layout_.key_width);
+    InternalView root(frame, layout_.key_width, pager_->usable_size());
     root.Format();
     root.set_child0(left);
     root.SetEntry(0, split.sep_key.data(), split.right);
@@ -678,7 +680,7 @@ Status BtreeFile::UpdateInPlace(const Tid& tid, const uint8_t* rec,
   if (InternalView::IsInternal(frame)) {
     return Status::Invalid("tid points at an internal btree node");
   }
-  LeafView leaf(frame, layout_.record_size);
+  LeafView leaf(frame, layout_.record_size, pager_->usable_size());
   if (!leaf.SlotUsed(tid.slot)) return Status::NotFound("update of unused slot");
   std::memcpy(leaf.RecordAt(tid.slot), rec, size);
   pager_->MarkDirty();
@@ -691,7 +693,7 @@ Status BtreeFile::Erase(const Tid& tid) {
   if (InternalView::IsInternal(frame)) {
     return Status::Invalid("tid points at an internal btree node");
   }
-  LeafView leaf(frame, layout_.record_size);
+  LeafView leaf(frame, layout_.record_size, pager_->usable_size());
   if (!leaf.SlotUsed(tid.slot)) return Status::NotFound("erase of unused slot");
   leaf.SetSlotUsed(tid.slot, false);
   pager_->MarkDirty();
@@ -732,7 +734,7 @@ Result<std::vector<uint8_t>> BtreeFile::Fetch(const Tid& tid) {
   if (InternalView::IsInternal(frame)) {
     return Status::NotFound("tid points at an internal btree node");
   }
-  LeafView leaf(frame, layout_.record_size);
+  LeafView leaf(frame, layout_.record_size, pager_->usable_size());
   if (!leaf.SlotUsed(tid.slot)) return Status::NotFound("fetch of unused slot");
   return std::vector<uint8_t>(leaf.RecordAt(tid.slot),
                               leaf.RecordAt(tid.slot) + layout_.record_size);

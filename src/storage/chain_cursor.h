@@ -29,7 +29,7 @@ class ChainCursor : public Cursor {
       if (page_ == kNoPage) return false;
       TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                            pager_->ReadPage(page_, category_of_(page_)));
-      Page page(frame, layout_.record_size);
+      Page page(frame, layout_.record_size, pager_->usable_size());
       while (slot_ < page.capacity()) {
         uint16_t s = slot_++;
         if (!page.SlotUsed(s)) continue;
@@ -55,7 +55,7 @@ class ChainCursor : public Cursor {
       if (page_ == kNoPage) return 0;
       TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                            pager_->ReadPage(page_, category_of_(page_)));
-      Page page(frame, layout_.record_size);
+      Page page(frame, layout_.record_size, pager_->usable_size());
       size_t n = 0;
       while (slot_ < page.capacity() && n < max) {
         uint16_t s = slot_++;

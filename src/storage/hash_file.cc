@@ -20,7 +20,7 @@ class HashScanCursor : public Cursor {
       if (page_ >= pager_->page_count()) return false;
       TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                            pager_->ReadPage(page_, file_->CategoryOf(page_)));
-      Page page(frame, layout_.record_size);
+      Page page(frame, layout_.record_size, pager_->usable_size());
       while (slot_ < page.capacity()) {
         uint16_t s = slot_++;
         if (page.SlotUsed(s)) {
@@ -42,7 +42,7 @@ class HashScanCursor : public Cursor {
       if (page_ >= pager_->page_count()) return 0;
       TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                            pager_->ReadPage(page_, file_->CategoryOf(page_)));
-      Page page(frame, layout_.record_size);
+      Page page(frame, layout_.record_size, pager_->usable_size());
       size_t n = 0;
       while (slot_ < page.capacity() && n < max) {
         uint16_t s = slot_++;
@@ -72,8 +72,8 @@ class HashScanCursor : public Cursor {
 }  // namespace
 
 uint32_t HashFile::BucketsFor(uint64_t ntuples, uint16_t record_size,
-                              int fillfactor) {
-  uint32_t cap = Page::Capacity(record_size);
+                              uint32_t usable, int fillfactor) {
+  uint32_t cap = Page::Capacity(record_size, usable);
   double per_page = cap * (fillfactor / 100.0);
   if (per_page < 1.0) per_page = 1.0;
   uint64_t buckets = static_cast<uint64_t>(
@@ -116,7 +116,7 @@ Status HashFile::Insert(const uint8_t* rec, size_t size, Tid* tid) {
   // grows — the effect behind the jagged lines of Figure 8(b)).
   while (true) {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame, pager_->ReadPage(pno, CategoryOf(pno)));
-    Page page(frame, layout_.record_size);
+    Page page(frame, layout_.record_size, pager_->usable_size());
     int slot = page.FirstFreeSlot();
     if (slot >= 0) {
       std::memcpy(page.RecordAt(static_cast<uint16_t>(slot)), rec, size);
@@ -135,7 +135,7 @@ Status HashFile::Insert(const uint8_t* rec, size_t size, Tid* tid) {
   {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(fresh, IoCategory::kOverflow));
-    Page page(frame, layout_.record_size);
+    Page page(frame, layout_.record_size, pager_->usable_size());
     page.Format();
     std::memcpy(page.RecordAt(0), rec, size);
     page.SetSlotUsed(0, true);
@@ -144,7 +144,7 @@ Status HashFile::Insert(const uint8_t* rec, size_t size, Tid* tid) {
   // Re-read the chain tail to link the new page.
   {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame, pager_->ReadPage(pno, CategoryOf(pno)));
-    Page page(frame, layout_.record_size);
+    Page page(frame, layout_.record_size, pager_->usable_size());
     page.set_next_overflow(fresh);
     pager_->MarkDirty();
   }
@@ -159,7 +159,7 @@ Status HashFile::UpdateInPlace(const Tid& tid, const uint8_t* rec,
   }
   TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                        pager_->ReadPage(tid.page, CategoryOf(tid.page)));
-  Page page(frame, layout_.record_size);
+  Page page(frame, layout_.record_size, pager_->usable_size());
   if (!page.SlotUsed(tid.slot)) return Status::NotFound("update of unused slot");
   std::memcpy(page.RecordAt(tid.slot), rec, size);
   pager_->MarkDirty();
@@ -169,7 +169,7 @@ Status HashFile::UpdateInPlace(const Tid& tid, const uint8_t* rec,
 Status HashFile::Erase(const Tid& tid) {
   TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                        pager_->ReadPage(tid.page, CategoryOf(tid.page)));
-  Page page(frame, layout_.record_size);
+  Page page(frame, layout_.record_size, pager_->usable_size());
   if (!page.SlotUsed(tid.slot)) return Status::NotFound("erase of unused slot");
   page.SetSlotUsed(tid.slot, false);
   pager_->MarkDirty();
@@ -191,7 +191,7 @@ Result<std::unique_ptr<Cursor>> HashFile::ScanKey(const Value& key) {
 Result<std::vector<uint8_t>> HashFile::Fetch(const Tid& tid) {
   TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                        pager_->ReadPage(tid.page, CategoryOf(tid.page)));
-  Page page(frame, layout_.record_size);
+  Page page(frame, layout_.record_size, pager_->usable_size());
   if (!page.SlotUsed(tid.slot)) return Status::NotFound("fetch of unused slot");
   return std::vector<uint8_t>(page.RecordAt(tid.slot),
                               page.RecordAt(tid.slot) + layout_.record_size);

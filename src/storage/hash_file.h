@@ -28,6 +28,7 @@ class HashFile : public StorageFile {
   /// Bucket count for `ntuples` records at `fillfactor` percent loading —
   /// ceil(ntuples / (capacity * fillfactor/100)).
   static uint32_t BucketsFor(uint64_t ntuples, uint16_t record_size,
+                             uint32_t usable,
                              int fillfactor);
 
   Organization org() const override { return Organization::kHash; }

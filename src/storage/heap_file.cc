@@ -16,7 +16,7 @@ class LinearCursor : public Cursor {
     while (true) {
       if (page_ >= pager_->page_count()) return false;
       TDB_ASSIGN_OR_RETURN(uint8_t* frame, pager_->ReadPage(page_, cat_));
-      Page page(frame, layout_.record_size);
+      Page page(frame, layout_.record_size, pager_->usable_size());
       while (slot_ < page.capacity()) {
         uint16_t s = slot_++;
         if (page.SlotUsed(s)) {
@@ -37,7 +37,7 @@ class LinearCursor : public Cursor {
     while (true) {
       if (page_ >= pager_->page_count()) return 0;
       TDB_ASSIGN_OR_RETURN(uint8_t* frame, pager_->ReadPage(page_, cat_));
-      Page page(frame, layout_.record_size);
+      Page page(frame, layout_.record_size, pager_->usable_size());
       size_t n = 0;
       while (slot_ < page.capacity() && n < max) {
         uint16_t s = slot_++;
@@ -70,7 +70,7 @@ Result<std::unique_ptr<HeapFile>> HeapFile::Open(std::unique_ptr<Pager> pager,
                                                  const RecordLayout& layout,
                                                  IoCategory category) {
   if (layout.record_size == 0 ||
-      layout.record_size > kPageSize - kPageHeaderSize) {
+      layout.record_size > pager->usable_size() - kPageHeaderSize) {
     return Status::Invalid("record size out of range for a page");
   }
   return std::unique_ptr<HeapFile>(
@@ -88,7 +88,7 @@ Status HeapFile::Insert(const uint8_t* rec, size_t size, Tid* tid) {
     if (hint.page >= pager_->page_count()) continue;
     TDB_ASSIGN_OR_RETURN(uint8_t* frame, pager_->ReadPage(hint.page,
                                                           category_));
-    Page page(frame, layout_.record_size);
+    Page page(frame, layout_.record_size, pager_->usable_size());
     if (page.SlotUsed(hint.slot)) continue;  // stale hint
     std::memcpy(page.RecordAt(hint.slot), rec, size);
     page.SetSlotUsed(hint.slot, true);
@@ -103,12 +103,12 @@ Status HeapFile::Insert(const uint8_t* rec, size_t size, Tid* tid) {
     target = pager_->page_count() - 1;
   }
   TDB_ASSIGN_OR_RETURN(uint8_t* frame, pager_->ReadPage(target, category_));
-  Page page(frame, layout_.record_size);
+  Page page(frame, layout_.record_size, pager_->usable_size());
   int slot = page.FirstFreeSlot();
   if (slot < 0) {
     TDB_ASSIGN_OR_RETURN(target, pager_->AllocatePage(category_));
     TDB_ASSIGN_OR_RETURN(frame, pager_->ReadPage(target, category_));
-    page = Page(frame, layout_.record_size);
+    page = Page(frame, layout_.record_size, pager_->usable_size());
     slot = page.FirstFreeSlot();
   }
   std::memcpy(page.RecordAt(static_cast<uint16_t>(slot)), rec, size);
@@ -126,7 +126,7 @@ Status HeapFile::InsertAtPage(uint32_t page_hint, const uint8_t* rec,
   if (page_hint < pager_->page_count()) {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(page_hint, category_));
-    Page page(frame, layout_.record_size);
+    Page page(frame, layout_.record_size, pager_->usable_size());
     int slot = page.FirstFreeSlot();
     if (slot >= 0) {
       std::memcpy(page.RecordAt(static_cast<uint16_t>(slot)), rec, size);
@@ -145,7 +145,7 @@ Status HeapFile::InsertFreshPage(const uint8_t* rec, size_t size, Tid* tid) {
   }
   TDB_ASSIGN_OR_RETURN(uint32_t pno, pager_->AllocatePage(category_));
   TDB_ASSIGN_OR_RETURN(uint8_t* frame, pager_->ReadPage(pno, category_));
-  Page page(frame, layout_.record_size);
+  Page page(frame, layout_.record_size, pager_->usable_size());
   page.Format();
   std::memcpy(page.RecordAt(0), rec, size);
   page.SetSlotUsed(0, true);
@@ -160,7 +160,7 @@ Status HeapFile::UpdateInPlace(const Tid& tid, const uint8_t* rec,
     return Status::Invalid("record size mismatch on update");
   }
   TDB_ASSIGN_OR_RETURN(uint8_t* frame, pager_->ReadPage(tid.page, category_));
-  Page page(frame, layout_.record_size);
+  Page page(frame, layout_.record_size, pager_->usable_size());
   if (!page.SlotUsed(tid.slot)) {
     return Status::NotFound("update of unused slot");
   }
@@ -171,7 +171,7 @@ Status HeapFile::UpdateInPlace(const Tid& tid, const uint8_t* rec,
 
 Status HeapFile::Erase(const Tid& tid) {
   TDB_ASSIGN_OR_RETURN(uint8_t* frame, pager_->ReadPage(tid.page, category_));
-  Page page(frame, layout_.record_size);
+  Page page(frame, layout_.record_size, pager_->usable_size());
   if (!page.SlotUsed(tid.slot)) return Status::NotFound("erase of unused slot");
   page.SetSlotUsed(tid.slot, false);
   pager_->MarkDirty();
@@ -190,7 +190,7 @@ Result<std::unique_ptr<Cursor>> HeapFile::ScanKey(const Value&) {
 
 Result<std::vector<uint8_t>> HeapFile::Fetch(const Tid& tid) {
   TDB_ASSIGN_OR_RETURN(uint8_t* frame, pager_->ReadPage(tid.page, category_));
-  Page page(frame, layout_.record_size);
+  Page page(frame, layout_.record_size, pager_->usable_size());
   if (!page.SlotUsed(tid.slot)) return Status::NotFound("fetch of unused slot");
   return std::vector<uint8_t>(page.RecordAt(tid.slot),
                               page.RecordAt(tid.slot) + layout_.record_size);

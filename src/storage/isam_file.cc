@@ -98,7 +98,7 @@ class IsamScanCursor : public Cursor {
       }
       TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                            pager_->ReadPage(page_, file_->CategoryOf(page_)));
-      Page page(frame, layout_.record_size);
+      Page page(frame, layout_.record_size, pager_->usable_size());
       while (slot_ < page.capacity()) {
         uint16_t s = slot_++;
         if (!page.SlotUsed(s)) continue;
@@ -140,7 +140,7 @@ class IsamScanCursor : public Cursor {
       }
       TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                            pager_->ReadPage(page_, file_->CategoryOf(page_)));
-      Page page(frame, layout_.record_size);
+      Page page(frame, layout_.record_size, pager_->usable_size());
       size_t n = 0;
       while (slot_ < page.capacity() && n < max) {
         uint16_t s = slot_++;
@@ -215,7 +215,7 @@ Result<std::unique_ptr<IsamFile>> IsamFile::BulkLoad(
                    });
   TDB_RETURN_NOT_OK(sort_error);
 
-  uint16_t cap = Page::Capacity(layout.record_size);
+  uint16_t cap = Page::Capacity(layout.record_size, pager->usable_size());
   uint16_t per_page = static_cast<uint16_t>(cap * fillfactor / 100);
   if (per_page == 0) per_page = 1;
 
@@ -261,7 +261,7 @@ Result<std::unique_ptr<IsamFile>> IsamFile::BulkLoad(
   meta.data_pages = static_cast<uint32_t>(groups.size());
   {
     uint32_t entry_size = layout.key_width + 4;
-    uint32_t fanout = kPageSize / entry_size;
+    uint32_t fanout = pager->usable_size() / entry_size;
     uint32_t level = meta.data_pages;
     do {
       level = (level + fanout - 1) / fanout;
@@ -282,7 +282,7 @@ Result<std::unique_ptr<IsamFile>> IsamFile::BulkLoad(
     TDB_ASSIGN_OR_RETURN(uint32_t pno, pager->AllocatePage(IoCategory::kData));
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager->ReadPage(pno, IoCategory::kData));
-    Page page(frame, layout.record_size);
+    Page page(frame, layout.record_size, pager->usable_size());
     page.Format();
     std::vector<uint8_t> first_key(layout.key_width, 0);
     for (size_t r = 0; r < group.primary_count; ++r) {
@@ -311,7 +311,7 @@ Result<std::unique_ptr<IsamFile>> IsamFile::BulkLoad(
   // arithmetic matches the pass-1 estimate by construction) ---
   meta.level_counts.clear();
   uint32_t entry_size = layout.key_width + 4;
-  uint32_t fanout = kPageSize / entry_size;
+  uint32_t fanout = pager->usable_size() / entry_size;
   // Entries of the level being built: (first key, page number).
   std::vector<std::pair<std::vector<uint8_t>, uint32_t>> entries;
   for (uint32_t p = 0; p < meta.data_pages; ++p) {
@@ -326,7 +326,7 @@ Result<std::unique_ptr<IsamFile>> IsamFile::BulkLoad(
                            pager->AllocatePage(IoCategory::kDirectory));
       TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                            pager->ReadPage(pno, IoCategory::kDirectory));
-      std::memset(frame, 0, kPageSize);
+      std::memset(frame, 0, pager->page_size());
       uint32_t base = dp * fanout;
       uint32_t n = std::min<uint32_t>(fanout,
                                       static_cast<uint32_t>(entries.size()) -
@@ -356,7 +356,7 @@ Result<std::unique_ptr<IsamFile>> IsamFile::BulkLoad(
       }
       TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                            pager->ReadPage(pno, IoCategory::kOverflow));
-      Page page(frame, layout.record_size);
+      Page page(frame, layout.record_size, pager->usable_size());
       page.Format();
       uint16_t placed = 0;
       while (placed < cap && remaining > 0) {
@@ -404,7 +404,7 @@ uint32_t IsamFile::LevelEntries(size_t level) const {
 
 Result<uint32_t> IsamFile::LookupDataPage(const Value& key) {
   uint32_t entry_size = layout_.key_width + 4;
-  uint32_t fanout = kPageSize / entry_size;
+  uint32_t fanout = pager_->usable_size() / entry_size;
 
   size_t level = meta_.level_counts.size() - 1;  // root
   uint32_t pno = LevelStart(level);              // root page
@@ -443,7 +443,7 @@ Status IsamFile::Insert(const uint8_t* rec, size_t size, Tid* tid) {
   while (true) {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(pno, CategoryOf(pno)));
-    Page page(frame, layout_.record_size);
+    Page page(frame, layout_.record_size, pager_->usable_size());
     int slot = page.FirstFreeSlot();
     if (slot >= 0) {
       std::memcpy(page.RecordAt(static_cast<uint16_t>(slot)), rec, size);
@@ -461,7 +461,7 @@ Status IsamFile::Insert(const uint8_t* rec, size_t size, Tid* tid) {
   {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(fresh, IoCategory::kOverflow));
-    Page page(frame, layout_.record_size);
+    Page page(frame, layout_.record_size, pager_->usable_size());
     page.Format();
     std::memcpy(page.RecordAt(0), rec, size);
     page.SetSlotUsed(0, true);
@@ -470,7 +470,7 @@ Status IsamFile::Insert(const uint8_t* rec, size_t size, Tid* tid) {
   {
     TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                          pager_->ReadPage(pno, CategoryOf(pno)));
-    Page page(frame, layout_.record_size);
+    Page page(frame, layout_.record_size, pager_->usable_size());
     page.set_next_overflow(fresh);
     pager_->MarkDirty();
   }
@@ -485,7 +485,7 @@ Status IsamFile::UpdateInPlace(const Tid& tid, const uint8_t* rec,
   }
   TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                        pager_->ReadPage(tid.page, CategoryOf(tid.page)));
-  Page page(frame, layout_.record_size);
+  Page page(frame, layout_.record_size, pager_->usable_size());
   if (!page.SlotUsed(tid.slot)) return Status::NotFound("update of unused slot");
   std::memcpy(page.RecordAt(tid.slot), rec, size);
   pager_->MarkDirty();
@@ -495,7 +495,7 @@ Status IsamFile::UpdateInPlace(const Tid& tid, const uint8_t* rec,
 Status IsamFile::Erase(const Tid& tid) {
   TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                        pager_->ReadPage(tid.page, CategoryOf(tid.page)));
-  Page page(frame, layout_.record_size);
+  Page page(frame, layout_.record_size, pager_->usable_size());
   if (!page.SlotUsed(tid.slot)) return Status::NotFound("erase of unused slot");
   page.SetSlotUsed(tid.slot, false);
   pager_->MarkDirty();
@@ -546,7 +546,7 @@ Result<std::unique_ptr<Cursor>> IsamFile::ScanKey(const Value& key) {
 Result<std::vector<uint8_t>> IsamFile::Fetch(const Tid& tid) {
   TDB_ASSIGN_OR_RETURN(uint8_t* frame,
                        pager_->ReadPage(tid.page, CategoryOf(tid.page)));
-  Page page(frame, layout_.record_size);
+  Page page(frame, layout_.record_size, pager_->usable_size());
   if (!page.SlotUsed(tid.slot)) return Status::NotFound("fetch of unused slot");
   return std::vector<uint8_t>(page.RecordAt(tid.slot),
                               page.RecordAt(tid.slot) + layout_.record_size);

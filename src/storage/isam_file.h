@@ -42,8 +42,9 @@ class IsamFile : public StorageFile {
   /// Directory entries per page: key bytes + 4-byte page number, packed
   /// with no page header (an i4 key gives the fanout of 128 implied by the
   /// paper's directory sizes).
-  static uint32_t Fanout(const RecordLayout& layout) {
-    return kPageSize / (layout.key_width + 4u);
+  static uint32_t Fanout(const RecordLayout& layout,
+                         uint32_t usable = kPageSize) {
+    return usable / (layout.key_width + 4u);
   }
 
   /// Rebuilds the file from `records` (any order; sorted internally) at the

@@ -90,6 +90,7 @@ std::vector<uint8_t> Journal::EncodeRecord(const Record& rec) {
       break;
     case kPageImage:
       PutU32(&out, rec.pno);
+      PutU32(&out, static_cast<uint32_t>(rec.payload.size()));
       out.insert(out.end(), rec.payload.begin(), rec.payload.end());
       break;
     case kFileImage:
@@ -127,11 +128,14 @@ bool Journal::DecodeRecord(const std::vector<uint8_t>& buf, size_t* offset,
       break;
     }
     case kPageImage: {
-      if (!GetU32(buf, &off, &out->pno)) return false;
-      if (off + kPageSize > buf.size()) return false;
+      uint32_t len = 0;
+      if (!GetU32(buf, &off, &out->pno) || !GetU32(buf, &off, &len)) {
+        return false;
+      }
+      if (len == 0 || off + len > buf.size()) return false;
       out->payload.assign(buf.begin() + static_cast<long>(off),
-                          buf.begin() + static_cast<long>(off + kPageSize));
-      off += kPageSize;
+                          buf.begin() + static_cast<long>(off + len));
+      off += len;
       break;
     }
     case kFileImage: {
@@ -270,18 +274,18 @@ Status Journal::BeforePageWrite(const std::string& path, RandomRWFile* file,
 
   if (!active_) return Status::OK();
   TDB_ASSIGN_OR_RETURN(FileState * fs, EnsureFileLogged(path, file));
-  uint64_t end = (static_cast<uint64_t>(pno) + 1) * kPageSize;
+  uint64_t end = (static_cast<uint64_t>(pno) + 1) * page_size_;
   if (!fs->whole_file_captured && end <= fs->batch_start_size &&
       fs->pages_logged.insert(pno).second) {
     Record rec;
     rec.type = kPageImage;
     rec.path = path;
     rec.pno = pno;
-    rec.payload.resize(kPageSize);
+    rec.payload.resize(page_size_);
     // Read the pre-image straight from the file, bypassing the pager so the
     // paper's page-I/O accounting never sees journal traffic.
-    TDB_RETURN_NOT_OK(file->Read(static_cast<uint64_t>(pno) * kPageSize,
-                                 kPageSize, rec.payload.data()));
+    TDB_RETURN_NOT_OK(file->Read(static_cast<uint64_t>(pno) * page_size_,
+                                 page_size_, rec.payload.data()));
     TDB_RETURN_NOT_OK(AppendRecord(rec));
   }
   return SyncPending();
@@ -426,10 +430,12 @@ Status Journal::ApplyReversed(Env* env, const std::vector<Record>& records) {
       case kCommit:
         break;
       case kPageImage: {
+        // The offset derives from the record's own payload length, so
+        // recovery is correct for any page size the writer was using.
         TDB_ASSIGN_OR_RETURN(auto file, env->OpenOrCreate(rec.path));
         TDB_RETURN_NOT_OK(file->Write(
-            static_cast<uint64_t>(rec.pno) * kPageSize, rec.payload.data(),
-            rec.payload.size()));
+            static_cast<uint64_t>(rec.pno) * rec.payload.size(),
+            rec.payload.data(), rec.payload.size()));
         touched.push_back(rec.path);
         break;
       }

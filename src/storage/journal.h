@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "env/env.h"
+#include "storage/page.h"
 #include "util/status.h"
 
 namespace tdb {
@@ -105,6 +106,12 @@ class Journal {
   /// journal.{batches,commits,rollbacks,records,pre_image_bytes,replay_ops}.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  /// Page size BeforePageWrite captures (the database's resolved storage
+  /// page size).  Replay needs no setter: each kPageImage record carries
+  /// its payload length, so recovery derives offsets from the record.
+  void set_page_size(uint32_t page_size) { page_size_ = page_size; }
+  uint32_t page_size() const { return page_size_; }
+
   /// Starts a statement batch: empties the journal and forgets per-batch
   /// dedup state.
   Status Begin();
@@ -172,7 +179,7 @@ class Journal {
  private:
   enum RecordType : uint8_t {
     kFileSize = 1,   // batch-start size of a file (0/absent when !existed)
-    kPageImage = 2,  // pre-image of one kPageSize page
+    kPageImage = 2,  // pre-image of one page (length-prefixed payload)
     kFileImage = 3,  // pre-image of a whole file
     kCommit = 4,     // batch committed; nothing to undo
   };
@@ -224,6 +231,7 @@ class Journal {
   std::string path_;
   std::unique_ptr<RandomRWFile> file_;
   DurabilityMode mode_;
+  uint32_t page_size_ = kPageSize;
   bool active_ = false;
   bool healthy_ = true;
   bool sync_pending_ = false;

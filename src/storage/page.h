@@ -18,8 +18,11 @@ inline constexpr uint32_t kPageHeaderSize = 12;
 /// Sentinel "no overflow page" link.
 inline constexpr uint32_t kNoPage = 0xFFFFFFFFu;
 
-/// A fixed-width-record slotted page.  Page is a *view* over a 1024-byte
-/// frame owned by the Pager; it never allocates.
+/// A fixed-width-record slotted page.  Page is a *view* over a page-sized
+/// frame owned by the Pager; it never allocates.  `usable` is the byte span
+/// available to header + slots — `Pager::usable_size()`, which is the page
+/// size minus the CRC trailer when checksums are on.  The default is the
+/// paper's 1024-byte page.
 ///
 /// Layout:
 ///   [0..3]   next overflow page number (kNoPage if none)
@@ -28,17 +31,18 @@ inline constexpr uint32_t kNoPage = 0xFFFFFFFFu;
 ///   [12.. ]  record slots, record_size bytes each
 class Page {
  public:
-  Page(uint8_t* frame, uint16_t record_size)
-      : frame_(frame), record_size_(record_size) {}
+  Page(uint8_t* frame, uint16_t record_size, uint32_t usable = kPageSize)
+      : frame_(frame), record_size_(record_size), usable_(usable) {}
 
-  /// Number of record slots a page holds for this record size.
-  static uint16_t Capacity(uint16_t record_size) {
-    uint16_t cap = static_cast<uint16_t>((kPageSize - kPageHeaderSize) /
+  /// Number of record slots a page with `usable` bytes holds for this
+  /// record size.
+  static uint16_t Capacity(uint16_t record_size, uint32_t usable = kPageSize) {
+    uint16_t cap = static_cast<uint16_t>((usable - kPageHeaderSize) /
                                          record_size);
     return cap > 64 ? 64 : cap;  // bitmap is 64 bits wide
   }
 
-  uint16_t capacity() const { return Capacity(record_size_); }
+  uint16_t capacity() const { return Capacity(record_size_, usable_); }
 
   uint32_t next_overflow() const {
     uint32_t v;
@@ -99,6 +103,7 @@ class Page {
  private:
   uint8_t* frame_;
   uint16_t record_size_;
+  uint32_t usable_;
 };
 
 }  // namespace tdb

@@ -3,9 +3,48 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "storage/buffer_pool.h"
 #include "util/stringx.h"
 
 namespace tdb {
+
+namespace {
+bool AllZero(const uint8_t* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (data[i] != 0) return false;
+  }
+  return true;
+}
+}  // namespace
+
+Pager::Pager(std::unique_ptr<RandomRWFile> file, std::string path,
+             IoCounters* counters, uint32_t page_count, int frames,
+             Journal* journal, const StorageOptions& sopts)
+    : file_(std::move(file)),
+      path_(std::move(path)),
+      counters_(counters),
+      journal_(journal),
+      page_count_(page_count),
+      page_size_(sopts.page_size),
+      usable_size_(sopts.page_size - (sopts.checksum ? 4u : 0u)),
+      checksum_(sopts.checksum),
+      pool_(sopts.pool),
+      readahead_(sopts.readahead) {
+  if (pool_ != nullptr) {
+    pool_cap_ = pool_->per_file_frames();
+  } else {
+    frames_.resize(static_cast<size_t>(frames));
+    for (Frame& frame : frames_) frame.data.resize(page_size_);
+  }
+}
+
+Pager::~Pager() {
+  if (pool_ != nullptr) {
+    (void)pool_->FlushAndDrop(this);
+  } else {
+    (void)Flush();
+  }
+}
 
 void Pager::Count(bool write, IoCategory cat, uint32_t pno) {
   if (counters_ == nullptr) return;
@@ -23,11 +62,49 @@ void Pager::Count(bool write, IoCategory cat, uint32_t pno) {
   }
 }
 
+void Pager::NoteRequest(bool hit) {
+  if (metrics() == nullptr) return;
+  metrics()->requests.Increment();
+  (hit ? metrics()->hits : metrics()->misses).Increment();
+}
+
+void Pager::StampChecksum(uint8_t* data) const {
+  if (!checksum_) return;
+  const uint32_t crc = Crc32(data, usable_size_);
+  std::memcpy(data + usable_size_, &crc, 4);
+}
+
+Status Pager::VerifyChecksum(const uint8_t* data, uint32_t pno) const {
+  if (!checksum_) return Status::OK();
+  uint32_t stored = 0;
+  std::memcpy(&stored, data + usable_size_, 4);
+  const uint32_t actual = Crc32(data, usable_size_);
+  if (stored == actual) return Status::OK();
+  // A page the file grew over but never wrote back (e.g. allocated then
+  // rolled back) reads as all zeros; that is not corruption.
+  if (stored == 0 && AllZero(data, usable_size_)) return Status::OK();
+  return Status::Corruption(
+      StrPrintf("page %u of '%s' fails CRC (stored %08x, computed %08x)", pno,
+                path_.c_str(), stored, actual));
+}
+
 Result<std::unique_ptr<Pager>> Pager::Open(Env* env, const std::string& path,
                                            IoCounters* counters, int frames,
-                                           Journal* journal) {
+                                           Journal* journal,
+                                           const StorageOptions& sopts) {
   if (frames < 1 || frames > 1024) {
     return Status::Invalid("pager frame count must be in [1, 1024]");
+  }
+  if (sopts.page_size < 512 || sopts.page_size > 65536 ||
+      sopts.page_size % 256 != 0) {
+    return Status::Invalid(
+        StrPrintf("page size %u must be in [512, 65536] and a multiple of 256",
+                  sopts.page_size));
+  }
+  if (sopts.pool != nullptr && sopts.pool->page_size() != sopts.page_size) {
+    return Status::Invalid(
+        StrPrintf("pager page size %u does not match buffer pool page size %u",
+                  sopts.page_size, sopts.pool->page_size()));
   }
   // Journal the creation before it happens, so rolling back a statement
   // that made this relation's first file deletes the file again.
@@ -36,14 +113,45 @@ Result<std::unique_ptr<Pager>> Pager::Open(Env* env, const std::string& path,
   }
   TDB_ASSIGN_OR_RETURN(auto file, env->OpenOrCreate(path));
   TDB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
-  if (size % kPageSize != 0) {
+  if (size % sopts.page_size != 0) {
     return Status::Corruption(
         StrPrintf("file '%s' size %llu is not page aligned", path.c_str(),
                   static_cast<unsigned long long>(size)));
   }
   return std::unique_ptr<Pager>(
       new Pager(std::move(file), path, counters,
-                static_cast<uint32_t>(size / kPageSize), frames, journal));
+                static_cast<uint32_t>(size / sopts.page_size), frames, journal,
+                sopts));
+}
+
+Status Pager::WriteBack(uint32_t pno, uint8_t* data, IoCategory cat) {
+  // WAL discipline: the on-disk pre-image of this page must be in the
+  // journal (and, in sync mode, on stable storage) before the overwrite.
+  if (journal_ != nullptr) {
+    TDB_RETURN_NOT_OK(journal_->BeforePageWrite(path_, file_.get(), pno));
+  }
+  StampChecksum(data);
+  TDB_RETURN_NOT_OK(file_->Write(static_cast<uint64_t>(pno) * page_size_,
+                                 data, page_size_));
+  Count(/*write=*/true, cat, pno);
+  return Status::OK();
+}
+
+Status Pager::LoadFrom(uint32_t pno, uint8_t* out, bool count,
+                       IoCategory cat) {
+  TDB_RETURN_NOT_OK(file_->Read(static_cast<uint64_t>(pno) * page_size_,
+                                page_size_, out));
+  TDB_RETURN_NOT_OK(VerifyChecksum(out, pno));
+  if (count) Count(/*write=*/false, cat, pno);
+  return Status::OK();
+}
+
+Status Pager::GrowFile() {
+  const uint64_t new_size = static_cast<uint64_t>(page_count_) * page_size_;
+  if (journal_ != nullptr) {
+    TDB_RETURN_NOT_OK(journal_->BeforeTruncate(path_, file_.get(), new_size));
+  }
+  return file_->Truncate(new_size);
 }
 
 Pager::Frame* Pager::FindFrame(uint32_t pno) {
@@ -55,15 +163,8 @@ Pager::Frame* Pager::FindFrame(uint32_t pno) {
 
 Status Pager::FlushFrame(Frame* frame) {
   if (!frame->dirty || frame->pno == kNoPage) return Status::OK();
-  // WAL discipline: the on-disk pre-image of this page must be in the
-  // journal (and, in sync mode, on stable storage) before the overwrite.
-  if (journal_ != nullptr) {
-    TDB_RETURN_NOT_OK(
-        journal_->BeforePageWrite(path_, file_.get(), frame->pno));
-  }
-  TDB_RETURN_NOT_OK(file_->Write(
-      static_cast<uint64_t>(frame->pno) * kPageSize, frame->data, kPageSize));
-  Count(/*write=*/true, frame->category, frame->pno);
+  TDB_RETURN_NOT_OK(WriteBack(frame->pno, frame->data.data(),
+                              frame->category));
   frame->dirty = false;
   return Status::OK();
 }
@@ -89,65 +190,66 @@ Result<uint8_t*> Pager::ReadPage(uint32_t pno, IoCategory cat) {
     return Status::OutOfRange(StrPrintf("page %u >= page count %u in '%s'",
                                         pno, page_count_, path_.c_str()));
   }
+  if (pool_ != nullptr) return pool_->ReadPage(this, pno, cat);
   Frame* frame = FindFrame(pno);
-  if (metrics() != nullptr) {
-    metrics()->requests.Increment();
-    (frame != nullptr ? metrics()->hits : metrics()->misses).Increment();
-  }
+  NoteRequest(frame != nullptr);
   if (frame == nullptr) {
     TDB_ASSIGN_OR_RETURN(frame, EvictableFrame());
-    TDB_RETURN_NOT_OK(file_->Read(static_cast<uint64_t>(pno) * kPageSize,
-                                  kPageSize, frame->data));
-    Count(/*write=*/false, cat, pno);
+    TDB_RETURN_NOT_OK(LoadFrom(pno, frame->data.data(), /*count=*/true, cat));
     frame->pno = pno;
     frame->category = cat;
     frame->dirty = false;
-    ++generation_;
+    BumpGeneration();
   }
   frame->last_use = ++tick_;
   last_touched_ = frame;
-  return frame->data;
+  return frame->data.data();
 }
 
 void Pager::MarkDirty() {
+  if (pool_ != nullptr) {
+    pool_->MarkDirty(this);
+    return;
+  }
   if (last_touched_ != nullptr) last_touched_->dirty = true;
 }
 
 Status Pager::ReadPageInto(uint32_t pno, IoCategory cat, uint8_t* out) {
+  if (pool_ != nullptr) {
+    if (pno >= page_count_) {
+      return Status::OutOfRange(StrPrintf("page %u >= page count %u in '%s'",
+                                          pno, page_count_, path_.c_str()));
+    }
+    return pool_->ReadPageInto(this, pno, cat, out);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (pno >= page_count_) {
     return Status::OutOfRange(StrPrintf("page %u >= page count %u in '%s'",
                                         pno, page_count_, path_.c_str()));
   }
   Frame* frame = FindFrame(pno);
-  if (metrics() != nullptr) {
-    metrics()->requests.Increment();
-    (frame != nullptr ? metrics()->hits : metrics()->misses).Increment();
-  }
+  NoteRequest(frame != nullptr);
   if (frame != nullptr) {
-    std::memcpy(out, frame->data, kPageSize);
+    std::memcpy(out, frame->data.data(), page_size_);
     return Status::OK();
   }
-  TDB_RETURN_NOT_OK(
-      file_->Read(static_cast<uint64_t>(pno) * kPageSize, kPageSize, out));
-  Count(/*write=*/false, cat, pno);
-  return Status::OK();
+  return LoadFrom(pno, out, /*count=*/true, cat);
 }
 
 Status Pager::PrimeFrame(uint32_t pno, IoCategory cat) {
   if (pno >= page_count_) return Status::OK();
+  if (pool_ != nullptr) return pool_->PrimeFrame(this, pno, cat);
   std::lock_guard<std::mutex> lock(mu_);
   Frame* frame = FindFrame(pno);
   if (frame == nullptr) {
     TDB_ASSIGN_OR_RETURN(frame, EvictableFrame());
     // Deliberately uncounted: the parallel workers already charged the read
     // of this page; this load only restores the serial scan's end state.
-    TDB_RETURN_NOT_OK(file_->Read(static_cast<uint64_t>(pno) * kPageSize,
-                                  kPageSize, frame->data));
+    TDB_RETURN_NOT_OK(LoadFrom(pno, frame->data.data(), /*count=*/false, cat));
     frame->pno = pno;
     frame->category = cat;
     frame->dirty = false;
-    ++generation_;
+    BumpGeneration();
   }
   frame->last_use = ++tick_;
   last_touched_ = frame;
@@ -155,6 +257,7 @@ Status Pager::PrimeFrame(uint32_t pno, IoCategory cat) {
 }
 
 std::vector<uint32_t> Pager::ResidentPages() const {
+  if (pool_ != nullptr) return pool_->ResidentPages(this);
   std::vector<uint32_t> pnos;
   for (const Frame& frame : frames_) {
     if (frame.pno != kNoPage) pnos.push_back(frame.pno);
@@ -163,27 +266,39 @@ std::vector<uint32_t> Pager::ResidentPages() const {
 }
 
 Result<uint32_t> Pager::AllocatePage(IoCategory cat) {
-  TDB_ASSIGN_OR_RETURN(Frame * frame, EvictableFrame());
-  uint32_t pno = page_count_;
-  std::memset(frame->data, 0, kPageSize);
+  const uint32_t pno = page_count_;
+  uint8_t* data = nullptr;
+  if (pool_ != nullptr) {
+    TDB_ASSIGN_OR_RETURN(data, pool_->AllocatePage(this, pno, cat));
+  } else {
+    TDB_ASSIGN_OR_RETURN(Frame * frame, EvictableFrame());
+    std::memset(frame->data.data(), 0, page_size_);
+    frame->pno = pno;
+    frame->category = cat;
+    frame->dirty = true;
+    frame->last_use = ++tick_;
+    last_touched_ = frame;
+    BumpGeneration();
+    data = frame->data.data();
+  }
   // Format a valid empty page header (no overflow link).
   uint32_t none = kNoPage;
-  std::memcpy(frame->data, &none, 4);
-  frame->pno = pno;
-  frame->category = cat;
-  frame->dirty = true;
-  frame->last_use = ++tick_;
-  last_touched_ = frame;
-  ++generation_;
+  std::memcpy(data, &none, 4);
   ++page_count_;
   // Extend the file now so page_count derived from size stays consistent
   // even if the frame is evicted later.
-  uint64_t new_size = static_cast<uint64_t>(page_count_) * kPageSize;
-  if (journal_ != nullptr) {
-    TDB_RETURN_NOT_OK(journal_->BeforeTruncate(path_, file_.get(), new_size));
-  }
-  TDB_RETURN_NOT_OK(file_->Truncate(new_size));
+  TDB_RETURN_NOT_OK(GrowFile());
   return pno;
+}
+
+Status Pager::Readahead(uint32_t pno, int n, IoCategory cat) {
+  if (pool_ == nullptr || n <= 0) return Status::OK();
+  for (int i = 0; i < n; ++i) {
+    const uint64_t p = static_cast<uint64_t>(pno) + static_cast<uint64_t>(i);
+    if (p >= page_count_) break;
+    TDB_RETURN_NOT_OK(pool_->Prefetch(this, static_cast<uint32_t>(p), cat));
+  }
+  return Status::OK();
 }
 
 Status Pager::Sync() {
@@ -192,15 +307,17 @@ Status Pager::Sync() {
 }
 
 Status Pager::Flush() {
+  if (pool_ != nullptr) return pool_->Flush(this);
   for (Frame& frame : frames_) TDB_RETURN_NOT_OK(FlushFrame(&frame));
   return Status::OK();
 }
 
 Status Pager::FlushAndDrop() {
+  if (pool_ != nullptr) return pool_->FlushAndDrop(this);
   TDB_RETURN_NOT_OK(Flush());
   for (Frame& frame : frames_) frame.pno = kNoPage;
   last_touched_ = nullptr;
-  ++generation_;
+  BumpGeneration();
   return Status::OK();
 }
 
@@ -208,23 +325,31 @@ Status Pager::Reset() {
   if (journal_ != nullptr) {
     TDB_RETURN_NOT_OK(journal_->BeforeTruncate(path_, file_.get(), 0));
   }
-  for (Frame& frame : frames_) {
-    frame.pno = kNoPage;
-    frame.dirty = false;
+  if (pool_ != nullptr) {
+    pool_->DiscardAll(this);
+  } else {
+    for (Frame& frame : frames_) {
+      frame.pno = kNoPage;
+      frame.dirty = false;
+    }
+    last_touched_ = nullptr;
   }
-  last_touched_ = nullptr;
-  ++generation_;
+  BumpGeneration();
   page_count_ = 0;
   return file_->Truncate(0);
 }
 
 void Pager::DiscardAll() {
-  for (Frame& frame : frames_) {
-    frame.pno = kNoPage;
-    frame.dirty = false;
+  if (pool_ != nullptr) {
+    pool_->DiscardAll(this);
+  } else {
+    for (Frame& frame : frames_) {
+      frame.pno = kNoPage;
+      frame.dirty = false;
+    }
+    last_touched_ = nullptr;
   }
-  last_touched_ = nullptr;
-  ++generation_;
+  BumpGeneration();
 }
 
 }  // namespace tdb

@@ -1,6 +1,7 @@
 #ifndef CHRONOQUEL_STORAGE_PAGER_H_
 #define CHRONOQUEL_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,26 @@
 
 namespace tdb {
 
+class BufferPool;
+
+/// Production-storage knobs for one file (ROADMAP item 3).  The defaults
+/// reproduce the paper's measurement discipline exactly: 1024-byte pages,
+/// no checksums, private frames, no readahead.
+struct StorageOptions {
+  /// Bytes per page.  1024 is the paper's mandated size; production uses
+  /// 4096.  Must be in [512, 65536] and a multiple of 256.
+  uint32_t page_size = kPageSize;
+  /// CRC32-stamp every page in a 4-byte trailer (reusing the journal's
+  /// CRC32), verified on every load.  Costs 4 bytes of usable space.
+  bool checksum = false;
+  /// Shared buffer pool; when set the pager keeps NO private frames and
+  /// every page lives in the pool (its page_size must match).
+  BufferPool* pool = nullptr;
+  /// History-chain readahead depth in pages (pool mode only; 0 = off).
+  /// Plumbed to Relation, which prefetches ahead of segment chain walks.
+  int readahead = 0;
+};
+
 /// Page-granularity access to one relation file through a small pool of
 /// buffer frames (LRU).  The default — and the paper's measurement
 /// discipline — is a SINGLE frame: "allocated only 1 buffer for each user
@@ -27,6 +48,11 @@ namespace tdb {
 ///    (tagged with the caller-supplied category).
 ///  * Writes are buffered in the frame and cost one write when the dirty
 ///    frame is evicted or flushed.
+///
+/// With `StorageOptions::pool` set, the frames live in a process-shared
+/// BufferPool instead of this pager; the accounting rules and this file's
+/// IoCounters are unchanged (and bit-identical to the private single-frame
+/// pager when the pool is capped at 1 frame per file).
 class Pager {
  public:
   /// Opens (or creates empty) the file at `path` within `env`.  `counters`
@@ -34,13 +60,15 @@ class Pager {
   /// may be null (no durability): when set, the pre-image of every page
   /// overwritten in place is journaled before the write, and file
   /// creation / growth / truncation is recorded so a rollback can undo it.
-  /// Journal traffic never touches `counters`.
+  /// Journal traffic never touches `counters`.  `sopts` selects the
+  /// production storage mode; the default is the paper configuration.
   static Result<std::unique_ptr<Pager>> Open(Env* env, const std::string& path,
                                              IoCounters* counters,
                                              int frames = 1,
-                                             Journal* journal = nullptr);
+                                             Journal* journal = nullptr,
+                                             const StorageOptions& sopts = {});
 
-  ~Pager() { (void)Flush(); }
+  ~Pager();
 
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
@@ -55,12 +83,14 @@ class Pager {
   void MarkDirty();
 
   /// Thread-safe copy-out read for parallel scan workers.  Never disturbs
-  /// the frame pool: a resident page is memcpy'd out (a buffer hit, free),
-  /// anything else is read from the file straight into `out` and counted as
-  /// one page read — exactly what a single-frame serial scan would have
-  /// counted for that page.  Guarded by an internal mutex so workers of one
-  /// parallel pipeline may share the pager; the serial ReadPage path takes
-  /// no lock and is byte-for-byte unchanged.
+  /// the resident frame state: a resident page is memcpy'd out (a buffer
+  /// hit, free), anything else is read from the file straight into `out`
+  /// and counted as one page read — exactly what a single-frame serial
+  /// scan would have counted for that page.  In private-frame mode an
+  /// internal mutex serializes the workers of one parallel pipeline while
+  /// the serial ReadPage path stays lock-free; in pool mode the shared
+  /// pool's mutex serializes everything, so workers of DIFFERENT files are
+  /// also safe against each other and against pool eviction.
   Status ReadPageInto(uint32_t pno, IoCategory cat, uint8_t* out);
 
   /// Coordinator-only repair after a parallel scan: makes `pno` the
@@ -79,6 +109,11 @@ class Pager {
   /// Appends a fresh zeroed page, loads it into a frame, and returns its
   /// page number.  The new page is dirty.
   Result<uint32_t> AllocatePage(IoCategory cat);
+
+  /// Pool-mode readahead: loads pages [pno, pno+n) that are not already
+  /// resident, each counted as one read, without moving this pager's
+  /// pinned frame.  No-op in private-frame mode or past EOF.
+  Status Readahead(uint32_t pno, int n, IoCategory cat);
 
   /// Writes back every dirty frame.
   Status Flush();
@@ -100,22 +135,44 @@ class Pager {
   uint32_t page_count() const { return page_count_; }
   const std::string& path() const { return path_; }
   IoCounters* counters() const { return counters_; }
-  int num_frames() const { return static_cast<int>(frames_.size()); }
+
+  /// Bytes per page on disk.
+  uint32_t page_size() const { return page_size_; }
+  /// Bytes per page available to records (page_size minus the CRC trailer
+  /// when checksums are on).  Page views must be built with this.
+  uint32_t usable_size() const { return usable_size_; }
+  /// Readahead depth requested for this file (0 = off).
+  int readahead() const { return readahead_; }
+  BufferPool* pool() const { return pool_; }
+
+  /// Resident-page budget: the private frame count, or the pool's per-file
+  /// cap in pool mode (0 = uncapped).  Parallel-scan planning requires 1 —
+  /// the I/O-replay bracketing is derived for single-frame replacement,
+  /// which a pool capped at 1 frame/file reproduces exactly.
+  int num_frames() const {
+    return pool_ != nullptr ? pool_cap_ : static_cast<int>(frames_.size());
+  }
 
   /// Monotonic count of frame-content changes: bumped whenever any frame is
   /// (re)loaded, allocated, or invalidated (ReadPage miss, AllocatePage,
-  /// FlushAndDrop, DiscardAll, Reset).  A frame pointer returned by
-  /// ReadPage — and every record slice cut from it — is valid only while
-  /// the generation is unchanged; batch consumers snapshot it and assert
-  /// (debug builds) before dereferencing their slices.
-  uint64_t generation() const { return generation_; }
+  /// FlushAndDrop, DiscardAll, Reset — and, in pool mode, whenever the
+  /// shared pool recycles one of this file's frames for another file).  A
+  /// frame pointer returned by ReadPage — and every record slice cut from
+  /// it — is valid only while the generation is unchanged; batch consumers
+  /// snapshot it and assert (debug builds) before dereferencing their
+  /// slices.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
 
   /// Truncates to zero pages (used by `modify`, which rebuilds the file).
   Status Reset();
 
  private:
+  friend class BufferPool;
+
   struct Frame {
-    uint8_t data[kPageSize];
+    std::vector<uint8_t> data;
     uint32_t pno = kNoPage;
     bool dirty = false;
     IoCategory category = IoCategory::kData;
@@ -124,13 +181,7 @@ class Pager {
 
   Pager(std::unique_ptr<RandomRWFile> file, std::string path,
         IoCounters* counters, uint32_t page_count, int frames,
-        Journal* journal)
-      : file_(std::move(file)),
-        path_(std::move(path)),
-        counters_(counters),
-        journal_(journal),
-        page_count_(page_count),
-        frames_(static_cast<size_t>(frames)) {}
+        Journal* journal, const StorageOptions& sopts);
 
   void Count(bool write, IoCategory cat, uint32_t pno);
 
@@ -146,19 +197,42 @@ class Pager {
   Result<Frame*> EvictableFrame();
   Status FlushFrame(Frame* frame);
 
+  // Shared between the private-frame path and the BufferPool.
+  /// Journal hook + checksum stamp + file write + write count for `pno`.
+  Status WriteBack(uint32_t pno, uint8_t* data, IoCategory cat);
+  /// File read (+ checksum verify) into `out`; counted when `count`.
+  Status LoadFrom(uint32_t pno, uint8_t* out, bool count, IoCategory cat);
+  /// Journal hook + truncate backing the page_count_ extension of
+  /// AllocatePage.
+  Status GrowFile();
+  void NoteRequest(bool hit);
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void StampChecksum(uint8_t* data) const;
+  Status VerifyChecksum(const uint8_t* data, uint32_t pno) const;
+
   std::unique_ptr<RandomRWFile> file_;
   /// Serializes ReadPageInto between parallel scan workers (frame lookup,
-  /// file read, counter bump).  The serial single-thread paths never take
-  /// it.
+  /// file read, counter bump) in private-frame mode.  The serial
+  /// single-thread paths never take it; pool mode synchronizes through the
+  /// pool's own mutex instead.
   std::mutex mu_;
   std::string path_;
   IoCounters* counters_;
   Journal* journal_;
   uint32_t page_count_;
+  uint32_t page_size_;
+  uint32_t usable_size_;
+  bool checksum_ = false;
+  BufferPool* pool_ = nullptr;
+  int pool_cap_ = 0;
+  int readahead_ = 0;
   std::vector<Frame> frames_;
   Frame* last_touched_ = nullptr;
   uint64_t tick_ = 0;
-  uint64_t generation_ = 0;
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace tdb

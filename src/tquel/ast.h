@@ -191,6 +191,7 @@ struct Statement {
     kCopy,
     kHelp,
     kExplain,
+    kVacuum,
   };
   explicit Statement(Kind k) : kind(k) {}
   virtual ~Statement() = default;
@@ -278,6 +279,16 @@ struct CreateStmt : Statement {
 struct DestroyStmt : Statement {
   DestroyStmt() : Statement(Kind::kDestroy) {}
   std::string relation;
+};
+
+/// `vacuum R [before e]` — history maintenance for a two-level relation:
+/// migrates every history version whose end stamp precedes `e` (default:
+/// now) out of the active history store into cold segment files, keeping
+/// the hot store small.  Queries keep seeing every version.
+struct VacuumStmt : Statement {
+  VacuumStmt() : Statement(Kind::kVacuum) {}
+  std::string relation;
+  std::unique_ptr<TemporalExpr> before;  // null: everything before now
 };
 
 /// `modify R to heap | hash on k | isam on k [where fillfactor = n

@@ -46,6 +46,7 @@ class ParserImpl {
     if (t.IsKeyword("copy")) return ParseCopy();
     if (t.IsKeyword("help")) return ParseHelp();
     if (t.IsKeyword("explain")) return ParseExplain();
+    if (t.IsKeyword("vacuum")) return ParseVacuum();
     return Err("unknown statement '" + t.text + "'");
   }
 
@@ -103,7 +104,7 @@ class ParserImpl {
     static const char* kStarters[] = {"range",  "retrieve", "append",
                                       "delete", "replace",  "create",
                                       "destroy", "modify",  "index", "copy",
-                                      "help",   "explain"};
+                                      "help",   "explain",  "vacuum"};
     for (const char* kw : kStarters) {
       if (t.IsKeyword(kw)) return true;
     }
@@ -197,6 +198,16 @@ class ParserImpl {
     Advance();  // destroy
     auto stmt = std::make_unique<DestroyStmt>();
     TDB_ASSIGN_OR_RETURN(stmt->relation, ExpectIdent("a relation name"));
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  Result<std::unique_ptr<Statement>> ParseVacuum() {
+    Advance();  // vacuum
+    auto stmt = std::make_unique<VacuumStmt>();
+    TDB_ASSIGN_OR_RETURN(stmt->relation, ExpectIdent("a relation name"));
+    if (ConsumeKeyword("before")) {
+      TDB_ASSIGN_OR_RETURN(stmt->before, ParseTemporalExpr());
+    }
     return std::unique_ptr<Statement>(std::move(stmt));
   }
 

@@ -149,6 +149,12 @@ std::string PrintStatement(const Statement& stmt) {
       const auto& s = static_cast<const DestroyStmt&>(stmt);
       return "destroy " + s.relation;
     }
+    case Statement::Kind::kVacuum: {
+      const auto& s = static_cast<const VacuumStmt&>(stmt);
+      std::string out = "vacuum " + s.relation;
+      if (s.before != nullptr) out += " before " + s.before->ToString();
+      return out;
+    }
     case Statement::Kind::kModify: {
       const auto& s = static_cast<const ModifyStmt&>(stmt);
       std::string out = "modify " + s.relation + " to ";

@@ -7,6 +7,12 @@
 // replays the same contract with randomized crash points, torn-write sizes,
 // and durability modes; failures dump the seed and the journal image to
 // $TDB_CRASH_ARTIFACT_DIR for CI to upload.
+//
+// Production storage mode rides the same machinery: a second matrix runs
+// the workload on 4096-byte pages, and a dedicated sweep crashes a vacuum
+// migration at every op index — recovery must restore the pre-vacuum image
+// or complete the statement, idempotently, including deleting segment
+// files the crashed vacuum created mid-batch.
 
 #include <gtest/gtest.h>
 
@@ -45,6 +51,38 @@ const std::vector<std::string>& Script() {
   return kScript;
 }
 
+// History-maintenance workload: builds a two-level store with retired
+// versions, vacuums it twice (the second onto existing segments, under an
+// epoch partition policy so several segment files exist), keeps mutating
+// between the vacuums, and finally destroys the relation so segment-file
+// deletion is journaled too.
+const std::vector<std::string>& VacuumScript() {
+  static const std::vector<std::string> kScript = {
+      "create persistent emp (name = c8, sal = i4)",
+      "append to emp (name = \"ada\", sal = 100)",
+      "append to emp (name = \"bob\", sal = 200)",
+      "modify emp to twolevel hash on name where fillfactor = 100",
+      "range of e is emp",
+      "replace e (sal = e.sal + 1)",
+      "replace e (sal = e.sal + 1)",
+      "vacuum emp",
+      "append to emp (name = \"kay\", sal = 300)",
+      "replace e (sal = e.sal + 2) where e.name = \"kay\"",
+      "vacuum emp",
+      "destroy emp",
+  };
+  return kScript;
+}
+
+/// One crash-matrix configuration: the statement script plus the storage
+/// levers under test (everything else is the paper default).
+struct RunConfig {
+  const std::vector<std::string>* script = &Script();
+  DurabilityMode mode = DurabilityMode::kJournal;
+  uint32_t page_size = 0;        // 0 = paper 1024
+  std::string vacuum_partition;  // "" = single
+};
+
 /// Byte-level digest of a database directory, minus the journal (recovery
 /// owns that file; its content is not database state).
 std::string Digest(Env* env, const std::string& dir) {
@@ -66,22 +104,24 @@ std::string Digest(Env* env, const std::string& dir) {
   return out;
 }
 
-DatabaseOptions Opts(Env* env, DurabilityMode mode) {
+DatabaseOptions Opts(Env* env, const RunConfig& config) {
   DatabaseOptions options;
   options.env = env;
-  options.durability = mode;
+  options.durability = config.mode;
+  options.page_size = config.page_size;
+  options.vacuum_partition = config.vacuum_partition;
   return options;
 }
 
 /// Statement-boundary digests from a fault-free run: digests[0] is the
 /// post-Open state, digests[s] the state after statement s (1-based).
-std::vector<std::string> BoundaryDigests(DurabilityMode mode) {
+std::vector<std::string> BoundaryDigests(const RunConfig& config) {
   MemEnv env;
-  auto db = Database::Open("/db", Opts(&env, mode));
+  auto db = Database::Open("/db", Opts(&env, config));
   EXPECT_TRUE(db.ok()) << db.status().ToString();
   std::vector<std::string> digests;
   digests.push_back(Digest(&env, "/db"));
-  for (const std::string& stmt : Script()) {
+  for (const std::string& stmt : *config.script) {
     auto r = (*db)->Execute(stmt);
     EXPECT_TRUE(r.ok()) << stmt << " -> " << r.status().ToString();
     digests.push_back(Digest(&env, "/db"));
@@ -91,14 +131,14 @@ std::vector<std::string> BoundaryDigests(DurabilityMode mode) {
 
 /// Cumulative mutating-op counts from a fault-free run under FaultEnv:
 /// ops[0] after Open, ops[s] after statement s.
-std::vector<uint64_t> BoundaryOps(DurabilityMode mode) {
+std::vector<uint64_t> BoundaryOps(const RunConfig& config) {
   MemEnv base;
   FaultEnv fault(&base);
-  auto db = Database::Open("/db", Opts(&fault, mode));
+  auto db = Database::Open("/db", Opts(&fault, config));
   EXPECT_TRUE(db.ok()) << db.status().ToString();
   std::vector<uint64_t> ops;
   ops.push_back(fault.op_count());
-  for (const std::string& stmt : Script()) {
+  for (const std::string& stmt : *config.script) {
     auto r = (*db)->Execute(stmt);
     EXPECT_TRUE(r.ok()) << stmt << " -> " << r.status().ToString();
     ops.push_back(fault.op_count());
@@ -111,16 +151,16 @@ std::vector<uint64_t> BoundaryOps(DurabilityMode mode) {
 /// that many bytes of the crashing write.  The digest is computed after a
 /// second reopen, so the test also proves recovery leaves a state that
 /// recovery accepts as final (idempotence).
-std::string CrashRunAndRecover(uint64_t k, uint64_t torn, DurabilityMode mode,
+std::string CrashRunAndRecover(const RunConfig& config, uint64_t k, uint64_t torn,
                                std::string* journal_image_out) {
   MemEnv base;
   {
     FaultEnv fault(&base);
     fault.CrashAt(k);
     if (torn > 0) fault.set_torn_write_bytes(torn);
-    auto db = Database::Open("/db", Opts(&fault, mode));
+    auto db = Database::Open("/db", Opts(&fault, config));
     if (db.ok()) {
-      for (const std::string& stmt : Script()) {
+      for (const std::string& stmt : *config.script) {
         if (!(*db)->Execute(stmt).ok()) break;  // frozen env: stop at error
       }
     }
@@ -134,13 +174,13 @@ std::string CrashRunAndRecover(uint64_t k, uint64_t torn, DurabilityMode mode,
   // Reopen twice on the healthy env: the first Open recovers, the second
   // must find nothing left to do (idempotence at the API level).
   {
-    auto db = Database::Open("/db", Opts(&base, mode));
+    auto db = Database::Open("/db", Opts(&base, config));
     EXPECT_TRUE(db.ok()) << "reopen after crash at op " << k << ": "
                          << db.status().ToString();
   }
   std::string digest = Digest(&base, "/db");
   {
-    auto db = Database::Open("/db", Opts(&base, mode));
+    auto db = Database::Open("/db", Opts(&base, config));
     EXPECT_TRUE(db.ok()) << "second reopen after crash at op " << k;
   }
   EXPECT_EQ(digest, Digest(&base, "/db"))
@@ -156,7 +196,8 @@ size_t StatementOfOp(const std::vector<uint64_t>& ops, uint64_t k) {
   return ops.size();  // past the last op (no crash triggers)
 }
 
-void ExpectBoundaryState(const std::vector<std::string>& digests,
+void ExpectBoundaryState(const RunConfig& config,
+                         const std::vector<std::string>& digests,
                          const std::vector<uint64_t>& ops, uint64_t k,
                          const std::string& recovered, const char* what) {
   size_t s = StatementOfOp(ops, k);
@@ -173,30 +214,64 @@ void ExpectBoundaryState(const std::vector<std::string>& digests,
   }
   EXPECT_TRUE(recovered == digests[s - 1] || recovered == digests[s])
       << what << ": crash at op " << k << " during statement " << s << " ('"
-      << Script()[s - 1] << "') recovered to neither the pre- nor the "
-      << "post-statement state";
+      << (*config.script)[s - 1] << "') recovered to neither the pre- nor "
+      << "the post-statement state";
 }
 
-TEST(CrashRecoveryMatrixTest, EveryOpIndexRecoversToAStatementBoundary) {
-  const DurabilityMode mode = DurabilityMode::kJournal;
-  std::vector<std::string> digests = BoundaryDigests(mode);
-  std::vector<uint64_t> ops = BoundaryOps(mode);
+/// The shared every-op sweep: crash at each mutating op index of a
+/// fault-free run, recover, and demand a statement-boundary image.
+void RunFullMatrix(const RunConfig& config, const char* what) {
+  std::vector<std::string> digests = BoundaryDigests(config);
+  std::vector<uint64_t> ops = BoundaryOps(config);
   ASSERT_EQ(digests.size(), ops.size());
   ASSERT_FALSE(::testing::Test::HasFailure());
 
   const uint64_t total = ops.back();
   ASSERT_GT(total, 50u) << "workload too small to be a meaningful matrix";
   for (uint64_t k = 0; k < total; ++k) {
-    std::string recovered = CrashRunAndRecover(k, /*torn=*/0, mode, nullptr);
-    ExpectBoundaryState(digests, ops, k, recovered, "matrix");
+    std::string recovered = CrashRunAndRecover(config, k, /*torn=*/0, nullptr);
+    ExpectBoundaryState(config, digests, ops, k, recovered, what);
     if (::testing::Test::HasFailure()) break;  // one failure says it all
   }
 }
 
+TEST(CrashRecoveryMatrixTest, EveryOpIndexRecoversToAStatementBoundary) {
+  RunFullMatrix(RunConfig{}, "matrix");
+}
+
+// The identical contract on 4096-byte production pages: every journal
+// pre-image carries its own length, so recovery restores big pages without
+// any out-of-band page-size knowledge.
+TEST(CrashRecoveryMatrixTest, EveryOpIndexRecoversOn4096BytePages) {
+  RunConfig config;
+  config.page_size = 4096;
+  RunFullMatrix(config, "matrix-4096");
+}
+
+// Vacuum crash sweep: a crash at ANY op of a vacuum migration — including
+// segment-file creation, chain rewrites, anchor patches, erases from the
+// active history store, and the catalog update — must recover to the
+// pre-vacuum image or the completed vacuum, never a half-migrated chain.
+TEST(VacuumCrashSweepTest, EveryOpIndexRecoversToAStatementBoundary) {
+  RunConfig config;
+  config.script = &VacuumScript();
+  config.vacuum_partition = "epoch:2";
+  RunFullMatrix(config, "vacuum-sweep");
+}
+
+// The vacuum sweep again on 4096-byte pages (the production combination).
+TEST(VacuumCrashSweepTest, EveryOpIndexRecoversOn4096BytePages) {
+  RunConfig config;
+  config.script = &VacuumScript();
+  config.vacuum_partition = "epoch:2";
+  config.page_size = 4096;
+  RunFullMatrix(config, "vacuum-sweep-4096");
+}
+
 TEST(CrashRecoveryMatrixTest, CrashDuringRecoveryStaysRecoverable) {
-  const DurabilityMode mode = DurabilityMode::kJournal;
-  std::vector<std::string> digests = BoundaryDigests(mode);
-  std::vector<uint64_t> ops = BoundaryOps(mode);
+  RunConfig config;
+  std::vector<std::string> digests = BoundaryDigests(config);
+  std::vector<uint64_t> ops = BoundaryOps(config);
   ASSERT_FALSE(::testing::Test::HasFailure());
 
   // Crash mid-append of statement 2 (one op past its first), leaving a
@@ -211,9 +286,9 @@ TEST(CrashRecoveryMatrixTest, CrashDuringRecoveryStaysRecoverable) {
     {
       FaultEnv fault(&replay);
       fault.CrashAt(k);
-      auto db = Database::Open("/db", Opts(&fault, mode));
+      auto db = Database::Open("/db", Opts(&fault, config));
       if (db.ok()) {
-        for (const std::string& stmt : Script()) {
+        for (const std::string& stmt : *config.script) {
           if (!(*db)->Execute(stmt).ok()) break;
         }
       }
@@ -228,11 +303,11 @@ TEST(CrashRecoveryMatrixTest, CrashDuringRecoveryStaysRecoverable) {
     }
     EXPECT_FALSE(first.ok()) << "recovery crashed at op " << j
                              << " but reported success";
-    auto db = Database::Open("/db", Opts(&replay, mode));
+    auto db = Database::Open("/db", Opts(&replay, config));
     ASSERT_TRUE(db.ok()) << "re-recovery failed after recovery crash at op "
                          << j << ": " << db.status().ToString();
     std::string recovered = Digest(&replay, "/db");
-    ExpectBoundaryState(digests, ops, k, recovered, "double-crash");
+    ExpectBoundaryState(config, digests, ops, k, recovered, "double-crash");
     ASSERT_FALSE(::testing::Test::HasFailure());
   }
 }
@@ -246,18 +321,19 @@ TEST(CrashRecoverySeededTest, RandomFaultSchedules) {
   }
   const char* artifact_dir = std::getenv("TDB_CRASH_ARTIFACT_DIR");
 
-  std::vector<std::string> digests_j = BoundaryDigests(DurabilityMode::kJournal);
-  std::vector<uint64_t> ops_j = BoundaryOps(DurabilityMode::kJournal);
-  std::vector<std::string> digests_s =
-      BoundaryDigests(DurabilityMode::kJournalSync);
-  std::vector<uint64_t> ops_s = BoundaryOps(DurabilityMode::kJournalSync);
+  RunConfig config_j;
+  RunConfig config_s;
+  config_s.mode = DurabilityMode::kJournalSync;
+  std::vector<std::string> digests_j = BoundaryDigests(config_j);
+  std::vector<uint64_t> ops_j = BoundaryOps(config_j);
+  std::vector<std::string> digests_s = BoundaryDigests(config_s);
+  std::vector<uint64_t> ops_s = BoundaryOps(config_s);
   ASSERT_FALSE(::testing::Test::HasFailure());
 
   for (int seed = 0; seed < seeds; ++seed) {
     std::mt19937 rng(static_cast<uint32_t>(seed) * 2654435761u + 1);
     const bool sync_mode = (rng() & 1) != 0;
-    const DurabilityMode mode =
-        sync_mode ? DurabilityMode::kJournalSync : DurabilityMode::kJournal;
+    const RunConfig& config = sync_mode ? config_s : config_j;
     const auto& digests = sync_mode ? digests_s : digests_j;
     const auto& ops = sync_mode ? ops_s : ops_j;
     const uint64_t total = ops.back();
@@ -266,20 +342,20 @@ TEST(CrashRecoverySeededTest, RandomFaultSchedules) {
     const uint64_t torn = (rng() & 1) != 0 ? 1 + rng() % 1023 : 0;
 
     std::string journal_image;
-    std::string recovered = CrashRunAndRecover(k, torn, mode, &journal_image);
-    ExpectBoundaryState(digests, ops, k, recovered, "seeded");
+    std::string recovered = CrashRunAndRecover(config, k, torn, &journal_image);
+    ExpectBoundaryState(config, digests, ops, k, recovered, "seeded");
     if (::testing::Test::HasFailure()) {
       if (artifact_dir != nullptr) {
         std::ofstream info(std::string(artifact_dir) + "/failing_seed.txt");
         info << "seed=" << seed << " crash_at=" << k << " torn=" << torn
-             << " mode=" << DurabilityModeName(mode) << "\n";
+             << " mode=" << DurabilityModeName(config.mode) << "\n";
         std::ofstream journal(std::string(artifact_dir) + "/journal.bin",
                               std::ios::binary);
         journal.write(journal_image.data(),
                       static_cast<std::streamsize>(journal_image.size()));
       }
       FAIL() << "seed " << seed << " (crash_at=" << k << ", torn=" << torn
-             << ", mode=" << DurabilityModeName(mode) << ") failed";
+             << ", mode=" << DurabilityModeName(config.mode) << ") failed";
     }
   }
 }
@@ -289,7 +365,9 @@ TEST(CrashRecoverySeededTest, RandomFaultSchedules) {
 TEST(CrashRecoveryTest, FailedCommitSyncRollsBackStatement) {
   MemEnv base;
   FaultEnv fault(&base);
-  auto db = Database::Open("/db", Opts(&fault, DurabilityMode::kJournalSync));
+  RunConfig config;
+  config.mode = DurabilityMode::kJournalSync;
+  auto db = Database::Open("/db", Opts(&fault, config));
   ASSERT_TRUE(db.ok()) << db.status().ToString();
   ASSERT_TRUE((*db)->Execute("create persistent emp (name = c8, sal = i4)")
                   .ok());

@@ -39,11 +39,11 @@ TEST_F(HashFileTest, CreateFormatsPrimaryBuckets) {
 TEST_F(HashFileTest, BucketsForMatchesPaperSizing) {
   // 1024 temporal tuples (124 bytes, 8/page): 128 buckets at 100%, 256 at
   // 50% — the paper's primary page counts.
-  EXPECT_EQ(HashFile::BucketsFor(1024, 124, 100), 128u);
-  EXPECT_EQ(HashFile::BucketsFor(1024, 124, 50), 256u);
+  EXPECT_EQ(HashFile::BucketsFor(1024, 124, kPageSize, 100), 128u);
+  EXPECT_EQ(HashFile::BucketsFor(1024, 124, kPageSize, 50), 256u);
   // 1024 static tuples (108 bytes, 9/page) at 100%: 114 pages.
-  EXPECT_EQ(HashFile::BucketsFor(1024, 108, 100), 114u);
-  EXPECT_GE(HashFile::BucketsFor(0, 124, 100), 1u);
+  EXPECT_EQ(HashFile::BucketsFor(1024, 108, kPageSize, 100), 114u);
+  EXPECT_GE(HashFile::BucketsFor(0, 124, kPageSize, 100), 1u);
 }
 
 TEST_F(HashFileTest, DivisionHashingSpreadsSequentialKeys) {

@@ -1,5 +1,11 @@
 // Tests of the single-frame pager: the paper's "1 buffer per relation"
-// accounting discipline.
+// accounting discipline.  Every test here runs the PRIVATE-frame mode (no
+// shared pool), so the per-file counter assertions are exact statements
+// about one file's single frame; the pool-mode equivalents — including the
+// proof that a pool capped at 1 frame/file reproduces these counters bit
+// for bit, and the stale-frame-pointer generation regression — live in
+// buffer_pool_test.cc.  The production page-size and checksum levers are
+// per-file StorageOptions, so their contracts are pinned here.
 
 #include "storage/pager.h"
 
@@ -143,6 +149,100 @@ TEST_F(PagerTest, ResetTruncates) {
   (void)pager->AllocatePage(IoCategory::kData);
   ASSERT_TRUE(pager->Reset().ok());
   EXPECT_EQ(pager->page_count(), 0u);
+}
+
+TEST_F(PagerTest, ConfigurablePageSizeRoundTrips) {
+  StorageOptions sopts;
+  sopts.page_size = 4096;
+  {
+    auto pager = Pager::Open(&env_, "/big", &counters_, 1, nullptr, sopts);
+    ASSERT_TRUE(pager.ok());
+    EXPECT_EQ((*pager)->page_size(), 4096u);
+    EXPECT_EQ((*pager)->usable_size(), 4096u);  // no checksum trailer
+    auto pno = (*pager)->AllocatePage(IoCategory::kData);
+    ASSERT_TRUE(pno.ok());
+    auto frame = (*pager)->ReadPage(*pno, IoCategory::kData);
+    ASSERT_TRUE(frame.ok());
+    (*frame)[4000] = 0x5A;  // past the 1024-byte boundary
+    (*pager)->MarkDirty();
+    ASSERT_TRUE((*pager)->Flush().ok());
+  }
+  auto image = env_.ReadFileToString("/big");
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->size(), 4096u);
+  auto pager = Pager::Open(&env_, "/big", &counters_, 1, nullptr, sopts);
+  ASSERT_TRUE(pager.ok());
+  EXPECT_EQ((*pager)->page_count(), 1u);
+  auto frame = (*pager)->ReadPage(0, IoCategory::kData);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ((*frame)[4000], 0x5A);
+}
+
+TEST_F(PagerTest, PageSizeMisalignedFileRejected) {
+  // A paper-sized (1024-byte) file is not a whole number of 4096-byte
+  // pages; opening it at the wrong page size must fail, not shear pages.
+  {
+    auto pager = Open("a");
+    (void)pager->AllocatePage(IoCategory::kData);
+    ASSERT_TRUE(pager->Flush().ok());
+  }
+  StorageOptions sopts;
+  sopts.page_size = 4096;
+  EXPECT_FALSE(Pager::Open(&env_, "/a", &counters_, 1, nullptr, sopts).ok());
+}
+
+TEST_F(PagerTest, ChecksumDetectsCorruption) {
+  StorageOptions sopts;
+  sopts.checksum = true;
+  {
+    auto pager = Pager::Open(&env_, "/ck", &counters_, 1, nullptr, sopts);
+    ASSERT_TRUE(pager.ok());
+    // The CRC trailer costs 4 bytes of record space.
+    EXPECT_EQ((*pager)->usable_size(), (*pager)->page_size() - 4);
+    auto pno = (*pager)->AllocatePage(IoCategory::kData);
+    auto frame = (*pager)->ReadPage(*pno, IoCategory::kData);
+    ASSERT_TRUE(frame.ok());
+    (*frame)[10] = 0x77;
+    (*pager)->MarkDirty();
+    ASSERT_TRUE((*pager)->Flush().ok());
+  }
+  // Intact image verifies on load.
+  {
+    auto pager = Pager::Open(&env_, "/ck", &counters_, 1, nullptr, sopts);
+    ASSERT_TRUE(pager.ok());
+    auto frame = (*pager)->ReadPage(0, IoCategory::kData);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ((*frame)[10], 0x77);
+  }
+  // Flip one byte on disk: the next verified load must fail loudly.
+  auto image = env_.ReadFileToString("/ck");
+  ASSERT_TRUE(image.ok());
+  std::string corrupt = *image;
+  corrupt[10] ^= 0xFF;
+  ASSERT_TRUE(env_.WriteStringToFile("/ck", corrupt).ok());
+  auto pager = Pager::Open(&env_, "/ck", &counters_, 1, nullptr, sopts);
+  ASSERT_TRUE(pager.ok());  // Open does not read data pages
+  EXPECT_FALSE((*pager)->ReadPage(0, IoCategory::kData).ok());
+}
+
+TEST_F(PagerTest, GenerationTracksFrameContentChanges) {
+  auto pager = Open("a");
+  (void)pager->AllocatePage(IoCategory::kData);
+  (void)pager->AllocatePage(IoCategory::kData);
+  ASSERT_TRUE(pager->Flush().ok());
+
+  ASSERT_TRUE(pager->ReadPage(0, IoCategory::kData).ok());
+  uint64_t gen = pager->generation();
+  // A buffer hit leaves every outstanding frame pointer valid.
+  ASSERT_TRUE(pager->ReadPage(0, IoCategory::kData).ok());
+  EXPECT_EQ(pager->generation(), gen);
+  // A miss recycles the single frame: pointers from before are stale.
+  ASSERT_TRUE(pager->ReadPage(1, IoCategory::kData).ok());
+  EXPECT_NE(pager->generation(), gen);
+  // Dropping frames invalidates too, even with no subsequent read.
+  gen = pager->generation();
+  ASSERT_TRUE(pager->FlushAndDrop().ok());
+  EXPECT_NE(pager->generation(), gen);
 }
 
 TEST(IoRegistryTest, ForFileAndTotals) {
