@@ -2,11 +2,12 @@
 // with its own connection and server-side Session, issue a mixed TQuel
 // read/write workload as fast as their round-trips allow.  Reports
 // throughput and latency percentiles per client count as JSON on stdout
-// (scripts/make_bench_server.py merges the durability levels into
-// BENCH_server.json).
+// (scripts/make_bench_server.py merges the sweeps into BENCH_server.json).
 //
 //   ./load_server [--durability=off|journal|sync] [--clients=1,2,4,8]
 //                 [--seconds=2] [--root=DIR] [--read-pct=80]
+//                 [--mode=count|raw|prepared] [--server=thread|epoll]
+//                 [--plan-cache]
 //
 // The server runs in-process over a unix socket, so measured latency is
 // the full client/server stack minus network distance: wire codec, socket
@@ -15,10 +16,26 @@
 // commit has something to share) and reads a random client's relation (so
 // reads cross sessions).  The workload is deterministic per thread: an
 // LCG seeded by the client index picks reads vs writes.
+//
+// Workload modes:
+//   count    — the durability sweep's historical mix: aggregate reads
+//              (count) and literal appends, all as script text.
+//   raw      — parameterizable statements (range predicate reads, value
+//              appends) shipped as full text every time: every round trip
+//              parses, binds, and plans.
+//   prepared — the identical statements prepared once per connection and
+//              executed by name with only the argument values on the
+//              wire (kPrepare / kExecPrepared).  The raw-vs-prepared gap
+//              is the parse+plan share of the round trip; with
+//              --plan-cache the server also skips planning on raw text.
+//
+// Latency is recorded into an obs::Histogram (log2 buckets) and the
+// percentiles come from HistogramSnapshot::Quantile — the same machinery
+// the server's own metrics use, so bench numbers and server metrics are
+// directly comparable (at power-of-two resolution).
 
 #include <unistd.h>
 
-#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -38,6 +55,7 @@ namespace {
 
 using tdb::DatabaseOptions;
 using tdb::DurabilityMode;
+using tdb::Value;
 using tdb::net::Client;
 using tdb::net::DatabaseRegistry;
 using tdb::net::Server;
@@ -56,13 +74,15 @@ double NowSeconds() {
       .count();
 }
 
-/// Latency percentile in milliseconds; `latencies` is sorted.
-double Percentile(const std::vector<double>& latencies, double p) {
-  if (latencies.empty()) return 0.0;
-  const size_t idx = std::min(
-      latencies.size() - 1,
-      static_cast<size_t>(p / 100.0 * static_cast<double>(latencies.size())));
-  return latencies[idx];
+tdb::obs::HistogramSnapshot SnapshotOf(const tdb::obs::Histogram& h) {
+  tdb::obs::HistogramSnapshot s;
+  s.count = h.count();
+  s.sum = h.sum();
+  for (int i = 0; i < tdb::obs::Histogram::kNumBuckets; ++i) {
+    s.buckets.push_back(h.bucket(i));
+  }
+  while (!s.buckets.empty() && s.buckets.back() == 0) s.buckets.pop_back();
+  return s;
 }
 
 struct CellResult {
@@ -71,9 +91,18 @@ struct CellResult {
   uint64_t read_ops = 0;
   uint64_t write_ops = 0;
   double seconds = 0;
-  double p50 = 0, p95 = 0, p99 = 0, max = 0;
+  double p50 = 0, p95 = 0, p99 = 0, max = 0;  // milliseconds
+  double mean = 0;
   uint64_t journal_commits = 0;
   uint64_t journal_group_syncs = 0;
+  // Engine-side work counters for the cell (delta of the database's
+  // metrics registry): how many statements were parsed and how many plans
+  // were built server-side — the savings prepared statements and the plan
+  // cache exist to deliver.
+  uint64_t parses = 0;
+  uint64_t plan_builds = 0;
+  uint64_t plancache_hits = 0;
+  uint64_t plancache_misses = 0;
 };
 
 struct LoadOptions {
@@ -87,6 +116,9 @@ struct LoadOptions {
   /// fsync itself is near-free) needs a window wider than one serialized
   /// write statement; -1 keeps the database default.
   int group_window_us = -1;
+  std::string mode = "count";  // count | raw | prepared
+  bool epoll = false;
+  bool plan_cache = false;
   std::string root;
 };
 
@@ -112,7 +144,7 @@ CellResult RunCell(const LoadOptions& opts, const std::string& socket_path,
 
   std::atomic<bool> stop{false};
   std::atomic<int> failures{0};
-  std::vector<std::vector<double>> latencies(clients);
+  tdb::obs::Histogram latency_us;  // shared: Record is lock-free
   std::vector<std::uint64_t> reads(clients, 0), writes(clients, 0);
   std::vector<std::thread> threads;
   threads.reserve(clients);
@@ -124,16 +156,52 @@ CellResult RunCell(const LoadOptions& opts, const std::string& socket_path,
         failures.fetch_add(1);
         return;
       }
-      // Declare a range variable per relation once; reads reuse them.
+      // Four range variables per relation (a<r>..d<r>) so the join below
+      // can pair relations freely, including one with itself.
       std::string ranges;
       for (int r = 0; r < clients; ++r) {
         if (r > 0) ranges += ";";
         ranges += "range of a" + std::to_string(r) + " is acct" +
                   std::to_string(r);
+        ranges += ";range of b" + std::to_string(r) + " is acct" +
+                  std::to_string(r);
+        ranges += ";range of c" + std::to_string(r) + " is acct" +
+                  std::to_string(r);
+        ranges += ";range of d" + std::to_string(r) + " is acct" +
+                  std::to_string(r);
       }
       if (!(*client)->Execute(ranges).ok()) {
         failures.fetch_add(1);
         return;
+      }
+      // The raw/prepared read: a four-variable equi-join of this client's
+      // relation with its neighbor's under a parameterized range predicate
+      // — enough statement for parsing, binding, and cost-based join
+      // planning (order enumeration over four variables) to be a real
+      // share of the round trip.  That share is exactly what prepared
+      // execution and the plan cache delete.
+      const std::string av = "a" + std::to_string(c) + ".v";
+      const std::string bv = "b" + std::to_string((c + 1) % clients) + ".v";
+      const std::string cv = "c" + std::to_string(c) + ".v";
+      const std::string dv = "d" + std::to_string((c + 1) % clients) + ".v";
+      const std::string join_read = "retrieve (x = " + av + ", y = " + bv +
+                                    ", z = " + cv + ", w = " + dv +
+                                    ") where " + av + " = " + bv + " and " +
+                                    bv + " = " + cv + " and " + cv + " = " +
+                                    dv + " and " + av;
+      // Prepared mode: the join read and the append each prepared once;
+      // the loop ships only argument values.
+      if (opts.mode == "prepared") {
+        auto p = (*client)->Prepare("rd", join_read + " >= $1 and " + av +
+                                              " <= $2");
+        if (p.ok()) {
+          p = (*client)->Prepare(
+              "wr", "append to acct" + std::to_string(c) + " (v = $1)");
+        }
+        if (!p.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
       }
       uint64_t rng = 0x9E3779B97F4A7C15ull * (c + 1);
       int seq = 0;
@@ -141,23 +209,45 @@ CellResult RunCell(const LoadOptions& opts, const std::string& socket_path,
         rng = rng * 6364136223846793005ull + 1442695040888963407ull;
         const bool read =
             static_cast<int>((rng >> 33) % 100) < opts.read_pct;
-        std::string statement;
-        if (read) {
-          const int target = static_cast<int>((rng >> 13) % clients);
-          statement = "retrieve (n = count(a" + std::to_string(target) +
-                      ".v))";
-        } else {
-          statement = "append to acct" + std::to_string(c) +
-                      " (v = " + std::to_string(seq++) + ")";
-        }
+        const int target = static_cast<int>((rng >> 13) % clients);
+        const int lo = static_cast<int>((rng >> 21) % 256);
+        bool ok = false;
         const double start = NowSeconds();
-        auto result = (*client)->Execute(statement);
-        const double elapsed_ms = (NowSeconds() - start) * 1e3;
-        if (!result.ok()) {
+        if (opts.mode == "prepared") {
+          ok = read ? (*client)
+                          ->ExecutePrepared("rd", {Value::Int4(lo),
+                                                   Value::Int4(lo + 16)})
+                          .ok()
+                    : (*client)
+                          ->ExecutePrepared("wr", {Value::Int4(seq++)})
+                          .ok();
+        } else {
+          std::string statement;
+          if (opts.mode == "raw") {
+            if (read) {
+              statement = join_read + " >= " + std::to_string(lo) + " and " +
+                          av + " <= " + std::to_string(lo + 16);
+            } else {
+              statement = "append to acct" + std::to_string(c) +
+                          " (v = " + std::to_string(seq++) + ")";
+            }
+          } else {  // count: the historical durability-sweep mix
+            if (read) {
+              statement = "retrieve (n = count(a" + std::to_string(target) +
+                          ".v))";
+            } else {
+              statement = "append to acct" + std::to_string(c) +
+                          " (v = " + std::to_string(seq++) + ")";
+            }
+          }
+          ok = (*client)->Execute(statement).ok();
+        }
+        const double elapsed_us = (NowSeconds() - start) * 1e6;
+        if (!ok) {
           failures.fetch_add(1);
           return;
         }
-        latencies[c].push_back(elapsed_ms);
+        latency_us.Record(static_cast<uint64_t>(elapsed_us));
         (read ? reads[c] : writes[c])++;
       }
     });
@@ -176,18 +266,19 @@ CellResult RunCell(const LoadOptions& opts, const std::string& socket_path,
   CellResult cell;
   cell.clients = clients;
   cell.seconds = elapsed;
-  std::vector<double> all;
   for (int c = 0; c < clients; ++c) {
-    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
     cell.read_ops += reads[c];
     cell.write_ops += writes[c];
   }
-  cell.ops = all.size();
-  std::sort(all.begin(), all.end());
-  cell.p50 = Percentile(all, 50);
-  cell.p95 = Percentile(all, 95);
-  cell.p99 = Percentile(all, 99);
-  cell.max = all.empty() ? 0 : all.back();
+  const tdb::obs::HistogramSnapshot lat = SnapshotOf(latency_us);
+  cell.ops = lat.count;
+  cell.p50 = static_cast<double>(lat.Quantile(50)) / 1e3;
+  cell.p95 = static_cast<double>(lat.Quantile(95)) / 1e3;
+  cell.p99 = static_cast<double>(lat.Quantile(99)) / 1e3;
+  cell.max = static_cast<double>(lat.Quantile(100)) / 1e3;
+  cell.mean = lat.count == 0 ? 0
+                             : static_cast<double>(lat.sum) /
+                                   static_cast<double>(lat.count) / 1e3;
   const auto counters_after = (*db)->Snapshot().counters;
   auto delta = [&](const char* name) -> uint64_t {
     const auto before = counters_before.find(name);
@@ -198,6 +289,10 @@ CellResult RunCell(const LoadOptions& opts, const std::string& socket_path,
   };
   cell.journal_commits = delta("journal.commits");
   cell.journal_group_syncs = delta("journal.group_syncs");
+  cell.parses = delta("sql.parses");
+  cell.plan_builds = delta("plan.builds");
+  cell.plancache_hits = delta("plancache.hits");
+  cell.plancache_misses = delta("plancache.misses");
   return cell;
 }
 
@@ -235,6 +330,15 @@ int main(int argc, char** argv) {
       opts.read_pct = std::atoi(arg.c_str() + 11);
     } else if (arg.rfind("--group-window-us=", 0) == 0) {
       opts.group_window_us = std::atoi(arg.c_str() + 18);
+    } else if (arg == "--mode=count" || arg == "--mode=raw" ||
+               arg == "--mode=prepared") {
+      opts.mode = arg.substr(7);
+    } else if (arg == "--server=thread") {
+      opts.epoll = false;
+    } else if (arg == "--server=epoll") {
+      opts.epoll = true;
+    } else if (arg == "--plan-cache") {
+      opts.plan_cache = true;
     } else if (arg.rfind("--root=", 0) == 0) {
       opts.root = arg.substr(7);
     } else {
@@ -242,6 +346,8 @@ int main(int argc, char** argv) {
                    "usage: %s [--durability=off|journal|sync]\n"
                    "          [--clients=1,2,4,8] [--seconds=S]\n"
                    "          [--read-pct=N] [--group-window-us=U]\n"
+                   "          [--mode=count|raw|prepared]\n"
+                   "          [--server=thread|epoll] [--plan-cache]\n"
                    "          [--root=DIR]\n",
                    argv[0]);
       return 1;
@@ -256,12 +362,14 @@ int main(int argc, char** argv) {
   DatabaseOptions db_options;
   db_options.durability = opts.durability;
   db_options.metrics = true;
+  db_options.plan_cache = opts.plan_cache;
   if (opts.group_window_us >= 0) {
     db_options.group_commit_window_micros = opts.group_window_us;
   }
   DatabaseRegistry registry(opts.root, db_options);
   ServerOptions srv_options;
   srv_options.unix_path = socket_path;
+  srv_options.epoll = opts.epoll;
   Server server(&registry, srv_options);
   Die(server.Start(), "server start");
 
@@ -279,6 +387,12 @@ int main(int argc, char** argv) {
   std::string out = "{\n  \"source\": \"bench/load_server.cc\",\n";
   out += "  \"durability\": \"" + std::string(DurabilityModeName(
                                       opts.durability)) + "\",\n";
+  out += "  \"mode\": \"" + opts.mode + "\",\n";
+  out += "  \"server\": \"" + std::string(opts.epoll ? "epoll" : "thread") +
+         "\",\n";
+  out += "  \"plan_cache\": " + std::string(opts.plan_cache ? "true"
+                                                            : "false") +
+         ",\n";
   out += "  \"read_pct\": " + std::to_string(opts.read_pct) + ",\n";
   out += "  \"group_window_us\": " +
          std::to_string(db_options.group_commit_window_micros) + ",\n";
@@ -292,10 +406,16 @@ int main(int argc, char** argv) {
     out += ", \"write_ops\": " + std::to_string(c.write_ops);
     out += ", \"throughput_ops_per_s\": " +
            FormatDouble(static_cast<double>(c.ops) / c.seconds);
-    out += ", \"latency_ms\": {\"p50\": " + FormatDouble(c.p50);
+    out += ", \"latency_ms\": {\"mean\": " + FormatDouble(c.mean);
+    out += ", \"p50\": " + FormatDouble(c.p50);
     out += ", \"p95\": " + FormatDouble(c.p95);
     out += ", \"p99\": " + FormatDouble(c.p99);
     out += ", \"max\": " + FormatDouble(c.max) + "}";
+    out += ", \"engine\": {\"parses\": " + std::to_string(c.parses);
+    out += ", \"plan_builds\": " + std::to_string(c.plan_builds);
+    out += ", \"plancache_hits\": " + std::to_string(c.plancache_hits);
+    out += ", \"plancache_misses\": " + std::to_string(c.plancache_misses);
+    out += "}";
     out += ", \"journal\": {\"commits\": " + std::to_string(c.journal_commits);
     out += ", \"group_syncs\": " + std::to_string(c.journal_group_syncs);
     out += "}}";

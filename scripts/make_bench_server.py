@@ -1,25 +1,43 @@
 #!/usr/bin/env python3
-"""Runs bench/load_server at each durability level and merges the results
-into BENCH_server.json.
+"""Runs bench/load_server across durability levels and statement-pipeline
+configurations and merges the results into BENCH_server.json.
 
 Usage:
     python3 scripts/make_bench_server.py [--bench build/bench/load_server]
                                          [--seconds 2] [--clients 1,2,4,8]
+                                         [--pipeline-clients 1,2,8,32]
                                          [-o BENCH_server.json]
 
-Each durability level exercises a different slice of the commit path:
+Two sweeps:
+
+1. Durability (the historical count-statement mix, 80% reads):
 
     off      no journal — pure service-layer cost (locks, MVCC, wire codec)
     journal  pre-images + commit marks written, fsync deferred
     sync     every commit durable before the client's OK; overlapping
              committers share fsyncs via group commit
 
-The sync run widens the group-commit window (see
-DatabaseOptions::group_commit_window_micros): on fast storage the fsync
-itself is near-free, so without the window holding the door open there is
-nothing to batch and the sharing the paper-scale numbers hinge on would
-not show.  The per-cell journal counters (commits vs group_syncs) make
-the batching factor visible in the output.
+   The sync run widens the group-commit window (see
+   DatabaseOptions::group_commit_window_micros): on fast storage the fsync
+   itself is near-free, so without the window holding the door open there
+   is nothing to batch and the sharing the paper-scale numbers hinge on
+   would not show.  The per-cell journal counters (commits vs group_syncs)
+   make the batching factor visible in the output.
+
+2. Statement pipeline (a read-heavy four-variable join workload, where
+   parsing, binding, and cost-based join planning are a real share of the
+   round trip):
+
+    raw/thread             every statement ships as text; parse+plan per op
+    prepared/thread        kPrepare once, kExecPrepared per op (no parse)
+    prepared+cache/thread  plus the shared plan cache (no parse, no plan)
+    raw/epoll              text statements, epoll dispatch loop
+    prepared+cache/epoll   the full pipeline on the epoll loop
+
+   The per-cell engine counters (parses, plan_builds, plancache_hits)
+   verify each configuration does the work it claims and no more.  The
+   epoll rows demonstrate one event loop plus a bounded worker pool
+   sustaining the full client-count axis without per-connection threads.
 """
 
 import argparse
@@ -28,23 +46,33 @@ import subprocess
 import sys
 import tempfile
 
-RUNS = [
+DURABILITY_RUNS = [
     # (durability flag, extra flags)
     ("off", []),
     ("journal", []),
     ("sync", ["--group-window-us=2000"]),
 ]
 
+PIPELINE_RUNS = [
+    # (label, extra flags)
+    ("raw/thread", ["--mode=raw", "--server=thread"]),
+    ("prepared/thread", ["--mode=prepared", "--server=thread"]),
+    ("prepared+cache/thread",
+     ["--mode=prepared", "--plan-cache", "--server=thread"]),
+    ("raw/epoll", ["--mode=raw", "--server=epoll"]),
+    ("prepared+cache/epoll",
+     ["--mode=prepared", "--plan-cache", "--server=epoll"]),
+]
 
-def run_level(bench, durability, extra, clients, seconds):
+
+def run_cell(bench, flags, clients, seconds):
     with tempfile.TemporaryDirectory(prefix="tquel_bench_") as root:
         cmd = [
             bench,
-            "--durability=" + durability,
             "--clients=" + clients,
             "--seconds=" + str(seconds),
             "--root=" + root + "/db",
-        ] + extra
+        ] + flags
         proc = subprocess.run(cmd, capture_output=True, text=True)
         if proc.returncode != 0:
             sys.exit("%s failed:\n%s" % (" ".join(cmd), proc.stderr))
@@ -56,14 +84,22 @@ def main():
     parser.add_argument("--bench", default="build/bench/load_server")
     parser.add_argument("--seconds", type=float, default=2.0)
     parser.add_argument("--clients", default="1,2,4,8")
+    parser.add_argument("--pipeline-clients", default="1,2,8,32")
     parser.add_argument("-o", "--output", default="BENCH_server.json")
     args = parser.parse_args()
 
     levels = {}
-    for durability, extra in RUNS:
-        print("running", durability, "...", flush=True)
-        levels[durability] = run_level(args.bench, durability, extra,
-                                       args.clients, args.seconds)
+    for durability, extra in DURABILITY_RUNS:
+        print("running durability", durability, "...", flush=True)
+        levels[durability] = run_cell(
+            args.bench, ["--durability=" + durability] + extra,
+            args.clients, args.seconds)
+
+    pipeline = {}
+    for label, extra in PIPELINE_RUNS:
+        print("running pipeline", label, "...", flush=True)
+        pipeline[label] = run_cell(args.bench, extra + ["--read-pct=100"],
+                                   args.pipeline_clients, args.seconds)
 
     out = {
         "source": "bench/load_server.cc",
@@ -71,11 +107,23 @@ def main():
         "workload": "closed loop, %d%% reads, per-client relations" %
                     levels["off"].get("read_pct", 80),
         "durability_levels": levels,
+        "statement_pipeline": pipeline,
     }
     with open(args.output, "w") as f:
         json.dump(out, f, indent=2, sort_keys=False)
         f.write("\n")
     print("wrote", args.output)
+
+    # Sanity summary: the speedup the statement pipeline is for.
+    def ops(label):
+        cells = pipeline[label]["cells"]
+        return {c["clients"]: c["throughput_ops_per_s"] for c in cells}
+
+    raw, full = ops("raw/thread"), ops("prepared+cache/thread")
+    for n in sorted(raw):
+        if n in full and raw[n] > 0:
+            print("clients=%d prepared+cache/raw = %.2fx" %
+                  (n, full[n] / raw[n]))
 
 
 if __name__ == "__main__":

@@ -58,6 +58,7 @@ Result<std::unique_ptr<BenchmarkDb>> BenchmarkDb::Create(
   options.pool_file_cap = config.pool_file_cap;
   options.exec_threads = config.exec_threads;
   options.vacuum_partition = config.vacuum_partition;
+  options.plan_cache = config.plan_cache;
   TDB_ASSIGN_OR_RETURN(bench->db_, Database::Open("/bench", options));
   Database* db = bench->db_.get();
 

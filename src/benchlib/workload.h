@@ -37,6 +37,7 @@ struct WorkloadConfig {
   int pool_file_cap = 0;         // 0 = paper parity (1/file); -1 = uncapped
   int exec_threads = 0;          // 0 = default (1)
   std::string vacuum_partition;  // "" = default ("single")
+  bool plan_cache = false;       // shared plan cache (paper default: off)
 };
 
 /// Measured I/O for one query execution.

@@ -115,6 +115,8 @@ Status Database::ResolveStorageMode() {
                           ? options_.vacuum_partition
                       : !envd.vacuum_partition.empty() ? envd.vacuum_partition
                                                        : "single";
+  plan_cache_enabled_ =
+      options_.plan_cache.value_or(envd.plan_cache.value_or(false));
   return Status::OK();
 }
 

@@ -117,6 +117,12 @@ struct DatabaseOptions {
   /// Vacuum segment-partition policy: "" (unset) defers to
   /// TDB_VACUUM_PARTITION, default "single"; or "epoch:<seconds>".
   std::string vacuum_partition;
+  /// Shared plan cache for retrieve statements (see core/plan_cache.h).
+  /// Unset defers to TDB_PLAN_CACHE; both default OFF — the paper's
+  /// measured page counts and figure stdout never touch the cache unless
+  /// asked.  On, repeated statements (prepared or raw) skip parsing and/or
+  /// planning; results and per-file IoCounters are identical either way.
+  std::optional<bool> plan_cache;
 
   /// Reads every TDB_* engine lever from the process environment into one
   /// DatabaseOptions: TDB_VECTOR_EXEC, TDB_MORSEL_CAP, TDB_EXEC_THREADS,
@@ -228,6 +234,9 @@ class Database {
   BufferPool* buffer_pool() { return pool_.get(); }
   /// Resolved vacuum segment-partition policy ("single" or "epoch:<secs>").
   const std::string& vacuum_partition() const { return vacuum_partition_; }
+  /// True when retrieves route through the process-shared plan cache
+  /// (DatabaseOptions::plan_cache > TDB_PLAN_CACHE > off).
+  bool plan_cache_enabled() const { return plan_cache_enabled_; }
 
   Result<Relation*> GetRelation(const std::string& name);
 
@@ -291,6 +300,7 @@ class Database {
   /// paper defaults; the meta file wins for on-disk layout on reopen).
   StorageOptions storage_;
   std::string vacuum_partition_ = "single";
+  bool plan_cache_enabled_ = false;
 
   // --- concurrent mode (engaged by the first CreateSession) --------------
   std::atomic<bool> concurrent_{false};

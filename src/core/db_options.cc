@@ -40,6 +40,7 @@ DatabaseOptions DatabaseOptions::FromEnv() {
     o.join_method = ParseJoinMethod(v).value_or(JoinMethod::kPaper);
   }
   o.compiled_expr = BoolFromEnv("TDB_COMPILED_EXPR");
+  o.plan_cache = BoolFromEnv("TDB_PLAN_CACHE");
   o.metrics = BoolFromEnv("TDB_METRICS");
   o.page_size = static_cast<uint32_t>(IntFromEnv("TDB_PAGE_SIZE"));
   o.page_checksum = BoolFromEnv("TDB_PAGE_CHECKSUM");

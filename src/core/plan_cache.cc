@@ -1,0 +1,71 @@
+#include "core/plan_cache.h"
+
+#include <functional>
+
+namespace tdb {
+
+PlanCache::PlanCache(size_t capacity) {
+  shard_capacity_ = capacity / kShards;
+  if (shard_capacity_ == 0) shard_capacity_ = 1;
+}
+
+PlanCache::Shard* PlanCache::ShardFor(const std::string& key) {
+  return &shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key) {
+  Shard* shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->index.find(key);
+  if (it == shard->index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const CachedPlan> entry) {
+  Shard* shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->index.find(key);
+  if (it != shard->index.end()) {
+    // A concurrent builder won the race; keep the newer plan and refresh.
+    it->second->second = std::move(entry);
+    shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+    return;
+  }
+  shard->lru.emplace_front(key, std::move(entry));
+  shard->index[key] = shard->lru.begin();
+  while (shard->lru.size() > shard_capacity_) {
+    shard->index.erase(shard->lru.back().first);
+    shard->lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PlanCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+size_t PlanCache::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.lru.size();
+  }
+  return n;
+}
+
+PlanCache& GlobalPlanCache() {
+  static PlanCache* cache = new PlanCache();
+  return *cache;
+}
+
+}  // namespace tdb

@@ -1,0 +1,98 @@
+#ifndef CHRONOQUEL_CORE_PLAN_CACHE_H_
+#define CHRONOQUEL_CORE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "exec/plan.h"
+#include "tquel/ast.h"
+
+namespace tdb {
+
+/// One cached compiled statement: a self-contained canonical AST plus the
+/// physical-plan template built from it.  Immutable after insertion — every
+/// execution deep-copies the template (ClonePlanForExec) and treats the AST
+/// as read-only, so concurrent sessions can share one entry.
+///
+/// The AST is the *canonical* form (the statement printed and re-parsed),
+/// owned by the entry itself: the plan's expression pointers alias it, so
+/// the entry must outlive every clone executing against it — guaranteed by
+/// handing entries out as shared_ptr<const CachedPlan>.
+struct CachedPlan {
+  std::unique_ptr<RetrieveStmt> stmt;
+  /// (range variable, relation) name pairs in bind order.  Each execution
+  /// rebuilds a fresh BoundStatement from these against the live catalog —
+  /// the RelationMeta pointers a BoundStatement holds dangle whenever the
+  /// catalog reloads, so they are never cached.
+  std::vector<std::pair<std::string, std::string>> vars;
+  std::shared_ptr<const PhysicalPlan> plan;
+};
+
+/// Process-shared, sharded LRU cache of compiled retrieve plans.
+///
+/// Keys are flat strings built by the session layer from the database
+/// directory, the canonical statement text, every referenced relation's
+/// version stamp, the catalog generation, and the engine-knob fingerprint
+/// (join method / compiled expressions / vectorized execution).  Any write
+/// to a referenced relation — or any DDL — changes a component of the key,
+/// so stale plans simply never hit again and age out of the LRU: a cache
+/// hit may change CPU cost, never results.
+///
+/// Sharded by key hash (8 shards, one mutex each) so concurrent sessions
+/// rarely contend; within a shard, lookups refresh LRU position and
+/// insertion evicts from the cold end past `capacity / kShards` entries.
+class PlanCache {
+ public:
+  static constexpr int kShards = 8;
+
+  explicit PlanCache(size_t capacity = 256);
+
+  /// Returns the entry for `key` (refreshing its LRU position), or null.
+  std::shared_ptr<const CachedPlan> Lookup(const std::string& key);
+
+  /// Inserts (or replaces) the entry for `key`, evicting the shard's
+  /// least-recently-used entries past its capacity.
+  void Insert(const std::string& key, std::shared_ptr<const CachedPlan> entry);
+
+  /// Drops every entry (tests; also useful after closing a database whose
+  /// directory will be reused).
+  void Clear();
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  size_t size() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Most-recently-used at the front.
+    std::list<std::pair<std::string, std::shared_ptr<const CachedPlan>>> lru;
+    std::unordered_map<std::string, decltype(lru)::iterator> index;
+  };
+
+  Shard* ShardFor(const std::string& key);
+
+  size_t shard_capacity_;
+  Shard shards_[kShards];
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+/// The process-wide cache every Database shares (entries are keyed by
+/// database directory, so distinct databases never collide).
+PlanCache& GlobalPlanCache();
+
+}  // namespace tdb
+
+#endif  // CHRONOQUEL_CORE_PLAN_CACHE_H_

@@ -1,13 +1,16 @@
 #include "core/session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <set>
 #include <utility>
 
 #include "core/database.h"
+#include "core/plan_cache.h"
 #include "exec/compiled_expr.h"
 #include "exec/ddl_executor.h"
 #include "exec/dml_executor.h"
+#include "exec/eval.h"
 #include "exec/exec_env.h"
 #include "exec/morsel.h"
 #include "exec/plan.h"
@@ -17,6 +20,7 @@
 #include "tquel/ast.h"
 #include "tquel/binder.h"
 #include "tquel/parser.h"
+#include "tquel/printer.h"
 #include "util/stringx.h"
 
 namespace tdb {
@@ -181,8 +185,111 @@ LockPlan ClassifyStatement(const Statement* stmt,
       lp.ddl = StatementLocks::DdlMode::kExclusive;
       lp.writes = true;
       break;
+    // Prepare binds against the catalog (the shared DDL latch covers it)
+    // and deallocate touches only session-local state.  An `execute` is
+    // classified by its stored inner statement — callers resolve it via
+    // Session::EffectiveStatement before calling here; reaching this case
+    // directly means the name is unknown and the statement will error
+    // under the default shared latch.
+    case Statement::Kind::kPrepare:
+    case Statement::Kind::kExecPrepared:
+    case Statement::Kind::kDeallocate:
+      break;
   }
   return lp;
+}
+
+/// Largest `$N` index referenced anywhere in an expression tree (0 when
+/// parameter-free).
+int MaxParamIndex(const Expr* e) {
+  if (e == nullptr) return 0;
+  int n = e->kind == Expr::Kind::kParam ? e->param_index : 0;
+  n = std::max(n, MaxParamIndex(e->left.get()));
+  n = std::max(n, MaxParamIndex(e->right.get()));
+  n = std::max(n, MaxParamIndex(e->agg_arg.get()));
+  n = std::max(n, MaxParamIndex(e->agg_by.get()));
+  n = std::max(n, MaxParamIndex(e->agg_where.get()));
+  return n;
+}
+
+/// Largest `$N` index referenced by a preparable statement's clauses.
+/// Temporal expressions cannot carry parameters (the grammar has no `$N`
+/// production there), so only the scalar clauses are walked.
+int MaxParamIndex(const Statement* stmt) {
+  int n = 0;
+  switch (stmt->kind) {
+    case Statement::Kind::kRetrieve: {
+      auto* r = static_cast<const RetrieveStmt*>(stmt);
+      for (const TargetItem& t : r->targets) {
+        n = std::max(n, MaxParamIndex(t.expr.get()));
+      }
+      n = std::max(n, MaxParamIndex(r->where.get()));
+      break;
+    }
+    case Statement::Kind::kAppend: {
+      auto* a = static_cast<const AppendStmt*>(stmt);
+      for (const TargetItem& t : a->targets) {
+        n = std::max(n, MaxParamIndex(t.expr.get()));
+      }
+      n = std::max(n, MaxParamIndex(a->where.get()));
+      break;
+    }
+    case Statement::Kind::kDelete: {
+      auto* d = static_cast<const DeleteStmt*>(stmt);
+      n = MaxParamIndex(d->where.get());
+      break;
+    }
+    case Statement::Kind::kReplace: {
+      auto* r = static_cast<const ReplaceStmt*>(stmt);
+      for (const TargetItem& t : r->targets) {
+        n = std::max(n, MaxParamIndex(t.expr.get()));
+      }
+      n = std::max(n, MaxParamIndex(r->where.get()));
+      break;
+    }
+    default:
+      break;
+  }
+  return n;
+}
+
+/// True when the expression can be evaluated with no row bound — the
+/// requirement on `execute` arguments (literals and arithmetic over them).
+bool IsConstExpr(const Expr* e) {
+  if (e == nullptr) return true;
+  switch (e->kind) {
+    case Expr::Kind::kColumn:
+    case Expr::Kind::kAggregate:
+    case Expr::Kind::kParam:
+      return false;
+    default:
+      return IsConstExpr(e->left.get()) && IsConstExpr(e->right.get());
+  }
+}
+
+bool HasAggregate(const Expr* e) {
+  if (e == nullptr) return false;
+  if (e->kind == Expr::Kind::kAggregate) return true;
+  return HasAggregate(e->left.get()) || HasAggregate(e->right.get());
+}
+
+/// The plan-cache admission gate.  Excluded:
+///   * `retrieve into` — creates a relation (DDL, runs once);
+///   * aggregates — FoldAggregates rewrites the AST destructively, so a
+///     shared read-only AST cannot carry them;
+///   * an explicit `as of` — the planner evaluates the rollback point at
+///     plan time, and caching would bake an `as of`-equals-now coincidence
+///     into plans reused at later clock values.
+/// Everything else (including `$N` parameters, whose plans deliberately
+/// outlive any one argument vector) is admissible.
+bool PlanCacheable(const RetrieveStmt& stmt) {
+  if (!stmt.into.empty()) return false;
+  if (stmt.as_of.has_value()) return false;
+  for (const TargetItem& t : stmt.targets) {
+    if (HasAggregate(t.expr.get())) return false;
+  }
+  if (HasAggregate(stmt.where.get())) return false;
+  return true;
 }
 
 }  // namespace
@@ -236,47 +343,57 @@ Result<std::vector<ExecResult>> Session::ExecuteScript(
   }
   TDB_ASSIGN_OR_RETURN(auto stmts, Parser::ParseScript(text));
   if (stmts.empty()) return Status::ParseError("empty statement");
+  if (obs::MetricsRegistry* m = db_->metrics()) {
+    // Parser invocations, per statement: the prepared-statement path skips
+    // this counter entirely — load generators diff it against plan.builds
+    // to show what prepare/execute saves.
+    m->counter("sql.parses")->Add(stmts.size());
+  }
 
-  Journal* journal = db_->journal_.get();
   std::vector<ExecResult> results;
   results.reserve(stmts.size());
   for (size_t i = 0; i < stmts.size(); ++i) {
     Statement* stmt = stmts[i].get();
     const StatementContext ctx{static_cast<int>(i) + 1, stmt->source_offset};
-    if (!concurrent && journal != nullptr) {
-      Status begin = journal->Begin();
-      if (!begin.ok()) return begin.WithStatementContext(ctx);
-    }
-    Result<ExecResult> result = ExecResult{};
-    if (obs::MetricsRegistry* m = db_->metrics()) {
-      obs::TraceSpan span(m, "db.statement");
-      auto start = std::chrono::steady_clock::now();
-      result = concurrent ? ExecuteStatementConcurrent(stmt)
-                          : ExecuteStatementEmbedded(stmt);
-      m->counter("db.statements")->Increment();
-      m->histogram("db.statement_nanos")
-          ->Record(static_cast<uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - start)
-                  .count()));
-    } else {
-      result = concurrent ? ExecuteStatementConcurrent(stmt)
-                          : ExecuteStatementEmbedded(stmt);
-    }
-    if (!concurrent && journal != nullptr) {
-      if (result.ok()) {
-        Status commit = CommitStatementEmbedded();
-        if (!commit.ok()) result = commit;
-      }
-      if (!result.ok()) {
-        Status rolled_back = RollbackStatementEmbedded();
-        if (!rolled_back.ok()) return rolled_back.WithStatementContext(ctx);
-      }
-    }
+    Result<ExecResult> result = ExecuteOne(stmt);
     if (!result.ok()) return result.status().WithStatementContext(ctx);
     results.push_back(std::move(*result));
   }
   return results;
+}
+
+Result<ExecResult> Session::ExecuteOne(Statement* stmt) {
+  const bool concurrent = db_->concurrent_.load(std::memory_order_acquire);
+  Journal* journal = db_->journal_.get();
+  if (!concurrent && journal != nullptr) {
+    TDB_RETURN_NOT_OK(journal->Begin());
+  }
+  Result<ExecResult> result = ExecResult{};
+  if (obs::MetricsRegistry* m = db_->metrics()) {
+    obs::TraceSpan span(m, "db.statement");
+    auto start = std::chrono::steady_clock::now();
+    result = concurrent ? ExecuteStatementConcurrent(stmt)
+                        : ExecuteStatementEmbedded(stmt);
+    m->counter("db.statements")->Increment();
+    m->histogram("db.statement_nanos")
+        ->Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+  } else {
+    result = concurrent ? ExecuteStatementConcurrent(stmt)
+                        : ExecuteStatementEmbedded(stmt);
+  }
+  if (!concurrent && journal != nullptr) {
+    if (result.ok()) {
+      Status commit = CommitStatementEmbedded();
+      if (!commit.ok()) result = commit;
+    }
+    if (!result.ok()) {
+      TDB_RETURN_NOT_OK(RollbackStatementEmbedded());
+    }
+  }
+  return result;
 }
 
 Result<ExecResult> Session::Execute(const std::string& text) {
@@ -309,8 +426,7 @@ Result<ExecResult> Session::RunStatement(Statement* stmt, ExecEnv& exec,
       auto* retrieve = static_cast<RetrieveStmt*>(stmt);
       TDB_ASSIGN_OR_RETURN(BoundStatement bound,
                            binder.BindRetrieve(retrieve));
-      QueryExecutor qexec(exec);
-      TDB_ASSIGN_OR_RETURN(last, qexec.Retrieve(retrieve, bound));
+      TDB_ASSIGN_OR_RETURN(last, RunRetrieve(retrieve, bound, exec));
       break;
     }
     case Statement::Kind::kAppend: {
@@ -381,6 +497,29 @@ Result<ExecResult> Session::RunStatement(Statement* stmt, ExecEnv& exec,
       *data_mutating = copy->from;
       break;
     }
+    case Statement::Kind::kPrepare: {
+      TDB_ASSIGN_OR_RETURN(last,
+                           RunPrepare(static_cast<PrepareStmt*>(stmt), exec));
+      break;
+    }
+    case Statement::Kind::kExecPrepared: {
+      TDB_ASSIGN_OR_RETURN(
+          last, RunExecPrepared(static_cast<ExecPreparedStmt*>(stmt), exec,
+                                data_mutating));
+      break;
+    }
+    case Statement::Kind::kDeallocate: {
+      auto* dealloc = static_cast<DeallocateStmt*>(stmt);
+      auto it = prepared_.find(ToLower(dealloc->name));
+      if (it == prepared_.end()) {
+        return Status::NotFound("prepared statement '" + dealloc->name +
+                                "' does not exist");
+      }
+      prepared_.erase(it);
+      last = ExecResult{};
+      last.message = "deallocate " + dealloc->name;
+      break;
+    }
     case Statement::Kind::kExplain: {
       // Plain explain plans the wrapped retrieve without executing it;
       // `explain analyze` runs it and annotates each node with its runtime
@@ -418,6 +557,262 @@ Result<ExecResult> Session::RunStatement(Statement* stmt, ExecEnv& exec,
   return last;
 }
 
+const Statement* Session::EffectiveStatement(const Statement* stmt) const {
+  if (stmt->kind != Statement::Kind::kExecPrepared) return stmt;
+  auto* ex = static_cast<const ExecPreparedStmt*>(stmt);
+  auto it = prepared_.find(ToLower(ex->name));
+  return it == prepared_.end() ? stmt : it->second.stmt.get();
+}
+
+Result<ExecResult> Session::RunPrepare(PrepareStmt* prep, ExecEnv& exec) {
+  (void)exec;
+  const std::string key = ToLower(prep->name);
+  // Validate everything before touching any session state: a failed
+  // prepare must leave no prepared entry, range binding, or scratch tag
+  // behind (early returns below are all side-effect free).
+  if (prepared_.count(key) != 0) {
+    return Status::Invalid("prepared statement '" + prep->name +
+                           "' already exists (deallocate it first)");
+  }
+  Statement* inner = prep->inner.get();
+  switch (inner->kind) {
+    case Statement::Kind::kRetrieve:
+    case Statement::Kind::kAppend:
+    case Statement::Kind::kDelete:
+    case Statement::Kind::kReplace:
+      break;
+    default:
+      return Status::Invalid(
+          "only retrieve, append, delete, and replace statements can be "
+          "prepared");
+  }
+  // Bind against the live catalog so unknown relations/attributes fail at
+  // prepare time.  The annotations this writes into the AST are refreshed
+  // again at every execute, so drift between now and then is harmless.
+  Binder binder(&db_->catalog_, &ranges_);
+  switch (inner->kind) {
+    case Statement::Kind::kRetrieve:
+      TDB_RETURN_NOT_OK(
+          binder.BindRetrieve(static_cast<RetrieveStmt*>(inner)).status());
+      break;
+    case Statement::Kind::kAppend:
+      TDB_RETURN_NOT_OK(
+          binder.BindAppend(static_cast<AppendStmt*>(inner)).status());
+      break;
+    case Statement::Kind::kDelete:
+      TDB_RETURN_NOT_OK(
+          binder.BindDelete(static_cast<DeleteStmt*>(inner)).status());
+      break;
+    default:
+      TDB_RETURN_NOT_OK(
+          binder.BindReplace(static_cast<ReplaceStmt*>(inner)).status());
+      break;
+  }
+
+  PreparedEntry entry;
+  entry.text = PrintStatement(*inner);
+  entry.param_count = MaxParamIndex(inner);
+  entry.stmt = std::move(prep->inner);
+  const int params = entry.param_count;
+  prepared_[key] = std::move(entry);
+
+  ExecResult r;
+  r.message = StrPrintf("prepare %s (%d parameter%s)", prep->name.c_str(),
+                        params, params == 1 ? "" : "s");
+  return r;
+}
+
+Result<ExecResult> Session::RunExecPrepared(ExecPreparedStmt* ex,
+                                            ExecEnv& exec,
+                                            bool* data_mutating) {
+  auto it = prepared_.find(ToLower(ex->name));
+  if (it == prepared_.end()) {
+    return Status::NotFound("prepared statement '" + ex->name +
+                            "' does not exist");
+  }
+  PreparedEntry& entry = it->second;
+
+  std::vector<Value> args;
+  if (ex->use_bound_args) {
+    args = ex->bound_args;  // wire path: values arrive already decoded
+  } else {
+    Evaluator eval(exec.now);
+    Binding no_row;
+    for (const auto& arg : ex->args) {
+      if (!IsConstExpr(arg.get())) {
+        return Status::Invalid(
+            "execute arguments must be constant expressions");
+      }
+      TDB_ASSIGN_OR_RETURN(Value v, eval.Eval(*arg, no_row));
+      args.push_back(std::move(v));
+    }
+  }
+  if (static_cast<int>(args.size()) != entry.param_count) {
+    return Status::Invalid(StrPrintf(
+        "prepared statement '%s' takes %d argument(s), got %zu",
+        ex->name.c_str(), entry.param_count, args.size()));
+  }
+
+  // The `$N` evaluator reads the arguments through exec.params; the
+  // executors capture the pointer at construction, inside RunStatement.
+  exec.params = &args;
+  prepared_text_hint_ = &entry.text;
+  Result<ExecResult> result =
+      RunStatement(entry.stmt.get(), exec, data_mutating);
+  prepared_text_hint_ = nullptr;
+  exec.params = nullptr;  // args dies with this frame
+  return result;
+}
+
+Result<ExecResult> Session::RunRetrieve(RetrieveStmt* stmt,
+                                        const BoundStatement& bound,
+                                        ExecEnv& exec) {
+  if (db_->plan_cache_enabled() && PlanCacheable(*stmt)) {
+    Result<ExecResult> cached = RetrieveViaPlanCache(stmt, bound, exec);
+    if (cached.ok()) return cached;
+    // Any cache-path failure falls through to plan-and-execute: a genuine
+    // query error reproduces below; a cache-only artifact (say, an index
+    // dropped between keying and cloning) vanishes.
+  }
+  QueryExecutor qexec(exec);
+  return qexec.Retrieve(stmt, bound);
+}
+
+std::string Session::PlanCacheKeyFor(const RetrieveStmt& stmt,
+                                     const BoundStatement& bound,
+                                     const ExecEnv& exec) {
+  std::string key = db_->dir_;
+  key += '\x1f';
+  // A prepared execution already owns the statement's canonical text;
+  // everything else prints it fresh (the printer is deterministic, so the
+  // two spellings of the same statement produce the same key).
+  key += prepared_text_hint_ != nullptr ? *prepared_text_hint_
+                                        : PrintStatement(stmt);
+  std::set<std::string> rels;
+  for (const BoundVar& v : bound.vars) rels.insert(ToLower(v.rel->name));
+  {
+    std::lock_guard<std::mutex> lock(db_->version_mu_);
+    for (const std::string& rel : rels) {
+      auto it = db_->rel_versions_.find(rel);
+      key += '\x1f';
+      key += rel;
+      key += '=';
+      key += std::to_string(it == db_->rel_versions_.end() ? 0 : it->second);
+    }
+    key += '\x1f';
+    key += "g=";
+    key += std::to_string(db_->catalog_gen_);
+  }
+  key += StrPrintf("\x1f" "k=%d%d%d", static_cast<int>(exec.join_method),
+                   exec.vector_exec ? 1 : 0, CompiledExprEnabled() ? 1 : 0);
+  return key;
+}
+
+Result<std::shared_ptr<const CachedPlan>> Session::BuildCacheEntry(
+    const RetrieveStmt& stmt, ExecEnv& exec) {
+  // Print -> re-parse so the entry owns a self-contained AST the plan's
+  // expression pointers can alias for as long as the entry lives.
+  const std::string text = PrintStatement(stmt);
+  TDB_ASSIGN_OR_RETURN(auto stmts, Parser::ParseScript(text));
+  if (stmts.size() != 1 ||
+      stmts[0]->kind != Statement::Kind::kRetrieve) {
+    return Status::Internal("canonical statement text did not round-trip: " +
+                            text);
+  }
+  auto owned = std::unique_ptr<RetrieveStmt>(
+      static_cast<RetrieveStmt*>(stmts[0].release()));
+  Binder binder(&db_->catalog_, &ranges_);
+  TDB_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindRetrieve(owned.get()));
+  TDB_ASSIGN_OR_RETURN(std::shared_ptr<PhysicalPlan> tmpl,
+                       BuildPlan(*owned, bound, exec));
+  auto entry = std::make_shared<CachedPlan>();
+  for (const BoundVar& v : bound.vars) {
+    entry->vars.emplace_back(v.name, v.rel->name);
+  }
+  entry->stmt = std::move(owned);
+  entry->plan = std::move(tmpl);
+  return std::shared_ptr<const CachedPlan>(std::move(entry));
+}
+
+Result<ExecResult> Session::ExecuteCachedPlan(const CachedPlan& entry,
+                                              ExecEnv& exec) {
+  // Rebuild the BoundStatement from names: the RelationMeta pointers a
+  // bound statement holds dangle whenever the catalog reloads, so the
+  // cache never stores them.
+  BoundStatement bound;
+  for (const auto& [var, rel] : entry.vars) {
+    const RelationMeta* meta = db_->catalog_.Find(rel);
+    if (meta == nullptr) {
+      return Status::NotFound("cached plan references dropped relation '" +
+                              rel + "'");
+    }
+    bound.vars.push_back(BoundVar{var, meta});
+  }
+  TDB_ASSIGN_OR_RETURN(std::shared_ptr<PhysicalPlan> plan,
+                       ClonePlanForExec(*entry.plan, exec));
+  QueryExecutor qexec(exec);
+  return qexec.Retrieve(entry.stmt.get(), bound, std::move(plan));
+}
+
+Result<ExecResult> Session::RetrieveViaPlanCache(RetrieveStmt* stmt,
+                                                 const BoundStatement& bound,
+                                                 ExecEnv& exec) {
+  const std::string key = PlanCacheKeyFor(*stmt, bound, exec);
+  PlanCache& cache = GlobalPlanCache();
+  obs::MetricsRegistry* m = db_->metrics();
+  if (std::shared_ptr<const CachedPlan> entry = cache.Lookup(key)) {
+    Result<ExecResult> hit = ExecuteCachedPlan(*entry, exec);
+    if (hit.ok()) {
+      if (m != nullptr) m->counter("plancache.hits")->Increment();
+      return hit;
+    }
+    // Stale in a way the key missed (should not happen; be safe): rebuild.
+  }
+  if (m != nullptr) m->counter("plancache.misses")->Increment();
+  TDB_ASSIGN_OR_RETURN(std::shared_ptr<const CachedPlan> entry,
+                       BuildCacheEntry(*stmt, exec));
+  cache.Insert(key, entry);
+  return ExecuteCachedPlan(*entry, exec);
+}
+
+void Session::BumpVersionsEmbedded(const Statement* stmt) {
+  if (!db_->plan_cache_enabled()) return;
+  LockPlan lp = ClassifyStatement(EffectiveStatement(stmt), ranges_);
+  if (!lp.writes) return;
+  std::lock_guard<std::mutex> lock(db_->version_mu_);
+  for (const auto& [name, exclusive] : lp.rels) {
+    if (exclusive) ++db_->rel_versions_[ToLower(name)];
+  }
+  if (lp.ddl == StatementLocks::DdlMode::kExclusive) ++db_->catalog_gen_;
+}
+
+Result<ExecResult> Session::Prepare(const std::string& name,
+                                    const std::string& text) {
+  TDB_ASSIGN_OR_RETURN(auto stmts, Parser::ParseScript(text));
+  if (stmts.size() != 1) {
+    return Status::Invalid("prepare expects exactly one statement");
+  }
+  PrepareStmt prep;
+  prep.name = name;
+  prep.inner = std::move(stmts[0]);
+  return ExecuteOne(&prep);
+}
+
+Result<ExecResult> Session::ExecutePrepared(const std::string& name,
+                                            std::vector<Value> args) {
+  ExecPreparedStmt ex;
+  ex.name = name;
+  ex.bound_args = std::move(args);
+  ex.use_bound_args = true;
+  return ExecuteOne(&ex);
+}
+
+Result<ExecResult> Session::DeallocatePrepared(const std::string& name) {
+  DeallocateStmt dealloc;
+  dealloc.name = name;
+  return ExecuteOne(&dealloc);
+}
+
 Result<ExecResult> Session::ExecuteStatementEmbedded(Statement* stmt) {
   ExecEnv exec = MakeExecEnv(options_.as_of.value_or(db_->now()));
   ScopedCompiledExprChoice compiled(options_.compiled_expr.has_value()
@@ -427,11 +822,14 @@ Result<ExecResult> Session::ExecuteStatementEmbedded(Statement* stmt) {
   // A pinned as-of must never stamp new versions into the past: mutating
   // statements re-resolve against the live clock.
   if (options_.as_of.has_value()) {
-    LockPlan lp = ClassifyStatement(stmt, ranges_);
+    LockPlan lp = ClassifyStatement(EffectiveStatement(stmt), ranges_);
     if (lp.data_mutating) exec.now = db_->now();
   }
   TDB_ASSIGN_OR_RETURN(ExecResult last,
                        RunStatement(stmt, exec, &data_mutating));
+  // With the plan cache on, even the single-session path must publish
+  // version stamps — they are components of every cache key.
+  BumpVersionsEmbedded(stmt);
   if (data_mutating) {
     db_->PersistClock();
     if (db_->options_.auto_advance_seconds > 0) {
@@ -499,7 +897,8 @@ void Session::InvalidateStaleHandles() {
 }
 
 Result<ExecResult> Session::ExecuteStatementConcurrent(Statement* stmt) {
-  LockPlan lp = ClassifyStatement(stmt, ranges_);
+  // An `execute` takes the locks of its stored inner statement.
+  LockPlan lp = ClassifyStatement(EffectiveStatement(stmt), ranges_);
   Journal* journal = db_->journal_.get();
   Result<ExecResult> result = ExecResult{};
   uint64_t ticket = 0;

@@ -153,6 +153,10 @@ bool CompiledProgram::EmitExpr(const Expr& expr) {
       // are compiled; grouped (`by`) aggregates keep their node and look a
       // map up per row — those stay on the Evaluator path.
       return false;
+    case Expr::Kind::kParam:
+      // Parameters resolve against the per-execution argument list, which
+      // compiled programs do not carry — those stay on the Evaluator path.
+      return false;
   }
   return false;
 }

@@ -29,7 +29,8 @@ namespace tdb {
 /// history store and the new version overwrites the old one in place.
 class DmlExecutor {
  public:
-  explicit DmlExecutor(const ExecEnv& env) : env_(env), eval_(env.now) {}
+  explicit DmlExecutor(const ExecEnv& env)
+      : env_(env), eval_(env.now, env.params) {}
 
   Result<ExecResult> Append(AppendStmt* stmt, const BoundStatement& bound);
   Result<ExecResult> Delete(DeleteStmt* stmt, const BoundStatement& bound);

@@ -68,6 +68,17 @@ Result<Value> Evaluator::Eval(const Expr& expr, const Binding& binding) const {
       return Value::Float8(expr.float_val);
     case Expr::Kind::kConstString:
       return Value::Char(expr.str_val);
+    case Expr::Kind::kParam: {
+      if (params_ == nullptr || expr.param_index < 1 ||
+          static_cast<size_t>(expr.param_index) > params_->size()) {
+        return Status::Invalid(
+            StrPrintf("parameter $%d is not bound (statement executed with "
+                      "%zu argument(s))",
+                      expr.param_index,
+                      params_ == nullptr ? size_t{0} : params_->size()));
+      }
+      return (*params_)[static_cast<size_t>(expr.param_index - 1)];
+    }
     case Expr::Kind::kColumn: {
       if (expr.var_index < 0 ||
           static_cast<size_t>(expr.var_index) >= binding.size() ||

@@ -19,7 +19,11 @@ using Binding = std::vector<const VersionRef*>;
 /// Database's logical clock at statement start.
 class Evaluator {
  public:
-  explicit Evaluator(TimePoint now) : now_(now) {}
+  /// `params`, when given, resolves `$N` references of a prepared
+  /// statement (params->at(N-1)); it must outlive the evaluator.
+  explicit Evaluator(TimePoint now,
+                     const std::vector<Value>* params = nullptr)
+      : now_(now), params_(params) {}
 
   Result<Value> Eval(const Expr& expr, const Binding& binding) const;
 
@@ -37,6 +41,7 @@ class Evaluator {
 
  private:
   TimePoint now_;
+  const std::vector<Value>* params_;
 };
 
 }  // namespace tdb

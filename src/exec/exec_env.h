@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "core/relation.h"
@@ -54,6 +55,10 @@ struct ExecEnv {
   /// cold version) or "epoch:<seconds>" (segments bucket versions by stamp
   /// into fixed epochs).
   std::string vacuum_partition = "single";
+  /// Argument values of an `execute` of a prepared statement; `$N`
+  /// expressions resolve to (*params)[N-1].  Null outside prepared
+  /// execution — a raw statement containing `$N` then fails to evaluate.
+  const std::vector<Value>* params = nullptr;
 
   /// Usable bytes per page under `storage` (page size minus the CRC
   /// trailer when checksums are on); sizing computations (hash bucket

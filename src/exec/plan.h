@@ -213,6 +213,11 @@ struct ProjectNode : PlanNode {
 struct PhysicalPlan {
   std::unique_ptr<ProjectNode> root;
 
+  /// Set on clones the plan cache hands out (ClonePlanForExec): the
+  /// statement is hot — it has run before and will likely run again — so
+  /// the executor passes history-readahead hints to its version sources.
+  bool from_plan_cache = false;
+
   // The statement's rollback point: `as of` when given, the logical now
   // otherwise (TQuel's default view of transaction time).
   TimePoint as_of_at;

@@ -5,6 +5,7 @@
 #include "exec/compiled_expr.h"
 #include "exec/cost.h"
 #include "exec/eval.h"
+#include "obs/metrics.h"
 #include "util/stringx.h"
 
 namespace tdb {
@@ -487,6 +488,9 @@ bool MatchCrossOverlap(const TemporalConjunct& conj, int* x, int* y) {
 Result<std::shared_ptr<PhysicalPlan>> BuildPlan(const RetrieveStmt& stmt,
                                                 const BoundStatement& bound,
                                                 const ExecEnv& env) {
+  if (env.registry != nullptr && env.registry->metrics() != nullptr) {
+    env.registry->metrics()->counter("plan.builds")->Increment();
+  }
   auto plan = std::make_shared<PhysicalPlan>();
   Evaluator eval(env.now);
 
@@ -911,6 +915,167 @@ Result<std::shared_ptr<PhysicalPlan>> BuildPlan(const RetrieveStmt& stmt,
     root->child = paper_join();
   }
 
+  plan->root = std::move(root);
+  return plan;
+}
+
+namespace {
+
+Result<std::unique_ptr<PlanNode>> CloneNode(const PlanNode* node,
+                                            const ExecEnv& env);
+
+/// Copies the shared AccessNode fields and re-resolves the relation handle
+/// against the executing environment.
+Status FillAccess(const AccessNode& src, AccessNode* dst, const ExecEnv& env) {
+  dst->var = src.var;
+  dst->var_name = src.var_name;
+  dst->rel_name = src.rel_name;
+  dst->current_only = src.current_only;
+  dst->est_rows = src.est_rows;
+  TDB_ASSIGN_OR_RETURN(dst->rel, env.GetRelation(src.rel_name));
+  return Status::OK();
+}
+
+/// Copies a FilterNode's conjuncts and programs into `dst`; the child is
+/// cloned only when present (join residual filters keep it null).
+Status CloneFilterInto(const FilterNode& src, FilterNode* dst,
+                       const ExecEnv& env) {
+  dst->where = src.where;
+  dst->when = src.when;
+  dst->where_prog = src.where_prog;
+  dst->when_prog = src.when_prog;
+  dst->pred_text = src.pred_text;
+  dst->est_rows = src.est_rows;
+  if (src.child != nullptr) {
+    TDB_ASSIGN_OR_RETURN(dst->child, CloneNode(src.child.get(), env));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PlanNode>> CloneNode(const PlanNode* node,
+                                            const ExecEnv& env) {
+  switch (node->kind) {
+    case PlanNode::Kind::kSeqScan: {
+      auto out = std::make_unique<SeqScanNode>();
+      TDB_RETURN_NOT_OK(
+          FillAccess(*static_cast<const SeqScanNode*>(node), out.get(), env));
+      return std::unique_ptr<PlanNode>(std::move(out));
+    }
+    case PlanNode::Kind::kKeyedLookup: {
+      const auto& src = *static_cast<const KeyedLookupNode*>(node);
+      auto out = std::make_unique<KeyedLookupNode>();
+      TDB_RETURN_NOT_OK(FillAccess(src, out.get(), env));
+      out->key_expr = src.key_expr;
+      out->key_prog = src.key_prog;
+      out->key_text = src.key_text;
+      return std::unique_ptr<PlanNode>(std::move(out));
+    }
+    case PlanNode::Kind::kIndexEq: {
+      const auto& src = *static_cast<const IndexEqNode*>(node);
+      auto out = std::make_unique<IndexEqNode>();
+      TDB_RETURN_NOT_OK(FillAccess(src, out.get(), env));
+      out->key_expr = src.key_expr;
+      out->key_prog = src.key_prog;
+      out->key_text = src.key_text;
+      out->index_attr = src.index_attr;
+      out->index = out->rel->FindIndex(src.index_attr);
+      if (out->index == nullptr) {
+        return Status::NotFound("cached plan references a dropped index on " +
+                                src.rel_name + "." + src.index_attr);
+      }
+      return std::unique_ptr<PlanNode>(std::move(out));
+    }
+    case PlanNode::Kind::kRangeScan: {
+      const auto& src = *static_cast<const RangeScanNode*>(node);
+      auto out = std::make_unique<RangeScanNode>();
+      TDB_RETURN_NOT_OK(FillAccess(src, out.get(), env));
+      out->lo_expr = src.lo_expr;
+      out->hi_expr = src.hi_expr;
+      out->lo_prog = src.lo_prog;
+      out->hi_prog = src.hi_prog;
+      out->lo_inclusive = src.lo_inclusive;
+      out->hi_inclusive = src.hi_inclusive;
+      out->lo_text = src.lo_text;
+      out->hi_text = src.hi_text;
+      return std::unique_ptr<PlanNode>(std::move(out));
+    }
+    case PlanNode::Kind::kFilter: {
+      auto out = std::make_unique<FilterNode>();
+      TDB_RETURN_NOT_OK(CloneFilterInto(*static_cast<const FilterNode*>(node),
+                                        out.get(), env));
+      return std::unique_ptr<PlanNode>(std::move(out));
+    }
+    case PlanNode::Kind::kNestedLoop: {
+      const auto& src = *static_cast<const NestedLoopNode*>(node);
+      auto out = std::make_unique<NestedLoopNode>();
+      out->est_rows = src.est_rows;
+      for (const auto& level : src.levels) {
+        TDB_ASSIGN_OR_RETURN(auto cloned, CloneNode(level.get(), env));
+        out->levels.push_back(std::move(cloned));
+      }
+      return std::unique_ptr<PlanNode>(std::move(out));
+    }
+    case PlanNode::Kind::kSubstitution: {
+      const auto& src = *static_cast<const SubstitutionNode*>(node);
+      auto out = std::make_unique<SubstitutionNode>();
+      out->est_rows = src.est_rows;
+      TDB_ASSIGN_OR_RETURN(out->outer, CloneNode(src.outer.get(), env));
+      TDB_ASSIGN_OR_RETURN(out->inner, CloneNode(src.inner.get(), env));
+      return std::unique_ptr<PlanNode>(std::move(out));
+    }
+    case PlanNode::Kind::kHashJoin: {
+      const auto& src = *static_cast<const HashJoinNode*>(node);
+      auto out = std::make_unique<HashJoinNode>();
+      out->est_rows = src.est_rows;
+      TDB_ASSIGN_OR_RETURN(out->build, CloneNode(src.build.get(), env));
+      TDB_ASSIGN_OR_RETURN(out->probe, CloneNode(src.probe.get(), env));
+      out->build_key = src.build_key;
+      out->probe_key = src.probe_key;
+      out->build_prog = src.build_prog;
+      out->probe_prog = src.probe_prog;
+      out->key_text = src.key_text;
+      TDB_RETURN_NOT_OK(CloneFilterInto(src.residual, &out->residual, env));
+      return std::unique_ptr<PlanNode>(std::move(out));
+    }
+    case PlanNode::Kind::kIntervalJoin: {
+      const auto& src = *static_cast<const IntervalJoinNode*>(node);
+      auto out = std::make_unique<IntervalJoinNode>();
+      out->est_rows = src.est_rows;
+      TDB_ASSIGN_OR_RETURN(out->left, CloneNode(src.left.get(), env));
+      TDB_ASSIGN_OR_RETURN(out->right, CloneNode(src.right.get(), env));
+      out->pred_text = src.pred_text;
+      TDB_RETURN_NOT_OK(CloneFilterInto(src.residual, &out->residual, env));
+      return std::unique_ptr<PlanNode>(std::move(out));
+    }
+    case PlanNode::Kind::kProject:
+      return Status::Internal("project nodes are cloned only at the root");
+  }
+  return Status::Internal("unreachable plan node kind");
+}
+
+}  // namespace
+
+Result<std::shared_ptr<PhysicalPlan>> ClonePlanForExec(const PhysicalPlan& tmpl,
+                                                       const ExecEnv& env) {
+  auto plan = std::make_shared<PhysicalPlan>();
+  plan->from_plan_cache = true;
+  // Cacheable statements carry no `as of` clause, so the rollback point is
+  // always the executing statement's "now".
+  plan->as_of_at = env.now;
+  plan->has_through = false;
+
+  const ProjectNode& src = *tmpl.root;
+  auto root = std::make_unique<ProjectNode>();
+  root->target_text = src.target_text;
+  root->unique = src.unique;
+  root->valid_output = src.valid_output;
+  root->into = src.into;
+  root->as_of_text = src.as_of_text;
+  root->sort_text = src.sort_text;
+  root->est_rows = src.est_rows;
+  if (src.child != nullptr) {
+    TDB_ASSIGN_OR_RETURN(root->child, CloneNode(src.child.get(), env));
+  }
   plan->root = std::move(root);
   return plan;
 }

@@ -91,6 +91,17 @@ Result<std::shared_ptr<PhysicalPlan>> BuildPlan(const RetrieveStmt& stmt,
                                                 const BoundStatement& bound,
                                                 const ExecEnv& env);
 
+/// Deep-copies a cached plan template for one execution: fresh (zeroed)
+/// node stats, relation and index handles re-resolved against `env`,
+/// compiled programs copied (their operand stacks are per-object scratch,
+/// so concurrent executions must never share them), and the rollback
+/// point re-stamped to env.now — only statements without an explicit
+/// `as of` clause are cacheable, for which as_of is always "now".
+/// Expression pointers keep aliasing the cache entry's AST, which must
+/// stay alive while the clone executes.
+Result<std::shared_ptr<PhysicalPlan>> ClonePlanForExec(const PhysicalPlan& tmpl,
+                                                       const ExecEnv& env);
+
 }  // namespace tdb
 
 #endif  // CHRONOQUEL_EXEC_PLANNER_H_

@@ -196,6 +196,9 @@ Result<AccessSpec> QueryExecutor::SpecFor(const AccessNode& node,
                                           const Binding& binding) const {
   AccessSpec spec;
   spec.current_only = node.current_only;
+  // Hot (plan-cached) statements prime history reads through the shared
+  // pool; the depth lever is the storage readahead setting.
+  if (hot_plan_) spec.readahead_hint = env_.storage.readahead;
   switch (node.kind) {
     case PlanNode::Kind::kSeqScan:
       spec.kind = AccessSpec::Kind::kScan;
@@ -1494,7 +1497,8 @@ Status QueryExecutor::FoldAggregates(RetrieveStmt* stmt,
 }
 
 Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
-                                           const BoundStatement& bound) {
+                                           const BoundStatement& bound,
+                                           std::shared_ptr<PhysicalPlan> prebuilt) {
   timing_ = env_.registry->metrics() != nullptr;
   vectorized_ = env_.vector_exec;
   obs::TraceSpan span(env_.registry->metrics(), "exec.retrieve");
@@ -1506,9 +1510,13 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
   }
 
   // All planning decisions — access paths, join order, residual-filter
-  // placement, the rollback point — are made up front.
-  TDB_ASSIGN_OR_RETURN(std::shared_ptr<PhysicalPlan> plan,
-                       BuildPlan(*stmt, bound, env_));
+  // placement, the rollback point — are made up front (or were, for a
+  // cached plan cloned into `prebuilt`).
+  std::shared_ptr<PhysicalPlan> plan = std::move(prebuilt);
+  if (plan == nullptr) {
+    TDB_ASSIGN_OR_RETURN(plan, BuildPlan(*stmt, bound, env_));
+  }
+  hot_plan_ = plan->from_plan_cache;
   // Root wall time covers everything from here on (folding, iteration,
   // sort, materialization); the stats object outlives this frame through
   // the shared plan, so the timer's late write lands safely.
@@ -1640,8 +1648,11 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
 
   // `sort by` orders the result by named output columns (stable, so
   // secondary keys listed later act as tie breakers of earlier ones).
+  // Keys are resolved into a local copy: the statement may be a cached
+  // AST shared by concurrent sessions, so it is never written here.
   if (!stmt->sort_by.empty()) {
-    for (SortKey& key : stmt->sort_by) {
+    std::vector<SortKey> sort_keys = stmt->sort_by;
+    for (SortKey& key : sort_keys) {
       key.target_index = -1;
       for (size_t i = 0; i < result.columns.size(); ++i) {
         if (EqualsIgnoreCase(result.columns[i], key.target)) {
@@ -1657,7 +1668,7 @@ Result<ExecResult> QueryExecutor::Retrieve(RetrieveStmt* stmt,
     Status sort_error = Status::OK();
     std::stable_sort(result.rows.begin(), result.rows.end(),
                      [&](const Row& a, const Row& b) {
-                       for (const SortKey& key : stmt->sort_by) {
+                       for (const SortKey& key : sort_keys) {
                          size_t i = static_cast<size_t>(key.target_index);
                          int c = 0;
                          if (!Value::TryCompare(a[i], b[i], &c)) {

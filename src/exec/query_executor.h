@@ -35,9 +35,16 @@ struct RowProjector;  // query_executor.cc
 /// plan to the ExecResult.
 class QueryExecutor {
  public:
-  explicit QueryExecutor(const ExecEnv& env) : env_(env), eval_(env.now) {}
+  explicit QueryExecutor(const ExecEnv& env)
+      : env_(env), eval_(env.now, env.params) {}
 
-  Result<ExecResult> Retrieve(RetrieveStmt* stmt, const BoundStatement& bound);
+  /// Executes a retrieve.  `prebuilt`, when given, skips planning and
+  /// interprets the supplied plan instead — the plan-cache path; it must
+  /// have been cloned for this execution (fresh stats, relation handles
+  /// resolved against this env) and `stmt` is treated as read-only so a
+  /// cached AST can be shared across sessions.
+  Result<ExecResult> Retrieve(RetrieveStmt* stmt, const BoundStatement& bound,
+                              std::shared_ptr<PhysicalPlan> prebuilt = nullptr);
 
  private:
   /// Callback receiving each fully-bound row candidate.
@@ -194,6 +201,9 @@ class QueryExecutor {
   /// True when this statement runs the morsel-driven engine (the
   /// TDB_VECTOR_EXEC lever, sampled once per Retrieve).
   bool vectorized_ = false;
+  /// True when the executing plan came from the plan cache: access specs
+  /// carry the storage readahead depth as a history-prefetch hint.
+  bool hot_plan_ = false;
   /// Root projector/sink split of Retrieve's emit path, wired while a
   /// statement runs: the projector is the thread-safe row-building half
   /// (copied per parallel-probe task), the sink the ordering-sensitive

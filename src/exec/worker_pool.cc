@@ -96,6 +96,56 @@ void WorkerPool::Run(int workers, const std::function<void(int)>& body) {
   busy_ = false;
 }
 
+TaskPool::TaskPool(int threads, size_t queue_capacity)
+    : capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  if (threads < 1) threads = 1;
+  threads_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() { Shutdown(); }
+
+bool TaskPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock,
+                   [this] { return shutdown_ || queue_.size() < capacity_; });
+    if (shutdown_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+  return true;
+}
+
+void TaskPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_task_.notify_all();
+  cv_space_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TaskPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_task_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // shutdown with a drained queue
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    cv_space_.notify_one();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
 void WorkerPool::HelperLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   uint64_t seen = 0;

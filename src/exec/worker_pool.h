@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
@@ -58,6 +59,47 @@ class WorkerPool {
   int completed_ = 0;   // bodies finished
   uint64_t epoch_ = 0;  // bumped per Run so helpers never re-enter old work
   bool busy_ = false;
+  bool shutdown_ = false;
+};
+
+/// A bounded FIFO task queue drained by a fixed set of threads — the
+/// dispatch half of the epoll server (net/server.cc): the event loop
+/// enqueues one closure per ready connection and the workers run them to
+/// completion.  Distinct from WorkerPool on purpose: WorkerPool's unit is
+/// a worker id inside one fork-join region, while TaskPool's is an
+/// independent task, and the bounded queue gives the producer backpressure
+/// (Submit blocks while full) instead of inline degradation.
+class TaskPool {
+ public:
+  /// `threads` workers are spawned immediately; `queue_capacity` bounds
+  /// the number of queued-but-unstarted tasks.
+  TaskPool(int threads, size_t queue_capacity);
+
+  /// Runs Shutdown (drains the queue, joins every worker).
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueues one task, blocking while the queue is at capacity.  Returns
+  /// false (task dropped) once Shutdown has begun.
+  bool Submit(std::function<void()> task);
+
+  /// Stops accepting tasks, lets the workers drain what is queued, and
+  /// joins them.  Idempotent.
+  void Shutdown();
+
+  int thread_count() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_task_;   // queue non-empty or shutdown
+  std::condition_variable cv_space_;  // queue below capacity
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t capacity_;
   bool shutdown_ = false;
 };
 

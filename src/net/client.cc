@@ -91,6 +91,43 @@ Result<std::vector<WireResult>> Client::Execute(const std::string& script) {
   return results;
 }
 
+Result<WireResult> Client::OneResult(FrameType type,
+                                     const std::vector<uint8_t>& payload) {
+  TDB_ASSIGN_OR_RETURN(Frame reply, RoundTrip(type, payload));
+  if (reply.type != FrameType::kResults) {
+    return Status::Corruption("unexpected prepared-statement reply");
+  }
+  std::vector<WireResult> results;
+  TDB_RETURN_NOT_OK(DecodeResults(reply.payload, &results));
+  if (results.size() != 1) {
+    return Status::Corruption("prepared-statement reply is not one result");
+  }
+  return std::move(results[0]);
+}
+
+Result<WireResult> Client::Prepare(const std::string& name,
+                                   const std::string& statement) {
+  std::vector<uint8_t> payload;
+  PutString(&payload, name);
+  PutString(&payload, statement);
+  return OneResult(FrameType::kPrepare, payload);
+}
+
+Result<WireResult> Client::ExecutePrepared(const std::string& name,
+                                           const std::vector<Value>& args) {
+  std::vector<uint8_t> payload;
+  PutString(&payload, name);
+  PutU32(&payload, static_cast<uint32_t>(args.size()));
+  for (const Value& v : args) EncodeValue(&payload, v);
+  return OneResult(FrameType::kExecPrepared, payload);
+}
+
+Result<WireResult> Client::ClosePrepared(const std::string& name) {
+  std::vector<uint8_t> payload;
+  PutString(&payload, name);
+  return OneResult(FrameType::kClose, payload);
+}
+
 Status Client::PinAsOf(std::optional<TimePoint> at) {
   std::vector<uint8_t> payload;
   PutU8(&payload, at.has_value() ? 1 : 0);

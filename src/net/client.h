@@ -38,6 +38,17 @@ class Client {
   /// context) the embedded API would return.
   Result<std::vector<WireResult>> Execute(const std::string& script);
 
+  /// Prepared statements: `Prepare` ships the statement text once, the
+  /// server parses/validates it and keeps the AST; `ExecutePrepared` ships
+  /// only the `$N` argument values (already typed — no re-parsing on
+  /// either side); `ClosePrepared` deallocates.  Each returns the single
+  /// statement's result.
+  Result<WireResult> Prepare(const std::string& name,
+                             const std::string& statement);
+  Result<WireResult> ExecutePrepared(const std::string& name,
+                                     const std::vector<Value>& args);
+  Result<WireResult> ClosePrepared(const std::string& name);
+
   /// Pins (nullopt: unpins) the server session's as-of read timestamp.
   Status PinAsOf(std::optional<TimePoint> at);
 
@@ -56,6 +67,11 @@ class Client {
   /// Sends one frame and reads the one response frame every request gets.
   Result<Frame> RoundTrip(FrameType type,
                           const std::vector<uint8_t>& payload);
+
+  /// Round-trip for requests answered with a single-result kResults frame
+  /// (the prepared-statement family).
+  Result<WireResult> OneResult(FrameType type,
+                               const std::vector<uint8_t>& payload);
 
   int fd_;
 };

@@ -1,6 +1,7 @@
 #include "net/protocol.h"
 
 #include <errno.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -305,7 +306,10 @@ namespace {
 
 Status WriteFull(int fd, const uint8_t* data, size_t size) {
   while (size > 0) {
-    ssize_t n = ::write(fd, data, size);
+    // MSG_NOSIGNAL: writing to a peer that already hung up must surface
+    // as EPIPE here, not kill the process with SIGPIPE (frames only ever
+    // travel over sockets).
+    ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::IOError("write: " + std::string(strerror(errno)));

@@ -28,6 +28,12 @@ enum class FrameType : uint8_t {
   kExecute = 2,  // string TQuel script
   kPinAsOf = 3,  // u8 has_pin | i64 seconds (pins the session's as-of)
   kPing = 4,     // empty
+  // Prepared statements: parse/plan once server-side, execute many times
+  // with only argument values on the wire.  Each is answered by kResults
+  // carrying exactly one WireResult (or kError).
+  kPrepare = 5,       // string name | string TQuel statement text
+  kExecPrepared = 6,  // string name | u32 argc | argc encoded Values
+  kClose = 7,         // string name (deallocates the prepared statement)
   // server -> client
   kOk = 16,       // empty (hello / pin / ping acknowledgement)
   kResults = 17,  // encoded std::vector<WireResult>

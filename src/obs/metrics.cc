@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
@@ -55,6 +56,21 @@ bool MetricsEnabled() {
 
 void SetMetricsEnabledForTest(std::optional<bool> enabled) {
   g_metrics_override = enabled;
+}
+
+uint64_t HistogramSnapshot::Quantile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the target sample, 1-based; p=0 selects the first sample.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(p / 100.0 * static_cast<double>(count) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return Histogram::BucketUpperBound(static_cast<int>(i));
+  }
+  return Histogram::BucketUpperBound(static_cast<int>(buckets.size()) - 1);
 }
 
 uint64_t MetricsSnapshot::counter(const std::string& name) const {

@@ -114,6 +114,12 @@ struct HistogramSnapshot {
   uint64_t sum = 0;
   /// Bucket counts, trimmed after the last non-zero bucket.
   std::vector<uint64_t> buckets;
+
+  /// The p-th percentile (p in [0, 100]), as the inclusive upper bound of
+  /// the log2 bucket holding the p-th sample — an over-estimate by at most
+  /// 2x, which is the histogram's resolution.  p=100 bounds the maximum.
+  /// 0 when the snapshot is empty.
+  uint64_t Quantile(double p) const;
 };
 
 /// A structured, detached copy of every metric: safe to keep after the

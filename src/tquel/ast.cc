@@ -109,6 +109,13 @@ std::unique_ptr<Expr> Expr::Unary(ExprOp op, std::unique_ptr<Expr> operand) {
   return e;
 }
 
+std::unique_ptr<Expr> Expr::Param(int index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kParam;
+  e->param_index = index;
+  return e;
+}
+
 std::string Expr::ToString() const {
   switch (kind) {
     case Kind::kConstInt:
@@ -131,6 +138,8 @@ std::string Expr::ToString() const {
       if (agg_where != nullptr) s += " where " + agg_where->ToString();
       return s + ")";
     }
+    case Kind::kParam:
+      return StrPrintf("$%d", param_index);
   }
   return "?";
 }

@@ -49,6 +49,7 @@ struct Expr {
     kBinary,
     kUnary,
     kAggregate,
+    kParam,  // $N positional parameter of a prepared statement
   };
 
   Kind kind;
@@ -57,6 +58,9 @@ struct Expr {
   int64_t int_val = 0;
   double float_val = 0;
   std::string str_val;
+
+  // kParam: 1-based position in the `execute` argument list
+  int param_index = 0;
 
   // kColumn: var.attr
   std::string var;
@@ -86,6 +90,7 @@ struct Expr {
   static std::unique_ptr<Expr> Binary(ExprOp op, std::unique_ptr<Expr> l,
                                       std::unique_ptr<Expr> r);
   static std::unique_ptr<Expr> Unary(ExprOp op, std::unique_ptr<Expr> e);
+  static std::unique_ptr<Expr> Param(int index);
 
   std::string ToString() const;
 };
@@ -192,6 +197,9 @@ struct Statement {
     kHelp,
     kExplain,
     kVacuum,
+    kPrepare,
+    kExecPrepared,
+    kDeallocate,
   };
   explicit Statement(Kind k) : kind(k) {}
   virtual ~Statement() = default;
@@ -328,6 +336,34 @@ struct CopyStmt : Statement {
   std::string relation;
   bool from = false;  // true: load, false: dump
   std::string path;
+};
+
+/// `prepare name as <statement>` — parses and validates the wrapped
+/// statement once; later `execute name (...)` runs it with `$N`
+/// parameters bound to the argument list.
+struct PrepareStmt : Statement {
+  PrepareStmt() : Statement(Kind::kPrepare) {}
+  std::string name;
+  std::unique_ptr<Statement> inner;
+};
+
+/// `execute name` or `execute name (e1, e2, ...)` — arguments are
+/// constant expressions supplying `$1..$n` of the prepared statement.
+struct ExecPreparedStmt : Statement {
+  ExecPreparedStmt() : Statement(Kind::kExecPrepared) {}
+  std::string name;
+  std::vector<std::unique_ptr<Expr>> args;
+  /// Wire-protocol form: the client sent already-decoded argument values
+  /// instead of TQuel expressions.  When set, `args` is empty and the
+  /// session binds these directly as the statement's parameters.
+  std::vector<Value> bound_args;
+  bool use_bound_args = false;
+};
+
+/// `deallocate name` — drops a prepared statement.
+struct DeallocateStmt : Statement {
+  DeallocateStmt() : Statement(Kind::kDeallocate) {}
+  std::string name;
 };
 
 /// `explain retrieve ...` — plans the wrapped query and returns the plan

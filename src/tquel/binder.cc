@@ -28,6 +28,7 @@ Status Binder::BindExpr(Expr* expr, BoundStatement* bound,
     case Expr::Kind::kConstInt:
     case Expr::Kind::kConstFloat:
     case Expr::Kind::kConstString:
+    case Expr::Kind::kParam:
       return Status::OK();
     case Expr::Kind::kColumn: {
       TDB_ASSIGN_OR_RETURN(expr->var_index, BindVar(expr->var, bound));

@@ -22,6 +22,8 @@ const char* TokenTypeName(TokenType t) {
       return "float";
     case TokenType::kString:
       return "string";
+    case TokenType::kParam:
+      return "parameter";
     case TokenType::kLParen:
       return "'('";
     case TokenType::kRParen:
@@ -118,6 +120,26 @@ Result<std::vector<Token>> Lexer::Tokenize(const std::string& text) {
         if (!ParseInt64(lit, &t.int_val)) {
           return Status::ParseError("bad integer literal '" + lit + "'");
         }
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '$') {
+      ++i;
+      size_t digits = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      if (i == digits) {
+        return Status::ParseError(
+            StrPrintf("expected a parameter number after '$' at offset %zu",
+                      start));
+      }
+      std::string lit = text.substr(digits, i - digits);
+      Token t;
+      t.type = TokenType::kParam;
+      t.pos = start;
+      t.text = "$" + lit;
+      if (!ParseInt64(lit, &t.int_val) || t.int_val < 1) {
+        return Status::ParseError("bad parameter number '$" + lit + "'");
       }
       tokens.push_back(std::move(t));
       continue;

@@ -47,6 +47,9 @@ class ParserImpl {
     if (t.IsKeyword("help")) return ParseHelp();
     if (t.IsKeyword("explain")) return ParseExplain();
     if (t.IsKeyword("vacuum")) return ParseVacuum();
+    if (t.IsKeyword("prepare")) return ParsePrepare();
+    if (t.IsKeyword("execute")) return ParseExecute();
+    if (t.IsKeyword("deallocate")) return ParseDeallocate();
     return Err("unknown statement '" + t.text + "'");
   }
 
@@ -104,7 +107,8 @@ class ParserImpl {
     static const char* kStarters[] = {"range",  "retrieve", "append",
                                       "delete", "replace",  "create",
                                       "destroy", "modify",  "index", "copy",
-                                      "help",   "explain",  "vacuum"};
+                                      "help",   "explain",  "vacuum",
+                                      "prepare", "execute", "deallocate"};
     for (const char* kw : kStarters) {
       if (t.IsKeyword(kw)) return true;
     }
@@ -315,6 +319,47 @@ class ParserImpl {
     auto stmt = std::make_unique<ExplainStmt>();
     stmt->analyze = analyze;
     stmt->query.reset(static_cast<RetrieveStmt*>(query.release()));
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  Result<std::unique_ptr<Statement>> ParsePrepare() {
+    Advance();  // prepare
+    auto stmt = std::make_unique<PrepareStmt>();
+    TDB_ASSIGN_OR_RETURN(stmt->name, ExpectIdent("a statement name"));
+    TDB_RETURN_NOT_OK(ExpectKeyword("as"));
+    if (AtEnd() || Peek().Is(TokenType::kSemi)) {
+      return Err("expected a statement to prepare");
+    }
+    TDB_ASSIGN_OR_RETURN(stmt->inner, ParseStatement());
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  Result<std::unique_ptr<Statement>> ParseExecute() {
+    Advance();  // execute
+    auto stmt = std::make_unique<ExecPreparedStmt>();
+    TDB_ASSIGN_OR_RETURN(stmt->name, ExpectIdent("a prepared statement name"));
+    if (Peek().Is(TokenType::kLParen)) {
+      Advance();  // (
+      if (!Peek().Is(TokenType::kRParen)) {
+        while (true) {
+          TDB_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+          stmt->args.push_back(std::move(arg));
+          if (Peek().Is(TokenType::kComma)) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      TDB_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    }
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
+  Result<std::unique_ptr<Statement>> ParseDeallocate() {
+    Advance();  // deallocate
+    auto stmt = std::make_unique<DeallocateStmt>();
+    TDB_ASSIGN_OR_RETURN(stmt->name, ExpectIdent("a prepared statement name"));
     return std::unique_ptr<Statement>(std::move(stmt));
   }
 
@@ -558,6 +603,11 @@ class ParserImpl {
       }
       case TokenType::kString: {
         auto e = Expr::Str(t.text);
+        Advance();
+        return e;
+      }
+      case TokenType::kParam: {
+        auto e = Expr::Param(static_cast<int>(t.int_val));
         Advance();
         return e;
       }

@@ -189,6 +189,27 @@ std::string PrintStatement(const Statement& stmt) {
       return std::string("explain ") + (s.analyze ? "analyze " : "") +
              PrintStatement(*s.query);
     }
+    case Statement::Kind::kPrepare: {
+      const auto& s = static_cast<const PrepareStmt&>(stmt);
+      return "prepare " + s.name + " as " + PrintStatement(*s.inner);
+    }
+    case Statement::Kind::kExecPrepared: {
+      const auto& s = static_cast<const ExecPreparedStmt&>(stmt);
+      std::string out = "execute " + s.name;
+      if (!s.args.empty()) {
+        out += " (";
+        for (size_t i = 0; i < s.args.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += s.args[i]->ToString();
+        }
+        out += ")";
+      }
+      return out;
+    }
+    case Statement::Kind::kDeallocate: {
+      const auto& s = static_cast<const DeallocateStmt&>(stmt);
+      return "deallocate " + s.name;
+    }
   }
   return "?";
 }

@@ -12,6 +12,7 @@ enum class TokenType {
   kInt,
   kFloat,
   kString,  // double-quoted literal
+  kParam,   // $N positional parameter (int_val = N, 1-based)
   // punctuation / operators
   kLParen,
   kRParen,

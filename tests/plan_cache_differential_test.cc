@@ -1,0 +1,94 @@
+// Differential battery for the shared plan cache over the paper's eight
+// benchmark databases (static / rollback / historical / temporal, each at
+// fillfactor 100 and 50): every applicable query Q01..Q12 runs on four
+// twin instances — plan cache off/on crossed with executor threads 1/4 —
+// and all four must report identical rows AND identical per-file page
+// I/O.  A cache hit (or a parallel scan) may change CPU cost, never
+// results and never the paper's page counts; this is the test that keeps
+// the 196-row golden table honest with the cache enabled.
+//
+// Each instance replays the same update rounds, and queries run twice per
+// instance so the second execution of the cache-on twins is a genuine
+// cache hit (the first populates).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchlib/workload.h"
+#include "util/stringx.h"
+
+namespace tdb {
+namespace bench {
+namespace {
+
+struct Variant {
+  const char* label;
+  bool plan_cache;
+  int exec_threads;
+};
+
+const Variant kVariants[] = {
+    {"cache-off/1t", false, 1},
+    {"cache-on/1t", true, 1},
+    {"cache-off/4t", false, 4},
+    {"cache-on/4t", true, 4},
+};
+
+TEST(PlanCacheDifferentialTest, EightDatabasesFourVariantsAgree) {
+  const DbType types[] = {DbType::kStatic, DbType::kRollback,
+                          DbType::kHistorical, DbType::kTemporal};
+  for (DbType type : types) {
+    for (int ff : {100, 50}) {
+      SCOPED_TRACE(testing::Message()
+                   << DbTypeName(type) << " ff=" << ff);
+      // Build the four twins: identical schema, population, and update
+      // history — only the cache and thread knobs differ.
+      std::vector<std::unique_ptr<BenchmarkDb>> dbs;
+      for (const Variant& v : kVariants) {
+        WorkloadConfig config;
+        config.type = type;
+        config.fillfactor = ff;
+        config.ntuples = 256;  // smaller than paper scale: 32 runs below
+        config.plan_cache = v.plan_cache;
+        config.exec_threads = v.exec_threads;
+        auto created = BenchmarkDb::Create(config);
+        ASSERT_TRUE(created.ok()) << created.status().ToString();
+        for (int round = 0; round < 3; ++round) {
+          ASSERT_TRUE((*created)->UniformUpdateRound().ok());
+        }
+        dbs.push_back(std::move(created).value());
+      }
+
+      for (int qnum = 1; qnum <= 12; ++qnum) {
+        if (dbs[0]->QueryText(qnum).empty()) continue;
+        SCOPED_TRACE(testing::Message() << "Q" << qnum);
+        // Two executions per twin: the second one hits the cache where
+        // it is enabled.  Both must match the cache-off baseline.
+        for (int round = 0; round < 2; ++round) {
+          std::vector<std::string> renderings;
+          for (size_t i = 0; i < dbs.size(); ++i) {
+            auto m = dbs[i]->RunQuery(qnum);
+            ASSERT_TRUE(m.ok())
+                << kVariants[i].label << ": " << m.status().ToString();
+            renderings.push_back(StrPrintf(
+                "rows=%llu in=%llu out=%llu",
+                static_cast<unsigned long long>(m->rows),
+                static_cast<unsigned long long>(m->input_pages),
+                static_cast<unsigned long long>(m->output_pages)));
+          }
+          for (size_t i = 1; i < renderings.size(); ++i) {
+            EXPECT_EQ(renderings[0], renderings[i])
+                << kVariants[i].label << " diverged on round " << round;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tdb

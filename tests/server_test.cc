@@ -23,6 +23,9 @@ namespace {
 
 class ServerTest : public ::testing::Test {
  protected:
+  /// Thread-per-connection by default; the epoll fixture below overrides.
+  virtual bool UseEpoll() const { return false; }
+
   void SetUp() override {
     socket_path_ = "/tmp/tquel_test_" + std::to_string(::getpid()) + "_" +
                    std::to_string(counter_++) + ".sock";
@@ -31,9 +34,11 @@ class ServerTest : public ::testing::Test {
     registry_ = std::make_unique<DatabaseRegistry>("/dbs", options);
     ServerOptions sopts;
     sopts.unix_path = socket_path_;
+    sopts.epoll = UseEpoll();
     server_ = std::make_unique<Server>(registry_.get(), sopts);
     Status started = server_->Start();
     ASSERT_TRUE(started.ok()) << started.ToString();
+    ASSERT_EQ(server_->epoll_mode(), UseEpoll());
   }
 
   void TearDown() override { server_->Stop(); }
@@ -186,6 +191,140 @@ TEST_F(ServerTest, EightConcurrentClientsSustainAMixedWorkload) {
         auto read = (*client)->Execute("range of s is shared;"
                                        "retrieve (n = count(s.v))");
         if (!read.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  auto check = Connect();
+  ASSERT_TRUE(check.ok());
+  auto total = (*check)->Execute("range of s is shared;"
+                                 "retrieve (n = count(s.v))");
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(total->back().rows[0][0].AsInt(), kClients * kStatementsEach);
+}
+
+TEST_F(ServerTest, PreparedStatementsOverTheWire) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)
+                  ->Execute("create emp (name = c8, sal = i4);"
+                            "range of e is emp;"
+                            "append to emp (name = \"ada\", sal = 120);"
+                            "append to emp (name = \"bob\", sal = 80)")
+                  .ok());
+  auto prep = (*client)->Prepare(
+      "highpaid", "retrieve (e.name, e.sal) where e.sal > $1");
+  ASSERT_TRUE(prep.ok()) << prep.status().ToString();
+
+  auto rows = (*client)->ExecutePrepared("highpaid", {Value::Int4(100)});
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][1].AsInt(), 120);
+
+  rows = (*client)->ExecutePrepared("highpaid", {Value::Int4(50)});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 2u);
+
+  ASSERT_TRUE((*client)->ClosePrepared("highpaid").ok());
+  EXPECT_FALSE((*client)->ExecutePrepared("highpaid", {Value::Int4(1)}).ok());
+}
+
+TEST_F(ServerTest, PreparedStatementErrorsKeepTheConnectionAlive) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Execute("create emp (sal = i4)").ok());
+  // Prepare of an unbindable statement fails cleanly...
+  EXPECT_FALSE((*client)->Prepare("bad", "retrieve (z.sal)").ok());
+  // ...execute of an unknown name fails cleanly...
+  EXPECT_FALSE((*client)->ExecutePrepared("nope", {}).ok());
+  // ...close of an unknown name fails cleanly...
+  EXPECT_FALSE((*client)->ClosePrepared("nope").ok());
+  // ...and the connection keeps serving.
+  EXPECT_TRUE((*client)->Ping().ok());
+  ASSERT_TRUE((*client)->Execute("range of e is emp").ok());
+  auto prep = (*client)->Prepare("good", "append to emp (sal = $1)");
+  ASSERT_TRUE(prep.ok()) << prep.status().ToString();
+  auto run = (*client)->ExecutePrepared("good", {Value::Int4(7)});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->affected, 1);
+}
+
+/// The whole ServerTest battery again on the epoll event loop: identical
+/// observable behavior is the point of the dispatch abstraction.
+class EpollServerTest : public ServerTest {
+ protected:
+  bool UseEpoll() const override { return true; }
+};
+
+TEST_F(EpollServerTest, ExecuteAndPreparedRoundTrip) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto results = (*client)->Execute(
+      "create emp (name = c8, sal = i4);"
+      "range of e is emp;"
+      "append to emp (name = \"ada\", sal = 120);"
+      "retrieve (e.name, e.sal) where e.sal > 100");
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_EQ(results->back().rows.size(), 1u);
+
+  auto prep = (*client)->Prepare("q", "retrieve (e.sal) where e.sal > $1");
+  ASSERT_TRUE(prep.ok()) << prep.status().ToString();
+  auto rows = (*client)->ExecutePrepared("q", {Value::Int4(100)});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 1u);
+  EXPECT_TRUE((*client)->ClosePrepared("q").ok());
+}
+
+TEST_F(EpollServerTest, StatementErrorsKeepTheConnectionAlive) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+  EXPECT_FALSE((*client)->Execute("range of e is nope").ok());
+  EXPECT_TRUE((*client)->Ping().ok());
+  EXPECT_TRUE((*client)->Execute("help").ok());
+}
+
+TEST_F(EpollServerTest, ThirtyTwoClientsWithoutPerConnectionThreads) {
+  {
+    auto setup = Connect();
+    ASSERT_TRUE(setup.ok());
+    std::string script = "create shared (v = i4)";
+    for (int c = 0; c < 32; ++c) {
+      script += ";create own" + std::to_string(c) + " (v = i4)";
+    }
+    ASSERT_TRUE((*setup)->Execute(script).ok());
+  }
+  constexpr int kClients = 32;
+  constexpr int kStatementsEach = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([this, &failures, c] {
+      auto client = Connect();
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      if (!(*client)->Execute("range of s is shared").ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      auto prep = (*client)->Prepare(
+          "ins", "append to own" + std::to_string(c) + " (v = $1)");
+      if (!prep.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kStatementsEach; ++i) {
+        if (!(*client)->ExecutePrepared("ins", {Value::Int4(i)}).ok() ||
+            !(*client)
+                 ->Execute("append to shared (v = " + std::to_string(i) + ")")
+                 .ok() ||
+            !(*client)->Execute("retrieve (n = count(s.v))").ok()) {
+          failures.fetch_add(1);
+          return;
+        }
       }
     });
   }
